@@ -1,0 +1,151 @@
+// Extension experiment: end-to-end evaluation of the ingredient aliasing
+// protocol (paper §IV.A). Ground-truth recipes are rendered into messy
+// scraped-style phrases (quantities, units, qualifiers, plurals, synonyms,
+// capitalization, typos) and pushed back through IngredientPhraseParser;
+// precision and recall of the recovered ingredient ids are reported per
+// noise level.
+//
+// The paper's protocol "maximiz[es] the information retrieval ... while
+// minimizing false positives"; this harness quantifies exactly that
+// trade-off on data with known ground truth.
+//
+// Usage: bench_aliasing_recovery [--small] [--recipes=N]
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "analysis/report.h"
+#include "common/random.h"
+#include "common/string_util.h"
+#include "datagen/phrase_gen.h"
+#include "datagen/world.h"
+#include "recipe/parser.h"
+
+namespace {
+
+struct NoiseLevel {
+  const char* name;
+  culinary::datagen::PhraseGenOptions options;
+};
+
+std::vector<NoiseLevel> MakeNoiseLevels() {
+  using culinary::datagen::PhraseGenOptions;
+  PhraseGenOptions clean;
+  clean.quantity_prob = 0.9;
+  clean.unit_prob = 0.5;
+  clean.pre_qualifier_prob = 0.3;
+  clean.post_clause_prob = 0.3;
+  clean.plural_prob = 0.0;
+  clean.synonym_prob = 0.0;
+  clean.typo_prob = 0.0;
+  clean.capitalize_prob = 0.2;
+
+  PhraseGenOptions moderate;  // defaults: plurals, synonyms, qualifiers
+  moderate.typo_prob = 0.0;
+
+  PhraseGenOptions heavy = moderate;
+  heavy.plural_prob = 0.5;
+  heavy.synonym_prob = 0.4;
+  heavy.typo_prob = 0.15;
+  heavy.post_clause_prob = 0.8;
+
+  return {{"clean", clean}, {"moderate", moderate}, {"heavy", heavy}};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace culinary;  // NOLINT(build/namespaces)
+  bool small = false;
+  size_t max_recipes = 3000;
+  for (int i = 1; i < argc; ++i) {
+    std::string a = argv[i];
+    if (a == "--small") small = true;
+    if (StartsWith(a, "--recipes=")) {
+      max_recipes = static_cast<size_t>(
+          std::strtoull(a.c_str() + strlen("--recipes="), nullptr, 10));
+    }
+  }
+  datagen::WorldSpec spec =
+      small ? datagen::WorldSpec::Small() : datagen::WorldSpec::Default();
+
+  std::fprintf(stderr, "[aliasing] generating world...\n");
+  auto world_result = datagen::GenerateWorld(spec);
+  if (!world_result.ok()) {
+    std::fprintf(stderr, "generation failed\n");
+    return 1;
+  }
+  const datagen::SyntheticWorld& world = world_result.value();
+  recipe::IngredientPhraseParser parser(world.universe.registry.get());
+
+  analysis::TextTable table({"noise", "recipes", "precision", "recall",
+                             "exact phrase rate", "flagged for curation"});
+  for (const NoiseLevel& level : MakeNoiseLevels()) {
+    Rng rng(0xA11A5 ^ static_cast<uint64_t>(level.name[0]));
+    size_t tp = 0, fp = 0, fn = 0;
+    size_t phrases = 0, matched_phrases = 0, flagged = 0;
+    size_t used = 0;
+    const auto& recipes = world.db().recipes();
+    size_t stride = std::max<size_t>(1, recipes.size() / max_recipes);
+    for (size_t i = 0; i < recipes.size(); i += stride) {
+      const recipe::Recipe& truth = recipes[i];
+      auto rendered =
+          datagen::RenderRecipePhrases(world.registry(), truth, level.options,
+                                       rng);
+      if (!rendered.ok()) continue;
+      ++used;
+      std::vector<flavor::IngredientId> recovered;
+      for (const std::string& phrase : *rendered) {
+        ++phrases;
+        recipe::PhraseMatch m = parser.Parse(phrase);
+        if (m.status == recipe::MatchStatus::kMatched) ++matched_phrases;
+        if (m.status != recipe::MatchStatus::kMatched) ++flagged;
+        for (flavor::IngredientId id : m.ids) recovered.push_back(id);
+      }
+      recipe::CanonicalizeIngredients(recovered);
+      // Set comparison against ground truth.
+      size_t inter = 0;
+      size_t a = 0, b = 0;
+      while (a < truth.ingredients.size() && b < recovered.size()) {
+        if (truth.ingredients[a] < recovered[b]) {
+          ++a;
+        } else if (recovered[b] < truth.ingredients[a]) {
+          ++b;
+        } else {
+          ++inter;
+          ++a;
+          ++b;
+        }
+      }
+      tp += inter;
+      fp += recovered.size() - inter;
+      fn += truth.ingredients.size() - inter;
+    }
+    double precision =
+        tp + fp == 0 ? 0.0 : static_cast<double>(tp) / static_cast<double>(tp + fp);
+    double recall =
+        tp + fn == 0 ? 0.0 : static_cast<double>(tp) / static_cast<double>(tp + fn);
+    table.AddRow({level.name, std::to_string(used),
+                  FormatDouble(100 * precision, 1) + "%",
+                  FormatDouble(100 * recall, 1) + "%",
+                  FormatDouble(100.0 * static_cast<double>(matched_phrases) /
+                                   static_cast<double>(std::max<size_t>(phrases, 1)),
+                               1) +
+                      "%",
+                  FormatDouble(100.0 * static_cast<double>(flagged) /
+                                   static_cast<double>(std::max<size_t>(phrases, 1)),
+                               1) +
+                      "%"});
+  }
+  std::printf("=== Aliasing protocol recovery (ground-truth evaluation) ===\n%s\n",
+              table.ToString().c_str());
+  std::printf("Expectation: near-perfect precision/recall on clean and "
+              "moderate noise; graceful degradation with typos, with failed "
+              "phrases explicitly flagged for manual curation (as the paper "
+              "prescribes).\n");
+  return 0;
+}

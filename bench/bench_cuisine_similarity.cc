@@ -1,0 +1,83 @@
+// Extension experiment: cuisine–cuisine similarity. The paper's framing —
+// "regional cuisines may be perceived analogous to languages/dialects" —
+// invites the vocabulary-level comparison: how close are two cuisines'
+// ingredient vocabularies and usage patterns?
+//
+// Prints the usage-cosine similarity matrix over the 22 regions and each
+// region's nearest culinary neighbor under both metrics.
+//
+// Usage: bench_cuisine_similarity [--small]
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "analysis/report.h"
+#include "analysis/similarity.h"
+#include "common/string_util.h"
+#include "datagen/world.h"
+
+int main(int argc, char** argv) {
+  using namespace culinary;  // NOLINT(build/namespaces)
+  bool small = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--small") small = true;
+  }
+  datagen::WorldSpec spec =
+      small ? datagen::WorldSpec::Small() : datagen::WorldSpec::Default();
+
+  std::fprintf(stderr, "[similarity] generating world...\n");
+  auto world_result = datagen::GenerateWorld(spec);
+  if (!world_result.ok()) {
+    std::fprintf(stderr, "generation failed\n");
+    return 1;
+  }
+  const datagen::SyntheticWorld& world = world_result.value();
+  std::vector<recipe::Cuisine> cuisines = world.db().AllCuisines();
+
+  auto matrix = analysis::CuisineSimilarityMatrix(
+      cuisines, analysis::CuisineSimilarity::kUsageCosine);
+
+  std::vector<std::string> headers = {"Region"};
+  for (const recipe::Cuisine& c : cuisines) {
+    headers.emplace_back(recipe::RegionCode(c.region()));
+  }
+  analysis::TextTable matrix_table(headers);
+  for (size_t i = 0; i < cuisines.size(); ++i) {
+    std::vector<std::string> row = {
+        std::string(recipe::RegionCode(cuisines[i].region()))};
+    for (size_t j = 0; j < cuisines.size(); ++j) {
+      row.push_back(FormatDouble(matrix[i][j], 2));
+    }
+    matrix_table.AddRow(row);
+  }
+  std::printf("=== Cuisine similarity (usage cosine) ===\n%s\n",
+              matrix_table.ToString().c_str());
+
+  analysis::TextTable nn_table({"Region", "nearest (cosine)",
+                                "nearest (jaccard)"});
+  for (size_t i = 0; i < cuisines.size(); ++i) {
+    auto by_cosine = analysis::NearestCuisines(
+        cuisines, i, 1, analysis::CuisineSimilarity::kUsageCosine);
+    auto by_jaccard = analysis::NearestCuisines(
+        cuisines, i, 1, analysis::CuisineSimilarity::kIngredientJaccard);
+    if (!by_cosine.ok() || !by_jaccard.ok()) {
+      std::fprintf(stderr, "similarity failed\n");
+      return 1;
+    }
+    auto render = [](const std::pair<recipe::Region, double>& p) {
+      return std::string(recipe::RegionCode(p.first)) + " (" +
+             FormatDouble(p.second, 3) + ")";
+    };
+    nn_table.AddRow({std::string(recipe::RegionCode(cuisines[i].region())),
+                     by_cosine->empty() ? "-" : render(by_cosine->front()),
+                     by_jaccard->empty() ? "-" : render(by_jaccard->front())});
+  }
+  std::printf("=== Nearest culinary neighbors ===\n%s\n",
+              nn_table.ToString().c_str());
+  std::printf("Expectation: similarities well below 1 (distinct regional "
+              "vocabularies) but far above 0 (shared global pantry), with "
+              "stable nearest-neighbor structure across metrics.\n");
+  return 0;
+}

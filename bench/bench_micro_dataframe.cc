@@ -1,0 +1,91 @@
+// Microbenchmarks for the dataframe substrate: CSV parsing, filtering,
+// group-by aggregation, hash join and value counts on synthetic tables
+// shaped like the recipe data.
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "common/random.h"
+#include "dataframe/csv.h"
+#include "dataframe/ops.h"
+#include "dataframe/table.h"
+
+namespace {
+
+namespace df = culinary::df;
+
+/// Builds a (region, ingredient, count) table with `rows` rows.
+df::Table MakeTable(size_t rows) {
+  df::Schema schema({{"region", df::DataType::kString},
+                     {"ingredient", df::DataType::kString},
+                     {"count", df::DataType::kInt64}});
+  auto table = df::Table::Make(schema);
+  culinary::Rng rng(7);
+  for (size_t i = 0; i < rows; ++i) {
+    auto st = table->AppendRow(
+        {df::Value::Str("R" + std::to_string(rng.NextBounded(22))),
+         df::Value::Str("ing" + std::to_string(rng.NextBounded(500))),
+         df::Value::Int(static_cast<int64_t>(rng.NextBounded(100)))});
+    if (!st.ok()) std::abort();
+  }
+  return std::move(table).value();
+}
+
+void BM_CsvParse(benchmark::State& state) {
+  df::Table table = MakeTable(static_cast<size_t>(state.range(0)));
+  std::string csv = df::WriteCsvString(table);
+  for (auto _ : state) {
+    auto parsed = df::ReadCsvString(csv);
+    benchmark::DoNotOptimize(parsed.ok());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(csv.size()) *
+                          state.iterations());
+}
+BENCHMARK(BM_CsvParse)->Arg(1000)->Arg(10000);
+
+void BM_Filter(benchmark::State& state) {
+  df::Table table = MakeTable(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto filtered = df::Filter(table, [](const df::Table& t, size_t row) {
+      return t.GetValue(row, 2).as_int() > 50;
+    });
+    benchmark::DoNotOptimize(filtered.ok());
+  }
+}
+BENCHMARK(BM_Filter)->Arg(10000);
+
+void BM_GroupByAggregate(benchmark::State& state) {
+  df::Table table = MakeTable(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto grouped = df::GroupByAggregate(
+        table, {"region"},
+        {{df::AggKind::kCount, "", "n"},
+         {df::AggKind::kMean, "count", "mean_count"}});
+    benchmark::DoNotOptimize(grouped.ok());
+  }
+}
+BENCHMARK(BM_GroupByAggregate)->Arg(10000);
+
+void BM_HashJoin(benchmark::State& state) {
+  df::Table left = MakeTable(static_cast<size_t>(state.range(0)));
+  df::Table right = MakeTable(1000);
+  for (auto _ : state) {
+    auto joined = df::HashJoin(left, right, {"ingredient"});
+    benchmark::DoNotOptimize(joined.ok());
+  }
+}
+BENCHMARK(BM_HashJoin)->Arg(5000);
+
+void BM_ValueCounts(benchmark::State& state) {
+  df::Table table = MakeTable(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto counts = df::ValueCounts(table, "ingredient");
+    benchmark::DoNotOptimize(counts.ok());
+  }
+}
+BENCHMARK(BM_ValueCounts)->Arg(10000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

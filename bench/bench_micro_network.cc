@@ -1,0 +1,84 @@
+// Microbenchmarks for the network and evolution substrates: flavor-network
+// construction, backbone extraction, clustering computation, similarity
+// metrics, and copy-mutate evolution throughput.
+
+#include <benchmark/benchmark.h>
+
+#include "analysis/similarity.h"
+#include "datagen/world.h"
+#include "evolution/copy_mutate.h"
+#include "network/flavor_network.h"
+
+namespace {
+
+const culinary::datagen::SyntheticWorld& World() {
+  static const auto& world = *[] {
+    auto result = culinary::datagen::GenerateSmallWorld();
+    if (!result.ok()) std::abort();
+    return new culinary::datagen::SyntheticWorld(std::move(result).value());
+  }();
+  return world;
+}
+
+const culinary::network::FlavorNetwork& Network() {
+  static const auto& net = *[] {
+    auto result = culinary::network::FlavorNetwork::Build(
+        World().registry(), World().registry().LiveIngredients());
+    if (!result.ok()) std::abort();
+    return new culinary::network::FlavorNetwork(std::move(result).value());
+  }();
+  return net;
+}
+
+void BM_FlavorNetworkBuild(benchmark::State& state) {
+  auto ids = World().registry().LiveIngredients();
+  ids.resize(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto net = culinary::network::FlavorNetwork::Build(World().registry(), ids);
+    benchmark::DoNotOptimize(net.ok());
+  }
+}
+BENCHMARK(BM_FlavorNetworkBuild)->Arg(50)->Arg(150);
+
+void BM_BackboneExtraction(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Network().ExtractBackbone(0.05));
+  }
+}
+BENCHMARK(BM_BackboneExtraction);
+
+void BM_AverageClustering(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Network().graph().AverageClustering());
+  }
+}
+BENCHMARK(BM_AverageClustering);
+
+void BM_CuisineSimilarityMatrix(benchmark::State& state) {
+  static const auto& cuisines =
+      *new std::vector<culinary::recipe::Cuisine>(World().db().AllCuisines());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(culinary::analysis::CuisineSimilarityMatrix(
+        cuisines, culinary::analysis::CuisineSimilarity::kUsageCosine));
+  }
+}
+BENCHMARK(BM_CuisineSimilarityMatrix);
+
+void BM_EvolveCuisine(benchmark::State& state) {
+  auto pool = World().registry().LiveIngredients();
+  pool.resize(100);
+  culinary::evolution::EvolutionConfig config;
+  config.target_recipes = static_cast<size_t>(state.range(0));
+  config.flavor_bias = 6.0;
+  for (auto _ : state) {
+    auto result = culinary::evolution::Evolve(
+        World().registry(), pool, config, culinary::recipe::Region::kItaly);
+    benchmark::DoNotOptimize(result.ok());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_EvolveCuisine)->Arg(200)->Arg(1000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,129 @@
+// Microbenchmarks for the core analysis primitives: profile intersection,
+// pairing-cache construction and lookup, recipe scoring, null-model
+// sampling, and ingredient contribution. These validate that the 100k-
+// recipe null models and the per-ingredient contribution sweeps used by
+// the paper experiments are cheap.
+
+#include <benchmark/benchmark.h>
+
+#include "analysis/contribution.h"
+#include "analysis/null_models.h"
+#include "analysis/pairing.h"
+#include "common/random.h"
+#include "datagen/world.h"
+
+namespace {
+
+using culinary::analysis::NullModelKind;
+using culinary::analysis::NullModelSampler;
+using culinary::analysis::PairingCache;
+
+/// Lazily built shared world (small scale keeps bench startup quick).
+const culinary::datagen::SyntheticWorld& World() {
+  static const auto& world = *[] {
+    auto result = culinary::datagen::GenerateSmallWorld();
+    if (!result.ok()) std::abort();
+    return new culinary::datagen::SyntheticWorld(std::move(result).value());
+  }();
+  return world;
+}
+
+const culinary::recipe::Cuisine& ItalyCuisine() {
+  static const auto& cuisine = *new culinary::recipe::Cuisine(
+      World().db().CuisineFor(culinary::recipe::Region::kItaly));
+  return cuisine;
+}
+
+const PairingCache& ItalyCache() {
+  static const auto& cache = *new PairingCache(
+      World().registry(), ItalyCuisine().unique_ingredients());
+  return cache;
+}
+
+void BM_ProfileIntersection(benchmark::State& state) {
+  const auto& reg = World().registry();
+  auto live = reg.LiveIngredients();
+  const culinary::flavor::Ingredient* a = reg.Find(live[1]);
+  const culinary::flavor::Ingredient* b = reg.Find(live[2]);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a->profile.SharedCompounds(b->profile));
+  }
+}
+BENCHMARK(BM_ProfileIntersection);
+
+void BM_PairingCacheBuild(benchmark::State& state) {
+  for (auto _ : state) {
+    PairingCache cache(World().registry(), ItalyCuisine().unique_ingredients());
+    benchmark::DoNotOptimize(cache.num_ingredients());
+  }
+}
+BENCHMARK(BM_PairingCacheBuild);
+
+void BM_PairingCacheLookup(benchmark::State& state) {
+  const PairingCache& cache = ItalyCache();
+  size_t i = 0;
+  const size_t n = cache.num_ingredients();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.SharedByDense(i % n, (i * 7 + 1) % n));
+    ++i;
+  }
+}
+BENCHMARK(BM_PairingCacheLookup);
+
+void BM_RecipePairingScore(benchmark::State& state) {
+  const auto& recipes = ItalyCuisine().recipes();
+  size_t i = 0;
+  for (auto _ : state) {
+    const auto& r = recipes[i % recipes.size()];
+    benchmark::DoNotOptimize(
+        culinary::analysis::RecipePairingScore(ItalyCache(), r.ingredients));
+    ++i;
+  }
+}
+BENCHMARK(BM_RecipePairingScore);
+
+void BM_NullModelSample(benchmark::State& state) {
+  auto kind = static_cast<NullModelKind>(state.range(0));
+  auto sampler_result =
+      NullModelSampler::Make(kind, ItalyCuisine(), World().registry());
+  if (!sampler_result.ok()) {
+    state.SkipWithError("sampler construction failed");
+    return;
+  }
+  const NullModelSampler& sampler = sampler_result.value();
+  culinary::Rng rng(42);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sampler.SampleRecipe(rng));
+  }
+}
+BENCHMARK(BM_NullModelSample)->DenseRange(0, 3);
+
+void BM_NullModelScoredRecipe(benchmark::State& state) {
+  auto sampler_result = NullModelSampler::Make(NullModelKind::kFrequency,
+                                               ItalyCuisine(), World().registry());
+  if (!sampler_result.ok()) {
+    state.SkipWithError("sampler construction failed");
+    return;
+  }
+  const NullModelSampler& sampler = sampler_result.value();
+  culinary::Rng rng(42);
+  for (auto _ : state) {
+    auto recipe = sampler.SampleRecipe(rng);
+    benchmark::DoNotOptimize(
+        culinary::analysis::RecipePairingScoreDense(ItalyCache(), recipe));
+  }
+}
+BENCHMARK(BM_NullModelScoredRecipe);
+
+void BM_IngredientChi(benchmark::State& state) {
+  auto id = ItalyCuisine().ByPopularity().front().first;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        culinary::analysis::IngredientChi(ItalyCache(), ItalyCuisine(), id));
+  }
+}
+BENCHMARK(BM_IngredientChi);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,86 @@
+// Microbenchmarks for the text/aliasing substrate: tokenization, phrase
+// normalization, edit distances and the full ingredient-phrase parsing
+// pipeline over a registry the size of the paper's (≈950 entities).
+
+#include <benchmark/benchmark.h>
+
+#include "datagen/world.h"
+#include "recipe/parser.h"
+#include "text/edit_distance.h"
+#include "text/normalize.h"
+#include "text/tokenizer.h"
+
+namespace {
+
+constexpr const char* kPhrases[] = {
+    "2 jalapeno peppers, roasted and slit",
+    "1 cup freshly grated Parmesan cheese",
+    "3 tablespoons extra-virgin olive oil, divided",
+    "1 (15 ounce) can garbanzo beans, drained and rinsed",
+    "salt and freshly ground black pepper to taste",
+};
+
+const culinary::datagen::SyntheticWorld& World() {
+  static const auto& world = *[] {
+    auto result = culinary::datagen::GenerateSmallWorld();
+    if (!result.ok()) std::abort();
+    return new culinary::datagen::SyntheticWorld(std::move(result).value());
+  }();
+  return world;
+}
+
+void BM_Tokenize(benchmark::State& state) {
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(culinary::text::Tokenize(kPhrases[i % 5]));
+    ++i;
+  }
+}
+BENCHMARK(BM_Tokenize);
+
+void BM_NormalizePhrase(benchmark::State& state) {
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(culinary::text::NormalizePhrase(kPhrases[i % 5]));
+    ++i;
+  }
+}
+BENCHMARK(BM_NormalizePhrase);
+
+void BM_DamerauLevenshtein(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        culinary::text::DamerauLevenshteinDistance("whiskey", "whisky"));
+  }
+}
+BENCHMARK(BM_DamerauLevenshtein);
+
+void BM_JaroWinkler(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        culinary::text::JaroWinklerSimilarity("asafoetida", "asafetida"));
+  }
+}
+BENCHMARK(BM_JaroWinkler);
+
+void BM_ParsePhrase(benchmark::State& state) {
+  culinary::recipe::IngredientPhraseParser parser(&World().registry());
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(parser.Parse(kPhrases[i % 5]));
+    ++i;
+  }
+}
+BENCHMARK(BM_ParsePhrase);
+
+void BM_ParserBuild(benchmark::State& state) {
+  for (auto _ : state) {
+    culinary::recipe::IngredientPhraseParser parser(&World().registry());
+    benchmark::DoNotOptimize(&parser);
+  }
+}
+BENCHMARK(BM_ParserBuild);
+
+}  // namespace
+
+BENCHMARK_MAIN();

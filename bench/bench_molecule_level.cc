@@ -1,0 +1,95 @@
+// Extension experiment: the molecule level of the paper's multi-level
+// framework (Fig 1: Recipe → Ingredient → Flavor Molecule). Reports, for
+// representative cuisines, the most-used molecules, the cuisine's
+// signature molecules (usage share vs the other 21 cuisines), and the
+// shared-compound spectrum that feeds the pairing analysis.
+//
+// Usage: bench_molecule_level [--small]
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "analysis/molecules.h"
+#include "analysis/report.h"
+#include "common/string_util.h"
+#include "datagen/world.h"
+
+int main(int argc, char** argv) {
+  using namespace culinary;  // NOLINT(build/namespaces)
+  bool small = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--small") small = true;
+  }
+  datagen::WorldSpec spec =
+      small ? datagen::WorldSpec::Small() : datagen::WorldSpec::Default();
+
+  std::fprintf(stderr, "[molecules] generating world...\n");
+  auto world_result = datagen::GenerateWorld(spec);
+  if (!world_result.ok()) {
+    std::fprintf(stderr, "generation failed\n");
+    return 1;
+  }
+  const datagen::SyntheticWorld& world = world_result.value();
+  std::vector<recipe::Cuisine> cuisines = world.db().AllCuisines();
+
+  auto molecule_name = [&](flavor::MoleculeId id) {
+    auto m = world.registry().GetMolecule(id);
+    return m.ok() ? m->name : std::string("?");
+  };
+
+  const recipe::Region kProbes[] = {recipe::Region::kItaly,
+                                    recipe::Region::kJapan,
+                                    recipe::Region::kIndianSubcontinent};
+  analysis::TextTable table({"Cuisine", "top molecule (uses)",
+                             "signature molecule (Δshare)",
+                             "pairs sharing 0", "median pair overlap"});
+  for (recipe::Region region : kProbes) {
+    size_t target = 0;
+    for (size_t c = 0; c < cuisines.size(); ++c) {
+      if (cuisines[c].region() == region) target = c;
+    }
+    const recipe::Cuisine& cuisine = cuisines[target];
+    auto usage = analysis::MoleculeUsage(cuisine, world.registry());
+    auto signature = analysis::TopSignatureMolecules(cuisines,
+                                                     world.registry(),
+                                                     target, 1);
+    culinary::Histogram spectrum =
+        analysis::SharedCompoundSpectrum(cuisine, world.registry());
+    if (!signature.ok() || usage.empty()) {
+      std::fprintf(stderr, "molecule analysis failed\n");
+      return 1;
+    }
+    // Median of the overlap spectrum.
+    int64_t median = 0;
+    while (median <= spectrum.max_value() && spectrum.Cdf(median) < 0.5) {
+      ++median;
+    }
+    table.AddRow(
+        {std::string(recipe::RegionCode(region)),
+         molecule_name(usage[0].first) + " (" +
+             std::to_string(usage[0].second) + ")",
+         molecule_name(signature->front().id) + " (" +
+             FormatDouble(signature->front().signature, 4) + ")",
+         FormatDouble(100 * spectrum.Pmf(0), 1) + "%",
+         std::to_string(median)});
+  }
+  std::printf("=== Molecule-level view (Fig 1's third level) ===\n%s\n",
+              table.ToString().c_str());
+
+  // WORLD shared-compound spectrum, first 20 bins.
+  recipe::Cuisine world_cuisine = world.db().WorldCuisine();
+  culinary::Histogram spectrum =
+      analysis::SharedCompoundSpectrum(world_cuisine, world.registry());
+  std::vector<double> pmf = spectrum.DensePmf();
+  pmf.resize(std::min<size_t>(pmf.size(), 20));
+  std::printf("--- WORLD pairwise shared-compound spectrum (first 20 bins) "
+              "---\n%s\n",
+              analysis::RenderSeries("|Fi∩Fj|", "P", pmf).c_str());
+  std::printf("Expectation: a heavy mass of weakly-overlapping pairs with a "
+              "tail of strongly-overlapping (same-pool) pairs — the raw "
+              "asymmetry that food-pairing Z-scores quantify.\n");
+  return 0;
+}

@@ -1,0 +1,110 @@
+// Experiment: Figure 2 — compositions of recipes in terms of ingredient
+// categories (the per-region category heatmap).
+//
+// Prints the share of recipe–ingredient uses per category for each region
+// and the WORLD aggregate, as percentages. The paper's qualitative claims
+// to verify: at WORLD level Vegetable, Spice, Dairy, Herb, Plant, Meat and
+// Fruit dominate (Additive excluded from the figure); France, British
+// Isles and Scandinavia use dairy more prominently than vegetables; the
+// Indian Subcontinent, Africa, Middle East and Caribbean are
+// spice-predominant.
+//
+// Usage: experiment_fig2 [--small] [--seed=S]
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "analysis/composition.h"
+#include "analysis/report.h"
+#include "common/string_util.h"
+#include "datagen/world.h"
+
+int main(int argc, char** argv) {
+  using namespace culinary;  // NOLINT(build/namespaces)
+  bool small = false;
+  uint64_t seed = 0;
+  for (int i = 1; i < argc; ++i) {
+    std::string a = argv[i];
+    if (a == "--small") small = true;
+    if (StartsWith(a, "--seed=")) {
+      seed = std::strtoull(a.c_str() + strlen("--seed="), nullptr, 10);
+    }
+  }
+  datagen::WorldSpec spec =
+      small ? datagen::WorldSpec::Small() : datagen::WorldSpec::Default();
+  if (seed != 0) spec.seed = seed;
+
+  std::fprintf(stderr, "[fig2] generating world...\n");
+  auto world_result = datagen::GenerateWorld(spec);
+  if (!world_result.ok()) {
+    std::fprintf(stderr, "world generation failed: %s\n",
+                 world_result.status().ToString().c_str());
+    return 1;
+  }
+  const datagen::SyntheticWorld& world = world_result.value();
+
+  // Categories shown in the figure (Additive excluded, "data not shown").
+  std::vector<flavor::Category> shown;
+  for (int c = 0; c < flavor::kNumCategories; ++c) {
+    auto cat = static_cast<flavor::Category>(c);
+    if (cat != flavor::Category::kAdditive) shown.push_back(cat);
+  }
+
+  std::vector<std::string> headers = {"Region"};
+  for (flavor::Category c : shown) {
+    std::string name(flavor::CategoryToString(c));
+    headers.push_back(name.substr(0, 6));  // compact header
+  }
+  analysis::TextTable table(headers);
+
+  auto add_region_row = [&](const recipe::Cuisine& cuisine,
+                            const std::string& label) {
+    auto shares = analysis::CategoryComposition(cuisine, world.registry());
+    std::vector<std::string> row = {label};
+    for (flavor::Category c : shown) {
+      row.push_back(FormatDouble(100.0 * shares[static_cast<size_t>(c)], 1));
+    }
+    table.AddRow(row);
+  };
+
+  add_region_row(world.db().WorldCuisine(), "WORLD");
+  for (int i = 0; i < recipe::kNumRegions; ++i) {
+    recipe::Region region = recipe::AllRegions()[i];
+    add_region_row(world.db().CuisineFor(region),
+                   std::string(recipe::RegionCode(region)));
+  }
+
+  std::printf("=== Figure 2: category composition of recipes (%% of uses, "
+              "Additive excluded) ===\n%s\n",
+              table.ToString().c_str());
+
+  // Verify the two headline regional claims.
+  auto share_of = [&](recipe::Region region, flavor::Category c) {
+    auto shares = analysis::CategoryComposition(world.db().CuisineFor(region),
+                                                world.registry());
+    return shares[static_cast<size_t>(c)];
+  };
+  std::printf("Checks (paper claims):\n");
+  for (recipe::Region r : {recipe::Region::kFrance, recipe::Region::kBritishIsles,
+                           recipe::Region::kScandinavia}) {
+    std::printf("  %s dairy %s vegetable: %.1f%% vs %.1f%%\n",
+                std::string(recipe::RegionCode(r)).c_str(),
+                share_of(r, flavor::Category::kDairy) >
+                        share_of(r, flavor::Category::kVegetable)
+                    ? ">"
+                    : "<=",
+                100 * share_of(r, flavor::Category::kDairy),
+                100 * share_of(r, flavor::Category::kVegetable));
+  }
+  for (recipe::Region r :
+       {recipe::Region::kIndianSubcontinent, recipe::Region::kAfrica,
+        recipe::Region::kMiddleEast, recipe::Region::kCaribbean}) {
+    std::printf("  %s spice share: %.1f%% (spice-predominant)\n",
+                std::string(recipe::RegionCode(r)).c_str(),
+                100 * share_of(r, flavor::Category::kSpice));
+  }
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Experiment: Figure 3(b) — ingredient popularity (normalized rank-
+// frequency) and cumulative statistics across the 22 world cuisines.
+//
+// The paper's claims to verify: every cuisine shows "an exceptionally
+// consistent scaling phenomenon" — the normalized frequency-vs-rank curves
+// collapse onto a common shape — and a few special ingredients dominate
+// each cuisine.
+//
+// Usage: experiment_fig3b [--small] [--seed=S]
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "analysis/composition.h"
+#include "analysis/report.h"
+#include "common/string_util.h"
+#include "datagen/world.h"
+
+int main(int argc, char** argv) {
+  using namespace culinary;  // NOLINT(build/namespaces)
+  bool small = false;
+  uint64_t seed = 0;
+  for (int i = 1; i < argc; ++i) {
+    std::string a = argv[i];
+    if (a == "--small") small = true;
+    if (StartsWith(a, "--seed=")) {
+      seed = std::strtoull(a.c_str() + strlen("--seed="), nullptr, 10);
+    }
+  }
+  datagen::WorldSpec spec =
+      small ? datagen::WorldSpec::Small() : datagen::WorldSpec::Default();
+  if (seed != 0) spec.seed = seed;
+
+  std::fprintf(stderr, "[fig3b] generating world...\n");
+  auto world_result = datagen::GenerateWorld(spec);
+  if (!world_result.ok()) {
+    std::fprintf(stderr, "world generation failed: %s\n",
+                 world_result.status().ToString().c_str());
+    return 1;
+  }
+  const datagen::SyntheticWorld& world = world_result.value();
+
+  // Normalized popularity at probe ranks, per region — the figure's curve
+  // family, sampled.
+  const size_t kProbeRanks[] = {1, 2, 5, 10, 20, 50, 100, 200};
+  std::vector<std::string> headers = {"Region"};
+  for (size_t r : kProbeRanks) headers.push_back("r=" + std::to_string(r));
+  headers.push_back("Zipf s");
+  headers.push_back("top-20 share");
+  analysis::TextTable table(headers);
+
+  for (int i = 0; i < recipe::kNumRegions; ++i) {
+    recipe::Region region = recipe::AllRegions()[i];
+    recipe::Cuisine cuisine = world.db().CuisineFor(region);
+    std::vector<double> pop = analysis::NormalizedPopularity(cuisine);
+    std::vector<double> cum = analysis::CumulativePopularityShare(cuisine);
+    auto [s, q] = analysis::FitZipfMandelbrot(cuisine);
+    std::vector<std::string> row = {std::string(recipe::RegionCode(region))};
+    for (size_t r : kProbeRanks) {
+      row.push_back(r <= pop.size() ? FormatDouble(pop[r - 1], 3) : "-");
+    }
+    row.push_back(FormatDouble(s, 2));
+    row.push_back(cum.size() >= 20 ? FormatDouble(cum[19], 3) : "-");
+    table.AddRow(row);
+  }
+  std::printf("=== Figure 3(b): normalized ingredient popularity vs rank ===\n");
+  std::printf("%s\n", table.ToString().c_str());
+
+  recipe::Cuisine world_cuisine = world.db().WorldCuisine();
+  std::vector<double> pop = analysis::NormalizedPopularity(world_cuisine);
+  pop.resize(std::min<size_t>(pop.size(), 30));
+  std::printf("--- WORLD popularity curve, first 30 ranks ---\n%s\n",
+              analysis::RenderSeries("rank+1", "f/f_1", pop, 1).c_str());
+  std::printf("Paper expectation: consistent scaling shape across all "
+              "cuisines; a handful of popular ingredients dominate each "
+              "cuisine.\n");
+  return 0;
+}

@@ -1,0 +1,172 @@
+// Experiment: Figure 4 — food pairing analysis of cuisines from 22 world
+// regions against four randomized-cuisine models.
+//
+// Regenerates the paper's central result: the Z-score of each cuisine's
+// average flavor sharing N̄_s versus its Random Cuisine, plus the three
+// attribution models (Ingredient Frequency, Ingredient Category,
+// Frequency+Category). Expected shape (paper): 16 regions positive, 6
+// negative (SCND, JPN, DACH, BRI, KOR, EE); the Frequency model reproduces
+// the real pairing to a large extent (small |Z| against it); the Category
+// model does not.
+//
+// Usage: experiment_fig4 [--small] [--null-recipes=N] [--seed=S] [--threads=T]
+//        [--csv=PATH]  (machine-readable results: region,model,real,null,z)
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "analysis/null_models.h"
+#include "analysis/pairing.h"
+#include "analysis/report.h"
+#include "common/string_util.h"
+#include "common/thread_pool.h"
+#include "dataframe/csv.h"
+#include "datagen/world.h"
+
+namespace {
+
+struct Args {
+  bool small = false;
+  size_t null_recipes = 100000;
+  uint64_t seed = 0;  // 0 = spec default
+  size_t threads = 1;
+  std::string csv_path;
+};
+
+Args ParseArgs(int argc, char** argv) {
+  Args args;
+  for (int i = 1; i < argc; ++i) {
+    std::string a = argv[i];
+    if (a == "--small") {
+      args.small = true;
+    } else if (culinary::StartsWith(a, "--null-recipes=")) {
+      args.null_recipes = static_cast<size_t>(
+          std::strtoull(a.c_str() + strlen("--null-recipes="), nullptr, 10));
+    } else if (culinary::StartsWith(a, "--seed=")) {
+      args.seed = std::strtoull(a.c_str() + strlen("--seed="), nullptr, 10);
+    } else if (culinary::StartsWith(a, "--threads=")) {
+      args.threads = static_cast<size_t>(
+          std::strtoull(a.c_str() + strlen("--threads="), nullptr, 10));
+    } else if (culinary::StartsWith(a, "--csv=")) {
+      args.csv_path = a.substr(strlen("--csv="));
+    }
+  }
+  return args;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace culinary;  // NOLINT(build/namespaces)
+  Args args = ParseArgs(argc, argv);
+
+  datagen::WorldSpec spec =
+      args.small ? datagen::WorldSpec::Small() : datagen::WorldSpec::Default();
+  if (args.seed != 0) spec.seed = args.seed;
+
+  std::fprintf(stderr, "[fig4] generating world (%s)...\n",
+               args.small ? "small" : "default");
+  auto world_result = datagen::GenerateWorld(spec);
+  if (!world_result.ok()) {
+    std::fprintf(stderr, "world generation failed: %s\n",
+                 world_result.status().ToString().c_str());
+    return 1;
+  }
+  const datagen::SyntheticWorld& world = world_result.value();
+
+  analysis::NullModelOptions options;
+  options.num_recipes = args.null_recipes;
+
+  analysis::TextTable table({"Region", "Code", "N_s(real)", "Z(random)",
+                             "Z(frequency)", "Z(category)", "Z(freq+cat)",
+                             "Pairing"});
+
+  std::printf("=== Figure 4: food pairing Z-scores, %zu null recipes/model "
+              "(%zu thread%s) ===\n",
+              options.num_recipes, std::max<size_t>(args.threads, 1),
+              args.threads > 1 ? "s" : "");
+
+  // Regions are independent; sweep them across the pool and render rows in
+  // region order afterwards.
+  struct RegionRow {
+    bool ok = false;
+    std::string error;
+    std::vector<analysis::FoodPairingResult> results;
+  };
+  std::vector<RegionRow> rows(recipe::kNumRegions);
+  ThreadPool pool(args.threads);
+  pool.ParallelFor(recipe::kNumRegions, [&](size_t i) {
+    recipe::Region region = recipe::AllRegions()[i];
+    recipe::Cuisine cuisine = world.db().CuisineFor(region);
+    analysis::PairingCache cache(world.registry(),
+                                 cuisine.unique_ingredients());
+    auto results = analysis::CompareAgainstAllModels(cache, cuisine,
+                                                     world.registry(), options);
+    if (!results.ok()) {
+      rows[i].error = results.status().ToString();
+      return;
+    }
+    rows[i].ok = true;
+    rows[i].results = std::move(results).value();
+  });
+
+  for (int i = 0; i < recipe::kNumRegions; ++i) {
+    recipe::Region region = recipe::AllRegions()[i];
+    if (!rows[static_cast<size_t>(i)].ok) {
+      std::fprintf(stderr, "region %s failed: %s\n",
+                   std::string(recipe::RegionCode(region)).c_str(),
+                   rows[static_cast<size_t>(i)].error.c_str());
+      return 1;
+    }
+    const auto& r = rows[static_cast<size_t>(i)].results;
+    double z_random = r[0].z_score;
+    table.AddRow({std::string(recipe::RegionName(region)),
+                  std::string(recipe::RegionCode(region)),
+                  FormatDouble(r[0].real_mean, 3), FormatDouble(z_random, 1),
+                  FormatDouble(r[1].z_score, 1), FormatDouble(r[2].z_score, 1),
+                  FormatDouble(r[3].z_score, 1),
+                  z_random > 0 ? "uniform" : "contrasting"});
+  }
+  std::printf("%s\n", table.ToString().c_str());
+
+  if (!args.csv_path.empty()) {
+    df::Schema schema({{"region", df::DataType::kString},
+                       {"model", df::DataType::kString},
+                       {"real_mean", df::DataType::kDouble},
+                       {"null_mean", df::DataType::kDouble},
+                       {"null_stddev", df::DataType::kDouble},
+                       {"z", df::DataType::kDouble}});
+    auto csv_table = df::Table::Make(schema);
+    if (csv_table.ok()) {
+      for (int i = 0; i < recipe::kNumRegions; ++i) {
+        for (const auto& r : rows[static_cast<size_t>(i)].results) {
+          csv_table
+              ->AppendRow(
+                  {df::Value::Str(std::string(
+                       recipe::RegionCode(recipe::AllRegions()[i]))),
+                   df::Value::Str(std::string(
+                       analysis::NullModelKindToString(r.kind))),
+                   df::Value::Real(r.real_mean), df::Value::Real(r.null_mean),
+                   df::Value::Real(r.null_stddev), df::Value::Real(r.z_score)})
+              .ToString();
+        }
+      }
+      Status s = df::WriteCsvFile(*csv_table, args.csv_path);
+      if (!s.ok()) {
+        std::fprintf(stderr, "csv export failed: %s\n", s.ToString().c_str());
+      } else {
+        std::fprintf(stderr, "[fig4] wrote %s\n", args.csv_path.c_str());
+      }
+    }
+  }
+  std::printf(
+      "Paper expectation: positive (uniform) — ITA AFR CBN GRC ESP USA INSC ME "
+      "MEX ANZ SAM FRA THA CHN SEA CAN; negative (contrasting) — SCND JPN DACH "
+      "BRI KOR EE.\nAttribution: |Z(frequency)| << |Z(random)| (popularity "
+      "accounts for pairing); |Z(category)| ~ |Z(random)| (category "
+      "composition does not).\n");
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Ingredient aliasing demo: the multi-step protocol of paper §IV.A mapping
+// messy free-text ingredient phrases onto registry entities — lowercase,
+// punctuation stripping, stopword removal (English + culinary),
+// singularization, longest-first n-gram dictionary scan, and bounded
+// edit-distance fuzzy matching for spelling variants.
+
+#include <cstdio>
+
+#include "common/string_util.h"
+#include "datagen/world.h"
+#include "recipe/parser.h"
+#include "text/normalize.h"
+
+int main() {
+  using namespace culinary;  // NOLINT(build/namespaces)
+
+  auto world_result = datagen::GenerateSmallWorld();
+  if (!world_result.ok()) {
+    std::fprintf(stderr, "generation failed\n");
+    return 1;
+  }
+  const datagen::SyntheticWorld& world = world_result.value();
+  recipe::IngredientPhraseParser parser(&world.registry());
+
+  const char* kPhrases[] = {
+      "2 Jalapeno Peppers, roasted and slit",
+      "1 cup freshly grated parmesan cheese",
+      "3 tablespoons extra-virgin olive oil, divided",
+      "500 g chicken breasts, boneless and skinless",
+      "a pinch of asafoetida (hing)",
+      "2 tbsp whisky",                 // spelling variant of whiskey
+      "1 courgette, thinly sliced",    // synonym of zucchini
+      "tomatoe, chopped",              // misspelling → fuzzy match
+      "1 cup unobtainium shavings",    // unrecognized
+  };
+
+  for (const char* phrase : kPhrases) {
+    std::printf("phrase: %s\n", phrase);
+    std::printf("  normalized: [%s]\n",
+                Join(text::NormalizePhrase(phrase), ", ").c_str());
+    recipe::PhraseMatch m = parser.Parse(phrase);
+    const char* status = m.status == recipe::MatchStatus::kMatched
+                             ? "MATCHED"
+                             : (m.status == recipe::MatchStatus::kPartial
+                                    ? "PARTIAL"
+                                    : "UNRECOGNIZED");
+    std::printf("  status: %s%s\n", status, m.used_fuzzy ? " (fuzzy)" : "");
+    for (flavor::IngredientId id : m.ids) {
+      const flavor::Ingredient* ing = world.registry().Find(id);
+      std::printf("  -> %s [%s, %zu molecules]\n", ing->name.c_str(),
+                  std::string(flavor::CategoryToString(ing->category)).c_str(),
+                  ing->profile.size());
+    }
+    if (!m.leftover_tokens.empty()) {
+      std::printf("  leftover for curation: [%s]\n",
+                  Join(m.leftover_tokens, ", ").c_str());
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

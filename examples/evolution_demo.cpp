@@ -1,0 +1,67 @@
+// Culinary evolution demo: watches a cuisine evolve under copy-mutate
+// dynamics (the model the paper's conclusions cite as explaining the
+// observed non-random patterns) and reports how its food-pairing character
+// and ingredient popularity change along the trajectory.
+
+#include <cstdio>
+
+#include "analysis/composition.h"
+#include "analysis/null_models.h"
+#include "analysis/pairing.h"
+#include "common/string_util.h"
+#include "datagen/world.h"
+#include "evolution/copy_mutate.h"
+
+int main(int argc, char** argv) {
+  using namespace culinary;  // NOLINT(build/namespaces)
+  double bias = argc > 1 ? std::atof(argv[1]) : 8.0;
+
+  auto world_result = datagen::GenerateSmallWorld();
+  if (!world_result.ok()) {
+    std::fprintf(stderr, "generation failed\n");
+    return 1;
+  }
+  const datagen::SyntheticWorld& world = world_result.value();
+  auto pool = world.registry().LiveIngredients();
+  pool.resize(std::min<size_t>(pool.size(), 120));
+
+  std::printf("evolving a cuisine over %zu ingredients, flavor bias %+.1f\n\n",
+              pool.size(), bias);
+
+  analysis::NullModelOptions options;
+  options.num_recipes = 5000;
+
+  for (size_t generations : {50, 200, 800}) {
+    evolution::EvolutionConfig config;
+    config.target_recipes = generations;
+    config.recipe_size = 8;
+    config.mutations_per_copy = 3;
+    config.flavor_bias = bias;
+    auto cuisine = evolution::EvolveCuisine(world.registry(), pool, config,
+                                            recipe::Region::kItaly);
+    if (!cuisine.ok()) {
+      std::fprintf(stderr, "evolution failed: %s\n",
+                   cuisine.status().ToString().c_str());
+      return 1;
+    }
+    analysis::PairingCache cache(world.registry(),
+                                 cuisine->unique_ingredients());
+    auto cmp = analysis::CompareAgainstNullModel(
+        cache, *cuisine, world.registry(), analysis::NullModelKind::kRandom,
+        options);
+    if (!cmp.ok()) {
+      std::fprintf(stderr, "analysis failed\n");
+      return 1;
+    }
+    auto cum = analysis::CumulativePopularityShare(*cuisine);
+    double top10 = cum.size() >= 10 ? cum[9] : (cum.empty() ? 0 : cum.back());
+    std::printf("after %4zu recipes: N_s = %.3f, Z(random) = %+8.1f, "
+                "top-10 ingredients cover %.0f%% of uses → %s\n",
+                generations, cmp->real_mean, cmp->z_score, 100 * top10,
+                cmp->z_score > 2    ? "uniform pairing"
+                : cmp->z_score < -2 ? "contrasting pairing"
+                                    : "≈ random");
+  }
+  std::printf("\ntry: evolution_demo -8   (contrast-seeking evolution)\n");
+  return 0;
+}

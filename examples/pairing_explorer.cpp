@@ -1,0 +1,80 @@
+// Pairing explorer: the food-design application from the paper's abstract
+// ("generating novel flavor pairings"). Given an ingredient, ranks its
+// best and worst flavor partners across the whole registry by shared
+// compounds and Jaccard similarity.
+//
+// Usage: pairing_explorer [ingredient-name]   (default: "tomato")
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "analysis/report.h"
+#include "common/string_util.h"
+#include "datagen/world.h"
+
+int main(int argc, char** argv) {
+  using namespace culinary;  // NOLINT(build/namespaces)
+  std::string query = argc > 1 ? argv[1] : "tomato";
+
+  auto world_result = datagen::GenerateSmallWorld();
+  if (!world_result.ok()) {
+    std::fprintf(stderr, "generation failed\n");
+    return 1;
+  }
+  const datagen::SyntheticWorld& world = world_result.value();
+  const flavor::FlavorRegistry& reg = world.registry();
+
+  flavor::IngredientId id = reg.FindByName(query);
+  if (id == flavor::kInvalidIngredient) {
+    std::fprintf(stderr, "unknown ingredient '%s'\n", query.c_str());
+    return 1;
+  }
+  const flavor::Ingredient* target = reg.Find(id);
+  std::printf("ingredient: %s (category %s, %zu flavor molecules)\n\n",
+              target->name.c_str(),
+              std::string(flavor::CategoryToString(target->category)).c_str(),
+              target->profile.size());
+
+  struct Partner {
+    const flavor::Ingredient* ing;
+    size_t shared;
+    double jaccard;
+  };
+  std::vector<Partner> partners;
+  for (flavor::IngredientId other : reg.LiveIngredients()) {
+    if (other == id) continue;
+    const flavor::Ingredient* ing = reg.Find(other);
+    if (ing->profile.empty()) continue;
+    partners.push_back({ing, target->profile.SharedCompounds(ing->profile),
+                        target->profile.Jaccard(ing->profile)});
+  }
+  std::sort(partners.begin(), partners.end(),
+            [](const Partner& a, const Partner& b) {
+              if (a.shared != b.shared) return a.shared > b.shared;
+              return a.jaccard > b.jaccard;
+            });
+
+  analysis::TextTable best({"rank", "partner", "category", "shared", "jaccard"});
+  for (size_t i = 0; i < 10 && i < partners.size(); ++i) {
+    best.AddRow({std::to_string(i + 1), partners[i].ing->name,
+                 std::string(flavor::CategoryToString(partners[i].ing->category)),
+                 std::to_string(partners[i].shared),
+                 FormatDouble(partners[i].jaccard, 3)});
+  }
+  std::printf("strongest flavor partners (uniform-pairing suggestions):\n%s\n",
+              best.ToString().c_str());
+
+  analysis::TextTable worst({"rank", "partner", "category", "shared", "jaccard"});
+  size_t shown = 0;
+  for (size_t i = partners.size(); i > 0 && shown < 10; --i) {
+    const Partner& p = partners[i - 1];
+    worst.AddRow({std::to_string(++shown), p.ing->name,
+                  std::string(flavor::CategoryToString(p.ing->category)),
+                  std::to_string(p.shared), FormatDouble(p.jaccard, 3)});
+  }
+  std::printf("most contrasting partners (contrast-pairing suggestions):\n%s",
+              worst.ToString().c_str());
+  return 0;
+}

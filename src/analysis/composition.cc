@@ -1,0 +1,109 @@
+#include "analysis/composition.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace culinary::analysis {
+
+std::array<double, flavor::kNumCategories> CategoryComposition(
+    const recipe::Cuisine& cuisine, const flavor::FlavorRegistry& registry) {
+  std::array<double, flavor::kNumCategories> shares{};
+  int64_t total = 0;
+  for (const recipe::Recipe& r : cuisine.recipes()) {
+    for (flavor::IngredientId id : r.ingredients) {
+      const flavor::Ingredient* ing = registry.Find(id);
+      if (ing == nullptr) continue;
+      shares[static_cast<size_t>(ing->category)] += 1.0;
+      ++total;
+    }
+  }
+  if (total > 0) {
+    for (double& s : shares) s /= static_cast<double>(total);
+  }
+  return shares;
+}
+
+std::vector<double> RecipeSizePmf(const recipe::Cuisine& cuisine) {
+  return cuisine.size_histogram().DensePmf();
+}
+
+std::vector<double> RecipeSizeCdf(const recipe::Cuisine& cuisine) {
+  std::vector<double> pmf = RecipeSizePmf(cuisine);
+  double acc = 0.0;
+  for (double& p : pmf) {
+    acc += p;
+    p = acc;
+  }
+  return pmf;
+}
+
+std::vector<double> NormalizedPopularity(const recipe::Cuisine& cuisine) {
+  auto ranked = cuisine.ByPopularity();
+  std::vector<double> out;
+  if (ranked.empty() || ranked[0].second <= 0) return out;
+  double top = static_cast<double>(ranked[0].second);
+  out.reserve(ranked.size());
+  for (const auto& [id, freq] : ranked) {
+    out.push_back(static_cast<double>(freq) / top);
+  }
+  return out;
+}
+
+std::vector<double> CumulativePopularityShare(const recipe::Cuisine& cuisine) {
+  auto ranked = cuisine.ByPopularity();
+  std::vector<double> out;
+  double total = 0.0;
+  for (const auto& [id, freq] : ranked) total += static_cast<double>(freq);
+  if (total <= 0.0) return out;
+  out.reserve(ranked.size());
+  double acc = 0.0;
+  for (const auto& [id, freq] : ranked) {
+    acc += static_cast<double>(freq);
+    out.push_back(acc / total);
+  }
+  return out;
+}
+
+std::pair<double, double> FitZipfMandelbrot(const recipe::Cuisine& cuisine) {
+  std::vector<double> pop = NormalizedPopularity(cuisine);
+  if (pop.size() < 3) return {0.0, 0.0};
+
+  double best_s = 0.0, best_q = 0.0;
+  double best_sse = std::numeric_limits<double>::infinity();
+  for (double q = 0.0; q <= 20.0; q += 0.5) {
+    // Least squares of log f = a - s log(r+q).
+    double sx = 0, sy = 0, sxx = 0, sxy = 0;
+    int64_t n = 0;
+    for (size_t r = 0; r < pop.size(); ++r) {
+      if (pop[r] <= 0.0) continue;
+      double x = std::log(static_cast<double>(r + 1) + q);
+      double y = std::log(pop[r]);
+      sx += x;
+      sy += y;
+      sxx += x * x;
+      sxy += x * y;
+      ++n;
+    }
+    if (n < 3) continue;
+    double denom = static_cast<double>(n) * sxx - sx * sx;
+    if (std::abs(denom) < 1e-12) continue;
+    double slope = (static_cast<double>(n) * sxy - sx * sy) / denom;
+    double intercept = (sy - slope * sx) / static_cast<double>(n);
+    // Sum of squared residuals.
+    double sse = 0.0;
+    for (size_t r = 0; r < pop.size(); ++r) {
+      if (pop[r] <= 0.0) continue;
+      double x = std::log(static_cast<double>(r + 1) + q);
+      double resid = std::log(pop[r]) - (intercept + slope * x);
+      sse += resid * resid;
+    }
+    if (sse < best_sse) {
+      best_sse = sse;
+      best_s = -slope;
+      best_q = q;
+    }
+  }
+  return {best_s, best_q};
+}
+
+}  // namespace culinary::analysis

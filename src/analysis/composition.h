@@ -1,0 +1,44 @@
+#ifndef CULINARYLAB_ANALYSIS_COMPOSITION_H_
+#define CULINARYLAB_ANALYSIS_COMPOSITION_H_
+
+#include <array>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "flavor/registry.h"
+#include "recipe/cuisine.h"
+
+namespace culinary::analysis {
+
+/// Share of each ingredient category in a cuisine's recipe compositions
+/// (Fig 2): the fraction of recipe–ingredient incidences ("uses") falling
+/// in each category. Entries sum to 1 for a non-empty cuisine.
+std::array<double, flavor::kNumCategories> CategoryComposition(
+    const recipe::Cuisine& cuisine, const flavor::FlavorRegistry& registry);
+
+/// Recipe-size series (Fig 3a): P(n_R = s) for s = 0..max observed size.
+std::vector<double> RecipeSizePmf(const recipe::Cuisine& cuisine);
+
+/// Cumulative recipe-size series (Fig 3a inset): P(n_R <= s).
+std::vector<double> RecipeSizeCdf(const recipe::Cuisine& cuisine);
+
+/// Ingredient popularity curve (Fig 3b): frequency of use of the rank-r
+/// ingredient normalized by the most popular ingredient's frequency,
+/// for r = 1..#ingredients (element 0 is rank 1 and equals 1.0).
+std::vector<double> NormalizedPopularity(const recipe::Cuisine& cuisine);
+
+/// Cumulative popularity share (Fig 3b inset): fraction of all ingredient
+/// uses covered by the top r ingredients, r = 1..#ingredients.
+std::vector<double> CumulativePopularityShare(const recipe::Cuisine& cuisine);
+
+/// Fits the popularity curve to a Zipf–Mandelbrot form
+///   f(r) ∝ 1/(r + q)^s
+/// by least squares on log f vs log(r + q) over a small grid of q values.
+/// Returns (s, q). Used to verify the "exceptionally consistent scaling"
+/// claim across regions.
+std::pair<double, double> FitZipfMandelbrot(const recipe::Cuisine& cuisine);
+
+}  // namespace culinary::analysis
+
+#endif  // CULINARYLAB_ANALYSIS_COMPOSITION_H_

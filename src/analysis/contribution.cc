@@ -1,0 +1,118 @@
+#include "analysis/contribution.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace culinary::analysis {
+
+namespace {
+
+/// Base sum of N_s over pairable recipes and their count.
+struct BaseScores {
+  std::vector<double> per_recipe;  ///< N_s per recipe (0 for unpairable)
+  double sum = 0.0;
+  int64_t count = 0;
+};
+
+BaseScores ComputeBase(const PairingCache& cache,
+                       const recipe::Cuisine& cuisine) {
+  BaseScores base;
+  base.per_recipe.reserve(cuisine.num_recipes());
+  for (const recipe::Recipe& r : cuisine.recipes()) {
+    double score = 0.0;
+    if (r.IsPairable()) {
+      score = RecipePairingScore(cache, r.ingredients);
+      base.sum += score;
+      ++base.count;
+    }
+    base.per_recipe.push_back(score);
+  }
+  return base;
+}
+
+double MeanWithoutGivenBase(const PairingCache& cache,
+                            const recipe::Cuisine& cuisine,
+                            const BaseScores& base, flavor::IngredientId id) {
+  double sum = base.sum;
+  int64_t count = base.count;
+  const std::vector<recipe::Recipe>& recipes = cuisine.recipes();
+  for (size_t i = 0; i < recipes.size(); ++i) {
+    const recipe::Recipe& r = recipes[i];
+    if (!r.IsPairable()) continue;
+    if (!std::binary_search(r.ingredients.begin(), r.ingredients.end(), id)) {
+      continue;
+    }
+    // Remove the recipe's old score, add the reduced recipe's score.
+    sum -= base.per_recipe[i];
+    --count;
+    std::vector<flavor::IngredientId> reduced;
+    reduced.reserve(r.ingredients.size() - 1);
+    for (flavor::IngredientId x : r.ingredients) {
+      if (x != id) reduced.push_back(x);
+    }
+    if (reduced.size() >= 2) {
+      sum += RecipePairingScore(cache, reduced);
+      ++count;
+    }
+  }
+  if (count <= 0) return 0.0;
+  return sum / static_cast<double>(count);
+}
+
+}  // namespace
+
+double CuisineMeanPairingWithout(const PairingCache& cache,
+                                 const recipe::Cuisine& cuisine,
+                                 flavor::IngredientId id) {
+  BaseScores base = ComputeBase(cache, cuisine);
+  return MeanWithoutGivenBase(cache, cuisine, base, id);
+}
+
+double IngredientChi(const PairingCache& cache, const recipe::Cuisine& cuisine,
+                     flavor::IngredientId id) {
+  BaseScores base = ComputeBase(cache, cuisine);
+  if (base.count == 0) return 0.0;
+  double mean = base.sum / static_cast<double>(base.count);
+  if (mean == 0.0) return 0.0;
+  double without = MeanWithoutGivenBase(cache, cuisine, base, id);
+  return 100.0 * (mean - without) / std::abs(mean);
+}
+
+std::vector<IngredientContribution> AllContributions(
+    const PairingCache& cache, const recipe::Cuisine& cuisine) {
+  std::vector<IngredientContribution> out;
+  BaseScores base = ComputeBase(cache, cuisine);
+  if (base.count == 0) return out;
+  double mean = base.sum / static_cast<double>(base.count);
+  if (mean == 0.0) return out;
+  out.reserve(cuisine.unique_ingredients().size());
+  for (flavor::IngredientId id : cuisine.unique_ingredients()) {
+    double without = MeanWithoutGivenBase(cache, cuisine, base, id);
+    out.push_back({id, 100.0 * (mean - without) / std::abs(mean)});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const IngredientContribution& a, const IngredientContribution& b) {
+              if (a.chi != b.chi) return a.chi > b.chi;
+              return a.id < b.id;
+            });
+  return out;
+}
+
+std::vector<IngredientContribution> TopContributors(
+    const PairingCache& cache, const recipe::Cuisine& cuisine, size_t k,
+    bool positive) {
+  std::vector<IngredientContribution> all = AllContributions(cache, cuisine);
+  std::vector<IngredientContribution> out;
+  if (positive) {
+    for (size_t i = 0; i < all.size() && out.size() < k; ++i) {
+      if (all[i].chi > 0) out.push_back(all[i]);
+    }
+  } else {
+    for (size_t i = all.size(); i > 0 && out.size() < k; --i) {
+      if (all[i - 1].chi < 0) out.push_back(all[i - 1]);
+    }
+  }
+  return out;
+}
+
+}  // namespace culinary::analysis

@@ -1,0 +1,49 @@
+#ifndef CULINARYLAB_ANALYSIS_CONTRIBUTION_H_
+#define CULINARYLAB_ANALYSIS_CONTRIBUTION_H_
+
+#include <vector>
+
+#include "analysis/pairing.h"
+#include "flavor/registry.h"
+#include "recipe/cuisine.h"
+
+namespace culinary::analysis {
+
+/// The contribution χ_i of one ingredient to a cuisine's flavor sharing
+/// (paper §IV.C): the percentage change in the cuisine's food-pairing score
+/// in response to removing the ingredient from the cuisine.
+///
+/// Sign convention: χ_i > 0 means the ingredient *raises* N̄_s (removing it
+/// lowers the score); χ_i < 0 means it pulls N̄_s down.
+struct IngredientContribution {
+  flavor::IngredientId id = flavor::kInvalidIngredient;
+  /// χ_i = 100 · (N̄_s − N̄_s^{(−i)}) / |N̄_s|.
+  double chi = 0.0;
+};
+
+/// N̄_s of the cuisine with ingredient `id` removed from every recipe.
+/// Recipes reduced below two ingredients stop contributing to the average
+/// (they can no longer form pairs). Computed incrementally: only recipes
+/// containing `id` are re-scored.
+double CuisineMeanPairingWithout(const PairingCache& cache,
+                                 const recipe::Cuisine& cuisine,
+                                 flavor::IngredientId id);
+
+/// χ for one ingredient.
+double IngredientChi(const PairingCache& cache, const recipe::Cuisine& cuisine,
+                     flavor::IngredientId id);
+
+/// χ for every ingredient of the cuisine, sorted by descending χ.
+std::vector<IngredientContribution> AllContributions(
+    const PairingCache& cache, const recipe::Cuisine& cuisine);
+
+/// Top `k` contributors. With `positive` true, the ingredients raising N̄_s
+/// the most (Fig 5(a): cuisines with uniform pairing); otherwise the ones
+/// lowering it the most (Fig 5(b): contrasting cuisines).
+std::vector<IngredientContribution> TopContributors(
+    const PairingCache& cache, const recipe::Cuisine& cuisine, size_t k,
+    bool positive);
+
+}  // namespace culinary::analysis
+
+#endif  // CULINARYLAB_ANALYSIS_CONTRIBUTION_H_

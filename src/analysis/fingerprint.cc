@@ -1,0 +1,116 @@
+#include "analysis/fingerprint.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <unordered_set>
+
+namespace culinary::analysis {
+
+CuisineClassifier::CuisineClassifier(
+    const std::vector<recipe::Cuisine>& cuisines, double smoothing)
+    : smoothing_(smoothing > 0.0 ? smoothing : 1.0) {
+  std::unordered_set<flavor::IngredientId> universe;
+  int64_t total_recipes = 0;
+  for (const recipe::Cuisine& c : cuisines) {
+    if (c.num_recipes() == 0) continue;
+    CuisineModel model;
+    model.region = c.region();
+    model.frequency = c.frequency();
+    model.num_recipes = static_cast<int64_t>(c.num_recipes());
+    model.recipes = c.recipes();
+    total_recipes += model.num_recipes;
+    for (flavor::IngredientId id : c.unique_ingredients()) {
+      universe.insert(id);
+    }
+    cuisines_.push_back(std::move(model));
+  }
+  universe_size_ = std::max<size_t>(universe.size(), 1);
+  for (CuisineModel& model : cuisines_) {
+    model.log_prior =
+        std::log(static_cast<double>(model.num_recipes) /
+                 static_cast<double>(std::max<int64_t>(total_recipes, 1)));
+  }
+}
+
+double CuisineClassifier::ScoreAgainst(
+    const CuisineModel& model,
+    const std::vector<flavor::IngredientId>& ingredients,
+    const recipe::Recipe* holdout) const {
+  int64_t num_recipes = model.num_recipes;
+  bool adjust = holdout != nullptr && holdout->region == model.region;
+  if (adjust) num_recipes = std::max<int64_t>(num_recipes - 1, 0);
+
+  double denom = static_cast<double>(num_recipes) +
+                 smoothing_ * static_cast<double>(universe_size_);
+  double score = model.log_prior;
+  for (flavor::IngredientId id : ingredients) {
+    auto it = model.frequency.find(id);
+    double count = it == model.frequency.end()
+                       ? 0.0
+                       : static_cast<double>(it->second);
+    if (adjust &&
+        std::binary_search(holdout->ingredients.begin(),
+                           holdout->ingredients.end(), id)) {
+      count = std::max(count - 1.0, 0.0);
+    }
+    score += std::log((count + smoothing_) / denom);
+  }
+  return score;
+}
+
+std::vector<std::pair<recipe::Region, double>> CuisineClassifier::Scores(
+    const std::vector<flavor::IngredientId>& ingredients) const {
+  std::vector<std::pair<recipe::Region, double>> out;
+  out.reserve(cuisines_.size());
+  for (const CuisineModel& model : cuisines_) {
+    out.emplace_back(model.region, ScoreAgainst(model, ingredients, nullptr));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.second > b.second; });
+  return out;
+}
+
+recipe::Region CuisineClassifier::Classify(
+    const std::vector<flavor::IngredientId>& ingredients) const {
+  auto scores = Scores(ingredients);
+  return scores.empty() ? recipe::Region::kWorld : scores.front().first;
+}
+
+recipe::Region CuisineClassifier::ClassifyLeaveOneOut(
+    const recipe::Recipe& r) const {
+  recipe::Region best = recipe::Region::kWorld;
+  double best_score = -std::numeric_limits<double>::infinity();
+  for (const CuisineModel& model : cuisines_) {
+    double score = ScoreAgainst(model, r.ingredients, &r);
+    if (score > best_score) {
+      best_score = score;
+      best = model.region;
+    }
+  }
+  return best;
+}
+
+CuisineClassifier::Evaluation CuisineClassifier::EvaluateLeaveOneOut(
+    size_t max_recipes_per_region) const {
+  Evaluation eval;
+  for (const CuisineModel& model : cuisines_) {
+    size_t n = std::min(max_recipes_per_region, model.recipes.size());
+    size_t correct = 0;
+    for (size_t i = 0; i < n; ++i) {
+      // Deterministic stratified stride over the cuisine's recipes.
+      size_t idx = model.recipes.size() * i / std::max<size_t>(n, 1);
+      if (ClassifyLeaveOneOut(model.recipes[idx]) == model.region) {
+        ++correct;
+      }
+    }
+    eval.total += n;
+    eval.correct += correct;
+    eval.per_region_accuracy.emplace_back(
+        model.region,
+        n == 0 ? 0.0 : static_cast<double>(correct) / static_cast<double>(n));
+  }
+  return eval;
+}
+
+}  // namespace culinary::analysis

@@ -1,0 +1,94 @@
+#ifndef CULINARYLAB_ANALYSIS_FINGERPRINT_H_
+#define CULINARYLAB_ANALYSIS_FINGERPRINT_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "flavor/ingredient.h"
+#include "recipe/cuisine.h"
+#include "recipe/recipe.h"
+#include "recipe/region.h"
+
+namespace culinary::analysis {
+
+/// A "culinary fingerprint" classifier: assigns a recipe (an ingredient
+/// set) to the regional cuisine whose signature ingredient-usage pattern
+/// it most plausibly came from.
+///
+/// The paper frames cuisines as having "signature ingredient combinations
+/// ... that characterize a cuisine" — its culinary fingerprint. This
+/// module operationalizes that as a naive-Bayes model over per-cuisine
+/// ingredient usage frequencies with Laplace smoothing:
+///
+///   score(R | C) = log P(C) + Σ_{i ∈ R} log (n_i(C) + α) / (N_C + α·V)
+///
+/// where n_i(C) is the number of C's recipes using ingredient i, N_C is
+/// C's recipe count, V the ingredient-universe size and α the smoothing
+/// constant.
+class CuisineClassifier {
+ public:
+  /// Builds the model from cuisines (empty cuisines are skipped).
+  /// `smoothing` must be positive.
+  explicit CuisineClassifier(const std::vector<recipe::Cuisine>& cuisines,
+                             double smoothing = 1.0);
+
+  /// Number of cuisines in the model.
+  size_t num_cuisines() const { return cuisines_.size(); }
+
+  /// Log-likelihood score per region for an ingredient set, best first.
+  std::vector<std::pair<recipe::Region, double>> Scores(
+      const std::vector<flavor::IngredientId>& ingredients) const;
+
+  /// Best region (kWorld when the model is empty).
+  recipe::Region Classify(
+      const std::vector<flavor::IngredientId>& ingredients) const;
+
+  /// Classifies `r` with its own contribution removed from its true
+  /// cuisine's counts (leave-one-out), eliminating training leakage.
+  recipe::Region ClassifyLeaveOneOut(const recipe::Recipe& r) const;
+
+  /// Leave-one-out evaluation summary.
+  struct Evaluation {
+    size_t total = 0;
+    size_t correct = 0;
+    /// accuracy per evaluated region, in evaluation order.
+    std::vector<std::pair<recipe::Region, double>> per_region_accuracy;
+
+    double accuracy() const {
+      return total == 0 ? 0.0
+                        : static_cast<double>(correct) /
+                              static_cast<double>(total);
+    }
+  };
+
+  /// Evaluates leave-one-out top-1 accuracy over up to
+  /// `max_recipes_per_region` recipes of every modeled cuisine.
+  Evaluation EvaluateLeaveOneOut(size_t max_recipes_per_region = 50) const;
+
+ private:
+  struct CuisineModel {
+    recipe::Region region = recipe::Region::kWorld;
+    std::unordered_map<flavor::IngredientId, int64_t> frequency;
+    int64_t num_recipes = 0;
+    double log_prior = 0.0;
+    /// Recipes kept for leave-one-out evaluation.
+    std::vector<recipe::Recipe> recipes;
+  };
+
+  /// Score of one ingredient set under one cuisine, with optional
+  /// leave-one-out adjustment (`holdout` non-null ⇒ subtract its counts).
+  double ScoreAgainst(const CuisineModel& model,
+                      const std::vector<flavor::IngredientId>& ingredients,
+                      const recipe::Recipe* holdout) const;
+
+  std::vector<CuisineModel> cuisines_;
+  double smoothing_;
+  size_t universe_size_ = 0;
+};
+
+}  // namespace culinary::analysis
+
+#endif  // CULINARYLAB_ANALYSIS_FINGERPRINT_H_

@@ -1,0 +1,128 @@
+#include "analysis/molecules.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "analysis/pairing.h"
+
+namespace culinary::analysis {
+
+namespace {
+
+/// Accumulates per-molecule counts weighted by ingredient multiplicity.
+std::unordered_map<flavor::MoleculeId, int64_t> CountMolecules(
+    const recipe::Cuisine& cuisine, const flavor::FlavorRegistry& registry,
+    bool per_use) {
+  std::unordered_map<flavor::MoleculeId, int64_t> counts;
+  if (per_use) {
+    for (const recipe::Recipe& r : cuisine.recipes()) {
+      for (flavor::IngredientId id : r.ingredients) {
+        const flavor::Ingredient* ing = registry.Find(id);
+        if (ing == nullptr) continue;
+        for (flavor::MoleculeId m : ing->profile.ids()) ++counts[m];
+      }
+    }
+  } else {
+    for (flavor::IngredientId id : cuisine.unique_ingredients()) {
+      const flavor::Ingredient* ing = registry.Find(id);
+      if (ing == nullptr) continue;
+      for (flavor::MoleculeId m : ing->profile.ids()) ++counts[m];
+    }
+  }
+  return counts;
+}
+
+std::vector<std::pair<flavor::MoleculeId, int64_t>> SortDescending(
+    const std::unordered_map<flavor::MoleculeId, int64_t>& counts) {
+  std::vector<std::pair<flavor::MoleculeId, int64_t>> out(counts.begin(),
+                                                          counts.end());
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  return out;
+}
+
+}  // namespace
+
+std::vector<std::pair<flavor::MoleculeId, int64_t>> MoleculeUsage(
+    const recipe::Cuisine& cuisine, const flavor::FlavorRegistry& registry) {
+  return SortDescending(CountMolecules(cuisine, registry, /*per_use=*/true));
+}
+
+std::vector<std::pair<flavor::MoleculeId, int64_t>> MoleculeBreadth(
+    const recipe::Cuisine& cuisine, const flavor::FlavorRegistry& registry) {
+  return SortDescending(CountMolecules(cuisine, registry, /*per_use=*/false));
+}
+
+culinary::Result<std::vector<SignatureMolecule>> TopSignatureMolecules(
+    const std::vector<recipe::Cuisine>& cuisines,
+    const flavor::FlavorRegistry& registry, size_t target, size_t k) {
+  if (target >= cuisines.size()) {
+    return culinary::Status::InvalidArgument("target index out of range");
+  }
+  if (cuisines.size() < 2) {
+    return culinary::Status::InvalidArgument(
+        "signature needs at least two cuisines");
+  }
+
+  // Usage share per molecule per cuisine.
+  auto share_map = [&](const recipe::Cuisine& c) {
+    auto counts = CountMolecules(c, registry, /*per_use=*/true);
+    int64_t total = 0;
+    for (const auto& [m, n] : counts) total += n;
+    std::unordered_map<flavor::MoleculeId, double> shares;
+    if (total > 0) {
+      for (const auto& [m, n] : counts) {
+        shares[m] = static_cast<double>(n) / static_cast<double>(total);
+      }
+    }
+    return shares;
+  };
+
+  auto mine = share_map(cuisines[target]);
+  if (mine.empty()) {
+    return culinary::Status::FailedPrecondition(
+        "target cuisine has no molecule uses");
+  }
+  std::vector<std::unordered_map<flavor::MoleculeId, double>> others;
+  for (size_t c = 0; c < cuisines.size(); ++c) {
+    if (c == target || cuisines[c].num_recipes() == 0) continue;
+    others.push_back(share_map(cuisines[c]));
+  }
+
+  std::vector<SignatureMolecule> scored;
+  scored.reserve(mine.size());
+  for (const auto& [m, share] : mine) {
+    double other_sum = 0.0;
+    for (const auto& other : others) {
+      auto it = other.find(m);
+      if (it != other.end()) other_sum += it->second;
+    }
+    double other_mean =
+        others.empty() ? 0.0 : other_sum / static_cast<double>(others.size());
+    scored.push_back({m, share, share - other_mean});
+  }
+  std::sort(scored.begin(), scored.end(),
+            [](const SignatureMolecule& a, const SignatureMolecule& b) {
+              if (a.signature != b.signature) return a.signature > b.signature;
+              return a.id < b.id;
+            });
+  if (scored.size() > k) scored.resize(k);
+  return scored;
+}
+
+culinary::Histogram SharedCompoundSpectrum(
+    const recipe::Cuisine& cuisine, const flavor::FlavorRegistry& registry) {
+  culinary::Histogram spectrum;
+  PairingCache cache(registry, cuisine.unique_ingredients());
+  const size_t n = cache.num_ingredients();
+  for (size_t a = 0; a + 1 < n; ++a) {
+    for (size_t b = a + 1; b < n; ++b) {
+      spectrum.Add(static_cast<int64_t>(cache.SharedByDense(a, b)));
+    }
+  }
+  return spectrum;
+}
+
+}  // namespace culinary::analysis

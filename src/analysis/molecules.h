@@ -1,0 +1,56 @@
+#ifndef CULINARYLAB_ANALYSIS_MOLECULES_H_
+#define CULINARYLAB_ANALYSIS_MOLECULES_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "common/statistics.h"
+#include "flavor/registry.h"
+#include "recipe/cuisine.h"
+
+namespace culinary::analysis {
+
+/// Molecule-level analyses — the third level of the paper's framework
+/// ("flavor molecules, ingredients, and recipes are for a cuisine what
+/// letters, words, and sentences are for a language"). These operate on
+/// the molecules that reach recipes *through* ingredient profiles.
+
+/// How often each molecule occurs across a cuisine's recipes: a molecule
+/// counts once per (recipe, ingredient) use whose profile contains it.
+/// Returns (molecule id, count) sorted by descending count (ties by id).
+std::vector<std::pair<flavor::MoleculeId, int64_t>> MoleculeUsage(
+    const recipe::Cuisine& cuisine, const flavor::FlavorRegistry& registry);
+
+/// Molecule "breadth": the number of distinct ingredients (within the
+/// cuisine) whose profiles contain each molecule. Sorted descending.
+std::vector<std::pair<flavor::MoleculeId, int64_t>> MoleculeBreadth(
+    const recipe::Cuisine& cuisine, const flavor::FlavorRegistry& registry);
+
+/// Signature molecules of a cuisine: usage share within the cuisine minus
+/// the mean usage share across the other cuisines (the molecule-level
+/// analogue of ingredient authenticity).
+struct SignatureMolecule {
+  flavor::MoleculeId id = -1;
+  double share = 0.0;      ///< fraction of the cuisine's molecule uses
+  double signature = 0.0;  ///< share − mean share elsewhere
+};
+
+/// Top-`k` signature molecules of `cuisines[target]`. InvalidArgument for
+/// an out-of-range target or fewer than two cuisines; FailedPrecondition
+/// when the target cuisine has no molecule uses.
+culinary::Result<std::vector<SignatureMolecule>> TopSignatureMolecules(
+    const std::vector<recipe::Cuisine>& cuisines,
+    const flavor::FlavorRegistry& registry, size_t target, size_t k);
+
+/// Distribution of pairwise shared-compound counts |F_i ∩ F_j| over all
+/// ingredient pairs of the cuisine — the raw material of the food-pairing
+/// analysis. Useful for inspecting how overlap mass is distributed
+/// (many-zero vs broad overlap spectra).
+culinary::Histogram SharedCompoundSpectrum(
+    const recipe::Cuisine& cuisine, const flavor::FlavorRegistry& registry);
+
+}  // namespace culinary::analysis
+
+#endif  // CULINARYLAB_ANALYSIS_MOLECULES_H_

@@ -1,0 +1,230 @@
+#include "analysis/null_models.h"
+
+#include <algorithm>
+
+#include "common/statistics.h"
+
+namespace culinary::analysis {
+
+std::string_view NullModelKindToString(NullModelKind kind) {
+  switch (kind) {
+    case NullModelKind::kRandom:
+      return "Random";
+    case NullModelKind::kFrequency:
+      return "Frequency";
+    case NullModelKind::kCategory:
+      return "Category";
+    case NullModelKind::kFrequencyCategory:
+      return "Frequency+Category";
+  }
+  return "Unknown";
+}
+
+culinary::Result<NullModelSampler> NullModelSampler::Make(
+    NullModelKind kind, const recipe::Cuisine& cuisine,
+    const flavor::FlavorRegistry& registry) {
+  if (cuisine.num_recipes() == 0) {
+    return culinary::Status::FailedPrecondition("cuisine has no recipes");
+  }
+  const std::vector<flavor::IngredientId>& ingredients =
+      cuisine.unique_ingredients();
+  if (ingredients.size() < 2) {
+    return culinary::Status::FailedPrecondition(
+        "cuisine has fewer than two ingredients");
+  }
+
+  NullModelSampler s;
+  s.kind_ = kind;
+  s.num_ingredients_ = ingredients.size();
+
+  // Dense index per ingredient id — matches the order of
+  // cuisine.unique_ingredients(), which is the PairingCache convention.
+  std::unordered_map<flavor::IngredientId, int> dense;
+  for (size_t i = 0; i < ingredients.size(); ++i) {
+    dense[ingredients[i]] = static_cast<int>(i);
+  }
+
+  if (kind == NullModelKind::kRandom || kind == NullModelKind::kFrequency) {
+    // Empirical recipe-size distribution.
+    const culinary::Histogram& hist = cuisine.size_histogram();
+    std::vector<double> weights;
+    int64_t max_size = hist.max_value();
+    for (int64_t v = 0; v <= max_size; ++v) {
+      s.sizes_.push_back(v);
+      weights.push_back(static_cast<double>(hist.CountAt(v)));
+    }
+    s.size_sampler_.emplace(weights);
+    if (!s.size_sampler_->valid()) {
+      return culinary::Status::Internal("size sampler construction failed");
+    }
+  }
+
+  if (kind == NullModelKind::kFrequency) {
+    std::vector<double> freq(ingredients.size(), 0.0);
+    for (size_t i = 0; i < ingredients.size(); ++i) {
+      freq[i] = static_cast<double>(cuisine.FrequencyOf(ingredients[i]));
+    }
+    s.frequency_sampler_.emplace(freq);
+    if (!s.frequency_sampler_->valid()) {
+      return culinary::Status::Internal("frequency sampler construction failed");
+    }
+  }
+
+  if (kind == NullModelKind::kCategory ||
+      kind == NullModelKind::kFrequencyCategory) {
+    // Per-category pools over the cuisine's ingredient set.
+    s.category_pool_.assign(flavor::kNumCategories, {});
+    std::vector<std::vector<double>> pool_weights(flavor::kNumCategories);
+    for (size_t i = 0; i < ingredients.size(); ++i) {
+      const flavor::Ingredient* ing = registry.Find(ingredients[i]);
+      if (ing == nullptr) {
+        return culinary::Status::FailedPrecondition(
+            "ingredient id " + std::to_string(ingredients[i]) +
+            " unknown to registry");
+      }
+      int cat = static_cast<int>(ing->category);
+      s.category_pool_[cat].push_back(static_cast<int>(i));
+      pool_weights[cat].push_back(
+          static_cast<double>(cuisine.FrequencyOf(ingredients[i])));
+    }
+    s.category_sampler_.assign(flavor::kNumCategories, std::nullopt);
+    if (kind == NullModelKind::kFrequencyCategory) {
+      for (int c = 0; c < flavor::kNumCategories; ++c) {
+        if (!pool_weights[c].empty()) {
+          s.category_sampler_[c].emplace(pool_weights[c]);
+        }
+      }
+    }
+    // Category slots of every real recipe.
+    s.recipe_category_slots_.reserve(cuisine.num_recipes());
+    for (const recipe::Recipe& r : cuisine.recipes()) {
+      std::vector<int> slots;
+      slots.reserve(r.ingredients.size());
+      for (flavor::IngredientId id : r.ingredients) {
+        const flavor::Ingredient* ing = registry.Find(id);
+        if (ing != nullptr) slots.push_back(static_cast<int>(ing->category));
+      }
+      if (!slots.empty()) s.recipe_category_slots_.push_back(std::move(slots));
+    }
+    if (s.recipe_category_slots_.empty()) {
+      return culinary::Status::FailedPrecondition(
+          "no usable recipes for category model");
+    }
+  }
+  return s;
+}
+
+void NullModelSampler::SampleDistinct(const culinary::AliasSampler& sampler,
+                                      size_t count, culinary::Rng& rng,
+                                      std::vector<int>& out) const {
+  // Rejection sampling; recipe sizes (<~30) are far below the ingredient
+  // count (hundreds), so collisions are rare. A retry cap guards degenerate
+  // weight vectors (e.g. one dominant ingredient).
+  const size_t max_attempts = 200 * count + 1000;
+  size_t attempts = 0;
+  while (out.size() < count && attempts < max_attempts) {
+    ++attempts;
+    int candidate = static_cast<int>(sampler.Sample(rng));
+    if (std::find(out.begin(), out.end(), candidate) == out.end()) {
+      out.push_back(candidate);
+    }
+  }
+}
+
+std::vector<int> NullModelSampler::SampleRecipe(culinary::Rng& rng) const {
+  std::vector<int> out;
+  switch (kind_) {
+    case NullModelKind::kRandom: {
+      size_t size = static_cast<size_t>(sizes_[size_sampler_->Sample(rng)]);
+      size = std::min(size, num_ingredients_);
+      std::vector<size_t> picks =
+          rng.SampleWithoutReplacement(num_ingredients_, size);
+      out.reserve(picks.size());
+      for (size_t p : picks) out.push_back(static_cast<int>(p));
+      break;
+    }
+    case NullModelKind::kFrequency: {
+      size_t size = static_cast<size_t>(sizes_[size_sampler_->Sample(rng)]);
+      size = std::min(size, num_ingredients_);
+      out.reserve(size);
+      SampleDistinct(*frequency_sampler_, size, rng, out);
+      break;
+    }
+    case NullModelKind::kCategory:
+    case NullModelKind::kFrequencyCategory: {
+      const std::vector<int>& slots = recipe_category_slots_[static_cast<size_t>(
+          rng.NextBounded(recipe_category_slots_.size()))];
+      out.reserve(slots.size());
+      for (int cat : slots) {
+        const std::vector<int>& pool = category_pool_[static_cast<size_t>(cat)];
+        if (pool.empty()) continue;
+        // Draw until distinct or the pool is plausibly exhausted.
+        int candidate = -1;
+        for (int attempt = 0; attempt < 64; ++attempt) {
+          if (kind_ == NullModelKind::kFrequencyCategory &&
+              category_sampler_[static_cast<size_t>(cat)].has_value()) {
+            candidate = pool[category_sampler_[static_cast<size_t>(cat)]->Sample(rng)];
+          } else {
+            candidate = pool[static_cast<size_t>(rng.NextBounded(pool.size()))];
+          }
+          if (std::find(out.begin(), out.end(), candidate) == out.end()) break;
+          candidate = -1;
+        }
+        if (candidate >= 0) out.push_back(candidate);
+      }
+      break;
+    }
+  }
+  return out;
+}
+
+culinary::Result<FoodPairingResult> CompareAgainstNullModel(
+    const PairingCache& cache, const recipe::Cuisine& cuisine,
+    const flavor::FlavorRegistry& registry, NullModelKind kind,
+    const NullModelOptions& options) {
+  if (options.num_recipes == 0) {
+    return culinary::Status::InvalidArgument("num_recipes must be positive");
+  }
+  CULINARY_ASSIGN_OR_RETURN(NullModelSampler sampler,
+                            NullModelSampler::Make(kind, cuisine, registry));
+  culinary::Rng rng(options.seed ^
+                    (static_cast<uint64_t>(kind) << 32) ^
+                    static_cast<uint64_t>(cuisine.region()));
+  culinary::RunningStats null_stats;
+  for (size_t i = 0; i < options.num_recipes; ++i) {
+    std::vector<int> dense = sampler.SampleRecipe(rng);
+    if (dense.size() < 2) continue;
+    null_stats.Add(RecipePairingScoreDense(cache, dense));
+  }
+  if (null_stats.count() == 0) {
+    return culinary::Status::FailedPrecondition(
+        "null model produced no pairable recipes");
+  }
+
+  FoodPairingResult result;
+  result.kind = kind;
+  result.real_mean = CuisineMeanPairing(cache, cuisine);
+  result.null_mean = null_stats.mean();
+  result.null_stddev = null_stats.stddev();
+  result.null_count = null_stats.count();
+  result.z_score = culinary::ZScore(result.real_mean, result.null_mean,
+                                    result.null_stddev, result.null_count);
+  return result;
+}
+
+culinary::Result<std::vector<FoodPairingResult>> CompareAgainstAllModels(
+    const PairingCache& cache, const recipe::Cuisine& cuisine,
+    const flavor::FlavorRegistry& registry, const NullModelOptions& options) {
+  std::vector<FoodPairingResult> results;
+  for (NullModelKind kind :
+       {NullModelKind::kRandom, NullModelKind::kFrequency,
+        NullModelKind::kCategory, NullModelKind::kFrequencyCategory}) {
+    CULINARY_ASSIGN_OR_RETURN(
+        FoodPairingResult r,
+        CompareAgainstNullModel(cache, cuisine, registry, kind, options));
+    results.push_back(r);
+  }
+  return results;
+}
+
+}  // namespace culinary::analysis

@@ -1,0 +1,120 @@
+#ifndef CULINARYLAB_ANALYSIS_NULL_MODELS_H_
+#define CULINARYLAB_ANALYSIS_NULL_MODELS_H_
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "analysis/pairing.h"
+#include "common/random.h"
+#include "common/result.h"
+#include "common/statistics.h"
+#include "flavor/registry.h"
+#include "recipe/cuisine.h"
+
+namespace culinary::analysis {
+
+/// The four randomized-cuisine models of paper §IV.B. All preserve the
+/// cuisine's exact ingredient set and its recipe-size distribution.
+enum class NullModelKind : int {
+  /// Ingredients chosen uniformly from the cuisine's ingredient set.
+  kRandom = 0,
+  /// Ingredients chosen with probability proportional to their empirical
+  /// frequency of use in the cuisine.
+  kFrequency = 1,
+  /// The category multiset of a (uniformly sampled) real recipe is kept;
+  /// each slot is filled uniformly from that category's ingredients.
+  kCategory = 2,
+  /// Category multiset kept; each slot filled from its category with
+  /// frequency-proportional probability.
+  kFrequencyCategory = 3,
+};
+
+/// Display name ("Random", "Frequency", "Category", "Frequency+Category").
+std::string_view NullModelKindToString(NullModelKind kind);
+
+/// Options for null-model generation.
+struct NullModelOptions {
+  /// Number of randomized recipes ("100,000 recipes were generated for the
+  /// random control and models").
+  size_t num_recipes = 100000;
+  /// PRNG seed; fixed default for reproducible benches.
+  uint64_t seed = 0xC0FFEE;
+};
+
+/// Draws randomized recipes from one null model of one cuisine.
+///
+/// Construction precomputes the samplers (recipe-size alias table,
+/// frequency alias table, per-category pools); each `SampleRecipe` is then
+/// O(recipe size) expected.
+class NullModelSampler {
+ public:
+  /// Fails (FailedPrecondition) when the cuisine is degenerate: no recipes,
+  /// fewer than two ingredients, or — for category models — empty category
+  /// pools.
+  static culinary::Result<NullModelSampler> Make(
+      NullModelKind kind, const recipe::Cuisine& cuisine,
+      const flavor::FlavorRegistry& registry);
+
+  /// Draws one randomized recipe as dense indices into a `PairingCache`
+  /// built over `cuisine.unique_ingredients()` (which is exactly the index
+  /// space this sampler emits). Ingredients within one recipe are distinct.
+  std::vector<int> SampleRecipe(culinary::Rng& rng) const;
+
+  NullModelKind kind() const { return kind_; }
+
+ private:
+  NullModelSampler() = default;
+
+  /// Fills `out` with `count` distinct draws from `sampler` (alias table
+  /// over all ingredients), rejecting duplicates.
+  void SampleDistinct(const culinary::AliasSampler& sampler, size_t count,
+                      culinary::Rng& rng, std::vector<int>& out) const;
+
+  NullModelKind kind_ = NullModelKind::kRandom;
+  size_t num_ingredients_ = 0;
+
+  /// Sizes observed in the cuisine with their multiplicities.
+  std::vector<int64_t> sizes_;
+  std::optional<culinary::AliasSampler> size_sampler_;
+
+  /// Frequency-proportional sampler over all ingredients (dense indices).
+  std::optional<culinary::AliasSampler> frequency_sampler_;
+
+  /// For category models: each real recipe's slots as category indices, and
+  /// per-category ingredient pools (dense indices) with optional
+  /// frequency-weighted samplers.
+  std::vector<std::vector<int>> recipe_category_slots_;
+  std::vector<std::vector<int>> category_pool_;
+  std::vector<std::optional<culinary::AliasSampler>> category_sampler_;
+};
+
+/// Result of comparing a cuisine against one null model.
+struct FoodPairingResult {
+  NullModelKind kind = NullModelKind::kRandom;
+  double real_mean = 0.0;        ///< N̄_s of the actual cuisine
+  double null_mean = 0.0;        ///< N̄_s of the randomized cuisine
+  double null_stddev = 0.0;      ///< σ over randomized recipes
+  int64_t null_count = 0;        ///< number of randomized recipes
+  double z_score = 0.0;          ///< (real − null) / (σ/√N)
+};
+
+/// Generates `options.num_recipes` randomized recipes for (cuisine, kind),
+/// scores them against `cache` (which must be built over
+/// `cuisine.unique_ingredients()`), and returns the comparison with the
+/// cuisine's real N̄_s.
+culinary::Result<FoodPairingResult> CompareAgainstNullModel(
+    const PairingCache& cache, const recipe::Cuisine& cuisine,
+    const flavor::FlavorRegistry& registry, NullModelKind kind,
+    const NullModelOptions& options = {});
+
+/// Runs all four models. Per-model failures (degenerate cuisines) propagate.
+culinary::Result<std::vector<FoodPairingResult>> CompareAgainstAllModels(
+    const PairingCache& cache, const recipe::Cuisine& cuisine,
+    const flavor::FlavorRegistry& registry,
+    const NullModelOptions& options = {});
+
+}  // namespace culinary::analysis
+
+#endif  // CULINARYLAB_ANALYSIS_NULL_MODELS_H_

@@ -1,0 +1,98 @@
+#include "analysis/pairing.h"
+
+#include <utility>
+
+namespace culinary::analysis {
+
+PairingCache::PairingCache(
+    const flavor::FlavorRegistry& registry,
+    const std::vector<flavor::IngredientId>& ingredients)
+    : ids_(ingredients) {
+  const size_t n = ids_.size();
+  dense_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    dense_[ids_[i]] = static_cast<int>(i);
+  }
+  // Collect borrowed profiles once (empty profile for unknown ids).
+  static const flavor::FlavorProfile& kEmpty = *new flavor::FlavorProfile();
+  std::vector<const flavor::FlavorProfile*> profiles(n, &kEmpty);
+  for (size_t i = 0; i < n; ++i) {
+    const flavor::Ingredient* ing = registry.Find(ids_[i]);
+    if (ing != nullptr) profiles[i] = &ing->profile;
+  }
+  tri_.assign(n < 2 ? 0 : n * (n - 1) / 2, 0);
+  for (size_t a = 0; a + 1 < n; ++a) {
+    for (size_t b = a + 1; b < n; ++b) {
+      tri_[TriIndex(a, b)] =
+          static_cast<uint32_t>(profiles[a]->SharedCompounds(*profiles[b]));
+    }
+  }
+}
+
+size_t PairingCache::TriIndex(size_t a, size_t b) const {
+  // Requires a < b < n. Row-major strict upper triangle:
+  // offset(a) = a*n - a(a+1)/2, index = offset(a) + (b - a - 1).
+  const size_t n = ids_.size();
+  return a * n - a * (a + 1) / 2 + (b - a - 1);
+}
+
+int PairingCache::DenseIndex(flavor::IngredientId id) const {
+  auto it = dense_.find(id);
+  return it == dense_.end() ? -1 : it->second;
+}
+
+uint32_t PairingCache::SharedByDense(size_t a, size_t b) const {
+  if (a == b) return 0;
+  if (a > b) std::swap(a, b);
+  return tri_[TriIndex(a, b)];
+}
+
+uint32_t PairingCache::Shared(flavor::IngredientId a,
+                              flavor::IngredientId b) const {
+  int da = DenseIndex(a);
+  int db = DenseIndex(b);
+  if (da < 0 || db < 0 || da == db) return 0;
+  return SharedByDense(static_cast<size_t>(da), static_cast<size_t>(db));
+}
+
+double RecipePairingScoreDense(const PairingCache& cache,
+                               const std::vector<int>& dense_ids) {
+  const size_t n = dense_ids.size();
+  if (n < 2) return 0.0;
+  uint64_t total = 0;
+  for (size_t i = 0; i + 1 < n; ++i) {
+    if (dense_ids[i] < 0) continue;
+    for (size_t j = i + 1; j < n; ++j) {
+      if (dense_ids[j] < 0) continue;
+      total += cache.SharedByDense(static_cast<size_t>(dense_ids[i]),
+                                   static_cast<size_t>(dense_ids[j]));
+    }
+  }
+  return 2.0 * static_cast<double>(total) /
+         (static_cast<double>(n) * static_cast<double>(n - 1));
+}
+
+double RecipePairingScore(const PairingCache& cache,
+                          const std::vector<flavor::IngredientId>& ids) {
+  std::vector<int> dense;
+  dense.reserve(ids.size());
+  for (flavor::IngredientId id : ids) dense.push_back(cache.DenseIndex(id));
+  return RecipePairingScoreDense(cache, dense);
+}
+
+culinary::RunningStats CuisinePairingStats(const PairingCache& cache,
+                                           const recipe::Cuisine& cuisine) {
+  culinary::RunningStats stats;
+  for (const recipe::Recipe& r : cuisine.recipes()) {
+    if (!r.IsPairable()) continue;
+    stats.Add(RecipePairingScore(cache, r.ingredients));
+  }
+  return stats;
+}
+
+double CuisineMeanPairing(const PairingCache& cache,
+                          const recipe::Cuisine& cuisine) {
+  return CuisinePairingStats(cache, cuisine).mean();
+}
+
+}  // namespace culinary::analysis

@@ -1,0 +1,74 @@
+#ifndef CULINARYLAB_ANALYSIS_PAIRING_H_
+#define CULINARYLAB_ANALYSIS_PAIRING_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/statistics.h"
+#include "flavor/registry.h"
+#include "recipe/cuisine.h"
+
+namespace culinary::analysis {
+
+/// Memoised pairwise shared-compound counts for a fixed ingredient set.
+///
+/// The food-pairing score N_s(R) needs |F_i ∩ F_j| for every ingredient
+/// pair of every recipe — and the null models need it again for 100,000
+/// synthetic recipes per model. The cache maps the cuisine's ingredient ids
+/// onto dense indices [0, n) and stores the strict upper triangle of the
+/// n×n shared-compound matrix, making each lookup O(1).
+class PairingCache {
+ public:
+  /// Builds the cache for `ingredients` (typically
+  /// `cuisine.unique_ingredients()`), resolving profiles via `registry`.
+  /// Ids unknown to the registry get empty profiles.
+  PairingCache(const flavor::FlavorRegistry& registry,
+               const std::vector<flavor::IngredientId>& ingredients);
+
+  /// Number of ingredients covered.
+  size_t num_ingredients() const { return ids_.size(); }
+
+  /// Dense index of `id`, or -1 when the cache does not cover it.
+  int DenseIndex(flavor::IngredientId id) const;
+
+  /// Ingredient id at dense index `i`.
+  flavor::IngredientId IdAt(size_t i) const { return ids_[i]; }
+
+  /// |F_a ∩ F_b| by dense indices (a != b; symmetric).
+  uint32_t SharedByDense(size_t a, size_t b) const;
+
+  /// |F_a ∩ F_b| by ingredient id; 0 when either id is uncovered.
+  uint32_t Shared(flavor::IngredientId a, flavor::IngredientId b) const;
+
+ private:
+  size_t TriIndex(size_t a, size_t b) const;
+
+  std::vector<flavor::IngredientId> ids_;
+  std::unordered_map<flavor::IngredientId, int> dense_;
+  std::vector<uint32_t> tri_;  ///< strict upper triangle, row-major
+};
+
+/// N_s(R) for a recipe given as dense indices into `cache`:
+///   N_s = 2 / (n (n-1)) * Σ_{i<j} |F_i ∩ F_j|.
+/// Returns 0 for recipes with fewer than two ingredients.
+double RecipePairingScoreDense(const PairingCache& cache,
+                               const std::vector<int>& dense_ids);
+
+/// N_s(R) for a recipe given as ingredient ids (ids not covered by the
+/// cache contribute empty profiles but still count towards n).
+double RecipePairingScore(const PairingCache& cache,
+                          const std::vector<flavor::IngredientId>& ids);
+
+/// Distribution of N_s over the pairable recipes of `cuisine`; the mean is
+/// the paper's average flavor sharing N̄_s of the cuisine.
+culinary::RunningStats CuisinePairingStats(const PairingCache& cache,
+                                           const recipe::Cuisine& cuisine);
+
+/// Convenience: N̄_s of a cuisine.
+double CuisineMeanPairing(const PairingCache& cache,
+                          const recipe::Cuisine& cuisine);
+
+}  // namespace culinary::analysis
+
+#endif  // CULINARYLAB_ANALYSIS_PAIRING_H_

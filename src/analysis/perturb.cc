@@ -1,0 +1,44 @@
+#include "analysis/perturb.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace culinary::analysis {
+
+recipe::Cuisine SubsampleCuisine(const recipe::Cuisine& cuisine, double keep,
+                                 culinary::Rng& rng) {
+  keep = std::clamp(keep, 0.0, 1.0);
+  std::vector<recipe::Recipe> kept;
+  for (const recipe::Recipe& r : cuisine.recipes()) {
+    if (rng.NextBernoulli(keep)) kept.push_back(r);
+  }
+  return recipe::Cuisine(cuisine.region(), std::move(kept));
+}
+
+flavor::FlavorRegistry DiluteProfiles(const flavor::FlavorRegistry& registry,
+                                      double drop, culinary::Rng& rng) {
+  drop = std::clamp(drop, 0.0, 1.0);
+  flavor::FlavorRegistry out;
+  for (size_t m = 0; m < registry.num_molecules(); ++m) {
+    auto mol = registry.GetMolecule(static_cast<flavor::MoleculeId>(m));
+    if (mol.ok()) {
+      out.AddMolecule(mol->name, mol->descriptors).status();
+    }
+  }
+  // RestoreIngredient preserves ids, tombstones and metadata exactly.
+  for (size_t i = 0; i < registry.num_ingredient_slots(); ++i) {
+    auto ing = registry.GetIngredient(static_cast<flavor::IngredientId>(i),
+                                      /*include_removed=*/true);
+    if (!ing.ok()) continue;
+    flavor::Ingredient copy = *ing;
+    std::vector<flavor::MoleculeId> kept;
+    for (flavor::MoleculeId mid : copy.profile.ids()) {
+      if (!rng.NextBernoulli(drop)) kept.push_back(mid);
+    }
+    copy.profile = flavor::FlavorProfile(std::move(kept));
+    out.RestoreIngredient(copy).ToString();
+  }
+  return out;
+}
+
+}  // namespace culinary::analysis

@@ -1,0 +1,30 @@
+#ifndef CULINARYLAB_ANALYSIS_PERTURB_H_
+#define CULINARYLAB_ANALYSIS_PERTURB_H_
+
+#include "common/random.h"
+#include "flavor/registry.h"
+#include "recipe/cuisine.h"
+
+namespace culinary::analysis {
+
+/// Data-perturbation operators answering the paper's robustness question
+/// ("How robust are the patterns to changes in recipes data and flavor
+/// profiles?"). Used by `bench_ablation_robustness` and available as
+/// library primitives for sensitivity studies.
+
+/// A copy of `cuisine` keeping each recipe independently with probability
+/// `keep` (clamped to [0, 1]).
+recipe::Cuisine SubsampleCuisine(const recipe::Cuisine& cuisine, double keep,
+                                 culinary::Rng& rng);
+
+/// A structural copy of `registry` whose ingredient profiles lose each
+/// molecule independently with probability `drop` (clamped to [0, 1]).
+/// Molecule ids, ingredient ids (including tombstone gaps), names,
+/// synonyms, kinds and constituents are preserved exactly, so recipes and
+/// caches built against the original resolve identically.
+flavor::FlavorRegistry DiluteProfiles(const flavor::FlavorRegistry& registry,
+                                      double drop, culinary::Rng& rng);
+
+}  // namespace culinary::analysis
+
+#endif  // CULINARYLAB_ANALYSIS_PERTURB_H_

@@ -1,0 +1,65 @@
+#include "analysis/report.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace culinary::analysis {
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TextTable::AddRow(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::ToString() const {
+  std::vector<size_t> widths(headers_.size(), 0);
+  for (size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::string out;
+  for (size_t c = 0; c < headers_.size(); ++c) {
+    out += culinary::PadRight(headers_[c], widths[c]);
+    out += (c + 1 < headers_.size()) ? "  " : "\n";
+  }
+  size_t total = 0;
+  for (size_t w : widths) total += w;
+  total += 2 * (widths.size() - 1);
+  out.append(total, '-');
+  out.push_back('\n');
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      out += culinary::PadRight(row[c], widths[c]);
+      out += (c + 1 < row.size()) ? "  " : "\n";
+    }
+  }
+  return out;
+}
+
+std::string RenderSeries(const std::string& x_label, const std::string& y_label,
+                         const std::vector<double>& ys, size_t first_x,
+                         bool with_bars) {
+  double max_y = 0.0;
+  for (double y : ys) max_y = std::max(max_y, y);
+  std::string out = culinary::PadRight(x_label, 8) + "  " +
+                    culinary::PadRight(y_label, 10) + "\n";
+  for (size_t i = 0; i < ys.size(); ++i) {
+    out += culinary::PadRight(std::to_string(first_x + i), 8);
+    out += "  ";
+    out += culinary::PadRight(culinary::FormatDouble(ys[i], 4), 10);
+    if (with_bars && max_y > 0.0) {
+      size_t bar = static_cast<size_t>(40.0 * ys[i] / max_y + 0.5);
+      out += "  ";
+      out.append(bar, '#');
+    }
+    out.push_back('\n');
+  }
+  return out;
+}
+
+}  // namespace culinary::analysis

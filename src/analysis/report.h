@@ -1,0 +1,38 @@
+#ifndef CULINARYLAB_ANALYSIS_REPORT_H_
+#define CULINARYLAB_ANALYSIS_REPORT_H_
+
+#include <string>
+#include <vector>
+
+namespace culinary::analysis {
+
+/// Minimal aligned-text table renderer used by the experiment binaries to
+/// print the paper's tables and figure series as plain text.
+class TextTable {
+ public:
+  /// Column headers.
+  explicit TextTable(std::vector<std::string> headers);
+
+  /// Appends one row; short rows are padded with empty cells.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Number of data rows.
+  size_t num_rows() const { return rows_.size(); }
+
+  /// Renders with space-aligned columns and a dashed header rule.
+  std::string ToString() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Renders an (x, y) series as a fixed-width two-column block, optionally
+/// with a unicode bar sketch for quick visual inspection in terminal output.
+std::string RenderSeries(const std::string& x_label, const std::string& y_label,
+                         const std::vector<double>& ys, size_t first_x = 0,
+                         bool with_bars = true);
+
+}  // namespace culinary::analysis
+
+#endif  // CULINARYLAB_ANALYSIS_REPORT_H_

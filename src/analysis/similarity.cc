@@ -1,0 +1,91 @@
+#include "analysis/similarity.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace culinary::analysis {
+
+double CuisineIngredientJaccard(const recipe::Cuisine& a,
+                                const recipe::Cuisine& b) {
+  const auto& xs = a.unique_ingredients();  // both sorted ascending
+  const auto& ys = b.unique_ingredients();
+  if (xs.empty() && ys.empty()) return 0.0;
+  size_t inter = 0;
+  size_t i = 0, j = 0;
+  while (i < xs.size() && j < ys.size()) {
+    if (xs[i] < ys[j]) {
+      ++i;
+    } else if (ys[j] < xs[i]) {
+      ++j;
+    } else {
+      ++inter;
+      ++i;
+      ++j;
+    }
+  }
+  size_t uni = xs.size() + ys.size() - inter;
+  return static_cast<double>(inter) / static_cast<double>(uni);
+}
+
+double CuisineUsageCosine(const recipe::Cuisine& a, const recipe::Cuisine& b) {
+  if (a.num_recipes() == 0 || b.num_recipes() == 0) return 0.0;
+  double dot = 0.0, na = 0.0, nb = 0.0;
+  for (const auto& [id, freq] : a.frequency()) {
+    double fa = static_cast<double>(freq);
+    na += fa * fa;
+    dot += fa * static_cast<double>(b.FrequencyOf(id));
+  }
+  for (const auto& [id, freq] : b.frequency()) {
+    double fb = static_cast<double>(freq);
+    nb += fb * fb;
+  }
+  if (na <= 0.0 || nb <= 0.0) return 0.0;
+  return dot / (std::sqrt(na) * std::sqrt(nb));
+}
+
+double CuisineSimilarityScore(const recipe::Cuisine& a,
+                              const recipe::Cuisine& b,
+                              CuisineSimilarity metric) {
+  switch (metric) {
+    case CuisineSimilarity::kIngredientJaccard:
+      return CuisineIngredientJaccard(a, b);
+    case CuisineSimilarity::kUsageCosine:
+      return CuisineUsageCosine(a, b);
+  }
+  return 0.0;
+}
+
+std::vector<std::vector<double>> CuisineSimilarityMatrix(
+    const std::vector<recipe::Cuisine>& cuisines, CuisineSimilarity metric) {
+  const size_t n = cuisines.size();
+  std::vector<std::vector<double>> matrix(n, std::vector<double>(n, 0.0));
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i; j < n; ++j) {
+      double s = CuisineSimilarityScore(cuisines[i], cuisines[j], metric);
+      matrix[i][j] = s;
+      matrix[j][i] = s;
+    }
+  }
+  return matrix;
+}
+
+culinary::Result<std::vector<std::pair<recipe::Region, double>>>
+NearestCuisines(const std::vector<recipe::Cuisine>& cuisines, size_t target,
+                size_t k, CuisineSimilarity metric) {
+  if (target >= cuisines.size()) {
+    return culinary::Status::InvalidArgument("target index out of range");
+  }
+  std::vector<std::pair<recipe::Region, double>> scored;
+  for (size_t c = 0; c < cuisines.size(); ++c) {
+    if (c == target) continue;
+    scored.emplace_back(
+        cuisines[c].region(),
+        CuisineSimilarityScore(cuisines[target], cuisines[c], metric));
+  }
+  std::sort(scored.begin(), scored.end(),
+            [](const auto& a, const auto& b) { return a.second > b.second; });
+  if (scored.size() > k) scored.resize(k);
+  return scored;
+}
+
+}  // namespace culinary::analysis

@@ -1,0 +1,51 @@
+#ifndef CULINARYLAB_ANALYSIS_SIMILARITY_H_
+#define CULINARYLAB_ANALYSIS_SIMILARITY_H_
+
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "recipe/cuisine.h"
+
+namespace culinary::analysis {
+
+/// Cuisine–cuisine similarity measures.
+///
+/// The paper frames regional cuisines as languages — "flavor molecules,
+/// ingredients, and recipes are for a cuisine what letters, words, and
+/// sentences are for a language". These measures quantify how close two
+/// culinary "languages" are at the vocabulary (ingredient) level.
+enum class CuisineSimilarity : int {
+  /// Jaccard index of the unique-ingredient sets.
+  kIngredientJaccard = 0,
+  /// Cosine similarity of the ingredient usage-frequency vectors.
+  kUsageCosine = 1,
+};
+
+/// Jaccard similarity of the two cuisines' ingredient sets (0 when both
+/// are empty).
+double CuisineIngredientJaccard(const recipe::Cuisine& a,
+                                const recipe::Cuisine& b);
+
+/// Cosine similarity of usage-frequency vectors over the union of
+/// ingredients (0 when either cuisine is empty).
+double CuisineUsageCosine(const recipe::Cuisine& a, const recipe::Cuisine& b);
+
+/// Dispatch on the metric.
+double CuisineSimilarityScore(const recipe::Cuisine& a,
+                              const recipe::Cuisine& b,
+                              CuisineSimilarity metric);
+
+/// Full symmetric similarity matrix (diagonal = 1 for non-empty cuisines).
+std::vector<std::vector<double>> CuisineSimilarityMatrix(
+    const std::vector<recipe::Cuisine>& cuisines, CuisineSimilarity metric);
+
+/// The `k` most similar cuisines to `cuisines[target]`, best first.
+/// InvalidArgument for an out-of-range target.
+culinary::Result<std::vector<std::pair<recipe::Region, double>>>
+NearestCuisines(const std::vector<recipe::Cuisine>& cuisines, size_t target,
+                size_t k, CuisineSimilarity metric);
+
+}  // namespace culinary::analysis
+
+#endif  // CULINARYLAB_ANALYSIS_SIMILARITY_H_

@@ -1,0 +1,58 @@
+#ifndef CULINARYLAB_COMMON_LOGGING_H_
+#define CULINARYLAB_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace culinary {
+
+/// Severity levels, ordered: messages below the global threshold are dropped.
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kOff = 4,
+};
+
+/// Sets / reads the process-wide minimum severity that is emitted.
+/// Default is `kWarning` so library internals stay quiet in tests and
+/// benches unless asked.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal_logging {
+
+/// Stream-style message collector; emits to stderr on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    if (enabled_) stream_ << value;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+
+/// Usage: `CULINARY_LOG(kInfo) << "loaded " << n << " recipes";`
+#define CULINARY_LOG(severity)                                      \
+  ::culinary::internal_logging::LogMessage(                         \
+      ::culinary::LogLevel::severity, __FILE__, __LINE__)
+
+}  // namespace culinary
+
+#endif  // CULINARYLAB_COMMON_LOGGING_H_

@@ -1,0 +1,200 @@
+#include "common/random.h"
+
+#include <cmath>
+#include <limits>
+
+namespace culinary {
+
+namespace {
+
+uint64_t SplitMix64(uint64_t& state) {
+  uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : s_) s = SplitMix64(sm);
+}
+
+uint64_t Rng::NextUint64() {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+uint64_t Rng::NextBounded(uint64_t bound) {
+  if (bound == 0) return 0;
+  // Lemire's nearly-divisionless unbiased method.
+  uint64_t x = NextUint64();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  uint64_t l = static_cast<uint64_t>(m);
+  if (l < bound) {
+    uint64_t threshold = (0 - bound) % bound;
+    while (l < threshold) {
+      x = NextUint64();
+      m = static_cast<__uint128_t>(x) * bound;
+      l = static_cast<uint64_t>(m);
+    }
+  }
+  return static_cast<uint64_t>(m >> 64);
+}
+
+int64_t Rng::NextInt(int64_t lo, int64_t hi) {
+  uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+  return lo + static_cast<int64_t>(NextBounded(span));
+}
+
+double Rng::NextDouble() {
+  return static_cast<double>(NextUint64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::NextDouble(double lo, double hi) {
+  return lo + (hi - lo) * NextDouble();
+}
+
+bool Rng::NextBernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return NextDouble() < p;
+}
+
+double Rng::NextGaussian() {
+  if (has_cached_gaussian_) {
+    has_cached_gaussian_ = false;
+    return cached_gaussian_;
+  }
+  // Box–Muller with rejection of u1 == 0.
+  double u1;
+  do {
+    u1 = NextDouble();
+  } while (u1 <= 0.0);
+  double u2 = NextDouble();
+  double r = std::sqrt(-2.0 * std::log(u1));
+  double theta = 2.0 * M_PI * u2;
+  cached_gaussian_ = r * std::sin(theta);
+  has_cached_gaussian_ = true;
+  return r * std::cos(theta);
+}
+
+double Rng::NextLogNormal(double mu, double sigma) {
+  return std::exp(mu + sigma * NextGaussian());
+}
+
+int64_t Rng::NextPoisson(double lambda) {
+  if (lambda <= 0.0) return 0;
+  if (lambda < 30.0) {
+    // Knuth: multiply uniforms until product drops below e^-lambda.
+    double limit = std::exp(-lambda);
+    double prod = 1.0;
+    int64_t k = 0;
+    do {
+      prod *= NextDouble();
+      ++k;
+    } while (prod > limit);
+    return k - 1;
+  }
+  // Normal approximation with continuity correction for large lambda.
+  double v = lambda + std::sqrt(lambda) * NextGaussian() + 0.5;
+  if (v < 0.0) return 0;
+  return static_cast<int64_t>(v);
+}
+
+std::vector<size_t> Rng::SampleWithoutReplacement(size_t n, size_t k) {
+  std::vector<size_t> out;
+  if (k == 0 || n == 0) return out;
+  if (k > n) k = n;
+  out.reserve(k);
+  // Floyd's algorithm: for j in [n-k, n), pick t in [0, j]; if taken, use j.
+  for (size_t j = n - k; j < n; ++j) {
+    size_t t = static_cast<size_t>(NextBounded(j + 1));
+    bool taken = false;
+    for (size_t chosen : out) {
+      if (chosen == t) {
+        taken = true;
+        break;
+      }
+    }
+    out.push_back(taken ? j : t);
+  }
+  return out;
+}
+
+Rng Rng::Fork() { return Rng(NextUint64()); }
+
+AliasSampler::AliasSampler(const std::vector<double>& weights) {
+  const size_t n = weights.size();
+  if (n == 0) return;
+  double total = 0.0;
+  for (double w : weights) {
+    if (!(w >= 0.0) || !std::isfinite(w)) return;  // negative or NaN
+    total += w;
+  }
+  if (!(total > 0.0)) return;
+
+  prob_.assign(n, 0.0);
+  alias_.assign(n, 0);
+  std::vector<double> scaled(n);
+  for (size_t i = 0; i < n; ++i) scaled[i] = weights[i] * n / total;
+
+  std::vector<uint32_t> small, large;
+  small.reserve(n);
+  large.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    (scaled[i] < 1.0 ? small : large).push_back(static_cast<uint32_t>(i));
+  }
+  while (!small.empty() && !large.empty()) {
+    uint32_t s = small.back();
+    small.pop_back();
+    uint32_t l = large.back();
+    large.pop_back();
+    prob_[s] = scaled[s];
+    alias_[s] = l;
+    scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+    (scaled[l] < 1.0 ? small : large).push_back(l);
+  }
+  // Remaining entries have probability 1 up to rounding.
+  for (uint32_t s : small) prob_[s] = 1.0;
+  for (uint32_t l : large) prob_[l] = 1.0;
+  valid_ = true;
+}
+
+size_t AliasSampler::Sample(Rng& rng) const {
+  if (!valid_) return 0;
+  size_t i = static_cast<size_t>(rng.NextBounded(prob_.size()));
+  return rng.NextDouble() < prob_[i] ? i : alias_[i];
+}
+
+ZipfSampler::ZipfSampler(size_t n, double s, double q, uint64_t /*unused*/)
+    : probs_(BuildProbs(n, s, q)), alias_(probs_) {}
+
+std::vector<double> ZipfSampler::BuildProbs(size_t n, double s, double q) {
+  std::vector<double> p(n, 0.0);
+  if (n == 0 || !(s > 0.0) || q < 0.0) return p;
+  double total = 0.0;
+  for (size_t r = 1; r <= n; ++r) {
+    p[r - 1] = 1.0 / std::pow(static_cast<double>(r) + q, s);
+    total += p[r - 1];
+  }
+  for (double& v : p) v /= total;
+  return p;
+}
+
+double ZipfSampler::Probability(size_t rank) const {
+  if (rank == 0 || rank > probs_.size()) return 0.0;
+  return probs_[rank - 1];
+}
+
+}  // namespace culinary

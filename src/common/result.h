@@ -1,0 +1,93 @@
+#ifndef CULINARYLAB_COMMON_RESULT_H_
+#define CULINARYLAB_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace culinary {
+
+/// The union of a `Status` and a value of type `T` (a `StatusOr`).
+///
+/// A `Result<T>` either holds a value (in which case `ok()` is true and
+/// `status()` is OK) or an error status. Accessing the value of an error
+/// result is a programming error and asserts in debug builds.
+///
+/// ```cpp
+/// Result<Table> r = CsvReader::ReadFile(path);
+/// if (!r.ok()) return r.status();
+/// Table t = std::move(r).value();
+/// ```
+template <typename T>
+class Result {
+ public:
+  /// Constructs an error result. `status` must not be OK.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT(runtime/explicit)
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  /// Constructs a successful result holding `value`.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) noexcept = default;
+  Result& operator=(Result&&) noexcept = default;
+
+  /// True iff a value is present.
+  bool ok() const { return value_.has_value(); }
+
+  /// The status: OK when a value is present, the error otherwise.
+  const Status& status() const { return status_; }
+
+  /// Value accessors. Must only be called when `ok()`.
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  /// Returns the value, or `fallback` if this result is an error.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;  // OK when value_ holds a value.
+  std::optional<T> value_;
+};
+
+/// Propagates an error out of the enclosing function or binds the value.
+///
+/// ```cpp
+/// CULINARY_ASSIGN_OR_RETURN(Table t, CsvReader::ReadFile(path));
+/// ```
+#define CULINARY_ASSIGN_OR_RETURN_IMPL(tmp, decl, expr) \
+  auto tmp = (expr);                                    \
+  if (!tmp.ok()) return tmp.status();                   \
+  decl = std::move(tmp).value()
+
+#define CULINARY_ASSIGN_OR_RETURN_CAT_(a, b) a##b
+#define CULINARY_ASSIGN_OR_RETURN_CAT(a, b) CULINARY_ASSIGN_OR_RETURN_CAT_(a, b)
+
+#define CULINARY_ASSIGN_OR_RETURN(decl, expr) \
+  CULINARY_ASSIGN_OR_RETURN_IMPL(             \
+      CULINARY_ASSIGN_OR_RETURN_CAT(_result_tmp_, __LINE__), decl, expr)
+
+}  // namespace culinary
+
+#endif  // CULINARYLAB_COMMON_RESULT_H_

@@ -1,0 +1,206 @@
+#include "common/statistics.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace culinary {
+
+void RunningStats::Add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStats::Merge(const RunningStats& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  double delta = other.mean_ - mean_;
+  int64_t n = count_ + other.count_;
+  double na = static_cast<double>(count_);
+  double nb = static_cast<double>(other.count_);
+  mean_ += delta * nb / static_cast<double>(n);
+  m2_ += other.m2_ + delta * delta * na * nb / static_cast<double>(n);
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  count_ = n;
+}
+
+double RunningStats::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double RunningStats::stderr_mean() const {
+  if (count_ < 1) return 0.0;
+  return stddev() / std::sqrt(static_cast<double>(count_));
+}
+
+double Mean(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  return sum / static_cast<double>(values.size());
+}
+
+double Variance(const std::vector<double>& values) {
+  if (values.size() < 2) return 0.0;
+  double m = Mean(values);
+  double ss = 0.0;
+  for (double v : values) ss += (v - m) * (v - m);
+  return ss / static_cast<double>(values.size() - 1);
+}
+
+double StdDev(const std::vector<double>& values) {
+  return std::sqrt(Variance(values));
+}
+
+double Median(std::vector<double> values) {
+  if (values.empty()) return 0.0;
+  size_t mid = values.size() / 2;
+  std::nth_element(values.begin(), values.begin() + mid, values.end());
+  double hi = values[mid];
+  if (values.size() % 2 == 1) return hi;
+  double lo = *std::max_element(values.begin(), values.begin() + mid);
+  return 0.5 * (lo + hi);
+}
+
+double Quantile(std::vector<double> values, double q) {
+  if (values.empty()) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  std::sort(values.begin(), values.end());
+  double pos = q * static_cast<double>(values.size() - 1);
+  size_t lo = static_cast<size_t>(pos);
+  size_t hi = std::min(lo + 1, values.size() - 1);
+  double frac = pos - static_cast<double>(lo);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+double PearsonCorrelation(const std::vector<double>& x,
+                          const std::vector<double>& y) {
+  if (x.size() != y.size() || x.size() < 2) return 0.0;
+  double mx = Mean(x);
+  double my = Mean(y);
+  double sxy = 0.0, sxx = 0.0, syy = 0.0;
+  for (size_t i = 0; i < x.size(); ++i) {
+    double dx = x[i] - mx;
+    double dy = y[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx <= 0.0 || syy <= 0.0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+std::vector<double> MidRanks(const std::vector<double>& values) {
+  const size_t n = values.size();
+  std::vector<size_t> order(n);
+  for (size_t i = 0; i < n; ++i) order[i] = i;
+  std::sort(order.begin(), order.end(),
+            [&](size_t a, size_t b) { return values[a] < values[b]; });
+  std::vector<double> ranks(n, 0.0);
+  size_t i = 0;
+  while (i < n) {
+    size_t j = i;
+    while (j + 1 < n && values[order[j + 1]] == values[order[i]]) ++j;
+    // Average of 1-based ranks i+1 .. j+1.
+    double avg = (static_cast<double>(i + 1) + static_cast<double>(j + 1)) / 2.0;
+    for (size_t k = i; k <= j; ++k) ranks[order[k]] = avg;
+    i = j + 1;
+  }
+  return ranks;
+}
+
+double SpearmanCorrelation(const std::vector<double>& x,
+                           const std::vector<double>& y) {
+  if (x.size() != y.size() || x.size() < 2) return 0.0;
+  return PearsonCorrelation(MidRanks(x), MidRanks(y));
+}
+
+double ZScore(double observed_mean, double null_mean, double null_stddev,
+              int64_t null_count) {
+  if (null_count < 1 || null_stddev <= 0.0) return 0.0;
+  double se = null_stddev / std::sqrt(static_cast<double>(null_count));
+  return (observed_mean - null_mean) / se;
+}
+
+void Histogram::Add(int64_t value) {
+  if (value < 0) value = 0;
+  if (static_cast<size_t>(value) >= counts_.size()) {
+    counts_.resize(static_cast<size_t>(value) + 1, 0);
+  }
+  ++counts_[static_cast<size_t>(value)];
+  ++total_;
+  sum_ += static_cast<double>(value);
+}
+
+int64_t Histogram::CountAt(int64_t value) const {
+  if (value < 0 || static_cast<size_t>(value) >= counts_.size()) return 0;
+  return counts_[static_cast<size_t>(value)];
+}
+
+int64_t Histogram::max_value() const {
+  for (size_t i = counts_.size(); i > 0; --i) {
+    if (counts_[i - 1] > 0) return static_cast<int64_t>(i - 1);
+  }
+  return -1;
+}
+
+double Histogram::Pmf(int64_t value) const {
+  if (total_ == 0) return 0.0;
+  return static_cast<double>(CountAt(value)) / static_cast<double>(total_);
+}
+
+double Histogram::Cdf(int64_t value) const {
+  if (total_ == 0) return 0.0;
+  int64_t acc = 0;
+  int64_t upper = std::min<int64_t>(value, static_cast<int64_t>(counts_.size()) - 1);
+  for (int64_t v = 0; v <= upper; ++v) acc += counts_[static_cast<size_t>(v)];
+  return static_cast<double>(acc) / static_cast<double>(total_);
+}
+
+double Histogram::MeanValue() const {
+  if (total_ == 0) return 0.0;
+  return sum_ / static_cast<double>(total_);
+}
+
+std::vector<double> Histogram::DensePmf() const {
+  int64_t mv = max_value();
+  std::vector<double> pmf;
+  if (mv < 0) return pmf;
+  pmf.reserve(static_cast<size_t>(mv) + 1);
+  for (int64_t v = 0; v <= mv; ++v) pmf.push_back(Pmf(v));
+  return pmf;
+}
+
+double KolmogorovSmirnovStatistic(std::vector<double> a, std::vector<double> b) {
+  if (a.empty() || b.empty()) return 0.0;
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  size_t ia = 0, ib = 0;
+  double d = 0.0;
+  const double na = static_cast<double>(a.size());
+  const double nb = static_cast<double>(b.size());
+  while (ia < a.size() && ib < b.size()) {
+    double x = std::min(a[ia], b[ib]);
+    while (ia < a.size() && a[ia] <= x) ++ia;
+    while (ib < b.size() && b[ib] <= x) ++ib;
+    d = std::max(d, std::abs(static_cast<double>(ia) / na -
+                             static_cast<double>(ib) / nb));
+  }
+  return d;
+}
+
+}  // namespace culinary

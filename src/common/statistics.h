@@ -1,0 +1,129 @@
+#ifndef CULINARYLAB_COMMON_STATISTICS_H_
+#define CULINARYLAB_COMMON_STATISTICS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace culinary {
+
+/// Streaming accumulator for count / mean / variance (Welford's algorithm).
+///
+/// Numerically stable for the very long streams produced by the 100,000
+/// recipe null models; supports merging partial accumulators.
+class RunningStats {
+ public:
+  RunningStats() = default;
+
+  /// Adds one observation.
+  void Add(double x);
+
+  /// Merges another accumulator into this one (Chan's parallel update).
+  void Merge(const RunningStats& other);
+
+  /// Number of observations added.
+  int64_t count() const { return count_; }
+
+  /// Sample mean (0 when empty).
+  double mean() const { return count_ > 0 ? mean_ : 0.0; }
+
+  /// Unbiased sample variance (0 when fewer than two observations).
+  double variance() const;
+
+  /// Square root of `variance()`.
+  double stddev() const;
+
+  /// Standard error of the mean: stddev / sqrt(count).
+  double stderr_mean() const;
+
+  /// Smallest / largest observation (undefined when empty; 0 returned).
+  double min() const { return count_ > 0 ? min_ : 0.0; }
+  double max() const { return count_ > 0 ? max_ : 0.0; }
+
+ private:
+  int64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Arithmetic mean of `values` (0 for empty input).
+double Mean(const std::vector<double>& values);
+
+/// Unbiased sample variance / standard deviation (0 for n < 2).
+double Variance(const std::vector<double>& values);
+double StdDev(const std::vector<double>& values);
+
+/// Median (copies and partially sorts; 0 for empty input). For even n the
+/// mean of the two central order statistics is returned.
+double Median(std::vector<double> values);
+
+/// `q`-quantile in [0, 1] with linear interpolation (type-7, as NumPy).
+double Quantile(std::vector<double> values, double q);
+
+/// Pearson product-moment correlation of two equal-length vectors.
+/// Returns 0 for degenerate inputs (n < 2 or zero variance).
+double PearsonCorrelation(const std::vector<double>& x,
+                          const std::vector<double>& y);
+
+/// Spearman rank correlation (Pearson of mid-ranks; ties share ranks).
+double SpearmanCorrelation(const std::vector<double>& x,
+                           const std::vector<double>& y);
+
+/// Z-score of an observed mean against a null distribution described by its
+/// mean, standard deviation and sample count:
+///   z = (observed − null_mean) / (null_stddev / sqrt(n)).
+/// Returns 0 when the denominator is degenerate.
+double ZScore(double observed_mean, double null_mean, double null_stddev,
+              int64_t null_count);
+
+/// An integer-valued empirical distribution (e.g. recipe sizes).
+///
+/// Tracks counts per value over [0, max_value] plus summary statistics, and
+/// can render the probability mass function and CDF as plain series.
+class Histogram {
+ public:
+  Histogram() = default;
+
+  /// Adds one observation (negative values are clamped to 0).
+  void Add(int64_t value);
+
+  /// Total observations.
+  int64_t total() const { return total_; }
+
+  /// Count of observations equal to `value` (0 outside the observed range).
+  int64_t CountAt(int64_t value) const;
+
+  /// Largest value observed (-1 when empty).
+  int64_t max_value() const;
+
+  /// Empirical probability of `value`.
+  double Pmf(int64_t value) const;
+
+  /// Empirical P(X <= value).
+  double Cdf(int64_t value) const;
+
+  /// Mean of the observations.
+  double MeanValue() const;
+
+  /// PMF over [0, max_value()] as a dense vector.
+  std::vector<double> DensePmf() const;
+
+ private:
+  std::vector<int64_t> counts_;
+  int64_t total_ = 0;
+  double sum_ = 0.0;
+};
+
+/// Two-sample Kolmogorov–Smirnov statistic between empirical distributions
+/// given as raw samples. Used by the robustness ablation to quantify how
+/// much the recipe-size distribution moves under perturbation.
+double KolmogorovSmirnovStatistic(std::vector<double> a, std::vector<double> b);
+
+/// Mid-ranks of `values` (1-based; ties receive the average of their ranks).
+std::vector<double> MidRanks(const std::vector<double>& values);
+
+}  // namespace culinary
+
+#endif  // CULINARYLAB_COMMON_STATISTICS_H_

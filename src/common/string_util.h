@@ -1,0 +1,51 @@
+#ifndef CULINARYLAB_COMMON_STRING_UTIL_H_
+#define CULINARYLAB_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace culinary {
+
+/// Splits `input` on the single character `sep`. Empty fields are kept:
+/// `Split("a,,b", ',') == {"a", "", "b"}`. An empty input yields one empty
+/// field, matching the behaviour of Python's `str.split(sep)`.
+std::vector<std::string> Split(std::string_view input, char sep);
+
+/// Splits `input` on any run of ASCII whitespace; empty fields are dropped,
+/// matching Python's `str.split()` with no arguments.
+std::vector<std::string> SplitWhitespace(std::string_view input);
+
+/// Joins `parts` with `sep` between consecutive elements.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view Trim(std::string_view input);
+
+/// ASCII lowercases / uppercases a copy of `input`.
+std::string ToLower(std::string_view input);
+std::string ToUpper(std::string_view input);
+
+/// Prefix / suffix / substring predicates.
+bool StartsWith(std::string_view input, std::string_view prefix);
+bool EndsWith(std::string_view input, std::string_view suffix);
+bool Contains(std::string_view haystack, std::string_view needle);
+
+/// Replaces every occurrence of `from` (must be non-empty) with `to`.
+std::string ReplaceAll(std::string_view input, std::string_view from,
+                       std::string_view to);
+
+/// True iff every character is an ASCII digit (and input is non-empty).
+bool IsDigits(std::string_view input);
+
+/// Formats `value` with exactly `precision` digits after the decimal point.
+std::string FormatDouble(double value, int precision);
+
+/// Pads `input` with spaces on the right (`PadRight`) or left (`PadLeft`) to
+/// at least `width` characters.
+std::string PadRight(std::string_view input, size_t width);
+std::string PadLeft(std::string_view input, size_t width);
+
+}  // namespace culinary
+
+#endif  // CULINARYLAB_COMMON_STRING_UTIL_H_

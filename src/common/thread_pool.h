@@ -1,0 +1,71 @@
+#ifndef CULINARYLAB_COMMON_THREAD_POOL_H_
+#define CULINARYLAB_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace culinary {
+
+/// A fixed-size worker pool for embarrassingly parallel analysis sweeps
+/// (per-region null models, per-ingredient contributions).
+///
+/// Tasks are plain `std::function<void()>`; `Submit` returns a future for
+/// the wrapped callable's result. The pool joins its workers on
+/// destruction after draining the queue. All methods are thread-safe.
+class ThreadPool {
+ public:
+  /// Starts `num_threads` workers (0 is clamped to 1).
+  explicit ThreadPool(size_t num_threads);
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Signals shutdown, drains remaining tasks and joins the workers.
+  ~ThreadPool();
+
+  size_t num_threads() const { return workers_.size(); }
+
+  /// Enqueues `fn` and returns a future for its result. Tasks submitted
+  /// after destruction has begun are executed inline by the caller.
+  template <typename Fn>
+  auto Submit(Fn&& fn) -> std::future<decltype(fn())> {
+    using Result = decltype(fn());
+    auto task =
+        std::make_shared<std::packaged_task<Result()>>(std::forward<Fn>(fn));
+    std::future<Result> future = task->get_future();
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      if (stopping_) {
+        lock.unlock();
+        (*task)();  // inline fallback
+        return future;
+      }
+      queue_.emplace([task]() { (*task)(); });
+    }
+    cv_.notify_one();
+    return future;
+  }
+
+  /// Runs `body(i)` for every i in [0, count) across the pool and blocks
+  /// until all iterations finish.
+  void ParallelFor(size_t count, const std::function<void(size_t)>& body);
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+}  // namespace culinary
+
+#endif  // CULINARYLAB_COMMON_THREAD_POOL_H_

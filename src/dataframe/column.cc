@@ -1,0 +1,137 @@
+#include "dataframe/column.h"
+
+namespace culinary::df {
+
+Value Int64Column::GetValue(size_t i) const {
+  if (IsNull(i)) return Value::Null();
+  return Value::Int(data_[i]);
+}
+
+culinary::Status Int64Column::AppendValue(const Value& value) {
+  if (value.is_null()) {
+    AppendNull();
+    return culinary::Status::OK();
+  }
+  if (!value.is_int()) {
+    return culinary::Status::InvalidArgument(
+        "expected int64 value, got " + value.ToString());
+  }
+  Append(value.as_int());
+  return culinary::Status::OK();
+}
+
+ColumnPtr Int64Column::Take(const std::vector<size_t>& indices) const {
+  auto out = std::make_shared<Int64Column>();
+  for (size_t i : indices) {
+    if (IsNull(i)) {
+      out->AppendNull();
+    } else {
+      out->Append(data_[i]);
+    }
+  }
+  return out;
+}
+
+ColumnPtr Int64Column::CloneEmpty() const {
+  return std::make_shared<Int64Column>();
+}
+
+Value DoubleColumn::GetValue(size_t i) const {
+  if (IsNull(i)) return Value::Null();
+  return Value::Real(data_[i]);
+}
+
+culinary::Status DoubleColumn::AppendValue(const Value& value) {
+  if (value.is_null()) {
+    AppendNull();
+    return culinary::Status::OK();
+  }
+  if (value.is_double()) {
+    Append(value.as_double());
+    return culinary::Status::OK();
+  }
+  if (value.is_int()) {
+    Append(static_cast<double>(value.as_int()));  // implicit widening
+    return culinary::Status::OK();
+  }
+  return culinary::Status::InvalidArgument(
+      "expected double value, got " + value.ToString());
+}
+
+ColumnPtr DoubleColumn::Take(const std::vector<size_t>& indices) const {
+  auto out = std::make_shared<DoubleColumn>();
+  for (size_t i : indices) {
+    if (IsNull(i)) {
+      out->AppendNull();
+    } else {
+      out->Append(data_[i]);
+    }
+  }
+  return out;
+}
+
+ColumnPtr DoubleColumn::CloneEmpty() const {
+  return std::make_shared<DoubleColumn>();
+}
+
+Value StringColumn::GetValue(size_t i) const {
+  if (IsNull(i)) return Value::Null();
+  return Value::Str(std::string(at(i)));
+}
+
+culinary::Status StringColumn::AppendValue(const Value& value) {
+  if (value.is_null()) {
+    AppendNull();
+    return culinary::Status::OK();
+  }
+  if (!value.is_string()) {
+    return culinary::Status::InvalidArgument(
+        "expected string value, got " + value.ToString());
+  }
+  Append(value.as_string());
+  return culinary::Status::OK();
+}
+
+void StringColumn::Append(std::string_view v) {
+  auto it = index_.find(std::string(v));
+  int32_t code;
+  if (it != index_.end()) {
+    code = it->second;
+  } else {
+    code = static_cast<int32_t>(dict_.size());
+    dict_.emplace_back(v);
+    index_.emplace(dict_.back(), code);
+  }
+  codes_.push_back(code);
+  MarkValid();
+}
+
+ColumnPtr StringColumn::Take(const std::vector<size_t>& indices) const {
+  auto out = std::make_shared<StringColumn>();
+  for (size_t i : indices) {
+    if (IsNull(i)) {
+      out->AppendNull();
+    } else {
+      out->Append(at(i));
+    }
+  }
+  return out;
+}
+
+ColumnPtr StringColumn::CloneEmpty() const {
+  return std::make_shared<StringColumn>();
+}
+
+ColumnPtr MakeColumn(DataType type) {
+  switch (type) {
+    case DataType::kInt64:
+      return std::make_shared<Int64Column>();
+    case DataType::kDouble:
+      return std::make_shared<DoubleColumn>();
+    case DataType::kString:
+      return std::make_shared<StringColumn>();
+  }
+  return nullptr;
+}
+
+}  // namespace culinary::df

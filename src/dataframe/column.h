@@ -1,0 +1,170 @@
+#ifndef CULINARYLAB_DATAFRAME_COLUMN_H_
+#define CULINARYLAB_DATAFRAME_COLUMN_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "dataframe/types.h"
+
+namespace culinary::df {
+
+class Column;
+using ColumnPtr = std::shared_ptr<Column>;
+
+/// Abstract typed column with a validity bitmap.
+///
+/// Columns are append-only during construction and immutable once shared
+/// inside a `Table` (operations produce new columns). Null handling: every
+/// column tracks per-row validity; `GetValue` returns `Value::Null()` for
+/// invalid rows.
+class Column {
+ public:
+  virtual ~Column() = default;
+
+  Column(const Column&) = delete;
+  Column& operator=(const Column&) = delete;
+
+  /// The physical type of the column.
+  virtual DataType type() const = 0;
+
+  /// Number of rows.
+  size_t size() const { return valid_.size(); }
+
+  /// Number of null rows.
+  size_t null_count() const { return null_count_; }
+
+  /// True iff row `i` is null.
+  bool IsNull(size_t i) const { return valid_[i] == 0; }
+
+  /// Dynamically typed accessor for row `i`.
+  virtual Value GetValue(size_t i) const = 0;
+
+  /// Appends a dynamically typed value. Returns InvalidArgument when the
+  /// value's type does not match the column (nulls always match). Integers
+  /// widen implicitly into double columns.
+  virtual culinary::Status AppendValue(const Value& value) = 0;
+
+  /// Appends a null row.
+  void AppendNull() {
+    valid_.push_back(0);
+    ++null_count_;
+    GrowStorage();
+  }
+
+  /// A new column with rows reordered / subset per `indices` (each index
+  /// must be < size()).
+  virtual ColumnPtr Take(const std::vector<size_t>& indices) const = 0;
+
+  /// A fresh empty column of the same type.
+  virtual ColumnPtr CloneEmpty() const = 0;
+
+ protected:
+  Column() = default;
+
+  void MarkValid() { valid_.push_back(1); }
+
+  /// Hook for derived classes to keep their value storage aligned with the
+  /// validity vector when a null is appended.
+  virtual void GrowStorage() = 0;
+
+  std::vector<uint8_t> valid_;
+  size_t null_count_ = 0;
+};
+
+/// Column of 64-bit integers.
+class Int64Column final : public Column {
+ public:
+  Int64Column() = default;
+
+  DataType type() const override { return DataType::kInt64; }
+  Value GetValue(size_t i) const override;
+  culinary::Status AppendValue(const Value& value) override;
+  ColumnPtr Take(const std::vector<size_t>& indices) const override;
+  ColumnPtr CloneEmpty() const override;
+
+  /// Appends a non-null element.
+  void Append(int64_t v) {
+    data_.push_back(v);
+    MarkValid();
+  }
+
+  /// Raw accessor; undefined for null rows.
+  int64_t at(size_t i) const { return data_[i]; }
+
+ private:
+  void GrowStorage() override { data_.push_back(0); }
+
+  std::vector<int64_t> data_;
+};
+
+/// Column of doubles.
+class DoubleColumn final : public Column {
+ public:
+  DoubleColumn() = default;
+
+  DataType type() const override { return DataType::kDouble; }
+  Value GetValue(size_t i) const override;
+  culinary::Status AppendValue(const Value& value) override;
+  ColumnPtr Take(const std::vector<size_t>& indices) const override;
+  ColumnPtr CloneEmpty() const override;
+
+  void Append(double v) {
+    data_.push_back(v);
+    MarkValid();
+  }
+
+  double at(size_t i) const { return data_[i]; }
+
+ private:
+  void GrowStorage() override { data_.push_back(0.0); }
+
+  std::vector<double> data_;
+};
+
+/// Dictionary-encoded string column.
+///
+/// Stores one int32 code per row plus a shared dictionary of distinct
+/// strings, which keeps memory linear in distinct values for the highly
+/// repetitive columns in recipe data (region codes, ingredient names,
+/// category labels).
+class StringColumn final : public Column {
+ public:
+  StringColumn() = default;
+
+  DataType type() const override { return DataType::kString; }
+  Value GetValue(size_t i) const override;
+  culinary::Status AppendValue(const Value& value) override;
+  ColumnPtr Take(const std::vector<size_t>& indices) const override;
+  ColumnPtr CloneEmpty() const override;
+
+  void Append(std::string_view v);
+
+  /// View of row `i` (undefined for null rows). Valid while the column lives.
+  std::string_view at(size_t i) const { return dict_[static_cast<size_t>(codes_[i])]; }
+
+  /// Dictionary code of row `i` (undefined for null rows). Equal codes imply
+  /// equal strings within one column.
+  int32_t code_at(size_t i) const { return codes_[i]; }
+
+  /// Number of distinct strings seen.
+  size_t dictionary_size() const { return dict_.size(); }
+
+ private:
+  void GrowStorage() override { codes_.push_back(-1); }
+
+  std::vector<int32_t> codes_;
+  std::vector<std::string> dict_;
+  std::unordered_map<std::string, int32_t> index_;
+};
+
+/// Creates an empty column of the given type.
+ColumnPtr MakeColumn(DataType type);
+
+}  // namespace culinary::df
+
+#endif  // CULINARYLAB_DATAFRAME_COLUMN_H_

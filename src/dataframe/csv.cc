@@ -1,0 +1,308 @@
+#include "dataframe/csv.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace culinary::df {
+
+namespace {
+
+struct RawField {
+  std::string text;
+  bool quoted = false;
+};
+
+using RawRecord = std::vector<RawField>;
+
+/// Splits `text` into records of fields per RFC 4180.
+culinary::Result<std::vector<RawRecord>> Tokenize(std::string_view text,
+                                                  char delimiter) {
+  std::vector<RawRecord> records;
+  RawRecord record;
+  RawField field;
+  enum class State { kFieldStart, kUnquoted, kQuoted, kQuoteInQuoted };
+  State state = State::kFieldStart;
+  size_t line = 1;
+
+  auto end_field = [&]() {
+    record.push_back(std::move(field));
+    field = RawField{};
+  };
+  auto end_record = [&]() {
+    end_field();
+    records.push_back(std::move(record));
+    record = RawRecord{};
+  };
+
+  for (size_t i = 0; i < text.size(); ++i) {
+    char c = text[i];
+    if (c == '\n') ++line;
+    switch (state) {
+      case State::kFieldStart:
+        if (c == '"') {
+          field.quoted = true;
+          state = State::kQuoted;
+        } else if (c == delimiter) {
+          end_field();
+        } else if (c == '\n') {
+          end_record();
+        } else if (c == '\r') {
+          // swallow; newline handled next iteration
+        } else {
+          field.text.push_back(c);
+          state = State::kUnquoted;
+        }
+        break;
+      case State::kUnquoted:
+        if (c == delimiter) {
+          end_field();
+          state = State::kFieldStart;
+        } else if (c == '\n') {
+          // Strip a trailing \r from \r\n records.
+          if (!field.text.empty() && field.text.back() == '\r') {
+            field.text.pop_back();
+          }
+          end_record();
+          state = State::kFieldStart;
+        } else {
+          field.text.push_back(c);
+        }
+        break;
+      case State::kQuoted:
+        if (c == '"') {
+          state = State::kQuoteInQuoted;
+        } else {
+          field.text.push_back(c);
+        }
+        break;
+      case State::kQuoteInQuoted:
+        if (c == '"') {
+          field.text.push_back('"');  // escaped quote
+          state = State::kQuoted;
+        } else if (c == delimiter) {
+          end_field();
+          state = State::kFieldStart;
+        } else if (c == '\n') {
+          end_record();
+          state = State::kFieldStart;
+        } else if (c == '\r') {
+          // part of \r\n after closing quote; swallow
+        } else {
+          return culinary::Status::ParseError(
+              "unexpected character after closing quote at line " +
+              std::to_string(line));
+        }
+        break;
+    }
+  }
+  if (state == State::kQuoted) {
+    return culinary::Status::ParseError("unterminated quoted field");
+  }
+  // Flush a final record without trailing newline.
+  if (state != State::kFieldStart || !field.text.empty() || field.quoted ||
+      !record.empty()) {
+    end_record();
+  }
+  return records;
+}
+
+bool ParseInt64(const std::string& s, int64_t* out) {
+  if (s.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  long long v = std::strtoll(s.c_str(), &end, 10);
+  if (errno != 0 || end != s.c_str() + s.size()) return false;
+  *out = static_cast<int64_t>(v);
+  return true;
+}
+
+bool ParseDouble(const std::string& s, double* out) {
+  if (s.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  double v = std::strtod(s.c_str(), &end);
+  if (errno != 0 || end != s.c_str() + s.size()) return false;
+  *out = v;
+  return true;
+}
+
+}  // namespace
+
+culinary::Result<Table> ReadCsvString(std::string_view text,
+                                      const CsvReadOptions& options) {
+  CULINARY_ASSIGN_OR_RETURN(std::vector<RawRecord> records,
+                            Tokenize(text, options.delimiter));
+  if (records.empty()) {
+    return culinary::Status::ParseError("empty CSV input");
+  }
+
+  const size_t num_cols = records[0].size();
+  std::vector<std::string> names;
+  size_t first_data = 0;
+  if (options.has_header) {
+    for (const RawField& f : records[0]) names.push_back(f.text);
+    first_data = 1;
+  } else {
+    for (size_t c = 0; c < num_cols; ++c) names.push_back("c" + std::to_string(c));
+  }
+
+  for (size_t r = first_data; r < records.size(); ++r) {
+    if (records[r].size() != num_cols) {
+      return culinary::Status::ParseError(
+          "record " + std::to_string(r + 1) + " has " +
+          std::to_string(records[r].size()) + " fields, expected " +
+          std::to_string(num_cols));
+    }
+  }
+
+  auto is_null = [&](const RawField& f) {
+    return options.empty_as_null && !f.quoted && f.text.empty();
+  };
+
+  // Infer per-column types over non-null fields.
+  std::vector<DataType> types(num_cols, DataType::kString);
+  if (options.infer_types) {
+    for (size_t c = 0; c < num_cols; ++c) {
+      bool all_int = true, all_double = true, any_value = false;
+      for (size_t r = first_data; r < records.size(); ++r) {
+        const RawField& f = records[r][c];
+        if (is_null(f)) continue;
+        any_value = true;
+        int64_t iv;
+        double dv;
+        if (all_int && !ParseInt64(f.text, &iv)) all_int = false;
+        if (all_double && !ParseDouble(f.text, &dv)) all_double = false;
+        if (!all_double) break;
+      }
+      if (any_value && all_int) {
+        types[c] = DataType::kInt64;
+      } else if (any_value && all_double) {
+        types[c] = DataType::kDouble;
+      }
+    }
+  }
+
+  std::vector<Field> fields;
+  for (size_t c = 0; c < num_cols; ++c) fields.push_back({names[c], types[c]});
+  CULINARY_ASSIGN_OR_RETURN(Table table, Table::Make(Schema(std::move(fields))));
+
+  for (size_t r = first_data; r < records.size(); ++r) {
+    std::vector<Value> row;
+    row.reserve(num_cols);
+    for (size_t c = 0; c < num_cols; ++c) {
+      const RawField& f = records[r][c];
+      if (is_null(f)) {
+        row.push_back(Value::Null());
+        continue;
+      }
+      switch (types[c]) {
+        case DataType::kInt64: {
+          int64_t v = 0;
+          ParseInt64(f.text, &v);
+          row.push_back(Value::Int(v));
+          break;
+        }
+        case DataType::kDouble: {
+          double v = 0;
+          ParseDouble(f.text, &v);
+          row.push_back(Value::Real(v));
+          break;
+        }
+        case DataType::kString:
+          row.push_back(Value::Str(f.text));
+          break;
+      }
+    }
+    CULINARY_RETURN_IF_ERROR(table.AppendRow(row));
+  }
+  return table;
+}
+
+culinary::Result<Table> ReadCsvFile(const std::string& path,
+                                    const CsvReadOptions& options) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return culinary::Status::IOError("cannot open file: " + path);
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  if (in.bad()) {
+    return culinary::Status::IOError("error reading file: " + path);
+  }
+  return ReadCsvString(buf.str(), options);
+}
+
+namespace {
+
+void WriteField(std::string& out, std::string_view text, char delimiter) {
+  bool needs_quotes = false;
+  for (char c : text) {
+    if (c == delimiter || c == '"' || c == '\n' || c == '\r') {
+      needs_quotes = true;
+      break;
+    }
+  }
+  if (!needs_quotes) {
+    out.append(text);
+    return;
+  }
+  out.push_back('"');
+  for (char c : text) {
+    if (c == '"') out.push_back('"');
+    out.push_back(c);
+  }
+  out.push_back('"');
+}
+
+}  // namespace
+
+std::string WriteCsvString(const Table& table, const CsvWriteOptions& options) {
+  std::string out;
+  const size_t cols = table.num_columns();
+  if (options.write_header) {
+    for (size_t c = 0; c < cols; ++c) {
+      if (c > 0) out.push_back(options.delimiter);
+      WriteField(out, table.schema().field(c).name, options.delimiter);
+    }
+    out.push_back('\n');
+  }
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    for (size_t c = 0; c < cols; ++c) {
+      if (c > 0) out.push_back(options.delimiter);
+      Value v = table.GetValue(r, c);
+      if (v.is_null()) {
+        out.append(options.null_literal);
+      } else if (v.is_double()) {
+        // Round-trippable formatting (Value::ToString truncates for display).
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "%.17g", v.as_double());
+        WriteField(out, buf, options.delimiter);
+      } else {
+        WriteField(out, v.ToString(), options.delimiter);
+      }
+    }
+    out.push_back('\n');
+  }
+  return out;
+}
+
+culinary::Status WriteCsvFile(const Table& table, const std::string& path,
+                              const CsvWriteOptions& options) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    return culinary::Status::IOError("cannot open file for write: " + path);
+  }
+  out << WriteCsvString(table, options);
+  out.flush();
+  if (!out) {
+    return culinary::Status::IOError("error writing file: " + path);
+  }
+  return culinary::Status::OK();
+}
+
+}  // namespace culinary::df

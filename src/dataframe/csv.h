@@ -1,0 +1,56 @@
+#ifndef CULINARYLAB_DATAFRAME_CSV_H_
+#define CULINARYLAB_DATAFRAME_CSV_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "dataframe/table.h"
+
+namespace culinary::df {
+
+/// Options controlling CSV parsing.
+struct CsvReadOptions {
+  /// Field delimiter.
+  char delimiter = ',';
+  /// When true the first record supplies column names; otherwise columns are
+  /// named "c0", "c1", ...
+  bool has_header = true;
+  /// When true column types are inferred (all-int64 → int64, otherwise
+  /// all-double → double, otherwise string). When false every column is
+  /// string.
+  bool infer_types = true;
+  /// Empty unquoted fields become nulls when true, empty strings otherwise.
+  bool empty_as_null = true;
+};
+
+/// Options controlling CSV serialization.
+struct CsvWriteOptions {
+  char delimiter = ',';
+  bool write_header = true;
+  /// Rendering for null cells.
+  std::string null_literal;
+};
+
+/// Parses RFC-4180 CSV text (quoted fields, doubled-quote escapes, embedded
+/// newlines inside quotes; accepts both \n and \r\n record separators).
+/// Ragged rows are a ParseError.
+culinary::Result<Table> ReadCsvString(std::string_view text,
+                                      const CsvReadOptions& options = {});
+
+/// Reads and parses a CSV file. IOError when the file cannot be read.
+culinary::Result<Table> ReadCsvFile(const std::string& path,
+                                    const CsvReadOptions& options = {});
+
+/// Serializes `table` as CSV text. Fields containing the delimiter, quotes
+/// or newlines are quoted; quotes are doubled.
+std::string WriteCsvString(const Table& table,
+                           const CsvWriteOptions& options = {});
+
+/// Writes `table` to `path`. IOError when the file cannot be written.
+culinary::Status WriteCsvFile(const Table& table, const std::string& path,
+                              const CsvWriteOptions& options = {});
+
+}  // namespace culinary::df
+
+#endif  // CULINARYLAB_DATAFRAME_CSV_H_

@@ -1,0 +1,116 @@
+#ifndef CULINARYLAB_DATAFRAME_OPS_H_
+#define CULINARYLAB_DATAFRAME_OPS_H_
+
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "dataframe/table.h"
+
+namespace culinary::df {
+
+/// A new table with only the named columns, in the given order.
+culinary::Result<Table> Select(const Table& table,
+                               const std::vector<std::string>& columns);
+
+/// Row predicate receiving the source table and a row index.
+using RowPredicate = std::function<bool(const Table&, size_t)>;
+
+/// A new table with the rows for which `pred` returns true (stable order).
+culinary::Result<Table> Filter(const Table& table, const RowPredicate& pred);
+
+/// One sort key; rows compare by the named column.
+struct SortKey {
+  std::string column;
+  bool ascending = true;
+};
+
+/// A new table with rows ordered by `keys` (lexicographic across keys,
+/// stable). Nulls sort first in ascending order, last in descending.
+culinary::Result<Table> SortBy(const Table& table,
+                               const std::vector<SortKey>& keys);
+
+/// Aggregation kinds supported by `GroupByAggregate`.
+enum class AggKind {
+  kCount,          ///< number of rows in the group (column may be empty)
+  kCountDistinct,  ///< number of distinct non-null values
+  kSum,            ///< sum of a numeric column (double result)
+  kMean,           ///< mean of a numeric column (double result)
+  kMin,            ///< minimum of a numeric column (double result)
+  kMax,            ///< maximum of a numeric column (double result)
+};
+
+/// One aggregate to compute per group.
+struct Aggregation {
+  AggKind kind;
+  std::string column;       ///< source column; ignored for kCount
+  std::string output_name;  ///< name of the result column
+};
+
+/// Groups `table` by the `keys` columns and computes `aggs` per group. The
+/// result has one row per distinct key combination (first-seen order), the
+/// key columns first, then one column per aggregation. Null keys group
+/// together. Numeric aggregates skip null cells.
+culinary::Result<Table> GroupByAggregate(const Table& table,
+                                         const std::vector<std::string>& keys,
+                                         const std::vector<Aggregation>& aggs);
+
+/// Join types supported by `HashJoin`.
+enum class JoinType { kInner, kLeft };
+
+/// Hash join of `left` and `right` on equality of the named key columns
+/// (same names on both sides; key columns appear once in the output, then
+/// remaining left columns, then remaining right columns — right columns that
+/// collide with a left name get an "_right" suffix). Null keys never match.
+culinary::Result<Table> HashJoin(const Table& left, const Table& right,
+                                 const std::vector<std::string>& keys,
+                                 JoinType type = JoinType::kInner);
+
+/// A new table with duplicate rows (over the named columns, or all columns
+/// when empty) removed, keeping the first occurrence.
+culinary::Result<Table> Distinct(const Table& table,
+                                 const std::vector<std::string>& columns = {});
+
+/// Frequency table of the named column: columns `<name>` and `count`,
+/// ordered by descending count (ties by first appearance). Nulls excluded.
+culinary::Result<Table> ValueCounts(const Table& table,
+                                    const std::string& column);
+
+/// Extracts a numeric column (int64 widens to double); nulls are skipped.
+culinary::Result<std::vector<double>> ToDoubleVector(const Table& table,
+                                                     const std::string& column);
+
+/// Vertically concatenates tables with identical schemas.
+culinary::Result<Table> Concat(const std::vector<Table>& tables);
+
+/// Summary statistics of every numeric column: one row per column with
+/// count (non-null), nulls, mean, stddev, min, median, max. Fails when the
+/// table has no numeric columns.
+culinary::Result<Table> Describe(const Table& table);
+
+/// A new table with columns renamed per (old, new) pairs. Unknown old
+/// names are NotFound; collisions with surviving names are
+/// InvalidArgument.
+culinary::Result<Table> RenameColumns(
+    const Table& table,
+    const std::vector<std::pair<std::string, std::string>>& renames);
+
+/// A new table without the named columns (all must exist; dropping every
+/// column is InvalidArgument).
+culinary::Result<Table> DropColumns(const Table& table,
+                                    const std::vector<std::string>& columns);
+
+/// Cell generator for computed columns.
+using ValueGenerator = std::function<Value(const Table&, size_t row)>;
+
+/// A new table with one extra column computed row-by-row. The generator's
+/// values must match `field.type` (nulls allowed); mismatches fail.
+culinary::Result<Table> WithComputedColumn(const Table& table,
+                                           const Field& field,
+                                           const ValueGenerator& generator);
+
+}  // namespace culinary::df
+
+#endif  // CULINARYLAB_DATAFRAME_OPS_H_

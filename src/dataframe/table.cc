@@ -1,0 +1,157 @@
+#include "dataframe/table.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/string_util.h"
+
+namespace culinary::df {
+
+culinary::Result<Table> Table::Make(Schema schema) {
+  if (schema.num_fields() == 0) {
+    return culinary::Status::InvalidArgument("schema must have fields");
+  }
+  std::unordered_set<std::string> names;
+  std::vector<ColumnPtr> columns;
+  columns.reserve(schema.num_fields());
+  for (const Field& f : schema.fields()) {
+    if (!names.insert(f.name).second) {
+      return culinary::Status::InvalidArgument("duplicate field name: " +
+                                               f.name);
+    }
+    columns.push_back(MakeColumn(f.type));
+  }
+  return Table(std::move(schema), std::move(columns));
+}
+
+culinary::Result<Table> Table::Make(Schema schema,
+                                    std::vector<ColumnPtr> columns) {
+  if (schema.num_fields() != columns.size()) {
+    return culinary::Status::InvalidArgument(
+        "schema has " + std::to_string(schema.num_fields()) +
+        " fields but " + std::to_string(columns.size()) + " columns given");
+  }
+  if (columns.empty()) {
+    return culinary::Status::InvalidArgument("table must have columns");
+  }
+  std::unordered_set<std::string> names;
+  for (size_t i = 0; i < columns.size(); ++i) {
+    if (columns[i] == nullptr) {
+      return culinary::Status::InvalidArgument("null column pointer");
+    }
+    if (columns[i]->type() != schema.field(i).type) {
+      return culinary::Status::InvalidArgument(
+          "column " + std::to_string(i) + " type mismatch for field '" +
+          schema.field(i).name + "'");
+    }
+    if (columns[i]->size() != columns[0]->size()) {
+      return culinary::Status::InvalidArgument("columns have unequal length");
+    }
+    if (!names.insert(schema.field(i).name).second) {
+      return culinary::Status::InvalidArgument("duplicate field name: " +
+                                               schema.field(i).name);
+    }
+  }
+  return Table(std::move(schema), std::move(columns));
+}
+
+culinary::Result<ColumnPtr> Table::ColumnByName(std::string_view name) const {
+  auto idx = schema_.FieldIndex(name);
+  if (!idx.has_value()) {
+    return culinary::Status::NotFound("no column named '" + std::string(name) +
+                                      "'");
+  }
+  return columns_[*idx];
+}
+
+culinary::Status Table::AppendRow(const std::vector<Value>& values) {
+  if (values.size() != columns_.size()) {
+    return culinary::Status::InvalidArgument(
+        "row has " + std::to_string(values.size()) + " values, table has " +
+        std::to_string(columns_.size()) + " columns");
+  }
+  // Validate first so a failed append leaves the table unchanged.
+  for (size_t i = 0; i < values.size(); ++i) {
+    const Value& v = values[i];
+    if (v.is_null()) continue;
+    DataType t = schema_.field(i).type;
+    bool ok = (t == DataType::kInt64 && v.is_int()) ||
+              (t == DataType::kDouble && (v.is_double() || v.is_int())) ||
+              (t == DataType::kString && v.is_string());
+    if (!ok) {
+      return culinary::Status::InvalidArgument(
+          "value " + v.ToString() + " does not match field '" +
+          schema_.field(i).name + "' of type " +
+          std::string(DataTypeToString(t)));
+    }
+  }
+  for (size_t i = 0; i < values.size(); ++i) {
+    culinary::Status s = columns_[i]->AppendValue(values[i]);
+    if (!s.ok()) return culinary::Status::Internal("append failed after validation: " + s.ToString());
+  }
+  return culinary::Status::OK();
+}
+
+culinary::Result<Value> Table::GetValueChecked(size_t row,
+                                               std::string_view column) const {
+  auto idx = schema_.FieldIndex(column);
+  if (!idx.has_value()) {
+    return culinary::Status::NotFound("no column named '" +
+                                      std::string(column) + "'");
+  }
+  if (row >= num_rows()) {
+    return culinary::Status::OutOfRange("row " + std::to_string(row) +
+                                        " >= " + std::to_string(num_rows()));
+  }
+  return columns_[*idx]->GetValue(row);
+}
+
+culinary::Result<Table> Table::Take(const std::vector<size_t>& indices) const {
+  const size_t n = num_rows();
+  for (size_t i : indices) {
+    if (i >= n) {
+      return culinary::Status::OutOfRange("take index " + std::to_string(i) +
+                                          " >= " + std::to_string(n));
+    }
+  }
+  std::vector<ColumnPtr> out;
+  out.reserve(columns_.size());
+  for (const ColumnPtr& c : columns_) out.push_back(c->Take(indices));
+  return Table(schema_, std::move(out));
+}
+
+std::string Table::ToString(size_t max_rows) const {
+  const size_t rows = std::min(max_rows, num_rows());
+  std::vector<std::vector<std::string>> cells;
+  std::vector<size_t> widths(num_columns(), 0);
+  std::vector<std::string> header;
+  for (size_t c = 0; c < num_columns(); ++c) {
+    header.push_back(schema_.field(c).name);
+    widths[c] = header.back().size();
+  }
+  for (size_t r = 0; r < rows; ++r) {
+    std::vector<std::string> row;
+    for (size_t c = 0; c < num_columns(); ++c) {
+      row.push_back(GetValue(r, c).ToString());
+      widths[c] = std::max(widths[c], row.back().size());
+    }
+    cells.push_back(std::move(row));
+  }
+  std::string out;
+  for (size_t c = 0; c < num_columns(); ++c) {
+    out += culinary::PadRight(header[c], widths[c]);
+    out += (c + 1 < num_columns()) ? "  " : "\n";
+  }
+  for (const auto& row : cells) {
+    for (size_t c = 0; c < num_columns(); ++c) {
+      out += culinary::PadRight(row[c], widths[c]);
+      out += (c + 1 < num_columns()) ? "  " : "\n";
+    }
+  }
+  if (rows < num_rows()) {
+    out += "... (" + std::to_string(num_rows() - rows) + " more rows)\n";
+  }
+  return out;
+}
+
+}  // namespace culinary::df

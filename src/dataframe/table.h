@@ -1,0 +1,75 @@
+#ifndef CULINARYLAB_DATAFRAME_TABLE_H_
+#define CULINARYLAB_DATAFRAME_TABLE_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "dataframe/column.h"
+#include "dataframe/types.h"
+
+namespace culinary::df {
+
+/// An in-memory columnar table: a schema plus one equal-length column per
+/// field. The in-process equivalent of a pandas DataFrame for this project.
+///
+/// Tables are cheap to copy (columns are shared). Rows are appended through
+/// `AppendRow`; bulk transformations live in ops.h and produce new tables.
+class Table {
+ public:
+  /// Creates an empty table (no columns, no rows).
+  Table() = default;
+
+  /// Creates an empty table with the given schema. Fails when field names
+  /// collide or the schema is empty.
+  static culinary::Result<Table> Make(Schema schema);
+
+  /// Creates a table from a schema and pre-built columns. Fails when counts
+  /// or row lengths disagree, or a column type mismatches its field.
+  static culinary::Result<Table> Make(Schema schema,
+                                      std::vector<ColumnPtr> columns);
+
+  const Schema& schema() const { return schema_; }
+  size_t num_columns() const { return columns_.size(); }
+  size_t num_rows() const {
+    return columns_.empty() ? 0 : columns_[0]->size();
+  }
+
+  /// Column accessors. `column(i)` is bounds-unchecked; the name variant
+  /// returns NotFound for unknown names.
+  const ColumnPtr& column(size_t i) const { return columns_[i]; }
+  culinary::Result<ColumnPtr> ColumnByName(std::string_view name) const;
+
+  /// Appends one row given as dynamically typed values, one per field.
+  culinary::Status AppendRow(const std::vector<Value>& values);
+
+  /// Cell accessor: `GetValue(row, col)`; bounds-checked variant returns
+  /// OutOfRange / NotFound as appropriate.
+  Value GetValue(size_t row, size_t col) const {
+    return columns_[col]->GetValue(row);
+  }
+  culinary::Result<Value> GetValueChecked(size_t row,
+                                          std::string_view column) const;
+
+  /// A new table containing the rows at `indices`, in that order. Indices
+  /// may repeat. Fails on out-of-range indices.
+  culinary::Result<Table> Take(const std::vector<size_t>& indices) const;
+
+  /// Renders up to `max_rows` rows as an aligned text table (for debugging
+  /// and examples).
+  std::string ToString(size_t max_rows = 10) const;
+
+ private:
+  Table(Schema schema, std::vector<ColumnPtr> columns)
+      : schema_(std::move(schema)), columns_(std::move(columns)) {}
+
+  Schema schema_;
+  std::vector<ColumnPtr> columns_;
+};
+
+}  // namespace culinary::df
+
+#endif  // CULINARYLAB_DATAFRAME_TABLE_H_

@@ -1,0 +1,56 @@
+#include "dataframe/types.h"
+
+#include "common/string_util.h"
+
+namespace culinary::df {
+
+std::string_view DataTypeToString(DataType type) {
+  switch (type) {
+    case DataType::kInt64:
+      return "int64";
+    case DataType::kDouble:
+      return "double";
+    case DataType::kString:
+      return "string";
+  }
+  return "unknown";
+}
+
+std::optional<size_t> Schema::FieldIndex(std::string_view name) const {
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (fields_[i].name == name) return i;
+  }
+  return std::nullopt;
+}
+
+std::string Schema::ToString() const {
+  std::string out;
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += fields_[i].name;
+    out += ":";
+    out += DataTypeToString(fields_[i].type);
+  }
+  return out;
+}
+
+std::optional<double> Value::AsNumeric() const {
+  if (is_int()) return static_cast<double>(as_int());
+  if (is_double()) return as_double();
+  return std::nullopt;
+}
+
+std::string Value::ToString() const {
+  if (is_null()) return "null";
+  if (is_int()) return std::to_string(as_int());
+  if (is_double()) {
+    std::string s = culinary::FormatDouble(as_double(), 6);
+    // Trim trailing zeros but keep one decimal digit for readability.
+    while (s.size() > 1 && s.back() == '0') s.pop_back();
+    if (!s.empty() && s.back() == '.') s.push_back('0');
+    return s;
+  }
+  return as_string();
+}
+
+}  // namespace culinary::df

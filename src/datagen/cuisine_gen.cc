@@ -1,0 +1,249 @@
+#include "datagen/cuisine_gen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "analysis/pairing.h"
+
+namespace culinary::datagen {
+
+namespace {
+
+using flavor::IngredientId;
+
+/// Number of anchor pools a region concentrates on.
+constexpr size_t kAnchorPools = 3;
+
+/// Scale turning the [-1, 1] pairing_bias into a softmax inverse
+/// temperature over shared-compound counts.
+constexpr double kBiasScale = 0.35;
+
+/// Weighted sampling without replacement (Efraimidis–Spirakis): keeps the
+/// `k` items with the largest u^(1/w) keys.
+std::vector<const IngredientMeta*> WeightedSample(
+    const std::vector<const IngredientMeta*>& items,
+    const RegionSpec& region_spec, size_t k, culinary::Rng& rng) {
+  struct Keyed {
+    const IngredientMeta* meta;
+    double key;
+  };
+  std::vector<Keyed> keyed;
+  keyed.reserve(items.size());
+  for (const IngredientMeta* m : items) {
+    // sqrt tempers the preference: it is applied again (in full) during
+    // popularity-rank assignment, and heatmap shares would otherwise
+    // overshoot the paper's contrasts.
+    double w = std::sqrt(std::max(
+        1e-6,
+        region_spec.category_preference[static_cast<size_t>(m->category)]));
+    double u = std::max(rng.NextDouble(), 1e-300);
+    keyed.push_back({m, std::pow(u, 1.0 / w)});
+  }
+  k = std::min(k, keyed.size());
+  std::partial_sort(keyed.begin(), keyed.begin() + static_cast<long>(k),
+                    keyed.end(),
+                    [](const Keyed& a, const Keyed& b) { return a.key > b.key; });
+  std::vector<const IngredientMeta*> out;
+  out.reserve(k);
+  for (size_t i = 0; i < k; ++i) out.push_back(keyed[i].meta);
+  return out;
+}
+
+/// Selects the region's ingredient subset: `anchor_fraction` of the slots
+/// from the anchor pools, the rest from everything else; both draws are
+/// weighted by the region's category preferences so dairy-heavy regions
+/// actually *stock* more dairy entities (Fig 2).
+std::vector<const IngredientMeta*> SelectRegionIngredients(
+    const RegionSpec& region_spec, const FlavorUniverse& universe,
+    const std::vector<size_t>& anchor_pools, culinary::Rng& rng) {
+  std::vector<const IngredientMeta*> anchor, rest;
+  for (const IngredientMeta& m : universe.meta) {
+    bool in_anchor =
+        m.home_pool >= 0 &&
+        std::find(anchor_pools.begin(), anchor_pools.end(),
+                  static_cast<size_t>(m.home_pool)) != anchor_pools.end();
+    (in_anchor ? anchor : rest).push_back(&m);
+  }
+  size_t want = std::min(region_spec.num_ingredients, universe.meta.size());
+  size_t want_anchor = std::min(
+      anchor.size(),
+      static_cast<size_t>(std::round(region_spec.anchor_fraction *
+                                     static_cast<double>(want))));
+  size_t want_rest = std::min(rest.size(), want - want_anchor);
+
+  std::vector<const IngredientMeta*> selected =
+      WeightedSample(anchor, region_spec, want_anchor, rng);
+  std::vector<const IngredientMeta*> others =
+      WeightedSample(rest, region_spec, want_rest, rng);
+  selected.insert(selected.end(), others.begin(), others.end());
+  return selected;
+}
+
+/// Orders the selected ingredients by popularity: the returned vector's
+/// index is the 0-based rank.
+std::vector<const IngredientMeta*> AssignPopularityRanks(
+    const RegionSpec& region_spec, std::vector<const IngredientMeta*> selected,
+    const std::vector<size_t>& anchor_pools, culinary::Rng& rng) {
+  struct Scored {
+    const IngredientMeta* meta;
+    double score;
+  };
+  std::vector<Scored> scored;
+  scored.reserve(selected.size());
+  const bool positive = region_spec.pairing_bias >= 0.0;
+  for (const IngredientMeta* m : selected) {
+    double score =
+        region_spec.category_preference[static_cast<size_t>(m->category)];
+    bool in_anchor =
+        m->home_pool >= 0 &&
+        std::find(anchor_pools.begin(), anchor_pools.end(),
+                  static_cast<size_t>(m->home_pool)) != anchor_pools.end();
+    double size_norm =
+        static_cast<double>(std::max<size_t>(m->profile_size, 1)) / 30.0;
+    if (positive) {
+      // Popular ingredients: anchor-pool members with large profiles →
+      // frequency-weighted sampling already yields high flavor overlap.
+      if (in_anchor) score *= 2.2;
+      score *= std::sqrt(size_norm);
+    } else {
+      // Popular ingredients: spread across pools with small profiles →
+      // frequency-weighted sampling yields low overlap.
+      if (in_anchor) score *= 1.1;
+      score *= std::sqrt(1.0 / size_norm);
+    }
+    score *= std::exp(0.45 * rng.NextGaussian());  // idiosyncratic noise
+    scored.push_back({m, score});
+  }
+  std::stable_sort(scored.begin(), scored.end(),
+                   [](const Scored& a, const Scored& b) {
+                     return a.score > b.score;
+                   });
+  std::vector<const IngredientMeta*> ranked;
+  ranked.reserve(scored.size());
+  for (const Scored& s : scored) ranked.push_back(s.meta);
+  return ranked;
+}
+
+size_t SampleRecipeSize(const WorldSpec& spec, culinary::Rng& rng) {
+  double v =
+      rng.NextLogNormal(spec.recipe_size_log_mean, spec.recipe_size_log_sigma);
+  auto size = static_cast<size_t>(std::llround(v));
+  return std::clamp(size, spec.recipe_size_min, spec.recipe_size_max);
+}
+
+}  // namespace
+
+culinary::Result<std::vector<recipe::Recipe>> GenerateRegionRecipes(
+    const WorldSpec& spec, const RegionSpec& region_spec,
+    const FlavorUniverse& universe, culinary::Rng& rng) {
+  if (universe.registry == nullptr) {
+    return culinary::Status::InvalidArgument("universe has no registry");
+  }
+  if (universe.meta.size() < spec.recipe_size_max) {
+    return culinary::Status::FailedPrecondition(
+        "flavor universe too small for recipe generation");
+  }
+
+  // Anchor pools for this region.
+  std::vector<size_t> anchor_pools =
+      rng.SampleWithoutReplacement(universe.num_pools,
+                                   std::min(kAnchorPools, universe.num_pools));
+
+  std::vector<const IngredientMeta*> selected =
+      SelectRegionIngredients(region_spec, universe, anchor_pools, rng);
+  if (selected.size() < spec.recipe_size_max) {
+    return culinary::Status::FailedPrecondition(
+        "region ingredient subset smaller than the maximum recipe size");
+  }
+  std::vector<const IngredientMeta*> ranked =
+      AssignPopularityRanks(region_spec, std::move(selected), anchor_pools, rng);
+
+  // Popularity sampler over ranks (Fig 3b shape).
+  culinary::ZipfSampler popularity(ranked.size(), spec.popularity_exponent,
+                                   spec.popularity_shift);
+  if (!popularity.valid()) {
+    return culinary::Status::Internal("popularity sampler failed");
+  }
+
+  // O(1) overlap lookups during assembly.
+  std::vector<IngredientId> subset_ids;
+  subset_ids.reserve(ranked.size());
+  for (const IngredientMeta* m : ranked) subset_ids.push_back(m->id);
+  analysis::PairingCache cache(*universe.registry, subset_ids);
+
+  const double beta = kBiasScale * region_spec.pairing_bias;
+  std::vector<recipe::Recipe> recipes;
+  recipes.reserve(region_spec.num_recipes);
+
+  for (size_t r = 0; r < region_spec.num_recipes; ++r) {
+    const size_t size = std::min(SampleRecipeSize(spec, rng), ranked.size());
+    std::vector<int> chosen;  // dense indices == ranks
+    chosen.reserve(size);
+    chosen.push_back(static_cast<int>(popularity.Sample(rng)) - 1);
+
+    while (chosen.size() < size) {
+      // Draw distinct candidates by popularity.
+      std::vector<int> candidates;
+      size_t attempts = 0;
+      while (candidates.size() < spec.assembly_candidates &&
+             attempts < spec.assembly_candidates * 20) {
+        ++attempts;
+        int c = static_cast<int>(popularity.Sample(rng)) - 1;
+        if (std::find(chosen.begin(), chosen.end(), c) != chosen.end()) continue;
+        if (std::find(candidates.begin(), candidates.end(), c) !=
+            candidates.end()) {
+          continue;
+        }
+        candidates.push_back(c);
+      }
+      if (candidates.empty()) break;
+
+      // Mean shared-compound count of each candidate with the partial
+      // recipe; softmax with inverse temperature beta.
+      std::vector<double> weights(candidates.size(), 0.0);
+      double max_logit = -1e300;
+      for (size_t i = 0; i < candidates.size(); ++i) {
+        double overlap = 0.0;
+        for (int x : chosen) {
+          overlap += cache.SharedByDense(static_cast<size_t>(candidates[i]),
+                                         static_cast<size_t>(x));
+        }
+        overlap /= static_cast<double>(chosen.size());
+        // Saturating transform keeps one huge profile from dominating.
+        double logit = beta * (overlap / (1.0 + 0.05 * overlap));
+        weights[i] = logit;
+        max_logit = std::max(max_logit, logit);
+      }
+      double total = 0.0;
+      for (double& w : weights) {
+        w = std::exp(w - max_logit);
+        total += w;
+      }
+      double x = rng.NextDouble() * total;
+      size_t pick = 0;
+      for (size_t i = 0; i < weights.size(); ++i) {
+        x -= weights[i];
+        if (x <= 0) {
+          pick = i;
+          break;
+        }
+      }
+      chosen.push_back(candidates[pick]);
+    }
+
+    recipe::Recipe out;
+    out.region = region_spec.region;
+    out.name = std::string(recipe::RegionCode(region_spec.region)) + "-" +
+               std::to_string(r);
+    out.ingredients.reserve(chosen.size());
+    for (int rank : chosen) {
+      out.ingredients.push_back(ranked[static_cast<size_t>(rank)]->id);
+    }
+    recipe::CanonicalizeIngredients(out.ingredients);
+    recipes.push_back(std::move(out));
+  }
+  return recipes;
+}
+
+}  // namespace culinary::datagen

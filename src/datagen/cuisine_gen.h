@@ -1,0 +1,40 @@
+#ifndef CULINARYLAB_DATAGEN_CUISINE_GEN_H_
+#define CULINARYLAB_DATAGEN_CUISINE_GEN_H_
+
+#include <vector>
+
+#include "common/random.h"
+#include "common/result.h"
+#include "datagen/registry_gen.h"
+#include "datagen/spec.h"
+#include "recipe/recipe.h"
+
+namespace culinary::datagen {
+
+/// Generates the recipes of one region.
+///
+/// The generator realizes the paper's observed regularities:
+///
+///  * **ingredient subset** — `num_ingredients` entities, a fraction of
+///    which come from the region's anchor flavor pools;
+///  * **popularity** — Zipf–Mandelbrot ranks (Fig 3b); rank assignment is
+///    biased by the region's category preferences (Fig 2) and, for
+///    positive-pairing regions, toward large-profile anchor-pool
+///    ingredients (this is what lets the Ingredient Frequency null model
+///    reproduce the pairing pattern, Fig 4);
+///  * **recipe sizes** — rounded lognormal clipped to [min,max], mean ≈ 9
+///    (Fig 3a);
+///  * **pairing bias** — recipes are assembled ingredient-by-ingredient
+///    from popularity-sampled candidates, picking the candidate whose
+///    flavor overlap with the partial recipe is softmax-favoured with
+///    inverse temperature ∝ `pairing_bias` (positive → uniform blends,
+///    negative → contrasting blends).
+///
+/// Deterministic in `rng`'s state at entry.
+culinary::Result<std::vector<recipe::Recipe>> GenerateRegionRecipes(
+    const WorldSpec& spec, const RegionSpec& region_spec,
+    const FlavorUniverse& universe, culinary::Rng& rng);
+
+}  // namespace culinary::datagen
+
+#endif  // CULINARYLAB_DATAGEN_CUISINE_GEN_H_

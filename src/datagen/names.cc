@@ -1,0 +1,275 @@
+#include "datagen/names.h"
+
+#include <algorithm>
+
+namespace culinary::datagen {
+
+namespace {
+
+using flavor::Category;
+
+const char* const kNoSynonyms[] = {nullptr};
+const char* const kYogurtSyn[] = {"curd", nullptr};
+const char* const kBreadSyn[] = {"bun", nullptr};
+const char* const kBeerSyn[] = {"lager", nullptr};
+const char* const kWhiskeySyn[] = {"whisky", nullptr};
+const char* const kAsafoetidaSyn[] = {"hing", nullptr};
+const char* const kChiliSyn[] = {"chile", "chilli", nullptr};
+const char* const kScallionSyn[] = {"green onion", "spring onion", nullptr};
+const char* const kCilantroSyn[] = {"coriander leaf", nullptr};
+const char* const kGarbanzoSyn[] = {"chickpea", nullptr};
+const char* const kEggplantSyn[] = {"aubergine", "brinjal", nullptr};
+const char* const kZucchiniSyn[] = {"courgette", nullptr};
+const char* const kShrimpSyn[] = {"prawn", nullptr};
+const char* const kCornSyn[] = {"maize", nullptr};
+const char* const kPowderedSugarSyn[] = {"confectioner sugar", "icing sugar",
+                                         nullptr};
+
+const CuratedName kCurated[] = {
+    // Vegetable
+    {"tomato", Category::kVegetable, kNoSynonyms},
+    {"onion", Category::kVegetable, kNoSynonyms},
+    {"garlic", Category::kVegetable, kNoSynonyms},
+    {"potato", Category::kVegetable, kNoSynonyms},
+    {"carrot", Category::kVegetable, kNoSynonyms},
+    {"celery", Category::kVegetable, kNoSynonyms},
+    {"bell pepper", Category::kVegetable, kNoSynonyms},
+    {"jalapeno pepper", Category::kVegetable, kNoSynonyms},
+    {"spinach", Category::kVegetable, kNoSynonyms},
+    {"cabbage", Category::kVegetable, kNoSynonyms},
+    {"cauliflower", Category::kVegetable, kNoSynonyms},
+    {"broccoli", Category::kVegetable, kNoSynonyms},
+    {"cucumber", Category::kVegetable, kNoSynonyms},
+    {"eggplant", Category::kVegetable, kEggplantSyn},
+    {"zucchini", Category::kVegetable, kZucchiniSyn},
+    {"scallion", Category::kVegetable, kScallionSyn},
+    {"pumpkin", Category::kVegetable, kNoSynonyms},
+    {"beet", Category::kVegetable, kNoSynonyms},
+    {"radish", Category::kVegetable, kNoSynonyms},
+    {"lettuce", Category::kVegetable, kNoSynonyms},
+    // Dairy
+    {"milk", Category::kDairy, kNoSynonyms},
+    {"butter", Category::kDairy, kNoSynonyms},
+    {"cream", Category::kDairy, kNoSynonyms},
+    {"yogurt", Category::kDairy, kYogurtSyn},
+    {"cheddar cheese", Category::kDairy, kNoSynonyms},
+    {"parmesan cheese", Category::kDairy, kNoSynonyms},
+    {"mozzarella cheese", Category::kDairy, kNoSynonyms},
+    {"cream cheese", Category::kDairy, kNoSynonyms},
+    {"sour cream", Category::kDairy, kNoSynonyms},
+    {"ghee", Category::kDairy, kNoSynonyms},
+    {"buttermilk", Category::kDairy, kNoSynonyms},
+    // Legume
+    {"lentil", Category::kLegume, kNoSynonyms},
+    {"garbanzo bean", Category::kLegume, kGarbanzoSyn},
+    {"black bean", Category::kLegume, kNoSynonyms},
+    {"kidney bean", Category::kLegume, kNoSynonyms},
+    {"pea", Category::kLegume, kNoSynonyms},
+    {"soybean", Category::kLegume, kNoSynonyms},
+    {"peanut", Category::kLegume, kNoSynonyms},
+    // Maize
+    {"corn", Category::kMaize, kCornSyn},
+    {"cornmeal", Category::kMaize, kNoSynonyms},
+    {"corn tortilla", Category::kMaize, kNoSynonyms},
+    {"popcorn", Category::kMaize, kNoSynonyms},
+    // Cereal
+    {"rice", Category::kCereal, kNoSynonyms},
+    {"wheat flour", Category::kCereal, kNoSynonyms},
+    {"oat", Category::kCereal, kNoSynonyms},
+    {"barley", Category::kCereal, kNoSynonyms},
+    {"quinoa", Category::kCereal, kNoSynonyms},
+    {"pasta", Category::kCereal, kNoSynonyms},
+    {"noodle", Category::kCereal, kNoSynonyms},
+    // Meat
+    {"chicken", Category::kMeat, kNoSynonyms},
+    {"beef", Category::kMeat, kNoSynonyms},
+    {"pork", Category::kMeat, kNoSynonyms},
+    {"lamb", Category::kMeat, kNoSynonyms},
+    {"bacon", Category::kMeat, kNoSynonyms},
+    {"ham", Category::kMeat, kNoSynonyms},
+    {"sausage", Category::kMeat, kNoSynonyms},
+    {"turkey", Category::kMeat, kNoSynonyms},
+    {"duck", Category::kMeat, kNoSynonyms},
+    // Nuts and Seeds
+    {"almond", Category::kNutsAndSeeds, kNoSynonyms},
+    {"walnut", Category::kNutsAndSeeds, kNoSynonyms},
+    {"cashew", Category::kNutsAndSeeds, kNoSynonyms},
+    {"sesame seed", Category::kNutsAndSeeds, kNoSynonyms},
+    {"pistachio", Category::kNutsAndSeeds, kNoSynonyms},
+    {"pine nut", Category::kNutsAndSeeds, kNoSynonyms},
+    {"sunflower seed", Category::kNutsAndSeeds, kNoSynonyms},
+    // Plant
+    {"olive", Category::kPlant, kNoSynonyms},
+    {"olive oil", Category::kPlant, kNoSynonyms},
+    {"coconut", Category::kPlant, kNoSynonyms},
+    {"cocoa", Category::kPlant, kNoSynonyms},
+    {"coffee", Category::kPlant, kNoSynonyms},
+    {"tea", Category::kPlant, kNoSynonyms},
+    {"sugar", Category::kPlant, kNoSynonyms},
+    {"powdered sugar", Category::kPlant, kPowderedSugarSyn},
+    {"maple syrup", Category::kPlant, kNoSynonyms},
+    {"tofu", Category::kPlant, kNoSynonyms},
+    // Fish
+    {"salmon", Category::kFish, kNoSynonyms},
+    {"tuna", Category::kFish, kNoSynonyms},
+    {"cod", Category::kFish, kNoSynonyms},
+    {"anchovy", Category::kFish, kNoSynonyms},
+    {"herring", Category::kFish, kNoSynonyms},
+    {"sardine", Category::kFish, kNoSynonyms},
+    // Seafood
+    {"shrimp", Category::kSeafood, kShrimpSyn},
+    {"crab", Category::kSeafood, kNoSynonyms},
+    {"lobster", Category::kSeafood, kNoSynonyms},
+    {"squid", Category::kSeafood, kNoSynonyms},
+    {"oyster", Category::kSeafood, kNoSynonyms},
+    {"mussel", Category::kSeafood, kNoSynonyms},
+    // Spice
+    {"black pepper", Category::kSpice, kNoSynonyms},
+    {"cumin", Category::kSpice, kNoSynonyms},
+    {"turmeric", Category::kSpice, kNoSynonyms},
+    {"cinnamon", Category::kSpice, kNoSynonyms},
+    {"clove", Category::kSpice, kNoSynonyms},
+    {"cardamom", Category::kSpice, kNoSynonyms},
+    {"nutmeg", Category::kSpice, kNoSynonyms},
+    {"paprika", Category::kSpice, kNoSynonyms},
+    {"chili", Category::kSpice, kChiliSyn},
+    {"asafoetida", Category::kSpice, kAsafoetidaSyn},
+    {"ginger", Category::kSpice, kNoSynonyms},
+    {"saffron", Category::kSpice, kNoSynonyms},
+    {"mustard seed", Category::kSpice, kNoSynonyms},
+    {"fenugreek", Category::kSpice, kNoSynonyms},
+    {"star anise", Category::kSpice, kNoSynonyms},
+    // Bakery
+    {"bread", Category::kBakery, kBreadSyn},
+    {"tortilla", Category::kBakery, kNoSynonyms},
+    {"pita", Category::kBakery, kNoSynonyms},
+    {"cracker", Category::kBakery, kNoSynonyms},
+    {"breadcrumb", Category::kBakery, kNoSynonyms},
+    // Beverage Alcoholic
+    {"beer", Category::kBeverageAlcoholic, kBeerSyn},
+    {"whiskey", Category::kBeverageAlcoholic, kWhiskeySyn},
+    {"red wine", Category::kBeverageAlcoholic, kNoSynonyms},
+    {"white wine", Category::kBeverageAlcoholic, kNoSynonyms},
+    {"rum", Category::kBeverageAlcoholic, kNoSynonyms},
+    {"vodka", Category::kBeverageAlcoholic, kNoSynonyms},
+    {"sake", Category::kBeverageAlcoholic, kNoSynonyms},
+    // Beverage
+    {"orange juice", Category::kBeverage, kNoSynonyms},
+    {"apple cider", Category::kBeverage, kNoSynonyms},
+    {"soda water", Category::kBeverage, kNoSynonyms},
+    // Essential Oil
+    {"peppermint oil", Category::kEssentialOil, kNoSynonyms},
+    {"rose oil", Category::kEssentialOil, kNoSynonyms},
+    // Flower
+    {"rose", Category::kFlower, kNoSynonyms},
+    {"lavender", Category::kFlower, kNoSynonyms},
+    {"hibiscus", Category::kFlower, kNoSynonyms},
+    // Fruit
+    {"lemon", Category::kFruit, kNoSynonyms},
+    {"lime", Category::kFruit, kNoSynonyms},
+    {"orange", Category::kFruit, kNoSynonyms},
+    {"apple", Category::kFruit, kNoSynonyms},
+    {"banana", Category::kFruit, kNoSynonyms},
+    {"mango", Category::kFruit, kNoSynonyms},
+    {"pineapple", Category::kFruit, kNoSynonyms},
+    {"strawberry", Category::kFruit, kNoSynonyms},
+    {"raspberry", Category::kFruit, kNoSynonyms},
+    {"blueberry", Category::kFruit, kNoSynonyms},
+    {"grape", Category::kFruit, kNoSynonyms},
+    {"raisin", Category::kFruit, kNoSynonyms},
+    {"date", Category::kFruit, kNoSynonyms},
+    {"avocado", Category::kFruit, kNoSynonyms},
+    {"tamarind", Category::kFruit, kNoSynonyms},
+    // Fungus
+    {"button mushroom", Category::kFungus, kNoSynonyms},
+    {"shiitake mushroom", Category::kFungus, kNoSynonyms},
+    {"truffle", Category::kFungus, kNoSynonyms},
+    // Herb
+    {"basil", Category::kHerb, kNoSynonyms},
+    {"oregano", Category::kHerb, kNoSynonyms},
+    {"thyme", Category::kHerb, kNoSynonyms},
+    {"rosemary", Category::kHerb, kNoSynonyms},
+    {"cilantro", Category::kHerb, kCilantroSyn},
+    {"parsley", Category::kHerb, kNoSynonyms},
+    {"mint", Category::kHerb, kNoSynonyms},
+    {"dill", Category::kHerb, kNoSynonyms},
+    {"sage", Category::kHerb, kNoSynonyms},
+    {"bay leaf", Category::kHerb, kNoSynonyms},
+    {"lemongrass", Category::kHerb, kNoSynonyms},
+    // Additive
+    {"salt", Category::kAdditive, kNoSynonyms},
+    {"vinegar", Category::kAdditive, kNoSynonyms},
+    {"soy sauce", Category::kAdditive, kNoSynonyms},
+    {"fish sauce", Category::kAdditive, kNoSynonyms},
+    {"vanilla extract", Category::kAdditive, kNoSynonyms},
+    // Dish
+    {"salsa", Category::kDish, kNoSynonyms},
+    {"pesto", Category::kDish, kNoSynonyms},
+    {"hummus", Category::kDish, kNoSynonyms},
+    {"kimchi", Category::kDish, kNoSynonyms},
+};
+
+}  // namespace
+
+const std::vector<CuratedName>& CuratedNames() {
+  static const auto& list = *new std::vector<CuratedName>(
+      kCurated, kCurated + sizeof(kCurated) / sizeof(kCurated[0]));
+  return list;
+}
+
+NameGenerator::NameGenerator(uint64_t seed) : rng_(seed) {}
+
+std::string NameGenerator::Syllables(size_t count) {
+  static const char* const kOnsets[] = {"b",  "c",  "d",  "f",  "g",  "k",
+                                        "l",  "m",  "n",  "p",  "r",  "s",
+                                        "t",  "v",  "z",  "ch", "sh", "th",
+                                        "br", "cr", "gr", "pl", "tr", ""};
+  static const char* const kNuclei[] = {"a",  "e",  "i",  "o",  "u",
+                                        "ai", "ei", "oo", "ou", "ia"};
+  static const char* const kCodas[] = {"",  "",  "",  "n", "r", "l",
+                                       "s", "m", "k", "t"};
+  std::string out;
+  for (size_t s = 0; s < count; ++s) {
+    out += kOnsets[rng_.NextBounded(sizeof(kOnsets) / sizeof(kOnsets[0]))];
+    out += kNuclei[rng_.NextBounded(sizeof(kNuclei) / sizeof(kNuclei[0]))];
+    if (s + 1 == count) {
+      out += kCodas[rng_.NextBounded(sizeof(kCodas) / sizeof(kCodas[0]))];
+    }
+  }
+  return out;
+}
+
+std::string NameGenerator::Next() {
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    std::string candidate = Syllables(2 + rng_.NextBounded(3));
+    if (candidate.size() < 4) continue;
+    if (std::find(used_.begin(), used_.end(), candidate) == used_.end()) {
+      used_.push_back(candidate);
+      return candidate;
+    }
+  }
+  std::string candidate = Syllables(3) + std::to_string(used_.size());
+  used_.push_back(candidate);
+  return candidate;
+}
+
+std::string NameGenerator::NextMolecule() {
+  static const char* const kPrefixes[] = {"methyl", "ethyl",  "propyl",
+                                          "butyl",  "acetyl", "benzyl",
+                                          "iso",    "neo",    "cis"};
+  static const char* const kSuffixes[] = {"ol",   "al",  "one", "ene",
+                                          "ate",  "ine", "ide", "oxide"};
+  std::string base = Syllables(2);
+  std::string candidate =
+      std::to_string(1 + rng_.NextBounded(9)) + "-" +
+      kPrefixes[rng_.NextBounded(sizeof(kPrefixes) / sizeof(kPrefixes[0]))] +
+      base +
+      kSuffixes[rng_.NextBounded(sizeof(kSuffixes) / sizeof(kSuffixes[0]))];
+  if (std::find(used_.begin(), used_.end(), candidate) != used_.end()) {
+    candidate += std::to_string(used_.size());
+  }
+  used_.push_back(candidate);
+  return candidate;
+}
+
+}  // namespace culinary::datagen

@@ -1,0 +1,48 @@
+#ifndef CULINARYLAB_DATAGEN_NAMES_H_
+#define CULINARYLAB_DATAGEN_NAMES_H_
+
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "flavor/category.h"
+
+namespace culinary::datagen {
+
+/// A curated real-world ingredient name with category and common synonyms.
+/// A seed set of these makes the aliasing / parsing demos and tests operate
+/// on realistic text ("whisky"/"whiskey", "curd"/"yogurt"), exactly the
+/// cases §III.B of the paper curates by hand.
+struct CuratedName {
+  const char* name;
+  flavor::Category category;
+  /// Nullptr-terminated synonym list (may be empty).
+  const char* const* synonyms;
+};
+
+/// The built-in curated list (~130 entries across all 21 categories).
+const std::vector<CuratedName>& CuratedNames();
+
+/// Deterministic generator of pronounceable synthetic ingredient names
+/// ("karoma", "veluni seed"); guarantees uniqueness across one generator's
+/// lifetime by appending a numeric disambiguator on collision.
+class NameGenerator {
+ public:
+  explicit NameGenerator(uint64_t seed);
+
+  /// A fresh unique name of 2–4 syllables.
+  std::string Next();
+
+  /// A fresh unique molecule-style name ("3-methylkarool").
+  std::string NextMolecule();
+
+ private:
+  std::string Syllables(size_t count);
+
+  culinary::Rng rng_;
+  std::vector<std::string> used_;  // linear scan; sizes are ~1000
+};
+
+}  // namespace culinary::datagen
+
+#endif  // CULINARYLAB_DATAGEN_NAMES_H_

@@ -1,0 +1,134 @@
+#include "datagen/phrase_gen.h"
+
+#include <cctype>
+
+#include "common/string_util.h"
+#include "text/inflect.h"
+
+namespace culinary::datagen {
+
+namespace {
+
+const char* const kQuantities[] = {"1",   "2",    "3",     "4",   "1/2",
+                                   "1/4", "3/4",  "1 1/2", "250", "500",
+                                   "100", "2 1/2"};
+
+const char* const kUnits[] = {"cup",    "cups",       "tablespoon",
+                              "tablespoons", "tbsp",  "teaspoon",
+                              "teaspoons",   "tsp",   "ounces",
+                              "g",      "kg",         "ml",
+                              "pound",  "pounds",     "pinch",
+                              "cloves", "slices",     "can"};
+
+const char* const kPreQualifiers[] = {"fresh",  "large", "small",
+                                      "medium", "ripe",  "dried",
+                                      "frozen", "whole", "finely chopped",
+                                      "freshly ground"};
+
+const char* const kPostClauses[] = {
+    ", chopped",       ", diced",          ", minced",
+    ", thinly sliced", ", roasted",        ", peeled and seeded",
+    ", to taste",      " (optional)",      ", divided",
+    ", at room temperature",               ", drained and rinsed"};
+
+/// Injects one Damerau-distance-1 typo into `word` (length >= 6).
+std::string InjectTypo(const std::string& word, culinary::Rng& rng) {
+  std::string out = word;
+  size_t kind = rng.NextBounded(3);
+  // Operate away from the first character to keep fuzzy prefix hints.
+  size_t pos = 1 + rng.NextBounded(out.size() - 2);
+  switch (kind) {
+    case 0:  // adjacent transposition
+      std::swap(out[pos], out[pos - 1]);
+      break;
+    case 1:  // duplication
+      out.insert(out.begin() + static_cast<long>(pos), out[pos]);
+      break;
+    default:  // deletion
+      out.erase(out.begin() + static_cast<long>(pos));
+      break;
+  }
+  return out;
+}
+
+template <size_t N>
+const char* Pick(const char* const (&list)[N], culinary::Rng& rng) {
+  return list[rng.NextBounded(N)];
+}
+
+}  // namespace
+
+culinary::Result<std::string> RenderIngredientPhrase(
+    const flavor::FlavorRegistry& registry, flavor::IngredientId id,
+    const PhraseGenOptions& options, culinary::Rng& rng) {
+  const flavor::Ingredient* ing = registry.Find(id);
+  if (ing == nullptr) {
+    return culinary::Status::NotFound("ingredient id " + std::to_string(id) +
+                                      " unknown");
+  }
+
+  // Choose the surface name: canonical or synonym.
+  std::string name = ing->name;
+  if (!ing->synonyms.empty() && rng.NextBernoulli(options.synonym_prob)) {
+    name = ing->synonyms[rng.NextBounded(ing->synonyms.size())];
+  }
+
+  // Token-level mutations: plural, typo, capitalization.
+  std::vector<std::string> tokens = culinary::SplitWhitespace(name);
+  if (!tokens.empty() && rng.NextBernoulli(options.plural_prob)) {
+    tokens.back() = text::Pluralize(tokens.back());
+  }
+  if (options.typo_prob > 0.0 && rng.NextBernoulli(options.typo_prob)) {
+    // Typo the longest token (most likely to stay fuzzy-recoverable).
+    size_t longest = 0;
+    for (size_t i = 1; i < tokens.size(); ++i) {
+      if (tokens[i].size() > tokens[longest].size()) longest = i;
+    }
+    if (tokens[longest].size() >= 6) {
+      tokens[longest] = InjectTypo(tokens[longest], rng);
+    }
+  }
+  if (rng.NextBernoulli(options.capitalize_prob)) {
+    for (std::string& t : tokens) {
+      t[0] = static_cast<char>(std::toupper(static_cast<unsigned char>(t[0])));
+    }
+  }
+  name = culinary::Join(tokens, " ");
+
+  std::string phrase;
+  if (rng.NextBernoulli(options.quantity_prob)) {
+    phrase += Pick(kQuantities, rng);
+    phrase += ' ';
+    if (rng.NextBernoulli(options.unit_prob)) {
+      phrase += Pick(kUnits, rng);
+      phrase += ' ';
+    }
+  }
+  if (rng.NextBernoulli(options.pre_qualifier_prob)) {
+    phrase += Pick(kPreQualifiers, rng);
+    phrase += ' ';
+  }
+  phrase += name;
+  if (rng.NextBernoulli(options.post_clause_prob)) {
+    phrase += Pick(kPostClauses, rng);
+  }
+  return phrase;
+}
+
+culinary::Result<std::vector<std::string>> RenderRecipePhrases(
+    const flavor::FlavorRegistry& registry, const recipe::Recipe& recipe,
+    const PhraseGenOptions& options, culinary::Rng& rng) {
+  std::vector<flavor::IngredientId> order = recipe.ingredients;
+  rng.Shuffle(order);
+  std::vector<std::string> out;
+  out.reserve(order.size());
+  for (flavor::IngredientId id : order) {
+    CULINARY_ASSIGN_OR_RETURN(std::string phrase,
+                              RenderIngredientPhrase(registry, id, options,
+                                                     rng));
+    out.push_back(std::move(phrase));
+  }
+  return out;
+}
+
+}  // namespace culinary::datagen

@@ -1,0 +1,54 @@
+#ifndef CULINARYLAB_DATAGEN_PHRASE_GEN_H_
+#define CULINARYLAB_DATAGEN_PHRASE_GEN_H_
+
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/result.h"
+#include "flavor/registry.h"
+#include "recipe/recipe.h"
+
+namespace culinary::datagen {
+
+/// Options for rendering ingredient ids back into messy, scraped-looking
+/// ingredient phrases ("2 jalapeno peppers, roasted and slit") — the raw
+/// input of the paper's aliasing protocol (§IV.A). Generating such phrases
+/// from ground-truth ids lets the full parse pipeline be evaluated for
+/// precision/recall at scale.
+struct PhraseGenOptions {
+  /// Probability of prefixing a quantity ("2", "1 1/2", "250").
+  double quantity_prob = 0.9;
+  /// Probability of a unit after the quantity ("cups", "tbsp", "g").
+  double unit_prob = 0.6;
+  /// Probability of a qualifier before the name ("fresh", "large").
+  double pre_qualifier_prob = 0.5;
+  /// Probability of a preparation clause after the name (", chopped").
+  double post_clause_prob = 0.6;
+  /// Probability of pluralizing the name's final token.
+  double plural_prob = 0.35;
+  /// Probability of using a registered synonym instead of the canonical
+  /// name (when one exists).
+  double synonym_prob = 0.25;
+  /// Probability of injecting a single-character typo (adjacent
+  /// transposition, duplication or deletion — Damerau distance 1) into a
+  /// name token of length >= 6.
+  double typo_prob = 0.0;
+  /// Probability of uppercasing the first letter of name tokens.
+  double capitalize_prob = 0.3;
+};
+
+/// Renders one ingredient as a raw phrase. Fails when `id` is unknown.
+culinary::Result<std::string> RenderIngredientPhrase(
+    const flavor::FlavorRegistry& registry, flavor::IngredientId id,
+    const PhraseGenOptions& options, culinary::Rng& rng);
+
+/// Renders a whole recipe as a list of raw phrases (one per ingredient,
+/// order shuffled like scraped ingredient lists).
+culinary::Result<std::vector<std::string>> RenderRecipePhrases(
+    const flavor::FlavorRegistry& registry, const recipe::Recipe& recipe,
+    const PhraseGenOptions& options, culinary::Rng& rng);
+
+}  // namespace culinary::datagen
+
+#endif  // CULINARYLAB_DATAGEN_PHRASE_GEN_H_

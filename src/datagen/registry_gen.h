@@ -1,0 +1,58 @@
+#ifndef CULINARYLAB_DATAGEN_REGISTRY_GEN_H_
+#define CULINARYLAB_DATAGEN_REGISTRY_GEN_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/result.h"
+#include "datagen/spec.h"
+#include "flavor/registry.h"
+
+namespace culinary::datagen {
+
+/// Generation-time metadata about one ingredient — what the generator knew
+/// when it built the profile. Consumed by the cuisine generator to realize
+/// per-region pairing biases; not part of the public analysis surface.
+struct IngredientMeta {
+  flavor::IngredientId id = flavor::kInvalidIngredient;
+  /// Index of the ingredient's home flavor pool, or -1 (profile-less
+  /// additives).
+  int home_pool = -1;
+  /// Profile size (0 for profile-less additives).
+  size_t profile_size = 0;
+  flavor::Category category = flavor::Category::kVegetable;
+};
+
+/// A generated flavor universe: the registry plus generation metadata.
+///
+/// The registry is held by unique_ptr so the universe can be moved while
+/// `RecipeDatabase` and `PairingCache` hold stable pointers into it.
+struct FlavorUniverse {
+  std::unique_ptr<flavor::FlavorRegistry> registry;
+  std::vector<IngredientMeta> meta;  ///< live ingredients only
+  size_t num_pools = 0;
+
+  /// Metadata for `id`, or nullptr.
+  const IngredientMeta* MetaFor(flavor::IngredientId id) const;
+};
+
+/// Builds the synthetic FlavorDB-equivalent universe following the paper's
+/// curation story (§III.B):
+///
+///   1. generate `num_raw_flavordb_ingredients` basic ingredients over
+///      pool-structured molecule blocks (plus a curated seed of ~130 real
+///      names with synonyms);
+///   2. remove `num_noisy_removed` "generic and noisy" entities;
+///   3. add the specific ingredients, the Ahn-et-al. extras, and the
+///      additives (the last `num_additives_without_profile` of which get
+///      empty flavor profiles);
+///   4. create `num_compound_ingredients` compound ingredients pooling
+///      their constituents' molecules.
+///
+/// Deterministic in `spec.seed`.
+culinary::Result<FlavorUniverse> GenerateFlavorUniverse(const WorldSpec& spec);
+
+}  // namespace culinary::datagen
+
+#endif  // CULINARYLAB_DATAGEN_REGISTRY_GEN_H_

@@ -1,0 +1,72 @@
+#include "datagen/world.h"
+
+#include "dataframe/csv.h"
+#include "dataframe/table.h"
+
+namespace culinary::datagen {
+
+culinary::Result<SyntheticWorld> GenerateWorld(const WorldSpec& spec) {
+  SyntheticWorld world;
+  CULINARY_ASSIGN_OR_RETURN(world.universe, GenerateFlavorUniverse(spec));
+  world.database =
+      std::make_unique<recipe::RecipeDatabase>(world.universe.registry.get());
+
+  culinary::Rng master(spec.seed ^ 0x9E3779B97F4A7C15ULL);
+  for (const RegionSpec& region_spec : spec.regions) {
+    // Independent stream per region keyed by region id, not by draw order.
+    culinary::Rng region_rng(master.NextUint64() ^
+                             static_cast<uint64_t>(region_spec.region));
+    CULINARY_ASSIGN_OR_RETURN(
+        std::vector<recipe::Recipe> recipes,
+        GenerateRegionRecipes(spec, region_spec, world.universe, region_rng));
+    for (recipe::Recipe& r : recipes) {
+      CULINARY_RETURN_IF_ERROR(
+          world.database
+              ->AddRecipe(std::move(r.name), r.region, std::move(r.ingredients))
+              .status());
+    }
+  }
+  return world;
+}
+
+culinary::Result<SyntheticWorld> GenerateDefaultWorld() {
+  return GenerateWorld(WorldSpec::Default());
+}
+
+culinary::Result<SyntheticWorld> GenerateSmallWorld() {
+  return GenerateWorld(WorldSpec::Small());
+}
+
+culinary::Status ExportWorldCsv(const SyntheticWorld& world,
+                                const std::string& prefix) {
+  CULINARY_RETURN_IF_ERROR(world.db().SaveCsv(prefix + "_recipes.csv"));
+
+  df::Schema schema({{"name", df::DataType::kString},
+                     {"category", df::DataType::kString},
+                     {"kind", df::DataType::kString},
+                     {"profile_size", df::DataType::kInt64}});
+  CULINARY_ASSIGN_OR_RETURN(df::Table table, df::Table::Make(schema));
+  for (flavor::IngredientId id : world.registry().LiveIngredients()) {
+    const flavor::Ingredient* ing = world.registry().Find(id);
+    std::string kind;
+    switch (ing->kind) {
+      case flavor::IngredientKind::kBasic:
+        kind = "basic";
+        break;
+      case flavor::IngredientKind::kCompound:
+        kind = "compound";
+        break;
+      case flavor::IngredientKind::kBundle:
+        kind = "bundle";
+        break;
+    }
+    CULINARY_RETURN_IF_ERROR(table.AppendRow(
+        {df::Value::Str(ing->name),
+         df::Value::Str(std::string(flavor::CategoryToString(ing->category))),
+         df::Value::Str(kind),
+         df::Value::Int(static_cast<int64_t>(ing->profile.size()))}));
+  }
+  return df::WriteCsvFile(table, prefix + "_ingredients.csv");
+}
+
+}  // namespace culinary::datagen

@@ -1,0 +1,46 @@
+#ifndef CULINARYLAB_DATAGEN_WORLD_H_
+#define CULINARYLAB_DATAGEN_WORLD_H_
+
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "datagen/cuisine_gen.h"
+#include "datagen/registry_gen.h"
+#include "datagen/spec.h"
+#include "recipe/database.h"
+
+namespace culinary::datagen {
+
+/// A complete synthetic world: the flavor universe (registry + generation
+/// metadata) and the recipe database built over it. Movable; the database
+/// keeps a stable pointer into the heap-allocated registry.
+struct SyntheticWorld {
+  FlavorUniverse universe;
+  std::unique_ptr<recipe::RecipeDatabase> database;
+
+  const flavor::FlavorRegistry& registry() const { return *universe.registry; }
+  const recipe::RecipeDatabase& db() const { return *database; }
+};
+
+/// Generates the full synthetic world for `spec`: the flavor universe, then
+/// every region's recipes (regions are generated from independent forked
+/// RNG streams so changing one region's count does not reshuffle others).
+culinary::Result<SyntheticWorld> GenerateWorld(const WorldSpec& spec);
+
+/// Convenience: the calibrated paper-scale world (45,565 recipes over 22
+/// regions) with the default seed.
+culinary::Result<SyntheticWorld> GenerateDefaultWorld();
+
+/// Convenience: the miniature test world.
+culinary::Result<SyntheticWorld> GenerateSmallWorld();
+
+/// Exports the world's recipe CSV (see RecipeDatabase::SaveCsv) and an
+/// ingredient CSV (name, category, kind, profile_size) next to it:
+/// `<prefix>_recipes.csv` and `<prefix>_ingredients.csv`.
+culinary::Status ExportWorldCsv(const SyntheticWorld& world,
+                                const std::string& prefix);
+
+}  // namespace culinary::datagen
+
+#endif  // CULINARYLAB_DATAGEN_WORLD_H_

@@ -1,0 +1,159 @@
+#include "evolution/copy_mutate.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "analysis/pairing.h"
+
+namespace culinary::evolution {
+
+namespace {
+
+/// Mean shared-compound count between `candidate` and the other members of
+/// `recipe` (dense indices into `cache`), skipping `skip_slot`.
+double MeanOverlap(const analysis::PairingCache& cache,
+                   const std::vector<int>& recipe, int candidate,
+                   size_t skip_slot) {
+  double total = 0.0;
+  size_t n = 0;
+  for (size_t i = 0; i < recipe.size(); ++i) {
+    if (i == skip_slot) continue;
+    total += cache.SharedByDense(static_cast<size_t>(candidate),
+                                 static_cast<size_t>(recipe[i]));
+    ++n;
+  }
+  return n == 0 ? 0.0 : total / static_cast<double>(n);
+}
+
+}  // namespace
+
+culinary::Result<EvolutionResult> Evolve(
+    const flavor::FlavorRegistry& registry,
+    const std::vector<flavor::IngredientId>& pool,
+    const EvolutionConfig& config, recipe::Region region) {
+  if (config.recipe_size < 2) {
+    return culinary::Status::InvalidArgument("recipe_size must be >= 2");
+  }
+  if (pool.size() <= config.recipe_size) {
+    return culinary::Status::InvalidArgument(
+        "ingredient pool must exceed the recipe size");
+  }
+  if (config.initial_recipes == 0 ||
+      config.target_recipes < config.initial_recipes) {
+    return culinary::Status::InvalidArgument(
+        "need initial_recipes >= 1 and target_recipes >= initial_recipes");
+  }
+  for (flavor::IngredientId id : pool) {
+    if (registry.Find(id) == nullptr) {
+      return culinary::Status::NotFound("pool ingredient id " +
+                                        std::to_string(id) + " unknown");
+    }
+  }
+
+  culinary::Rng rng(config.seed);
+  analysis::PairingCache cache(registry, pool);
+
+  EvolutionResult result;
+  // Intrinsic fitness ~ Uniform(0,1), fixed for the whole trajectory.
+  result.fitness.resize(pool.size());
+  for (double& f : result.fitness) f = rng.NextDouble();
+
+  // Recipes stored as dense pool indices during evolution.
+  std::vector<std::vector<int>> genomes;
+  genomes.reserve(config.target_recipes);
+  for (size_t r = 0; r < config.initial_recipes; ++r) {
+    std::vector<int> genome;
+    for (size_t idx :
+         rng.SampleWithoutReplacement(pool.size(), config.recipe_size)) {
+      genome.push_back(static_cast<int>(idx));
+    }
+    genomes.push_back(std::move(genome));
+  }
+
+  auto contains = [](const std::vector<int>& genome, int x) {
+    return std::find(genome.begin(), genome.end(), x) != genome.end();
+  };
+
+  while (genomes.size() < config.target_recipes) {
+    // Copy a random existing recipe.
+    std::vector<int> child =
+        genomes[static_cast<size_t>(rng.NextBounded(genomes.size()))];
+    ++result.copies;
+
+    for (size_t m = 0; m < config.mutations_per_copy; ++m) {
+      // Mutate the weakest slot (Kinouchi-style selective pressure). The
+      // slot score uses the same combined objective as acceptance so a
+      // flavor-biased model actively purges flavor-incompatible members.
+      auto slot_score = [&](size_t slot) {
+        double s = result.fitness[static_cast<size_t>(child[slot])];
+        if (config.flavor_bias != 0.0) {
+          double overlap = MeanOverlap(cache, child, child[slot], slot);
+          s += config.flavor_bias * 0.1 * (overlap / (1.0 + 0.05 * overlap));
+        }
+        return s;
+      };
+      size_t victim = 0;
+      double victim_score = slot_score(0);
+      for (size_t i = 1; i < child.size(); ++i) {
+        double s = slot_score(i);
+        if (s < victim_score) {
+          victim = i;
+          victim_score = s;
+        }
+      }
+
+      // Candidate: innovation (uniform from pool) or imitation (from a
+      // random recipe of the current cuisine).
+      int candidate;
+      if (rng.NextBernoulli(config.innovation_rate) || genomes.empty()) {
+        candidate = static_cast<int>(rng.NextBounded(pool.size()));
+      } else {
+        const std::vector<int>& donor =
+            genomes[static_cast<size_t>(rng.NextBounded(genomes.size()))];
+        candidate = donor[static_cast<size_t>(rng.NextBounded(donor.size()))];
+      }
+      if (contains(child, candidate)) continue;
+
+      // Acceptance: candidate must beat the victim on intrinsic fitness
+      // plus the flavor-affinity term (victim_score already includes it).
+      double candidate_score =
+          result.fitness[static_cast<size_t>(candidate)];
+      if (config.flavor_bias != 0.0) {
+        double candidate_overlap = MeanOverlap(cache, child, candidate, victim);
+        candidate_score += config.flavor_bias * 0.1 *
+                           (candidate_overlap / (1.0 + 0.05 * candidate_overlap));
+      }
+      if (candidate_score > victim_score) {
+        child[victim] = candidate;
+        ++result.accepted_mutations;
+      }
+    }
+    genomes.push_back(std::move(child));
+  }
+
+  // Materialize as recipes.
+  result.recipes.reserve(genomes.size());
+  for (size_t g = 0; g < genomes.size(); ++g) {
+    recipe::Recipe r;
+    r.id = static_cast<recipe::RecipeId>(g);
+    r.region = region;
+    r.name = "evolved-" + std::to_string(g);
+    for (int idx : genomes[g]) {
+      r.ingredients.push_back(pool[static_cast<size_t>(idx)]);
+    }
+    recipe::CanonicalizeIngredients(r.ingredients);
+    result.recipes.push_back(std::move(r));
+  }
+  return result;
+}
+
+culinary::Result<recipe::Cuisine> EvolveCuisine(
+    const flavor::FlavorRegistry& registry,
+    const std::vector<flavor::IngredientId>& pool,
+    const EvolutionConfig& config, recipe::Region region) {
+  CULINARY_ASSIGN_OR_RETURN(EvolutionResult result,
+                            Evolve(registry, pool, config, region));
+  return recipe::Cuisine(region, std::move(result.recipes));
+}
+
+}  // namespace culinary::evolution

@@ -1,0 +1,79 @@
+#ifndef CULINARYLAB_EVOLUTION_COPY_MUTATE_H_
+#define CULINARYLAB_EVOLUTION_COPY_MUTATE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+#include "common/result.h"
+#include "flavor/registry.h"
+#include "recipe/cuisine.h"
+#include "recipe/recipe.h"
+
+namespace culinary::evolution {
+
+/// The copy–mutate model of culinary evolution (Jain & Bagler, Physica A
+/// 2018 — reference [10] of the reproduced paper; lineage: Kinouchi et
+/// al.'s non-equilibrium culinary evolution model).
+///
+/// The paper's conclusions invoke this model: "a simple copy-mutate model
+/// has been shown to explain such patterns". A cuisine evolves by
+/// repeatedly *copying* an existing recipe and *mutating* some of its
+/// ingredients. Each ingredient carries an intrinsic fitness; mutations
+/// replace a low-fitness ingredient with a candidate drawn from the pool,
+/// accepted when fitter. An optional flavor-affinity term biases accepted
+/// candidates toward (or away from) the flavor profile of the rest of the
+/// recipe, which is what lets the model reproduce *both* uniform and
+/// contrasting food-pairing regimes.
+struct EvolutionConfig {
+  /// Number of founder recipes, assembled uniformly from the pool.
+  size_t initial_recipes = 8;
+  /// Target cuisine size; evolution stops when reached.
+  size_t target_recipes = 500;
+  /// Ingredients per recipe (fixed, as in the Kinouchi-family models).
+  size_t recipe_size = 8;
+  /// Number of ingredient slots mutated per copied recipe.
+  size_t mutations_per_copy = 2;
+  /// Probability that a mutation draws a brand-new random candidate
+  /// ("innovation") rather than an ingredient copied from another recipe
+  /// in the current cuisine ("imitation").
+  double innovation_rate = 0.4;
+  /// Flavor-affinity inverse temperature: > 0 favours candidates sharing
+  /// compounds with the recipe (uniform pairing), < 0 favours contrasting
+  /// candidates, 0 reduces to the pure fitness model.
+  double flavor_bias = 0.0;
+  /// PRNG seed.
+  uint64_t seed = 0xFEA57;  // "feast"
+};
+
+/// One evolved cuisine plus the model's internal state, for inspection.
+struct EvolutionResult {
+  std::vector<recipe::Recipe> recipes;
+  /// Intrinsic fitness assigned to each pool ingredient (parallel to the
+  /// `pool` argument of Evolve).
+  std::vector<double> fitness;
+  /// Number of copy events performed.
+  size_t copies = 0;
+  /// Number of accepted mutations.
+  size_t accepted_mutations = 0;
+};
+
+/// Evolves a cuisine over `pool` (ingredient ids resolvable through
+/// `registry`). Fails when the pool is smaller than `recipe_size`, the
+/// config is degenerate (zero sizes), or ids are unknown.
+///
+/// Determinism: the full trajectory is a function of `config.seed`.
+culinary::Result<EvolutionResult> Evolve(
+    const flavor::FlavorRegistry& registry,
+    const std::vector<flavor::IngredientId>& pool,
+    const EvolutionConfig& config, recipe::Region region);
+
+/// Convenience: wraps the evolved recipes in a `Cuisine`.
+culinary::Result<recipe::Cuisine> EvolveCuisine(
+    const flavor::FlavorRegistry& registry,
+    const std::vector<flavor::IngredientId>& pool,
+    const EvolutionConfig& config, recipe::Region region);
+
+}  // namespace culinary::evolution
+
+#endif  // CULINARYLAB_EVOLUTION_COPY_MUTATE_H_

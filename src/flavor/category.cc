@@ -1,0 +1,52 @@
+#include "flavor/category.h"
+
+#include "common/string_util.h"
+
+namespace culinary::flavor {
+
+namespace {
+
+constexpr std::string_view kNames[kNumCategories] = {
+    "Vegetable", "Dairy",    "Legume",             "Maize",
+    "Cereal",    "Meat",     "Nuts and Seeds",     "Plant",
+    "Fish",      "Seafood",  "Spice",              "Bakery",
+    "Beverage Alcoholic",    "Beverage",           "Essential Oil",
+    "Flower",    "Fruit",    "Fungus",             "Herb",
+    "Additive",  "Dish",
+};
+
+constexpr Category kAll[kNumCategories] = {
+    Category::kVegetable, Category::kDairy,
+    Category::kLegume,    Category::kMaize,
+    Category::kCereal,    Category::kMeat,
+    Category::kNutsAndSeeds, Category::kPlant,
+    Category::kFish,      Category::kSeafood,
+    Category::kSpice,     Category::kBakery,
+    Category::kBeverageAlcoholic, Category::kBeverage,
+    Category::kEssentialOil, Category::kFlower,
+    Category::kFruit,     Category::kFungus,
+    Category::kHerb,      Category::kAdditive,
+    Category::kDish,
+};
+
+}  // namespace
+
+std::string_view CategoryToString(Category category) {
+  int i = static_cast<int>(category);
+  if (i < 0 || i >= kNumCategories) return "Unknown";
+  return kNames[i];
+}
+
+std::optional<Category> CategoryFromString(std::string_view name) {
+  std::string lower = culinary::ToLower(name);
+  for (int i = 0; i < kNumCategories; ++i) {
+    if (culinary::ToLower(kNames[i]) == lower) {
+      return static_cast<Category>(i);
+    }
+  }
+  return std::nullopt;
+}
+
+const Category* AllCategories() { return kAll; }
+
+}  // namespace culinary::flavor

@@ -1,0 +1,48 @@
+#ifndef CULINARYLAB_FLAVOR_CATEGORY_H_
+#define CULINARYLAB_FLAVOR_CATEGORY_H_
+
+#include <optional>
+#include <string_view>
+
+namespace culinary::flavor {
+
+/// The 21 ingredient categories used by the paper (§III.B).
+enum class Category : int {
+  kVegetable = 0,
+  kDairy = 1,
+  kLegume = 2,
+  kMaize = 3,
+  kCereal = 4,
+  kMeat = 5,
+  kNutsAndSeeds = 6,
+  kPlant = 7,
+  kFish = 8,
+  kSeafood = 9,
+  kSpice = 10,
+  kBakery = 11,
+  kBeverageAlcoholic = 12,
+  kBeverage = 13,
+  kEssentialOil = 14,
+  kFlower = 15,
+  kFruit = 16,
+  kFungus = 17,
+  kHerb = 18,
+  kAdditive = 19,
+  kDish = 20,
+};
+
+/// Number of categories.
+inline constexpr int kNumCategories = 21;
+
+/// Stable display name ("Vegetable", "Nuts and Seeds", ...).
+std::string_view CategoryToString(Category category);
+
+/// Parses a display name (case-insensitive); nullopt for unknown names.
+std::optional<Category> CategoryFromString(std::string_view name);
+
+/// All categories in declaration order.
+const Category* AllCategories();
+
+}  // namespace culinary::flavor
+
+#endif  // CULINARYLAB_FLAVOR_CATEGORY_H_

@@ -1,0 +1,56 @@
+#ifndef CULINARYLAB_FLAVOR_INGREDIENT_H_
+#define CULINARYLAB_FLAVOR_INGREDIENT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "flavor/category.h"
+#include "flavor/profile.h"
+
+namespace culinary::flavor {
+
+/// Identifier of an ingredient within a `FlavorRegistry`. Dense (0..n-1)
+/// over all ingredients ever added, including removed (tombstoned) ones.
+using IngredientId = int32_t;
+
+/// Sentinel for "no ingredient".
+inline constexpr IngredientId kInvalidIngredient = -1;
+
+/// Kinds of ingredient entities (paper §III.B).
+enum class IngredientKind : int {
+  /// A natural ingredient with an empirically reported flavor profile.
+  kBasic = 0,
+  /// A readymade combination (spice mix, sauce, common dish) whose profile
+  /// pools the unique molecules of its constituents ("half half",
+  /// "mayonnaise").
+  kCompound = 1,
+  /// A bundle of near-identical entities merged to compensate for sparse
+  /// flavor data (black/polar/brown bear → "bear").
+  kBundle = 2,
+};
+
+/// An ingredient entity: canonical name, linguistic synonyms, category and
+/// flavor profile. Plain data; all invariants (unique names, id validity)
+/// are owned by `FlavorRegistry`.
+struct Ingredient {
+  IngredientId id = kInvalidIngredient;
+  /// Canonical normalized name ("tomato", "olive oil").
+  std::string name;
+  /// Alternative names mapping to this entity ("curd" for yogurt,
+  /// "whisky" for whiskey).
+  std::vector<std::string> synonyms;
+  Category category = Category::kVegetable;
+  IngredientKind kind = IngredientKind::kBasic;
+  FlavorProfile profile;
+  /// Constituents for compound / bundle ingredients (ids into the registry).
+  std::vector<IngredientId> constituents;
+  /// True once the entity has been removed from the registry ("29 generic
+  /// and noisy entities were removed"). Tombstoned entities keep their id
+  /// but are invisible to lookup.
+  bool removed = false;
+};
+
+}  // namespace culinary::flavor
+
+#endif  // CULINARYLAB_FLAVOR_INGREDIENT_H_

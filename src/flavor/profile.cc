@@ -1,0 +1,66 @@
+#include "flavor/profile.h"
+
+#include <algorithm>
+
+namespace culinary::flavor {
+
+FlavorProfile::FlavorProfile(std::vector<MoleculeId> ids) : ids_(std::move(ids)) {
+  std::sort(ids_.begin(), ids_.end());
+  ids_.erase(std::unique(ids_.begin(), ids_.end()), ids_.end());
+}
+
+bool FlavorProfile::Contains(MoleculeId id) const {
+  return std::binary_search(ids_.begin(), ids_.end(), id);
+}
+
+void FlavorProfile::Insert(MoleculeId id) {
+  auto it = std::lower_bound(ids_.begin(), ids_.end(), id);
+  if (it != ids_.end() && *it == id) return;
+  ids_.insert(it, id);
+}
+
+size_t FlavorProfile::SharedCompounds(const FlavorProfile& other) const {
+  size_t count = 0;
+  auto a = ids_.begin();
+  auto b = other.ids_.begin();
+  while (a != ids_.end() && b != other.ids_.end()) {
+    if (*a < *b) {
+      ++a;
+    } else if (*b < *a) {
+      ++b;
+    } else {
+      ++count;
+      ++a;
+      ++b;
+    }
+  }
+  return count;
+}
+
+FlavorProfile FlavorProfile::Union(const FlavorProfile& other) const {
+  std::vector<MoleculeId> merged;
+  merged.reserve(ids_.size() + other.ids_.size());
+  std::set_union(ids_.begin(), ids_.end(), other.ids_.begin(),
+                 other.ids_.end(), std::back_inserter(merged));
+  FlavorProfile out;
+  out.ids_ = std::move(merged);
+  return out;
+}
+
+FlavorProfile FlavorProfile::Intersection(const FlavorProfile& other) const {
+  std::vector<MoleculeId> merged;
+  std::set_intersection(ids_.begin(), ids_.end(), other.ids_.begin(),
+                        other.ids_.end(), std::back_inserter(merged));
+  FlavorProfile out;
+  out.ids_ = std::move(merged);
+  return out;
+}
+
+double FlavorProfile::Jaccard(const FlavorProfile& other) const {
+  size_t inter = SharedCompounds(other);
+  size_t uni = ids_.size() + other.ids_.size() - inter;
+  if (uni == 0) return 0.0;
+  return static_cast<double>(inter) / static_cast<double>(uni);
+}
+
+}  // namespace culinary::flavor

@@ -1,0 +1,69 @@
+#ifndef CULINARYLAB_FLAVOR_PROFILE_H_
+#define CULINARYLAB_FLAVOR_PROFILE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace culinary::flavor {
+
+/// Identifier of a flavor molecule within a `FlavorRegistry`.
+using MoleculeId = int32_t;
+
+/// A flavor molecule: an odor/taste-active compound reported for natural
+/// ingredients (the FlavorDB unit of information).
+struct Molecule {
+  MoleculeId id = -1;
+  std::string name;
+  /// Flavor descriptors ("sweet", "citrus", "sulfurous", ...). Informational.
+  std::vector<std::string> descriptors;
+};
+
+/// The flavor profile of an ingredient: its set of flavor molecules.
+///
+/// Stored as a sorted, deduplicated vector of molecule ids so that the
+/// shared-compound count |F_i ∩ F_j| — the inner loop of every food-pairing
+/// computation — is a linear merge with no allocation.
+class FlavorProfile {
+ public:
+  FlavorProfile() = default;
+
+  /// Builds a profile from arbitrary ids (sorted and deduplicated).
+  explicit FlavorProfile(std::vector<MoleculeId> ids);
+
+  /// Number of molecules.
+  size_t size() const { return ids_.size(); }
+  bool empty() const { return ids_.empty(); }
+
+  /// Sorted unique ids.
+  const std::vector<MoleculeId>& ids() const { return ids_; }
+
+  /// True iff the profile contains `id` (binary search).
+  bool Contains(MoleculeId id) const;
+
+  /// Inserts `id` keeping order; no-op if already present.
+  void Insert(MoleculeId id);
+
+  /// |this ∩ other| — the number of shared flavor compounds.
+  size_t SharedCompounds(const FlavorProfile& other) const;
+
+  /// Set union / intersection as new profiles. Union implements the paper's
+  /// compound-ingredient rule: "pooling flavor molecules of its
+  /// constituent ingredients" into a list of unique molecules.
+  FlavorProfile Union(const FlavorProfile& other) const;
+  FlavorProfile Intersection(const FlavorProfile& other) const;
+
+  /// Jaccard similarity |A∩B| / |A∪B| (0 when both empty).
+  double Jaccard(const FlavorProfile& other) const;
+
+  friend bool operator==(const FlavorProfile& a, const FlavorProfile& b) {
+    return a.ids_ == b.ids_;
+  }
+
+ private:
+  std::vector<MoleculeId> ids_;
+};
+
+}  // namespace culinary::flavor
+
+#endif  // CULINARYLAB_FLAVOR_PROFILE_H_

@@ -1,0 +1,256 @@
+#include "flavor/registry_io.h"
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/string_util.h"
+#include "dataframe/csv.h"
+#include "dataframe/table.h"
+
+namespace culinary::flavor {
+
+namespace {
+
+std::string_view KindToString(IngredientKind kind) {
+  switch (kind) {
+    case IngredientKind::kBasic:
+      return "basic";
+    case IngredientKind::kCompound:
+      return "compound";
+    case IngredientKind::kBundle:
+      return "bundle";
+  }
+  return "basic";
+}
+
+culinary::Result<IngredientKind> KindFromString(std::string_view s) {
+  if (s == "basic") return IngredientKind::kBasic;
+  if (s == "compound") return IngredientKind::kCompound;
+  if (s == "bundle") return IngredientKind::kBundle;
+  return culinary::Status::ParseError("unknown ingredient kind '" +
+                                      std::string(s) + "'");
+}
+
+/// ';'-joins a list of integer ids.
+template <typename T>
+std::string JoinIds(const std::vector<T>& ids) {
+  std::string out;
+  for (size_t i = 0; i < ids.size(); ++i) {
+    if (i > 0) out.push_back(';');
+    out += std::to_string(ids[i]);
+  }
+  return out;
+}
+
+/// Parses a ';'-separated id list; empty string yields an empty list.
+culinary::Result<std::vector<int32_t>> ParseIds(std::string_view text) {
+  std::vector<int32_t> out;
+  if (culinary::Trim(text).empty()) return out;
+  for (const std::string& part : culinary::Split(text, ';')) {
+    std::string_view trimmed = culinary::Trim(part);
+    if (trimmed.empty()) continue;
+    bool negative = trimmed[0] == '-';
+    std::string_view digits = negative ? trimmed.substr(1) : trimmed;
+    if (!culinary::IsDigits(digits)) {
+      return culinary::Status::ParseError("bad id '" + std::string(part) +
+                                          "'");
+    }
+    long v = std::strtol(std::string(trimmed).c_str(), nullptr, 10);
+    out.push_back(static_cast<int32_t>(v));
+  }
+  return out;
+}
+
+std::string JoinStrings(const std::vector<std::string>& parts) {
+  return culinary::Join(parts, ";");
+}
+
+std::vector<std::string> SplitNonEmpty(std::string_view text) {
+  std::vector<std::string> out;
+  for (const std::string& part : culinary::Split(text, ';')) {
+    std::string_view trimmed = culinary::Trim(part);
+    if (!trimmed.empty()) out.emplace_back(trimmed);
+  }
+  return out;
+}
+
+}  // namespace
+
+culinary::Status SaveRegistryCsv(const FlavorRegistry& registry,
+                                 const std::string& prefix) {
+  // Molecules.
+  df::Schema mol_schema({{"id", df::DataType::kInt64},
+                         {"name", df::DataType::kString},
+                         {"descriptors", df::DataType::kString}});
+  CULINARY_ASSIGN_OR_RETURN(df::Table molecules, df::Table::Make(mol_schema));
+  for (size_t m = 0; m < registry.num_molecules(); ++m) {
+    CULINARY_ASSIGN_OR_RETURN(Molecule mol,
+                              registry.GetMolecule(static_cast<MoleculeId>(m)));
+    CULINARY_RETURN_IF_ERROR(molecules.AppendRow(
+        {df::Value::Int(mol.id), df::Value::Str(mol.name),
+         df::Value::Str(JoinStrings(mol.descriptors))}));
+  }
+  CULINARY_RETURN_IF_ERROR(
+      df::WriteCsvFile(molecules, prefix + "_molecules.csv"));
+
+  // Entities (including tombstones, so ids reload exactly).
+  df::Schema ent_schema({{"id", df::DataType::kInt64},
+                         {"name", df::DataType::kString},
+                         {"category", df::DataType::kString},
+                         {"kind", df::DataType::kString},
+                         {"removed", df::DataType::kInt64},
+                         {"synonyms", df::DataType::kString},
+                         {"profile", df::DataType::kString},
+                         {"constituents", df::DataType::kString}});
+  CULINARY_ASSIGN_OR_RETURN(df::Table entities, df::Table::Make(ent_schema));
+  for (size_t i = 0; i < registry.num_ingredient_slots(); ++i) {
+    CULINARY_ASSIGN_OR_RETURN(
+        Ingredient ing,
+        registry.GetIngredient(static_cast<IngredientId>(i),
+                               /*include_removed=*/true));
+    CULINARY_RETURN_IF_ERROR(entities.AppendRow(
+        {df::Value::Int(ing.id), df::Value::Str(ing.name),
+         df::Value::Str(std::string(CategoryToString(ing.category))),
+         df::Value::Str(std::string(KindToString(ing.kind))),
+         df::Value::Int(ing.removed ? 1 : 0),
+         df::Value::Str(JoinStrings(ing.synonyms)),
+         df::Value::Str(JoinIds(ing.profile.ids())),
+         df::Value::Str(JoinIds(ing.constituents))}));
+  }
+  return df::WriteCsvFile(entities, prefix + "_entities.csv");
+}
+
+namespace {
+
+/// Parses an integer cell read with type inference disabled.
+culinary::Result<int64_t> CellToInt(const df::Value& v) {
+  if (v.is_int()) return v.as_int();
+  if (v.is_string()) {
+    std::string_view trimmed = culinary::Trim(v.as_string());
+    bool negative = !trimmed.empty() && trimmed[0] == '-';
+    std::string_view digits = negative ? trimmed.substr(1) : trimmed;
+    if (culinary::IsDigits(digits)) {
+      return static_cast<int64_t>(
+          std::strtoll(std::string(trimmed).c_str(), nullptr, 10));
+    }
+  }
+  return culinary::Status::ParseError("expected integer cell, got " +
+                                      v.ToString());
+}
+
+}  // namespace
+
+culinary::Result<FlavorRegistry> LoadRegistryCsv(const std::string& prefix) {
+  FlavorRegistry registry;
+  // Lists like "5" would otherwise be inferred as numbers; read raw.
+  df::CsvReadOptions raw_options;
+  raw_options.infer_types = false;
+
+  CULINARY_ASSIGN_OR_RETURN(
+      df::Table molecules,
+      df::ReadCsvFile(prefix + "_molecules.csv", raw_options));
+  for (const char* col : {"id", "name"}) {
+    if (!molecules.schema().HasField(col)) {
+      return culinary::Status::ParseError(
+          std::string("molecules csv missing column '") + col + "'");
+    }
+  }
+  for (size_t r = 0; r < molecules.num_rows(); ++r) {
+    CULINARY_ASSIGN_OR_RETURN(df::Value id_v,
+                              molecules.GetValueChecked(r, "id"));
+    CULINARY_ASSIGN_OR_RETURN(df::Value name_v,
+                              molecules.GetValueChecked(r, "name"));
+    if (id_v.is_null() || name_v.is_null()) {
+      return culinary::Status::ParseError("null molecule row");
+    }
+    CULINARY_ASSIGN_OR_RETURN(int64_t mol_id, CellToInt(id_v));
+    std::vector<std::string> descriptors;
+    auto desc_v = molecules.GetValueChecked(r, "descriptors");
+    if (desc_v.ok() && !desc_v->is_null() && desc_v->is_string()) {
+      descriptors = SplitNonEmpty(desc_v->as_string());
+    }
+    CULINARY_ASSIGN_OR_RETURN(
+        MoleculeId assigned,
+        registry.AddMolecule(name_v.as_string(), std::move(descriptors)));
+    if (assigned != static_cast<MoleculeId>(mol_id)) {
+      return culinary::Status::ParseError(
+          "molecule ids are not contiguous from zero");
+    }
+  }
+
+  CULINARY_ASSIGN_OR_RETURN(
+      df::Table entities,
+      df::ReadCsvFile(prefix + "_entities.csv", raw_options));
+  for (const char* col : {"id", "name", "category", "kind", "removed",
+                          "synonyms", "profile", "constituents"}) {
+    if (!entities.schema().HasField(col)) {
+      return culinary::Status::ParseError(
+          std::string("entities csv missing column '") + col + "'");
+    }
+  }
+  const auto num_molecules = static_cast<int32_t>(registry.num_molecules());
+  for (size_t r = 0; r < entities.num_rows(); ++r) {
+    Ingredient ing;
+    CULINARY_ASSIGN_OR_RETURN(df::Value id_v, entities.GetValueChecked(r, "id"));
+    CULINARY_ASSIGN_OR_RETURN(df::Value name_v,
+                              entities.GetValueChecked(r, "name"));
+    CULINARY_ASSIGN_OR_RETURN(df::Value cat_v,
+                              entities.GetValueChecked(r, "category"));
+    CULINARY_ASSIGN_OR_RETURN(df::Value kind_v,
+                              entities.GetValueChecked(r, "kind"));
+    CULINARY_ASSIGN_OR_RETURN(df::Value removed_v,
+                              entities.GetValueChecked(r, "removed"));
+    if (id_v.is_null() || name_v.is_null() || cat_v.is_null() ||
+        kind_v.is_null() || removed_v.is_null()) {
+      return culinary::Status::ParseError("null entity field in row " +
+                                          std::to_string(r));
+    }
+    CULINARY_ASSIGN_OR_RETURN(int64_t ing_id, CellToInt(id_v));
+    ing.id = static_cast<IngredientId>(ing_id);
+    ing.name = name_v.as_string();
+    auto category = CategoryFromString(cat_v.as_string());
+    if (!category.has_value()) {
+      return culinary::Status::ParseError("unknown category '" +
+                                          cat_v.as_string() + "'");
+    }
+    ing.category = *category;
+    CULINARY_ASSIGN_OR_RETURN(ing.kind, KindFromString(kind_v.as_string()));
+    CULINARY_ASSIGN_OR_RETURN(int64_t removed_flag, CellToInt(removed_v));
+    ing.removed = removed_flag != 0;
+
+    auto syn_v = entities.GetValueChecked(r, "synonyms");
+    if (syn_v.ok() && !syn_v->is_null() && syn_v->is_string()) {
+      ing.synonyms = SplitNonEmpty(syn_v->as_string());
+    }
+    auto prof_v = entities.GetValueChecked(r, "profile");
+    if (prof_v.ok() && !prof_v->is_null() && prof_v->is_string()) {
+      CULINARY_ASSIGN_OR_RETURN(std::vector<int32_t> mol_ids,
+                                ParseIds(prof_v->as_string()));
+      for (int32_t m : mol_ids) {
+        if (m < 0 || m >= num_molecules) {
+          return culinary::Status::ParseError("dangling molecule id " +
+                                              std::to_string(m));
+        }
+      }
+      ing.profile = FlavorProfile(std::move(mol_ids));
+    }
+    auto cons_v = entities.GetValueChecked(r, "constituents");
+    if (cons_v.ok() && !cons_v->is_null() && cons_v->is_string()) {
+      CULINARY_ASSIGN_OR_RETURN(std::vector<int32_t> cons,
+                                ParseIds(cons_v->as_string()));
+      for (int32_t c : cons) {
+        if (c < 0 || c >= ing.id) {
+          return culinary::Status::ParseError(
+              "constituent id " + std::to_string(c) +
+              " does not precede entity " + std::to_string(ing.id));
+        }
+      }
+      ing.constituents = cons;
+    }
+    CULINARY_RETURN_IF_ERROR(registry.RestoreIngredient(ing));
+  }
+  return registry;
+}
+
+}  // namespace culinary::flavor

@@ -1,0 +1,38 @@
+#ifndef CULINARYLAB_FLAVOR_REGISTRY_IO_H_
+#define CULINARYLAB_FLAVOR_REGISTRY_IO_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "flavor/registry.h"
+
+namespace culinary::flavor {
+
+/// CSV persistence for a `FlavorRegistry`, making a generated flavor
+/// universe a portable artifact (analyses can run against saved data
+/// without regenerating the synthetic world).
+///
+/// Two files are written next to each other:
+///
+///   <prefix>_molecules.csv    id,name,descriptors        (';'-separated)
+///   <prefix>_entities.csv     id,name,category,kind,synonyms,profile,
+///                             constituents               (';'-separated
+///                             molecule ids / ingredient ids)
+///
+/// Loading reconstructs ids exactly (tombstoned ids are preserved as gaps
+/// re-created and re-removed), so recipe CSVs that reference ingredient
+/// names resolve identically against the loaded registry.
+
+/// Writes both CSV files. IOError on filesystem failure.
+culinary::Status SaveRegistryCsv(const FlavorRegistry& registry,
+                                 const std::string& prefix);
+
+/// Reads both CSV files written by `SaveRegistryCsv`. ParseError on
+/// malformed content (unknown category/kind, dangling molecule or
+/// constituent ids, non-contiguous ids).
+culinary::Result<FlavorRegistry> LoadRegistryCsv(const std::string& prefix);
+
+}  // namespace culinary::flavor
+
+#endif  // CULINARYLAB_FLAVOR_REGISTRY_IO_H_

@@ -1,0 +1,122 @@
+#include "network/flavor_network.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "analysis/pairing.h"
+
+namespace culinary::network {
+
+culinary::Result<FlavorNetwork> FlavorNetwork::Build(
+    const flavor::FlavorRegistry& registry,
+    const std::vector<flavor::IngredientId>& ingredients,
+    size_t min_shared_compounds) {
+  if (ingredients.empty()) {
+    return culinary::Status::InvalidArgument("no ingredients given");
+  }
+  if (min_shared_compounds == 0) {
+    return culinary::Status::InvalidArgument(
+        "min_shared_compounds must be >= 1");
+  }
+  FlavorNetwork net;
+  net.ids_ = ingredients;
+  net.graph_ = Graph(ingredients.size());
+
+  analysis::PairingCache cache(registry, ingredients);
+  for (uint32_t a = 0; a + 1 < ingredients.size(); ++a) {
+    for (uint32_t b = a + 1; b < ingredients.size(); ++b) {
+      uint32_t shared = cache.SharedByDense(a, b);
+      if (shared >= min_shared_compounds) {
+        net.graph_.AddEdge(a, b, static_cast<double>(shared));
+      }
+    }
+  }
+  return net;
+}
+
+int FlavorNetwork::NodeOf(flavor::IngredientId id) const {
+  for (size_t i = 0; i < ids_.size(); ++i) {
+    if (ids_[i] == id) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+Graph FlavorNetwork::ExtractBackbone(double alpha) const {
+  Graph backbone(graph_.num_nodes());
+  for (const Graph::Edge& e : graph_.edges()) {
+    bool keep = false;
+    for (uint32_t endpoint : {e.a, e.b}) {
+      size_t k = graph_.Degree(endpoint);
+      if (k <= 1) {
+        keep = true;  // leaves keep their only edge
+        break;
+      }
+      double s = graph_.Strength(endpoint);
+      if (s <= 0.0) continue;
+      double p = std::pow(1.0 - e.weight / s, static_cast<double>(k - 1));
+      if (p < alpha) {
+        keep = true;
+        break;
+      }
+    }
+    if (keep) backbone.AddEdge(e.a, e.b, e.weight);
+  }
+  return backbone;
+}
+
+std::vector<std::pair<flavor::IngredientId, double>> IngredientPrevalence(
+    const recipe::Cuisine& cuisine) {
+  std::vector<std::pair<flavor::IngredientId, double>> out;
+  if (cuisine.num_recipes() == 0) return out;
+  double n = static_cast<double>(cuisine.num_recipes());
+  out.reserve(cuisine.unique_ingredients().size());
+  for (flavor::IngredientId id : cuisine.unique_ingredients()) {
+    out.emplace_back(id, static_cast<double>(cuisine.FrequencyOf(id)) / n);
+  }
+  return out;
+}
+
+culinary::Result<std::vector<AuthenticIngredient>> MostAuthenticIngredients(
+    const std::vector<recipe::Cuisine>& cuisines, size_t target, size_t k) {
+  if (target >= cuisines.size()) {
+    return culinary::Status::InvalidArgument("target index out of range");
+  }
+  if (cuisines.size() < 2) {
+    return culinary::Status::InvalidArgument(
+        "authenticity needs at least two cuisines");
+  }
+  const recipe::Cuisine& mine = cuisines[target];
+  if (mine.num_recipes() == 0) {
+    return culinary::Status::FailedPrecondition("target cuisine is empty");
+  }
+
+  std::vector<AuthenticIngredient> scored;
+  scored.reserve(mine.unique_ingredients().size());
+  double my_n = static_cast<double>(mine.num_recipes());
+  for (flavor::IngredientId id : mine.unique_ingredients()) {
+    double mine_prev = static_cast<double>(mine.FrequencyOf(id)) / my_n;
+    double other_sum = 0.0;
+    size_t other_count = 0;
+    for (size_t c = 0; c < cuisines.size(); ++c) {
+      if (c == target || cuisines[c].num_recipes() == 0) continue;
+      other_sum += static_cast<double>(cuisines[c].FrequencyOf(id)) /
+                   static_cast<double>(cuisines[c].num_recipes());
+      ++other_count;
+    }
+    double other_mean =
+        other_count == 0 ? 0.0 : other_sum / static_cast<double>(other_count);
+    scored.push_back({id, mine_prev, mine_prev - other_mean});
+  }
+  std::sort(scored.begin(), scored.end(),
+            [](const AuthenticIngredient& a, const AuthenticIngredient& b) {
+              if (a.authenticity != b.authenticity) {
+                return a.authenticity > b.authenticity;
+              }
+              return a.id < b.id;
+            });
+  if (scored.size() > k) scored.resize(k);
+  return scored;
+}
+
+}  // namespace culinary::network

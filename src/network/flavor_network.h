@@ -1,0 +1,77 @@
+#ifndef CULINARYLAB_NETWORK_FLAVOR_NETWORK_H_
+#define CULINARYLAB_NETWORK_FLAVOR_NETWORK_H_
+
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "flavor/registry.h"
+#include "network/graph.h"
+#include "recipe/cuisine.h"
+
+namespace culinary::network {
+
+/// The flavor network of Ahn et al. [6] — the framework the reproduced
+/// paper builds on: an undirected weighted graph whose nodes are
+/// ingredients and whose edge weights are the number of shared flavor
+/// compounds.
+class FlavorNetwork {
+ public:
+  /// Builds the network over `ingredients`, connecting pairs sharing at
+  /// least `min_shared_compounds` compounds (≥ 1). Profile-less
+  /// ingredients become isolated nodes.
+  static culinary::Result<FlavorNetwork> Build(
+      const flavor::FlavorRegistry& registry,
+      const std::vector<flavor::IngredientId>& ingredients,
+      size_t min_shared_compounds = 1);
+
+  const Graph& graph() const { return graph_; }
+
+  /// Ingredient at dense node index.
+  flavor::IngredientId IdAt(uint32_t node) const { return ids_[node]; }
+
+  /// Dense node index of an ingredient id, or -1.
+  int NodeOf(flavor::IngredientId id) const;
+
+  /// Multiscale backbone (disparity filter, Serrano et al., as used for
+  /// the published flavor-network visualization): keeps edge (i,j) when,
+  /// for either endpoint, the probability of seeing an edge at least this
+  /// strong under uniform random weight splitting is below `alpha`:
+  ///   p_ij = (1 − w_ij / s_i)^(k_i − 1) < alpha.
+  /// Degree-1 nodes keep their single edge. Returns a new graph on the
+  /// same node ids.
+  Graph ExtractBackbone(double alpha = 0.05) const;
+
+ private:
+  FlavorNetwork() : graph_(0) {}
+
+  Graph graph_;
+  std::vector<flavor::IngredientId> ids_;
+};
+
+/// Prevalence and authenticity metrics (Ahn et al.'s cuisine analysis,
+/// directly applicable to this paper's per-region cuisines).
+///
+/// Prevalence of ingredient i in cuisine c:  P_i^c = n_i^c / N_c, the
+/// fraction of the cuisine's recipes that use i. Authenticity is the
+/// relative prevalence  p_i^c = P_i^c − ⟨P_i^{c'}⟩_{c'≠c}: positive when
+/// the cuisine uses the ingredient more than the other cuisines do.
+struct AuthenticIngredient {
+  flavor::IngredientId id = flavor::kInvalidIngredient;
+  double prevalence = 0.0;    ///< P_i^c
+  double authenticity = 0.0;  ///< p_i^c
+};
+
+/// Prevalence of every ingredient of `cuisine`.
+std::vector<std::pair<flavor::IngredientId, double>> IngredientPrevalence(
+    const recipe::Cuisine& cuisine);
+
+/// Top-`k` most authentic ingredients of `cuisines[target]` against the
+/// other cuisines. Returns InvalidArgument for an out-of-range target or
+/// fewer than two cuisines.
+culinary::Result<std::vector<AuthenticIngredient>> MostAuthenticIngredients(
+    const std::vector<recipe::Cuisine>& cuisines, size_t target, size_t k);
+
+}  // namespace culinary::network
+
+#endif  // CULINARYLAB_NETWORK_FLAVOR_NETWORK_H_

@@ -1,0 +1,161 @@
+#include "network/graph.h"
+
+#include <algorithm>
+
+namespace culinary::network {
+
+Graph::Graph(size_t num_nodes) : adjacency_(num_nodes) {}
+
+bool Graph::AddEdge(uint32_t a, uint32_t b, double weight) {
+  if (a == b) return false;
+  if (a >= adjacency_.size() || b >= adjacency_.size()) return false;
+  if (!(weight > 0.0)) return false;
+  if (HasEdge(a, b)) return false;
+
+  auto insert_sorted = [this](uint32_t from, uint32_t to, double w) {
+    auto& nbrs = adjacency_[from];
+    Neighbor n{to, w};
+    auto it = std::lower_bound(nbrs.begin(), nbrs.end(), n,
+                               [](const Neighbor& x, const Neighbor& y) {
+                                 return x.node < y.node;
+                               });
+    nbrs.insert(it, n);
+  };
+  insert_sorted(a, b, weight);
+  insert_sorted(b, a, weight);
+  edges_.push_back({a, b, weight});
+  return true;
+}
+
+bool Graph::HasEdge(uint32_t a, uint32_t b) const {
+  if (a >= adjacency_.size() || b >= adjacency_.size()) return false;
+  const auto& nbrs = adjacency_[a];
+  auto it = std::lower_bound(nbrs.begin(), nbrs.end(), Neighbor{b, 0.0},
+                             [](const Neighbor& x, const Neighbor& y) {
+                               return x.node < y.node;
+                             });
+  return it != nbrs.end() && it->node == b;
+}
+
+double Graph::EdgeWeight(uint32_t a, uint32_t b) const {
+  if (a >= adjacency_.size() || b >= adjacency_.size()) return 0.0;
+  const auto& nbrs = adjacency_[a];
+  auto it = std::lower_bound(nbrs.begin(), nbrs.end(), Neighbor{b, 0.0},
+                             [](const Neighbor& x, const Neighbor& y) {
+                               return x.node < y.node;
+                             });
+  return (it != nbrs.end() && it->node == b) ? it->weight : 0.0;
+}
+
+double Graph::Strength(uint32_t node) const {
+  double total = 0.0;
+  for (const Neighbor& n : adjacency_[node]) total += n.weight;
+  return total;
+}
+
+double Graph::ClusteringCoefficient(uint32_t node) const {
+  const auto& nbrs = adjacency_[node];
+  const size_t k = nbrs.size();
+  if (k < 2) return 0.0;
+  size_t links = 0;
+  for (size_t i = 0; i + 1 < k; ++i) {
+    for (size_t j = i + 1; j < k; ++j) {
+      if (HasEdge(nbrs[i].node, nbrs[j].node)) ++links;
+    }
+  }
+  return 2.0 * static_cast<double>(links) /
+         (static_cast<double>(k) * static_cast<double>(k - 1));
+}
+
+double Graph::AverageClustering() const {
+  if (adjacency_.empty()) return 0.0;
+  double total = 0.0;
+  for (uint32_t v = 0; v < adjacency_.size(); ++v) {
+    total += ClusteringCoefficient(v);
+  }
+  return total / static_cast<double>(adjacency_.size());
+}
+
+std::vector<uint32_t> Graph::ConnectedComponents() const {
+  const uint32_t kUnseen = static_cast<uint32_t>(-1);
+  std::vector<uint32_t> label(adjacency_.size(), kUnseen);
+  uint32_t next = 0;
+  std::vector<uint32_t> stack;
+  for (uint32_t start = 0; start < adjacency_.size(); ++start) {
+    if (label[start] != kUnseen) continue;
+    label[start] = next;
+    stack.push_back(start);
+    while (!stack.empty()) {
+      uint32_t v = stack.back();
+      stack.pop_back();
+      for (const Neighbor& n : adjacency_[v]) {
+        if (label[n.node] == kUnseen) {
+          label[n.node] = next;
+          stack.push_back(n.node);
+        }
+      }
+    }
+    ++next;
+  }
+  return label;
+}
+
+size_t Graph::NumComponents() const {
+  auto labels = ConnectedComponents();
+  size_t max_label = 0;
+  for (uint32_t l : labels) max_label = std::max<size_t>(max_label, l + 1);
+  return labels.empty() ? 0 : max_label;
+}
+
+std::vector<size_t> Graph::BfsDistances(uint32_t source) const {
+  std::vector<size_t> dist(adjacency_.size(), static_cast<size_t>(-1));
+  if (source >= adjacency_.size()) return dist;
+  dist[source] = 0;
+  std::vector<uint32_t> frontier{source};
+  std::vector<uint32_t> next;
+  size_t depth = 0;
+  while (!frontier.empty()) {
+    ++depth;
+    next.clear();
+    for (uint32_t v : frontier) {
+      for (const Neighbor& n : adjacency_[v]) {
+        if (dist[n.node] == static_cast<size_t>(-1)) {
+          dist[n.node] = depth;
+          next.push_back(n.node);
+        }
+      }
+    }
+    frontier.swap(next);
+  }
+  return dist;
+}
+
+double Graph::EstimateAveragePathLength(size_t num_sources) const {
+  if (adjacency_.empty()) return 0.0;
+  num_sources = std::max<size_t>(1, std::min(num_sources, adjacency_.size()));
+  size_t stride = adjacency_.size() / num_sources;
+  if (stride == 0) stride = 1;
+  double total = 0.0;
+  size_t pairs = 0;
+  for (size_t s = 0; s < adjacency_.size(); s += stride) {
+    std::vector<size_t> dist = BfsDistances(static_cast<uint32_t>(s));
+    for (size_t v = 0; v < dist.size(); ++v) {
+      if (v == s || dist[v] == static_cast<size_t>(-1)) continue;
+      total += static_cast<double>(dist[v]);
+      ++pairs;
+    }
+  }
+  return pairs == 0 ? 0.0 : total / static_cast<double>(pairs);
+}
+
+std::vector<size_t> Graph::DegreeHistogram() const {
+  size_t max_degree = 0;
+  for (const auto& nbrs : adjacency_) {
+    max_degree = std::max(max_degree, nbrs.size());
+  }
+  std::vector<size_t> hist(max_degree + 1, 0);
+  for (const auto& nbrs : adjacency_) ++hist[nbrs.size()];
+  return hist;
+}
+
+}  // namespace culinary::network

@@ -1,0 +1,94 @@
+#ifndef CULINARYLAB_NETWORK_GRAPH_H_
+#define CULINARYLAB_NETWORK_GRAPH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace culinary::network {
+
+/// A simple undirected weighted graph over dense node ids [0, n).
+///
+/// Backing structure for the flavor network (nodes = ingredients, edge
+/// weight = shared flavor compounds). Parallel edges are rejected;
+/// self-loops are rejected. Adjacency is kept sorted by neighbor for
+/// deterministic iteration.
+class Graph {
+ public:
+  struct Edge {
+    uint32_t a = 0;
+    uint32_t b = 0;
+    double weight = 0.0;
+  };
+
+  struct Neighbor {
+    uint32_t node = 0;
+    double weight = 0.0;
+  };
+
+  /// Creates a graph with `num_nodes` isolated nodes.
+  explicit Graph(size_t num_nodes);
+
+  size_t num_nodes() const { return adjacency_.size(); }
+  size_t num_edges() const { return edges_.size(); }
+
+  /// Adds an undirected edge; returns false (and ignores the call) for
+  /// self-loops, out-of-range endpoints, non-positive weights, or
+  /// duplicate edges.
+  bool AddEdge(uint32_t a, uint32_t b, double weight);
+
+  /// True iff the edge exists.
+  bool HasEdge(uint32_t a, uint32_t b) const;
+
+  /// Weight of an edge (0 when absent).
+  double EdgeWeight(uint32_t a, uint32_t b) const;
+
+  /// Degree (number of neighbors) of `node`.
+  size_t Degree(uint32_t node) const { return adjacency_[node].size(); }
+
+  /// Strength (sum of incident edge weights) of `node`.
+  double Strength(uint32_t node) const;
+
+  /// Sorted neighbors of `node`.
+  const std::vector<Neighbor>& Neighbors(uint32_t node) const {
+    return adjacency_[node];
+  }
+
+  /// All edges in insertion order.
+  const std::vector<Edge>& edges() const { return edges_; }
+
+  /// Local clustering coefficient of `node` (fraction of neighbor pairs
+  /// that are themselves connected); 0 for degree < 2.
+  double ClusteringCoefficient(uint32_t node) const;
+
+  /// Mean local clustering coefficient over all nodes.
+  double AverageClustering() const;
+
+  /// Connected-component label per node (labels are 0-based, assigned in
+  /// node order).
+  std::vector<uint32_t> ConnectedComponents() const;
+
+  /// Number of connected components.
+  size_t NumComponents() const;
+
+  /// Degree histogram: element d is the number of nodes with degree d.
+  std::vector<size_t> DegreeHistogram() const;
+
+  /// Unweighted BFS hop distances from `source`; unreachable nodes get
+  /// SIZE_MAX.
+  std::vector<size_t> BfsDistances(uint32_t source) const;
+
+  /// Mean hop distance over reachable pairs, estimated from BFS trees
+  /// rooted at `num_sources` evenly spaced nodes (clamped to num_nodes()).
+  /// Returns 0 for graphs with no reachable pairs. Together with
+  /// `AverageClustering` this is the classic small-world diagnostic.
+  double EstimateAveragePathLength(size_t num_sources = 32) const;
+
+ private:
+  std::vector<std::vector<Neighbor>> adjacency_;
+  std::vector<Edge> edges_;
+};
+
+}  // namespace culinary::network
+
+#endif  // CULINARYLAB_NETWORK_GRAPH_H_

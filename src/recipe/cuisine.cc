@@ -1,0 +1,39 @@
+#include "recipe/cuisine.h"
+
+#include <algorithm>
+
+namespace culinary::recipe {
+
+Cuisine::Cuisine(Region region, std::vector<Recipe> recipes)
+    : region_(region) {
+  recipes_.reserve(recipes.size());
+  for (Recipe& r : recipes) {
+    CanonicalizeIngredients(r.ingredients);
+    if (r.ingredients.empty()) continue;
+    for (flavor::IngredientId id : r.ingredients) ++frequency_[id];
+    size_histogram_.Add(static_cast<int64_t>(r.ingredients.size()));
+    if (r.IsPairable()) ++num_pairable_;
+    recipes_.push_back(std::move(r));
+  }
+  unique_ingredients_.reserve(frequency_.size());
+  for (const auto& [id, count] : frequency_) unique_ingredients_.push_back(id);
+  std::sort(unique_ingredients_.begin(), unique_ingredients_.end());
+}
+
+int64_t Cuisine::FrequencyOf(flavor::IngredientId id) const {
+  auto it = frequency_.find(id);
+  return it == frequency_.end() ? 0 : it->second;
+}
+
+std::vector<std::pair<flavor::IngredientId, int64_t>> Cuisine::ByPopularity()
+    const {
+  std::vector<std::pair<flavor::IngredientId, int64_t>> out(frequency_.begin(),
+                                                            frequency_.end());
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  return out;
+}
+
+}  // namespace culinary::recipe

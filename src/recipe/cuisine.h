@@ -1,0 +1,70 @@
+#ifndef CULINARYLAB_RECIPE_CUISINE_H_
+#define CULINARYLAB_RECIPE_CUISINE_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/statistics.h"
+#include "flavor/ingredient.h"
+#include "recipe/recipe.h"
+#include "recipe/region.h"
+
+namespace culinary::recipe {
+
+/// A cuisine: the collection of recipes attributed to one region, plus the
+/// derived statistics every analysis consumes — the unique ingredient set,
+/// the empirical frequency of use of each ingredient, and the recipe-size
+/// distribution. Statistics are computed once at construction.
+class Cuisine {
+ public:
+  /// Builds a cuisine from recipes. Recipes are canonicalized (sorted,
+  /// deduplicated ingredient lists); recipes with zero ingredients are
+  /// dropped, matching the paper's inclusion rule ("only those recipes ...
+  /// for which information of cuisine and ingredients list were available").
+  Cuisine(Region region, std::vector<Recipe> recipes);
+
+  Region region() const { return region_; }
+  const std::vector<Recipe>& recipes() const { return recipes_; }
+  size_t num_recipes() const { return recipes_.size(); }
+
+  /// Distinct ingredient ids used anywhere in the cuisine, ascending.
+  const std::vector<flavor::IngredientId>& unique_ingredients() const {
+    return unique_ingredients_;
+  }
+
+  /// Number of recipes each ingredient occurs in (the paper's "frequency of
+  /// use of ingredients").
+  const std::unordered_map<flavor::IngredientId, int64_t>& frequency() const {
+    return frequency_;
+  }
+
+  /// Frequency of one ingredient (0 when unused).
+  int64_t FrequencyOf(flavor::IngredientId id) const;
+
+  /// Recipe-size distribution (n_R over recipes).
+  const culinary::Histogram& size_histogram() const { return size_histogram_; }
+
+  /// Mean number of ingredients per recipe.
+  double MeanRecipeSize() const { return size_histogram_.MeanValue(); }
+
+  /// (ingredient, frequency) pairs sorted by descending frequency, ties by
+  /// ascending id — the popularity ranking of Fig 3b.
+  std::vector<std::pair<flavor::IngredientId, int64_t>> ByPopularity() const;
+
+  /// Recipes with at least two ingredients (those entering pairing).
+  size_t num_pairable_recipes() const { return num_pairable_; }
+
+ private:
+  Region region_;
+  std::vector<Recipe> recipes_;
+  std::vector<flavor::IngredientId> unique_ingredients_;
+  std::unordered_map<flavor::IngredientId, int64_t> frequency_;
+  culinary::Histogram size_histogram_;
+  size_t num_pairable_ = 0;
+};
+
+}  // namespace culinary::recipe
+
+#endif  // CULINARYLAB_RECIPE_CUISINE_H_

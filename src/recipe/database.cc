@@ -1,0 +1,149 @@
+#include "recipe/database.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+#include "dataframe/csv.h"
+#include "dataframe/table.h"
+
+namespace culinary::recipe {
+
+culinary::Result<RecipeId> RecipeDatabase::AddRecipe(
+    std::string name, Region region, std::vector<flavor::IngredientId> ids) {
+  if (region == Region::kWorld) {
+    return culinary::Status::InvalidArgument(
+        "recipes must be attributed to a proper region, not WORLD");
+  }
+  CanonicalizeIngredients(ids);
+  for (flavor::IngredientId id : ids) {
+    if (registry_->Find(id) == nullptr) {
+      return culinary::Status::InvalidArgument(
+          "ingredient id " + std::to_string(id) + " unknown to registry");
+    }
+  }
+  if (ids.empty()) {
+    return culinary::Status::InvalidArgument(
+        "recipe has no ingredients after canonicalization");
+  }
+  Recipe r;
+  r.id = static_cast<RecipeId>(recipes_.size());
+  r.name = std::move(name);
+  r.region = region;
+  r.ingredients = std::move(ids);
+  recipes_.push_back(std::move(r));
+  return recipes_.back().id;
+}
+
+culinary::Result<RecipeId> RecipeDatabase::AddRecipeFromPhrases(
+    std::string name, Region region, const std::vector<std::string>& phrases,
+    const IngredientPhraseParser& parser,
+    std::vector<std::string>* partial_or_unrecognized) {
+  std::vector<flavor::IngredientId> ids =
+      parser.ParsePhrases(phrases, partial_or_unrecognized);
+  if (ids.empty()) {
+    return culinary::Status::FailedPrecondition(
+        "no ingredient phrase resolved for recipe '" + name + "'");
+  }
+  return AddRecipe(std::move(name), region, std::move(ids));
+}
+
+size_t RecipeDatabase::CountForRegion(Region region) const {
+  size_t n = 0;
+  for (const Recipe& r : recipes_) {
+    if (r.region == region) ++n;
+  }
+  return n;
+}
+
+Cuisine RecipeDatabase::CuisineFor(Region region) const {
+  std::vector<Recipe> selected;
+  for (const Recipe& r : recipes_) {
+    if (r.region == region) selected.push_back(r);
+  }
+  return Cuisine(region, std::move(selected));
+}
+
+Cuisine RecipeDatabase::WorldCuisine() const {
+  return Cuisine(Region::kWorld, recipes_);
+}
+
+std::vector<Cuisine> RecipeDatabase::AllCuisines() const {
+  std::vector<Cuisine> out;
+  out.reserve(kNumRegions);
+  for (int i = 0; i < kNumRegions; ++i) {
+    out.push_back(CuisineFor(AllRegions()[i]));
+  }
+  return out;
+}
+
+culinary::Status RecipeDatabase::SaveCsv(const std::string& path) const {
+  df::Schema schema({{"id", df::DataType::kInt64},
+                     {"name", df::DataType::kString},
+                     {"region", df::DataType::kString},
+                     {"ingredients", df::DataType::kString}});
+  CULINARY_ASSIGN_OR_RETURN(df::Table table, df::Table::Make(schema));
+  for (const Recipe& r : recipes_) {
+    std::vector<std::string> names;
+    names.reserve(r.ingredients.size());
+    for (flavor::IngredientId id : r.ingredients) {
+      const flavor::Ingredient* ing = registry_->Find(id);
+      if (ing != nullptr) names.push_back(ing->name);
+    }
+    CULINARY_RETURN_IF_ERROR(table.AppendRow(
+        {df::Value::Int(r.id), df::Value::Str(r.name),
+         df::Value::Str(std::string(RegionCode(r.region))),
+         df::Value::Str(culinary::Join(names, ";"))}));
+  }
+  return df::WriteCsvFile(table, path);
+}
+
+culinary::Result<RecipeDatabase> RecipeDatabase::LoadCsv(
+    const std::string& path, const flavor::FlavorRegistry* registry,
+    size_t* skipped_rows) {
+  if (registry == nullptr) {
+    return culinary::Status::InvalidArgument("registry must not be null");
+  }
+  CULINARY_ASSIGN_OR_RETURN(df::Table table, df::ReadCsvFile(path));
+  for (const char* col : {"name", "region", "ingredients"}) {
+    if (!table.schema().HasField(col)) {
+      return culinary::Status::ParseError(std::string("missing column '") +
+                                          col + "' in " + path);
+    }
+  }
+  RecipeDatabase db(registry);
+  size_t skipped = 0;
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    CULINARY_ASSIGN_OR_RETURN(df::Value name_v, table.GetValueChecked(r, "name"));
+    CULINARY_ASSIGN_OR_RETURN(df::Value region_v,
+                              table.GetValueChecked(r, "region"));
+    CULINARY_ASSIGN_OR_RETURN(df::Value ing_v,
+                              table.GetValueChecked(r, "ingredients"));
+    if (region_v.is_null() || ing_v.is_null()) {
+      ++skipped;
+      continue;
+    }
+    auto region = RegionFromCode(region_v.as_string());
+    if (!region.has_value() || *region == Region::kWorld) {
+      ++skipped;
+      continue;
+    }
+    std::vector<flavor::IngredientId> ids;
+    for (const std::string& raw : culinary::Split(ing_v.as_string(), ';')) {
+      std::string_view trimmed = culinary::Trim(raw);
+      if (trimmed.empty()) continue;
+      flavor::IngredientId id = registry->FindByName(trimmed);
+      if (id != flavor::kInvalidIngredient) ids.push_back(id);
+    }
+    if (ids.empty()) {
+      ++skipped;
+      continue;
+    }
+    std::string name = name_v.is_null() ? "" : name_v.as_string();
+    auto added = db.AddRecipe(std::move(name), *region, std::move(ids));
+    if (!added.ok()) ++skipped;
+  }
+  if (skipped_rows != nullptr) *skipped_rows = skipped;
+  return db;
+}
+
+}  // namespace culinary::recipe

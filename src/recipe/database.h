@@ -1,0 +1,87 @@
+#ifndef CULINARYLAB_RECIPE_DATABASE_H_
+#define CULINARYLAB_RECIPE_DATABASE_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "flavor/registry.h"
+#include "recipe/cuisine.h"
+#include "recipe/parser.h"
+#include "recipe/recipe.h"
+#include "recipe/region.h"
+
+namespace culinary::recipe {
+
+/// The project's CulinaryDB equivalent: the full repertoire of recipes
+/// across all regions, with region grouping, the WORLD aggregate, and CSV
+/// persistence (ingredients serialized by canonical name against a
+/// `FlavorRegistry`).
+///
+/// The registry is borrowed and must outlive the database.
+class RecipeDatabase {
+ public:
+  /// `registry` must be non-null and outlive the database.
+  explicit RecipeDatabase(const flavor::FlavorRegistry* registry)
+      : registry_(registry) {}
+
+  /// Adds a recipe. Ingredient ids are canonicalized; ids unknown to the
+  /// registry are rejected with InvalidArgument; a recipe with an empty
+  /// (post-canonicalization) ingredient list is rejected, matching the
+  /// paper's inclusion rule. Returns the assigned recipe id.
+  culinary::Result<RecipeId> AddRecipe(std::string name, Region region,
+                                       std::vector<flavor::IngredientId> ids);
+
+  /// Adds a recipe from raw ingredient phrases, running the aliasing
+  /// protocol of `parser` (which must target this database's registry).
+  /// Phrases that do not fully match are reported through
+  /// `*partial_or_unrecognized` (may be null); the recipe is accepted as
+  /// long as at least one ingredient resolves.
+  culinary::Result<RecipeId> AddRecipeFromPhrases(
+      std::string name, Region region,
+      const std::vector<std::string>& phrases,
+      const IngredientPhraseParser& parser,
+      std::vector<std::string>* partial_or_unrecognized = nullptr);
+
+  size_t num_recipes() const { return recipes_.size(); }
+  const std::vector<Recipe>& recipes() const { return recipes_; }
+  const flavor::FlavorRegistry& registry() const { return *registry_; }
+
+  /// Number of recipes attributed to `region`.
+  size_t CountForRegion(Region region) const;
+
+  /// The cuisine of one region (copies the region's recipes).
+  Cuisine CuisineFor(Region region) const;
+
+  /// The WORLD aggregate cuisine over every recipe.
+  Cuisine WorldCuisine() const;
+
+  /// All 22 regional cuisines, in `AllRegions()` order.
+  std::vector<Cuisine> AllCuisines() const;
+
+  // --- Persistence --------------------------------------------------------
+  //
+  // CSV schema: id,name,region,ingredients — `ingredients` is a
+  // ';'-separated list of canonical ingredient names.
+
+  /// Writes the database to a CSV file.
+  culinary::Status SaveCsv(const std::string& path) const;
+
+  /// Loads a database from CSV, resolving ingredient names through
+  /// `registry`. Rows with an unknown region are skipped and counted in
+  /// `*skipped_rows` (may be null); unknown ingredient names within a row
+  /// are dropped; rows left with no ingredients are skipped.
+  static culinary::Result<RecipeDatabase> LoadCsv(
+      const std::string& path, const flavor::FlavorRegistry* registry,
+      size_t* skipped_rows = nullptr);
+
+ private:
+  const flavor::FlavorRegistry* registry_;
+  std::vector<Recipe> recipes_;
+};
+
+}  // namespace culinary::recipe
+
+#endif  // CULINARYLAB_RECIPE_DATABASE_H_

@@ -1,0 +1,187 @@
+#include "recipe/parser.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+#include "text/edit_distance.h"
+#include "text/inflect.h"
+#include "text/ngram.h"
+#include "text/stopwords.h"
+#include "text/tokenizer.h"
+
+namespace culinary::recipe {
+
+namespace {
+
+/// Normalizes a dictionary name the same way phrase tokens are normalized:
+/// tokenize, singularize, rejoin. Keeps dictionary and query in one space.
+std::string NormalizeDictName(std::string_view name) {
+  text::TokenizerOptions topt;
+  std::vector<std::string> tokens = text::Tokenize(name, topt);
+  tokens = text::SingularizeAll(tokens);
+  return culinary::Join(tokens, " ");
+}
+
+}  // namespace
+
+IngredientPhraseParser::IngredientPhraseParser(
+    const flavor::FlavorRegistry* registry, ParserOptions options)
+    : registry_(registry), options_(options) {
+  for (const auto& [name, id] : registry_->AllNames()) {
+    std::string normalized = NormalizeDictName(name);
+    if (normalized.empty()) continue;
+    // First writer wins; synonyms never shadow canonical names because
+    // AllNames yields canonical names first.
+    exact_.emplace(normalized, id);
+    if (normalized.find(' ') == std::string::npos) {
+      single_token_names_.push_back({normalized, id});
+    }
+  }
+}
+
+flavor::IngredientId IngredientPhraseParser::Lookup(
+    const std::string& joined) const {
+  auto it = exact_.find(joined);
+  return it == exact_.end() ? flavor::kInvalidIngredient : it->second;
+}
+
+flavor::IngredientId IngredientPhraseParser::FuzzyLookup(
+    const std::string& token) const {
+  if (token.size() < options_.min_fuzzy_length) {
+    return flavor::kInvalidIngredient;
+  }
+  flavor::IngredientId best = flavor::kInvalidIngredient;
+  size_t best_distance = options_.fuzzy_max_distance + 1;
+  for (const DictEntry& entry : single_token_names_) {
+    size_t la = entry.normalized.size();
+    size_t lb = token.size();
+    size_t gap = la > lb ? la - lb : lb - la;
+    if (gap >= best_distance) continue;
+    if (entry.normalized.size() < options_.min_fuzzy_length) continue;
+    size_t d =
+        text::DamerauLevenshteinDistance(entry.normalized, token);
+    if (d < best_distance) {
+      best_distance = d;
+      best = entry.id;
+      if (d == 0) break;
+    }
+  }
+  return best;
+}
+
+void IngredientPhraseParser::ScanTokens(
+    const std::vector<std::string>& tokens,
+    std::vector<flavor::IngredientId>& matches,
+    std::vector<bool>& consumed, size_t min_len) const {
+  const size_t n = tokens.size();
+  size_t max_n = std::min(options_.max_ngram, n);
+  if (min_len == 0) min_len = 1;
+  if (max_n < min_len) return;
+  for (size_t len = max_n; len >= min_len; --len) {
+    for (size_t start = 0; start + len <= n; ++start) {
+      bool free_span = true;
+      for (size_t i = start; i < start + len; ++i) {
+        if (consumed[i]) {
+          free_span = false;
+          break;
+        }
+      }
+      if (!free_span) continue;
+      std::string joined;
+      for (size_t i = start; i < start + len; ++i) {
+        if (i > start) joined.push_back(' ');
+        joined.append(tokens[i]);
+      }
+      flavor::IngredientId id = Lookup(joined);
+      if (id == flavor::kInvalidIngredient) continue;
+      matches.push_back(id);
+      for (size_t i = start; i < start + len; ++i) consumed[i] = true;
+    }
+    if (len == min_len) break;
+  }
+}
+
+PhraseMatch IngredientPhraseParser::Parse(std::string_view phrase) const {
+  PhraseMatch result;
+
+  // Step 1: lowercase, strip punctuation, drop numerics, singularize.
+  text::TokenizerOptions topt;
+  std::vector<std::string> tokens = text::Tokenize(phrase, topt);
+  tokens = text::SingularizeAll(tokens);
+  if (tokens.empty()) return result;
+
+  // Step 2: n-gram scan over the full token sequence, multi-token entities
+  // only. Multi-word entities whose tokens look like stopwords ("half
+  // half") must be caught here; unigrams wait for the stopword-filtered
+  // pass so a premature single-token match ("olive") cannot shadow a
+  // stopword-interrupted multi-token entity ("olive ... oil").
+  std::vector<bool> consumed(tokens.size(), false);
+  ScanTokens(tokens, result.ids, consumed, /*min_len=*/2);
+
+  // Step 3: drop stopwords among unconsumed tokens; rescan the compacted
+  // sequence (stopword removal can make an entity contiguous).
+  const text::StopwordSet& stops = text::StopwordSet::EnglishAndCulinary();
+  std::vector<std::string> remaining;
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    if (!consumed[i] && !stops.Contains(tokens[i])) {
+      remaining.push_back(tokens[i]);
+    }
+  }
+  std::vector<bool> remaining_consumed(remaining.size(), false);
+  ScanTokens(remaining, result.ids, remaining_consumed, /*min_len=*/1);
+
+  // Step 4: fuzzy match leftover tokens against single-token names.
+  for (size_t i = 0; i < remaining.size(); ++i) {
+    if (remaining_consumed[i]) continue;
+    if (!options_.enable_fuzzy) {
+      result.leftover_tokens.push_back(remaining[i]);
+      continue;
+    }
+    flavor::IngredientId id = FuzzyLookup(remaining[i]);
+    if (id != flavor::kInvalidIngredient) {
+      result.ids.push_back(id);
+      result.used_fuzzy = true;
+    } else {
+      result.leftover_tokens.push_back(remaining[i]);
+    }
+  }
+
+  // Deduplicate ids preserving first-appearance order.
+  std::vector<flavor::IngredientId> unique;
+  for (flavor::IngredientId id : result.ids) {
+    if (std::find(unique.begin(), unique.end(), id) == unique.end()) {
+      unique.push_back(id);
+    }
+  }
+  result.ids = std::move(unique);
+
+  // Step 5: classification.
+  if (result.ids.empty()) {
+    result.status = MatchStatus::kUnrecognized;
+  } else if (result.leftover_tokens.empty()) {
+    result.status = MatchStatus::kMatched;
+  } else {
+    result.status = MatchStatus::kPartial;
+  }
+  return result;
+}
+
+std::vector<flavor::IngredientId> IngredientPhraseParser::ParsePhrases(
+    const std::vector<std::string>& phrases,
+    std::vector<std::string>* partial_or_unrecognized) const {
+  std::vector<flavor::IngredientId> ids;
+  for (const std::string& phrase : phrases) {
+    PhraseMatch m = Parse(phrase);
+    if (m.status != MatchStatus::kMatched && partial_or_unrecognized != nullptr) {
+      partial_or_unrecognized->push_back(phrase);
+    }
+    for (flavor::IngredientId id : m.ids) {
+      if (std::find(ids.begin(), ids.end(), id) == ids.end()) {
+        ids.push_back(id);
+      }
+    }
+  }
+  return ids;
+}
+
+}  // namespace culinary::recipe

@@ -1,0 +1,112 @@
+#ifndef CULINARYLAB_RECIPE_PARSER_H_
+#define CULINARYLAB_RECIPE_PARSER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "flavor/registry.h"
+
+namespace culinary::recipe {
+
+/// Outcome class of parsing one ingredient phrase (paper §IV.A: "Partial
+/// matches and unrecognized ingredients were explicitly labeled for manual
+/// curation").
+enum class MatchStatus : int {
+  /// Every content token was consumed by ingredient matches.
+  kMatched = 0,
+  /// At least one ingredient matched, but content tokens remain.
+  kPartial = 1,
+  /// No ingredient matched.
+  kUnrecognized = 2,
+};
+
+/// Result of parsing a single raw ingredient phrase.
+struct PhraseMatch {
+  MatchStatus status = MatchStatus::kUnrecognized;
+  /// Matched ingredient ids, in order of appearance (deduplicated).
+  std::vector<flavor::IngredientId> ids;
+  /// Content tokens (post-normalization) not consumed by any match.
+  std::vector<std::string> leftover_tokens;
+  /// True when any match was produced by the fuzzy (edit-distance) step
+  /// rather than exact dictionary lookup.
+  bool used_fuzzy = false;
+};
+
+/// Options for the aliasing protocol.
+struct ParserOptions {
+  /// Longest n-gram tried during the dictionary scan (paper: 6).
+  size_t max_ngram = 6;
+  /// Maximum Damerau–Levenshtein distance for the fuzzy step.
+  size_t fuzzy_max_distance = 1;
+  /// Minimum token length eligible for fuzzy matching (short tokens
+  /// produce too many false positives: "ham"/"has").
+  size_t min_fuzzy_length = 5;
+  /// Enable the fuzzy step.
+  bool enable_fuzzy = true;
+};
+
+/// Implements the multi-step ingredient aliasing protocol of paper §IV.A:
+/// mapping free-text ingredient phrases ("2 jalapeno peppers, roasted and
+/// slit") onto registry entities.
+///
+/// Pipeline per phrase:
+///   1. lowercase, strip punctuation/special characters, drop numeric
+///      tokens, singularize every token;
+///   2. longest-first n-gram scan (max_ngram..1) against canonical names
+///      and synonyms — *before* stopword removal, so multi-word entities
+///      containing stopword-like tokens ("half half") still match;
+///   3. drop English + culinary stopwords from the unconsumed tokens and
+///      scan again (stopwords may interrupt an entity:
+///      "chicken, boneless breast" → "chicken breast");
+///   4. bounded edit-distance fuzzy match for leftover tokens (spelling
+///      variants: "whiskey"/"whisky");
+///   5. classify as matched / partial / unrecognized.
+///
+/// The parser snapshots the registry's name table at construction; rebuild
+/// the parser after mutating the registry.
+class IngredientPhraseParser {
+ public:
+  /// `registry` must be non-null and outlive the parser.
+  explicit IngredientPhraseParser(const flavor::FlavorRegistry* registry,
+                                  ParserOptions options = {});
+
+  /// Parses one raw ingredient phrase.
+  PhraseMatch Parse(std::string_view phrase) const;
+
+  /// Parses a whole recipe's phrase list into a deduplicated ingredient id
+  /// list; phrases that fail to match fully are reported through
+  /// `*partial_or_unrecognized` (may be null).
+  std::vector<flavor::IngredientId> ParsePhrases(
+      const std::vector<std::string>& phrases,
+      std::vector<std::string>* partial_or_unrecognized = nullptr) const;
+
+ private:
+  struct DictEntry {
+    std::string normalized;  ///< singularized, space-joined name
+    flavor::IngredientId id;
+  };
+
+  /// Exact lookup of a normalized n-gram; kInvalidIngredient when absent.
+  flavor::IngredientId Lookup(const std::string& joined) const;
+
+  /// Fuzzy lookup of one token; kInvalidIngredient when no candidate is
+  /// within the edit budget (single-token names only).
+  flavor::IngredientId FuzzyLookup(const std::string& token) const;
+
+  /// Runs the n-gram consumption scan over `tokens` for n-gram lengths in
+  /// [min_len, max_ngram], longest first, appending matches and marking
+  /// consumed positions.
+  void ScanTokens(const std::vector<std::string>& tokens,
+                  std::vector<flavor::IngredientId>& matches,
+                  std::vector<bool>& consumed, size_t min_len) const;
+
+  const flavor::FlavorRegistry* registry_;
+  ParserOptions options_;
+  std::unordered_map<std::string, flavor::IngredientId> exact_;
+  std::vector<DictEntry> single_token_names_;
+};
+
+}  // namespace culinary::recipe
+
+#endif  // CULINARYLAB_RECIPE_PARSER_H_

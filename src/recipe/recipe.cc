@@ -1,0 +1,17 @@
+#include "recipe/recipe.h"
+
+#include <algorithm>
+
+namespace culinary::recipe {
+
+void CanonicalizeIngredients(std::vector<flavor::IngredientId>& ingredients) {
+  ingredients.erase(
+      std::remove_if(ingredients.begin(), ingredients.end(),
+                     [](flavor::IngredientId id) { return id < 0; }),
+      ingredients.end());
+  std::sort(ingredients.begin(), ingredients.end());
+  ingredients.erase(std::unique(ingredients.begin(), ingredients.end()),
+                    ingredients.end());
+}
+
+}  // namespace culinary::recipe

@@ -1,0 +1,42 @@
+#ifndef CULINARYLAB_RECIPE_RECIPE_H_
+#define CULINARYLAB_RECIPE_RECIPE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "flavor/ingredient.h"
+#include "recipe/region.h"
+
+namespace culinary::recipe {
+
+/// Identifier of a recipe within a `RecipeDatabase`.
+using RecipeId = int64_t;
+
+/// A traditional recipe reduced to the representation the paper analyses:
+/// an unordered list of unique ingredients attributed to a region
+/// ("each recipe was treated as an unordered list of ingredients").
+///
+/// `ingredients` is kept sorted and deduplicated by the owning database /
+/// cuisine so pairing loops are deterministic.
+struct Recipe {
+  RecipeId id = -1;
+  std::string name;
+  Region region = Region::kWorld;
+  /// Sorted unique ingredient ids (aliased against a FlavorRegistry).
+  std::vector<flavor::IngredientId> ingredients;
+
+  /// Number of distinct ingredients (the "recipe size" n_R).
+  size_t size() const { return ingredients.size(); }
+
+  /// True iff the recipe can contribute to food pairing (needs >= 2
+  /// ingredients to form a pair).
+  bool IsPairable() const { return ingredients.size() >= 2; }
+};
+
+/// Sorts and deduplicates `ingredients` in place, dropping invalid ids.
+void CanonicalizeIngredients(std::vector<flavor::IngredientId>& ingredients);
+
+}  // namespace culinary::recipe
+
+#endif  // CULINARYLAB_RECIPE_RECIPE_H_

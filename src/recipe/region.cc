@@ -1,0 +1,78 @@
+#include "recipe/region.h"
+
+#include "common/string_util.h"
+
+namespace culinary::recipe {
+
+namespace {
+
+struct RegionInfo {
+  std::string_view code;
+  std::string_view name;
+};
+
+constexpr RegionInfo kInfo[kNumRegions + 1] = {
+    {"AFR", "Africa"},
+    {"ANZ", "Australia & NZ"},
+    {"BRI", "British Isles"},
+    {"CAN", "Canada"},
+    {"CBN", "Caribbean"},
+    {"CHN", "China"},
+    {"DACH", "DACH Countries"},
+    {"EE", "Eastern Europe"},
+    {"FRA", "France"},
+    {"GRC", "Greece"},
+    {"INSC", "Indian Subcontinent"},
+    {"ITA", "Italy"},
+    {"JPN", "Japan"},
+    {"KOR", "Korea"},
+    {"MEX", "Mexico"},
+    {"ME", "Middle East"},
+    {"SCND", "Scandinavia"},
+    {"SAM", "South America"},
+    {"SEA", "South East Asia"},
+    {"ESP", "Spain"},
+    {"THA", "Thailand"},
+    {"USA", "USA"},
+    {"WORLD", "World"},
+};
+
+constexpr Region kAll[kNumRegions] = {
+    Region::kAfrica,        Region::kAustraliaNz,
+    Region::kBritishIsles,  Region::kCanada,
+    Region::kCaribbean,     Region::kChina,
+    Region::kDach,          Region::kEasternEurope,
+    Region::kFrance,        Region::kGreece,
+    Region::kIndianSubcontinent, Region::kItaly,
+    Region::kJapan,         Region::kKorea,
+    Region::kMexico,        Region::kMiddleEast,
+    Region::kScandinavia,   Region::kSouthAmerica,
+    Region::kSouthEastAsia, Region::kSpain,
+    Region::kThailand,      Region::kUsa,
+};
+
+}  // namespace
+
+std::string_view RegionCode(Region region) {
+  int i = static_cast<int>(region);
+  if (i < 0 || i > kNumRegions) return "?";
+  return kInfo[i].code;
+}
+
+std::string_view RegionName(Region region) {
+  int i = static_cast<int>(region);
+  if (i < 0 || i > kNumRegions) return "?";
+  return kInfo[i].name;
+}
+
+std::optional<Region> RegionFromCode(std::string_view code) {
+  std::string upper = culinary::ToUpper(code);
+  for (int i = 0; i <= kNumRegions; ++i) {
+    if (kInfo[i].code == upper) return static_cast<Region>(i);
+  }
+  return std::nullopt;
+}
+
+const Region* AllRegions() { return kAll; }
+
+}  // namespace culinary::recipe

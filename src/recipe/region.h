@@ -1,0 +1,56 @@
+#ifndef CULINARYLAB_RECIPE_REGION_H_
+#define CULINARYLAB_RECIPE_REGION_H_
+
+#include <optional>
+#include <string_view>
+
+namespace culinary::recipe {
+
+/// The 22 geo-cultural regions of the paper (Table 1) plus the WORLD
+/// aggregate. Region codes follow the paper ("AFR", "ANZ", ...).
+enum class Region : int {
+  kAfrica = 0,
+  kAustraliaNz = 1,
+  kBritishIsles = 2,
+  kCanada = 3,
+  kCaribbean = 4,
+  kChina = 5,
+  kDach = 6,
+  kEasternEurope = 7,
+  kFrance = 8,
+  kGreece = 9,
+  kIndianSubcontinent = 10,
+  kItaly = 11,
+  kJapan = 12,
+  kKorea = 13,
+  kMexico = 14,
+  kMiddleEast = 15,
+  kScandinavia = 16,
+  kSouthAmerica = 17,
+  kSouthEastAsia = 18,
+  kSpain = 19,
+  kThailand = 20,
+  kUsa = 21,
+  /// Aggregate over all regions (plus small unassigned regions in the
+  /// paper; here exactly the union of the 22).
+  kWorld = 22,
+};
+
+/// Number of proper regions (excluding kWorld).
+inline constexpr int kNumRegions = 22;
+
+/// Short code used in figures and CSVs ("AFR", "ANZ", ..., "WORLD").
+std::string_view RegionCode(Region region);
+
+/// Full display name ("Africa", "Australia & NZ", ...).
+std::string_view RegionName(Region region);
+
+/// Parses a region code (case-insensitive); nullopt for unknown codes.
+std::optional<Region> RegionFromCode(std::string_view code);
+
+/// All proper regions in Table 1 order (alphabetical by name, as printed).
+const Region* AllRegions();
+
+}  // namespace culinary::recipe
+
+#endif  // CULINARYLAB_RECIPE_REGION_H_

@@ -1,0 +1,102 @@
+#include "text/edit_distance.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+namespace culinary::text {
+
+size_t LevenshteinDistance(std::string_view a, std::string_view b) {
+  const size_t n = a.size();
+  const size_t m = b.size();
+  if (n == 0) return m;
+  if (m == 0) return n;
+  std::vector<size_t> prev(m + 1), curr(m + 1);
+  for (size_t j = 0; j <= m; ++j) prev[j] = j;
+  for (size_t i = 1; i <= n; ++i) {
+    curr[0] = i;
+    for (size_t j = 1; j <= m; ++j) {
+      size_t cost = (a[i - 1] == b[j - 1]) ? 0 : 1;
+      curr[j] = std::min({prev[j] + 1, curr[j - 1] + 1, prev[j - 1] + cost});
+    }
+    std::swap(prev, curr);
+  }
+  return prev[m];
+}
+
+size_t DamerauLevenshteinDistance(std::string_view a, std::string_view b) {
+  const size_t n = a.size();
+  const size_t m = b.size();
+  if (n == 0) return m;
+  if (m == 0) return n;
+  // Three rolling rows: i-2, i-1, i.
+  std::vector<size_t> two(m + 1), prev(m + 1), curr(m + 1);
+  for (size_t j = 0; j <= m; ++j) prev[j] = j;
+  for (size_t i = 1; i <= n; ++i) {
+    curr[0] = i;
+    for (size_t j = 1; j <= m; ++j) {
+      size_t cost = (a[i - 1] == b[j - 1]) ? 0 : 1;
+      curr[j] = std::min({prev[j] + 1, curr[j - 1] + 1, prev[j - 1] + cost});
+      if (i > 1 && j > 1 && a[i - 1] == b[j - 2] && a[i - 2] == b[j - 1]) {
+        curr[j] = std::min(curr[j], two[j - 2] + 1);
+      }
+    }
+    std::swap(two, prev);
+    std::swap(prev, curr);
+  }
+  return prev[m];
+}
+
+double JaroSimilarity(std::string_view a, std::string_view b) {
+  const size_t n = a.size();
+  const size_t m = b.size();
+  if (n == 0 && m == 0) return 1.0;
+  if (n == 0 || m == 0) return 0.0;
+  const size_t window =
+      std::max<size_t>(1, std::max(n, m) / 2) - 1;
+
+  std::vector<char> a_matched(n, 0), b_matched(m, 0);
+  size_t matches = 0;
+  for (size_t i = 0; i < n; ++i) {
+    size_t lo = i > window ? i - window : 0;
+    size_t hi = std::min(m, i + window + 1);
+    for (size_t j = lo; j < hi; ++j) {
+      if (b_matched[j] || a[i] != b[j]) continue;
+      a_matched[i] = b_matched[j] = 1;
+      ++matches;
+      break;
+    }
+  }
+  if (matches == 0) return 0.0;
+
+  // Count transpositions among matched characters.
+  size_t t = 0;
+  size_t j = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (!a_matched[i]) continue;
+    while (!b_matched[j]) ++j;
+    if (a[i] != b[j]) ++t;
+    ++j;
+  }
+  double dm = static_cast<double>(matches);
+  return (dm / n + dm / m + (dm - t / 2.0) / dm) / 3.0;
+}
+
+double JaroWinklerSimilarity(std::string_view a, std::string_view b) {
+  double jaro = JaroSimilarity(a, b);
+  size_t prefix = 0;
+  size_t limit = std::min({a.size(), b.size(), static_cast<size_t>(4)});
+  while (prefix < limit && a[prefix] == b[prefix]) ++prefix;
+  return jaro + static_cast<double>(prefix) * 0.1 * (1.0 - jaro);
+}
+
+bool WithinEditDistance(std::string_view a, std::string_view b,
+                        size_t max_distance) {
+  size_t la = a.size(), lb = b.size();
+  size_t diff = la > lb ? la - lb : lb - la;
+  if (diff > max_distance) return false;  // length gap alone exceeds budget
+  return DamerauLevenshteinDistance(a, b) <= max_distance;
+}
+
+}  // namespace culinary::text

@@ -1,0 +1,32 @@
+#ifndef CULINARYLAB_TEXT_EDIT_DISTANCE_H_
+#define CULINARYLAB_TEXT_EDIT_DISTANCE_H_
+
+#include <cstddef>
+#include <string_view>
+
+namespace culinary::text {
+
+/// Levenshtein edit distance (insert / delete / substitute, unit costs).
+size_t LevenshteinDistance(std::string_view a, std::string_view b);
+
+/// Damerau–Levenshtein distance (adds adjacent transposition), the measure
+/// used for catching spelling variants like "whiskey"/"whisky" and
+/// transposed letters in scraped recipe text.
+size_t DamerauLevenshteinDistance(std::string_view a, std::string_view b);
+
+/// Jaro similarity in [0, 1].
+double JaroSimilarity(std::string_view a, std::string_view b);
+
+/// Jaro–Winkler similarity in [0, 1] with standard prefix scale 0.1 and
+/// maximum prefix length 4.
+double JaroWinklerSimilarity(std::string_view a, std::string_view b);
+
+/// True iff the Damerau–Levenshtein distance between `a` and `b` is at most
+/// `max_distance` (early-exits; cheaper than computing the full distance for
+/// clearly different strings).
+bool WithinEditDistance(std::string_view a, std::string_view b,
+                        size_t max_distance);
+
+}  // namespace culinary::text
+
+#endif  // CULINARYLAB_TEXT_EDIT_DISTANCE_H_

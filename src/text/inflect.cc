@@ -1,0 +1,129 @@
+#include "text/inflect.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/string_util.h"
+
+namespace culinary::text {
+
+namespace {
+
+/// Irregular plural → singular. Culinary-heavy selection.
+const std::unordered_map<std::string, std::string>& IrregularSingulars() {
+  static const auto& map = *new std::unordered_map<std::string, std::string>{
+      {"leaves", "leaf"},       {"loaves", "loaf"},
+      {"halves", "half"},       {"calves", "calf"},
+      {"knives", "knife"},      {"wives", "wife"},
+      {"lives", "life"},        {"shelves", "shelf"},
+      {"children", "child"},    {"men", "man"},
+      {"women", "woman"},       {"feet", "foot"},
+      {"teeth", "tooth"},       {"geese", "goose"},
+      {"mice", "mouse"},        {"people", "person"},
+      {"anchovies", "anchovy"}, {"berries", "berry"},
+      {"cherries", "cherry"},   {"candies", "candy"},
+      {"radii", "radius"},      {"fungi", "fungus"},
+      {"cacti", "cactus"},      {"octopi", "octopus"},
+      {"potatoes", "potato"},   {"tomatoes", "tomato"},
+      {"mangoes", "mango"},     {"heroes", "hero"},
+      {"echoes", "echo"},       {"mosquitoes", "mosquito"},
+      {"oxen", "ox"},           {"dice", "die"},
+      {"matzos", "matzo"},      {"avocados", "avocado"},
+      {"pistachios", "pistachio"},
+  };
+  return map;
+}
+
+/// Nouns whose singular equals their plural or that end in -s inherently.
+const std::unordered_set<std::string>& InvariantNouns() {
+  static const auto& set = *new std::unordered_set<std::string>{
+      "molasses",  "couscous", "hummus",   "asparagus", "citrus",
+      "sheep",     "deer",     "fish",     "shrimp",    "salmon",
+      "tuna",      "trout",    "squid",    "bass",      "swiss",
+      "series",    "species",  "sugarsnap", "watercress", "cress",
+      "brandy",    "grits",    "oats",     "greens",     "lentils",
+      "schnapps",  "haggis",   "rice",     "dressing",
+  };
+  return set;
+}
+
+bool IsVowel(char c) {
+  return c == 'a' || c == 'e' || c == 'i' || c == 'o' || c == 'u';
+}
+
+}  // namespace
+
+std::string Singularize(std::string_view raw) {
+  std::string word = culinary::ToLower(raw);
+  if (word.size() < 3) return word;
+
+  if (InvariantNouns().count(word) > 0) return word;
+  auto it = IrregularSingulars().find(word);
+  if (it != IrregularSingulars().end()) return it->second;
+
+  auto ends = [&](std::string_view suffix) {
+    return culinary::EndsWith(word, suffix);
+  };
+
+  // -ies → -y (berries → berry), but not short words like "ties"/"pies".
+  if (ends("ies") && word.size() > 4) {
+    return word.substr(0, word.size() - 3) + "y";
+  }
+  // -ves → -f (olives is an exception handled by the vowel check: "olives"
+  // ends in -ves with preceding 'i' vowel → treat as plain -s).
+  if (ends("ves") && word.size() > 4 && !IsVowel(word[word.size() - 4])) {
+    return word.substr(0, word.size() - 3) + "f";
+  }
+  // -ches / -shes / -xes / -sses / -zes → drop "es".
+  if (ends("ches") || ends("shes") || ends("xes") || ends("sses") ||
+      ends("zes")) {
+    return word.substr(0, word.size() - 2);
+  }
+  // -oes → -o (handled irregulars above cover most; generic rule here).
+  if (ends("oes") && word.size() > 4) {
+    return word.substr(0, word.size() - 2);
+  }
+  // -ss endings stay ("molasses" caught above; "cress" here).
+  if (ends("ss")) return word;
+  // -us endings stay (asparagus, hummus, citrus).
+  if (ends("us")) return word;
+  // -is endings stay (basis; rare in ingredients).
+  if (ends("is")) return word;
+  // Plain -s → drop it.
+  if (ends("s") && word.size() > 3) {
+    return word.substr(0, word.size() - 1);
+  }
+  return word;
+}
+
+std::vector<std::string> SingularizeAll(const std::vector<std::string>& tokens) {
+  std::vector<std::string> out;
+  out.reserve(tokens.size());
+  for (const std::string& t : tokens) out.push_back(Singularize(t));
+  return out;
+}
+
+std::string Pluralize(std::string_view raw) {
+  std::string word = culinary::ToLower(raw);
+  if (word.empty()) return word;
+  if (InvariantNouns().count(word) > 0) return word;
+  for (const auto& [plural, singular] : IrregularSingulars()) {
+    if (singular == word) return plural;
+  }
+  auto ends = [&](std::string_view suffix) {
+    return culinary::EndsWith(word, suffix);
+  };
+  if (ends("y") && word.size() > 1 && !IsVowel(word[word.size() - 2])) {
+    return word.substr(0, word.size() - 1) + "ies";
+  }
+  if (ends("ch") || ends("sh") || ends("x") || ends("ss") || ends("z")) {
+    return word + "es";
+  }
+  if (ends("o") && word.size() > 2 && !IsVowel(word[word.size() - 2])) {
+    return word + "es";
+  }
+  if (ends("s")) return word;
+  return word + "s";
+}
+
+}  // namespace culinary::text

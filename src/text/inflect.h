@@ -1,0 +1,29 @@
+#ifndef CULINARYLAB_TEXT_INFLECT_H_
+#define CULINARYLAB_TEXT_INFLECT_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace culinary::text {
+
+/// Converts an English noun to its singular form (the counterpart of the
+/// `inflect` Python package used by the paper's pipeline).
+///
+/// Handles an irregular-noun table (leaves/leaf, tomatoes/tomato,
+/// children/child, ...), invariant nouns (molasses, couscous, hummus, ...)
+/// and the regular suffix rules (-ies → -y, -oes → -o, -ves → -f(e),
+/// -ches/-shes/-xes/-sses → drop "es", -s → drop "s"). Input is expected
+/// lowercase; non-lowercase input is lowercased first.
+std::string Singularize(std::string_view word);
+
+/// Singularizes every token in place and returns the result.
+std::vector<std::string> SingularizeAll(const std::vector<std::string>& tokens);
+
+/// Best-effort pluralization (used by tests as an inverse probe and by the
+/// synthetic data generator to create phrase variations).
+std::string Pluralize(std::string_view word);
+
+}  // namespace culinary::text
+
+#endif  // CULINARYLAB_TEXT_INFLECT_H_

@@ -1,0 +1,35 @@
+#include "text/ngram.h"
+
+namespace culinary::text {
+
+std::vector<NGram> MakeNGrams(const std::vector<std::string>& tokens,
+                              size_t n) {
+  std::vector<NGram> out;
+  if (n == 0 || tokens.size() < n) return out;
+  out.reserve(tokens.size() - n + 1);
+  for (size_t start = 0; start + n <= tokens.size(); ++start) {
+    NGram g;
+    g.start = start;
+    g.length = n;
+    for (size_t i = 0; i < n; ++i) {
+      if (i > 0) g.joined.push_back(' ');
+      g.joined.append(tokens[start + i]);
+    }
+    out.push_back(std::move(g));
+  }
+  return out;
+}
+
+std::vector<NGram> MakeNGramsDescending(const std::vector<std::string>& tokens,
+                                        size_t max_n, size_t min_n) {
+  std::vector<NGram> out;
+  if (min_n == 0) min_n = 1;
+  for (size_t n = max_n; n >= min_n; --n) {
+    std::vector<NGram> level = MakeNGrams(tokens, n);
+    out.insert(out.end(), level.begin(), level.end());
+    if (n == min_n) break;  // avoid size_t underflow when min_n == 0
+  }
+  return out;
+}
+
+}  // namespace culinary::text

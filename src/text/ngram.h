@@ -1,0 +1,28 @@
+#ifndef CULINARYLAB_TEXT_NGRAM_H_
+#define CULINARYLAB_TEXT_NGRAM_H_
+
+#include <string>
+#include <vector>
+
+namespace culinary::text {
+
+/// A contiguous token n-gram with its source span.
+struct NGram {
+  std::string joined;  ///< tokens joined by single spaces
+  size_t start = 0;    ///< index of the first token
+  size_t length = 0;   ///< number of tokens
+};
+
+/// All contiguous n-grams of exactly `n` tokens, in order.
+std::vector<NGram> MakeNGrams(const std::vector<std::string>& tokens, size_t n);
+
+/// All contiguous n-grams of length `max_n` down to `min_n`, longest first
+/// and left-to-right within a length. This is the scan order of the
+/// paper's aliasing protocol ("N-grams (up to 6-grams)"): longest candidate
+/// ingredient names are tried before shorter ones.
+std::vector<NGram> MakeNGramsDescending(const std::vector<std::string>& tokens,
+                                        size_t max_n, size_t min_n = 1);
+
+}  // namespace culinary::text
+
+#endif  // CULINARYLAB_TEXT_NGRAM_H_

@@ -1,0 +1,25 @@
+#include "text/normalize.h"
+
+#include "common/string_util.h"
+#include "text/inflect.h"
+
+namespace culinary::text {
+
+std::vector<std::string> NormalizePhrase(std::string_view phrase,
+                                         const NormalizeOptions& options) {
+  std::vector<std::string> tokens = Tokenize(phrase, options.tokenizer);
+  if (options.stopwords != nullptr) {
+    tokens = options.stopwords->Remove(tokens);
+  }
+  if (options.singularize) {
+    tokens = SingularizeAll(tokens);
+  }
+  return tokens;
+}
+
+std::string NormalizePhraseToString(std::string_view phrase,
+                                    const NormalizeOptions& options) {
+  return culinary::Join(NormalizePhrase(phrase, options), " ");
+}
+
+}  // namespace culinary::text

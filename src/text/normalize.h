@@ -1,0 +1,36 @@
+#ifndef CULINARYLAB_TEXT_NORMALIZE_H_
+#define CULINARYLAB_TEXT_NORMALIZE_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "text/stopwords.h"
+#include "text/tokenizer.h"
+
+namespace culinary::text {
+
+/// Options for the full phrase-normalization pipeline.
+struct NormalizeOptions {
+  TokenizerOptions tokenizer;
+  /// Stopwords to drop; defaults to English ∪ culinary.
+  const StopwordSet* stopwords = &StopwordSet::EnglishAndCulinary();
+  /// Singularize each surviving token.
+  bool singularize = true;
+};
+
+/// Runs the multi-step protocol of paper §IV.A on one raw ingredient phrase:
+/// lowercase → strip punctuation/special characters → tokenize → remove
+/// (English + culinary) stopwords → singularize. Returns the cleaned tokens.
+///
+/// "2 Jalapeno Peppers, roasted and slit" → ["jalapeno", "pepper"].
+std::vector<std::string> NormalizePhrase(std::string_view phrase,
+                                         const NormalizeOptions& options = {});
+
+/// `NormalizePhrase` joined with single spaces ("jalapeno pepper").
+std::string NormalizePhraseToString(std::string_view phrase,
+                                    const NormalizeOptions& options = {});
+
+}  // namespace culinary::text
+
+#endif  // CULINARYLAB_TEXT_NORMALIZE_H_

@@ -1,0 +1,134 @@
+#include "text/stopwords.h"
+
+#include "common/string_util.h"
+
+namespace culinary::text {
+
+namespace {
+
+const char* const kEnglishStopwords[] = {
+    "a",       "about",  "above",   "after",  "again",  "against", "all",
+    "am",      "an",     "and",     "any",    "are",    "as",      "at",
+    "be",      "because","been",    "before", "being",  "below",   "between",
+    "both",    "but",    "by",      "can",    "cannot", "could",   "did",
+    "do",      "does",   "doing",   "down",   "during", "each",    "few",
+    "for",     "from",   "further", "had",    "has",    "have",    "having",
+    "he",      "her",    "here",    "hers",   "him",    "his",     "how",
+    "i",       "if",     "in",      "into",   "is",     "it",      "its",
+    "itself",  "just",   "me",      "more",   "most",   "my",      "no",
+    "nor",     "not",    "now",     "of",     "off",    "on",      "once",
+    "only",    "or",     "other",   "our",    "ours",   "out",     "over",
+    "own",     "per",    "same",    "she",    "should", "so",      "some",
+    "such",    "than",   "that",    "the",    "their",  "theirs",  "them",
+    "then",    "there",  "these",   "they",   "this",   "those",   "through",
+    "to",      "too",    "under",   "until",  "up",     "very",    "was",
+    "we",      "were",   "what",    "when",   "where",  "which",   "while",
+    "who",     "whom",   "why",     "will",   "with",   "would",   "you",
+    "your",    "yours",
+};
+
+// Units, container sizes, preparation verbs, texture/temperature/quality
+// qualifiers: words that occur in ingredient phrases but never identify the
+// ingredient itself.
+const char* const kCulinaryStopwords[] = {
+    // units & measures
+    "cup", "cups", "tablespoon", "tablespoons", "tbsp", "teaspoon",
+    "teaspoons", "tsp", "ounce", "ounces", "oz", "pound", "pounds", "lb",
+    "lbs", "gram", "grams", "g", "kg", "kilogram", "kilograms", "ml",
+    "milliliter", "milliliters", "liter", "liters", "litre", "litres",
+    "quart", "quarts", "pint", "pints", "gallon", "gallons", "dash",
+    "dashes", "pinch", "pinches", "handful", "handfuls", "piece", "pieces",
+    "slice", "slices", "stick", "sticks", "clove", "cloves", "sprig",
+    "sprigs", "bunch", "bunches", "head", "heads", "stalk", "stalks",
+    "leaf", "leaves",
+    "package", "packages", "pkg", "can", "cans", "jar", "jars", "bottle",
+    "bottles", "container", "containers", "box", "boxes", "bag", "bags",
+    "inch", "inches", "cube", "cubes", "envelope", "envelopes", "carton",
+    "cartons", "drop", "drops", "knob", "pat", "pats", "splash", "size",
+    // preparation verbs / participles
+    "chopped", "diced", "minced", "sliced", "grated", "shredded", "peeled",
+    "seeded", "pitted", "halved", "quartered", "crushed", "ground",
+    "beaten", "whisked", "melted", "softened", "toasted", "roasted",
+    "slit", "cooked", "uncooked", "boiled", "steamed", "blanched", "drained",
+    "rinsed", "washed", "trimmed", "cut", "torn", "cubed", "julienned",
+    "crumbled", "mashed", "pureed", "squeezed", "zested", "juiced",
+    "separated", "divided", "packed", "sifted", "scalded", "thawed",
+    "defrosted", "deveined", "shelled", "husked", "cored", "stemmed",
+    "flaked", "snipped", "pounded", "scored", "butterflied", "marinated",
+    "strained", "reserved", "removed", "discarded", "picked",
+    // qualifiers
+    "fresh", "freshly", "dried", "dry", "frozen", "canned", "raw", "ripe",
+    "large", "medium", "small", "big", "little", "thin", "thinly", "thick",
+    "thickly", "fine", "finely", "coarse", "coarsely", "roughly", "lightly",
+    "firmly", "loosely", "gently", "well", "extra", "additional", "optional",
+    "needed", "taste", "serving", "servings", "garnish", "preferably",
+    "approximately", "plus", "hot", "cold", "warm", "cool", "room",
+    "temperature", "lean", "boneless", "skinless", "bone", "skin",
+    "seedless", "unsalted", "salted", "unsweetened", "sweetened", "lowfat",
+    "nonfat", "reduced", "fat", "free", "light", "heavy", "whole", "half",
+    "halves", "quarter", "quarters", "good", "quality", "best", "favorite",
+    "store", "bought", "homemade", "prepared", "instant", "quick",
+    "cooking", "baking", "overnight", "day", "old", "new", "young", "baby",
+    "mini", "jumbo", "giant", "virgin", "breast", "thigh", "fillet",
+    "drumstick", "rind", "crust",
+};
+
+StopwordSet BuildEnglish() {
+  StopwordSet s;
+  for (const char* w : kEnglishStopwords) s.Add(w);
+  return s;
+}
+
+StopwordSet BuildCulinary() {
+  StopwordSet s;
+  for (const char* w : kCulinaryStopwords) s.Add(w);
+  return s;
+}
+
+StopwordSet BuildBoth() {
+  StopwordSet s;
+  for (const char* w : kEnglishStopwords) s.Add(w);
+  for (const char* w : kCulinaryStopwords) s.Add(w);
+  return s;
+}
+
+}  // namespace
+
+StopwordSet::StopwordSet(const std::vector<std::string>& words) {
+  for (const std::string& w : words) Add(w);
+}
+
+const StopwordSet& StopwordSet::English() {
+  static const StopwordSet& instance = *new StopwordSet(BuildEnglish());
+  return instance;
+}
+
+const StopwordSet& StopwordSet::Culinary() {
+  static const StopwordSet& instance = *new StopwordSet(BuildCulinary());
+  return instance;
+}
+
+const StopwordSet& StopwordSet::EnglishAndCulinary() {
+  static const StopwordSet& instance = *new StopwordSet(BuildBoth());
+  return instance;
+}
+
+void StopwordSet::Add(std::string_view word) {
+  words_.insert(culinary::ToLower(word));
+}
+
+bool StopwordSet::Contains(std::string_view word) const {
+  return words_.count(culinary::ToLower(word)) > 0;
+}
+
+std::vector<std::string> StopwordSet::Remove(
+    const std::vector<std::string>& tokens) const {
+  std::vector<std::string> out;
+  out.reserve(tokens.size());
+  for (const std::string& t : tokens) {
+    if (!Contains(t)) out.push_back(t);
+  }
+  return out;
+}
+
+}  // namespace culinary::text

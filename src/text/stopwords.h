@@ -1,0 +1,52 @@
+#ifndef CULINARYLAB_TEXT_STOPWORDS_H_
+#define CULINARYLAB_TEXT_STOPWORDS_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_set>
+#include <vector>
+
+namespace culinary::text {
+
+/// A set of words to drop during phrase normalization.
+///
+/// Two built-in lists are provided: generic English stopwords (the usual
+/// function words) and *culinary* stopwords — units, preparation verbs and
+/// qualifiers that appear in ingredient phrases but carry no ingredient
+/// identity ("chopped", "cup", "fresh", ...), mirroring the paper's
+/// "stopwords, including some culinary stopwords".
+class StopwordSet {
+ public:
+  StopwordSet() = default;
+
+  /// Builds a set from explicit words (lowercased on insertion).
+  explicit StopwordSet(const std::vector<std::string>& words);
+
+  /// The built-in English stopword list.
+  static const StopwordSet& English();
+
+  /// The built-in culinary stopword list (units, prep verbs, qualifiers).
+  static const StopwordSet& Culinary();
+
+  /// English ∪ Culinary.
+  static const StopwordSet& EnglishAndCulinary();
+
+  /// Adds a word (lowercased).
+  void Add(std::string_view word);
+
+  /// True iff `word` (case-insensitively) is a stopword.
+  bool Contains(std::string_view word) const;
+
+  /// Number of words in the set.
+  size_t size() const { return words_.size(); }
+
+  /// Returns `tokens` with stopwords removed (order preserved).
+  std::vector<std::string> Remove(const std::vector<std::string>& tokens) const;
+
+ private:
+  std::unordered_set<std::string> words_;
+};
+
+}  // namespace culinary::text
+
+#endif  // CULINARYLAB_TEXT_STOPWORDS_H_

@@ -1,0 +1,80 @@
+#include "text/tokenizer.h"
+
+#include <cctype>
+
+namespace culinary::text {
+
+namespace {
+
+bool IsAlnum(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0;
+}
+
+bool IsAllDigits(std::string_view token) {
+  for (char c : token) {
+    if (!std::isdigit(static_cast<unsigned char>(c))) return false;
+  }
+  return !token.empty();
+}
+
+}  // namespace
+
+std::vector<std::string> Tokenize(std::string_view phrase,
+                                  const TokenizerOptions& options) {
+  std::vector<std::string> tokens;
+  std::string current;
+  auto flush = [&]() {
+    if (current.empty()) return;
+    if (!(options.drop_numeric_tokens && IsAllDigits(current))) {
+      tokens.push_back(current);
+    }
+    current.clear();
+  };
+
+  for (size_t i = 0; i < phrase.size(); ++i) {
+    char c = phrase[i];
+    bool is_word_char = IsAlnum(c);
+    if (!is_word_char && options.keep_inner_hyphen_apostrophe &&
+        (c == '-' || c == '\'')) {
+      // Inner only: must be between two alphanumeric characters.
+      bool prev_ok = !current.empty();
+      bool next_ok = i + 1 < phrase.size() && IsAlnum(phrase[i + 1]);
+      is_word_char = prev_ok && next_ok;
+    }
+    if (!options.strip_punctuation && !is_word_char && !std::isspace(static_cast<unsigned char>(c))) {
+      is_word_char = true;  // punctuation retained inside tokens
+    }
+    if (is_word_char) {
+      char out = c;
+      if (options.lowercase) {
+        out = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+      }
+      current.push_back(out);
+    } else {
+      flush();
+    }
+  }
+  flush();
+  return tokens;
+}
+
+std::string StripPunctuation(std::string_view phrase, bool lowercase) {
+  std::string out;
+  out.reserve(phrase.size());
+  bool last_space = true;
+  for (char c : phrase) {
+    if (IsAlnum(c)) {
+      out.push_back(lowercase ? static_cast<char>(std::tolower(
+                                    static_cast<unsigned char>(c)))
+                              : c);
+      last_space = false;
+    } else if (!last_space) {
+      out.push_back(' ');
+      last_space = true;
+    }
+  }
+  if (!out.empty() && out.back() == ' ') out.pop_back();
+  return out;
+}
+
+}  // namespace culinary::text

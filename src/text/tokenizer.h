@@ -1,0 +1,39 @@
+#ifndef CULINARYLAB_TEXT_TOKENIZER_H_
+#define CULINARYLAB_TEXT_TOKENIZER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace culinary::text {
+
+/// Options for `Tokenize`.
+struct TokenizerOptions {
+  /// Lowercase tokens (ASCII).
+  bool lowercase = true;
+  /// Treat every non-alphanumeric character as a separator. When false only
+  /// ASCII whitespace separates tokens.
+  bool strip_punctuation = true;
+  /// Drop tokens that consist entirely of digits ("2 jalapeno peppers" →
+  /// ["jalapeno", "peppers"]). Mixed tokens like "7up" are kept.
+  bool drop_numeric_tokens = true;
+  /// Keep in-word hyphens and apostrophes ("half-half", "confectioner's")
+  /// instead of splitting on them.
+  bool keep_inner_hyphen_apostrophe = false;
+};
+
+/// Splits a raw ingredient phrase into clean tokens.
+///
+/// This is the first step of the aliasing protocol (paper §IV.A): the phrase
+/// "2 Jalapeno Peppers, roasted and slit" becomes
+/// ["jalapeno", "peppers", "roasted", "and", "slit"].
+std::vector<std::string> Tokenize(std::string_view phrase,
+                                  const TokenizerOptions& options = {});
+
+/// Removes punctuation and special characters from `phrase`, replacing them
+/// with spaces; collapses runs of whitespace; optionally lowercases.
+std::string StripPunctuation(std::string_view phrase, bool lowercase = true);
+
+}  // namespace culinary::text
+
+#endif  // CULINARYLAB_TEXT_TOKENIZER_H_

@@ -1,0 +1,146 @@
+#include "analysis/composition.h"
+
+#include <cmath>
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+namespace culinary::analysis {
+namespace {
+
+using flavor::Category;
+using flavor::FlavorProfile;
+using flavor::FlavorRegistry;
+using flavor::IngredientId;
+using recipe::Cuisine;
+using recipe::Recipe;
+using recipe::Region;
+
+class CompositionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    veg_ = reg_.AddIngredient("veg", Category::kVegetable, FlavorProfile({1}))
+               .value();
+    dairy_ =
+        reg_.AddIngredient("dairy", Category::kDairy, FlavorProfile({2}))
+            .value();
+    spice_ =
+        reg_.AddIngredient("spice", Category::kSpice, FlavorProfile({3}))
+            .value();
+  }
+
+  Recipe MakeRecipe(std::vector<IngredientId> ids) {
+    Recipe r;
+    r.region = Region::kFrance;
+    r.ingredients = std::move(ids);
+    return r;
+  }
+
+  FlavorRegistry reg_;
+  IngredientId veg_, dairy_, spice_;
+};
+
+TEST_F(CompositionTest, CategorySharesSumToOne) {
+  Cuisine cuisine(Region::kFrance,
+                  {MakeRecipe({veg_, dairy_}), MakeRecipe({dairy_, spice_})});
+  auto shares = CategoryComposition(cuisine, reg_);
+  double total = std::accumulate(shares.begin(), shares.end(), 0.0);
+  EXPECT_NEAR(total, 1.0, 1e-12);
+  EXPECT_NEAR(shares[static_cast<size_t>(Category::kDairy)], 0.5, 1e-12);
+  EXPECT_NEAR(shares[static_cast<size_t>(Category::kVegetable)], 0.25, 1e-12);
+  EXPECT_NEAR(shares[static_cast<size_t>(Category::kSpice)], 0.25, 1e-12);
+  EXPECT_EQ(shares[static_cast<size_t>(Category::kMeat)], 0.0);
+}
+
+TEST_F(CompositionTest, EmptyCuisineAllZero) {
+  Cuisine cuisine(Region::kFrance, {});
+  auto shares = CategoryComposition(cuisine, reg_);
+  for (double s : shares) EXPECT_EQ(s, 0.0);
+}
+
+TEST_F(CompositionTest, SizePmfAndCdf) {
+  Cuisine cuisine(Region::kFrance,
+                  {MakeRecipe({veg_, dairy_}), MakeRecipe({veg_, dairy_, spice_}),
+                   MakeRecipe({veg_, dairy_})});
+  auto pmf = RecipeSizePmf(cuisine);
+  ASSERT_EQ(pmf.size(), 4u);  // sizes 0..3
+  EXPECT_NEAR(pmf[2], 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(pmf[3], 1.0 / 3.0, 1e-12);
+
+  auto cdf = RecipeSizeCdf(cuisine);
+  EXPECT_NEAR(cdf[2], 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(cdf.back(), 1.0, 1e-12);
+  // CDF monotone.
+  for (size_t i = 1; i < cdf.size(); ++i) EXPECT_GE(cdf[i], cdf[i - 1]);
+}
+
+TEST_F(CompositionTest, NormalizedPopularityStartsAtOneAndDecreases) {
+  Cuisine cuisine(Region::kFrance,
+                  {MakeRecipe({veg_, dairy_}), MakeRecipe({veg_, spice_}),
+                   MakeRecipe({veg_, dairy_})});
+  auto pop = NormalizedPopularity(cuisine);
+  ASSERT_EQ(pop.size(), 3u);
+  EXPECT_EQ(pop[0], 1.0);                 // veg: 3/3
+  EXPECT_NEAR(pop[1], 2.0 / 3.0, 1e-12);  // dairy: 2/3
+  EXPECT_NEAR(pop[2], 1.0 / 3.0, 1e-12);  // spice: 1/3
+  for (size_t i = 1; i < pop.size(); ++i) EXPECT_LE(pop[i], pop[i - 1]);
+}
+
+TEST_F(CompositionTest, CumulativePopularityShareEndsAtOne) {
+  Cuisine cuisine(Region::kFrance,
+                  {MakeRecipe({veg_, dairy_}), MakeRecipe({veg_, spice_})});
+  auto cum = CumulativePopularityShare(cuisine);
+  ASSERT_EQ(cum.size(), 3u);
+  EXPECT_NEAR(cum.back(), 1.0, 1e-12);
+  EXPECT_NEAR(cum[0], 0.5, 1e-12);  // veg covers 2 of 4 uses
+  for (size_t i = 1; i < cum.size(); ++i) EXPECT_GE(cum[i], cum[i - 1]);
+}
+
+TEST_F(CompositionTest, EmptySeriesForEmptyCuisine) {
+  Cuisine cuisine(Region::kFrance, {});
+  EXPECT_TRUE(NormalizedPopularity(cuisine).empty());
+  EXPECT_TRUE(CumulativePopularityShare(cuisine).empty());
+  EXPECT_TRUE(RecipeSizePmf(cuisine).empty());
+}
+
+TEST(ZipfFitTest, RecoversExponentFromSyntheticCuisine) {
+  // Build a cuisine whose rank-frequency exactly follows 1/(r+q)^s and
+  // verify the fit recovers s approximately.
+  FlavorRegistry reg;
+  const double s_true = 1.2, q_true = 4.0;
+  const int n = 60;
+  std::vector<IngredientId> ids;
+  for (int i = 0; i < n; ++i) {
+    ids.push_back(reg.AddIngredient("ing" + std::to_string(i),
+                                    Category::kVegetable, FlavorProfile())
+                      .value());
+  }
+  std::vector<Recipe> recipes;
+  // Frequency of rank r proportional to 1/(r+q)^s, scaled to integers.
+  for (int r = 0; r < n; ++r) {
+    int freq = std::max(
+        1, static_cast<int>(std::round(
+               3000.0 / std::pow(static_cast<double>(r + 1) + q_true, s_true))));
+    for (int k = 0; k < freq; ++k) {
+      Recipe rec;
+      rec.region = Region::kItaly;
+      // Pair with a filler so the recipe is non-empty and distinct.
+      rec.ingredients = {ids[static_cast<size_t>(r)]};
+      recipes.push_back(std::move(rec));
+    }
+  }
+  Cuisine cuisine(Region::kItaly, std::move(recipes));
+  auto [s_fit, q_fit] = FitZipfMandelbrot(cuisine);
+  EXPECT_NEAR(s_fit, s_true, 0.25);
+  (void)q_fit;
+}
+
+TEST(ZipfFitTest, DegenerateCuisine) {
+  Cuisine cuisine(Region::kItaly, {});
+  auto [s, q] = FitZipfMandelbrot(cuisine);
+  EXPECT_EQ(s, 0.0);
+  EXPECT_EQ(q, 0.0);
+}
+
+}  // namespace
+}  // namespace culinary::analysis

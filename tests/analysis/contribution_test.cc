@@ -1,0 +1,141 @@
+#include "analysis/contribution.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace culinary::analysis {
+namespace {
+
+using flavor::Category;
+using flavor::FlavorProfile;
+using flavor::FlavorRegistry;
+using flavor::IngredientId;
+using recipe::Cuisine;
+using recipe::Recipe;
+using recipe::Region;
+
+class ContributionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // glue shares 3 compounds with a and b; a-b share nothing; solo shares
+    // nothing with anyone.
+    a_ = reg_.AddIngredient("a", Category::kVegetable,
+                            FlavorProfile({1, 2, 3, 10}))
+             .value();
+    b_ = reg_.AddIngredient("b", Category::kHerb,
+                            FlavorProfile({4, 5, 6, 20}))
+             .value();
+    glue_ = reg_.AddIngredient("glue", Category::kSpice,
+                               FlavorProfile({1, 2, 3, 4, 5, 6}))
+                .value();
+    solo_ = reg_.AddIngredient("solo", Category::kMeat, FlavorProfile({99}))
+                .value();
+  }
+
+  Recipe MakeRecipe(std::vector<IngredientId> ids) {
+    Recipe r;
+    r.region = Region::kItaly;
+    r.ingredients = std::move(ids);
+    return r;
+  }
+
+  FlavorRegistry reg_;
+  IngredientId a_, b_, glue_, solo_;
+};
+
+TEST_F(ContributionTest, RemovalRecomputesMean) {
+  // Recipes: {a,b,glue}: pairs ag=3, bg=3, ab=0 → N_s = 2/6*6 = 2.
+  //          {a,b}: N_s = 0.
+  Cuisine cuisine(Region::kItaly,
+                  {MakeRecipe({a_, b_, glue_}), MakeRecipe({a_, b_})});
+  PairingCache cache(reg_, cuisine.unique_ingredients());
+  EXPECT_DOUBLE_EQ(CuisineMeanPairing(cache, cuisine), 1.0);
+
+  // Removing glue: recipe 1 becomes {a,b} with N_s = 0 → mean 0.
+  EXPECT_DOUBLE_EQ(CuisineMeanPairingWithout(cache, cuisine, glue_), 0.0);
+
+  // χ_glue = 100 * (1 - 0) / 1 = 100.
+  EXPECT_DOUBLE_EQ(IngredientChi(cache, cuisine, glue_), 100.0);
+}
+
+TEST_F(ContributionTest, RecipesBelowTwoIngredientsDropOut) {
+  // Single recipe {a, glue}: N_s = 2/2*3 = 3. Removing glue leaves {a},
+  // which is unpairable → no recipes left → mean defined as 0.
+  Cuisine cuisine(Region::kItaly, {MakeRecipe({a_, glue_})});
+  PairingCache cache(reg_, cuisine.unique_ingredients());
+  EXPECT_DOUBLE_EQ(CuisineMeanPairing(cache, cuisine), 3.0);
+  EXPECT_DOUBLE_EQ(CuisineMeanPairingWithout(cache, cuisine, glue_), 0.0);
+}
+
+TEST_F(ContributionTest, NegativeContribution) {
+  // {a, glue}: N_s = 3. {a, b, solo}: pairs all 0 → N_s = 0.
+  // Mean = 1.5. Removing solo: {a,b} still 0 → mean stays 1.5 → χ_solo = 0.
+  // Removing b from recipe 2: {a, solo} → 0 → mean unchanged → χ_b = 0.
+  // Add {glue, solo}: N_s = 0 → solo dilutes. Removing solo drops it to
+  // a 1-ingredient recipe → mean over remaining recipes rises → χ_solo < 0.
+  Cuisine cuisine(Region::kItaly,
+                  {MakeRecipe({a_, glue_}), MakeRecipe({glue_, solo_})});
+  PairingCache cache(reg_, cuisine.unique_ingredients());
+  EXPECT_DOUBLE_EQ(CuisineMeanPairing(cache, cuisine), 1.5);
+  EXPECT_DOUBLE_EQ(CuisineMeanPairingWithout(cache, cuisine, solo_), 3.0);
+  EXPECT_DOUBLE_EQ(IngredientChi(cache, cuisine, solo_), -100.0);
+}
+
+TEST_F(ContributionTest, UnusedIngredientHasZeroChi) {
+  Cuisine cuisine(Region::kItaly, {MakeRecipe({a_, glue_})});
+  PairingCache cache(reg_, cuisine.unique_ingredients());
+  EXPECT_DOUBLE_EQ(IngredientChi(cache, cuisine, solo_), 0.0);
+}
+
+TEST_F(ContributionTest, AllContributionsSortedDescending) {
+  Cuisine cuisine(Region::kItaly,
+                  {MakeRecipe({a_, b_, glue_}), MakeRecipe({glue_, solo_}),
+                   MakeRecipe({a_, b_})});
+  PairingCache cache(reg_, cuisine.unique_ingredients());
+  auto all = AllContributions(cache, cuisine);
+  ASSERT_EQ(all.size(), cuisine.unique_ingredients().size());
+  for (size_t i = 1; i < all.size(); ++i) {
+    EXPECT_GE(all[i - 1].chi, all[i].chi);
+  }
+  // glue is the top contributor.
+  EXPECT_EQ(all.front().id, glue_);
+}
+
+TEST_F(ContributionTest, TopContributorsFiltersBySign) {
+  Cuisine cuisine(Region::kItaly,
+                  {MakeRecipe({a_, b_, glue_}), MakeRecipe({glue_, solo_}),
+                   MakeRecipe({a_, b_})});
+  PairingCache cache(reg_, cuisine.unique_ingredients());
+
+  auto pos = TopContributors(cache, cuisine, 2, /*positive=*/true);
+  ASSERT_FALSE(pos.empty());
+  for (const auto& c : pos) EXPECT_GT(c.chi, 0.0);
+  EXPECT_EQ(pos.front().id, glue_);
+
+  auto neg = TopContributors(cache, cuisine, 2, /*positive=*/false);
+  for (const auto& c : neg) EXPECT_LT(c.chi, 0.0);
+  if (!neg.empty()) {
+    // Most negative first.
+    for (size_t i = 1; i < neg.size(); ++i) {
+      EXPECT_LE(neg[i - 1].chi, neg[i].chi);
+    }
+  }
+}
+
+TEST_F(ContributionTest, EmptyCuisineYieldsNoContributions) {
+  Cuisine cuisine(Region::kKorea, {});
+  PairingCache cache(reg_, cuisine.unique_ingredients());
+  EXPECT_TRUE(AllContributions(cache, cuisine).empty());
+  EXPECT_TRUE(TopContributors(cache, cuisine, 3, true).empty());
+}
+
+TEST_F(ContributionTest, ZeroMeanCuisineYieldsNoContributions) {
+  // All pairings zero → χ undefined → empty.
+  Cuisine cuisine(Region::kItaly, {MakeRecipe({a_, solo_})});
+  PairingCache cache(reg_, cuisine.unique_ingredients());
+  EXPECT_TRUE(AllContributions(cache, cuisine).empty());
+}
+
+}  // namespace
+}  // namespace culinary::analysis

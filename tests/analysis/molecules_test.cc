@@ -1,0 +1,136 @@
+#include "analysis/molecules.h"
+
+#include <gtest/gtest.h>
+
+namespace culinary::analysis {
+namespace {
+
+using flavor::Category;
+using flavor::FlavorProfile;
+using flavor::FlavorRegistry;
+using flavor::IngredientId;
+using recipe::Cuisine;
+using recipe::Recipe;
+using recipe::Region;
+
+class MoleculesTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    for (int m = 0; m < 6; ++m) {
+      reg_.AddMolecule("mol" + std::to_string(m)).status();
+    }
+    // a: {0,1}; b: {1,2}; c: {5}.
+    a_ = reg_.AddIngredient("a", Category::kVegetable, FlavorProfile({0, 1}))
+             .value();
+    b_ = reg_.AddIngredient("b", Category::kHerb, FlavorProfile({1, 2}))
+             .value();
+    c_ = reg_.AddIngredient("c", Category::kSpice, FlavorProfile({5}))
+             .value();
+  }
+
+  Recipe MakeRecipe(Region region, std::vector<IngredientId> ids) {
+    Recipe r;
+    r.region = region;
+    r.ingredients = std::move(ids);
+    return r;
+  }
+
+  FlavorRegistry reg_;
+  IngredientId a_, b_, c_;
+};
+
+TEST_F(MoleculesTest, UsageCountsPerIngredientUse) {
+  // Recipes: {a, b} and {a}. Uses: a twice, b once.
+  // Molecule 1 is in a and b → 3; molecule 0 in a → 2; molecule 2 in b → 1.
+  Cuisine cuisine(Region::kItaly, {MakeRecipe(Region::kItaly, {a_, b_}),
+                                   MakeRecipe(Region::kItaly, {a_})});
+  auto usage = MoleculeUsage(cuisine, reg_);
+  ASSERT_EQ(usage.size(), 3u);
+  EXPECT_EQ(usage[0].first, 1);
+  EXPECT_EQ(usage[0].second, 3);
+  EXPECT_EQ(usage[1].first, 0);
+  EXPECT_EQ(usage[1].second, 2);
+  EXPECT_EQ(usage[2].first, 2);
+  EXPECT_EQ(usage[2].second, 1);
+}
+
+TEST_F(MoleculesTest, BreadthCountsDistinctIngredients) {
+  Cuisine cuisine(Region::kItaly, {MakeRecipe(Region::kItaly, {a_, b_}),
+                                   MakeRecipe(Region::kItaly, {a_})});
+  auto breadth = MoleculeBreadth(cuisine, reg_);
+  // Molecule 1 is in two ingredients; 0 and 2 in one each.
+  ASSERT_EQ(breadth.size(), 3u);
+  EXPECT_EQ(breadth[0].first, 1);
+  EXPECT_EQ(breadth[0].second, 2);
+  EXPECT_EQ(breadth[1].second, 1);
+}
+
+TEST_F(MoleculesTest, EmptyCuisineEmptyResults) {
+  Cuisine cuisine(Region::kItaly, {});
+  EXPECT_TRUE(MoleculeUsage(cuisine, reg_).empty());
+  EXPECT_TRUE(MoleculeBreadth(cuisine, reg_).empty());
+}
+
+TEST_F(MoleculesTest, SignatureMoleculesSeparateCuisines) {
+  // Italy uses a+b (molecules 0,1,2); Japan uses only c (molecule 5).
+  std::vector<Cuisine> cuisines;
+  cuisines.emplace_back(
+      Region::kItaly,
+      std::vector<Recipe>{MakeRecipe(Region::kItaly, {a_, b_})});
+  cuisines.emplace_back(
+      Region::kJapan, std::vector<Recipe>{MakeRecipe(Region::kJapan, {c_})});
+
+  auto italy = TopSignatureMolecules(cuisines, reg_, 0, 2);
+  ASSERT_TRUE(italy.ok());
+  ASSERT_FALSE(italy->empty());
+  // Molecule 1 has share 0.5 in Italy (2 of 4 uses) and 0 in Japan.
+  EXPECT_EQ(italy->front().id, 1);
+  EXPECT_DOUBLE_EQ(italy->front().share, 0.5);
+  EXPECT_DOUBLE_EQ(italy->front().signature, 0.5);
+
+  auto japan = TopSignatureMolecules(cuisines, reg_, 1, 1);
+  ASSERT_TRUE(japan.ok());
+  EXPECT_EQ(japan->front().id, 5);
+  EXPECT_DOUBLE_EQ(japan->front().share, 1.0);
+}
+
+TEST_F(MoleculesTest, SignatureValidation) {
+  std::vector<Cuisine> one;
+  one.emplace_back(Region::kItaly,
+                   std::vector<Recipe>{MakeRecipe(Region::kItaly, {a_})});
+  EXPECT_TRUE(TopSignatureMolecules(one, reg_, 0, 3)
+                  .status()
+                  .IsInvalidArgument());
+  std::vector<Cuisine> two = {one[0], Cuisine(Region::kJapan, {})};
+  EXPECT_TRUE(TopSignatureMolecules(two, reg_, 9, 3)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST_F(MoleculesTest, SignatureEmptyTargetRejected) {
+  // Target cuisine whose ingredients all have empty profiles.
+  IngredientId bare =
+      reg_.AddIngredient("bare", Category::kAdditive, FlavorProfile()).value();
+  std::vector<Cuisine> cuisines;
+  cuisines.emplace_back(
+      Region::kItaly,
+      std::vector<Recipe>{MakeRecipe(Region::kItaly, {bare})});
+  cuisines.emplace_back(
+      Region::kJapan, std::vector<Recipe>{MakeRecipe(Region::kJapan, {a_})});
+  EXPECT_TRUE(TopSignatureMolecules(cuisines, reg_, 0, 3)
+                  .status()
+                  .IsFailedPrecondition());
+}
+
+TEST_F(MoleculesTest, SharedCompoundSpectrum) {
+  // Pairs: (a,b) share 1 molecule; (a,c) share 0; (b,c) share 0.
+  Cuisine cuisine(Region::kItaly,
+                  {MakeRecipe(Region::kItaly, {a_, b_, c_})});
+  culinary::Histogram spectrum = SharedCompoundSpectrum(cuisine, reg_);
+  EXPECT_EQ(spectrum.total(), 3);
+  EXPECT_EQ(spectrum.CountAt(0), 2);
+  EXPECT_EQ(spectrum.CountAt(1), 1);
+}
+
+}  // namespace
+}  // namespace culinary::analysis

@@ -1,0 +1,138 @@
+#include "analysis/pairing.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace culinary::analysis {
+namespace {
+
+using flavor::Category;
+using flavor::FlavorProfile;
+using flavor::FlavorRegistry;
+using flavor::IngredientId;
+using recipe::Cuisine;
+using recipe::Recipe;
+using recipe::Region;
+
+class PairingTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // a: {1,2,3}, b: {2,3,4}, c: {5}, d: {} — shared: ab=2, ac=0, ad=0,
+    // bc=0, bd=0, cd=0.
+    a_ = reg_.AddIngredient("a", Category::kVegetable, FlavorProfile({1, 2, 3}))
+             .value();
+    b_ = reg_.AddIngredient("b", Category::kHerb, FlavorProfile({2, 3, 4}))
+             .value();
+    c_ = reg_.AddIngredient("c", Category::kSpice, FlavorProfile({5})).value();
+    d_ = reg_.AddIngredient("d", Category::kMeat, FlavorProfile()).value();
+  }
+
+  Recipe MakeRecipe(std::vector<IngredientId> ids) {
+    Recipe r;
+    r.region = Region::kItaly;
+    r.ingredients = std::move(ids);
+    return r;
+  }
+
+  FlavorRegistry reg_;
+  IngredientId a_, b_, c_, d_;
+};
+
+TEST_F(PairingTest, CacheMatchesRegistryPairs) {
+  PairingCache cache(reg_, {a_, b_, c_, d_});
+  EXPECT_EQ(cache.num_ingredients(), 4u);
+  EXPECT_EQ(cache.Shared(a_, b_), 2u);
+  EXPECT_EQ(cache.Shared(b_, a_), 2u);
+  EXPECT_EQ(cache.Shared(a_, c_), 0u);
+  EXPECT_EQ(cache.Shared(a_, d_), 0u);
+  EXPECT_EQ(cache.Shared(a_, a_), 0u);  // self-pair excluded by definition
+}
+
+TEST_F(PairingTest, CacheDenseIndexRoundTrip) {
+  PairingCache cache(reg_, {b_, a_});
+  EXPECT_EQ(cache.DenseIndex(b_), 0);
+  EXPECT_EQ(cache.DenseIndex(a_), 1);
+  EXPECT_EQ(cache.DenseIndex(c_), -1);
+  EXPECT_EQ(cache.IdAt(0), b_);
+  EXPECT_EQ(cache.SharedByDense(0, 1), 2u);
+  EXPECT_EQ(cache.SharedByDense(1, 0), 2u);
+  EXPECT_EQ(cache.SharedByDense(1, 1), 0u);
+}
+
+TEST_F(PairingTest, CacheHandlesUnknownIds) {
+  PairingCache cache(reg_, {a_, 999});
+  EXPECT_EQ(cache.Shared(a_, 999), 0u);
+}
+
+TEST_F(PairingTest, RecipeScoreTwoIngredients) {
+  // N_s = 2/(2*1) * |F_a ∩ F_b| = 2.
+  PairingCache cache(reg_, {a_, b_, c_, d_});
+  EXPECT_DOUBLE_EQ(RecipePairingScore(cache, {a_, b_}), 2.0);
+}
+
+TEST_F(PairingTest, RecipeScoreThreeIngredients) {
+  // Pairs: ab=2, ac=0, bc=0 → N_s = 2/(3*2) * 2 = 2/3.
+  PairingCache cache(reg_, {a_, b_, c_});
+  EXPECT_NEAR(RecipePairingScore(cache, {a_, b_, c_}), 2.0 / 3.0, 1e-12);
+}
+
+TEST_F(PairingTest, RecipeScoreDegenerateCases) {
+  PairingCache cache(reg_, {a_, b_});
+  EXPECT_EQ(RecipePairingScore(cache, {}), 0.0);
+  EXPECT_EQ(RecipePairingScore(cache, {a_}), 0.0);
+  EXPECT_EQ(RecipePairingScore(cache, {c_, d_}), 0.0);
+}
+
+TEST_F(PairingTest, DenseScoreSkipsUncoveredIds) {
+  PairingCache cache(reg_, {a_, b_});
+  // Dense -1 entries contribute nothing but count toward n: with n=3 and
+  // only pair (a,b) valid → 2/(3*2)*2 = 2/3.
+  EXPECT_NEAR(RecipePairingScoreDense(cache, {0, 1, -1}), 2.0 / 3.0, 1e-12);
+}
+
+TEST_F(PairingTest, CuisineStatsAverageOverPairableRecipes) {
+  Cuisine cuisine(Region::kItaly,
+                  {MakeRecipe({a_, b_}),      // N_s = 2
+                   MakeRecipe({a_, c_}),      // N_s = 0
+                   MakeRecipe({c_})});        // unpairable, excluded
+  PairingCache cache(reg_, cuisine.unique_ingredients());
+  culinary::RunningStats stats = CuisinePairingStats(cache, cuisine);
+  EXPECT_EQ(stats.count(), 2);
+  EXPECT_DOUBLE_EQ(stats.mean(), 1.0);
+  EXPECT_DOUBLE_EQ(CuisineMeanPairing(cache, cuisine), 1.0);
+}
+
+TEST_F(PairingTest, EmptyCuisineStats) {
+  Cuisine cuisine(Region::kKorea, {});
+  PairingCache cache(reg_, cuisine.unique_ingredients());
+  EXPECT_EQ(CuisinePairingStats(cache, cuisine).count(), 0);
+  EXPECT_EQ(CuisineMeanPairing(cache, cuisine), 0.0);
+}
+
+/// Property sweep: the cached pairwise counts must equal direct profile
+/// intersections for every pair in a generated universe.
+TEST_F(PairingTest, CacheConsistentWithProfilesExhaustive) {
+  FlavorRegistry reg;
+  culinary::Rng rng(5);
+  std::vector<IngredientId> ids;
+  for (int i = 0; i < 20; ++i) {
+    std::vector<int32_t> mol;
+    for (int m = 0; m < 40; ++m) {
+      if (rng.NextBernoulli(0.3)) mol.push_back(m);
+    }
+    ids.push_back(reg.AddIngredient("ing" + std::to_string(i),
+                                    Category::kVegetable, FlavorProfile(mol))
+                      .value());
+  }
+  PairingCache cache(reg, ids);
+  for (size_t i = 0; i < ids.size(); ++i) {
+    for (size_t j = i + 1; j < ids.size(); ++j) {
+      EXPECT_EQ(cache.Shared(ids[i], ids[j]),
+                reg.SharedCompounds(ids[i], ids[j]));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace culinary::analysis

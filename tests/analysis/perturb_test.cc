@@ -1,0 +1,122 @@
+#include "analysis/perturb.h"
+
+#include <gtest/gtest.h>
+
+#include "datagen/registry_gen.h"
+#include "datagen/spec.h"
+
+namespace culinary::analysis {
+namespace {
+
+using flavor::Category;
+using flavor::FlavorProfile;
+using flavor::FlavorRegistry;
+using recipe::Cuisine;
+using recipe::Recipe;
+using recipe::Region;
+
+Recipe MakeRecipe(std::vector<flavor::IngredientId> ids) {
+  Recipe r;
+  r.region = Region::kItaly;
+  r.ingredients = std::move(ids);
+  return r;
+}
+
+TEST(SubsampleCuisineTest, KeepOneKeepsAll) {
+  Cuisine cuisine(Region::kItaly, {MakeRecipe({1, 2}), MakeRecipe({2, 3})});
+  culinary::Rng rng(1);
+  Cuisine out = SubsampleCuisine(cuisine, 1.0, rng);
+  EXPECT_EQ(out.num_recipes(), 2u);
+  EXPECT_EQ(out.region(), Region::kItaly);
+}
+
+TEST(SubsampleCuisineTest, KeepZeroDropsAll) {
+  Cuisine cuisine(Region::kItaly, {MakeRecipe({1, 2}), MakeRecipe({2, 3})});
+  culinary::Rng rng(1);
+  EXPECT_EQ(SubsampleCuisine(cuisine, 0.0, rng).num_recipes(), 0u);
+  EXPECT_EQ(SubsampleCuisine(cuisine, -3.0, rng).num_recipes(), 0u);
+}
+
+TEST(SubsampleCuisineTest, FractionApproximatelyKept) {
+  std::vector<Recipe> recipes;
+  for (int i = 0; i < 2000; ++i) recipes.push_back(MakeRecipe({1, 2}));
+  Cuisine cuisine(Region::kItaly, std::move(recipes));
+  culinary::Rng rng(7);
+  Cuisine out = SubsampleCuisine(cuisine, 0.4, rng);
+  EXPECT_NEAR(static_cast<double>(out.num_recipes()) / 2000.0, 0.4, 0.05);
+}
+
+TEST(DiluteProfilesTest, DropZeroIsIdentity) {
+  FlavorRegistry reg;
+  reg.AddMolecule("m0").status();
+  reg.AddMolecule("m1").status();
+  auto id = reg.AddIngredient("x", Category::kVegetable,
+                              FlavorProfile({0, 1}))
+                .value();
+  culinary::Rng rng(1);
+  FlavorRegistry out = DiluteProfiles(reg, 0.0, rng);
+  EXPECT_EQ(out.num_molecules(), 2u);
+  EXPECT_EQ(out.Find(id)->profile, reg.Find(id)->profile);
+  EXPECT_EQ(out.FindByName("x"), id);
+}
+
+TEST(DiluteProfilesTest, DropOneEmptiesProfiles) {
+  FlavorRegistry reg;
+  reg.AddMolecule("m0").status();
+  auto id = reg.AddIngredient("x", Category::kVegetable, FlavorProfile({0}))
+                .value();
+  culinary::Rng rng(1);
+  FlavorRegistry out = DiluteProfiles(reg, 1.0, rng);
+  EXPECT_TRUE(out.Find(id)->profile.empty());
+}
+
+TEST(DiluteProfilesTest, PreservesStructureOfGeneratedUniverse) {
+  auto universe = datagen::GenerateFlavorUniverse(datagen::WorldSpec::Small());
+  ASSERT_TRUE(universe.ok());
+  const FlavorRegistry& reg = *universe->registry;
+  culinary::Rng rng(11);
+  FlavorRegistry out = DiluteProfiles(reg, 0.3, rng);
+
+  EXPECT_EQ(out.num_molecules(), reg.num_molecules());
+  EXPECT_EQ(out.num_ingredient_slots(), reg.num_ingredient_slots());
+  EXPECT_EQ(out.num_live_ingredients(), reg.num_live_ingredients());
+
+  size_t total_before = 0, total_after = 0;
+  for (flavor::IngredientId id : reg.LiveIngredients()) {
+    const flavor::Ingredient* a = reg.Find(id);
+    const flavor::Ingredient* b = out.Find(id);
+    ASSERT_NE(b, nullptr);
+    EXPECT_EQ(a->name, b->name);
+    EXPECT_EQ(a->category, b->category);
+    EXPECT_EQ(a->kind, b->kind);
+    // Diluted profile is a subset of the original.
+    for (flavor::MoleculeId m : b->profile.ids()) {
+      EXPECT_TRUE(a->profile.Contains(m));
+    }
+    total_before += a->profile.size();
+    total_after += b->profile.size();
+  }
+  // Roughly 30% of molecules dropped overall.
+  double drop_rate = 1.0 - static_cast<double>(total_after) /
+                               static_cast<double>(total_before);
+  EXPECT_NEAR(drop_rate, 0.3, 0.03);
+}
+
+TEST(DiluteProfilesTest, NameLookupPreservedAcrossTombstones) {
+  FlavorRegistry reg;
+  reg.AddMolecule("m0").status();
+  auto doomed =
+      reg.AddIngredient("doomed", Category::kPlant, FlavorProfile({0}))
+          .value();
+  auto survivor =
+      reg.AddIngredient("survivor", Category::kPlant, FlavorProfile({0}))
+          .value();
+  reg.RemoveIngredient(doomed).ToString();
+  culinary::Rng rng(3);
+  FlavorRegistry out = DiluteProfiles(reg, 0.5, rng);
+  EXPECT_EQ(out.FindByName("survivor"), survivor);
+  EXPECT_EQ(out.FindByName("doomed"), flavor::kInvalidIngredient);
+}
+
+}  // namespace
+}  // namespace culinary::analysis

@@ -1,0 +1,53 @@
+#include "analysis/report.h"
+
+#include <gtest/gtest.h>
+
+namespace culinary::analysis {
+namespace {
+
+TEST(TextTableTest, RendersAlignedColumns) {
+  TextTable t({"Region", "Recipes"});
+  t.AddRow({"Italy", "7504"});
+  t.AddRow({"Korea", "301"});
+  std::string out = t.ToString();
+  EXPECT_NE(out.find("Region  Recipes"), std::string::npos);
+  EXPECT_NE(out.find("Italy   7504"), std::string::npos);
+  EXPECT_NE(out.find("Korea   301"), std::string::npos);
+  EXPECT_EQ(t.num_rows(), 2u);
+}
+
+TEST(TextTableTest, PadsShortRows) {
+  TextTable t({"a", "b", "c"});
+  t.AddRow({"only"});
+  std::string out = t.ToString();
+  EXPECT_NE(out.find("only"), std::string::npos);
+}
+
+TEST(TextTableTest, WideCellsGrowColumn) {
+  TextTable t({"x"});
+  t.AddRow({"a very wide cell"});
+  std::string out = t.ToString();
+  EXPECT_NE(out.find("a very wide cell"), std::string::npos);
+}
+
+TEST(RenderSeriesTest, ContainsValuesAndBars) {
+  std::string out = RenderSeries("size", "p", {0.5, 1.0, 0.25}, 1);
+  EXPECT_NE(out.find("size"), std::string::npos);
+  EXPECT_NE(out.find("1.0000"), std::string::npos);
+  EXPECT_NE(out.find('#'), std::string::npos);
+  // x starts at 1.
+  EXPECT_NE(out.find("\n1 "), std::string::npos);
+}
+
+TEST(RenderSeriesTest, NoBarsWhenDisabled) {
+  std::string out = RenderSeries("x", "y", {1.0}, 0, /*with_bars=*/false);
+  EXPECT_EQ(out.find('#'), std::string::npos);
+}
+
+TEST(RenderSeriesTest, EmptySeries) {
+  std::string out = RenderSeries("x", "y", {});
+  EXPECT_NE(out.find("x"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace culinary::analysis

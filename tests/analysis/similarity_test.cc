@@ -1,0 +1,125 @@
+#include "analysis/similarity.h"
+
+#include <gtest/gtest.h>
+
+namespace culinary::analysis {
+namespace {
+
+using recipe::Cuisine;
+using recipe::Recipe;
+using recipe::Region;
+
+Recipe MakeRecipe(Region region, std::vector<flavor::IngredientId> ids) {
+  Recipe r;
+  r.region = region;
+  r.ingredients = std::move(ids);
+  return r;
+}
+
+Cuisine MakeCuisine(Region region,
+                    std::vector<std::vector<flavor::IngredientId>> recipes) {
+  std::vector<Recipe> out;
+  for (auto& ids : recipes) out.push_back(MakeRecipe(region, std::move(ids)));
+  return Cuisine(region, std::move(out));
+}
+
+TEST(JaccardTest, IdenticalSetsOne) {
+  Cuisine a = MakeCuisine(Region::kItaly, {{1, 2, 3}});
+  Cuisine b = MakeCuisine(Region::kJapan, {{1, 2}, {3}});
+  EXPECT_DOUBLE_EQ(CuisineIngredientJaccard(a, b), 1.0);
+}
+
+TEST(JaccardTest, DisjointSetsZero) {
+  Cuisine a = MakeCuisine(Region::kItaly, {{1, 2}});
+  Cuisine b = MakeCuisine(Region::kJapan, {{3, 4}});
+  EXPECT_DOUBLE_EQ(CuisineIngredientJaccard(a, b), 0.0);
+}
+
+TEST(JaccardTest, PartialOverlap) {
+  Cuisine a = MakeCuisine(Region::kItaly, {{1, 2, 3}});
+  Cuisine b = MakeCuisine(Region::kJapan, {{3, 4}});
+  EXPECT_NEAR(CuisineIngredientJaccard(a, b), 0.25, 1e-12);  // 1 / 4
+}
+
+TEST(JaccardTest, EmptyCuisines) {
+  Cuisine empty1 = MakeCuisine(Region::kItaly, {});
+  Cuisine empty2 = MakeCuisine(Region::kJapan, {});
+  EXPECT_EQ(CuisineIngredientJaccard(empty1, empty2), 0.0);
+}
+
+TEST(CosineTest, IdenticalUsageOne) {
+  Cuisine a = MakeCuisine(Region::kItaly, {{1, 2}, {1}});
+  Cuisine b = MakeCuisine(Region::kJapan, {{1, 2}, {1}});
+  EXPECT_NEAR(CuisineUsageCosine(a, b), 1.0, 1e-12);
+}
+
+TEST(CosineTest, DisjointUsageZero) {
+  Cuisine a = MakeCuisine(Region::kItaly, {{1, 2}});
+  Cuisine b = MakeCuisine(Region::kJapan, {{3, 4}});
+  EXPECT_EQ(CuisineUsageCosine(a, b), 0.0);
+}
+
+TEST(CosineTest, ScaleInvariant) {
+  // Doubling every frequency must not change the cosine.
+  Cuisine a = MakeCuisine(Region::kItaly, {{1, 2}, {1}});
+  Cuisine b = MakeCuisine(Region::kJapan, {{1, 2}, {1}, {1, 2}, {1}});
+  EXPECT_NEAR(CuisineUsageCosine(a, b), 1.0, 1e-12);
+}
+
+TEST(CosineTest, SymmetricAndBounded) {
+  Cuisine a = MakeCuisine(Region::kItaly, {{1, 2, 3}, {1, 4}});
+  Cuisine b = MakeCuisine(Region::kJapan, {{2, 4}, {5}});
+  double ab = CuisineUsageCosine(a, b);
+  double ba = CuisineUsageCosine(b, a);
+  EXPECT_DOUBLE_EQ(ab, ba);
+  EXPECT_GE(ab, 0.0);
+  EXPECT_LE(ab, 1.0);
+}
+
+TEST(MatrixTest, SymmetricWithUnitDiagonal) {
+  std::vector<Cuisine> cuisines;
+  cuisines.push_back(MakeCuisine(Region::kItaly, {{1, 2}}));
+  cuisines.push_back(MakeCuisine(Region::kJapan, {{2, 3}}));
+  cuisines.push_back(MakeCuisine(Region::kMexico, {{1, 3}}));
+  auto matrix = CuisineSimilarityMatrix(
+      cuisines, CuisineSimilarity::kIngredientJaccard);
+  ASSERT_EQ(matrix.size(), 3u);
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_DOUBLE_EQ(matrix[i][i], 1.0);
+    for (size_t j = 0; j < 3; ++j) {
+      EXPECT_DOUBLE_EQ(matrix[i][j], matrix[j][i]);
+    }
+  }
+  EXPECT_NEAR(matrix[0][1], 1.0 / 3.0, 1e-12);
+}
+
+TEST(NearestTest, OrdersBySimilarity) {
+  std::vector<Cuisine> cuisines;
+  cuisines.push_back(MakeCuisine(Region::kItaly, {{1, 2, 3}}));
+  cuisines.push_back(MakeCuisine(Region::kJapan, {{1, 2, 3}}));   // identical
+  cuisines.push_back(MakeCuisine(Region::kMexico, {{1, 9}}));     // partial
+  cuisines.push_back(MakeCuisine(Region::kKorea, {{7, 8}}));      // disjoint
+  auto nearest = NearestCuisines(cuisines, 0, 2,
+                                 CuisineSimilarity::kIngredientJaccard);
+  ASSERT_TRUE(nearest.ok());
+  ASSERT_EQ(nearest->size(), 2u);
+  EXPECT_EQ((*nearest)[0].first, Region::kJapan);
+  EXPECT_DOUBLE_EQ((*nearest)[0].second, 1.0);
+  EXPECT_EQ((*nearest)[1].first, Region::kMexico);
+}
+
+TEST(NearestTest, Validation) {
+  std::vector<Cuisine> cuisines;
+  cuisines.push_back(MakeCuisine(Region::kItaly, {{1}}));
+  EXPECT_TRUE(NearestCuisines(cuisines, 5, 2,
+                              CuisineSimilarity::kUsageCosine)
+                  .status()
+                  .IsInvalidArgument());
+  // k larger than available is clamped.
+  auto r = NearestCuisines(cuisines, 0, 10, CuisineSimilarity::kUsageCosine);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->empty());
+}
+
+}  // namespace
+}  // namespace culinary::analysis

@@ -1,0 +1,58 @@
+#include "common/logging.h"
+
+#include <gtest/gtest.h>
+
+namespace culinary {
+namespace {
+
+/// Restores the global log level after each test.
+class LoggingTest : public ::testing::Test {
+ protected:
+  void SetUp() override { saved_ = GetLogLevel(); }
+  void TearDown() override { SetLogLevel(saved_); }
+  LogLevel saved_ = LogLevel::kWarning;
+};
+
+TEST_F(LoggingTest, DefaultLevelIsWarning) {
+  EXPECT_EQ(GetLogLevel(), LogLevel::kWarning);
+}
+
+TEST_F(LoggingTest, SetAndGetRoundTrip) {
+  SetLogLevel(LogLevel::kDebug);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kDebug);
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+  SetLogLevel(LogLevel::kOff);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kOff);
+}
+
+TEST_F(LoggingTest, EmitBelowThresholdIsCheapNoop) {
+  SetLogLevel(LogLevel::kOff);
+  // Streaming into a suppressed message must not crash and must not
+  // evaluate expensive formatting visibly; we can only assert it runs.
+  for (int i = 0; i < 1000; ++i) {
+    CULINARY_LOG(kDebug) << "suppressed " << i;
+  }
+  SUCCEED();
+}
+
+TEST_F(LoggingTest, EmitAboveThresholdRuns) {
+  ::testing::internal::CaptureStderr();
+  SetLogLevel(LogLevel::kInfo);
+  CULINARY_LOG(kWarning) << "visible " << 42;
+  std::string err = ::testing::internal::GetCapturedStderr();
+  EXPECT_NE(err.find("visible 42"), std::string::npos);
+  EXPECT_NE(err.find("WARN"), std::string::npos);
+  EXPECT_NE(err.find("logging_test.cc"), std::string::npos);
+}
+
+TEST_F(LoggingTest, SuppressedMessageProducesNoOutput) {
+  ::testing::internal::CaptureStderr();
+  SetLogLevel(LogLevel::kError);
+  CULINARY_LOG(kInfo) << "should not appear";
+  std::string err = ::testing::internal::GetCapturedStderr();
+  EXPECT_EQ(err.find("should not appear"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace culinary

@@ -1,0 +1,231 @@
+#include "common/random.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace culinary {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextUint64(), b.NextUint64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextUint64() == b.NextUint64()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(RngTest, NextBoundedStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.NextBounded(13), 13u);
+  }
+}
+
+TEST(RngTest, NextBoundedCoversAllValues) {
+  Rng rng(7);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.NextBounded(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(RngTest, NextIntClosedRange) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.NextInt(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+  }
+}
+
+TEST(RngTest, NextDoubleIsUnitInterval) {
+  Rng rng(11);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    double v = rng.NextDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(RngTest, BernoulliEdgeCases) {
+  Rng rng(13);
+  EXPECT_FALSE(rng.NextBernoulli(0.0));
+  EXPECT_TRUE(rng.NextBernoulli(1.0));
+  EXPECT_FALSE(rng.NextBernoulli(-0.5));
+  EXPECT_TRUE(rng.NextBernoulli(1.5));
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(13);
+  int hits = 0;
+  for (int i = 0; i < 20000; ++i) hits += rng.NextBernoulli(0.3);
+  EXPECT_NEAR(hits / 20000.0, 0.3, 0.02);
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(17);
+  double sum = 0, sq = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    double v = rng.NextGaussian();
+    sum += v;
+    sq += v * v;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.03);
+  EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+TEST(RngTest, LogNormalMean) {
+  Rng rng(19);
+  // E[LogNormal(mu, sigma)] = exp(mu + sigma^2/2).
+  const double mu = 1.0, sigma = 0.5;
+  double sum = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.NextLogNormal(mu, sigma);
+  EXPECT_NEAR(sum / n, std::exp(mu + sigma * sigma / 2), 0.05);
+}
+
+TEST(RngTest, PoissonMean) {
+  Rng rng(23);
+  for (double lambda : {0.5, 5.0, 50.0}) {
+    double sum = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+      sum += static_cast<double>(rng.NextPoisson(lambda));
+    }
+    EXPECT_NEAR(sum / n, lambda, lambda * 0.05 + 0.05) << "lambda=" << lambda;
+  }
+}
+
+TEST(RngTest, PoissonZeroLambda) {
+  Rng rng(29);
+  EXPECT_EQ(rng.NextPoisson(0.0), 0);
+  EXPECT_EQ(rng.NextPoisson(-1.0), 0);
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(31);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7};
+  std::vector<int> original = v;
+  rng.Shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, original);
+}
+
+TEST(RngTest, SampleWithoutReplacementDistinct) {
+  Rng rng(37);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<size_t> picks = rng.SampleWithoutReplacement(20, 10);
+    std::set<size_t> unique(picks.begin(), picks.end());
+    EXPECT_EQ(unique.size(), 10u);
+    for (size_t p : picks) EXPECT_LT(p, 20u);
+  }
+}
+
+TEST(RngTest, SampleWithoutReplacementEdgeCases) {
+  Rng rng(41);
+  EXPECT_TRUE(rng.SampleWithoutReplacement(5, 0).empty());
+  EXPECT_TRUE(rng.SampleWithoutReplacement(0, 3).empty());
+  std::vector<size_t> all = rng.SampleWithoutReplacement(4, 4);
+  std::set<size_t> unique(all.begin(), all.end());
+  EXPECT_EQ(unique.size(), 4u);
+  // k > n clamps to n.
+  EXPECT_EQ(rng.SampleWithoutReplacement(3, 10).size(), 3u);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng a(43);
+  Rng b = a.Fork();
+  // Forked generator differs from parent's continued stream.
+  EXPECT_NE(a.NextUint64(), b.NextUint64());
+}
+
+TEST(AliasSamplerTest, InvalidInputs) {
+  EXPECT_FALSE(AliasSampler({}).valid());
+  EXPECT_FALSE(AliasSampler({0.0, 0.0}).valid());
+  EXPECT_FALSE(AliasSampler({1.0, -0.5}).valid());
+}
+
+TEST(AliasSamplerTest, MatchesWeights) {
+  AliasSampler sampler({1.0, 2.0, 7.0});
+  ASSERT_TRUE(sampler.valid());
+  Rng rng(47);
+  std::vector<int> counts(3, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[sampler.Sample(rng)];
+  EXPECT_NEAR(counts[0] / static_cast<double>(n), 0.1, 0.01);
+  EXPECT_NEAR(counts[1] / static_cast<double>(n), 0.2, 0.01);
+  EXPECT_NEAR(counts[2] / static_cast<double>(n), 0.7, 0.01);
+}
+
+TEST(AliasSamplerTest, SingleCategory) {
+  AliasSampler sampler({3.0});
+  ASSERT_TRUE(sampler.valid());
+  Rng rng(53);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(sampler.Sample(rng), 0u);
+}
+
+TEST(AliasSamplerTest, ZeroWeightNeverSampled) {
+  AliasSampler sampler({0.0, 1.0, 0.0});
+  ASSERT_TRUE(sampler.valid());
+  Rng rng(59);
+  for (int i = 0; i < 10000; ++i) EXPECT_EQ(sampler.Sample(rng), 1u);
+}
+
+TEST(ZipfSamplerTest, ProbabilitiesSumToOne) {
+  ZipfSampler zipf(100, 1.0, 2.0);
+  ASSERT_TRUE(zipf.valid());
+  double total = 0;
+  for (size_t r = 1; r <= 100; ++r) total += zipf.Probability(r);
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(ZipfSamplerTest, MonotoneDecreasing) {
+  ZipfSampler zipf(50, 0.8, 1.0);
+  for (size_t r = 1; r < 50; ++r) {
+    EXPECT_GT(zipf.Probability(r), zipf.Probability(r + 1));
+  }
+}
+
+TEST(ZipfSamplerTest, SamplesInRangeAndRankOneMostFrequent) {
+  ZipfSampler zipf(20, 1.2, 0.0);
+  Rng rng(61);
+  std::vector<int> counts(21, 0);
+  for (int i = 0; i < 50000; ++i) {
+    size_t r = zipf.Sample(rng);
+    ASSERT_GE(r, 1u);
+    ASSERT_LE(r, 20u);
+    ++counts[r];
+  }
+  EXPECT_GT(counts[1], counts[2]);
+  EXPECT_GT(counts[2], counts[10]);
+}
+
+TEST(ZipfSamplerTest, ProbabilityOutOfRangeIsZero) {
+  ZipfSampler zipf(10, 1.0, 0.0);
+  EXPECT_EQ(zipf.Probability(0), 0.0);
+  EXPECT_EQ(zipf.Probability(11), 0.0);
+}
+
+TEST(ZipfSamplerTest, InvalidParameters) {
+  EXPECT_FALSE(ZipfSampler(0, 1.0, 0.0).valid());
+  EXPECT_FALSE(ZipfSampler(10, 0.0, 0.0).valid());
+  EXPECT_FALSE(ZipfSampler(10, -1.0, 0.0).valid());
+}
+
+}  // namespace
+}  // namespace culinary

@@ -1,0 +1,201 @@
+#include "common/statistics.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace culinary {
+namespace {
+
+TEST(RunningStatsTest, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.stddev(), 0.0);
+  EXPECT_EQ(s.stderr_mean(), 0.0);
+}
+
+TEST(RunningStatsTest, MatchesBatchFormulas) {
+  std::vector<double> xs{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  RunningStats s;
+  for (double x : xs) s.Add(x);
+  EXPECT_EQ(s.count(), 8);
+  EXPECT_DOUBLE_EQ(s.mean(), Mean(xs));
+  EXPECT_NEAR(s.variance(), Variance(xs), 1e-12);
+  EXPECT_NEAR(s.stddev(), StdDev(xs), 1e-12);
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStatsTest, StderrMean) {
+  RunningStats s;
+  for (double x : {1.0, 2.0, 3.0, 4.0}) s.Add(x);
+  EXPECT_NEAR(s.stderr_mean(), s.stddev() / 2.0, 1e-12);
+}
+
+TEST(RunningStatsTest, MergeEqualsSequential) {
+  Rng rng(5);
+  RunningStats all, a, b;
+  for (int i = 0; i < 1000; ++i) {
+    double x = rng.NextGaussian() * 3 + 1;
+    all.Add(x);
+    (i % 2 == 0 ? a : b).Add(x);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_EQ(a.min(), all.min());
+  EXPECT_EQ(a.max(), all.max());
+}
+
+TEST(RunningStatsTest, MergeWithEmpty) {
+  RunningStats a, empty;
+  a.Add(1.0);
+  a.Add(3.0);
+  RunningStats b = a;
+  b.Merge(empty);
+  EXPECT_EQ(b.count(), 2);
+  EXPECT_EQ(b.mean(), 2.0);
+  empty.Merge(a);
+  EXPECT_EQ(empty.count(), 2);
+  EXPECT_EQ(empty.mean(), 2.0);
+}
+
+TEST(BatchStatsTest, EmptyInputs) {
+  EXPECT_EQ(Mean({}), 0.0);
+  EXPECT_EQ(Variance({}), 0.0);
+  EXPECT_EQ(Variance({1.0}), 0.0);
+  EXPECT_EQ(Median({}), 0.0);
+  EXPECT_EQ(Quantile({}, 0.5), 0.0);
+}
+
+TEST(MedianTest, OddAndEven) {
+  EXPECT_EQ(Median({3.0, 1.0, 2.0}), 2.0);
+  EXPECT_EQ(Median({4.0, 1.0, 3.0, 2.0}), 2.5);
+  EXPECT_EQ(Median({5.0}), 5.0);
+}
+
+TEST(QuantileTest, InterpolatesLinearly) {
+  std::vector<double> xs{0.0, 1.0, 2.0, 3.0, 4.0};
+  EXPECT_EQ(Quantile(xs, 0.0), 0.0);
+  EXPECT_EQ(Quantile(xs, 1.0), 4.0);
+  EXPECT_EQ(Quantile(xs, 0.5), 2.0);
+  EXPECT_NEAR(Quantile(xs, 0.25), 1.0, 1e-12);
+  EXPECT_NEAR(Quantile({0.0, 10.0}, 0.75), 7.5, 1e-12);
+}
+
+TEST(QuantileTest, ClampsQ) {
+  std::vector<double> xs{1.0, 2.0};
+  EXPECT_EQ(Quantile(xs, -0.5), 1.0);
+  EXPECT_EQ(Quantile(xs, 1.5), 2.0);
+}
+
+TEST(PearsonTest, PerfectCorrelation) {
+  std::vector<double> x{1, 2, 3, 4};
+  std::vector<double> y{2, 4, 6, 8};
+  EXPECT_NEAR(PearsonCorrelation(x, y), 1.0, 1e-12);
+  std::vector<double> neg{8, 6, 4, 2};
+  EXPECT_NEAR(PearsonCorrelation(x, neg), -1.0, 1e-12);
+}
+
+TEST(PearsonTest, DegenerateInputs) {
+  EXPECT_EQ(PearsonCorrelation({1.0}, {2.0}), 0.0);
+  EXPECT_EQ(PearsonCorrelation({1, 2}, {1, 2, 3}), 0.0);
+  EXPECT_EQ(PearsonCorrelation({5, 5, 5}, {1, 2, 3}), 0.0);  // zero variance
+}
+
+TEST(SpearmanTest, MonotoneNonlinearIsOne) {
+  std::vector<double> x{1, 2, 3, 4, 5};
+  std::vector<double> y{1, 8, 27, 64, 125};  // x^3: nonlinear but monotone
+  EXPECT_NEAR(SpearmanCorrelation(x, y), 1.0, 1e-12);
+}
+
+TEST(MidRanksTest, HandlesTies) {
+  std::vector<double> ranks = MidRanks({10.0, 20.0, 20.0, 30.0});
+  EXPECT_EQ(ranks[0], 1.0);
+  EXPECT_EQ(ranks[1], 2.5);
+  EXPECT_EQ(ranks[2], 2.5);
+  EXPECT_EQ(ranks[3], 4.0);
+}
+
+TEST(ZScoreTest, StandardErrorScaling) {
+  // Z = (obs - mean) / (sd / sqrt(n)).
+  EXPECT_NEAR(ZScore(1.5, 1.0, 2.0, 100), 0.5 / (2.0 / 10.0), 1e-12);
+  EXPECT_EQ(ZScore(1.5, 1.0, 0.0, 100), 0.0);
+  EXPECT_EQ(ZScore(1.5, 1.0, 2.0, 0), 0.0);
+}
+
+TEST(ZScoreTest, SignMatchesDeviation) {
+  EXPECT_GT(ZScore(2.0, 1.0, 1.0, 100), 0.0);
+  EXPECT_LT(ZScore(0.5, 1.0, 1.0, 100), 0.0);
+}
+
+TEST(HistogramTest, EmptyHistogram) {
+  Histogram h;
+  EXPECT_EQ(h.total(), 0);
+  EXPECT_EQ(h.max_value(), -1);
+  EXPECT_EQ(h.Pmf(3), 0.0);
+  EXPECT_EQ(h.Cdf(3), 0.0);
+  EXPECT_EQ(h.MeanValue(), 0.0);
+  EXPECT_TRUE(h.DensePmf().empty());
+}
+
+TEST(HistogramTest, CountsAndMoments) {
+  Histogram h;
+  for (int64_t v : {2, 2, 3, 5}) h.Add(v);
+  EXPECT_EQ(h.total(), 4);
+  EXPECT_EQ(h.CountAt(2), 2);
+  EXPECT_EQ(h.CountAt(3), 1);
+  EXPECT_EQ(h.CountAt(4), 0);
+  EXPECT_EQ(h.max_value(), 5);
+  EXPECT_DOUBLE_EQ(h.Pmf(2), 0.5);
+  EXPECT_DOUBLE_EQ(h.Cdf(3), 0.75);
+  EXPECT_DOUBLE_EQ(h.Cdf(100), 1.0);
+  EXPECT_DOUBLE_EQ(h.MeanValue(), 3.0);
+}
+
+TEST(HistogramTest, NegativeClampsToZero) {
+  Histogram h;
+  h.Add(-5);
+  EXPECT_EQ(h.CountAt(0), 1);
+}
+
+TEST(HistogramTest, DensePmfSumsToOne) {
+  Histogram h;
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) h.Add(rng.NextInt(0, 15));
+  double sum = 0;
+  for (double p : h.DensePmf()) sum += p;
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(KolmogorovSmirnovTest, IdenticalSamplesZero) {
+  std::vector<double> a{1, 2, 3, 4, 5};
+  EXPECT_EQ(KolmogorovSmirnovStatistic(a, a), 0.0);
+}
+
+TEST(KolmogorovSmirnovTest, DisjointSamplesOne) {
+  EXPECT_EQ(KolmogorovSmirnovStatistic({1, 2, 3}, {10, 11, 12}), 1.0);
+}
+
+TEST(KolmogorovSmirnovTest, EmptyInputsZero) {
+  EXPECT_EQ(KolmogorovSmirnovStatistic({}, {1.0}), 0.0);
+}
+
+TEST(KolmogorovSmirnovTest, SimilarDistributionsSmall) {
+  Rng rng(71);
+  std::vector<double> a, b;
+  for (int i = 0; i < 5000; ++i) {
+    a.push_back(rng.NextGaussian());
+    b.push_back(rng.NextGaussian());
+  }
+  EXPECT_LT(KolmogorovSmirnovStatistic(a, b), 0.05);
+}
+
+}  // namespace
+}  // namespace culinary

@@ -1,0 +1,105 @@
+#include "common/thread_pool.h"
+
+#include <atomic>
+#include <numeric>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace culinary {
+namespace {
+
+TEST(ThreadPoolTest, ZeroThreadsClampedToOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), 1u);
+}
+
+TEST(ThreadPoolTest, SubmitReturnsResult) {
+  ThreadPool pool(2);
+  auto future = pool.Submit([]() { return 21 * 2; });
+  EXPECT_EQ(future.get(), 42);
+}
+
+TEST(ThreadPoolTest, ManyTasksAllExecute) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 500; ++i) {
+    futures.push_back(pool.Submit([&counter]() { ++counter; }));
+  }
+  for (auto& f : futures) f.wait();
+  EXPECT_EQ(counter.load(), 500);
+}
+
+TEST(ThreadPoolTest, TasksRunConcurrently) {
+  // With 4 workers, four tasks that all wait for each other can only
+  // finish when run concurrently.
+  ThreadPool pool(4);
+  std::atomic<int> arrived{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 4; ++i) {
+    futures.push_back(pool.Submit([&arrived]() {
+      ++arrived;
+      while (arrived.load() < 4) {
+        std::this_thread::yield();
+      }
+    }));
+  }
+  for (auto& f : futures) f.wait();
+  EXPECT_EQ(arrived.load(), 4);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndex) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(100);
+  pool.ParallelFor(100, [&hits](size_t i) { ++hits[i]; });
+  for (size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForZeroCount) {
+  ThreadPool pool(2);
+  bool called = false;
+  pool.ParallelFor(0, [&called](size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPoolTest, ExceptionPropagatesThroughFuture) {
+  ThreadPool pool(1);
+  auto future = pool.Submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW(future.get(), std::runtime_error);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsQueue) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 50; ++i) {
+      pool.Submit([&counter]() { ++counter; });
+    }
+  }  // destructor joins
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ThreadPoolTest, ParallelSumMatchesSerial) {
+  ThreadPool pool(4);
+  std::vector<int64_t> partial(64, 0);
+  pool.ParallelFor(64, [&partial](size_t i) {
+    int64_t sum = 0;
+    for (int64_t k = 0; k < 1000; ++k) {
+      sum += static_cast<int64_t>(i) * k;
+    }
+    partial[i] = sum;
+  });
+  int64_t total = std::accumulate(partial.begin(), partial.end(), int64_t{0});
+  int64_t expected = 0;
+  for (int64_t i = 0; i < 64; ++i) {
+    for (int64_t k = 0; k < 1000; ++k) expected += i * k;
+  }
+  EXPECT_EQ(total, expected);
+}
+
+}  // namespace
+}  // namespace culinary

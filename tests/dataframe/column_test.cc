@@ -1,0 +1,105 @@
+#include "dataframe/column.h"
+
+#include <gtest/gtest.h>
+
+namespace culinary::df {
+namespace {
+
+TEST(Int64ColumnTest, AppendAndRead) {
+  Int64Column col;
+  col.Append(1);
+  col.Append(2);
+  col.AppendNull();
+  EXPECT_EQ(col.size(), 3u);
+  EXPECT_EQ(col.null_count(), 1u);
+  EXPECT_FALSE(col.IsNull(0));
+  EXPECT_TRUE(col.IsNull(2));
+  EXPECT_EQ(col.at(1), 2);
+  EXPECT_EQ(col.GetValue(0), Value::Int(1));
+  EXPECT_EQ(col.GetValue(2), Value::Null());
+}
+
+TEST(Int64ColumnTest, AppendValueTypeChecks) {
+  Int64Column col;
+  EXPECT_TRUE(col.AppendValue(Value::Int(3)).ok());
+  EXPECT_TRUE(col.AppendValue(Value::Null()).ok());
+  EXPECT_TRUE(col.AppendValue(Value::Str("x")).IsInvalidArgument());
+  EXPECT_TRUE(col.AppendValue(Value::Real(1.0)).IsInvalidArgument());
+  EXPECT_EQ(col.size(), 2u);
+}
+
+TEST(DoubleColumnTest, IntWidensToDouble) {
+  DoubleColumn col;
+  EXPECT_TRUE(col.AppendValue(Value::Int(3)).ok());
+  EXPECT_TRUE(col.AppendValue(Value::Real(1.5)).ok());
+  EXPECT_EQ(col.GetValue(0), Value::Real(3.0));
+  EXPECT_EQ(col.at(1), 1.5);
+  EXPECT_TRUE(col.AppendValue(Value::Str("x")).IsInvalidArgument());
+}
+
+TEST(StringColumnTest, DictionaryEncoding) {
+  StringColumn col;
+  col.Append("apple");
+  col.Append("banana");
+  col.Append("apple");
+  col.Append("apple");
+  EXPECT_EQ(col.size(), 4u);
+  EXPECT_EQ(col.dictionary_size(), 2u);
+  EXPECT_EQ(col.at(0), "apple");
+  EXPECT_EQ(col.at(2), "apple");
+  EXPECT_EQ(col.code_at(0), col.code_at(2));
+  EXPECT_NE(col.code_at(0), col.code_at(1));
+}
+
+TEST(StringColumnTest, NullHandling) {
+  StringColumn col;
+  col.Append("x");
+  col.AppendNull();
+  EXPECT_TRUE(col.IsNull(1));
+  EXPECT_EQ(col.GetValue(1), Value::Null());
+  EXPECT_EQ(col.null_count(), 1u);
+}
+
+TEST(TakeTest, ReordersAndRepeats) {
+  Int64Column col;
+  col.Append(10);
+  col.Append(20);
+  col.AppendNull();
+  ColumnPtr taken = col.Take({2, 0, 0, 1});
+  ASSERT_EQ(taken->size(), 4u);
+  EXPECT_TRUE(taken->IsNull(0));
+  EXPECT_EQ(taken->GetValue(1), Value::Int(10));
+  EXPECT_EQ(taken->GetValue(2), Value::Int(10));
+  EXPECT_EQ(taken->GetValue(3), Value::Int(20));
+}
+
+TEST(TakeTest, StringTakePreservesValues) {
+  StringColumn col;
+  col.Append("a");
+  col.Append("b");
+  ColumnPtr taken = col.Take({1, 0});
+  EXPECT_EQ(taken->GetValue(0), Value::Str("b"));
+  EXPECT_EQ(taken->GetValue(1), Value::Str("a"));
+}
+
+TEST(TakeTest, EmptyIndices) {
+  DoubleColumn col;
+  col.Append(1.0);
+  EXPECT_EQ(col.Take({})->size(), 0u);
+}
+
+TEST(CloneEmptyTest, PreservesType) {
+  EXPECT_EQ(Int64Column().CloneEmpty()->type(), DataType::kInt64);
+  EXPECT_EQ(DoubleColumn().CloneEmpty()->type(), DataType::kDouble);
+  EXPECT_EQ(StringColumn().CloneEmpty()->type(), DataType::kString);
+  EXPECT_EQ(Int64Column().CloneEmpty()->size(), 0u);
+}
+
+TEST(MakeColumnTest, CreatesMatchingType) {
+  EXPECT_EQ(MakeColumn(DataType::kInt64)->type(), DataType::kInt64);
+  EXPECT_EQ(MakeColumn(DataType::kDouble)->type(), DataType::kDouble);
+  EXPECT_EQ(MakeColumn(DataType::kString)->type(), DataType::kString);
+}
+
+}  // namespace
+}  // namespace culinary::df

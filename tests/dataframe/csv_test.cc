@@ -1,0 +1,192 @@
+#include "dataframe/csv.h"
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace culinary::df {
+namespace {
+
+TEST(CsvReadTest, BasicWithHeader) {
+  auto t = ReadCsvString("a,b\n1,x\n2,y\n");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->num_rows(), 2u);
+  EXPECT_EQ(t->num_columns(), 2u);
+  EXPECT_EQ(t->schema().field(0).type, DataType::kInt64);
+  EXPECT_EQ(t->schema().field(1).type, DataType::kString);
+  EXPECT_EQ(t->GetValue(1, 0), Value::Int(2));
+  EXPECT_EQ(t->GetValue(0, 1), Value::Str("x"));
+}
+
+TEST(CsvReadTest, NoHeaderNamesColumns) {
+  CsvReadOptions options;
+  options.has_header = false;
+  auto t = ReadCsvString("1,2\n3,4\n", options);
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->schema().field(0).name, "c0");
+  EXPECT_EQ(t->schema().field(1).name, "c1");
+  EXPECT_EQ(t->num_rows(), 2u);
+}
+
+TEST(CsvReadTest, TypeInferenceDoubleAndFallback) {
+  auto t = ReadCsvString("a,b,c\n1.5,2,x1\n2,3,7\n");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->schema().field(0).type, DataType::kDouble);
+  EXPECT_EQ(t->schema().field(1).type, DataType::kInt64);
+  EXPECT_EQ(t->schema().field(2).type, DataType::kString);
+  EXPECT_EQ(t->GetValue(0, 0), Value::Real(1.5));
+}
+
+TEST(CsvReadTest, InferTypesDisabled) {
+  CsvReadOptions options;
+  options.infer_types = false;
+  auto t = ReadCsvString("a\n1\n", options);
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->schema().field(0).type, DataType::kString);
+}
+
+TEST(CsvReadTest, QuotedFieldsWithCommasAndNewlines) {
+  auto t = ReadCsvString("a,b\n\"x, y\",\"line1\nline2\"\n");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->GetValue(0, 0), Value::Str("x, y"));
+  EXPECT_EQ(t->GetValue(0, 1), Value::Str("line1\nline2"));
+}
+
+TEST(CsvReadTest, EscapedQuotes) {
+  auto t = ReadCsvString("a\n\"he said \"\"hi\"\"\"\n");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->GetValue(0, 0), Value::Str("he said \"hi\""));
+}
+
+TEST(CsvReadTest, CrlfLineEndings) {
+  auto t = ReadCsvString("a,b\r\n1,x\r\n2,y\r\n");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->num_rows(), 2u);
+  EXPECT_EQ(t->GetValue(1, 1), Value::Str("y"));
+}
+
+TEST(CsvReadTest, MissingFinalNewline) {
+  auto t = ReadCsvString("a\n1\n2");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->num_rows(), 2u);
+}
+
+TEST(CsvReadTest, EmptyFieldsBecomeNulls) {
+  auto t = ReadCsvString("a,b\n1,\n,x\n");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->GetValue(0, 1), Value::Null());
+  EXPECT_EQ(t->GetValue(1, 0), Value::Null());
+}
+
+TEST(CsvReadTest, QuotedEmptyIsEmptyStringNotNull) {
+  auto t = ReadCsvString("a\n\"\"\nx\n");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->GetValue(0, 0), Value::Str(""));
+}
+
+TEST(CsvReadTest, EmptyAsNullDisabled) {
+  CsvReadOptions options;
+  options.empty_as_null = false;
+  auto t = ReadCsvString("a\nx\n\n", options);
+  // Note: a blank line is still one empty field, which becomes "".
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->GetValue(1, 0), Value::Str(""));
+}
+
+TEST(CsvReadTest, RaggedRowIsParseError) {
+  auto t = ReadCsvString("a,b\n1,2\n3\n");
+  EXPECT_FALSE(t.ok());
+  EXPECT_TRUE(t.status().IsParseError());
+}
+
+TEST(CsvReadTest, UnterminatedQuoteIsParseError) {
+  auto t = ReadCsvString("a\n\"open\n");
+  EXPECT_FALSE(t.ok());
+  EXPECT_TRUE(t.status().IsParseError());
+}
+
+TEST(CsvReadTest, GarbageAfterClosingQuote) {
+  auto t = ReadCsvString("a\n\"x\"y\n");
+  EXPECT_FALSE(t.ok());
+}
+
+TEST(CsvReadTest, EmptyInputIsParseError) {
+  EXPECT_FALSE(ReadCsvString("").ok());
+}
+
+TEST(CsvReadTest, CustomDelimiter) {
+  CsvReadOptions options;
+  options.delimiter = ';';
+  auto t = ReadCsvString("a;b\n1;2\n", options);
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->num_columns(), 2u);
+  EXPECT_EQ(t->GetValue(0, 1), Value::Int(2));
+}
+
+TEST(CsvWriteTest, QuotesSpecialFields) {
+  Schema schema({{"a", DataType::kString}});
+  auto t = Table::Make(schema);
+  ASSERT_TRUE(t.ok());
+  ASSERT_TRUE(t->AppendRow({Value::Str("x, y")}).ok());
+  ASSERT_TRUE(t->AppendRow({Value::Str("quote\"inside")}).ok());
+  std::string csv = WriteCsvString(*t);
+  EXPECT_EQ(csv, "a\n\"x, y\"\n\"quote\"\"inside\"\n");
+}
+
+TEST(CsvWriteTest, HeaderToggle) {
+  Schema schema({{"a", DataType::kInt64}});
+  auto t = Table::Make(schema);
+  ASSERT_TRUE(t->AppendRow({Value::Int(1)}).ok());
+  CsvWriteOptions options;
+  options.write_header = false;
+  EXPECT_EQ(WriteCsvString(*t, options), "1\n");
+}
+
+TEST(CsvRoundTripTest, PreservesValuesAndTypes) {
+  Schema schema({{"s", DataType::kString},
+                 {"i", DataType::kInt64},
+                 {"d", DataType::kDouble}});
+  auto t = Table::Make(schema);
+  ASSERT_TRUE(t->AppendRow({Value::Str("hello, world"), Value::Int(-42),
+                            Value::Real(0.1)})
+                  .ok());
+  ASSERT_TRUE(t->AppendRow({Value::Null(), Value::Null(), Value::Null()}).ok());
+  std::string csv = WriteCsvString(*t);
+  auto back = ReadCsvString(csv);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->GetValue(0, 0), Value::Str("hello, world"));
+  EXPECT_EQ(back->GetValue(0, 1), Value::Int(-42));
+  EXPECT_EQ(back->GetValue(0, 2), Value::Real(0.1));  // %.17g round-trips
+  EXPECT_EQ(back->GetValue(1, 0), Value::Null());
+  EXPECT_EQ(back->GetValue(1, 1), Value::Null());
+}
+
+TEST(CsvFileTest, WriteAndReadBack) {
+  std::string path = ::testing::TempDir() + "/culinary_csv_test.csv";
+  Schema schema({{"a", DataType::kInt64}});
+  auto t = Table::Make(schema);
+  ASSERT_TRUE(t->AppendRow({Value::Int(5)}).ok());
+  ASSERT_TRUE(WriteCsvFile(*t, path).ok());
+  auto back = ReadCsvFile(path);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->GetValue(0, 0), Value::Int(5));
+  std::remove(path.c_str());
+}
+
+TEST(CsvFileTest, MissingFileIsIOError) {
+  auto r = ReadCsvFile("/nonexistent/path/data.csv");
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsIOError());
+}
+
+TEST(CsvFileTest, UnwritablePathIsIOError) {
+  Schema schema({{"a", DataType::kInt64}});
+  auto t = Table::Make(schema);
+  EXPECT_TRUE(
+      WriteCsvFile(*t, "/nonexistent/dir/out.csv").IsIOError());
+}
+
+}  // namespace
+}  // namespace culinary::df

@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include "dataframe/csv.h"
+#include "dataframe/ops.h"
+
+namespace culinary::df {
+namespace {
+
+Table MakeNumeric() {
+  auto t = ReadCsvString(
+      "name,qty,score\n"
+      "a,1,0.5\n"
+      "b,2,\n"
+      "c,3,1.5\n"
+      "d,4,2.5\n");
+  EXPECT_TRUE(t.ok());
+  return std::move(*t);
+}
+
+TEST(DescribeTest, SummarizesNumericColumns) {
+  auto d = Describe(MakeNumeric());
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->num_rows(), 2u);  // qty, score
+  // qty row.
+  EXPECT_EQ(d->GetValue(0, 0), Value::Str("qty"));
+  EXPECT_EQ(d->GetValue(0, 1), Value::Int(4));
+  EXPECT_EQ(d->GetValue(0, 2), Value::Int(0));
+  EXPECT_EQ(d->GetValue(0, 3), Value::Real(2.5));   // mean
+  EXPECT_EQ(d->GetValue(0, 5), Value::Real(1.0));   // min
+  EXPECT_EQ(d->GetValue(0, 6), Value::Real(2.5));   // median
+  EXPECT_EQ(d->GetValue(0, 7), Value::Real(4.0));   // max
+  // score row: one null.
+  EXPECT_EQ(d->GetValue(1, 0), Value::Str("score"));
+  EXPECT_EQ(d->GetValue(1, 1), Value::Int(3));
+  EXPECT_EQ(d->GetValue(1, 2), Value::Int(1));
+  EXPECT_EQ(d->GetValue(1, 3), Value::Real(1.5));
+}
+
+TEST(DescribeTest, AllNullNumericColumn) {
+  auto t = ReadCsvString("x,y\n1,\n2,\n");
+  ASSERT_TRUE(t.ok());
+  // y is all-null → inferred string, so only x describes. Force numeric
+  // via a table with a null-bearing numeric column instead:
+  auto d = Describe(*t);
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->num_rows(), 1u);
+}
+
+TEST(DescribeTest, NoNumericColumnsIsError) {
+  auto t = ReadCsvString("a,b\nx,y\n");
+  ASSERT_TRUE(t.ok());
+  EXPECT_TRUE(Describe(*t).status().IsInvalidArgument());
+}
+
+TEST(RenameColumnsTest, RenamesAndPreservesData) {
+  auto r = RenameColumns(MakeNumeric(), {{"qty", "quantity"}});
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->schema().HasField("quantity"));
+  EXPECT_FALSE(r->schema().HasField("qty"));
+  EXPECT_EQ(r->GetValue(0, 1), Value::Int(1));
+}
+
+TEST(RenameColumnsTest, UnknownAndColliding) {
+  EXPECT_TRUE(RenameColumns(MakeNumeric(), {{"zzz", "x"}})
+                  .status()
+                  .IsNotFound());
+  EXPECT_TRUE(RenameColumns(MakeNumeric(), {{"qty", "score"}})
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(RenameColumnsTest, SwapViaSimultaneousRename) {
+  auto r = RenameColumns(MakeNumeric(), {{"qty", "score2"}, {"score", "qty"}});
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->schema().HasField("score2"));
+  EXPECT_TRUE(r->schema().HasField("qty"));
+}
+
+TEST(DropColumnsTest, DropsNamed) {
+  auto r = DropColumns(MakeNumeric(), {"score"});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->num_columns(), 2u);
+  EXPECT_FALSE(r->schema().HasField("score"));
+}
+
+TEST(DropColumnsTest, Validation) {
+  EXPECT_TRUE(DropColumns(MakeNumeric(), {"zzz"}).status().IsNotFound());
+  EXPECT_TRUE(DropColumns(MakeNumeric(), {"name", "qty", "score"})
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(WithComputedColumnTest, AddsDerivedColumn) {
+  auto r = WithComputedColumn(
+      MakeNumeric(), {"qty_squared", DataType::kInt64},
+      [](const Table& t, size_t row) {
+        int64_t q = t.GetValue(row, 1).as_int();
+        return Value::Int(q * q);
+      });
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->num_columns(), 4u);
+  EXPECT_EQ(r->GetValue(2, 3), Value::Int(9));
+}
+
+TEST(WithComputedColumnTest, GeneratorMayEmitNulls) {
+  auto r = WithComputedColumn(
+      MakeNumeric(), {"maybe", DataType::kDouble},
+      [](const Table& t, size_t row) {
+        Value score = t.GetValue(row, 2);
+        if (score.is_null()) return Value::Null();
+        return Value::Real(score.as_double() * 2);
+      });
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->GetValue(1, 3), Value::Null());
+  EXPECT_EQ(r->GetValue(0, 3), Value::Real(1.0));
+}
+
+TEST(WithComputedColumnTest, Validation) {
+  EXPECT_TRUE(WithComputedColumn(MakeNumeric(), {"qty", DataType::kInt64},
+                                 [](const Table&, size_t) {
+                                   return Value::Int(0);
+                                 })
+                  .status()
+                  .IsAlreadyExists());
+  // Type mismatch from the generator.
+  EXPECT_FALSE(WithComputedColumn(MakeNumeric(), {"bad", DataType::kInt64},
+                                  [](const Table&, size_t) {
+                                    return Value::Str("oops");
+                                  })
+                  .ok());
+}
+
+}  // namespace
+}  // namespace culinary::df

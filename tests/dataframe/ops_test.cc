@@ -1,0 +1,244 @@
+#include "dataframe/ops.h"
+
+#include <gtest/gtest.h>
+
+#include "dataframe/csv.h"
+
+namespace culinary::df {
+namespace {
+
+/// region, ingredient, count sample.
+Table MakeSample() {
+  auto t = ReadCsvString(
+      "region,ingredient,count\n"
+      "ITA,tomato,5\n"
+      "ITA,basil,3\n"
+      "JPN,rice,9\n"
+      "JPN,tomato,1\n"
+      "ITA,tomato,2\n");
+  EXPECT_TRUE(t.ok());
+  return std::move(*t);
+}
+
+TEST(SelectTest, ReordersColumns) {
+  auto r = Select(MakeSample(), {"count", "region"});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->num_columns(), 2u);
+  EXPECT_EQ(r->schema().field(0).name, "count");
+  EXPECT_EQ(r->GetValue(0, 1), Value::Str("ITA"));
+}
+
+TEST(SelectTest, UnknownColumnIsNotFound) {
+  EXPECT_TRUE(Select(MakeSample(), {"zzz"}).status().IsNotFound());
+}
+
+TEST(FilterTest, KeepsMatchingRowsInOrder) {
+  auto r = Filter(MakeSample(), [](const Table& t, size_t row) {
+    return t.GetValue(row, 0).as_string() == "ITA";
+  });
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->num_rows(), 3u);
+  EXPECT_EQ(r->GetValue(0, 1), Value::Str("tomato"));
+  EXPECT_EQ(r->GetValue(1, 1), Value::Str("basil"));
+}
+
+TEST(FilterTest, EmptyResult) {
+  auto r = Filter(MakeSample(), [](const Table&, size_t) { return false; });
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->num_rows(), 0u);
+}
+
+TEST(SortByTest, SingleKeyAscending) {
+  auto r = SortBy(MakeSample(), {{"count", true}});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->GetValue(0, 2), Value::Int(1));
+  EXPECT_EQ(r->GetValue(4, 2), Value::Int(9));
+}
+
+TEST(SortByTest, MultiKeyWithDescending) {
+  auto r = SortBy(MakeSample(), {{"region", true}, {"count", false}});
+  ASSERT_TRUE(r.ok());
+  // ITA rows first (counts 5,3,2 descending), then JPN (9,1).
+  EXPECT_EQ(r->GetValue(0, 0), Value::Str("ITA"));
+  EXPECT_EQ(r->GetValue(0, 2), Value::Int(5));
+  EXPECT_EQ(r->GetValue(2, 2), Value::Int(2));
+  EXPECT_EQ(r->GetValue(3, 0), Value::Str("JPN"));
+  EXPECT_EQ(r->GetValue(3, 2), Value::Int(9));
+}
+
+TEST(SortByTest, NullsFirstAscending) {
+  auto t = ReadCsvString("a\n2\n\n1\n");
+  ASSERT_TRUE(t.ok());
+  auto r = SortBy(*t, {{"a", true}});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->GetValue(0, 0), Value::Null());
+  EXPECT_EQ(r->GetValue(1, 0), Value::Int(1));
+}
+
+TEST(SortByTest, RequiresKeys) {
+  EXPECT_FALSE(SortBy(MakeSample(), {}).ok());
+  EXPECT_TRUE(SortBy(MakeSample(), {{"zzz", true}}).status().IsNotFound());
+}
+
+TEST(GroupByTest, CountSumMeanMinMax) {
+  auto r = GroupByAggregate(MakeSample(), {"region"},
+                            {{AggKind::kCount, "", "n"},
+                             {AggKind::kSum, "count", "total"},
+                             {AggKind::kMean, "count", "avg"},
+                             {AggKind::kMin, "count", "lo"},
+                             {AggKind::kMax, "count", "hi"}});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->num_rows(), 2u);  // ITA, JPN in first-seen order
+  EXPECT_EQ(r->GetValue(0, 0), Value::Str("ITA"));
+  EXPECT_EQ(r->GetValue(0, 1), Value::Int(3));
+  EXPECT_EQ(r->GetValue(0, 2), Value::Real(10.0));
+  EXPECT_EQ(r->GetValue(0, 3), Value::Real(10.0 / 3));
+  EXPECT_EQ(r->GetValue(0, 4), Value::Real(2.0));
+  EXPECT_EQ(r->GetValue(0, 5), Value::Real(5.0));
+  EXPECT_EQ(r->GetValue(1, 1), Value::Int(2));
+}
+
+TEST(GroupByTest, CountDistinct) {
+  auto r = GroupByAggregate(MakeSample(), {"region"},
+                            {{AggKind::kCountDistinct, "ingredient", "k"}});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->GetValue(0, 1), Value::Int(2));  // ITA: tomato, basil
+  EXPECT_EQ(r->GetValue(1, 1), Value::Int(2));  // JPN: rice, tomato
+}
+
+TEST(GroupByTest, StringAggregationRejected) {
+  auto r = GroupByAggregate(MakeSample(), {"region"},
+                            {{AggKind::kSum, "ingredient", "x"}});
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsInvalidArgument());
+}
+
+TEST(GroupByTest, NullKeysGroupTogether) {
+  auto t = ReadCsvString("k,v\n,1\n,2\nx,3\n");
+  ASSERT_TRUE(t.ok());
+  auto r = GroupByAggregate(*t, {"k"}, {{AggKind::kCount, "", "n"}});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->num_rows(), 2u);
+  EXPECT_EQ(r->GetValue(0, 1), Value::Int(2));
+}
+
+TEST(GroupByTest, AggregateOverAllNullColumnIsNull) {
+  // Group "a" has only null values in v (v infers numeric thanks to the
+  // "b" row); its mean is null.
+  auto t = ReadCsvString("k,v\na,\na,\nb,1\n");
+  ASSERT_TRUE(t.ok());
+  auto r = GroupByAggregate(*t, {"k"}, {{AggKind::kMean, "v", "m"}});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->GetValue(0, 1), Value::Null());
+  EXPECT_EQ(r->GetValue(1, 1), Value::Real(1.0));
+}
+
+TEST(HashJoinTest, InnerJoinMatchesKeys) {
+  auto left = ReadCsvString("ingredient,count\ntomato,5\nbasil,3\nkale,1\n");
+  auto right = ReadCsvString("ingredient,category\ntomato,Vegetable\nbasil,Herb\n");
+  ASSERT_TRUE(left.ok());
+  ASSERT_TRUE(right.ok());
+  auto r = HashJoin(*left, *right, {"ingredient"});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->num_rows(), 2u);
+  EXPECT_EQ(r->schema().field(0).name, "ingredient");
+  EXPECT_EQ(r->GetValue(0, 2), Value::Str("Vegetable"));
+}
+
+TEST(HashJoinTest, LeftJoinKeepsUnmatched) {
+  auto left = ReadCsvString("k,v\na,1\nb,2\n");
+  auto right = ReadCsvString("k,w\na,10\n");
+  auto r = HashJoin(*left, *right, {"k"}, JoinType::kLeft);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->num_rows(), 2u);
+  EXPECT_EQ(r->GetValue(1, 2), Value::Null());
+}
+
+TEST(HashJoinTest, DuplicateRightKeysMultiply) {
+  auto left = ReadCsvString("k,v\na,1\n");
+  auto right = ReadCsvString("k,w\na,10\na,20\n");
+  auto r = HashJoin(*left, *right, {"k"});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->num_rows(), 2u);
+}
+
+TEST(HashJoinTest, NullKeysNeverMatch) {
+  auto left = ReadCsvString("k,v\n,1\n");
+  auto right = ReadCsvString("k,w\n,10\n");
+  auto inner = HashJoin(*left, *right, {"k"});
+  ASSERT_TRUE(inner.ok());
+  EXPECT_EQ(inner->num_rows(), 0u);
+}
+
+TEST(HashJoinTest, NameCollisionGetsSuffix) {
+  auto left = ReadCsvString("k,v\na,1\n");
+  auto right = ReadCsvString("k,v\na,2\n");
+  auto r = HashJoin(*left, *right, {"k"});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->schema().field(2).name, "v_right");
+}
+
+TEST(HashJoinTest, KeyTypeMismatchRejected) {
+  auto left = ReadCsvString("k\n1\n");
+  auto right = ReadCsvString("k\nx\n");
+  EXPECT_FALSE(HashJoin(*left, *right, {"k"}).ok());
+}
+
+TEST(DistinctTest, AllColumns) {
+  auto t = ReadCsvString("a,b\n1,x\n1,x\n1,y\n");
+  auto r = Distinct(*t);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->num_rows(), 2u);
+}
+
+TEST(DistinctTest, SubsetOfColumns) {
+  auto t = ReadCsvString("a,b\n1,x\n1,y\n2,z\n");
+  auto r = Distinct(*t, {"a"});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->num_rows(), 2u);
+  EXPECT_EQ(r->GetValue(0, 1), Value::Str("x"));  // first occurrence kept
+}
+
+TEST(ValueCountsTest, SortsByCountDescending) {
+  auto r = ValueCounts(MakeSample(), "ingredient");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->GetValue(0, 0), Value::Str("tomato"));
+  EXPECT_EQ(r->GetValue(0, 1), Value::Int(3));
+  EXPECT_EQ(r->num_rows(), 3u);
+}
+
+TEST(ValueCountsTest, ExcludesNulls) {
+  auto t = ReadCsvString("a\nx\n\nx\n");
+  auto r = ValueCounts(*t, "a");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->num_rows(), 1u);
+  EXPECT_EQ(r->GetValue(0, 1), Value::Int(2));
+}
+
+TEST(ToDoubleVectorTest, ExtractsNumericSkippingNulls) {
+  auto t = ReadCsvString("a\n1\n\n2.5\n");
+  auto r = ToDoubleVector(*t, "a");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, (std::vector<double>{1.0, 2.5}));
+  EXPECT_TRUE(ToDoubleVector(MakeSample(), "region").status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(ToDoubleVector(MakeSample(), "zzz").status().IsNotFound());
+}
+
+TEST(ConcatTest, StacksTables) {
+  Table a = MakeSample();
+  Table b = MakeSample();
+  auto r = Concat({a, b});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->num_rows(), 10u);
+  EXPECT_FALSE(Concat({}).ok());
+}
+
+TEST(ConcatTest, SchemaMismatchRejected) {
+  Table a = MakeSample();
+  auto b = ReadCsvString("x\n1\n");
+  EXPECT_FALSE(Concat({a, *b}).ok());
+}
+
+}  // namespace
+}  // namespace culinary::df

@@ -1,0 +1,117 @@
+#include "datagen/cuisine_gen.h"
+
+#include <gtest/gtest.h>
+
+#include "analysis/pairing.h"
+
+namespace culinary::datagen {
+namespace {
+
+using recipe::Region;
+
+const FlavorUniverse& Universe() {
+  static const FlavorUniverse& u = *[] {
+    auto result = GenerateFlavorUniverse(WorldSpec::Small());
+    EXPECT_TRUE(result.ok());
+    return new FlavorUniverse(std::move(result).value());
+  }();
+  return u;
+}
+
+RegionSpec MakeRegionSpec(Region region, size_t recipes, size_t ingredients,
+                          double bias) {
+  WorldSpec spec = WorldSpec::Small();
+  for (const RegionSpec& rs : spec.regions) {
+    if (rs.region == region) {
+      RegionSpec out = rs;
+      out.num_recipes = recipes;
+      out.num_ingredients = ingredients;
+      out.pairing_bias = bias;
+      return out;
+    }
+  }
+  return {};
+}
+
+TEST(CuisineGenTest, ProducesRequestedRecipeCount) {
+  culinary::Rng rng(1);
+  RegionSpec rs = MakeRegionSpec(Region::kItaly, 77, 60, 0.5);
+  auto recipes =
+      GenerateRegionRecipes(WorldSpec::Small(), rs, Universe(), rng);
+  ASSERT_TRUE(recipes.ok());
+  EXPECT_EQ(recipes->size(), 77u);
+  for (const recipe::Recipe& r : *recipes) {
+    EXPECT_EQ(r.region, Region::kItaly);
+    EXPECT_GE(r.size(), WorldSpec::Small().recipe_size_min);
+    EXPECT_LE(r.size(), WorldSpec::Small().recipe_size_max);
+    for (flavor::IngredientId id : r.ingredients) {
+      EXPECT_NE(Universe().registry->Find(id), nullptr);
+    }
+  }
+}
+
+TEST(CuisineGenTest, IngredientSubsetBounded) {
+  culinary::Rng rng(2);
+  RegionSpec rs = MakeRegionSpec(Region::kKorea, 150, 45, -0.5);
+  auto recipes =
+      GenerateRegionRecipes(WorldSpec::Small(), rs, Universe(), rng);
+  ASSERT_TRUE(recipes.ok());
+  recipe::Cuisine cuisine(Region::kKorea, std::move(*recipes));
+  EXPECT_LE(cuisine.unique_ingredients().size(), 45u);
+}
+
+TEST(CuisineGenTest, DeterministicForRngState) {
+  culinary::Rng a(3), b(3);
+  RegionSpec rs = MakeRegionSpec(Region::kItaly, 40, 60, 0.5);
+  auto ra = GenerateRegionRecipes(WorldSpec::Small(), rs, Universe(), a);
+  auto rb = GenerateRegionRecipes(WorldSpec::Small(), rs, Universe(), b);
+  ASSERT_TRUE(ra.ok());
+  ASSERT_TRUE(rb.ok());
+  ASSERT_EQ(ra->size(), rb->size());
+  for (size_t i = 0; i < ra->size(); ++i) {
+    EXPECT_EQ((*ra)[i].ingredients, (*rb)[i].ingredients);
+  }
+}
+
+TEST(CuisineGenTest, PositiveBiasYieldsHigherPairingThanNegative) {
+  // Same region parameters, opposite biases: the positive cuisine's mean
+  // pairing must exceed the negative one's by a clear margin.
+  auto mean_pairing = [&](double bias, uint64_t seed) {
+    culinary::Rng rng(seed);
+    RegionSpec rs = MakeRegionSpec(Region::kItaly, 150, 60, bias);
+    auto recipes =
+        GenerateRegionRecipes(WorldSpec::Small(), rs, Universe(), rng);
+    EXPECT_TRUE(recipes.ok());
+    recipe::Cuisine cuisine(Region::kItaly, std::move(*recipes));
+    analysis::PairingCache cache(*Universe().registry,
+                                 cuisine.unique_ingredients());
+    return analysis::CuisineMeanPairing(cache, cuisine);
+  };
+  double positive = mean_pairing(1.0, 5);
+  double negative = mean_pairing(-1.0, 5);
+  EXPECT_GT(positive, 1.5 * negative);
+}
+
+TEST(CuisineGenTest, RejectsTooSmallSubset) {
+  culinary::Rng rng(4);
+  // Fewer ingredients than the maximum recipe size is unusable.
+  RegionSpec rs = MakeRegionSpec(Region::kItaly, 10,
+                                 WorldSpec::Small().recipe_size_max - 1, 0.5);
+  auto recipes =
+      GenerateRegionRecipes(WorldSpec::Small(), rs, Universe(), rng);
+  EXPECT_FALSE(recipes.ok());
+  EXPECT_TRUE(recipes.status().IsFailedPrecondition());
+}
+
+TEST(CuisineGenTest, RejectsEmptyUniverse) {
+  culinary::Rng rng(5);
+  FlavorUniverse empty;
+  empty.registry = std::make_unique<flavor::FlavorRegistry>();
+  empty.num_pools = 4;
+  RegionSpec rs = MakeRegionSpec(Region::kItaly, 10, 40, 0.5);
+  auto recipes = GenerateRegionRecipes(WorldSpec::Small(), rs, empty, rng);
+  EXPECT_FALSE(recipes.ok());
+}
+
+}  // namespace
+}  // namespace culinary::datagen

@@ -1,0 +1,68 @@
+#include "datagen/names.h"
+
+#include <set>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace culinary::datagen {
+namespace {
+
+TEST(CuratedNamesTest, SubstantialListWithSynonyms) {
+  const auto& names = CuratedNames();
+  EXPECT_GE(names.size(), 100u);
+  bool found_whiskey = false;
+  for (const CuratedName& c : names) {
+    EXPECT_NE(c.name, nullptr);
+    EXPECT_NE(c.synonyms, nullptr);
+    if (std::string(c.name) == "whiskey") {
+      found_whiskey = true;
+      ASSERT_NE(c.synonyms[0], nullptr);
+      EXPECT_EQ(std::string(c.synonyms[0]), "whisky");
+    }
+  }
+  EXPECT_TRUE(found_whiskey);
+}
+
+TEST(CuratedNamesTest, NamesAreUnique) {
+  std::set<std::string> seen;
+  for (const CuratedName& c : CuratedNames()) {
+    EXPECT_TRUE(seen.insert(c.name).second) << "duplicate: " << c.name;
+  }
+}
+
+TEST(CuratedNamesTest, CoversManyCategories) {
+  std::set<int> categories;
+  for (const CuratedName& c : CuratedNames()) {
+    categories.insert(static_cast<int>(c.category));
+  }
+  EXPECT_GE(categories.size(), 18u);
+}
+
+TEST(NameGeneratorTest, DeterministicForSeed) {
+  NameGenerator a(7), b(7);
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(NameGeneratorTest, ProducesUniqueNames) {
+  NameGenerator gen(11);
+  std::set<std::string> seen;
+  for (int i = 0; i < 1000; ++i) {
+    std::string name = gen.Next();
+    EXPECT_GE(name.size(), 4u);
+    EXPECT_TRUE(seen.insert(name).second) << "duplicate: " << name;
+  }
+}
+
+TEST(NameGeneratorTest, MoleculeNamesLookChemical) {
+  NameGenerator gen(13);
+  std::set<std::string> seen;
+  for (int i = 0; i < 500; ++i) {
+    std::string name = gen.NextMolecule();
+    EXPECT_NE(name.find('-'), std::string::npos);
+    EXPECT_TRUE(seen.insert(name).second) << "duplicate: " << name;
+  }
+}
+
+}  // namespace
+}  // namespace culinary::datagen

@@ -1,0 +1,166 @@
+#include "datagen/phrase_gen.h"
+
+#include <gtest/gtest.h>
+
+#include "common/string_util.h"
+#include "text/edit_distance.h"
+#include "recipe/parser.h"
+
+namespace culinary::datagen {
+namespace {
+
+using flavor::Category;
+using flavor::FlavorProfile;
+using flavor::FlavorRegistry;
+using flavor::IngredientId;
+
+class PhraseGenTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    tomato_ = reg_.AddIngredient("tomato", Category::kVegetable,
+                                 FlavorProfile({1}))
+                  .value();
+    ASSERT_TRUE(reg_.AddSynonym(tomato_, "love apple").ok());
+    olive_oil_ = reg_.AddIngredient("olive oil", Category::kPlant,
+                                    FlavorProfile({2}))
+                     .value();
+  }
+
+  FlavorRegistry reg_;
+  IngredientId tomato_, olive_oil_;
+};
+
+TEST_F(PhraseGenTest, UnknownIdRejected) {
+  culinary::Rng rng(1);
+  EXPECT_TRUE(RenderIngredientPhrase(reg_, 999, {}, rng)
+                  .status()
+                  .IsNotFound());
+}
+
+TEST_F(PhraseGenTest, PhraseContainsTheName) {
+  PhraseGenOptions options;
+  options.synonym_prob = 0.0;
+  options.plural_prob = 0.0;
+  options.typo_prob = 0.0;
+  options.capitalize_prob = 0.0;
+  culinary::Rng rng(2);
+  for (int i = 0; i < 50; ++i) {
+    auto phrase = RenderIngredientPhrase(reg_, tomato_, options, rng);
+    ASSERT_TRUE(phrase.ok());
+    EXPECT_TRUE(Contains(*phrase, "tomato")) << *phrase;
+  }
+}
+
+TEST_F(PhraseGenTest, ZeroNoiseIsBareName) {
+  PhraseGenOptions options;
+  options.quantity_prob = 0.0;
+  options.unit_prob = 0.0;
+  options.pre_qualifier_prob = 0.0;
+  options.post_clause_prob = 0.0;
+  options.plural_prob = 0.0;
+  options.synonym_prob = 0.0;
+  options.typo_prob = 0.0;
+  options.capitalize_prob = 0.0;
+  culinary::Rng rng(3);
+  auto phrase = RenderIngredientPhrase(reg_, olive_oil_, options, rng);
+  ASSERT_TRUE(phrase.ok());
+  EXPECT_EQ(*phrase, "olive oil");
+}
+
+TEST_F(PhraseGenTest, SynonymUsedWhenForced) {
+  PhraseGenOptions options;
+  options.quantity_prob = 0.0;
+  options.unit_prob = 0.0;
+  options.pre_qualifier_prob = 0.0;
+  options.post_clause_prob = 0.0;
+  options.plural_prob = 0.0;
+  options.synonym_prob = 1.0;
+  options.typo_prob = 0.0;
+  options.capitalize_prob = 0.0;
+  culinary::Rng rng(4);
+  auto phrase = RenderIngredientPhrase(reg_, tomato_, options, rng);
+  ASSERT_TRUE(phrase.ok());
+  EXPECT_EQ(*phrase, "love apple");
+  // Ingredient without synonyms keeps its canonical name.
+  auto oil = RenderIngredientPhrase(reg_, olive_oil_, options, rng);
+  ASSERT_TRUE(oil.ok());
+  EXPECT_EQ(*oil, "olive oil");
+}
+
+TEST_F(PhraseGenTest, PluralizationAppliesToLastToken) {
+  PhraseGenOptions options;
+  options.quantity_prob = 0.0;
+  options.unit_prob = 0.0;
+  options.pre_qualifier_prob = 0.0;
+  options.post_clause_prob = 0.0;
+  options.plural_prob = 1.0;
+  options.synonym_prob = 0.0;
+  options.typo_prob = 0.0;
+  options.capitalize_prob = 0.0;
+  culinary::Rng rng(5);
+  auto phrase = RenderIngredientPhrase(reg_, tomato_, options, rng);
+  ASSERT_TRUE(phrase.ok());
+  EXPECT_EQ(*phrase, "tomatoes");
+}
+
+TEST_F(PhraseGenTest, DeterministicForSeed) {
+  culinary::Rng a(7), b(7);
+  PhraseGenOptions options;
+  options.typo_prob = 0.2;
+  for (int i = 0; i < 30; ++i) {
+    EXPECT_EQ(RenderIngredientPhrase(reg_, tomato_, options, a).value(),
+              RenderIngredientPhrase(reg_, tomato_, options, b).value());
+  }
+}
+
+TEST_F(PhraseGenTest, RecipePhrasesCoverEveryIngredient) {
+  recipe::Recipe r;
+  r.region = recipe::Region::kItaly;
+  r.ingredients = {tomato_, olive_oil_};
+  culinary::Rng rng(9);
+  auto phrases = RenderRecipePhrases(reg_, r, {}, rng);
+  ASSERT_TRUE(phrases.ok());
+  EXPECT_EQ(phrases->size(), 2u);
+}
+
+TEST_F(PhraseGenTest, RoundTripThroughParserWithoutTypos) {
+  recipe::IngredientPhraseParser parser(&reg_);
+  PhraseGenOptions options;  // defaults: no typos
+  culinary::Rng rng(11);
+  recipe::Recipe r;
+  r.region = recipe::Region::kItaly;
+  r.ingredients = {tomato_, olive_oil_};
+  for (int trial = 0; trial < 50; ++trial) {
+    auto phrases = RenderRecipePhrases(reg_, r, options, rng);
+    ASSERT_TRUE(phrases.ok());
+    auto recovered = parser.ParsePhrases(*phrases);
+    recipe::CanonicalizeIngredients(recovered);
+    EXPECT_EQ(recovered, r.ingredients) << "trial " << trial;
+  }
+}
+
+TEST_F(PhraseGenTest, TypoStaysWithinDamerauOne) {
+  PhraseGenOptions options;
+  options.quantity_prob = 0.0;
+  options.unit_prob = 0.0;
+  options.pre_qualifier_prob = 0.0;
+  options.post_clause_prob = 0.0;
+  options.plural_prob = 0.0;
+  options.synonym_prob = 0.0;
+  options.typo_prob = 1.0;
+  options.capitalize_prob = 0.0;
+  IngredientId longname =
+      reg_.AddIngredient("pomegranate", Category::kFruit, FlavorProfile({3}))
+          .value();
+  culinary::Rng rng(13);
+  for (int i = 0; i < 60; ++i) {
+    auto phrase = RenderIngredientPhrase(reg_, longname, options, rng);
+    ASSERT_TRUE(phrase.ok());
+    // One token, Damerau distance <= 1 from the canonical name.
+    EXPECT_LE(text::DamerauLevenshteinDistance(*phrase, "pomegranate"), 1u)
+        << *phrase;
+  }
+}
+
+}  // namespace
+}  // namespace culinary::datagen

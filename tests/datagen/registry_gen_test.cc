@@ -1,0 +1,151 @@
+#include "datagen/registry_gen.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace culinary::datagen {
+namespace {
+
+class RegistryGenTest : public ::testing::Test {
+ protected:
+  static const FlavorUniverse& Universe() {
+    static const FlavorUniverse& u = *[] {
+      auto result = GenerateFlavorUniverse(WorldSpec::Small());
+      EXPECT_TRUE(result.ok()) << result.status().ToString();
+      return new FlavorUniverse(std::move(result).value());
+    }();
+    return u;
+  }
+};
+
+TEST_F(RegistryGenTest, CountsFollowCurationStory) {
+  WorldSpec spec = WorldSpec::Small();
+  const FlavorUniverse& u = Universe();
+  size_t expected_basic = spec.num_raw_flavordb_ingredients -
+                          spec.num_noisy_removed + spec.num_specific_added +
+                          spec.num_ahn_added + spec.num_additives_added;
+  EXPECT_EQ(u.registry->num_live_ingredients(),
+            expected_basic + spec.num_compound_ingredients);
+  // Tombstones counted in slots but not live.
+  EXPECT_EQ(u.registry->num_ingredient_slots() -
+                u.registry->num_live_ingredients(),
+            spec.num_noisy_removed);
+  EXPECT_EQ(u.registry->num_molecules(),
+            spec.num_flavor_pools * spec.molecules_per_pool +
+                spec.num_common_molecules);
+}
+
+TEST_F(RegistryGenTest, MetaCoversEveryLiveIngredient) {
+  const FlavorUniverse& u = Universe();
+  EXPECT_EQ(u.meta.size(), u.registry->num_live_ingredients());
+  for (const IngredientMeta& m : u.meta) {
+    ASSERT_NE(u.registry->Find(m.id), nullptr);
+    EXPECT_EQ(u.registry->Find(m.id)->profile.size(), m.profile_size);
+    EXPECT_EQ(u.registry->Find(m.id)->category, m.category);
+  }
+  EXPECT_EQ(u.MetaFor(-5), nullptr);
+}
+
+TEST_F(RegistryGenTest, CuratedNamesResolvable) {
+  const FlavorUniverse& u = Universe();
+  EXPECT_NE(u.registry->FindByName("tomato"), flavor::kInvalidIngredient);
+  EXPECT_NE(u.registry->FindByName("whisky"), flavor::kInvalidIngredient);
+  EXPECT_EQ(u.registry->FindByName("whisky"),
+            u.registry->FindByName("whiskey"));
+}
+
+TEST_F(RegistryGenTest, ProfileSizesWithinSpecBounds) {
+  WorldSpec spec = WorldSpec::Small();
+  const FlavorUniverse& u = Universe();
+  size_t profile_less = 0;
+  for (const IngredientMeta& m : u.meta) {
+    const flavor::Ingredient* ing = u.registry->Find(m.id);
+    if (ing->kind != flavor::IngredientKind::kBasic) continue;
+    if (ing->profile.empty()) {
+      ++profile_less;
+      continue;
+    }
+    EXPECT_GE(ing->profile.size(), spec.profile_size_min);
+    EXPECT_LE(ing->profile.size(), spec.profile_size_max);
+  }
+  // "For the last four additives, no flavor profile was added."
+  EXPECT_EQ(profile_less, spec.num_additives_without_profile);
+}
+
+TEST_F(RegistryGenTest, CompoundsPoolConstituents) {
+  const FlavorUniverse& u = Universe();
+  size_t compounds = 0;
+  for (flavor::IngredientId id : u.registry->LiveIngredients()) {
+    const flavor::Ingredient* ing = u.registry->Find(id);
+    if (ing->kind != flavor::IngredientKind::kCompound) continue;
+    ++compounds;
+    flavor::FlavorProfile pooled;
+    for (flavor::IngredientId cid : ing->constituents) {
+      const flavor::Ingredient* c = u.registry->Find(cid);
+      ASSERT_NE(c, nullptr);
+      pooled = pooled.Union(c->profile);
+    }
+    EXPECT_EQ(ing->profile, pooled);
+  }
+  EXPECT_EQ(compounds, WorldSpec::Small().num_compound_ingredients);
+}
+
+TEST_F(RegistryGenTest, HomePoolsSpanTheUniverse) {
+  const FlavorUniverse& u = Universe();
+  std::set<int> pools;
+  for (const IngredientMeta& m : u.meta) {
+    if (m.home_pool >= 0) pools.insert(m.home_pool);
+    EXPECT_LT(m.home_pool, static_cast<int>(u.num_pools));
+  }
+  // Every pool should be some ingredient's home in a universe this size.
+  EXPECT_EQ(pools.size(), u.num_pools);
+}
+
+TEST_F(RegistryGenTest, DeterministicForSeed) {
+  auto a = GenerateFlavorUniverse(WorldSpec::Small());
+  auto b = GenerateFlavorUniverse(WorldSpec::Small());
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->registry->num_live_ingredients(),
+            b->registry->num_live_ingredients());
+  auto live_a = a->registry->LiveIngredients();
+  auto live_b = b->registry->LiveIngredients();
+  ASSERT_EQ(live_a.size(), live_b.size());
+  for (size_t i = 0; i < live_a.size(); ++i) {
+    EXPECT_EQ(a->registry->Find(live_a[i])->name,
+              b->registry->Find(live_b[i])->name);
+    EXPECT_EQ(a->registry->Find(live_a[i])->profile,
+              b->registry->Find(live_b[i])->profile);
+  }
+}
+
+TEST_F(RegistryGenTest, SeedChangesUniverse) {
+  WorldSpec other = WorldSpec::Small();
+  other.seed ^= 0xDEADBEEF;
+  auto a = GenerateFlavorUniverse(WorldSpec::Small());
+  auto b = GenerateFlavorUniverse(other);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  // Same counts, different content (synthetic names differ).
+  EXPECT_EQ(a->registry->num_live_ingredients(),
+            b->registry->num_live_ingredients());
+  bool any_diff = false;
+  auto live = a->registry->LiveIngredients();
+  for (flavor::IngredientId id : live) {
+    if (a->registry->Find(id)->name != b->registry->Find(id)->name) {
+      any_diff = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST_F(RegistryGenTest, InvalidSpecRejected) {
+  WorldSpec spec = WorldSpec::Small();
+  spec.num_flavor_pools = 1;
+  EXPECT_TRUE(GenerateFlavorUniverse(spec).status().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace culinary::datagen

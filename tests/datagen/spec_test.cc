@@ -1,0 +1,141 @@
+#include "datagen/spec.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace culinary::datagen {
+namespace {
+
+using recipe::Region;
+
+TEST(WorldSpecTest, DefaultMatchesTable1) {
+  WorldSpec spec = WorldSpec::Default();
+  ASSERT_EQ(spec.regions.size(), 22u);
+
+  size_t total_recipes = 0;
+  for (const RegionSpec& rs : spec.regions) {
+    total_recipes += rs.num_recipes;
+    EXPECT_GT(rs.num_ingredients, 0u);
+  }
+  // Paper: 45,772 = 45,565 across the 22 regions + 207 small-region recipes.
+  EXPECT_EQ(total_recipes, 45565u);
+
+  auto find = [&](Region r) -> const RegionSpec& {
+    for (const RegionSpec& rs : spec.regions) {
+      if (rs.region == r) return rs;
+    }
+    static RegionSpec none;
+    return none;
+  };
+  EXPECT_EQ(find(Region::kKorea).num_recipes, 301u);
+  EXPECT_EQ(find(Region::kKorea).num_ingredients, 198u);
+  EXPECT_EQ(find(Region::kUsa).num_recipes, 16118u);
+  EXPECT_EQ(find(Region::kUsa).num_ingredients, 612u);
+  EXPECT_EQ(find(Region::kItaly).num_recipes, 7504u);
+}
+
+TEST(WorldSpecTest, PairingBiasSignsMatchFig4) {
+  WorldSpec spec = WorldSpec::Default();
+  const Region negative[] = {Region::kScandinavia, Region::kJapan,
+                             Region::kDach,        Region::kBritishIsles,
+                             Region::kKorea,       Region::kEasternEurope};
+  int neg_count = 0;
+  for (const RegionSpec& rs : spec.regions) {
+    bool should_be_negative = false;
+    for (Region r : negative) {
+      if (rs.region == r) should_be_negative = true;
+    }
+    if (should_be_negative) {
+      EXPECT_LT(rs.pairing_bias, 0.0)
+          << recipe::RegionCode(rs.region) << " should be contrasting";
+      ++neg_count;
+    } else {
+      EXPECT_GT(rs.pairing_bias, 0.0)
+          << recipe::RegionCode(rs.region) << " should be uniform";
+    }
+  }
+  EXPECT_EQ(neg_count, 6);
+}
+
+TEST(WorldSpecTest, BiasMagnitudeOrderingWithinSigns) {
+  WorldSpec spec = WorldSpec::Default();
+  auto bias = [&](Region r) {
+    for (const RegionSpec& rs : spec.regions) {
+      if (rs.region == r) return rs.pairing_bias;
+    }
+    return 0.0;
+  };
+  // Paper lists Italy first among uniform and Scandinavia first among
+  // contrasting (strongest deviations).
+  EXPECT_GT(bias(Region::kItaly), bias(Region::kCanada));
+  EXPECT_LT(bias(Region::kScandinavia), bias(Region::kEasternEurope));
+}
+
+TEST(WorldSpecTest, CategoryPreferencesEncodeFig2Claims) {
+  WorldSpec spec = WorldSpec::Default();
+  auto pref = [&](Region r, flavor::Category c) {
+    for (const RegionSpec& rs : spec.regions) {
+      if (rs.region == r) {
+        return rs.category_preference[static_cast<size_t>(c)];
+      }
+    }
+    return 0.0;
+  };
+  // Dairy-prominent regions boost dairy above vegetables.
+  for (Region r : {Region::kFrance, Region::kBritishIsles,
+                   Region::kScandinavia}) {
+    EXPECT_GT(pref(r, flavor::Category::kDairy),
+              pref(r, flavor::Category::kVegetable));
+  }
+  // Spice-predominant regions boost spice strongly.
+  EXPECT_GT(pref(Region::kIndianSubcontinent, flavor::Category::kSpice),
+            pref(Region::kCanada, flavor::Category::kSpice));
+}
+
+TEST(WorldSpecTest, RecipeSizeParametersTargetMeanNine) {
+  WorldSpec spec = WorldSpec::Default();
+  // E[round(LogNormal)] ≈ exp(mu + sigma^2/2).
+  double implied_mean = std::exp(spec.recipe_size_log_mean +
+                                 spec.recipe_size_log_sigma *
+                                     spec.recipe_size_log_sigma / 2.0);
+  EXPECT_NEAR(implied_mean, 9.0, 0.5);
+  EXPECT_GE(spec.recipe_size_min, 2u);
+  EXPECT_LE(spec.recipe_size_max, 40u);
+}
+
+TEST(WorldSpecTest, SmallWorldShrinksButKeepsStructure) {
+  WorldSpec small = WorldSpec::Small();
+  WorldSpec full = WorldSpec::Default();
+  EXPECT_EQ(small.regions.size(), full.regions.size());
+  size_t small_total = 0, full_total = 0;
+  for (const RegionSpec& rs : small.regions) small_total += rs.num_recipes;
+  for (const RegionSpec& rs : full.regions) full_total += rs.num_recipes;
+  EXPECT_LT(small_total, full_total / 10);
+  EXPECT_LT(small.num_raw_flavordb_ingredients,
+            full.num_raw_flavordb_ingredients);
+  // Signs preserved.
+  for (size_t i = 0; i < small.regions.size(); ++i) {
+    EXPECT_EQ(small.regions[i].pairing_bias > 0,
+              full.regions[i].pairing_bias > 0);
+  }
+}
+
+TEST(WorldSpecTest, CurationCountsMatchPaper) {
+  WorldSpec spec = WorldSpec::Default();
+  // §III.B: 29 noisy removed; 13 specific + 4 Ahn + 7 additives added;
+  // 840 basic + 103 compound ingredients.
+  EXPECT_EQ(spec.num_noisy_removed, 29u);
+  EXPECT_EQ(spec.num_specific_added, 13u);
+  EXPECT_EQ(spec.num_ahn_added, 4u);
+  EXPECT_EQ(spec.num_additives_added, 7u);
+  EXPECT_EQ(spec.num_additives_without_profile, 4u);
+  EXPECT_EQ(spec.num_compound_ingredients, 103u);
+  EXPECT_EQ(spec.num_raw_flavordb_ingredients -
+                spec.num_noisy_removed + spec.num_specific_added +
+                spec.num_ahn_added + spec.num_additives_added,
+            840u);
+}
+
+}  // namespace
+}  // namespace culinary::datagen

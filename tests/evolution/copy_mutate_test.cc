@@ -1,0 +1,183 @@
+#include "evolution/copy_mutate.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "analysis/composition.h"
+#include "analysis/null_models.h"
+#include "analysis/pairing.h"
+#include "datagen/world.h"
+
+namespace culinary::evolution {
+namespace {
+
+using recipe::Region;
+
+/// Shared small universe; evolution only needs the registry + a pool.
+const datagen::SyntheticWorld& World() {
+  static const datagen::SyntheticWorld& world = *[] {
+    auto result = datagen::GenerateSmallWorld();
+    EXPECT_TRUE(result.ok());
+    return new datagen::SyntheticWorld(std::move(result).value());
+  }();
+  return world;
+}
+
+std::vector<flavor::IngredientId> Pool(size_t n) {
+  auto live = World().registry().LiveIngredients();
+  live.resize(std::min(n, live.size()));
+  return live;
+}
+
+TEST(EvolveTest, ValidationErrors) {
+  EvolutionConfig config;
+  config.recipe_size = 1;
+  EXPECT_TRUE(Evolve(World().registry(), Pool(50), config, Region::kItaly)
+                  .status()
+                  .IsInvalidArgument());
+
+  config = EvolutionConfig{};
+  config.recipe_size = 8;
+  EXPECT_TRUE(Evolve(World().registry(), Pool(8), config, Region::kItaly)
+                  .status()
+                  .IsInvalidArgument());
+
+  config = EvolutionConfig{};
+  config.initial_recipes = 10;
+  config.target_recipes = 5;
+  EXPECT_TRUE(Evolve(World().registry(), Pool(50), config, Region::kItaly)
+                  .status()
+                  .IsInvalidArgument());
+
+  config = EvolutionConfig{};
+  std::vector<flavor::IngredientId> bad_pool = Pool(50);
+  bad_pool.push_back(99999);
+  EXPECT_TRUE(Evolve(World().registry(), bad_pool, config, Region::kItaly)
+                  .status()
+                  .IsNotFound());
+}
+
+TEST(EvolveTest, ReachesTargetWithValidRecipes) {
+  EvolutionConfig config;
+  config.target_recipes = 120;
+  config.recipe_size = 6;
+  auto result = Evolve(World().registry(), Pool(60), config, Region::kItaly);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->recipes.size(), 120u);
+  EXPECT_EQ(result->fitness.size(), 60u);
+  EXPECT_GT(result->copies, 0u);
+  for (const recipe::Recipe& r : result->recipes) {
+    EXPECT_GE(r.size(), 2u);
+    EXPECT_LE(r.size(), 6u);
+    EXPECT_EQ(r.region, Region::kItaly);
+    // Ingredient ids come from the pool.
+    std::set<flavor::IngredientId> pool_set;
+    for (flavor::IngredientId id : Pool(60)) pool_set.insert(id);
+    for (flavor::IngredientId id : r.ingredients) {
+      EXPECT_TRUE(pool_set.count(id) > 0);
+    }
+  }
+}
+
+TEST(EvolveTest, DeterministicForSeed) {
+  EvolutionConfig config;
+  config.target_recipes = 60;
+  auto a = Evolve(World().registry(), Pool(60), config, Region::kItaly);
+  auto b = Evolve(World().registry(), Pool(60), config, Region::kItaly);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a->recipes.size(), b->recipes.size());
+  for (size_t i = 0; i < a->recipes.size(); ++i) {
+    EXPECT_EQ(a->recipes[i].ingredients, b->recipes[i].ingredients);
+  }
+  EXPECT_EQ(a->accepted_mutations, b->accepted_mutations);
+}
+
+TEST(EvolveTest, SeedChangesTrajectory) {
+  EvolutionConfig a_config, b_config;
+  a_config.target_recipes = b_config.target_recipes = 60;
+  b_config.seed = a_config.seed + 1;
+  auto a = Evolve(World().registry(), Pool(60), a_config, Region::kItaly);
+  auto b = Evolve(World().registry(), Pool(60), b_config, Region::kItaly);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  bool any_diff = false;
+  for (size_t i = 0; i < a->recipes.size() && !any_diff; ++i) {
+    any_diff = a->recipes[i].ingredients != b->recipes[i].ingredients;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(EvolveTest, SelectionRaisesMeanFitness) {
+  // Evolved cuisines should over-use high-fitness ingredients relative to
+  // the uniform founders — the model's defining emergent property.
+  EvolutionConfig config;
+  config.target_recipes = 400;
+  config.mutations_per_copy = 3;
+  auto result = Evolve(World().registry(), Pool(80), config, Region::kItaly);
+  ASSERT_TRUE(result.ok());
+
+  auto pool = Pool(80);
+  std::unordered_map<flavor::IngredientId, size_t> dense;
+  for (size_t i = 0; i < pool.size(); ++i) dense[pool[i]] = i;
+
+  double used_fitness = 0.0;
+  size_t uses = 0;
+  // Use the late (evolved) half only.
+  for (size_t g = result->recipes.size() / 2; g < result->recipes.size(); ++g) {
+    for (flavor::IngredientId id : result->recipes[g].ingredients) {
+      used_fitness += result->fitness[dense[id]];
+      ++uses;
+    }
+  }
+  double pool_mean = 0.0;
+  for (double f : result->fitness) pool_mean += f;
+  pool_mean /= static_cast<double>(result->fitness.size());
+  EXPECT_GT(used_fitness / static_cast<double>(uses), pool_mean + 0.1);
+}
+
+TEST(EvolveTest, PopularityBecomesHeavyTailed) {
+  // Fig 3b shape: copy dynamics concentrate usage on a few ingredients.
+  EvolutionConfig config;
+  config.target_recipes = 400;
+  auto cuisine =
+      EvolveCuisine(World().registry(), Pool(80), config, Region::kItaly);
+  ASSERT_TRUE(cuisine.ok());
+  auto pop = analysis::NormalizedPopularity(*cuisine);
+  ASSERT_GE(pop.size(), 20u);
+  // Top ingredient dominates the rank-20 ingredient.
+  EXPECT_LT(pop[19], 0.6);
+}
+
+TEST(EvolveTest, FlavorBiasControlsPairingSign) {
+  // The paper's conclusion claim: the copy-mutate model explains both
+  // uniform and contrasting regimes. Positive flavor bias ⇒ positive Z
+  // versus the Random Cuisine; negative bias ⇒ negative Z.
+  auto pool = Pool(80);
+  analysis::NullModelOptions options;
+  options.num_recipes = 4000;
+
+  auto z_for = [&](double bias) {
+    EvolutionConfig config;
+    config.target_recipes = 300;
+    config.mutations_per_copy = 4;
+    config.flavor_bias = bias;
+    auto cuisine =
+        EvolveCuisine(World().registry(), pool, config, Region::kItaly);
+    EXPECT_TRUE(cuisine.ok());
+    analysis::PairingCache cache(World().registry(),
+                                 cuisine->unique_ingredients());
+    auto cmp = analysis::CompareAgainstNullModel(
+        cache, *cuisine, World().registry(),
+        analysis::NullModelKind::kRandom, options);
+    EXPECT_TRUE(cmp.ok());
+    return cmp.ok() ? cmp->z_score : 0.0;
+  };
+
+  EXPECT_GT(z_for(8.0), 2.0);
+  EXPECT_LT(z_for(-8.0), -2.0);
+}
+
+}  // namespace
+}  // namespace culinary::evolution

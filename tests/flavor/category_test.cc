@@ -1,0 +1,65 @@
+#include "flavor/category.h"
+
+#include <set>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace culinary::flavor {
+namespace {
+
+TEST(CategoryTest, TwentyOneCategories) {
+  EXPECT_EQ(kNumCategories, 21);
+}
+
+TEST(CategoryTest, NamesAreUniqueAndNonEmpty) {
+  std::set<std::string> names;
+  for (int i = 0; i < kNumCategories; ++i) {
+    std::string name(CategoryToString(static_cast<Category>(i)));
+    EXPECT_FALSE(name.empty());
+    EXPECT_TRUE(names.insert(name).second) << "duplicate: " << name;
+  }
+}
+
+TEST(CategoryTest, KnownNames) {
+  EXPECT_EQ(CategoryToString(Category::kVegetable), "Vegetable");
+  EXPECT_EQ(CategoryToString(Category::kNutsAndSeeds), "Nuts and Seeds");
+  EXPECT_EQ(CategoryToString(Category::kBeverageAlcoholic),
+            "Beverage Alcoholic");
+  EXPECT_EQ(CategoryToString(Category::kDish), "Dish");
+}
+
+TEST(CategoryTest, RoundTripAllCategories) {
+  for (int i = 0; i < kNumCategories; ++i) {
+    auto c = static_cast<Category>(i);
+    auto parsed = CategoryFromString(CategoryToString(c));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, c);
+  }
+}
+
+TEST(CategoryTest, ParseIsCaseInsensitive) {
+  EXPECT_EQ(CategoryFromString("vegetable"), Category::kVegetable);
+  EXPECT_EQ(CategoryFromString("SPICE"), Category::kSpice);
+}
+
+TEST(CategoryTest, UnknownNameIsNullopt) {
+  EXPECT_FALSE(CategoryFromString("Protein").has_value());
+  EXPECT_FALSE(CategoryFromString("").has_value());
+}
+
+TEST(CategoryTest, OutOfRangeToStringIsUnknown) {
+  EXPECT_EQ(CategoryToString(static_cast<Category>(99)), "Unknown");
+  EXPECT_EQ(CategoryToString(static_cast<Category>(-1)), "Unknown");
+}
+
+TEST(CategoryTest, AllCategoriesCoversEnum) {
+  std::set<int> seen;
+  for (int i = 0; i < kNumCategories; ++i) {
+    seen.insert(static_cast<int>(AllCategories()[i]));
+  }
+  EXPECT_EQ(seen.size(), static_cast<size_t>(kNumCategories));
+}
+
+}  // namespace
+}  // namespace culinary::flavor

@@ -1,0 +1,99 @@
+#include "flavor/profile.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace culinary::flavor {
+namespace {
+
+TEST(FlavorProfileTest, ConstructorSortsAndDeduplicates) {
+  FlavorProfile p({5, 1, 3, 1, 5});
+  EXPECT_EQ(p.size(), 3u);
+  EXPECT_EQ(p.ids(), (std::vector<MoleculeId>{1, 3, 5}));
+}
+
+TEST(FlavorProfileTest, EmptyProfile) {
+  FlavorProfile p;
+  EXPECT_TRUE(p.empty());
+  EXPECT_EQ(p.size(), 0u);
+  EXPECT_FALSE(p.Contains(1));
+  EXPECT_EQ(p.SharedCompounds(p), 0u);
+  EXPECT_EQ(p.Jaccard(p), 0.0);
+}
+
+TEST(FlavorProfileTest, ContainsUsesBinarySearch) {
+  FlavorProfile p({2, 4, 6});
+  EXPECT_TRUE(p.Contains(4));
+  EXPECT_FALSE(p.Contains(3));
+  EXPECT_FALSE(p.Contains(7));
+}
+
+TEST(FlavorProfileTest, InsertKeepsOrderAndUnique) {
+  FlavorProfile p({3, 1});
+  p.Insert(2);
+  EXPECT_EQ(p.ids(), (std::vector<MoleculeId>{1, 2, 3}));
+  p.Insert(2);  // duplicate no-op
+  EXPECT_EQ(p.size(), 3u);
+  p.Insert(0);
+  p.Insert(9);
+  EXPECT_EQ(p.ids(), (std::vector<MoleculeId>{0, 1, 2, 3, 9}));
+}
+
+TEST(FlavorProfileTest, SharedCompoundsCountsIntersection) {
+  FlavorProfile a({1, 2, 3, 4});
+  FlavorProfile b({3, 4, 5});
+  EXPECT_EQ(a.SharedCompounds(b), 2u);
+  EXPECT_EQ(b.SharedCompounds(a), 2u);  // symmetric
+  FlavorProfile disjoint({10, 11});
+  EXPECT_EQ(a.SharedCompounds(disjoint), 0u);
+  EXPECT_EQ(a.SharedCompounds(a), 4u);
+}
+
+TEST(FlavorProfileTest, UnionPoolsUniqueMolecules) {
+  // The paper's compound-ingredient rule: pooled unique molecules.
+  FlavorProfile a({1, 2, 3});
+  FlavorProfile b({3, 4});
+  FlavorProfile u = a.Union(b);
+  EXPECT_EQ(u.ids(), (std::vector<MoleculeId>{1, 2, 3, 4}));
+}
+
+TEST(FlavorProfileTest, IntersectionProducesCommonSubset) {
+  FlavorProfile a({1, 2, 3});
+  FlavorProfile b({2, 3, 4});
+  EXPECT_EQ(a.Intersection(b).ids(), (std::vector<MoleculeId>{2, 3}));
+  EXPECT_TRUE(a.Intersection(FlavorProfile()).empty());
+}
+
+TEST(FlavorProfileTest, JaccardBounds) {
+  FlavorProfile a({1, 2});
+  FlavorProfile b({1, 2});
+  EXPECT_EQ(a.Jaccard(b), 1.0);
+  FlavorProfile c({3, 4});
+  EXPECT_EQ(a.Jaccard(c), 0.0);
+  FlavorProfile d({2, 3});
+  EXPECT_NEAR(a.Jaccard(d), 1.0 / 3.0, 1e-12);
+}
+
+TEST(FlavorProfileTest, Equality) {
+  EXPECT_EQ(FlavorProfile({1, 2}), FlavorProfile({2, 1}));
+  EXPECT_FALSE(FlavorProfile({1}) == FlavorProfile({2}));
+}
+
+/// Property: |A∩B| + |A∪B| == |A| + |B| over random profiles.
+TEST(FlavorProfileTest, InclusionExclusionProperty) {
+  culinary::Rng rng(99);
+  for (int trial = 0; trial < 100; ++trial) {
+    std::vector<MoleculeId> xs, ys;
+    for (int i = 0; i < 30; ++i) {
+      if (rng.NextBernoulli(0.5)) xs.push_back(static_cast<MoleculeId>(i));
+      if (rng.NextBernoulli(0.5)) ys.push_back(static_cast<MoleculeId>(i));
+    }
+    FlavorProfile a(xs), b(ys);
+    EXPECT_EQ(a.SharedCompounds(b) + a.Union(b).size(), a.size() + b.size());
+    EXPECT_EQ(a.Intersection(b).size(), a.SharedCompounds(b));
+  }
+}
+
+}  // namespace
+}  // namespace culinary::flavor

@@ -1,0 +1,205 @@
+#include "flavor/registry_io.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "datagen/registry_gen.h"
+#include "datagen/spec.h"
+
+namespace culinary::flavor {
+namespace {
+
+std::string TempPrefix(const char* tag) {
+  return ::testing::TempDir() + "/culinary_regio_" + tag;
+}
+
+void Cleanup(const std::string& prefix) {
+  std::remove((prefix + "_molecules.csv").c_str());
+  std::remove((prefix + "_entities.csv").c_str());
+}
+
+FlavorRegistry MakeHandBuilt() {
+  FlavorRegistry reg;
+  MoleculeId m1 = reg.AddMolecule("linalool", {"floral", "citrus"}).value();
+  MoleculeId m2 = reg.AddMolecule("vanillin").value();
+  MoleculeId m3 = reg.AddMolecule("sotolon, the \"curry\" one").value();
+  IngredientId tomato =
+      reg.AddIngredient("tomato", Category::kVegetable, FlavorProfile({m1, m2}))
+          .value();
+  reg.AddSynonym(tomato, "love apple").ToString();
+  IngredientId basil =
+      reg.AddIngredient("basil", Category::kHerb, FlavorProfile({m2, m3}))
+          .value();
+  reg.AddCompoundIngredient("pesto base", Category::kDish, {tomato, basil})
+      .status();
+  IngredientId doomed =
+      reg.AddIngredient("noisy entity", Category::kPlant, FlavorProfile({m1}))
+          .value();
+  reg.RemoveIngredient(doomed).ToString();
+  reg.AddIngredient("profile less additive", Category::kAdditive,
+                    FlavorProfile())
+      .status();
+  return reg;
+}
+
+void ExpectEqualRegistries(const FlavorRegistry& a, const FlavorRegistry& b) {
+  ASSERT_EQ(a.num_molecules(), b.num_molecules());
+  for (size_t m = 0; m < a.num_molecules(); ++m) {
+    auto ma = a.GetMolecule(static_cast<MoleculeId>(m));
+    auto mb = b.GetMolecule(static_cast<MoleculeId>(m));
+    ASSERT_TRUE(ma.ok());
+    ASSERT_TRUE(mb.ok());
+    EXPECT_EQ(ma->name, mb->name);
+    EXPECT_EQ(ma->descriptors, mb->descriptors);
+  }
+  ASSERT_EQ(a.num_ingredient_slots(), b.num_ingredient_slots());
+  EXPECT_EQ(a.num_live_ingredients(), b.num_live_ingredients());
+  for (size_t i = 0; i < a.num_ingredient_slots(); ++i) {
+    auto ia = a.GetIngredient(static_cast<IngredientId>(i), true);
+    auto ib = b.GetIngredient(static_cast<IngredientId>(i), true);
+    ASSERT_TRUE(ia.ok());
+    ASSERT_TRUE(ib.ok());
+    EXPECT_EQ(ia->name, ib->name);
+    EXPECT_EQ(ia->category, ib->category);
+    EXPECT_EQ(ia->kind, ib->kind);
+    EXPECT_EQ(ia->removed, ib->removed);
+    EXPECT_EQ(ia->synonyms, ib->synonyms);
+    EXPECT_EQ(ia->profile, ib->profile);
+    EXPECT_EQ(ia->constituents, ib->constituents);
+  }
+}
+
+TEST(RegistryIoTest, HandBuiltRoundTrip) {
+  FlavorRegistry reg = MakeHandBuilt();
+  std::string prefix = TempPrefix("hand");
+  ASSERT_TRUE(SaveRegistryCsv(reg, prefix).ok());
+  auto loaded = LoadRegistryCsv(prefix);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ExpectEqualRegistries(reg, *loaded);
+  // Lookup behaviour preserved.
+  EXPECT_EQ(loaded->FindByName("love apple"), reg.FindByName("love apple"));
+  EXPECT_EQ(loaded->FindByName("noisy entity"), kInvalidIngredient);
+  Cleanup(prefix);
+}
+
+TEST(RegistryIoTest, GeneratedUniverseRoundTrip) {
+  auto universe = datagen::GenerateFlavorUniverse(datagen::WorldSpec::Small());
+  ASSERT_TRUE(universe.ok());
+  std::string prefix = TempPrefix("gen");
+  ASSERT_TRUE(SaveRegistryCsv(*universe->registry, prefix).ok());
+  auto loaded = LoadRegistryCsv(prefix);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ExpectEqualRegistries(*universe->registry, *loaded);
+  // Pairing-relevant behaviour: shared compounds preserved for a sample.
+  auto live = universe->registry->LiveIngredients();
+  for (size_t i = 0; i + 7 < live.size(); i += 7) {
+    EXPECT_EQ(universe->registry->SharedCompounds(live[i], live[i + 7]),
+              loaded->SharedCompounds(live[i], live[i + 7]));
+  }
+  Cleanup(prefix);
+}
+
+TEST(RegistryIoTest, MissingFilesAreIOError) {
+  auto loaded = LoadRegistryCsv("/no/such/prefix");
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_TRUE(loaded.status().IsIOError());
+}
+
+TEST(RegistryIoTest, DanglingMoleculeIdRejected) {
+  std::string prefix = TempPrefix("dangling");
+  {
+    std::ofstream mols(prefix + "_molecules.csv");
+    mols << "id,name,descriptors\n0,linalool,\n";
+    std::ofstream ents(prefix + "_entities.csv");
+    ents << "id,name,category,kind,removed,synonyms,profile,constituents\n"
+         << "0,tomato,Vegetable,basic,0,,5,\n";  // molecule 5 missing
+  }
+  auto loaded = LoadRegistryCsv(prefix);
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_TRUE(loaded.status().IsParseError());
+  Cleanup(prefix);
+}
+
+TEST(RegistryIoTest, BadKindRejected) {
+  std::string prefix = TempPrefix("badkind");
+  {
+    std::ofstream mols(prefix + "_molecules.csv");
+    mols << "id,name,descriptors\n0,linalool,\n";
+    std::ofstream ents(prefix + "_entities.csv");
+    ents << "id,name,category,kind,removed,synonyms,profile,constituents\n"
+         << "0,tomato,Vegetable,quantum,0,,0,\n";
+  }
+  EXPECT_TRUE(LoadRegistryCsv(prefix).status().IsParseError());
+  Cleanup(prefix);
+}
+
+TEST(RegistryIoTest, BadCategoryRejected) {
+  std::string prefix = TempPrefix("badcat");
+  {
+    std::ofstream mols(prefix + "_molecules.csv");
+    mols << "id,name,descriptors\n0,linalool,\n";
+    std::ofstream ents(prefix + "_entities.csv");
+    ents << "id,name,category,kind,removed,synonyms,profile,constituents\n"
+         << "0,tomato,Protein,basic,0,,0,\n";
+  }
+  EXPECT_TRUE(LoadRegistryCsv(prefix).status().IsParseError());
+  Cleanup(prefix);
+}
+
+TEST(RegistryIoTest, NonContiguousIdsRejected) {
+  std::string prefix = TempPrefix("gap");
+  {
+    std::ofstream mols(prefix + "_molecules.csv");
+    mols << "id,name,descriptors\n0,linalool,\n";
+    std::ofstream ents(prefix + "_entities.csv");
+    ents << "id,name,category,kind,removed,synonyms,profile,constituents\n"
+         << "1,tomato,Vegetable,basic,0,,0,\n";  // id 0 missing
+  }
+  EXPECT_TRUE(LoadRegistryCsv(prefix).status().IsInvalidArgument());
+  Cleanup(prefix);
+}
+
+TEST(RegistryIoTest, ForwardConstituentRejected) {
+  std::string prefix = TempPrefix("fwd");
+  {
+    std::ofstream mols(prefix + "_molecules.csv");
+    mols << "id,name,descriptors\n0,linalool,\n";
+    std::ofstream ents(prefix + "_entities.csv");
+    ents << "id,name,category,kind,removed,synonyms,profile,constituents\n"
+         << "0,mix,Dish,compound,0,,0,1\n"  // constituent 1 not yet defined
+         << "1,tomato,Vegetable,basic,0,,0,\n";
+  }
+  EXPECT_TRUE(LoadRegistryCsv(prefix).status().IsParseError());
+  Cleanup(prefix);
+}
+
+TEST(RestoreIngredientTest, OutOfOrderIdRejected) {
+  FlavorRegistry reg;
+  Ingredient ing;
+  ing.id = 5;
+  ing.name = "x";
+  EXPECT_TRUE(reg.RestoreIngredient(ing).IsInvalidArgument());
+}
+
+TEST(RestoreIngredientTest, RemovedSlotDoesNotResolve) {
+  FlavorRegistry reg;
+  Ingredient ghost;
+  ghost.id = 0;
+  ghost.name = "ghost";
+  ghost.removed = true;
+  ASSERT_TRUE(reg.RestoreIngredient(ghost).ok());
+  EXPECT_EQ(reg.FindByName("ghost"), kInvalidIngredient);
+  EXPECT_EQ(reg.num_live_ingredients(), 0u);
+  EXPECT_EQ(reg.num_ingredient_slots(), 1u);
+  // The name is free for a live entity.
+  Ingredient live;
+  live.id = 1;
+  live.name = "ghost";
+  ASSERT_TRUE(reg.RestoreIngredient(live).ok());
+  EXPECT_EQ(reg.FindByName("ghost"), 1);
+}
+
+}  // namespace
+}  // namespace culinary::flavor

@@ -1,0 +1,147 @@
+#include "network/graph.h"
+
+#include <gtest/gtest.h>
+
+namespace culinary::network {
+namespace {
+
+TEST(GraphTest, EmptyGraph) {
+  Graph g(0);
+  EXPECT_EQ(g.num_nodes(), 0u);
+  EXPECT_EQ(g.num_edges(), 0u);
+  EXPECT_EQ(g.NumComponents(), 0u);
+  EXPECT_EQ(g.AverageClustering(), 0.0);
+}
+
+TEST(GraphTest, AddEdgeValidation) {
+  Graph g(3);
+  EXPECT_TRUE(g.AddEdge(0, 1, 2.0));
+  EXPECT_FALSE(g.AddEdge(0, 1, 1.0));  // duplicate
+  EXPECT_FALSE(g.AddEdge(1, 0, 1.0));  // duplicate (reversed)
+  EXPECT_FALSE(g.AddEdge(0, 0, 1.0));  // self-loop
+  EXPECT_FALSE(g.AddEdge(0, 9, 1.0));  // out of range
+  EXPECT_FALSE(g.AddEdge(0, 2, 0.0));  // non-positive weight
+  EXPECT_FALSE(g.AddEdge(0, 2, -1.0));
+  EXPECT_EQ(g.num_edges(), 1u);
+}
+
+TEST(GraphTest, EdgeLookupSymmetric) {
+  Graph g(3);
+  g.AddEdge(0, 2, 3.5);
+  EXPECT_TRUE(g.HasEdge(0, 2));
+  EXPECT_TRUE(g.HasEdge(2, 0));
+  EXPECT_FALSE(g.HasEdge(0, 1));
+  EXPECT_EQ(g.EdgeWeight(0, 2), 3.5);
+  EXPECT_EQ(g.EdgeWeight(2, 0), 3.5);
+  EXPECT_EQ(g.EdgeWeight(0, 1), 0.0);
+}
+
+TEST(GraphTest, DegreeAndStrength) {
+  Graph g(4);
+  g.AddEdge(0, 1, 1.0);
+  g.AddEdge(0, 2, 2.0);
+  g.AddEdge(0, 3, 3.0);
+  EXPECT_EQ(g.Degree(0), 3u);
+  EXPECT_EQ(g.Degree(1), 1u);
+  EXPECT_EQ(g.Strength(0), 6.0);
+  EXPECT_EQ(g.Strength(3), 3.0);
+}
+
+TEST(GraphTest, NeighborsSortedByNode) {
+  Graph g(4);
+  g.AddEdge(2, 3, 1.0);
+  g.AddEdge(2, 0, 1.0);
+  g.AddEdge(2, 1, 1.0);
+  const auto& nbrs = g.Neighbors(2);
+  ASSERT_EQ(nbrs.size(), 3u);
+  EXPECT_EQ(nbrs[0].node, 0u);
+  EXPECT_EQ(nbrs[1].node, 1u);
+  EXPECT_EQ(nbrs[2].node, 3u);
+}
+
+TEST(GraphTest, ClusteringTriangle) {
+  Graph g(3);
+  g.AddEdge(0, 1, 1.0);
+  g.AddEdge(1, 2, 1.0);
+  g.AddEdge(0, 2, 1.0);
+  EXPECT_EQ(g.ClusteringCoefficient(0), 1.0);
+  EXPECT_EQ(g.AverageClustering(), 1.0);
+}
+
+TEST(GraphTest, ClusteringPath) {
+  Graph g(3);
+  g.AddEdge(0, 1, 1.0);
+  g.AddEdge(1, 2, 1.0);
+  EXPECT_EQ(g.ClusteringCoefficient(1), 0.0);
+  EXPECT_EQ(g.ClusteringCoefficient(0), 0.0);  // degree 1
+}
+
+TEST(GraphTest, ConnectedComponents) {
+  Graph g(5);
+  g.AddEdge(0, 1, 1.0);
+  g.AddEdge(3, 4, 1.0);
+  auto labels = g.ConnectedComponents();
+  EXPECT_EQ(labels[0], labels[1]);
+  EXPECT_EQ(labels[3], labels[4]);
+  EXPECT_NE(labels[0], labels[2]);
+  EXPECT_NE(labels[0], labels[3]);
+  EXPECT_EQ(g.NumComponents(), 3u);
+}
+
+TEST(GraphTest, DegreeHistogram) {
+  Graph g(4);
+  g.AddEdge(0, 1, 1.0);
+  g.AddEdge(0, 2, 1.0);
+  auto hist = g.DegreeHistogram();
+  ASSERT_EQ(hist.size(), 3u);  // degrees 0..2
+  EXPECT_EQ(hist[0], 1u);      // node 3
+  EXPECT_EQ(hist[1], 2u);      // nodes 1, 2
+  EXPECT_EQ(hist[2], 1u);      // node 0
+}
+
+TEST(GraphTest, BfsDistances) {
+  // Path: 0-1-2-3, isolated 4.
+  Graph g(5);
+  g.AddEdge(0, 1, 1.0);
+  g.AddEdge(1, 2, 1.0);
+  g.AddEdge(2, 3, 1.0);
+  auto dist = g.BfsDistances(0);
+  EXPECT_EQ(dist[0], 0u);
+  EXPECT_EQ(dist[1], 1u);
+  EXPECT_EQ(dist[2], 2u);
+  EXPECT_EQ(dist[3], 3u);
+  EXPECT_EQ(dist[4], static_cast<size_t>(-1));  // unreachable
+}
+
+TEST(GraphTest, BfsDistancesInvalidSource) {
+  Graph g(2);
+  auto dist = g.BfsDistances(9);
+  EXPECT_EQ(dist[0], static_cast<size_t>(-1));
+  EXPECT_EQ(dist[1], static_cast<size_t>(-1));
+}
+
+TEST(GraphTest, AveragePathLengthOnPath) {
+  // Path of 3 nodes: pairs (0,1)=1, (0,2)=2, (1,2)=1 each counted both
+  // directions → mean 4/3.
+  Graph g(3);
+  g.AddEdge(0, 1, 1.0);
+  g.AddEdge(1, 2, 1.0);
+  EXPECT_NEAR(g.EstimateAveragePathLength(3), 4.0 / 3.0, 1e-12);
+}
+
+TEST(GraphTest, AveragePathLengthCompleteGraphIsOne) {
+  Graph g(4);
+  for (uint32_t a = 0; a < 4; ++a) {
+    for (uint32_t b = a + 1; b < 4; ++b) g.AddEdge(a, b, 1.0);
+  }
+  EXPECT_DOUBLE_EQ(g.EstimateAveragePathLength(4), 1.0);
+}
+
+TEST(GraphTest, AveragePathLengthNoEdgesZero) {
+  Graph g(5);
+  EXPECT_EQ(g.EstimateAveragePathLength(), 0.0);
+  EXPECT_EQ(Graph(0).EstimateAveragePathLength(), 0.0);
+}
+
+}  // namespace
+}  // namespace culinary::network

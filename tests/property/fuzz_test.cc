@@ -1,0 +1,294 @@
+// Deterministic pseudo-random property tests ("fuzzing with a seed"):
+// invariants that must hold for arbitrary inputs, exercised over many
+// randomly generated cases. Failures print the case seed for replay.
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "analysis/pairing.h"
+#include "common/random.h"
+#include "common/string_util.h"
+#include "dataframe/csv.h"
+#include "dataframe/ops.h"
+#include "flavor/registry.h"
+#include "recipe/parser.h"
+#include "text/edit_distance.h"
+#include "text/inflect.h"
+#include "text/normalize.h"
+#include "text/tokenizer.h"
+
+namespace culinary {
+namespace {
+
+/// Random printable string including CSV-hostile characters.
+std::string RandomCsvString(Rng& rng, size_t max_len) {
+  static const char kAlphabet[] =
+      "abcXYZ019 ,\"\n\r;\t'!-_./\\()";
+  size_t len = rng.NextBounded(max_len + 1);
+  std::string out;
+  out.reserve(len);
+  for (size_t i = 0; i < len; ++i) {
+    out.push_back(kAlphabet[rng.NextBounded(sizeof(kAlphabet) - 1)]);
+  }
+  return out;
+}
+
+TEST(CsvFuzzTest, ArbitraryStringTablesRoundTrip) {
+  for (uint64_t seed = 1; seed <= 40; ++seed) {
+    Rng rng(seed);
+    df::Schema schema({{"a", df::DataType::kString},
+                       {"b", df::DataType::kString},
+                       {"c", df::DataType::kString}});
+    auto table = df::Table::Make(schema);
+    ASSERT_TRUE(table.ok());
+    size_t rows = 1 + rng.NextBounded(20);
+    for (size_t r = 0; r < rows; ++r) {
+      std::vector<df::Value> row;
+      for (int c = 0; c < 3; ++c) {
+        // Avoid values the reader would re-interpret: force non-empty,
+        // non-numeric content by prefixing a letter.
+        row.push_back(df::Value::Str("x" + RandomCsvString(rng, 24)));
+      }
+      ASSERT_TRUE(table->AppendRow(row).ok());
+    }
+    std::string csv = df::WriteCsvString(*table);
+    auto back = df::ReadCsvString(csv);
+    ASSERT_TRUE(back.ok()) << "seed " << seed << ": "
+                           << back.status().ToString();
+    ASSERT_EQ(back->num_rows(), table->num_rows()) << "seed " << seed;
+    for (size_t r = 0; r < rows; ++r) {
+      for (size_t c = 0; c < 3; ++c) {
+        EXPECT_EQ(back->GetValue(r, c), table->GetValue(r, c))
+            << "seed " << seed << " cell (" << r << "," << c << ")";
+      }
+    }
+  }
+}
+
+TEST(CsvFuzzTest, GarbageInputNeverCrashes) {
+  for (uint64_t seed = 1; seed <= 100; ++seed) {
+    Rng rng(seed);
+    std::string garbage = RandomCsvString(rng, 200);
+    // Must return either a table or an error status — never crash.
+    auto result = df::ReadCsvString(garbage);
+    if (result.ok()) {
+      EXPECT_GE(result->num_columns(), 1u);
+    }
+  }
+}
+
+TEST(TokenizerFuzzTest, TokensAreCleanAndLowercase) {
+  for (uint64_t seed = 1; seed <= 60; ++seed) {
+    Rng rng(seed);
+    std::string phrase = RandomCsvString(rng, 80);
+    for (const std::string& token : text::Tokenize(phrase)) {
+      EXPECT_FALSE(token.empty());
+      for (char c : token) {
+        bool alnum_lower = (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9');
+        EXPECT_TRUE(alnum_lower) << "seed " << seed << " token '" << token
+                                 << "'";
+      }
+      EXPECT_FALSE(IsDigits(token));  // numeric tokens dropped
+    }
+  }
+}
+
+TEST(SingularizeFuzzTest, IdempotentOnItsOwnOutput) {
+  // Singularize(Singularize(w)) == Singularize(w): a singular noun must
+  // not be mangled further.
+  Rng rng(99);
+  static const char kLetters[] = "abcdefghijklmnopqrstuvwxyz";
+  for (int trial = 0; trial < 300; ++trial) {
+    std::string word;
+    size_t len = 3 + rng.NextBounded(8);
+    for (size_t i = 0; i < len; ++i) {
+      word.push_back(kLetters[rng.NextBounded(26)]);
+    }
+    std::string once = text::Singularize(word);
+    EXPECT_EQ(text::Singularize(once), once) << "word '" << word << "'";
+  }
+}
+
+TEST(EditDistanceFuzzTest, MetricProperties) {
+  Rng rng(7);
+  static const char kLetters[] = "abcde";  // small alphabet forces collisions
+  auto random_word = [&]() {
+    std::string w;
+    size_t len = rng.NextBounded(9);
+    for (size_t i = 0; i < len; ++i) {
+      w.push_back(kLetters[rng.NextBounded(5)]);
+    }
+    return w;
+  };
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string a = random_word(), b = random_word(), c = random_word();
+    size_t ab = text::LevenshteinDistance(a, b);
+    size_t ba = text::LevenshteinDistance(b, a);
+    EXPECT_EQ(ab, ba);                                  // symmetry
+    EXPECT_EQ(text::LevenshteinDistance(a, a), 0u);     // identity
+    size_t ac = text::LevenshteinDistance(a, c);
+    size_t cb = text::LevenshteinDistance(c, b);
+    EXPECT_LE(ab, ac + cb);                             // triangle
+    // Damerau never exceeds Levenshtein.
+    EXPECT_LE(text::DamerauLevenshteinDistance(a, b), ab);
+    // Jaro-Winkler stays in [0, 1].
+    double jw = text::JaroWinklerSimilarity(a, b);
+    EXPECT_GE(jw, 0.0);
+    EXPECT_LE(jw, 1.0);
+  }
+}
+
+TEST(ParserFuzzTest, NeverCrashesAndIsDeterministic) {
+  flavor::FlavorRegistry reg;
+  reg.AddMolecule("m0").status();
+  for (int i = 0; i < 30; ++i) {
+    reg.AddIngredient("ingredient" + std::to_string(i),
+                      flavor::Category::kVegetable, flavor::FlavorProfile({0}))
+        .status();
+  }
+  recipe::IngredientPhraseParser parser(&reg);
+  for (uint64_t seed = 1; seed <= 80; ++seed) {
+    Rng rng(seed);
+    std::string phrase = RandomCsvString(rng, 120);
+    recipe::PhraseMatch a = parser.Parse(phrase);
+    recipe::PhraseMatch b = parser.Parse(phrase);
+    EXPECT_EQ(a.status, b.status);
+    EXPECT_EQ(a.ids, b.ids);
+    EXPECT_EQ(a.leftover_tokens, b.leftover_tokens);
+    // Classification consistency.
+    if (a.ids.empty()) {
+      EXPECT_EQ(a.status, recipe::MatchStatus::kUnrecognized);
+    } else if (a.leftover_tokens.empty()) {
+      EXPECT_EQ(a.status, recipe::MatchStatus::kMatched);
+    } else {
+      EXPECT_EQ(a.status, recipe::MatchStatus::kPartial);
+    }
+    // No duplicate ids.
+    std::set<flavor::IngredientId> unique(a.ids.begin(), a.ids.end());
+    EXPECT_EQ(unique.size(), a.ids.size());
+  }
+}
+
+TEST(AliasSamplerFuzzTest, ChiSquareAgainstWeights) {
+  // For random weight vectors the empirical distribution must match the
+  // weights (loose chi-square bound).
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    Rng rng(seed);
+    size_t k = 2 + rng.NextBounded(12);
+    std::vector<double> weights;
+    double total = 0;
+    for (size_t i = 0; i < k; ++i) {
+      weights.push_back(0.1 + rng.NextDouble() * 5.0);
+      total += weights.back();
+    }
+    AliasSampler sampler(weights);
+    ASSERT_TRUE(sampler.valid());
+    const int n = 40000;
+    std::vector<int> counts(k, 0);
+    for (int i = 0; i < n; ++i) ++counts[sampler.Sample(rng)];
+    double chi2 = 0;
+    for (size_t i = 0; i < k; ++i) {
+      double expected = n * weights[i] / total;
+      double diff = counts[i] - expected;
+      chi2 += diff * diff / expected;
+    }
+    // 99.9th percentile of chi2 with 13 dof ≈ 34.5; be generous.
+    EXPECT_LT(chi2, 50.0) << "seed " << seed << " k=" << k;
+  }
+}
+
+TEST(PairingCacheFuzzTest, DenseAndIdLookupsAgree) {
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    Rng rng(seed);
+    flavor::FlavorRegistry reg;
+    for (int m = 0; m < 50; ++m) {
+      reg.AddMolecule("mol" + std::to_string(m) + "s" + std::to_string(seed))
+          .status();
+    }
+    std::vector<flavor::IngredientId> ids;
+    size_t n = 5 + rng.NextBounded(20);
+    for (size_t i = 0; i < n; ++i) {
+      std::vector<int32_t> mols;
+      for (int32_t m = 0; m < 50; ++m) {
+        if (rng.NextBernoulli(0.25)) mols.push_back(m);
+      }
+      ids.push_back(reg.AddIngredient("i" + std::to_string(i),
+                                      flavor::Category::kPlant,
+                                      flavor::FlavorProfile(mols))
+                        .value());
+    }
+    analysis::PairingCache cache(reg, ids);
+    for (size_t a = 0; a < n; ++a) {
+      for (size_t b = 0; b < n; ++b) {
+        EXPECT_EQ(cache.SharedByDense(a, b), cache.Shared(ids[a], ids[b]));
+        EXPECT_EQ(cache.SharedByDense(a, b), cache.SharedByDense(b, a));
+      }
+    }
+  }
+}
+
+TEST(GroupByFuzzTest, CountsSumToTableRows) {
+  for (uint64_t seed = 1; seed <= 20; ++seed) {
+    Rng rng(seed);
+    df::Schema schema({{"k", df::DataType::kInt64},
+                       {"v", df::DataType::kDouble}});
+    auto table = df::Table::Make(schema);
+    size_t rows = 1 + rng.NextBounded(200);
+    for (size_t r = 0; r < rows; ++r) {
+      ASSERT_TRUE(table
+                      ->AppendRow({df::Value::Int(static_cast<int64_t>(
+                                       rng.NextBounded(7))),
+                                   df::Value::Real(rng.NextDouble())})
+                      .ok());
+    }
+    auto grouped = df::GroupByAggregate(*table, {"k"},
+                                        {{df::AggKind::kCount, "", "n"},
+                                         {df::AggKind::kSum, "v", "s"}});
+    ASSERT_TRUE(grouped.ok());
+    int64_t total = 0;
+    double sum = 0.0;
+    for (size_t g = 0; g < grouped->num_rows(); ++g) {
+      total += grouped->GetValue(g, 1).as_int();
+      sum += grouped->GetValue(g, 2).as_double();
+    }
+    EXPECT_EQ(total, static_cast<int64_t>(rows)) << "seed " << seed;
+    // Sum of group sums equals the overall sum.
+    auto all = df::ToDoubleVector(*table, "v");
+    ASSERT_TRUE(all.ok());
+    double expected = 0;
+    for (double v : *all) expected += v;
+    EXPECT_NEAR(sum, expected, 1e-9) << "seed " << seed;
+  }
+}
+
+TEST(SortFuzzTest, ProducesSortedPermutation) {
+  for (uint64_t seed = 1; seed <= 20; ++seed) {
+    Rng rng(seed);
+    df::Schema schema({{"x", df::DataType::kInt64}});
+    auto table = df::Table::Make(schema);
+    size_t rows = rng.NextBounded(100);
+    std::multiset<int64_t> original;
+    for (size_t r = 0; r < rows; ++r) {
+      int64_t v = rng.NextInt(-50, 50);
+      original.insert(v);
+      ASSERT_TRUE(table->AppendRow({df::Value::Int(v)}).ok());
+    }
+    auto sorted = df::SortBy(*table, {{"x", true}});
+    ASSERT_TRUE(sorted.ok());
+    std::multiset<int64_t> result;
+    int64_t prev = INT64_MIN;
+    for (size_t r = 0; r < sorted->num_rows(); ++r) {
+      int64_t v = sorted->GetValue(r, 0).as_int();
+      EXPECT_GE(v, prev);
+      prev = v;
+      result.insert(v);
+    }
+    EXPECT_EQ(result, original) << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace culinary

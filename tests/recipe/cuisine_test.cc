@@ -1,0 +1,86 @@
+#include "recipe/cuisine.h"
+
+#include <gtest/gtest.h>
+
+#include "recipe/recipe.h"
+
+namespace culinary::recipe {
+namespace {
+
+Recipe MakeRecipe(RecipeId id, std::vector<flavor::IngredientId> ids) {
+  Recipe r;
+  r.id = id;
+  r.region = Region::kItaly;
+  r.ingredients = std::move(ids);
+  return r;
+}
+
+TEST(CanonicalizeTest, SortsDedupsDropsInvalid) {
+  std::vector<flavor::IngredientId> ids{5, 3, 5, -1, 1};
+  CanonicalizeIngredients(ids);
+  EXPECT_EQ(ids, (std::vector<flavor::IngredientId>{1, 3, 5}));
+}
+
+TEST(RecipeTest, SizeAndPairable) {
+  Recipe r = MakeRecipe(0, {1, 2, 3});
+  EXPECT_EQ(r.size(), 3u);
+  EXPECT_TRUE(r.IsPairable());
+  EXPECT_FALSE(MakeRecipe(1, {7}).IsPairable());
+}
+
+TEST(CuisineTest, DropsEmptyRecipes) {
+  Cuisine c(Region::kItaly,
+            {MakeRecipe(0, {1, 2}), MakeRecipe(1, {}), MakeRecipe(2, {-1})});
+  EXPECT_EQ(c.num_recipes(), 1u);
+}
+
+TEST(CuisineTest, FrequencyCountsRecipesNotUses) {
+  // Duplicate ingredient inside one recipe counts once.
+  Cuisine c(Region::kItaly,
+            {MakeRecipe(0, {1, 2, 2}), MakeRecipe(1, {2, 3})});
+  EXPECT_EQ(c.FrequencyOf(2), 2);
+  EXPECT_EQ(c.FrequencyOf(1), 1);
+  EXPECT_EQ(c.FrequencyOf(99), 0);
+}
+
+TEST(CuisineTest, UniqueIngredientsAscending) {
+  Cuisine c(Region::kItaly, {MakeRecipe(0, {5, 1}), MakeRecipe(1, {3, 1})});
+  EXPECT_EQ(c.unique_ingredients(), (std::vector<flavor::IngredientId>{1, 3, 5}));
+}
+
+TEST(CuisineTest, SizeHistogramAndMean) {
+  Cuisine c(Region::kItaly, {MakeRecipe(0, {1, 2}), MakeRecipe(1, {1, 2, 3}),
+                             MakeRecipe(2, {4})});
+  EXPECT_EQ(c.size_histogram().CountAt(2), 1);
+  EXPECT_EQ(c.size_histogram().CountAt(3), 1);
+  EXPECT_EQ(c.size_histogram().CountAt(1), 1);
+  EXPECT_NEAR(c.MeanRecipeSize(), 2.0, 1e-12);
+}
+
+TEST(CuisineTest, PairableCount) {
+  Cuisine c(Region::kItaly, {MakeRecipe(0, {1}), MakeRecipe(1, {1, 2})});
+  EXPECT_EQ(c.num_pairable_recipes(), 1u);
+}
+
+TEST(CuisineTest, ByPopularityOrdersByFrequencyThenId) {
+  Cuisine c(Region::kItaly,
+            {MakeRecipe(0, {1, 2}), MakeRecipe(1, {2, 3}), MakeRecipe(2, {2})});
+  auto ranked = c.ByPopularity();
+  ASSERT_EQ(ranked.size(), 3u);
+  EXPECT_EQ(ranked[0].first, 2);
+  EXPECT_EQ(ranked[0].second, 3);
+  // Tie between 1 and 3 broken by ascending id.
+  EXPECT_EQ(ranked[1].first, 1);
+  EXPECT_EQ(ranked[2].first, 3);
+}
+
+TEST(CuisineTest, EmptyCuisine) {
+  Cuisine c(Region::kKorea, {});
+  EXPECT_EQ(c.num_recipes(), 0u);
+  EXPECT_TRUE(c.unique_ingredients().empty());
+  EXPECT_EQ(c.MeanRecipeSize(), 0.0);
+  EXPECT_TRUE(c.ByPopularity().empty());
+}
+
+}  // namespace
+}  // namespace culinary::recipe

@@ -1,0 +1,154 @@
+#include "recipe/parser.h"
+
+#include <gtest/gtest.h>
+
+namespace culinary::recipe {
+namespace {
+
+class ParserTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    using flavor::Category;
+    using flavor::FlavorProfile;
+    tomato_ = reg_.AddIngredient("tomato", Category::kVegetable,
+                                 FlavorProfile({1}))
+                  .value();
+    olive_oil_ = reg_.AddIngredient("olive oil", Category::kPlant,
+                                    FlavorProfile({2}))
+                     .value();
+    olive_ =
+        reg_.AddIngredient("olive", Category::kPlant, FlavorProfile({3}))
+            .value();
+    chicken_ = reg_.AddIngredient("chicken", Category::kMeat,
+                                  FlavorProfile({4}))
+                   .value();
+    half_half_ = reg_.AddIngredient("half half", Category::kDairy,
+                                    FlavorProfile({5}))
+                     .value();
+    whiskey_ = reg_.AddIngredient("whiskey", Category::kBeverageAlcoholic,
+                                  FlavorProfile({6}))
+                   .value();
+    ASSERT_TRUE(reg_.AddSynonym(whiskey_, "whisky").ok());
+    parser_ = std::make_unique<IngredientPhraseParser>(&reg_);
+  }
+
+  flavor::FlavorRegistry reg_;
+  flavor::IngredientId tomato_, olive_oil_, olive_, chicken_, half_half_,
+      whiskey_;
+  std::unique_ptr<IngredientPhraseParser> parser_;
+};
+
+TEST_F(ParserTest, ExactSingleToken) {
+  PhraseMatch m = parser_->Parse("tomato");
+  EXPECT_EQ(m.status, MatchStatus::kMatched);
+  EXPECT_EQ(m.ids, (std::vector<flavor::IngredientId>{tomato_}));
+  EXPECT_FALSE(m.used_fuzzy);
+}
+
+TEST_F(ParserTest, QuantityAndPrepWordsIgnored) {
+  PhraseMatch m = parser_->Parse("2 large tomatoes, chopped");
+  EXPECT_EQ(m.status, MatchStatus::kMatched);
+  EXPECT_EQ(m.ids, (std::vector<flavor::IngredientId>{tomato_}));
+}
+
+TEST_F(ParserTest, LongestNGramWins) {
+  // "olive oil" must match the 2-gram entity, not "olive" alone.
+  PhraseMatch m = parser_->Parse("3 tbsp olive oil");
+  EXPECT_EQ(m.status, MatchStatus::kMatched);
+  EXPECT_EQ(m.ids, (std::vector<flavor::IngredientId>{olive_oil_}));
+}
+
+TEST_F(ParserTest, StopwordLikeEntityTokensStillMatch) {
+  // "half" is a culinary stopword, but "half half" is an entity; the
+  // pre-stopword n-gram pass must catch it.
+  PhraseMatch m = parser_->Parse("1 cup half half");
+  EXPECT_EQ(m.status, MatchStatus::kMatched);
+  EXPECT_EQ(m.ids, (std::vector<flavor::IngredientId>{half_half_}));
+}
+
+TEST_F(ParserTest, StopwordInterruptedEntityMatches) {
+  // Stopword removal makes "olive ... oil" contiguous.
+  PhraseMatch m = parser_->Parse("olive fresh oil");
+  EXPECT_EQ(m.status, MatchStatus::kMatched);
+  EXPECT_EQ(m.ids, (std::vector<flavor::IngredientId>{olive_oil_}));
+}
+
+TEST_F(ParserTest, SynonymResolves) {
+  PhraseMatch m = parser_->Parse("2 tbsp whisky");
+  EXPECT_EQ(m.status, MatchStatus::kMatched);
+  EXPECT_EQ(m.ids, (std::vector<flavor::IngredientId>{whiskey_}));
+}
+
+TEST_F(ParserTest, PluralEntityMatchesViaSingularization) {
+  PhraseMatch m = parser_->Parse("tomatoes and olives");
+  EXPECT_EQ(m.status, MatchStatus::kMatched);
+  EXPECT_EQ(m.ids, (std::vector<flavor::IngredientId>{tomato_, olive_}));
+}
+
+TEST_F(ParserTest, FuzzyMatchesMisspelling) {
+  PhraseMatch m = parser_->Parse("chickin breast");
+  EXPECT_EQ(m.status, MatchStatus::kMatched);
+  EXPECT_EQ(m.ids, (std::vector<flavor::IngredientId>{chicken_}));
+  EXPECT_TRUE(m.used_fuzzy);
+}
+
+TEST_F(ParserTest, FuzzyDisabled) {
+  ParserOptions options;
+  options.enable_fuzzy = false;
+  IngredientPhraseParser strict(&reg_, options);
+  PhraseMatch m = strict.Parse("chickin");
+  EXPECT_EQ(m.status, MatchStatus::kUnrecognized);
+  EXPECT_EQ(m.leftover_tokens, (std::vector<std::string>{"chickin"}));
+}
+
+TEST_F(ParserTest, ShortTokensNotFuzzyMatched) {
+  // "tomat" (5 chars) is eligible, "tom" is not.
+  PhraseMatch m = parser_->Parse("tomat");
+  EXPECT_EQ(m.status, MatchStatus::kMatched);
+  EXPECT_TRUE(m.used_fuzzy);
+  PhraseMatch short_m = parser_->Parse("tom");
+  EXPECT_EQ(short_m.status, MatchStatus::kUnrecognized);
+}
+
+TEST_F(ParserTest, PartialMatchLabelled) {
+  PhraseMatch m = parser_->Parse("tomato with unobtainium");
+  EXPECT_EQ(m.status, MatchStatus::kPartial);
+  EXPECT_EQ(m.ids, (std::vector<flavor::IngredientId>{tomato_}));
+  EXPECT_EQ(m.leftover_tokens, (std::vector<std::string>{"unobtainium"}));
+}
+
+TEST_F(ParserTest, UnrecognizedLabelled) {
+  PhraseMatch m = parser_->Parse("pure unobtainium crystals");
+  EXPECT_EQ(m.status, MatchStatus::kUnrecognized);
+  EXPECT_TRUE(m.ids.empty());
+  EXPECT_FALSE(m.leftover_tokens.empty());
+}
+
+TEST_F(ParserTest, EmptyPhrase) {
+  PhraseMatch m = parser_->Parse("");
+  EXPECT_EQ(m.status, MatchStatus::kUnrecognized);
+  EXPECT_TRUE(m.ids.empty());
+}
+
+TEST_F(ParserTest, DuplicateMentionsDeduplicated) {
+  PhraseMatch m = parser_->Parse("tomato tomato tomatoes");
+  EXPECT_EQ(m.ids, (std::vector<flavor::IngredientId>{tomato_}));
+}
+
+TEST_F(ParserTest, ParsePhrasesAggregates) {
+  std::vector<std::string> failures;
+  auto ids = parser_->ParsePhrases(
+      {"2 tomatoes", "3 tbsp olive oil", "1 cup unobtainium", "tomato"},
+      &failures);
+  EXPECT_EQ(ids, (std::vector<flavor::IngredientId>{tomato_, olive_oil_}));
+  ASSERT_EQ(failures.size(), 1u);
+  EXPECT_EQ(failures[0], "1 cup unobtainium");
+}
+
+TEST_F(ParserTest, ParsePhrasesWithoutFailureSink) {
+  auto ids = parser_->ParsePhrases({"tomato", "junk phrase"});
+  EXPECT_EQ(ids, (std::vector<flavor::IngredientId>{tomato_}));
+}
+
+}  // namespace
+}  // namespace culinary::recipe

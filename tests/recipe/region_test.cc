@@ -1,0 +1,66 @@
+#include "recipe/region.h"
+
+#include <set>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace culinary::recipe {
+namespace {
+
+TEST(RegionTest, TwentyTwoRegions) {
+  EXPECT_EQ(kNumRegions, 22);
+}
+
+TEST(RegionTest, CodesAreUniqueAndNonEmpty) {
+  std::set<std::string> codes;
+  for (int i = 0; i < kNumRegions; ++i) {
+    std::string code(RegionCode(AllRegions()[i]));
+    EXPECT_FALSE(code.empty());
+    EXPECT_TRUE(codes.insert(code).second) << "duplicate: " << code;
+  }
+}
+
+TEST(RegionTest, PaperCodes) {
+  EXPECT_EQ(RegionCode(Region::kAfrica), "AFR");
+  EXPECT_EQ(RegionCode(Region::kAustraliaNz), "ANZ");
+  EXPECT_EQ(RegionCode(Region::kDach), "DACH");
+  EXPECT_EQ(RegionCode(Region::kIndianSubcontinent), "INSC");
+  EXPECT_EQ(RegionCode(Region::kMiddleEast), "ME");
+  EXPECT_EQ(RegionCode(Region::kSpain), "ESP");
+  EXPECT_EQ(RegionCode(Region::kWorld), "WORLD");
+}
+
+TEST(RegionTest, Names) {
+  EXPECT_EQ(RegionName(Region::kDach), "DACH Countries");
+  EXPECT_EQ(RegionName(Region::kAustraliaNz), "Australia & NZ");
+  EXPECT_EQ(RegionName(Region::kUsa), "USA");
+}
+
+TEST(RegionTest, RoundTripCodes) {
+  for (int i = 0; i < kNumRegions; ++i) {
+    Region r = AllRegions()[i];
+    auto parsed = RegionFromCode(RegionCode(r));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, r);
+  }
+  EXPECT_EQ(RegionFromCode("WORLD"), Region::kWorld);
+}
+
+TEST(RegionTest, ParseIsCaseInsensitive) {
+  EXPECT_EQ(RegionFromCode("ita"), Region::kItaly);
+  EXPECT_EQ(RegionFromCode("Usa"), Region::kUsa);
+}
+
+TEST(RegionTest, UnknownCode) {
+  EXPECT_FALSE(RegionFromCode("XX").has_value());
+  EXPECT_FALSE(RegionFromCode("").has_value());
+}
+
+TEST(RegionTest, InvalidEnumRendersQuestionMark) {
+  EXPECT_EQ(RegionCode(static_cast<Region>(99)), "?");
+  EXPECT_EQ(RegionName(static_cast<Region>(-2)), "?");
+}
+
+}  // namespace
+}  // namespace culinary::recipe

@@ -1,0 +1,76 @@
+#include "text/ngram.h"
+
+#include <gtest/gtest.h>
+
+namespace culinary::text {
+namespace {
+
+const std::vector<std::string> kTokens{"a", "b", "c", "d"};
+
+TEST(NGramTest, Unigrams) {
+  auto grams = MakeNGrams(kTokens, 1);
+  ASSERT_EQ(grams.size(), 4u);
+  EXPECT_EQ(grams[0].joined, "a");
+  EXPECT_EQ(grams[3].joined, "d");
+  EXPECT_EQ(grams[2].start, 2u);
+  EXPECT_EQ(grams[2].length, 1u);
+}
+
+TEST(NGramTest, Bigrams) {
+  auto grams = MakeNGrams(kTokens, 2);
+  ASSERT_EQ(grams.size(), 3u);
+  EXPECT_EQ(grams[0].joined, "a b");
+  EXPECT_EQ(grams[1].joined, "b c");
+  EXPECT_EQ(grams[2].joined, "c d");
+  EXPECT_EQ(grams[1].start, 1u);
+  EXPECT_EQ(grams[1].length, 2u);
+}
+
+TEST(NGramTest, FullLength) {
+  auto grams = MakeNGrams(kTokens, 4);
+  ASSERT_EQ(grams.size(), 1u);
+  EXPECT_EQ(grams[0].joined, "a b c d");
+}
+
+TEST(NGramTest, NTooLargeYieldsEmpty) {
+  EXPECT_TRUE(MakeNGrams(kTokens, 5).empty());
+}
+
+TEST(NGramTest, ZeroNYieldsEmpty) {
+  EXPECT_TRUE(MakeNGrams(kTokens, 0).empty());
+}
+
+TEST(NGramTest, EmptyTokens) {
+  EXPECT_TRUE(MakeNGrams({}, 1).empty());
+}
+
+TEST(NGramDescendingTest, LongestFirstOrder) {
+  auto grams = MakeNGramsDescending(kTokens, 3);
+  // 3-grams (2) then 2-grams (3) then 1-grams (4).
+  ASSERT_EQ(grams.size(), 9u);
+  EXPECT_EQ(grams[0].joined, "a b c");
+  EXPECT_EQ(grams[1].joined, "b c d");
+  EXPECT_EQ(grams[2].joined, "a b");
+  EXPECT_EQ(grams[5].joined, "a");
+}
+
+TEST(NGramDescendingTest, MaxLargerThanLength) {
+  auto grams = MakeNGramsDescending(kTokens, 6);
+  // 4-gram (1) + 3 (2) + 2 (3) + 1 (4) = 10.
+  EXPECT_EQ(grams.size(), 10u);
+  EXPECT_EQ(grams[0].joined, "a b c d");
+}
+
+TEST(NGramDescendingTest, MinBound) {
+  auto grams = MakeNGramsDescending(kTokens, 3, 2);
+  EXPECT_EQ(grams.size(), 5u);  // 3-grams + 2-grams only
+  for (const NGram& g : grams) EXPECT_GE(g.length, 2u);
+}
+
+TEST(NGramDescendingTest, MinZeroTreatedAsOne) {
+  auto grams = MakeNGramsDescending(kTokens, 2, 0);
+  EXPECT_EQ(grams.size(), 7u);  // 2-grams (3) + 1-grams (4)
+}
+
+}  // namespace
+}  // namespace culinary::text

@@ -1,0 +1,51 @@
+#include "text/normalize.h"
+
+#include <gtest/gtest.h>
+
+namespace culinary::text {
+namespace {
+
+using Tokens = std::vector<std::string>;
+
+TEST(NormalizePhraseTest, PaperExample) {
+  // The worked example from §IV.A of the paper.
+  EXPECT_EQ(NormalizePhrase("2 jalapeno peppers, roasted and slit"),
+            (Tokens{"jalapeno", "pepper"}));
+}
+
+TEST(NormalizePhraseTest, UnitsAndQualifiersRemoved) {
+  EXPECT_EQ(NormalizePhrase("1 cup freshly grated Parmesan cheese"),
+            (Tokens{"parmesan", "cheese"}));
+  EXPECT_EQ(NormalizePhrase("3 tablespoons olive oil, divided"),
+            (Tokens{"olive", "oil"}));
+}
+
+TEST(NormalizePhraseTest, SingularizationApplied) {
+  EXPECT_EQ(NormalizePhrase("chopped tomatoes"), (Tokens{"tomato"}));
+}
+
+TEST(NormalizePhraseTest, SingularizationDisabled) {
+  NormalizeOptions options;
+  options.singularize = false;
+  EXPECT_EQ(NormalizePhrase("chopped tomatoes", options), (Tokens{"tomatoes"}));
+}
+
+TEST(NormalizePhraseTest, NoStopwordRemovalWhenNull) {
+  NormalizeOptions options;
+  options.stopwords = nullptr;
+  EXPECT_EQ(NormalizePhrase("the tomato", options), (Tokens{"the", "tomato"}));
+}
+
+TEST(NormalizePhraseTest, EmptyAndStopwordOnlyPhrases) {
+  EXPECT_TRUE(NormalizePhrase("").empty());
+  EXPECT_TRUE(NormalizePhrase("2 cups of the").empty());
+}
+
+TEST(NormalizePhraseToStringTest, JoinsWithSpaces) {
+  EXPECT_EQ(NormalizePhraseToString("2 Jalapeno Peppers, roasted"),
+            "jalapeno pepper");
+  EXPECT_EQ(NormalizePhraseToString("1 pinch salt"), "salt");
+}
+
+}  // namespace
+}  // namespace culinary::text

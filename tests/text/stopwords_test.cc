@@ -1,0 +1,64 @@
+#include "text/stopwords.h"
+
+#include <gtest/gtest.h>
+
+namespace culinary::text {
+namespace {
+
+TEST(StopwordSetTest, EnglishContainsFunctionWords) {
+  const StopwordSet& s = StopwordSet::English();
+  EXPECT_TRUE(s.Contains("the"));
+  EXPECT_TRUE(s.Contains("and"));
+  EXPECT_TRUE(s.Contains("with"));
+  EXPECT_FALSE(s.Contains("tomato"));
+}
+
+TEST(StopwordSetTest, CulinaryContainsUnitsAndPrepWords) {
+  const StopwordSet& s = StopwordSet::Culinary();
+  EXPECT_TRUE(s.Contains("cup"));
+  EXPECT_TRUE(s.Contains("tablespoons"));
+  EXPECT_TRUE(s.Contains("chopped"));
+  EXPECT_TRUE(s.Contains("roasted"));
+  EXPECT_TRUE(s.Contains("fresh"));
+  EXPECT_FALSE(s.Contains("garlic"));
+  EXPECT_FALSE(s.Contains("the"));  // English word not in culinary set
+}
+
+TEST(StopwordSetTest, CombinedSetIsUnion) {
+  const StopwordSet& s = StopwordSet::EnglishAndCulinary();
+  EXPECT_TRUE(s.Contains("the"));
+  EXPECT_TRUE(s.Contains("cup"));
+  EXPECT_GE(s.size(),
+            StopwordSet::English().size() + StopwordSet::Culinary().size() -
+                5);  // tiny overlap tolerated ("can")
+}
+
+TEST(StopwordSetTest, CaseInsensitiveLookup) {
+  EXPECT_TRUE(StopwordSet::English().Contains("The"));
+  EXPECT_TRUE(StopwordSet::Culinary().Contains("CHOPPED"));
+}
+
+TEST(StopwordSetTest, CustomSetAndAdd) {
+  StopwordSet s(std::vector<std::string>{"Foo", "bar"});
+  EXPECT_TRUE(s.Contains("foo"));
+  EXPECT_TRUE(s.Contains("BAR"));
+  EXPECT_EQ(s.size(), 2u);
+  s.Add("baz");
+  EXPECT_TRUE(s.Contains("baz"));
+  EXPECT_EQ(s.size(), 3u);
+}
+
+TEST(StopwordSetTest, RemoveFiltersTokensPreservingOrder) {
+  const StopwordSet& s = StopwordSet::EnglishAndCulinary();
+  std::vector<std::string> tokens{"jalapeno", "peppers", "roasted", "and",
+                                  "slit"};
+  EXPECT_EQ(s.Remove(tokens),
+            (std::vector<std::string>{"jalapeno", "peppers"}));
+}
+
+TEST(StopwordSetTest, RemoveEmptyInput) {
+  EXPECT_TRUE(StopwordSet::English().Remove({}).empty());
+}
+
+}  // namespace
+}  // namespace culinary::text

@@ -1,0 +1,76 @@
+#include "text/tokenizer.h"
+
+#include <gtest/gtest.h>
+
+namespace culinary::text {
+namespace {
+
+using Tokens = std::vector<std::string>;
+
+TEST(TokenizerTest, LowercasesAndStripsPunctuation) {
+  EXPECT_EQ(Tokenize("2 Jalapeno Peppers, roasted and slit"),
+            (Tokens{"jalapeno", "peppers", "roasted", "and", "slit"}));
+}
+
+TEST(TokenizerTest, DropsPureNumericTokens) {
+  EXPECT_EQ(Tokenize("500 g flour"), (Tokens{"g", "flour"}));
+  // Mixed alphanumeric tokens survive.
+  EXPECT_EQ(Tokenize("7up soda"), (Tokens{"7up", "soda"}));
+}
+
+TEST(TokenizerTest, KeepNumericWhenDisabled) {
+  TokenizerOptions options;
+  options.drop_numeric_tokens = false;
+  EXPECT_EQ(Tokenize("2 eggs", options), (Tokens{"2", "eggs"}));
+}
+
+TEST(TokenizerTest, FractionsAndParenthesesSplit) {
+  EXPECT_EQ(Tokenize("1 1/2 cups (about 350ml) milk"),
+            (Tokens{"cups", "about", "350ml", "milk"}));
+}
+
+TEST(TokenizerTest, LowercaseDisabled) {
+  TokenizerOptions options;
+  options.lowercase = false;
+  EXPECT_EQ(Tokenize("Basil Leaf", options), (Tokens{"Basil", "Leaf"}));
+}
+
+TEST(TokenizerTest, HyphenSplitsByDefault) {
+  EXPECT_EQ(Tokenize("extra-virgin"), (Tokens{"extra", "virgin"}));
+}
+
+TEST(TokenizerTest, InnerHyphenKeptWhenEnabled) {
+  TokenizerOptions options;
+  options.keep_inner_hyphen_apostrophe = true;
+  EXPECT_EQ(Tokenize("extra-virgin oil", options),
+            (Tokens{"extra-virgin", "oil"}));
+  // Leading/trailing hyphen is still a separator.
+  EXPECT_EQ(Tokenize("-dash leading", options), (Tokens{"dash", "leading"}));
+}
+
+TEST(TokenizerTest, ApostropheKeptWhenEnabled) {
+  TokenizerOptions options;
+  options.keep_inner_hyphen_apostrophe = true;
+  EXPECT_EQ(Tokenize("confectioner's sugar", options),
+            (Tokens{"confectioner's", "sugar"}));
+}
+
+TEST(TokenizerTest, EmptyAndPunctuationOnlyInputs) {
+  EXPECT_TRUE(Tokenize("").empty());
+  EXPECT_TRUE(Tokenize("!!! ,,, ---").empty());
+  EXPECT_TRUE(Tokenize("123 456").empty());
+}
+
+TEST(StripPunctuationTest, ReplacesWithSpacesAndCollapses) {
+  EXPECT_EQ(StripPunctuation("a,b,,c"), "a b c");
+  EXPECT_EQ(StripPunctuation("  Hello, World!  "), "hello world");
+  EXPECT_EQ(StripPunctuation("xyz"), "xyz");
+  EXPECT_EQ(StripPunctuation(""), "");
+}
+
+TEST(StripPunctuationTest, CaseToggle) {
+  EXPECT_EQ(StripPunctuation("ABC", /*lowercase=*/false), "ABC");
+}
+
+}  // namespace
+}  // namespace culinary::text

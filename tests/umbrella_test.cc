@@ -1,0 +1,39 @@
+// Verifies the umbrella header is self-contained and exposes the whole
+// public API surface (one symbol per module).
+
+#include "culinarylab.h"
+
+#include <gtest/gtest.h>
+
+namespace culinary {
+namespace {
+
+TEST(UmbrellaTest, EverySubsystemReachable) {
+  // common
+  EXPECT_TRUE(Status::OK().ok());
+  Rng rng(1);
+  EXPECT_LT(rng.NextDouble(), 1.0);
+  // dataframe
+  EXPECT_EQ(df::DataTypeToString(df::DataType::kInt64), "int64");
+  // text
+  EXPECT_EQ(text::Singularize("tomatoes"), "tomato");
+  // flavor
+  flavor::FlavorRegistry registry;
+  EXPECT_EQ(registry.num_live_ingredients(), 0u);
+  // recipe
+  EXPECT_EQ(recipe::RegionCode(recipe::Region::kItaly), "ITA");
+  // analysis
+  EXPECT_EQ(analysis::NullModelKindToString(analysis::NullModelKind::kRandom),
+            "Random");
+  // datagen
+  EXPECT_EQ(datagen::WorldSpec::Default().regions.size(), 22u);
+  // evolution
+  evolution::EvolutionConfig config;
+  EXPECT_GT(config.target_recipes, 0u);
+  // network
+  network::Graph graph(3);
+  EXPECT_EQ(graph.num_nodes(), 3u);
+}
+
+}  // namespace
+}  // namespace culinary

@@ -1,0 +1,421 @@
+// culinary — command-line front end to the CulinaryLab library.
+//
+// Subcommands (all operate on the deterministic synthetic world; pass
+// --small for the miniature world and --seed=N to reseed):
+//
+//   culinary stats                          Table-1-style dataset summary
+//   culinary export --out=PREFIX            write the world as CSVs:
+//                                           <PREFIX>_{recipes,ingredients,
+//                                           molecules,entities}.csv
+//   culinary pairing [--region=CODE] [--null-recipes=N]
+//                                           food-pairing Z-scores (Fig 4)
+//   culinary partners NAME [--top=K]        best/worst flavor partners
+//   culinary parse PHRASE...                run the aliasing protocol
+//   culinary classify [--probes=N]          leave-one-out fingerprinting
+//   culinary similar [--region=CODE]        nearest culinary neighbors
+//   culinary authentic --region=CODE        most authentic ingredients
+//   culinary analyze --recipes=FILE [--registry=PREFIX] [--null-recipes=N]
+//                                           food pairing over an external
+//                                           recipe CSV; names resolve
+//                                           against a saved registry
+//                                           (--registry) or the generated one
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "analysis/fingerprint.h"
+#include "analysis/null_models.h"
+#include "analysis/pairing.h"
+#include "analysis/report.h"
+#include "common/string_util.h"
+#include "analysis/similarity.h"
+#include "datagen/world.h"
+#include "flavor/registry_io.h"
+#include "recipe/database.h"
+#include "network/flavor_network.h"
+#include "recipe/parser.h"
+
+/// Binds the value of a Result or prints the error and exits the command.
+#define CULINARY_ASSIGN_OR_RETURN_FOR_MAIN(var, expr)          \
+  auto var##_result = (expr);                                  \
+  if (!var##_result.ok()) {                                    \
+    std::fprintf(stderr, "error: %s\n",                        \
+                 var##_result.status().ToString().c_str());    \
+    return 1;                                                  \
+  }                                                            \
+  const auto& var = var##_result.value()
+
+namespace {
+
+using namespace culinary;  // NOLINT(build/namespaces)
+
+struct GlobalArgs {
+  bool small = false;
+  uint64_t seed = 0;
+  size_t null_recipes = 20000;
+  std::string region;
+  std::string out = "culinary_world";
+  std::string recipes_file;
+  std::string registry_prefix;
+  size_t top = 10;
+  size_t probes = 10;
+  std::vector<std::string> positional;
+};
+
+GlobalArgs ParseArgs(int argc, char** argv, int first) {
+  GlobalArgs args;
+  for (int i = first; i < argc; ++i) {
+    std::string a = argv[i];
+    auto value = [&](const char* prefix) {
+      return a.substr(strlen(prefix));
+    };
+    if (a == "--small") {
+      args.small = true;
+    } else if (StartsWith(a, "--seed=")) {
+      args.seed = std::strtoull(value("--seed=").c_str(), nullptr, 10);
+    } else if (StartsWith(a, "--null-recipes=")) {
+      args.null_recipes = static_cast<size_t>(
+          std::strtoull(value("--null-recipes=").c_str(), nullptr, 10));
+    } else if (StartsWith(a, "--region=")) {
+      args.region = value("--region=");
+    } else if (StartsWith(a, "--out=")) {
+      args.out = value("--out=");
+    } else if (StartsWith(a, "--recipes=")) {
+      args.recipes_file = value("--recipes=");
+    } else if (StartsWith(a, "--registry=")) {
+      args.registry_prefix = value("--registry=");
+    } else if (StartsWith(a, "--top=")) {
+      args.top = static_cast<size_t>(
+          std::strtoull(value("--top=").c_str(), nullptr, 10));
+    } else if (StartsWith(a, "--probes=")) {
+      args.probes = static_cast<size_t>(
+          std::strtoull(value("--probes=").c_str(), nullptr, 10));
+    } else {
+      args.positional.push_back(a);
+    }
+  }
+  return args;
+}
+
+Result<datagen::SyntheticWorld> BuildWorld(const GlobalArgs& args) {
+  datagen::WorldSpec spec =
+      args.small ? datagen::WorldSpec::Small() : datagen::WorldSpec::Default();
+  if (args.seed != 0) spec.seed = args.seed;
+  std::fprintf(stderr, "generating %s world (seed %llu)...\n",
+               args.small ? "small" : "default",
+               static_cast<unsigned long long>(spec.seed));
+  return datagen::GenerateWorld(spec);
+}
+
+int CmdStats(const GlobalArgs& args) {
+  CULINARY_ASSIGN_OR_RETURN_FOR_MAIN(world, BuildWorld(args));
+  analysis::TextTable table({"Region", "Code", "Recipes", "Ingredients",
+                             "Mean size"});
+  for (int i = 0; i < recipe::kNumRegions; ++i) {
+    recipe::Region region = recipe::AllRegions()[i];
+    recipe::Cuisine cuisine = world.db().CuisineFor(region);
+    table.AddRow({std::string(recipe::RegionName(region)),
+                  std::string(recipe::RegionCode(region)),
+                  std::to_string(cuisine.num_recipes()),
+                  std::to_string(cuisine.unique_ingredients().size()),
+                  FormatDouble(cuisine.MeanRecipeSize(), 2)});
+  }
+  std::printf("%s", table.ToString().c_str());
+  std::printf("total: %zu recipes, %zu live ingredients, %zu molecules\n",
+              world.db().num_recipes(),
+              world.registry().num_live_ingredients(),
+              world.registry().num_molecules());
+  return 0;
+}
+
+int CmdExport(const GlobalArgs& args) {
+  CULINARY_ASSIGN_OR_RETURN_FOR_MAIN(world, BuildWorld(args));
+  Status s = datagen::ExportWorldCsv(world, args.out);
+  if (!s.ok()) {
+    std::fprintf(stderr, "export failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  s = flavor::SaveRegistryCsv(world.registry(), args.out);
+  if (!s.ok()) {
+    std::fprintf(stderr, "registry export failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote %s_{recipes,ingredients,molecules,entities}.csv\n",
+              args.out.c_str());
+  return 0;
+}
+
+int PairingReport(const datagen::SyntheticWorld& world,
+                  const recipe::Cuisine& cuisine, size_t null_recipes) {
+  analysis::PairingCache cache(world.registry(),
+                               cuisine.unique_ingredients());
+  analysis::NullModelOptions options;
+  options.num_recipes = null_recipes;
+  auto results = analysis::CompareAgainstAllModels(cache, cuisine,
+                                                   world.registry(), options);
+  if (!results.ok()) {
+    std::fprintf(stderr, "analysis failed: %s\n",
+                 results.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%-22s N_s(real)=%.3f\n",
+              std::string(recipe::RegionName(cuisine.region())).c_str(),
+              (*results)[0].real_mean);
+  for (const auto& r : *results) {
+    std::printf("  vs %-20s null mean %.3f  Z = %+.1f\n",
+                std::string(analysis::NullModelKindToString(r.kind)).c_str(),
+                r.null_mean, r.z_score);
+  }
+  return 0;
+}
+
+int CmdPairing(const GlobalArgs& args) {
+  CULINARY_ASSIGN_OR_RETURN_FOR_MAIN(world, BuildWorld(args));
+  if (!args.region.empty()) {
+    auto region = recipe::RegionFromCode(args.region);
+    if (!region.has_value() || *region == recipe::Region::kWorld) {
+      std::fprintf(stderr, "unknown region '%s'\n", args.region.c_str());
+      return 1;
+    }
+    return PairingReport(world, world.db().CuisineFor(*region),
+                         args.null_recipes);
+  }
+  for (int i = 0; i < recipe::kNumRegions; ++i) {
+    int rc = PairingReport(world,
+                           world.db().CuisineFor(recipe::AllRegions()[i]),
+                           args.null_recipes);
+    if (rc != 0) return rc;
+  }
+  return 0;
+}
+
+int CmdPartners(const GlobalArgs& args) {
+  if (args.positional.empty()) {
+    std::fprintf(stderr, "usage: culinary partners NAME [--top=K]\n");
+    return 2;
+  }
+  CULINARY_ASSIGN_OR_RETURN_FOR_MAIN(world, BuildWorld(args));
+  const flavor::FlavorRegistry& reg = world.registry();
+  flavor::IngredientId id = reg.FindByName(args.positional[0]);
+  if (id == flavor::kInvalidIngredient) {
+    std::fprintf(stderr, "unknown ingredient '%s'\n",
+                 args.positional[0].c_str());
+    return 1;
+  }
+  const flavor::Ingredient* target = reg.Find(id);
+  struct Partner {
+    const flavor::Ingredient* ing;
+    size_t shared;
+  };
+  std::vector<Partner> partners;
+  for (flavor::IngredientId other : reg.LiveIngredients()) {
+    if (other == id) continue;
+    const flavor::Ingredient* ing = reg.Find(other);
+    partners.push_back({ing, target->profile.SharedCompounds(ing->profile)});
+  }
+  std::sort(partners.begin(), partners.end(),
+            [](const Partner& a, const Partner& b) {
+              return a.shared > b.shared;
+            });
+  std::printf("%s (%zu molecules) — top %zu partners by shared compounds:\n",
+              target->name.c_str(), target->profile.size(), args.top);
+  for (size_t i = 0; i < args.top && i < partners.size(); ++i) {
+    std::printf("  %2zu. %-24s %zu shared\n", i + 1,
+                partners[i].ing->name.c_str(), partners[i].shared);
+  }
+  return 0;
+}
+
+int CmdParse(const GlobalArgs& args) {
+  if (args.positional.empty()) {
+    std::fprintf(stderr, "usage: culinary parse PHRASE...\n");
+    return 2;
+  }
+  CULINARY_ASSIGN_OR_RETURN_FOR_MAIN(world, BuildWorld(args));
+  recipe::IngredientPhraseParser parser(&world.registry());
+  for (const std::string& phrase : args.positional) {
+    recipe::PhraseMatch m = parser.Parse(phrase);
+    const char* status = m.status == recipe::MatchStatus::kMatched
+                             ? "MATCHED"
+                             : (m.status == recipe::MatchStatus::kPartial
+                                    ? "PARTIAL"
+                                    : "UNRECOGNIZED");
+    std::printf("%s: %s%s\n", status, phrase.c_str(),
+                m.used_fuzzy ? " (fuzzy)" : "");
+    for (flavor::IngredientId id : m.ids) {
+      std::printf("  -> %s\n", world.registry().Find(id)->name.c_str());
+    }
+    for (const std::string& t : m.leftover_tokens) {
+      std::printf("  ?? %s\n", t.c_str());
+    }
+  }
+  return 0;
+}
+
+int CmdClassify(const GlobalArgs& args) {
+  CULINARY_ASSIGN_OR_RETURN_FOR_MAIN(world, BuildWorld(args));
+  analysis::CuisineClassifier classifier(world.db().AllCuisines());
+  auto eval = classifier.EvaluateLeaveOneOut(args.probes);
+  analysis::TextTable table({"Region", "LOO accuracy"});
+  for (const auto& [region, acc] : eval.per_region_accuracy) {
+    table.AddRow({std::string(recipe::RegionCode(region)),
+                  FormatDouble(100.0 * acc, 1) + "%"});
+  }
+  std::printf("%s", table.ToString().c_str());
+  std::printf("overall: %.1f%% over %zu probes\n", 100.0 * eval.accuracy(),
+              eval.total);
+  return 0;
+}
+
+int AnalyzeAgainstRegistry(const GlobalArgs& args,
+                           const flavor::FlavorRegistry& registry) {
+  size_t skipped = 0;
+  auto db =
+      recipe::RecipeDatabase::LoadCsv(args.recipes_file, &registry, &skipped);
+  if (!db.ok()) {
+    std::fprintf(stderr, "load failed: %s\n", db.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("loaded %zu recipes (%zu rows skipped) from %s\n",
+              db->num_recipes(), skipped, args.recipes_file.c_str());
+  analysis::NullModelOptions options;
+  options.num_recipes = args.null_recipes;
+  for (int i = 0; i < recipe::kNumRegions; ++i) {
+    recipe::Cuisine cuisine = db->CuisineFor(recipe::AllRegions()[i]);
+    if (cuisine.num_recipes() < 10) continue;  // too small to analyze
+    analysis::PairingCache cache(registry, cuisine.unique_ingredients());
+    auto results =
+        analysis::CompareAgainstAllModels(cache, cuisine, registry, options);
+    if (!results.ok()) {
+      std::fprintf(stderr, "analysis failed: %s\n",
+                   results.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%-22s N_s(real)=%.3f\n",
+                std::string(recipe::RegionName(cuisine.region())).c_str(),
+                (*results)[0].real_mean);
+    for (const auto& r : *results) {
+      std::printf("  vs %-20s null mean %.3f  Z = %+.1f\n",
+                  std::string(analysis::NullModelKindToString(r.kind)).c_str(),
+                  r.null_mean, r.z_score);
+    }
+  }
+  return 0;
+}
+
+int CmdAnalyze(const GlobalArgs& args) {
+  if (args.recipes_file.empty()) {
+    std::fprintf(stderr,
+                 "usage: culinary analyze --recipes=FILE [--registry=PREFIX]\n");
+    return 2;
+  }
+  if (!args.registry_prefix.empty()) {
+    // Self-contained mode: resolve names against a saved registry instead
+    // of regenerating the synthetic world.
+    CULINARY_ASSIGN_OR_RETURN_FOR_MAIN(
+        registry, flavor::LoadRegistryCsv(args.registry_prefix));
+    return AnalyzeAgainstRegistry(args, registry);
+  }
+  CULINARY_ASSIGN_OR_RETURN_FOR_MAIN(world, BuildWorld(args));
+  return AnalyzeAgainstRegistry(args, world.registry());
+}
+
+int CmdSimilar(const GlobalArgs& args) {
+  CULINARY_ASSIGN_OR_RETURN_FOR_MAIN(world, BuildWorld(args));
+  std::vector<recipe::Cuisine> cuisines = world.db().AllCuisines();
+  auto show = [&](size_t target) -> int {
+    auto nearest = analysis::NearestCuisines(
+        cuisines, target, args.top, analysis::CuisineSimilarity::kUsageCosine);
+    if (!nearest.ok()) {
+      std::fprintf(stderr, "similarity failed\n");
+      return 1;
+    }
+    std::printf("%s nearest cuisines (usage cosine):\n",
+                std::string(recipe::RegionCode(cuisines[target].region()))
+                    .c_str());
+    for (const auto& [region, score] : *nearest) {
+      std::printf("  %-5s %.3f\n",
+                  std::string(recipe::RegionCode(region)).c_str(), score);
+    }
+    return 0;
+  };
+  if (!args.region.empty()) {
+    auto region = recipe::RegionFromCode(args.region);
+    if (!region.has_value()) {
+      std::fprintf(stderr, "unknown region '%s'\n", args.region.c_str());
+      return 1;
+    }
+    for (size_t c = 0; c < cuisines.size(); ++c) {
+      if (cuisines[c].region() == *region) return show(c);
+    }
+    return 1;
+  }
+  for (size_t c = 0; c < cuisines.size(); ++c) {
+    if (int rc = show(c); rc != 0) return rc;
+  }
+  return 0;
+}
+
+int CmdAuthentic(const GlobalArgs& args) {
+  if (args.region.empty()) {
+    std::fprintf(stderr, "usage: culinary authentic --region=CODE [--top=K]\n");
+    return 2;
+  }
+  auto region = recipe::RegionFromCode(args.region);
+  if (!region.has_value() || *region == recipe::Region::kWorld) {
+    std::fprintf(stderr, "unknown region '%s'\n", args.region.c_str());
+    return 1;
+  }
+  CULINARY_ASSIGN_OR_RETURN_FOR_MAIN(world, BuildWorld(args));
+  std::vector<recipe::Cuisine> cuisines = world.db().AllCuisines();
+  size_t target = 0;
+  for (size_t c = 0; c < cuisines.size(); ++c) {
+    if (cuisines[c].region() == *region) target = c;
+  }
+  CULINARY_ASSIGN_OR_RETURN_FOR_MAIN(
+      authentic,
+      network::MostAuthenticIngredients(cuisines, target, args.top));
+  std::printf("most authentic ingredients of %s:\n", args.region.c_str());
+  for (const auto& ai : authentic) {
+    const flavor::Ingredient* ing = world.registry().Find(ai.id);
+    std::printf("  %-26s prevalence %.2f  authenticity %+.2f\n",
+                ing != nullptr ? ing->name.c_str() : "?", ai.prevalence,
+                ai.authenticity);
+  }
+  return 0;
+}
+
+void PrintUsage() {
+  std::fprintf(
+      stderr,
+      "usage: culinary <stats|export|pairing|partners|parse|classify|"
+      "similar|authentic|analyze>"
+      " [options]\n"
+      "global options: --small --seed=N --null-recipes=N\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    PrintUsage();
+    return 2;
+  }
+  std::string cmd = argv[1];
+  GlobalArgs args = ParseArgs(argc, argv, 2);
+  if (cmd == "stats") return CmdStats(args);
+  if (cmd == "export") return CmdExport(args);
+  if (cmd == "pairing") return CmdPairing(args);
+  if (cmd == "partners") return CmdPartners(args);
+  if (cmd == "parse") return CmdParse(args);
+  if (cmd == "classify") return CmdClassify(args);
+  if (cmd == "similar") return CmdSimilar(args);
+  if (cmd == "authentic") return CmdAuthentic(args);
+  if (cmd == "analyze") return CmdAnalyze(args);
+  PrintUsage();
+  return 2;
+}
