@@ -62,4 +62,59 @@ std::string RenderSeries(const std::string& x_label, const std::string& y_label,
   return out;
 }
 
+namespace {
+
+void AppendDiagnostics(std::string& out, const robustness::ErrorSink* sink,
+                       size_t max_diagnostics) {
+  if (sink == nullptr || sink->empty()) return;
+  out += "errors: " + sink->Summary() + "\n";
+  size_t shown = 0;
+  for (const robustness::Diagnostic& d : sink->diagnostics()) {
+    if (shown >= max_diagnostics) break;
+    out += "  " + d.ToString() + "\n";
+    ++shown;
+  }
+  if (sink->diagnostics().size() > shown) {
+    out += "  ... and " + std::to_string(sink->diagnostics().size() - shown) +
+           " more stored\n";
+  }
+}
+
+}  // namespace
+
+std::string RenderIngestStats(const std::string& source_label,
+                              const robustness::IngestStats& stats,
+                              const robustness::ErrorSink* sink,
+                              size_t max_diagnostics) {
+  std::string out = "=== Ingestion: " + source_label + " ===\n";
+  out += "records total:       " + std::to_string(stats.records_total) + "\n";
+  out += "records kept:        " + std::to_string(stats.records_ok) + "\n";
+  out += "records quarantined: " +
+         std::to_string(stats.records_quarantined) + "\n";
+  out += "coverage:            " +
+         culinary::FormatDouble(stats.coverage(), 3) + "\n";
+  AppendDiagnostics(out, sink, max_diagnostics);
+  return out;
+}
+
+std::string RenderIngestReport(const std::string& source_label,
+                               const recipe::IngestReport& report,
+                               const robustness::ErrorSink* sink,
+                               size_t max_diagnostics) {
+  std::string out = "=== Ingestion: " + source_label + " ===\n";
+  out += "records total:       " +
+         std::to_string(report.records.records_total) + "\n";
+  out += "recipes loaded:      " + std::to_string(report.rows_loaded) + "\n";
+  out += "csv quarantined:     " +
+         std::to_string(report.records.records_quarantined) + "\n";
+  out += "rows quarantined:    " + std::to_string(report.rows_quarantined) +
+         "\n";
+  out += "unknown ingredients: " +
+         std::to_string(report.ingredient_names_dropped) + "\n";
+  out += "coverage:            " +
+         culinary::FormatDouble(report.coverage(), 3) + "\n";
+  AppendDiagnostics(out, sink, max_diagnostics);
+  return out;
+}
+
 }  // namespace culinary::analysis

@@ -4,6 +4,9 @@
 #include <string>
 #include <vector>
 
+#include "recipe/database.h"
+#include "robustness/error_sink.h"
+
 namespace culinary::analysis {
 
 /// Minimal aligned-text table renderer used by the experiment binaries to
@@ -32,6 +35,23 @@ class TextTable {
 std::string RenderSeries(const std::string& x_label, const std::string& y_label,
                          const std::vector<double>& ys, size_t first_x = 0,
                          bool with_bars = true);
+
+/// Renders record-level ingestion accounting — total / kept / quarantined
+/// records and the data-coverage fraction — plus, when `sink` is non-null
+/// and non-empty, its error summary and the first few stored diagnostics.
+/// Experiment drivers print this block whenever they ran on degraded data,
+/// so a reader can always tell how much corpus backed the numbers.
+std::string RenderIngestStats(const std::string& source_label,
+                              const robustness::IngestStats& stats,
+                              const robustness::ErrorSink* sink = nullptr,
+                              size_t max_diagnostics = 5);
+
+/// `RenderIngestStats` for a full recipe-database ingestion report
+/// (includes row-resolution quarantines and dropped ingredient names).
+std::string RenderIngestReport(const std::string& source_label,
+                               const recipe::IngestReport& report,
+                               const robustness::ErrorSink* sink = nullptr,
+                               size_t max_diagnostics = 5);
 
 }  // namespace culinary::analysis
 

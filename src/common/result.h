@@ -1,7 +1,6 @@
 #ifndef CULINARYLAB_COMMON_RESULT_H_
 #define CULINARYLAB_COMMON_RESULT_H_
 
-#include <cassert>
 #include <optional>
 #include <utility>
 
@@ -9,11 +8,19 @@
 
 namespace culinary {
 
+namespace internal {
+/// Prints the status to stderr and aborts. Out-of-line so the cold path
+/// costs one call in `Result::value()`.
+[[noreturn]] void ResultValueAbort(const Status& status);
+}  // namespace internal
+
 /// The union of a `Status` and a value of type `T` (a `StatusOr`).
 ///
 /// A `Result<T>` either holds a value (in which case `ok()` is true and
 /// `status()` is OK) or an error status. Accessing the value of an error
-/// result is a programming error and asserts in debug builds.
+/// result is a programming error and aborts — in every build mode — with
+/// the error status on stderr (an `assert` would compile out of release
+/// builds and leave the access as undefined behaviour).
 ///
 /// ```cpp
 /// Result<Table> r = CsvReader::ReadFile(path);
@@ -25,7 +32,10 @@ class Result {
  public:
   /// Constructs an error result. `status` must not be OK.
   Result(Status status) : status_(std::move(status)) {  // NOLINT(runtime/explicit)
-    assert(!status_.ok() && "Result constructed from OK status without value");
+    if (status_.ok()) {
+      internal::ResultValueAbort(
+          Status::Internal("Result constructed from OK status without value"));
+    }
   }
 
   /// Constructs a successful result holding `value`.
@@ -42,17 +52,18 @@ class Result {
   /// The status: OK when a value is present, the error otherwise.
   const Status& status() const { return status_; }
 
-  /// Value accessors. Must only be called when `ok()`.
+  /// Value accessors. Calling on an error result aborts with the status
+  /// message (all build modes).
   const T& value() const& {
-    assert(ok());
+    if (!ok()) internal::ResultValueAbort(status_);
     return *value_;
   }
   T& value() & {
-    assert(ok());
+    if (!ok()) internal::ResultValueAbort(status_);
     return *value_;
   }
   T&& value() && {
-    assert(ok());
+    if (!ok()) internal::ResultValueAbort(status_);
     return std::move(*value_);
   }
 

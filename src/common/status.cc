@@ -1,6 +1,22 @@
 #include "common/status.h"
 
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/result.h"
+
 namespace culinary {
+
+namespace internal {
+
+void ResultValueAbort(const Status& status) {
+  std::fprintf(stderr, "FATAL: Result::value() called on error result: %s\n",
+               status.ToString().c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace internal
 
 std::string_view StatusCodeToString(StatusCode code) {
   switch (code) {
@@ -26,6 +42,16 @@ std::string_view StatusCodeToString(StatusCode code) {
       return "Unimplemented";
   }
   return "Unknown";
+}
+
+Status Status::WithContext(std::string_view prefix) const {
+  if (ok() || prefix.empty()) return *this;
+  std::string annotated(prefix);
+  if (!message_.empty()) {
+    annotated += ": ";
+    annotated += message_;
+  }
+  return Status(code_, std::move(annotated));
 }
 
 std::string Status::ToString() const {

@@ -104,6 +104,15 @@ class Status {
   bool IsInternal() const { return code_ == StatusCode::kInternal; }
   bool IsUnimplemented() const { return code_ == StatusCode::kUnimplemented; }
 
+  /// Returns a copy whose message is prefixed with `prefix` (": "-joined),
+  /// preserving the code. OK statuses pass through untouched. Ingestion
+  /// call sites use this so a deep CSV error still names the file/stage:
+  ///
+  /// ```cpp
+  /// return s.WithContext("loading registry from " + path);
+  /// ```
+  Status WithContext(std::string_view prefix) const;
+
   /// "OK" or "<CodeName>: <message>".
   std::string ToString() const;
 

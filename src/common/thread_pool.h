@@ -29,6 +29,12 @@ class ThreadPool {
   /// Signals shutdown, drains remaining tasks and joins the workers.
   ~ThreadPool();
 
+  /// Explicitly signals shutdown, drains the queue and joins the workers.
+  /// Idempotent; the destructor calls it. After `Shutdown` returns, `Submit`
+  /// runs tasks inline in the calling thread (see below), so late
+  /// submissions still complete and their futures never hang.
+  void Shutdown();
+
   size_t num_threads() const { return workers_.size(); }
 
   /// Enqueues `fn` and returns a future for its result. Tasks submitted

@@ -3,14 +3,20 @@
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <sstream>
 
 #include "common/string_util.h"
+#include "robustness/fault_injector.h"
 
 namespace culinary::df {
 
 namespace {
+
+using robustness::ErrorPolicy;
+using robustness::ErrorSink;
+using robustness::FaultInjector;
 
 struct RawField {
   std::string text;
@@ -19,15 +25,41 @@ struct RawField {
 
 using RawRecord = std::vector<RawField>;
 
-/// Splits `text` into records of fields per RFC 4180.
-culinary::Result<std::vector<RawRecord>> Tokenize(std::string_view text,
-                                                  char delimiter) {
+/// Tokenizer output: the records plus, per record, the 1-based source line
+/// it starts on (for diagnostics), and the count of records the degraded
+/// policies had to drop at the tokenizer level.
+struct TokenizeOutput {
   std::vector<RawRecord> records;
+  std::vector<size_t> record_lines;
+  size_t dropped_records = 0;
+};
+
+void ReportOrCount(ErrorSink* sink, size_t line, size_t column,
+                   std::string message, std::string snippet) {
+  if (sink != nullptr) {
+    sink->Report(line, column, StatusCode::kParseError, std::move(message),
+                 std::move(snippet));
+  }
+}
+
+/// Splits `text` into records of fields per RFC 4180, tracking line and
+/// column. Under `kStrict` the first structural error (garbage after a
+/// closing quote, unterminated quote at EOF) returns a ParseError naming
+/// line and column; under the degraded policies the damaged record is
+/// dropped with a diagnostic and scanning resumes at the next newline.
+culinary::Result<TokenizeOutput> Tokenize(std::string_view text,
+                                          char delimiter, ErrorPolicy policy,
+                                          ErrorSink* sink) {
+  TokenizeOutput out;
   RawRecord record;
   RawField field;
   enum class State { kFieldStart, kUnquoted, kQuoted, kQuoteInQuoted };
   State state = State::kFieldStart;
   size_t line = 1;
+  size_t column = 0;         // 1-based column of the current character
+  size_t record_line = 1;    // line the in-flight record started on
+  size_t quote_line = 0;     // position of the last opening quote
+  size_t quote_column = 0;
 
   auto end_field = [&]() {
     record.push_back(std::move(field));
@@ -35,22 +67,34 @@ culinary::Result<std::vector<RawRecord>> Tokenize(std::string_view text,
   };
   auto end_record = [&]() {
     end_field();
-    records.push_back(std::move(record));
+    out.records.push_back(std::move(record));
+    out.record_lines.push_back(record_line);
     record = RawRecord{};
   };
+  auto drop_record = [&]() {
+    record.clear();
+    field = RawField{};
+    ++out.dropped_records;
+  };
 
-  for (size_t i = 0; i < text.size(); ++i) {
+  size_t i = 0;
+  while (i < text.size()) {
     char c = text[i];
-    if (c == '\n') ++line;
+    ++column;
     switch (state) {
       case State::kFieldStart:
         if (c == '"') {
           field.quoted = true;
+          quote_line = line;
+          quote_column = column;
           state = State::kQuoted;
         } else if (c == delimiter) {
           end_field();
         } else if (c == '\n') {
           end_record();
+          ++line;
+          column = 0;
+          record_line = line;
         } else if (c == '\r') {
           // swallow; newline handled next iteration
         } else {
@@ -68,6 +112,9 @@ culinary::Result<std::vector<RawRecord>> Tokenize(std::string_view text,
             field.text.pop_back();
           }
           end_record();
+          ++line;
+          column = 0;
+          record_line = line;
           state = State::kFieldStart;
         } else {
           field.text.push_back(c);
@@ -77,6 +124,10 @@ culinary::Result<std::vector<RawRecord>> Tokenize(std::string_view text,
         if (c == '"') {
           state = State::kQuoteInQuoted;
         } else {
+          if (c == '\n') {
+            ++line;
+            column = 0;
+          }
           field.text.push_back(c);
         }
         break;
@@ -89,26 +140,60 @@ culinary::Result<std::vector<RawRecord>> Tokenize(std::string_view text,
           state = State::kFieldStart;
         } else if (c == '\n') {
           end_record();
+          ++line;
+          column = 0;
+          record_line = line;
           state = State::kFieldStart;
         } else if (c == '\r') {
           // part of \r\n after closing quote; swallow
         } else {
-          return culinary::Status::ParseError(
+          std::string message =
               "unexpected character after closing quote at line " +
-              std::to_string(line));
+              std::to_string(line) + ", column " + std::to_string(column);
+          if (policy == ErrorPolicy::kStrict) {
+            return culinary::Status::ParseError(std::move(message));
+          }
+          ReportOrCount(sink, line, column, std::move(message),
+                        std::string(1, c));
+          // Resync: drop the damaged record and skip to the next newline.
+          drop_record();
+          while (i < text.size() && text[i] != '\n') ++i;
+          if (i < text.size()) {
+            ++line;
+            column = 0;
+            record_line = line;
+          }
+          state = State::kFieldStart;
         }
         break;
     }
+    ++i;
   }
+
   if (state == State::kQuoted) {
-    return culinary::Status::ParseError("unterminated quoted field");
+    std::string message = "unterminated quoted field starting at line " +
+                          std::to_string(quote_line) + ", column " +
+                          std::to_string(quote_column);
+    if (policy == ErrorPolicy::kStrict) {
+      return culinary::Status::ParseError(std::move(message));
+    }
+    std::string snippet = field.text.substr(0, ErrorSink::kMaxSnippetBytes);
+    ReportOrCount(sink, quote_line, quote_column, std::move(message),
+                  std::move(snippet));
+    drop_record();
+    return out;
   }
-  // Flush a final record without trailing newline.
+  // Flush a final record without trailing newline (a \r straggler from an
+  // unterminated \r\n is stripped).
+  if (state == State::kUnquoted && !field.text.empty() &&
+      field.text.back() == '\r') {
+    field.text.pop_back();
+  }
   if (state != State::kFieldStart || !field.text.empty() || field.quoted ||
       !record.empty()) {
     end_record();
   }
-  return records;
+  return out;
 }
 
 bool ParseInt64(const std::string& s, int64_t* out) {
@@ -135,8 +220,11 @@ bool ParseDouble(const std::string& s, double* out) {
 
 culinary::Result<Table> ReadCsvString(std::string_view text,
                                       const CsvReadOptions& options) {
-  CULINARY_ASSIGN_OR_RETURN(std::vector<RawRecord> records,
-                            Tokenize(text, options.delimiter));
+  CULINARY_ASSIGN_OR_RETURN(
+      TokenizeOutput tokenized,
+      Tokenize(text, options.delimiter, options.error_policy,
+               options.error_sink));
+  std::vector<RawRecord>& records = tokenized.records;
   if (records.empty()) {
     return culinary::Status::ParseError("empty CSV input");
   }
@@ -151,25 +239,53 @@ culinary::Result<Table> ReadCsvString(std::string_view text,
     for (size_t c = 0; c < num_cols; ++c) names.push_back("c" + std::to_string(c));
   }
 
+  // Width-check every data record. Strict fails fast; skip-and-report
+  // quarantines; best-effort pads short rows with nulls and truncates long
+  // ones, keeping the record.
+  std::vector<size_t> kept;
+  kept.reserve(records.size() - first_data);
+  size_t quarantined = tokenized.dropped_records;
   for (size_t r = first_data; r < records.size(); ++r) {
-    if (records[r].size() != num_cols) {
-      return culinary::Status::ParseError(
-          "record " + std::to_string(r + 1) + " has " +
-          std::to_string(records[r].size()) + " fields, expected " +
-          std::to_string(num_cols));
+    if (records[r].size() == num_cols) {
+      kept.push_back(r);
+      continue;
     }
+    const size_t record_line = tokenized.record_lines[r];
+    std::string message = "record at line " + std::to_string(record_line) +
+                          " has " + std::to_string(records[r].size()) +
+                          " fields, expected " + std::to_string(num_cols);
+    if (options.error_policy == ErrorPolicy::kStrict) {
+      return culinary::Status::ParseError(std::move(message));
+    }
+    std::string snippet =
+        records[r].empty() ? std::string() : records[r][0].text;
+    ReportOrCount(options.error_sink, record_line, 0, std::move(message),
+                  std::move(snippet));
+    if (options.error_policy == ErrorPolicy::kBestEffort) {
+      records[r].resize(num_cols);  // pads with unquoted empty fields
+      kept.push_back(r);
+    } else {
+      ++quarantined;
+    }
+  }
+
+  if (options.stats != nullptr) {
+    options.stats->records_total =
+        (records.size() - first_data) + tokenized.dropped_records;
+    options.stats->records_ok = kept.size();
+    options.stats->records_quarantined = quarantined;
   }
 
   auto is_null = [&](const RawField& f) {
     return options.empty_as_null && !f.quoted && f.text.empty();
   };
 
-  // Infer per-column types over non-null fields.
+  // Infer per-column types over non-null fields of kept records.
   std::vector<DataType> types(num_cols, DataType::kString);
   if (options.infer_types) {
     for (size_t c = 0; c < num_cols; ++c) {
       bool all_int = true, all_double = true, any_value = false;
-      for (size_t r = first_data; r < records.size(); ++r) {
+      for (size_t r : kept) {
         const RawField& f = records[r][c];
         if (is_null(f)) continue;
         any_value = true;
@@ -191,7 +307,7 @@ culinary::Result<Table> ReadCsvString(std::string_view text,
   for (size_t c = 0; c < num_cols; ++c) fields.push_back({names[c], types[c]});
   CULINARY_ASSIGN_OR_RETURN(Table table, Table::Make(Schema(std::move(fields))));
 
-  for (size_t r = first_data; r < records.size(); ++r) {
+  for (size_t r : kept) {
     std::vector<Value> row;
     row.reserve(num_cols);
     for (size_t c = 0; c < num_cols; ++c) {
@@ -225,6 +341,9 @@ culinary::Result<Table> ReadCsvString(std::string_view text,
 
 culinary::Result<Table> ReadCsvFile(const std::string& path,
                                     const CsvReadOptions& options) {
+  CULINARY_RETURN_IF_ERROR(FaultInjector::Global()
+                               .Check(robustness::kFaultCsvOpen)
+                               .WithContext("opening " + path));
   std::ifstream in(path, std::ios::binary);
   if (!in) {
     return culinary::Status::IOError("cannot open file: " + path);
@@ -234,7 +353,17 @@ culinary::Result<Table> ReadCsvFile(const std::string& path,
   if (in.bad()) {
     return culinary::Status::IOError("error reading file: " + path);
   }
+  CULINARY_RETURN_IF_ERROR(FaultInjector::Global()
+                               .Check(robustness::kFaultCsvRead)
+                               .WithContext("reading " + path));
   return ReadCsvString(buf.str(), options);
+}
+
+culinary::Result<Table> ReadCsvFileRetry(
+    const std::string& path, const CsvReadOptions& options,
+    const robustness::RetryPolicy& retry) {
+  return robustness::RetryResult(
+      retry, [&]() { return ReadCsvFile(path, options); });
 }
 
 namespace {
@@ -257,6 +386,29 @@ void WriteField(std::string& out, std::string_view text, char delimiter) {
     out.push_back(c);
   }
   out.push_back('"');
+}
+
+/// Streams `table` as CSV into `path` verbatim (no temp file).
+culinary::Status WriteCsvFileDirect(const Table& table,
+                                    const std::string& path,
+                                    const CsvWriteOptions& options) {
+  CULINARY_RETURN_IF_ERROR(FaultInjector::Global()
+                               .Check(robustness::kFaultCsvOpenWrite)
+                               .WithContext("opening for write " + path));
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    return culinary::Status::IOError("cannot open file for write: " + path);
+  }
+  out << WriteCsvString(table, options);
+  out.flush();
+  if (!out) {
+    return culinary::Status::IOError("error writing file: " + path);
+  }
+  // Fires after bytes hit the temp/destination file — the "crash
+  // mid-write" injection point.
+  return FaultInjector::Global()
+      .Check(robustness::kFaultCsvWrite)
+      .WithContext("writing " + path);
 }
 
 }  // namespace
@@ -293,14 +445,20 @@ std::string WriteCsvString(const Table& table, const CsvWriteOptions& options) {
 
 culinary::Status WriteCsvFile(const Table& table, const std::string& path,
                               const CsvWriteOptions& options) {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) {
-    return culinary::Status::IOError("cannot open file for write: " + path);
+  if (!options.atomic_write) {
+    return WriteCsvFileDirect(table, path, options);
   }
-  out << WriteCsvString(table, options);
-  out.flush();
-  if (!out) {
-    return culinary::Status::IOError("error writing file: " + path);
+  // Crash-safe: write the temp file fully, then rename over the
+  // destination. A failure (or crash) before the rename leaves the
+  // previous `path` intact; the orphan temp file is the only residue.
+  const std::string tmp = path + ".tmp";
+  CULINARY_RETURN_IF_ERROR(WriteCsvFileDirect(table, tmp, options));
+  CULINARY_RETURN_IF_ERROR(FaultInjector::Global()
+                               .Check(robustness::kFaultCsvRename)
+                               .WithContext("renaming " + tmp));
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    return culinary::Status::IOError("rename failed: " + tmp + " -> " + path +
+                                     " (" + std::strerror(errno) + ")");
   }
   return culinary::Status::OK();
 }

@@ -6,6 +6,8 @@
 #include "common/result.h"
 #include "common/status.h"
 #include "flavor/registry.h"
+#include "robustness/error_sink.h"
+#include "robustness/retry.h"
 
 namespace culinary::flavor {
 
@@ -24,7 +26,28 @@ namespace culinary::flavor {
 /// re-created and re-removed), so recipe CSVs that reference ingredient
 /// names resolve identically against the loaded registry.
 
-/// Writes both CSV files. IOError on filesystem failure.
+/// Controls degraded-mode loading of a possibly-damaged registry dump.
+struct RegistryLoadOptions {
+  /// kStrict fails fast on the first malformed row (seed behaviour). The
+  /// degraded policies quarantine damaged rows: a quarantined molecule/
+  /// entity row is replaced by a placeholder slot (tombstoned, for
+  /// entities) so that every later id in the file still resolves to the
+  /// same slot — id space is load-bearing for profiles and constituents.
+  /// kBestEffort additionally salvages partially-damaged rows (drops
+  /// dangling molecule/constituent ids, defaults an unknown kind to basic).
+  robustness::ErrorPolicy error_policy = robustness::ErrorPolicy::kStrict;
+  /// Receives row diagnostics under the degraded policies (may be null).
+  robustness::ErrorSink* error_sink = nullptr;
+  /// Receives merged accounting over both files (may be null).
+  robustness::IngestStats* stats = nullptr;
+  /// Retry schedule for transient IO failures while reading the two files.
+  robustness::RetryPolicy retry = robustness::RetryPolicy::None();
+};
+
+/// Writes both CSV files crash-safely (temp file + rename, see
+/// `CsvWriteOptions::atomic_write`): a crash mid-save leaves any previous
+/// dump loadable. IOError on filesystem failure, annotated with the file
+/// being written.
 culinary::Status SaveRegistryCsv(const FlavorRegistry& registry,
                                  const std::string& prefix);
 
@@ -32,6 +55,11 @@ culinary::Status SaveRegistryCsv(const FlavorRegistry& registry,
 /// malformed content (unknown category/kind, dangling molecule or
 /// constituent ids, non-contiguous ids).
 culinary::Result<FlavorRegistry> LoadRegistryCsv(const std::string& prefix);
+
+/// `LoadRegistryCsv` with explicit error policy, diagnostics, accounting
+/// and IO retry (see `RegistryLoadOptions`).
+culinary::Result<FlavorRegistry> LoadRegistryCsv(
+    const std::string& prefix, const RegistryLoadOptions& options);
 
 }  // namespace culinary::flavor
 

@@ -1,12 +1,23 @@
 #include "recipe/database.h"
 
 #include <algorithm>
+#include <sstream>
 
 #include "common/string_util.h"
 #include "dataframe/csv.h"
 #include "dataframe/table.h"
 
 namespace culinary::recipe {
+
+std::string IngestReport::Summary() const {
+  std::ostringstream os;
+  os << rows_loaded << "/" << records.records_total << " recipes loaded"
+     << " (coverage " << culinary::FormatDouble(coverage(), 3) << ", csv "
+     << records.records_quarantined << " quarantined, rows "
+     << rows_quarantined << " quarantined, " << ingredient_names_dropped
+     << " unknown ingredient names dropped)";
+  return os.str();
+}
 
 culinary::Result<RecipeId> RecipeDatabase::AddRecipe(
     std::string name, Region region, std::vector<flavor::IngredientId> ids) {
@@ -94,24 +105,59 @@ culinary::Status RecipeDatabase::SaveCsv(const std::string& path) const {
          df::Value::Str(std::string(RegionCode(r.region))),
          df::Value::Str(culinary::Join(names, ";"))}));
   }
-  return df::WriteCsvFile(table, path);
+  df::CsvWriteOptions write_options;
+  write_options.atomic_write = true;
+  return df::WriteCsvFile(table, path, write_options)
+      .WithContext("saving recipe database to " + path);
 }
 
-culinary::Result<RecipeDatabase> RecipeDatabase::LoadCsv(
+namespace {
+
+/// Shared row-resolution loop. `csv_policy` governs the CSV layer,
+/// `row_policy` the resolution layer — the legacy LoadCsv entry point is
+/// strict about CSV damage but always skipped unresolvable rows.
+culinary::Result<RecipeDatabase> LoadCsvImpl(
     const std::string& path, const flavor::FlavorRegistry* registry,
-    size_t* skipped_rows) {
+    robustness::ErrorPolicy csv_policy, robustness::ErrorPolicy row_policy,
+    robustness::ErrorSink* sink, const robustness::RetryPolicy& retry,
+    IngestReport* report) {
   if (registry == nullptr) {
     return culinary::Status::InvalidArgument("registry must not be null");
   }
-  CULINARY_ASSIGN_OR_RETURN(df::Table table, df::ReadCsvFile(path));
+  IngestReport local;
+  df::CsvReadOptions read_options;
+  read_options.error_policy = csv_policy;
+  read_options.error_sink = sink;
+  read_options.stats = &local.records;
+  auto table_read = df::ReadCsvFileRetry(path, read_options, retry);
+  if (!table_read.ok()) {
+    return table_read.status().WithContext("loading recipe database from " +
+                                           path);
+  }
+  df::Table table = std::move(table_read).value();
   for (const char* col : {"name", "region", "ingredients"}) {
     if (!table.schema().HasField(col)) {
       return culinary::Status::ParseError(std::string("missing column '") +
                                           col + "' in " + path);
     }
   }
+  const bool strict_rows = row_policy == robustness::ErrorPolicy::kStrict;
+  auto quarantine = [&](size_t row, std::string message,
+                        std::string snippet) -> culinary::Status {
+    if (strict_rows) {
+      return culinary::Status::ParseError("row " + std::to_string(row) +
+                                          " of " + path + ": " + message);
+    }
+    if (sink != nullptr) {
+      sink->Report(/*line=*/0, /*column=*/0, StatusCode::kParseError,
+                   "row " + std::to_string(row) + ": " + std::move(message),
+                   std::move(snippet));
+    }
+    ++local.rows_quarantined;
+    return culinary::Status::OK();
+  };
+
   RecipeDatabase db(registry);
-  size_t skipped = 0;
   for (size_t r = 0; r < table.num_rows(); ++r) {
     CULINARY_ASSIGN_OR_RETURN(df::Value name_v, table.GetValueChecked(r, "name"));
     CULINARY_ASSIGN_OR_RETURN(df::Value region_v,
@@ -119,31 +165,76 @@ culinary::Result<RecipeDatabase> RecipeDatabase::LoadCsv(
     CULINARY_ASSIGN_OR_RETURN(df::Value ing_v,
                               table.GetValueChecked(r, "ingredients"));
     if (region_v.is_null() || ing_v.is_null()) {
-      ++skipped;
+      CULINARY_RETURN_IF_ERROR(
+          quarantine(r, "null region or ingredients", std::string()));
       continue;
     }
     auto region = RegionFromCode(region_v.as_string());
     if (!region.has_value() || *region == Region::kWorld) {
-      ++skipped;
+      CULINARY_RETURN_IF_ERROR(quarantine(
+          r, "unknown region '" + region_v.as_string() + "'",
+          region_v.as_string()));
       continue;
     }
     std::vector<flavor::IngredientId> ids;
+    size_t dropped_names = 0;
     for (const std::string& raw : culinary::Split(ing_v.as_string(), ';')) {
       std::string_view trimmed = culinary::Trim(raw);
       if (trimmed.empty()) continue;
       flavor::IngredientId id = registry->FindByName(trimmed);
-      if (id != flavor::kInvalidIngredient) ids.push_back(id);
+      if (id != flavor::kInvalidIngredient) {
+        ids.push_back(id);
+      } else {
+        if (strict_rows) {
+          return culinary::Status::ParseError(
+              "row " + std::to_string(r) + " of " + path +
+              ": unknown ingredient '" + std::string(trimmed) + "'");
+        }
+        ++dropped_names;
+      }
     }
+    local.ingredient_names_dropped += dropped_names;
     if (ids.empty()) {
-      ++skipped;
+      CULINARY_RETURN_IF_ERROR(quarantine(
+          r, "no resolvable ingredient", ing_v.as_string()));
       continue;
     }
     std::string name = name_v.is_null() ? "" : name_v.as_string();
     auto added = db.AddRecipe(std::move(name), *region, std::move(ids));
-    if (!added.ok()) ++skipped;
+    if (!added.ok()) {
+      CULINARY_RETURN_IF_ERROR(
+          quarantine(r, added.status().message(), std::string()));
+      continue;
+    }
+    ++local.rows_loaded;
   }
-  if (skipped_rows != nullptr) *skipped_rows = skipped;
+  if (report != nullptr) *report = local;
   return db;
+}
+
+}  // namespace
+
+culinary::Result<RecipeDatabase> RecipeDatabase::LoadCsv(
+    const std::string& path, const flavor::FlavorRegistry* registry,
+    size_t* skipped_rows) {
+  IngestReport report;
+  CULINARY_ASSIGN_OR_RETURN(
+      RecipeDatabase db,
+      LoadCsvImpl(path, registry,
+                  /*csv_policy=*/robustness::ErrorPolicy::kStrict,
+                  /*row_policy=*/robustness::ErrorPolicy::kSkipAndReport,
+                  /*sink=*/nullptr, robustness::RetryPolicy::None(),
+                  &report));
+  if (skipped_rows != nullptr) *skipped_rows = report.rows_quarantined;
+  return db;
+}
+
+culinary::Result<RecipeDatabase> RecipeDatabase::LoadCsv(
+    const std::string& path, const flavor::FlavorRegistry* registry,
+    const IngestOptions& options, IngestReport* report) {
+  return LoadCsvImpl(path, registry, options.error_policy,
+                     options.error_policy, options.error_sink, options.retry,
+                     report);
 }
 
 }  // namespace culinary::recipe

@@ -12,8 +12,50 @@
 #include "recipe/parser.h"
 #include "recipe/recipe.h"
 #include "recipe/region.h"
+#include "robustness/error_sink.h"
+#include "robustness/retry.h"
 
 namespace culinary::recipe {
+
+/// Controls degraded-mode loading of a recipe CSV (see LoadCsv below).
+struct IngestOptions {
+  /// Applies to both the CSV layer (malformed records) and the resolution
+  /// layer (unknown regions / ingredient names). kStrict fails fast with a
+  /// located ParseError; kSkipAndReport quarantines bad rows; kBestEffort
+  /// additionally salvages ragged CSV rows.
+  robustness::ErrorPolicy error_policy =
+      robustness::ErrorPolicy::kSkipAndReport;
+  /// Receives per-row diagnostics under the degraded policies (may be null).
+  robustness::ErrorSink* error_sink = nullptr;
+  /// Retry schedule for transient IO failures.
+  robustness::RetryPolicy retry = robustness::RetryPolicy::None();
+};
+
+/// Accounting for one recipe-CSV ingestion: how much of the corpus
+/// survived, and where the losses happened. Experiment drivers surface
+/// `coverage()` next to their results whenever they ran on degraded data.
+struct IngestReport {
+  /// CSV-record-level accounting (malformed / quarantined records).
+  robustness::IngestStats records;
+  /// Recipes actually added to the database.
+  size_t rows_loaded = 0;
+  /// Structurally valid rows dropped at resolution time (unknown region,
+  /// no resolvable ingredient, rejected by AddRecipe).
+  size_t rows_quarantined = 0;
+  /// Unknown ingredient names dropped inside otherwise-kept rows.
+  size_t ingredient_names_dropped = 0;
+
+  /// Recipes loaded over data records seen; 1.0 for an empty input.
+  double coverage() const {
+    return records.records_total == 0
+               ? 1.0
+               : static_cast<double>(rows_loaded) /
+                     static_cast<double>(records.records_total);
+  }
+
+  /// One-line roll-up for logs and reports.
+  std::string Summary() const;
+};
 
 /// The project's CulinaryDB equivalent: the full repertoire of recipes
 /// across all regions, with region grouping, the WORLD aggregate, and CSV
@@ -66,16 +108,26 @@ class RecipeDatabase {
   // CSV schema: id,name,region,ingredients — `ingredients` is a
   // ';'-separated list of canonical ingredient names.
 
-  /// Writes the database to a CSV file.
+  /// Writes the database to a CSV file crash-safely (temp file + rename).
   culinary::Status SaveCsv(const std::string& path) const;
 
   /// Loads a database from CSV, resolving ingredient names through
   /// `registry`. Rows with an unknown region are skipped and counted in
   /// `*skipped_rows` (may be null); unknown ingredient names within a row
-  /// are dropped; rows left with no ingredients are skipped.
+  /// are dropped; rows left with no ingredients are skipped. Malformed CSV
+  /// (ragged rows, broken quoting) is a ParseError; use the `IngestOptions`
+  /// overload to survive corrupt corpora.
   static culinary::Result<RecipeDatabase> LoadCsv(
       const std::string& path, const flavor::FlavorRegistry* registry,
       size_t* skipped_rows = nullptr);
+
+  /// Degraded-mode load: `options.error_policy` governs both malformed CSV
+  /// records and unresolvable rows (see IngestOptions). `report` (may be
+  /// null) receives quarantine counts and the data-coverage fraction;
+  /// `options.error_sink` receives per-row diagnostics.
+  static culinary::Result<RecipeDatabase> LoadCsv(
+      const std::string& path, const flavor::FlavorRegistry* registry,
+      const IngestOptions& options, IngestReport* report = nullptr);
 
  private:
   const flavor::FlavorRegistry* registry_;

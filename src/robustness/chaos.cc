@@ -1,0 +1,177 @@
+#include "robustness/chaos.h"
+
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "common/random.h"
+
+namespace culinary::robustness {
+
+namespace {
+
+enum class MutationKind : int {
+  kTruncate = 0,
+  kUnterminatedQuote,
+  kBitFlip,
+  kDuplicate,
+  kOversizedField,
+  kRaggedRow,
+};
+
+/// Draws one enabled mutation kind; falls back to truncation when the
+/// options disable everything.
+MutationKind DrawKind(const ChaosOptions& options, culinary::Rng& rng) {
+  std::vector<MutationKind> enabled;
+  if (options.enable_truncation) enabled.push_back(MutationKind::kTruncate);
+  if (options.enable_unterminated_quote) {
+    enabled.push_back(MutationKind::kUnterminatedQuote);
+  }
+  if (options.enable_bit_flips) enabled.push_back(MutationKind::kBitFlip);
+  if (options.enable_duplicate_lines) {
+    enabled.push_back(MutationKind::kDuplicate);
+  }
+  if (options.enable_oversized_fields) {
+    enabled.push_back(MutationKind::kOversizedField);
+  }
+  if (options.enable_ragged_rows) enabled.push_back(MutationKind::kRaggedRow);
+  if (enabled.empty()) return MutationKind::kTruncate;
+  return enabled[static_cast<size_t>(rng.NextBounded(enabled.size()))];
+}
+
+/// Applies one mutation to `line` (no trailing newline) in place; may
+/// append a duplicate via `extra_line`.
+void Mutate(MutationKind kind, std::string& line, std::string* extra_line,
+            const ChaosOptions& options, culinary::Rng& rng,
+            ChaosStats& stats) {
+  switch (kind) {
+    case MutationKind::kTruncate: {
+      if (!line.empty()) {
+        line.resize(static_cast<size_t>(rng.NextBounded(line.size())));
+      }
+      ++stats.truncations;
+      break;
+    }
+    case MutationKind::kUnterminatedQuote: {
+      size_t pos =
+          line.empty() ? 0 : static_cast<size_t>(rng.NextBounded(line.size()));
+      line.insert(pos, 1, '"');
+      ++stats.unterminated_quotes;
+      break;
+    }
+    case MutationKind::kBitFlip: {
+      if (!line.empty()) {
+        size_t pos = static_cast<size_t>(rng.NextBounded(line.size()));
+        int bit = static_cast<int>(rng.NextBounded(8));
+        char flipped = static_cast<char>(line[pos] ^ (1 << bit));
+        // Keep the mutation inside the line: a flip that fabricates a
+        // record separator would silently change line accounting.
+        if (flipped != '\n' && flipped != '\r') line[pos] = flipped;
+      }
+      ++stats.bit_flips;
+      break;
+    }
+    case MutationKind::kDuplicate: {
+      if (extra_line != nullptr) *extra_line = line;
+      ++stats.duplicated_lines;
+      break;
+    }
+    case MutationKind::kOversizedField: {
+      line.append(",");
+      line.append(options.oversized_field_bytes, 'X');
+      ++stats.oversized_fields;
+      break;
+    }
+    case MutationKind::kRaggedRow: {
+      if (rng.NextBernoulli(0.5)) {
+        line.append(",chaos_extra_field");
+      } else {
+        size_t comma = line.rfind(',');
+        if (comma != std::string::npos) {
+          line.resize(comma);
+        } else {
+          line.append(",chaos_extra_field");
+        }
+      }
+      ++stats.ragged_rows;
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+std::string ChaosStats::Summary() const {
+  std::ostringstream os;
+  os << lines_corrupted << "/" << lines_total << " lines corrupted"
+     << " (truncate: " << truncations
+     << ", quote: " << unterminated_quotes << ", bitflip: " << bit_flips
+     << ", dup: " << duplicated_lines << ", oversize: " << oversized_fields
+     << ", ragged: " << ragged_rows << ")";
+  return os.str();
+}
+
+std::string CorruptCsvText(std::string_view text, const ChaosOptions& options,
+                           ChaosStats* stats) {
+  ChaosStats local;
+  culinary::Rng rng(options.seed);
+  std::string out;
+  out.reserve(text.size() + text.size() / 16);
+
+  size_t pos = 0;
+  size_t line_index = 0;
+  while (pos < text.size()) {
+    size_t nl = text.find('\n', pos);
+    bool had_newline = nl != std::string_view::npos;
+    std::string line(text.substr(pos, had_newline ? nl - pos : std::string_view::npos));
+    pos = had_newline ? nl + 1 : text.size();
+
+    bool is_header = options.preserve_header && line_index == 0;
+    ++line_index;
+    if (!is_header) ++local.lines_total;
+
+    std::string duplicate;
+    if (!is_header && !line.empty() &&
+        rng.NextBernoulli(options.corruption_rate)) {
+      ++local.lines_corrupted;
+      Mutate(DrawKind(options, rng), line, &duplicate, options, rng, local);
+    }
+    out.append(line);
+    if (had_newline) out.push_back('\n');
+    if (!duplicate.empty()) {
+      out.append(duplicate);
+      out.push_back('\n');
+    }
+  }
+  if (stats != nullptr) *stats = local;
+  return out;
+}
+
+culinary::Status CorruptCsvFile(const std::string& in_path,
+                                const std::string& out_path,
+                                const ChaosOptions& options,
+                                ChaosStats* stats) {
+  std::ifstream in(in_path, std::ios::binary);
+  if (!in) {
+    return culinary::Status::IOError("cannot open file: " + in_path);
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  if (in.bad()) {
+    return culinary::Status::IOError("error reading file: " + in_path);
+  }
+  std::string corrupted = CorruptCsvText(buf.str(), options, stats);
+  std::ofstream out(out_path, std::ios::binary);
+  if (!out) {
+    return culinary::Status::IOError("cannot open file for write: " +
+                                     out_path);
+  }
+  out << corrupted;
+  out.flush();
+  if (!out) {
+    return culinary::Status::IOError("error writing file: " + out_path);
+  }
+  return culinary::Status::OK();
+}
+
+}  // namespace culinary::robustness

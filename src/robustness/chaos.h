@@ -1,0 +1,68 @@
+#ifndef CULINARYLAB_ROBUSTNESS_CHAOS_H_
+#define CULINARYLAB_ROBUSTNESS_CHAOS_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace culinary::robustness {
+
+/// Deterministic corruption schedule for serialized corpora.
+///
+/// `CorruptCsvText` damages a fraction of data lines with the mutation mix
+/// real scraped corpora exhibit — truncation, unterminated quotes, bit
+/// flips, duplicated records, oversized fields, ragged rows. The schedule
+/// is a pure function of (input, options.seed), so a soak failure replays
+/// exactly.
+struct ChaosOptions {
+  /// Fraction of data lines corrupted (Bernoulli per line).
+  double corruption_rate = 0.05;
+  uint64_t seed = 20180416;
+  /// Keep the header line intact (a destroyed header is unrecoverable and
+  /// belongs to strict-mode tests only).
+  bool preserve_header = true;
+
+  // Mutation mix; disabled kinds are skipped when drawing.
+  bool enable_truncation = true;
+  bool enable_unterminated_quote = true;
+  bool enable_bit_flips = true;
+  bool enable_duplicate_lines = true;
+  bool enable_oversized_fields = true;
+  bool enable_ragged_rows = true;
+
+  /// Payload size of an oversized-field mutation.
+  size_t oversized_field_bytes = 4096;
+};
+
+/// Per-kind tallies of applied mutations.
+struct ChaosStats {
+  size_t lines_total = 0;
+  size_t lines_corrupted = 0;
+  size_t truncations = 0;
+  size_t unterminated_quotes = 0;
+  size_t bit_flips = 0;
+  size_t duplicated_lines = 0;
+  size_t oversized_fields = 0;
+  size_t ragged_rows = 0;
+
+  /// One-line roll-up for logs.
+  std::string Summary() const;
+};
+
+/// Returns a corrupted copy of `text` (line-oriented CSV). Deterministic in
+/// (text, options.seed). `stats` (optional) receives the applied tallies.
+std::string CorruptCsvText(std::string_view text, const ChaosOptions& options,
+                           ChaosStats* stats = nullptr);
+
+/// Reads `in_path`, corrupts it, writes `out_path`. IOError on filesystem
+/// failure.
+culinary::Status CorruptCsvFile(const std::string& in_path,
+                                const std::string& out_path,
+                                const ChaosOptions& options,
+                                ChaosStats* stats = nullptr);
+
+}  // namespace culinary::robustness
+
+#endif  // CULINARYLAB_ROBUSTNESS_CHAOS_H_

@@ -1,0 +1,75 @@
+#include "robustness/error_sink.h"
+
+#include <sstream>
+
+namespace culinary::robustness {
+
+std::string_view ErrorPolicyToString(ErrorPolicy policy) {
+  switch (policy) {
+    case ErrorPolicy::kStrict:
+      return "strict";
+    case ErrorPolicy::kSkipAndReport:
+      return "skip-and-report";
+    case ErrorPolicy::kBestEffort:
+      return "best-effort";
+  }
+  return "strict";
+}
+
+std::string Diagnostic::ToString() const {
+  std::ostringstream os;
+  if (line > 0) {
+    os << "line " << line;
+    if (column > 0) os << ", col " << column;
+    os << ": ";
+  }
+  os << StatusCodeToString(code) << ": " << message;
+  if (!snippet.empty()) os << " [" << snippet << "]";
+  return os.str();
+}
+
+void ErrorSink::Report(Diagnostic diagnostic) {
+  if (diagnostic.snippet.size() > kMaxSnippetBytes) {
+    diagnostic.snippet.resize(kMaxSnippetBytes);
+    diagnostic.snippet += "...";
+  }
+  ++total_;
+  ++counts_by_code_[diagnostic.code];
+  if (diagnostics_.size() < capacity_) {
+    diagnostics_.push_back(std::move(diagnostic));
+  }
+}
+
+void ErrorSink::Report(size_t line, size_t column, StatusCode code,
+                       std::string message, std::string snippet) {
+  Diagnostic d;
+  d.line = line;
+  d.column = column;
+  d.code = code;
+  d.message = std::move(message);
+  d.snippet = std::move(snippet);
+  Report(std::move(d));
+}
+
+void ErrorSink::Clear() {
+  total_ = 0;
+  diagnostics_.clear();
+  counts_by_code_.clear();
+}
+
+std::string ErrorSink::Summary() const {
+  if (total_ == 0) return "no errors";
+  std::ostringstream os;
+  os << total_ << (total_ == 1 ? " error (" : " errors (");
+  bool first = true;
+  for (const auto& [code, count] : counts_by_code_) {
+    if (!first) os << ", ";
+    first = false;
+    os << StatusCodeToString(code) << ": " << count;
+  }
+  os << ")";
+  if (dropped() > 0) os << ", " << dropped() << " not stored";
+  return os.str();
+}
+
+}  // namespace culinary::robustness

@@ -1,0 +1,131 @@
+#ifndef CULINARYLAB_ROBUSTNESS_ERROR_SINK_H_
+#define CULINARYLAB_ROBUSTNESS_ERROR_SINK_H_
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace culinary::robustness {
+
+/// How an ingestion stage reacts to malformed input.
+///
+/// The paper's corpus is scraped web data; production ingestion must keep
+/// going through localized damage while preserving a fail-fast mode for
+/// curated data. Every CSV / registry / recipe loader accepts one of:
+enum class ErrorPolicy : int {
+  /// Abort on the first malformed record (seed behaviour; curated inputs).
+  kStrict = 0,
+  /// Quarantine malformed records, report them through an `ErrorSink`, and
+  /// continue with the remaining data.
+  kSkipAndReport = 1,
+  /// Like `kSkipAndReport`, but additionally salvage partially-damaged
+  /// records (pad/truncate ragged rows, drop dangling ids) before giving up
+  /// on them.
+  kBestEffort = 2,
+};
+
+/// Stable display name ("strict", "skip-and-report", "best-effort").
+std::string_view ErrorPolicyToString(ErrorPolicy policy);
+
+/// One malformed-input observation: where it was, what was wrong, and a
+/// short excerpt of the offending text.
+struct Diagnostic {
+  /// 1-based source line; 0 when unknown / not line-oriented.
+  size_t line = 0;
+  /// 1-based column; 0 when the whole record is implicated.
+  size_t column = 0;
+  StatusCode code = StatusCode::kParseError;
+  std::string message;
+  /// Offending text, truncated to `kMaxSnippetBytes`.
+  std::string snippet;
+
+  /// "line L, col C: <CodeName>: message [snippet]".
+  std::string ToString() const;
+};
+
+/// Bounded accumulator of per-record diagnostics.
+///
+/// Degraded-mode parsers report every malformed record here instead of
+/// returning the first error. Storage is capped (`capacity`): beyond it only
+/// counters advance, so a pathological corpus cannot balloon memory while
+/// the total damage stays measurable. Not thread-safe; use one sink per
+/// ingestion call.
+class ErrorSink {
+ public:
+  static constexpr size_t kDefaultCapacity = 64;
+  static constexpr size_t kMaxSnippetBytes = 48;
+
+  explicit ErrorSink(size_t capacity = kDefaultCapacity)
+      : capacity_(capacity) {}
+
+  /// Records one diagnostic (stored only while under capacity; always
+  /// counted). The snippet is truncated to `kMaxSnippetBytes`.
+  void Report(Diagnostic diagnostic);
+
+  /// Convenience: build and report a diagnostic in one call.
+  void Report(size_t line, size_t column, StatusCode code, std::string message,
+              std::string snippet = {});
+
+  /// Total diagnostics reported, including dropped ones.
+  size_t total() const { return total_; }
+
+  /// Diagnostics counted but not stored (capacity overflow).
+  size_t dropped() const { return total_ - diagnostics_.size(); }
+
+  /// True iff nothing has been reported.
+  bool empty() const { return total_ == 0; }
+
+  /// The stored diagnostics, in report order.
+  const std::vector<Diagnostic>& diagnostics() const { return diagnostics_; }
+
+  /// Count of diagnostics per status code (includes dropped ones).
+  const std::map<StatusCode, size_t>& counts_by_code() const {
+    return counts_by_code_;
+  }
+
+  /// Forgets everything; capacity is retained.
+  void Clear();
+
+  /// One-line roll-up, e.g. "7 errors (ParseError: 6, IOError: 1), 2 not
+  /// stored"; "no errors" when empty.
+  std::string Summary() const;
+
+ private:
+  size_t capacity_;
+  size_t total_ = 0;
+  std::vector<Diagnostic> diagnostics_;
+  std::map<StatusCode, size_t> counts_by_code_;
+};
+
+/// Record-level accounting for one ingestion pass, surfaced to reports so
+/// analyses ran on degraded data always carry their data-coverage fraction.
+struct IngestStats {
+  /// Data records seen (excluding the header).
+  size_t records_total = 0;
+  /// Records that made it into the output table / database.
+  size_t records_ok = 0;
+  /// Records quarantined by a non-strict policy.
+  size_t records_quarantined = 0;
+
+  /// Fraction of records kept; 1.0 for an empty input.
+  double coverage() const {
+    return records_total == 0
+               ? 1.0
+               : static_cast<double>(records_ok) /
+                     static_cast<double>(records_total);
+  }
+
+  /// Merges another stage's accounting into this one.
+  void Merge(const IngestStats& other) {
+    records_total += other.records_total;
+    records_ok += other.records_ok;
+    records_quarantined += other.records_quarantined;
+  }
+};
+
+}  // namespace culinary::robustness
+
+#endif  // CULINARYLAB_ROBUSTNESS_ERROR_SINK_H_

@@ -1,0 +1,98 @@
+#include "robustness/fault_injector.h"
+
+#include <utility>
+
+namespace culinary::robustness {
+
+FaultInjector::Plan FaultInjector::Plan::Always(StatusCode code) {
+  Plan plan;
+  plan.probability = 1.0;
+  plan.code = code;
+  return plan;
+}
+
+FaultInjector::Plan FaultInjector::Plan::Nth(int n, StatusCode code) {
+  Plan plan;
+  plan.fail_nth = n;
+  plan.code = code;
+  return plan;
+}
+
+FaultInjector::Plan FaultInjector::Plan::WithProbability(double p,
+                                                         uint64_t seed,
+                                                         StatusCode code) {
+  Plan plan;
+  plan.probability = p;
+  plan.seed = seed;
+  plan.code = code;
+  return plan;
+}
+
+FaultInjector& FaultInjector::Global() {
+  static FaultInjector* injector = new FaultInjector();
+  return *injector;
+}
+
+void FaultInjector::Arm(std::string_view site, Plan plan) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ArmedSite armed;
+  armed.rng = culinary::Rng(plan.seed);
+  armed.plan = std::move(plan);
+  sites_.insert_or_assign(std::string(site), std::move(armed));
+  any_armed_.store(true, std::memory_order_release);
+}
+
+void FaultInjector::Disarm(std::string_view site) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = sites_.find(site);
+  if (it != sites_.end()) sites_.erase(it);
+  if (sites_.empty()) any_armed_.store(false, std::memory_order_release);
+}
+
+void FaultInjector::Reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  sites_.clear();
+  any_armed_.store(false, std::memory_order_release);
+}
+
+culinary::Status FaultInjector::Check(std::string_view site) {
+  if (!any_armed_.load(std::memory_order_acquire)) {
+    return culinary::Status::OK();
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = sites_.find(site);
+  if (it == sites_.end()) return culinary::Status::OK();
+  ArmedSite& armed = it->second;
+  ++armed.calls;
+  const Plan& plan = armed.plan;
+  if (plan.max_failures >= 0 &&
+      armed.failures >= static_cast<size_t>(plan.max_failures)) {
+    return culinary::Status::OK();
+  }
+  bool fire = false;
+  if (plan.fail_nth > 0 && armed.calls == static_cast<size_t>(plan.fail_nth)) {
+    fire = true;
+  }
+  if (!fire && plan.probability > 0.0 &&
+      armed.rng.NextBernoulli(plan.probability)) {
+    fire = true;
+  }
+  if (!fire) return culinary::Status::OK();
+  ++armed.failures;
+  return culinary::Status(plan.code,
+                          plan.message + " (site: " + std::string(site) + ")");
+}
+
+size_t FaultInjector::CallCount(std::string_view site) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = sites_.find(site);
+  return it == sites_.end() ? 0 : it->second.calls;
+}
+
+size_t FaultInjector::FailureCount(std::string_view site) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = sites_.find(site);
+  return it == sites_.end() ? 0 : it->second.failures;
+}
+
+}  // namespace culinary::robustness

@@ -1,0 +1,121 @@
+#ifndef CULINARYLAB_ROBUSTNESS_FAULT_INJECTOR_H_
+#define CULINARYLAB_ROBUSTNESS_FAULT_INJECTOR_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "common/random.h"
+#include "common/status.h"
+
+namespace culinary::robustness {
+
+/// Well-known injection-point names. Production code passes these to
+/// `FaultInjector::Check` at the top of every fallible IO step; tests arm
+/// faults against the same constants.
+inline constexpr std::string_view kFaultCsvOpen = "csv.open";
+inline constexpr std::string_view kFaultCsvRead = "csv.read";
+inline constexpr std::string_view kFaultCsvOpenWrite = "csv.open_write";
+inline constexpr std::string_view kFaultCsvWrite = "csv.write";
+inline constexpr std::string_view kFaultCsvRename = "csv.rename";
+inline constexpr std::string_view kFaultThreadPoolTask = "thread_pool.task";
+
+/// A deterministic, seedable fault-injection registry.
+///
+/// Every fallible IO / parse step in the ingestion layer is bracketed by a
+/// named *injection point* (`Check("csv.read")`). By default nothing is
+/// armed and `Check` is a single relaxed atomic load. Tests (and the chaos
+/// tooling) arm a `Plan` against a site to make that step fail on demand:
+///
+/// ```cpp
+/// FaultInjector::Plan plan;
+/// plan.fail_nth = 2;                 // the 2nd read fails...
+/// ScopedFault fault(kFaultCsvRead, plan);  // ...until end of scope
+/// ```
+///
+/// Firing is fully deterministic: fail-nth counts calls per site, and
+/// fail-with-probability draws from a per-plan `Rng` stream seeded by
+/// `Plan::seed`, so a failing schedule replays exactly. Thread-safe.
+class FaultInjector {
+ public:
+  /// When and how a site fails. A plan fires when either trigger matches:
+  ///   * `fail_nth`: the nth call (1-based) to the site fails;
+  ///   * `probability`: each call fails independently with probability p
+  ///     (drawn from the plan's own deterministic stream).
+  /// `max_failures` bounds total firings (-1 = unbounded).
+  struct Plan {
+    int fail_nth = -1;
+    double probability = 0.0;
+    int max_failures = -1;
+    StatusCode code = StatusCode::kIOError;
+    std::string message = "injected fault";
+    uint64_t seed = 0x5eed5eedULL;
+
+    /// A plan that fails every call.
+    static Plan Always(StatusCode code = StatusCode::kIOError);
+    /// A plan that fails exactly the nth call (1-based).
+    static Plan Nth(int n, StatusCode code = StatusCode::kIOError);
+    /// A plan that fails each call with probability `p` (stream `seed`).
+    static Plan WithProbability(double p, uint64_t seed = 0x5eed5eedULL,
+                                StatusCode code = StatusCode::kIOError);
+  };
+
+  /// The process-wide injector used by library code.
+  static FaultInjector& Global();
+
+  /// Arms (or replaces) the plan for `site`; call counters restart at zero.
+  void Arm(std::string_view site, Plan plan);
+
+  /// Disarms `site`; its counters are forgotten.
+  void Disarm(std::string_view site);
+
+  /// Disarms every site.
+  void Reset();
+
+  /// OK unless an armed plan for `site` fires, in which case the plan's
+  /// error status (message suffixed with the site name) is returned. A
+  /// single relaxed atomic load when nothing is armed anywhere.
+  culinary::Status Check(std::string_view site);
+
+  /// Calls `Check(site)` seen since the site was armed (0 if not armed).
+  size_t CallCount(std::string_view site) const;
+
+  /// Failures injected at `site` since it was armed.
+  size_t FailureCount(std::string_view site) const;
+
+ private:
+  struct ArmedSite {
+    Plan plan;
+    culinary::Rng rng{0};
+    size_t calls = 0;
+    size_t failures = 0;
+  };
+
+  mutable std::mutex mutex_;
+  std::map<std::string, ArmedSite, std::less<>> sites_;
+  std::atomic<bool> any_armed_{false};
+};
+
+/// RAII guard: arms `site` on the global injector for the enclosing scope
+/// and disarms it on destruction. The standard way tests inject faults.
+class ScopedFault {
+ public:
+  ScopedFault(std::string_view site, FaultInjector::Plan plan)
+      : site_(site) {
+    FaultInjector::Global().Arm(site_, std::move(plan));
+  }
+  ~ScopedFault() { FaultInjector::Global().Disarm(site_); }
+
+  ScopedFault(const ScopedFault&) = delete;
+  ScopedFault& operator=(const ScopedFault&) = delete;
+
+ private:
+  std::string site_;
+};
+
+}  // namespace culinary::robustness
+
+#endif  // CULINARYLAB_ROBUSTNESS_FAULT_INJECTOR_H_

@@ -1,0 +1,33 @@
+#include "robustness/retry.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+namespace culinary::robustness {
+
+bool IsRetryable(const culinary::Status& status) {
+  return status.code() == culinary::StatusCode::kIOError;
+}
+
+namespace internal {
+
+double BackoffMs(const RetryPolicy& policy, int attempt, culinary::Rng& rng) {
+  double base = policy.base_backoff_ms;
+  for (int i = 1; i < attempt && base < policy.max_backoff_ms; ++i) {
+    base *= 2.0;
+  }
+  base = std::min(base, policy.max_backoff_ms);
+  double jitter = std::clamp(policy.jitter_fraction, 0.0, 1.0);
+  double factor = rng.NextDouble(1.0 - jitter, 1.0 + jitter);
+  return std::max(0.0, base * factor);
+}
+
+void SleepForMs(double ms) {
+  if (ms <= 0.0) return;
+  std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(ms));
+}
+
+}  // namespace internal
+
+}  // namespace culinary::robustness

@@ -76,5 +76,18 @@ TEST(ResultTest, CopySemantics) {
   EXPECT_EQ(*a, "x");
 }
 
+using ResultDeathTest = ::testing::Test;
+
+TEST(ResultDeathTest, ValueOnErrorAbortsWithStatusMessage) {
+  // value() on an error result must hard-abort in every build mode —
+  // including release — and name the offending status on stderr.
+  Result<int> err = Status::NotFound("the-missing-widget");
+  EXPECT_DEATH(err.value(), "the-missing-widget");
+}
+
+TEST(ResultDeathTest, MoveValueOnErrorAborts) {
+  EXPECT_DEATH(Result<int>(Status::IOError("disk gone")).value(), "disk gone");
+}
+
 }  // namespace
 }  // namespace culinary

@@ -81,5 +81,31 @@ TEST(StatusTest, ReturnIfErrorMacroPropagates) {
   EXPECT_TRUE(FailWhenNegative(-1).IsInvalidArgument());
 }
 
+TEST(StatusTest, WithContextPrefixesMessageKeepsCode) {
+  Status annotated =
+      Status::IOError("read failed").WithContext("loading recipes.csv");
+  EXPECT_TRUE(annotated.IsIOError());
+  EXPECT_EQ(annotated.message(), "loading recipes.csv: read failed");
+}
+
+TEST(StatusTest, WithContextOnOkIsNoOp) {
+  EXPECT_TRUE(Status::OK().WithContext("ignored").ok());
+  EXPECT_TRUE(Status::OK().WithContext("ignored").message().empty());
+}
+
+TEST(StatusTest, WithContextEmptyPrefixIsNoOp) {
+  Status s = Status::ParseError("bad row").WithContext("");
+  EXPECT_EQ(s.message(), "bad row");
+}
+
+TEST(StatusTest, WithContextChains) {
+  Status s = Status::NotFound("entity 7")
+                 .WithContext("resolving ingredient")
+                 .WithContext("loading registry");
+  EXPECT_EQ(s.message(),
+            "loading registry: resolving ingredient: entity 7");
+  EXPECT_TRUE(s.IsNotFound());
+}
+
 }  // namespace
 }  // namespace culinary

@@ -1,11 +1,15 @@
 #include "common/thread_pool.h"
 
 #include <atomic>
+#include <chrono>
 #include <numeric>
 #include <set>
 #include <vector>
 
 #include <gtest/gtest.h>
+
+#include "common/status.h"
+#include "robustness/fault_injector.h"
 
 namespace culinary {
 namespace {
@@ -81,6 +85,78 @@ TEST(ThreadPoolTest, DestructorDrainsQueue) {
     }
   }  // destructor joins
   EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ThreadPoolShutdownTest, ShutdownIsIdempotent) {
+  ThreadPool pool(2);
+  pool.Shutdown();
+  pool.Shutdown();  // second call is a no-op, no deadlock
+  EXPECT_EQ(pool.num_threads(), 2u);
+}
+
+TEST(ThreadPoolShutdownTest, SubmitAfterShutdownRunsInline) {
+  ThreadPool pool(2);
+  pool.Shutdown();
+  std::thread::id ran_on;
+  auto future = pool.Submit([&ran_on]() {
+    ran_on = std::this_thread::get_id();
+    return 7;
+  });
+  // Inline execution: the task already ran on the calling thread by the
+  // time Submit returned, so the future is immediately ready.
+  EXPECT_EQ(future.wait_for(std::chrono::seconds(0)),
+            std::future_status::ready);
+  EXPECT_EQ(future.get(), 7);
+  EXPECT_EQ(ran_on, std::this_thread::get_id());
+}
+
+TEST(ThreadPoolShutdownTest, ShutdownDrainsPendingTasks) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 100; ++i) {
+    futures.push_back(pool.Submit([&counter]() { ++counter; }));
+  }
+  pool.Shutdown();
+  for (auto& f : futures) f.wait();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolShutdownTest, TaskSubmittingTaskDoesNotDeadlock) {
+  // A task that enqueues follow-up work into its own pool must not wedge
+  // the single worker, and both futures must resolve.
+  ThreadPool pool(1);
+  std::future<int> inner_future;
+  auto outer_future = pool.Submit([&pool, &inner_future]() {
+    inner_future = pool.Submit([]() { return 2; });
+    return 1;
+  });
+  EXPECT_EQ(outer_future.get(), 1);
+  EXPECT_EQ(inner_future.get(), 2);
+  pool.Shutdown();
+}
+
+TEST(ThreadPoolShutdownTest, FaultedTaskFutureDoesNotHang) {
+  // A task whose IO step is killed by the fault injector still completes
+  // its future — as an error value, not a hang.
+  robustness::ScopedFault fault(robustness::kFaultThreadPoolTask,
+                                robustness::FaultInjector::Plan::Always());
+  ThreadPool pool(2);
+  auto future = pool.Submit([]() {
+    return robustness::FaultInjector::Global().Check(
+        robustness::kFaultThreadPoolTask);
+  });
+  ASSERT_EQ(future.wait_for(std::chrono::seconds(10)),
+            std::future_status::ready);
+  Status status = future.get();
+  EXPECT_TRUE(status.IsIOError());
+}
+
+TEST(ThreadPoolShutdownTest, ThrowingTaskAfterShutdownStillPropagates) {
+  ThreadPool pool(1);
+  pool.Shutdown();
+  auto future = pool.Submit([]() -> int { throw std::runtime_error("late"); });
+  EXPECT_THROW(future.get(), std::runtime_error);
 }
 
 TEST(ThreadPoolTest, ParallelSumMatchesSerial) {

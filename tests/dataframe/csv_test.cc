@@ -1,10 +1,16 @@
 #include "dataframe/csv.h"
 
+#include <unistd.h>
+
 #include <cstdio>
 #include <fstream>
+#include <memory>
 #include <string>
 
 #include <gtest/gtest.h>
+
+#include "robustness/fault_injector.h"
+#include "robustness/retry.h"
 
 namespace culinary::df {
 namespace {
@@ -186,6 +192,221 @@ TEST(CsvFileTest, UnwritablePathIsIOError) {
   auto t = Table::Make(schema);
   EXPECT_TRUE(
       WriteCsvFile(*t, "/nonexistent/dir/out.csv").IsIOError());
+}
+
+// --- Tokenizer edge-case locations -----------------------------------------
+
+TEST(CsvTokenizerTest, UnterminatedQuoteAtEofHasLineAndColumn) {
+  auto t = ReadCsvString("a,b\n1,x\n2,\"open");
+  ASSERT_FALSE(t.ok());
+  EXPECT_TRUE(t.status().IsParseError());
+  EXPECT_NE(t.status().message().find("line 3"), std::string::npos)
+      << t.status().ToString();
+  EXPECT_NE(t.status().message().find("column 3"), std::string::npos)
+      << t.status().ToString();
+}
+
+TEST(CsvTokenizerTest, GarbageAfterClosingQuoteHasLineAndColumn) {
+  auto t = ReadCsvString("a\n\"x\"y\n");
+  ASSERT_FALSE(t.ok());
+  EXPECT_NE(t.status().message().find("line 2"), std::string::npos)
+      << t.status().ToString();
+  EXPECT_NE(t.status().message().find("column"), std::string::npos)
+      << t.status().ToString();
+}
+
+TEST(CsvTokenizerTest, NoTrailingNewlineStillEmitsFinalRecord) {
+  auto t = ReadCsvString("a,b\n1,x\n2,y");
+  ASSERT_TRUE(t.ok());
+  ASSERT_EQ(t->num_rows(), 2u);
+  EXPECT_EQ(t->GetValue(1, 1), Value::Str("y"));
+}
+
+TEST(CsvTokenizerTest, NoTrailingNewlineWithCarriageReturnTail) {
+  // A final record terminated by a bare \r (no \n) must not keep the \r.
+  auto t = ReadCsvString("a,b\n1,x\n2,y\r");
+  ASSERT_TRUE(t.ok());
+  ASSERT_EQ(t->num_rows(), 2u);
+  EXPECT_EQ(t->GetValue(1, 1), Value::Str("y"));
+}
+
+TEST(CsvTokenizerTest, QuotedFinalFieldWithoutNewline) {
+  auto t = ReadCsvString("a\n\"x, y\"");
+  ASSERT_TRUE(t.ok());
+  ASSERT_EQ(t->num_rows(), 1u);
+  EXPECT_EQ(t->GetValue(0, 0), Value::Str("x, y"));
+}
+
+// --- Degraded-mode policies -------------------------------------------------
+
+TEST(CsvDegradedTest, SkipAndReportQuarantinesRaggedRows) {
+  robustness::ErrorSink sink;
+  robustness::IngestStats stats;
+  CsvReadOptions options;
+  options.error_policy = robustness::ErrorPolicy::kSkipAndReport;
+  options.error_sink = &sink;
+  options.stats = &stats;
+  auto t = ReadCsvString("a,b\n1,2\n3\n4,5,6\n7,8\n", options);
+  ASSERT_TRUE(t.ok()) << t.status().ToString();
+  EXPECT_EQ(t->num_rows(), 2u);  // 1,2 and 7,8
+  EXPECT_EQ(stats.records_total, 4u);
+  EXPECT_EQ(stats.records_ok, 2u);
+  EXPECT_EQ(stats.records_quarantined, 2u);
+  EXPECT_DOUBLE_EQ(stats.coverage(), 0.5);
+  EXPECT_EQ(sink.total(), 2u);
+}
+
+TEST(CsvDegradedTest, SkipAndReportRecoversFromBrokenQuoting) {
+  robustness::ErrorSink sink;
+  CsvReadOptions options;
+  options.error_policy = robustness::ErrorPolicy::kSkipAndReport;
+  options.error_sink = &sink;
+  auto t = ReadCsvString("a,b\n1,\"broken\n2,ok\n", options);
+  ASSERT_TRUE(t.ok()) << t.status().ToString();
+  EXPECT_FALSE(sink.empty());
+  // The quarantined diagnostic carries a location.
+  ASSERT_FALSE(sink.diagnostics().empty());
+  EXPECT_GT(sink.diagnostics()[0].line, 0u);
+}
+
+TEST(CsvDegradedTest, BestEffortPadsAndTruncatesRaggedRows) {
+  robustness::IngestStats stats;
+  CsvReadOptions options;
+  options.error_policy = robustness::ErrorPolicy::kBestEffort;
+  options.stats = &stats;
+  options.infer_types = false;
+  auto t = ReadCsvString("a,b\n1\n1,2,3\n", options);
+  ASSERT_TRUE(t.ok()) << t.status().ToString();
+  ASSERT_EQ(t->num_rows(), 2u);
+  EXPECT_EQ(t->GetValue(0, 0), Value::Str("1"));
+  EXPECT_EQ(t->GetValue(0, 1), Value::Null());  // padded
+  EXPECT_EQ(t->GetValue(1, 1), Value::Str("2"));  // truncated to width 2
+  EXPECT_EQ(stats.records_ok, 2u);
+}
+
+TEST(CsvDegradedTest, StrictIsUnchangedByDefault) {
+  CsvReadOptions options;  // default policy is strict
+  EXPECT_FALSE(ReadCsvString("a,b\n1\n", options).ok());
+}
+
+// --- Fault injection and retry ----------------------------------------------
+
+class CsvFaultTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // ctest runs each case as its own concurrent process; keep the path
+    // per-process so parallel cases don't race on it.
+    path_ = ::testing::TempDir() + "/culinary_csv_fault_" +
+            std::to_string(getpid()) + ".csv";
+    std::ofstream out(path_);
+    out << "a\n1\n";
+  }
+  void TearDown() override {
+    robustness::FaultInjector::Global().Reset();
+    std::remove(path_.c_str());
+  }
+  std::string path_;
+};
+
+TEST_F(CsvFaultTest, FailNthOpenMakesReadFail) {
+  robustness::ScopedFault fault(robustness::kFaultCsvOpen,
+                                robustness::FaultInjector::Plan::Nth(1));
+  auto first = ReadCsvFile(path_);
+  ASSERT_FALSE(first.ok());
+  EXPECT_TRUE(first.status().IsIOError());
+  // The injected status names both the file and the site.
+  EXPECT_NE(first.status().message().find(path_), std::string::npos);
+  EXPECT_NE(first.status().message().find("csv.open"), std::string::npos);
+  EXPECT_TRUE(ReadCsvFile(path_).ok());
+}
+
+TEST_F(CsvFaultTest, FailNthReadPathIsDistinctFromOpen) {
+  robustness::ScopedFault fault(robustness::kFaultCsvRead,
+                                robustness::FaultInjector::Plan::Nth(1));
+  auto first = ReadCsvFile(path_);
+  ASSERT_FALSE(first.ok());
+  EXPECT_NE(first.status().message().find("csv.read"), std::string::npos);
+}
+
+TEST_F(CsvFaultTest, RetryRecoversFromTransientOpenFailure) {
+  robustness::ScopedFault fault(robustness::kFaultCsvOpen,
+                                robustness::FaultInjector::Plan::Nth(1));
+  auto t = ReadCsvFileRetry(path_, {}, robustness::RetryPolicy::Default());
+  ASSERT_TRUE(t.ok()) << t.status().ToString();
+  EXPECT_EQ(t->num_rows(), 1u);
+}
+
+TEST_F(CsvFaultTest, RetryExhaustsAgainstPersistentFailure) {
+  robustness::ScopedFault fault(robustness::kFaultCsvOpen,
+                                robustness::FaultInjector::Plan::Always());
+  auto t = ReadCsvFileRetry(path_, {}, robustness::RetryPolicy::Default());
+  ASSERT_FALSE(t.ok());
+  EXPECT_TRUE(t.status().IsIOError());
+  EXPECT_EQ(robustness::FaultInjector::Global().CallCount(
+                robustness::kFaultCsvOpen),
+            3u);
+}
+
+// --- Crash-safe writes -------------------------------------------------------
+
+class AtomicWriteTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = ::testing::TempDir() + "/culinary_csv_atomic_" +
+            std::to_string(getpid()) + ".csv";
+    Schema schema({{"a", DataType::kInt64}});
+    table_ = std::make_unique<Table>(Table::Make(schema).value());
+    ASSERT_TRUE(table_->AppendRow({Value::Int(1)}).ok());
+  }
+  void TearDown() override {
+    robustness::FaultInjector::Global().Reset();
+    std::remove(path_.c_str());
+    std::remove((path_ + ".tmp").c_str());
+  }
+  std::string path_;
+  std::unique_ptr<Table> table_;
+};
+
+TEST_F(AtomicWriteTest, AtomicWriteProducesReadableFileWithoutResidue) {
+  CsvWriteOptions options;
+  options.atomic_write = true;
+  ASSERT_TRUE(WriteCsvFile(*table_, path_, options).ok());
+  EXPECT_TRUE(ReadCsvFile(path_).ok());
+  EXPECT_FALSE(std::ifstream(path_ + ".tmp").good());  // temp renamed away
+}
+
+TEST_F(AtomicWriteTest, CrashMidWriteLeavesOriginalIntact) {
+  // Seed the destination with known-good content.
+  ASSERT_TRUE(WriteCsvFile(*table_, path_).ok());
+
+  // Crash after the temp file's bytes are written but before the rename.
+  Table bigger = Table::Make(Schema({{"a", DataType::kInt64}})).value();
+  ASSERT_TRUE(bigger.AppendRow({Value::Int(2)}).ok());
+  CsvWriteOptions options;
+  options.atomic_write = true;
+  {
+    robustness::ScopedFault fault(robustness::kFaultCsvWrite,
+                                  robustness::FaultInjector::Plan::Nth(1));
+    EXPECT_FALSE(WriteCsvFile(bigger, path_, options).ok());
+  }
+
+  // Original content survives; the orphan temp file is the only residue.
+  auto back = ReadCsvFile(path_);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->GetValue(0, 0), Value::Int(1));
+  EXPECT_TRUE(std::ifstream(path_ + ".tmp").good());
+}
+
+TEST_F(AtomicWriteTest, RenameFailureLeavesOriginalIntact) {
+  ASSERT_TRUE(WriteCsvFile(*table_, path_).ok());
+  CsvWriteOptions options;
+  options.atomic_write = true;
+  {
+    robustness::ScopedFault fault(robustness::kFaultCsvRename,
+                                  robustness::FaultInjector::Plan::Nth(1));
+    EXPECT_FALSE(WriteCsvFile(*table_, path_, options).ok());
+  }
+  EXPECT_TRUE(ReadCsvFile(path_).ok());
 }
 
 }  // namespace

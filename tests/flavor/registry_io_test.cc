@@ -1,5 +1,7 @@
 #include "flavor/registry_io.h"
 
+#include <unistd.h>
+
 #include <cstdio>
 #include <fstream>
 
@@ -7,6 +9,8 @@
 
 #include "datagen/registry_gen.h"
 #include "datagen/spec.h"
+#include "robustness/error_sink.h"
+#include "robustness/fault_injector.h"
 
 namespace culinary::flavor {
 namespace {
@@ -199,6 +203,153 @@ TEST(RestoreIngredientTest, RemovedSlotDoesNotResolve) {
   live.name = "ghost";
   ASSERT_TRUE(reg.RestoreIngredient(live).ok());
   EXPECT_EQ(reg.FindByName("ghost"), 1);
+}
+
+// --- Crash-safe saves --------------------------------------------------------
+
+class RegistrySaveFaultTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    robustness::FaultInjector::Global().Reset();
+    Cleanup(prefix_);
+    std::remove((prefix_ + "_molecules.csv.tmp").c_str());
+    std::remove((prefix_ + "_entities.csv.tmp").c_str());
+  }
+  // Per-process prefix: ctest runs the two cases of this fixture as
+  // concurrent processes, which must not share files.
+  std::string prefix_ =
+      TempPrefix(("crash_" + std::to_string(getpid())).c_str());
+};
+
+TEST_F(RegistrySaveFaultTest, CrashMidWriteLeavesPreviousDumpLoadable) {
+  FlavorRegistry reg = MakeHandBuilt();
+  ASSERT_TRUE(SaveRegistryCsv(reg, prefix_).ok());
+
+  // Grow the registry and crash the re-save after the temp file's bytes
+  // are written but before the rename.
+  MoleculeId extra = reg.AddMolecule("eugenol").value();
+  reg.AddIngredient("clove", Category::kSpice, FlavorProfile({extra}))
+      .status();
+  {
+    robustness::ScopedFault fault(robustness::kFaultCsvWrite,
+                                  robustness::FaultInjector::Plan::Nth(1));
+    culinary::Status status = SaveRegistryCsv(reg, prefix_);
+    ASSERT_FALSE(status.ok());
+    EXPECT_NE(status.message().find("_molecules.csv"), std::string::npos)
+        << status.ToString();
+  }
+
+  // The previous dump is untouched and still loads; the orphan temp file
+  // is the crash's only residue.
+  auto loaded = LoadRegistryCsv(prefix_);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->FindByName("clove"), kInvalidIngredient);
+  EXPECT_TRUE(
+      std::ifstream(prefix_ + "_molecules.csv.tmp").good());
+}
+
+TEST_F(RegistrySaveFaultTest, RenameFailureLeavesPreviousDumpLoadable) {
+  FlavorRegistry reg = MakeHandBuilt();
+  ASSERT_TRUE(SaveRegistryCsv(reg, prefix_).ok());
+  {
+    robustness::ScopedFault fault(robustness::kFaultCsvRename,
+                                  robustness::FaultInjector::Plan::Always());
+    EXPECT_FALSE(SaveRegistryCsv(reg, prefix_).ok());
+  }
+  EXPECT_TRUE(LoadRegistryCsv(prefix_).ok());
+}
+
+// --- Degraded-mode loading ---------------------------------------------------
+
+TEST(RegistryDegradedTest, QuarantinedEntityRowPreservesIdSpace) {
+  std::string prefix = TempPrefix("degraded_ids");
+  {
+    std::ofstream mols(prefix + "_molecules.csv");
+    mols << "id,name,descriptors\n0,linalool,\n1,vanillin,\n";
+    std::ofstream ents(prefix + "_entities.csv");
+    ents << "id,name,category,kind,removed,synonyms,profile,constituents\n"
+         << "0,tomato,Vegetable,basic,0,,0,\n"
+         << "1,broken,Protein,basic,0,,0,\n"  // unknown category: quarantined
+         << "2,basil,Herb,basic,0,,1,\n";     // id 2 must stay id 2
+  }
+  robustness::ErrorSink sink;
+  robustness::IngestStats stats;
+  RegistryLoadOptions options;
+  options.error_policy = robustness::ErrorPolicy::kSkipAndReport;
+  options.error_sink = &sink;
+  options.stats = &stats;
+  auto loaded = LoadRegistryCsv(prefix, options);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->num_ingredient_slots(), 3u);
+  EXPECT_EQ(loaded->FindByName("basil"), 2);  // id space preserved
+  EXPECT_EQ(loaded->FindByName("broken"), kInvalidIngredient);
+  EXPECT_EQ(stats.records_quarantined, 1u);
+  EXPECT_FALSE(sink.empty());
+  Cleanup(prefix);
+}
+
+TEST(RegistryDegradedTest, DuplicateIdDroppedWithoutExtraSlot) {
+  std::string prefix = TempPrefix("degraded_dup");
+  {
+    std::ofstream mols(prefix + "_molecules.csv");
+    mols << "id,name,descriptors\n0,linalool,\n";
+    std::ofstream ents(prefix + "_entities.csv");
+    ents << "id,name,category,kind,removed,synonyms,profile,constituents\n"
+         << "0,tomato,Vegetable,basic,0,,0,\n"
+         << "0,tomato,Vegetable,basic,0,,0,\n"  // duplicated line
+         << "1,basil,Herb,basic,0,,0,\n";
+  }
+  RegistryLoadOptions options;
+  options.error_policy = robustness::ErrorPolicy::kSkipAndReport;
+  auto loaded = LoadRegistryCsv(prefix, options);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->num_ingredient_slots(), 2u);
+  EXPECT_EQ(loaded->FindByName("basil"), 1);
+  Cleanup(prefix);
+}
+
+TEST(RegistryDegradedTest, BestEffortSalvagesDanglingProfileIds) {
+  std::string prefix = TempPrefix("degraded_salvage");
+  {
+    std::ofstream mols(prefix + "_molecules.csv");
+    mols << "id,name,descriptors\n0,linalool,\n";
+    std::ofstream ents(prefix + "_entities.csv");
+    ents << "id,name,category,kind,removed,synonyms,profile,constituents\n"
+         << "0,tomato,Vegetable,basic,0,,0;5,\n";  // molecule 5 dangling
+  }
+  // Skip-and-report quarantines the row ...
+  RegistryLoadOptions skip;
+  skip.error_policy = robustness::ErrorPolicy::kSkipAndReport;
+  auto quarantined = LoadRegistryCsv(prefix, skip);
+  ASSERT_TRUE(quarantined.ok());
+  EXPECT_EQ(quarantined->FindByName("tomato"), kInvalidIngredient);
+
+  // ... best-effort keeps it minus the dangling molecule.
+  robustness::ErrorSink sink;
+  RegistryLoadOptions best;
+  best.error_policy = robustness::ErrorPolicy::kBestEffort;
+  best.error_sink = &sink;
+  auto salvaged = LoadRegistryCsv(prefix, best);
+  ASSERT_TRUE(salvaged.ok()) << salvaged.status().ToString();
+  IngredientId tomato = salvaged->FindByName("tomato");
+  ASSERT_NE(tomato, kInvalidIngredient);
+  EXPECT_EQ(salvaged->GetIngredient(tomato)->profile.size(), 1u);
+  EXPECT_FALSE(sink.empty());
+  Cleanup(prefix);
+}
+
+TEST(RegistryDegradedTest, StrictOptionsMatchLegacyBehaviour) {
+  std::string prefix = TempPrefix("degraded_strict");
+  {
+    std::ofstream mols(prefix + "_molecules.csv");
+    mols << "id,name,descriptors\n0,linalool,\n";
+    std::ofstream ents(prefix + "_entities.csv");
+    ents << "id,name,category,kind,removed,synonyms,profile,constituents\n"
+         << "0,tomato,Vegetable,quantum,0,,0,\n";
+  }
+  RegistryLoadOptions options;  // default policy is strict
+  EXPECT_TRUE(LoadRegistryCsv(prefix, options).status().IsParseError());
+  Cleanup(prefix);
 }
 
 }  // namespace

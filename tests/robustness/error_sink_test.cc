@@ -1,0 +1,92 @@
+#include "robustness/error_sink.h"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace culinary::robustness {
+namespace {
+
+TEST(ErrorPolicyTest, Names) {
+  EXPECT_EQ(ErrorPolicyToString(ErrorPolicy::kStrict), "strict");
+  EXPECT_EQ(ErrorPolicyToString(ErrorPolicy::kSkipAndReport),
+            "skip-and-report");
+  EXPECT_EQ(ErrorPolicyToString(ErrorPolicy::kBestEffort), "best-effort");
+}
+
+TEST(ErrorSinkTest, EmptySink) {
+  ErrorSink sink;
+  EXPECT_TRUE(sink.empty());
+  EXPECT_EQ(sink.total(), 0u);
+  EXPECT_EQ(sink.dropped(), 0u);
+  EXPECT_EQ(sink.Summary(), "no errors");
+}
+
+TEST(ErrorSinkTest, ReportStoresAndCounts) {
+  ErrorSink sink;
+  sink.Report(3, 7, StatusCode::kParseError, "bad quoting", "\"oops");
+  ASSERT_EQ(sink.diagnostics().size(), 1u);
+  const Diagnostic& d = sink.diagnostics()[0];
+  EXPECT_EQ(d.line, 3u);
+  EXPECT_EQ(d.column, 7u);
+  EXPECT_EQ(d.code, StatusCode::kParseError);
+  EXPECT_EQ(d.snippet, "\"oops");
+  EXPECT_NE(d.ToString().find("line 3"), std::string::npos);
+  EXPECT_NE(d.ToString().find("bad quoting"), std::string::npos);
+}
+
+TEST(ErrorSinkTest, CapacityBoundsStorageNotCounting) {
+  ErrorSink sink(/*capacity=*/2);
+  for (size_t i = 0; i < 5; ++i) {
+    sink.Report(i + 1, 0, StatusCode::kParseError, "e");
+  }
+  EXPECT_EQ(sink.total(), 5u);
+  EXPECT_EQ(sink.diagnostics().size(), 2u);
+  EXPECT_EQ(sink.dropped(), 3u);
+  EXPECT_EQ(sink.counts_by_code().at(StatusCode::kParseError), 5u);
+}
+
+TEST(ErrorSinkTest, SnippetTruncated) {
+  ErrorSink sink;
+  sink.Report(1, 1, StatusCode::kParseError, "long",
+              std::string(500, 'x'));
+  EXPECT_LE(sink.diagnostics()[0].snippet.size(),
+            ErrorSink::kMaxSnippetBytes + 3);  // allow an ellipsis marker
+}
+
+TEST(ErrorSinkTest, SummaryRollsUpByCode) {
+  ErrorSink sink(/*capacity=*/1);
+  sink.Report(1, 0, StatusCode::kParseError, "a");
+  sink.Report(2, 0, StatusCode::kParseError, "b");
+  sink.Report(3, 0, StatusCode::kIOError, "c");
+  std::string summary = sink.Summary();
+  EXPECT_NE(summary.find("3 errors"), std::string::npos);
+  EXPECT_NE(summary.find("2 not stored"), std::string::npos);
+}
+
+TEST(ErrorSinkTest, ClearForgetsEverything) {
+  ErrorSink sink;
+  sink.Report(1, 0, StatusCode::kParseError, "a");
+  sink.Clear();
+  EXPECT_TRUE(sink.empty());
+  EXPECT_TRUE(sink.diagnostics().empty());
+  EXPECT_TRUE(sink.counts_by_code().empty());
+}
+
+TEST(IngestStatsTest, CoverageAndMerge) {
+  IngestStats stats;
+  EXPECT_DOUBLE_EQ(stats.coverage(), 1.0);  // empty input is fully covered
+  stats.records_total = 10;
+  stats.records_ok = 9;
+  stats.records_quarantined = 1;
+  EXPECT_DOUBLE_EQ(stats.coverage(), 0.9);
+  IngestStats other;
+  other.records_total = 10;
+  other.records_ok = 10;
+  stats.Merge(other);
+  EXPECT_EQ(stats.records_total, 20u);
+  EXPECT_DOUBLE_EQ(stats.coverage(), 0.95);
+}
+
+}  // namespace
+}  // namespace culinary::robustness

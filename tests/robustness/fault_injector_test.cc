@@ -1,0 +1,102 @@
+#include "robustness/fault_injector.h"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace culinary::robustness {
+namespace {
+
+class FaultInjectorTest : public ::testing::Test {
+ protected:
+  void TearDown() override { FaultInjector::Global().Reset(); }
+};
+
+TEST_F(FaultInjectorTest, UnarmedSiteAlwaysOk) {
+  EXPECT_TRUE(FaultInjector::Global().Check(kFaultCsvRead).ok());
+  EXPECT_EQ(FaultInjector::Global().CallCount(kFaultCsvRead), 0u);
+}
+
+TEST_F(FaultInjectorTest, FailNthFiresExactlyOnce) {
+  ScopedFault fault(kFaultCsvRead, FaultInjector::Plan::Nth(2));
+  EXPECT_TRUE(FaultInjector::Global().Check(kFaultCsvRead).ok());
+  culinary::Status second = FaultInjector::Global().Check(kFaultCsvRead);
+  EXPECT_EQ(second.code(), StatusCode::kIOError);
+  EXPECT_NE(second.message().find("csv.read"), std::string::npos);
+  EXPECT_TRUE(FaultInjector::Global().Check(kFaultCsvRead).ok());
+  EXPECT_EQ(FaultInjector::Global().CallCount(kFaultCsvRead), 3u);
+  EXPECT_EQ(FaultInjector::Global().FailureCount(kFaultCsvRead), 1u);
+}
+
+TEST_F(FaultInjectorTest, AlwaysFailsEveryCall) {
+  ScopedFault fault(kFaultCsvOpen, FaultInjector::Plan::Always());
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_FALSE(FaultInjector::Global().Check(kFaultCsvOpen).ok());
+  }
+  EXPECT_EQ(FaultInjector::Global().FailureCount(kFaultCsvOpen), 5u);
+}
+
+TEST_F(FaultInjectorTest, MaxFailuresBoundsAlwaysPlan) {
+  FaultInjector::Plan plan = FaultInjector::Plan::Always();
+  plan.max_failures = 2;
+  ScopedFault fault(kFaultCsvOpen, plan);
+  EXPECT_FALSE(FaultInjector::Global().Check(kFaultCsvOpen).ok());
+  EXPECT_FALSE(FaultInjector::Global().Check(kFaultCsvOpen).ok());
+  EXPECT_TRUE(FaultInjector::Global().Check(kFaultCsvOpen).ok());
+  EXPECT_EQ(FaultInjector::Global().FailureCount(kFaultCsvOpen), 2u);
+}
+
+TEST_F(FaultInjectorTest, ProbabilityStreamIsDeterministic) {
+  auto run = [](uint64_t seed) {
+    FaultInjector::Plan plan = FaultInjector::Plan::WithProbability(0.5, seed);
+    ScopedFault fault(kFaultCsvRead, plan);
+    std::string pattern;
+    for (int i = 0; i < 32; ++i) {
+      pattern.push_back(
+          FaultInjector::Global().Check(kFaultCsvRead).ok() ? '.' : 'X');
+    }
+    return pattern;
+  };
+  std::string a = run(7);
+  std::string b = run(7);
+  std::string c = run(8);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);  // a different seed produces a different schedule
+  EXPECT_NE(a.find('X'), std::string::npos);
+  EXPECT_NE(a.find('.'), std::string::npos);
+}
+
+TEST_F(FaultInjectorTest, SitesAreIndependent) {
+  ScopedFault fault(kFaultCsvOpen, FaultInjector::Plan::Always());
+  EXPECT_FALSE(FaultInjector::Global().Check(kFaultCsvOpen).ok());
+  EXPECT_TRUE(FaultInjector::Global().Check(kFaultCsvRead).ok());
+}
+
+TEST_F(FaultInjectorTest, CustomCodeAndMessagePropagate) {
+  FaultInjector::Plan plan = FaultInjector::Plan::Always(StatusCode::kNotFound);
+  plan.message = "vanished";
+  ScopedFault fault(kFaultCsvOpen, plan);
+  culinary::Status status = FaultInjector::Global().Check(kFaultCsvOpen);
+  EXPECT_EQ(status.code(), StatusCode::kNotFound);
+  EXPECT_NE(status.message().find("vanished"), std::string::npos);
+}
+
+TEST_F(FaultInjectorTest, ScopedFaultDisarmsOnExit) {
+  {
+    ScopedFault fault(kFaultCsvRead, FaultInjector::Plan::Always());
+    EXPECT_FALSE(FaultInjector::Global().Check(kFaultCsvRead).ok());
+  }
+  EXPECT_TRUE(FaultInjector::Global().Check(kFaultCsvRead).ok());
+}
+
+TEST_F(FaultInjectorTest, ReArmingResetsCounters) {
+  FaultInjector::Global().Arm(kFaultCsvRead, FaultInjector::Plan::Nth(1));
+  EXPECT_FALSE(FaultInjector::Global().Check(kFaultCsvRead).ok());
+  FaultInjector::Global().Arm(kFaultCsvRead, FaultInjector::Plan::Nth(1));
+  EXPECT_EQ(FaultInjector::Global().CallCount(kFaultCsvRead), 0u);
+  EXPECT_FALSE(FaultInjector::Global().Check(kFaultCsvRead).ok());
+  FaultInjector::Global().Disarm(kFaultCsvRead);
+}
+
+}  // namespace
+}  // namespace culinary::robustness

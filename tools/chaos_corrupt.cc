@@ -1,0 +1,87 @@
+// chaos_corrupt: deterministically mangles a serialized corpus (CSV) with
+// the damage mix real scraped corpora exhibit — truncation, unterminated
+// quotes, bit flips, duplicated records, oversized fields, ragged rows.
+// The schedule is a pure function of (input bytes, --seed), so a failing
+// downstream run replays exactly.
+//
+// Usage: chaos_corrupt <in.csv> <out.csv> [--rate=0.05] [--seed=N]
+//                      [--no-truncate] [--no-quote] [--no-bitflip]
+//                      [--no-dup] [--no-oversize] [--no-ragged]
+//                      [--corrupt-header]
+//
+// Prints the applied mutation tally to stderr and exits nonzero on IO
+// failure.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "common/string_util.h"
+#include "robustness/chaos.h"
+
+namespace {
+
+void PrintUsage() {
+  std::fprintf(
+      stderr,
+      "usage: chaos_corrupt <in.csv> <out.csv> [--rate=0.05] [--seed=N]\n"
+      "                     [--no-truncate] [--no-quote] [--no-bitflip]\n"
+      "                     [--no-dup] [--no-oversize] [--no-ragged]\n"
+      "                     [--corrupt-header]\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using culinary::StartsWith;
+  using culinary::robustness::ChaosOptions;
+  using culinary::robustness::ChaosStats;
+
+  if (argc < 3) {
+    PrintUsage();
+    return 2;
+  }
+  const std::string in_path = argv[1];
+  const std::string out_path = argv[2];
+  ChaosOptions options;
+  for (int i = 3; i < argc; ++i) {
+    std::string a = argv[i];
+    if (StartsWith(a, "--rate=")) {
+      options.corruption_rate = std::strtod(a.c_str() + strlen("--rate="), nullptr);
+    } else if (StartsWith(a, "--seed=")) {
+      options.seed = std::strtoull(a.c_str() + strlen("--seed="), nullptr, 10);
+    } else if (a == "--no-truncate") {
+      options.enable_truncation = false;
+    } else if (a == "--no-quote") {
+      options.enable_unterminated_quote = false;
+    } else if (a == "--no-bitflip") {
+      options.enable_bit_flips = false;
+    } else if (a == "--no-dup") {
+      options.enable_duplicate_lines = false;
+    } else if (a == "--no-oversize") {
+      options.enable_oversized_fields = false;
+    } else if (a == "--no-ragged") {
+      options.enable_ragged_rows = false;
+    } else if (a == "--corrupt-header") {
+      options.preserve_header = false;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", a.c_str());
+      PrintUsage();
+      return 2;
+    }
+  }
+
+  ChaosStats stats;
+  culinary::Status status = culinary::robustness::CorruptCsvFile(
+      in_path, out_path, options, &stats);
+  if (!status.ok()) {
+    std::fprintf(stderr, "chaos_corrupt: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "chaos_corrupt: %s -> %s (seed %llu): %s\n",
+               in_path.c_str(), out_path.c_str(),
+               static_cast<unsigned long long>(options.seed),
+               stats.Summary().c_str());
+  return 0;
+}
