@@ -11,6 +11,7 @@
 #include "analysis/pairing.h"
 #include "common/random.h"
 #include "datagen/world.h"
+#include "flavor/bitset.h"
 
 namespace {
 
@@ -51,13 +52,46 @@ void BM_ProfileIntersection(benchmark::State& state) {
 }
 BENCHMARK(BM_ProfileIntersection);
 
-void BM_PairingCacheBuild(benchmark::State& state) {
+void BM_BitsetIntersection(benchmark::State& state) {
+  // The packed popcount kernel on registry-scale profiles; compare against
+  // BM_ProfileIntersection (sorted merge) for the kernel speedup.
+  const auto& reg = World().registry();
+  auto live = reg.LiveIngredients();
+  const size_t universe = reg.num_molecules();
+  culinary::flavor::CompoundBitset a = culinary::flavor::CompoundBitset::
+      FromProfile(reg.Find(live[1])->profile, universe);
+  culinary::flavor::CompoundBitset b = culinary::flavor::CompoundBitset::
+      FromProfile(reg.Find(live[2])->profile, universe);
   for (auto _ : state) {
-    PairingCache cache(World().registry(), ItalyCuisine().unique_ingredients());
+    benchmark::DoNotOptimize(a.IntersectionCount(b));
+  }
+}
+BENCHMARK(BM_BitsetIntersection);
+
+void BM_BitsetJaccard(benchmark::State& state) {
+  const auto& reg = World().registry();
+  auto live = reg.LiveIngredients();
+  const size_t universe = reg.num_molecules();
+  culinary::flavor::CompoundBitset a = culinary::flavor::CompoundBitset::
+      FromProfile(reg.Find(live[1])->profile, universe);
+  culinary::flavor::CompoundBitset b = culinary::flavor::CompoundBitset::
+      FromProfile(reg.Find(live[2])->profile, universe);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.Jaccard(b));
+  }
+}
+BENCHMARK(BM_BitsetJaccard);
+
+void BM_PairingCacheBuild(benchmark::State& state) {
+  culinary::analysis::AnalysisOptions options{
+      .num_threads = static_cast<size_t>(state.range(0))};
+  for (auto _ : state) {
+    PairingCache cache(World().registry(), ItalyCuisine().unique_ingredients(),
+                       options);
     benchmark::DoNotOptimize(cache.num_ingredients());
   }
 }
-BENCHMARK(BM_PairingCacheBuild);
+BENCHMARK(BM_PairingCacheBuild)->Arg(1)->Arg(0);  // serial vs hardware
 
 void BM_PairingCacheLookup(benchmark::State& state) {
   const PairingCache& cache = ItalyCache();
@@ -114,6 +148,16 @@ void BM_NullModelScoredRecipe(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_NullModelScoredRecipe);
+
+void BM_CuisinePairingStats(benchmark::State& state) {
+  culinary::analysis::AnalysisOptions options{
+      .num_threads = static_cast<size_t>(state.range(0))};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(culinary::analysis::CuisinePairingStats(
+        ItalyCache(), ItalyCuisine(), options));
+  }
+}
+BENCHMARK(BM_CuisinePairingStats)->Arg(1)->Arg(0);
 
 void BM_IngredientChi(benchmark::State& state) {
   auto id = ItalyCuisine().ByPopularity().front().first;

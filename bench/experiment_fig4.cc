@@ -22,7 +22,6 @@
 #include "analysis/pairing.h"
 #include "analysis/report.h"
 #include "common/string_util.h"
-#include "common/thread_pool.h"
 #include "dataframe/csv.h"
 #include "datagen/world.h"
 
@@ -79,6 +78,11 @@ int main(int argc, char** argv) {
 
   analysis::NullModelOptions options;
   options.num_recipes = args.null_recipes;
+  // Threads drive the per-region null-model sweep itself (block-parallel,
+  // bit-identical to the serial sweep) rather than an outer region loop:
+  // the 22 regions are badly balanced (cuisine sizes differ by an order of
+  // magnitude), while the 100k-sample sweep splits into uniform blocks.
+  options.exec.num_threads = args.threads;
 
   analysis::TextTable table({"Region", "Code", "N_s(real)", "Z(random)",
                              "Z(frequency)", "Z(category)", "Z(freq+cat)",
@@ -89,29 +93,28 @@ int main(int argc, char** argv) {
               options.num_recipes, std::max<size_t>(args.threads, 1),
               args.threads > 1 ? "s" : "");
 
-  // Regions are independent; sweep them across the pool and render rows in
-  // region order afterwards.
+  // Regions run serially; the parallelism lives inside each null-model
+  // sweep (options.exec), so Z-scores do not depend on the thread count.
   struct RegionRow {
     bool ok = false;
     std::string error;
     std::vector<analysis::FoodPairingResult> results;
   };
   std::vector<RegionRow> rows(recipe::kNumRegions);
-  ThreadPool pool(args.threads);
-  pool.ParallelFor(recipe::kNumRegions, [&](size_t i) {
+  for (size_t i = 0; i < static_cast<size_t>(recipe::kNumRegions); ++i) {
     recipe::Region region = recipe::AllRegions()[i];
     recipe::Cuisine cuisine = world.db().CuisineFor(region);
     analysis::PairingCache cache(world.registry(),
-                                 cuisine.unique_ingredients());
+                                 cuisine.unique_ingredients(), options.exec);
     auto results = analysis::CompareAgainstAllModels(cache, cuisine,
                                                      world.registry(), options);
     if (!results.ok()) {
       rows[i].error = results.status().ToString();
-      return;
+      continue;
     }
     rows[i].ok = true;
     rows[i].results = std::move(results).value();
-  });
+  }
 
   for (int i = 0; i < recipe::kNumRegions; ++i) {
     recipe::Region region = recipe::AllRegions()[i];

@@ -79,17 +79,23 @@ double IngredientChi(const PairingCache& cache, const recipe::Cuisine& cuisine,
 }
 
 std::vector<IngredientContribution> AllContributions(
-    const PairingCache& cache, const recipe::Cuisine& cuisine) {
+    const PairingCache& cache, const recipe::Cuisine& cuisine,
+    const AnalysisOptions& options) {
   std::vector<IngredientContribution> out;
   BaseScores base = ComputeBase(cache, cuisine);
   if (base.count == 0) return out;
   double mean = base.sum / static_cast<double>(base.count);
   if (mean == 0.0) return out;
-  out.reserve(cuisine.unique_ingredients().size());
-  for (flavor::IngredientId id : cuisine.unique_ingredients()) {
+  const std::vector<flavor::IngredientId>& ingredients =
+      cuisine.unique_ingredients();
+  out.resize(ingredients.size());
+  // One leave-one-out re-score per ingredient, written to its own slot:
+  // embarrassingly parallel and order-independent.
+  ForEachBlock(ingredients.size(), options, [&](size_t i) {
+    flavor::IngredientId id = ingredients[i];
     double without = MeanWithoutGivenBase(cache, cuisine, base, id);
-    out.push_back({id, 100.0 * (mean - without) / std::abs(mean)});
-  }
+    out[i] = {id, 100.0 * (mean - without) / std::abs(mean)};
+  });
   std::sort(out.begin(), out.end(),
             [](const IngredientContribution& a, const IngredientContribution& b) {
               if (a.chi != b.chi) return a.chi > b.chi;
@@ -100,8 +106,9 @@ std::vector<IngredientContribution> AllContributions(
 
 std::vector<IngredientContribution> TopContributors(
     const PairingCache& cache, const recipe::Cuisine& cuisine, size_t k,
-    bool positive) {
-  std::vector<IngredientContribution> all = AllContributions(cache, cuisine);
+    bool positive, const AnalysisOptions& options) {
+  std::vector<IngredientContribution> all =
+      AllContributions(cache, cuisine, options);
   std::vector<IngredientContribution> out;
   if (positive) {
     for (size_t i = 0; i < all.size() && out.size() < k; ++i) {

@@ -33,16 +33,20 @@ double CuisineMeanPairingWithout(const PairingCache& cache,
 double IngredientChi(const PairingCache& cache, const recipe::Cuisine& cuisine,
                      flavor::IngredientId id);
 
-/// χ for every ingredient of the cuisine, sorted by descending χ.
+/// χ for every ingredient of the cuisine, sorted by descending χ. Each
+/// ingredient's leave-one-out re-score is independent, so the sweep fans
+/// out across `options.num_threads` workers; per-ingredient results land in
+/// index-fixed slots, making the output identical for any thread count.
 std::vector<IngredientContribution> AllContributions(
-    const PairingCache& cache, const recipe::Cuisine& cuisine);
+    const PairingCache& cache, const recipe::Cuisine& cuisine,
+    const AnalysisOptions& options = {});
 
 /// Top `k` contributors. With `positive` true, the ingredients raising N̄_s
 /// the most (Fig 5(a): cuisines with uniform pairing); otherwise the ones
 /// lowering it the most (Fig 5(b): contrasting cuisines).
 std::vector<IngredientContribution> TopContributors(
     const PairingCache& cache, const recipe::Cuisine& cuisine, size_t k,
-    bool positive);
+    bool positive, const AnalysisOptions& options = {});
 
 }  // namespace culinary::analysis
 

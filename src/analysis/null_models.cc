@@ -133,14 +133,28 @@ void NullModelSampler::SampleDistinct(const culinary::AliasSampler& sampler,
 
 std::vector<int> NullModelSampler::SampleRecipe(culinary::Rng& rng) const {
   std::vector<int> out;
+  SampleRecipeInto(rng, out);
+  return out;
+}
+
+void NullModelSampler::SampleRecipeInto(culinary::Rng& rng,
+                                        std::vector<int>& out) const {
+  out.clear();
   switch (kind_) {
     case NullModelKind::kRandom: {
       size_t size = static_cast<size_t>(sizes_[size_sampler_->Sample(rng)]);
       size = std::min(size, num_ingredients_);
-      std::vector<size_t> picks =
-          rng.SampleWithoutReplacement(num_ingredients_, size);
-      out.reserve(picks.size());
-      for (size_t p : picks) out.push_back(static_cast<int>(p));
+      if (size == 0) break;
+      out.reserve(size);
+      // Floyd's algorithm (same draw sequence as
+      // Rng::SampleWithoutReplacement), writing dense ints directly so the
+      // hot loop needs no size_t staging buffer.
+      for (size_t j = num_ingredients_ - size; j < num_ingredients_; ++j) {
+        int t = static_cast<int>(rng.NextBounded(j + 1));
+        bool taken =
+            std::find(out.begin(), out.end(), t) != out.end();
+        out.push_back(taken ? static_cast<int>(j) : t);
+      }
       break;
     }
     case NullModelKind::kFrequency: {
@@ -175,26 +189,57 @@ std::vector<int> NullModelSampler::SampleRecipe(culinary::Rng& rng) const {
       break;
     }
   }
-  return out;
 }
 
-culinary::Result<FoodPairingResult> CompareAgainstNullModel(
+namespace {
+
+/// Ensemble-block granularity. Fixed — never derived from the thread count
+/// — so the block boundaries, the per-block RNG streams and the block-order
+/// merge are identical whether the sweep runs on 1 thread or 64.
+constexpr size_t kNullRecipesPerBlock = 2048;
+
+}  // namespace
+
+namespace {
+
+/// Shared implementation: `real_mean` is the cuisine's N̄_s, computed once
+/// by the caller (the four-model comparison reuses one value rather than
+/// re-scoring every real recipe per model).
+culinary::Result<FoodPairingResult> CompareWithRealMean(
     const PairingCache& cache, const recipe::Cuisine& cuisine,
     const flavor::FlavorRegistry& registry, NullModelKind kind,
-    const NullModelOptions& options) {
+    const NullModelOptions& options, double real_mean) {
   if (options.num_recipes == 0) {
     return culinary::Status::InvalidArgument("num_recipes must be positive");
   }
   CULINARY_ASSIGN_OR_RETURN(NullModelSampler sampler,
                             NullModelSampler::Make(kind, cuisine, registry));
-  culinary::Rng rng(options.seed ^
-                    (static_cast<uint64_t>(kind) << 32) ^
-                    static_cast<uint64_t>(cuisine.region()));
+  const uint64_t base_seed = options.seed ^
+                             (static_cast<uint64_t>(kind) << 32) ^
+                             static_cast<uint64_t>(cuisine.region());
+  const size_t num_blocks =
+      (options.num_recipes + kNullRecipesPerBlock - 1) / kNullRecipesPerBlock;
+  std::vector<culinary::RunningStats> partials(num_blocks);
+  ForEachBlock(num_blocks, options.exec, [&](size_t block) {
+    culinary::Rng rng(culinary::DeriveStreamSeed(base_seed, block));
+    const size_t begin = block * kNullRecipesPerBlock;
+    const size_t end =
+        std::min(options.num_recipes, begin + kNullRecipesPerBlock);
+    culinary::RunningStats stats;
+    std::vector<int> dense;
+    for (size_t i = begin; i < end; ++i) {
+      sampler.SampleRecipeInto(rng, dense);
+      if (dense.size() < 2) continue;
+      // Samplers emit distinct in-range dense indices by construction, so
+      // the ensemble can take the trusted in-place scoring path.
+      stats.Add(
+          RecipePairingScoreDistinct(cache, dense.data(), dense.size()));
+    }
+    partials[block] = stats;
+  });
   culinary::RunningStats null_stats;
-  for (size_t i = 0; i < options.num_recipes; ++i) {
-    std::vector<int> dense = sampler.SampleRecipe(rng);
-    if (dense.size() < 2) continue;
-    null_stats.Add(RecipePairingScoreDense(cache, dense));
+  for (const culinary::RunningStats& partial : partials) {
+    null_stats.Merge(partial);
   }
   if (null_stats.count() == 0) {
     return culinary::Status::FailedPrecondition(
@@ -203,7 +248,7 @@ culinary::Result<FoodPairingResult> CompareAgainstNullModel(
 
   FoodPairingResult result;
   result.kind = kind;
-  result.real_mean = CuisineMeanPairing(cache, cuisine);
+  result.real_mean = real_mean;
   result.null_mean = null_stats.mean();
   result.null_stddev = null_stats.stddev();
   result.null_count = null_stats.count();
@@ -212,16 +257,30 @@ culinary::Result<FoodPairingResult> CompareAgainstNullModel(
   return result;
 }
 
+}  // namespace
+
+culinary::Result<FoodPairingResult> CompareAgainstNullModel(
+    const PairingCache& cache, const recipe::Cuisine& cuisine,
+    const flavor::FlavorRegistry& registry, NullModelKind kind,
+    const NullModelOptions& options) {
+  return CompareWithRealMean(cache, cuisine, registry, kind, options,
+                             CuisineMeanPairing(cache, cuisine, options.exec));
+}
+
 culinary::Result<std::vector<FoodPairingResult>> CompareAgainstAllModels(
     const PairingCache& cache, const recipe::Cuisine& cuisine,
     const flavor::FlavorRegistry& registry, const NullModelOptions& options) {
+  // One real-mean sweep serves all four models; only the null ensembles
+  // differ between them.
+  const double real_mean = CuisineMeanPairing(cache, cuisine, options.exec);
   std::vector<FoodPairingResult> results;
   for (NullModelKind kind :
        {NullModelKind::kRandom, NullModelKind::kFrequency,
         NullModelKind::kCategory, NullModelKind::kFrequencyCategory}) {
     CULINARY_ASSIGN_OR_RETURN(
         FoodPairingResult r,
-        CompareAgainstNullModel(cache, cuisine, registry, kind, options));
+        CompareWithRealMean(cache, cuisine, registry, kind, options,
+                            real_mean));
     results.push_back(r);
   }
   return results;

@@ -6,6 +6,7 @@
 #include <string_view>
 #include <vector>
 
+#include "analysis/options.h"
 #include "analysis/pairing.h"
 #include "common/random.h"
 #include "common/result.h"
@@ -35,12 +36,21 @@ enum class NullModelKind : int {
 std::string_view NullModelKindToString(NullModelKind kind);
 
 /// Options for null-model generation.
+///
+/// The ensemble is partitioned into fixed-size blocks; block `b` draws from
+/// its own generator `Rng(DeriveStreamSeed(base, b))` and accumulates a
+/// partial `RunningStats`, and the partials merge in block order. Because
+/// neither the block boundaries nor the stream seeds depend on
+/// `exec.num_threads`, the resulting mean/stddev/z-score are bit-identical
+/// for any thread count — 1 thread simply runs the same blocks inline.
 struct NullModelOptions {
   /// Number of randomized recipes ("100,000 recipes were generated for the
   /// random control and models").
   size_t num_recipes = 100000;
   /// PRNG seed; fixed default for reproducible benches.
   uint64_t seed = 0xC0FFEE;
+  /// Execution knobs for the sweep (thread count; see AnalysisOptions).
+  AnalysisOptions exec;
 };
 
 /// Draws randomized recipes from one null model of one cuisine.
@@ -61,6 +71,12 @@ class NullModelSampler {
   /// built over `cuisine.unique_ingredients()` (which is exactly the index
   /// space this sampler emits). Ingredients within one recipe are distinct.
   std::vector<int> SampleRecipe(culinary::Rng& rng) const;
+
+  /// Allocation-free variant: writes the recipe into `out` (cleared first,
+  /// capacity kept). The sweep loop reuses one buffer for its entire block
+  /// instead of allocating 100,000 vectors. Thread-safe: samplers are
+  /// immutable after construction, all mutable state lives in `rng`/`out`.
+  void SampleRecipeInto(culinary::Rng& rng, std::vector<int>& out) const;
 
   NullModelKind kind() const { return kind_; }
 

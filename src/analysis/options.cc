@@ -1,0 +1,33 @@
+#include "analysis/options.h"
+
+#include <algorithm>
+#include <thread>
+
+#include "common/thread_pool.h"
+
+namespace culinary::analysis {
+
+size_t ResolveNumThreads(size_t num_threads) {
+  const size_t hardware =
+      std::max<size_t>(std::thread::hardware_concurrency(), 1);
+  if (num_threads == 0) return hardware;
+  // Oversubscribing a CPU-bound sweep never helps; capping keeps a
+  // `num_threads=8` request cheap on smaller machines. Results are
+  // unaffected either way (see the determinism contract in options.h).
+  return std::min(num_threads, hardware);
+}
+
+void ForEachBlock(size_t num_blocks, const AnalysisOptions& options,
+                  const std::function<void(size_t)>& body) {
+  if (num_blocks == 0) return;
+  const size_t threads =
+      std::min(ResolveNumThreads(options.num_threads), num_blocks);
+  if (threads <= 1) {
+    for (size_t b = 0; b < num_blocks; ++b) body(b);
+    return;
+  }
+  ThreadPool pool(threads);
+  pool.ParallelFor(num_blocks, body);
+}
+
+}  // namespace culinary::analysis

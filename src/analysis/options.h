@@ -1,0 +1,45 @@
+#ifndef CULINARYLAB_ANALYSIS_OPTIONS_H_
+#define CULINARYLAB_ANALYSIS_OPTIONS_H_
+
+#include <cstddef>
+#include <functional>
+
+namespace culinary::analysis {
+
+/// Execution knobs shared by every parallel analysis sweep (pairing-cache
+/// construction, null-model ensembles, contribution sweeps, similarity
+/// matrices).
+///
+/// Determinism contract: for a fixed seed, every analysis result is
+/// bit-identical for any `num_threads` value. Sweeps achieve this by
+/// partitioning work into blocks whose boundaries and RNG streams (see
+/// `DeriveStreamSeed`) depend only on the input size — never on the thread
+/// count — and by reducing per-block partials in block order on the calling
+/// thread. `num_threads` therefore only decides whether the blocks run on a
+/// pool or inline.
+struct AnalysisOptions {
+  /// Worker threads for analysis sweeps. 0 means "use hardware
+  /// concurrency"; 1 degrades to the fully serial path (no pool is
+  /// created).
+  size_t num_threads = 0;
+};
+
+/// Resolves the `num_threads` knob: 0 → `std::thread::hardware_concurrency`
+/// (itself clamped to at least 1); explicit requests are capped at the
+/// hardware concurrency, since oversubscribing a CPU-bound sweep only adds
+/// scheduling overhead and cannot change results.
+size_t ResolveNumThreads(size_t num_threads);
+
+/// Runs `body(block)` for every block in [0, num_blocks): inline on the
+/// calling thread when the resolved thread count (capped at `num_blocks`)
+/// is 1, otherwise across a transient `ThreadPool` via `ParallelFor`.
+/// Exceptions propagate to the caller on both paths. `body` must make each
+/// block's effect independent of execution order (e.g. write to
+/// block-indexed slots) — that, plus an order-fixed reduction by the
+/// caller, is what keeps results thread-count invariant.
+void ForEachBlock(size_t num_blocks, const AnalysisOptions& options,
+                  const std::function<void(size_t)>& body);
+
+}  // namespace culinary::analysis
+
+#endif  // CULINARYLAB_ANALYSIS_OPTIONS_H_

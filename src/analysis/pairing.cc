@@ -1,50 +1,117 @@
 #include "analysis/pairing.h"
 
-#include <utility>
+#include <algorithm>
 
 namespace culinary::analysis {
 
-PairingCache::PairingCache(
-    const flavor::FlavorRegistry& registry,
-    const std::vector<flavor::IngredientId>& ingredients)
+namespace {
+
+/// Recipes are clipped to ≈30 ingredients by the corpus generator; scoring
+/// keeps the sorted dense ids on the stack below this bound.
+constexpr size_t kMaxStackRecipe = 64;
+
+/// Ingredient-universe bound (in bits) for the stack bitmap below. Real
+/// cuisines run a few hundred unique ingredients; caches beyond this fall
+/// back to comparison deduplication.
+constexpr size_t kMaxBitmapBits = 2048;
+
+/// Collapses duplicate dense indices (each in [0, universe)) in place,
+/// preserving first-occurrence order; returns the deduplicated count. One
+/// test-and-set pass over a stack bitmap — duplicates are rare in real
+/// recipes, so the branch predicts well.
+size_t DedupResolved(size_t universe, int* ids, size_t m) {
+  if (universe > kMaxBitmapBits) {
+    std::sort(ids, ids + m);
+    return static_cast<size_t>(std::unique(ids, ids + m) - ids);
+  }
+  uint64_t words[kMaxBitmapBits / 64];
+  const size_t num_words = (universe + 63) / 64;
+  for (size_t w = 0; w < num_words; ++w) words[w] = 0;
+  size_t out = 0;
+  for (size_t i = 0; i < m; ++i) {
+    const size_t v = static_cast<size_t>(ids[i]);
+    const uint64_t mask = uint64_t{1} << (v & 63);
+    if ((words[v >> 6] & mask) == 0) {
+      words[v >> 6] |= mask;
+      ids[out++] = ids[i];
+    }
+  }
+  return out;
+}
+
+/// Σ_{i<j} shared(ids[i], ids[j]) over *distinct* dense indices (any
+/// order), plus the pair-count normalization. Reads the full symmetric
+/// matrix, so the loop carries no per-pair branch, swap, or sort
+/// prerequisite — every iteration is a multiply-free row read that the
+/// out-of-order core can keep in flight. (An earlier triangle-walk variant
+/// had to sort first; sorting a random ~10-element recipe mispredicts on
+/// most comparisons and cost more than the reads themselves.)
+double ScoreDistinctDense(const PairingCache& cache, const int* ids,
+                          size_t m) {
+  if (m < 2) return 0.0;
+  const uint16_t* shared = cache.shared_matrix().data();
+  const size_t n = cache.num_ingredients();
+  uint64_t total = 0;
+  for (size_t i = 0; i + 1 < m; ++i) {
+    const uint16_t* row = shared + static_cast<size_t>(ids[i]) * n;
+    for (size_t j = i + 1; j < m; ++j) {
+      total += row[static_cast<size_t>(ids[j])];
+    }
+  }
+  return 2.0 * static_cast<double>(total) /
+         (static_cast<double>(m) * static_cast<double>(m - 1));
+}
+
+/// Recipe-block granularity for the cuisine sweep. Fixed (never derived
+/// from the thread count) so per-block partial statistics merge to
+/// bit-identical results for any `num_threads`.
+constexpr size_t kRecipesPerBlock = 1024;
+
+}  // namespace
+
+PairingCache::PairingCache(const flavor::FlavorRegistry& registry,
+                           const std::vector<flavor::IngredientId>& ingredients,
+                           const AnalysisOptions& options)
     : ids_(ingredients) {
   const size_t n = ids_.size();
   dense_.reserve(n);
   for (size_t i = 0; i < n; ++i) {
     dense_[ids_[i]] = static_cast<int>(i);
   }
-  // Collect borrowed profiles once (empty profile for unknown ids).
-  static const flavor::FlavorProfile& kEmpty = *new flavor::FlavorProfile();
-  std::vector<const flavor::FlavorProfile*> profiles(n, &kEmpty);
+  // Pack every profile into a bitset over the registry's molecule universe
+  // (grown to cover stray ids from hand-built profiles). Unknown
+  // ingredients get empty bitsets.
+  static const flavor::FlavorProfile kEmpty;
+  bitsets_.reserve(n);
   for (size_t i = 0; i < n; ++i) {
     const flavor::Ingredient* ing = registry.Find(ids_[i]);
-    if (ing != nullptr) profiles[i] = &ing->profile;
+    bitsets_.push_back(flavor::CompoundBitset::FromProfile(
+        ing != nullptr ? ing->profile : kEmpty, registry.num_molecules()));
   }
   tri_.assign(n < 2 ? 0 : n * (n - 1) / 2, 0);
-  for (size_t a = 0; a + 1 < n; ++a) {
+  full_.assign(n * n, 0);
+  if (n < 2) return;
+  // Each row of the triangle is an independent popcount sweep; rows write
+  // disjoint triangle ranges, and each symmetric-matrix cell (x, y) is
+  // written only by the block handling min(x, y), so the parallel build is
+  // race-free and, being a pure function of the profiles, thread-count
+  // invariant.
+  ForEachBlock(n - 1, options, [this, n](size_t a) {
+    const flavor::CompoundBitset& fa = bitsets_[a];
+    uint16_t* row = tri_.data() + TriIndex(a, a + 1);
     for (size_t b = a + 1; b < n; ++b) {
-      tri_[TriIndex(a, b)] =
-          static_cast<uint32_t>(profiles[a]->SharedCompounds(*profiles[b]));
+      const uint16_t shared = static_cast<uint16_t>(
+          std::min<size_t>(fa.IntersectionCount(bitsets_[b]), UINT16_MAX));
+      row[b - a - 1] = shared;
+      full_[a * n + b] = shared;
+      full_[b * n + a] = shared;
     }
-  }
-}
-
-size_t PairingCache::TriIndex(size_t a, size_t b) const {
-  // Requires a < b < n. Row-major strict upper triangle:
-  // offset(a) = a*n - a(a+1)/2, index = offset(a) + (b - a - 1).
-  const size_t n = ids_.size();
-  return a * n - a * (a + 1) / 2 + (b - a - 1);
+  });
 }
 
 int PairingCache::DenseIndex(flavor::IngredientId id) const {
   auto it = dense_.find(id);
   return it == dense_.end() ? -1 : it->second;
-}
-
-uint32_t PairingCache::SharedByDense(size_t a, size_t b) const {
-  if (a == b) return 0;
-  if (a > b) std::swap(a, b);
-  return tri_[TriIndex(a, b)];
 }
 
 uint32_t PairingCache::Shared(flavor::IngredientId a,
@@ -57,42 +124,74 @@ uint32_t PairingCache::Shared(flavor::IngredientId a,
 
 double RecipePairingScoreDense(const PairingCache& cache,
                                const std::vector<int>& dense_ids) {
-  const size_t n = dense_ids.size();
-  if (n < 2) return 0.0;
-  uint64_t total = 0;
-  for (size_t i = 0; i + 1 < n; ++i) {
-    if (dense_ids[i] < 0) continue;
-    for (size_t j = i + 1; j < n; ++j) {
-      if (dense_ids[j] < 0) continue;
-      total += cache.SharedByDense(static_cast<size_t>(dense_ids[i]),
-                                   static_cast<size_t>(dense_ids[j]));
-    }
+  // Keep the resolved (non-negative) ids.
+  int stack[kMaxStackRecipe];
+  std::vector<int> heap;
+  int* resolved = stack;
+  if (dense_ids.size() > kMaxStackRecipe) {
+    heap.resize(dense_ids.size());
+    resolved = heap.data();
   }
-  return 2.0 * static_cast<double>(total) /
-         (static_cast<double>(n) * static_cast<double>(n - 1));
+  size_t m = 0;
+  for (int d : dense_ids) {
+    if (d >= 0) resolved[m++] = d;
+  }
+  // A recipe is an ingredient *set*: collapse duplicates so self-pairs
+  // neither score nor inflate the normalization.
+  m = DedupResolved(cache.num_ingredients(), resolved, m);
+  return ScoreDistinctDense(cache, resolved, m);
+}
+
+double RecipePairingScoreDistinct(const PairingCache& cache,
+                                  const int* dense_ids, size_t m) {
+  return ScoreDistinctDense(cache, dense_ids, m);
 }
 
 double RecipePairingScore(const PairingCache& cache,
                           const std::vector<flavor::IngredientId>& ids) {
-  std::vector<int> dense;
-  dense.reserve(ids.size());
-  for (flavor::IngredientId id : ids) dense.push_back(cache.DenseIndex(id));
-  return RecipePairingScoreDense(cache, dense);
+  int stack[kMaxStackRecipe];
+  std::vector<int> heap;
+  int* resolved = stack;
+  if (ids.size() > kMaxStackRecipe) {
+    heap.resize(ids.size());
+    resolved = heap.data();
+  }
+  size_t m = 0;
+  for (flavor::IngredientId id : ids) {
+    int d = cache.DenseIndex(id);
+    if (d >= 0) resolved[m++] = d;
+  }
+  m = DedupResolved(cache.num_ingredients(), resolved, m);
+  return ScoreDistinctDense(cache, resolved, m);
 }
 
 culinary::RunningStats CuisinePairingStats(const PairingCache& cache,
-                                           const recipe::Cuisine& cuisine) {
+                                           const recipe::Cuisine& cuisine,
+                                           const AnalysisOptions& options) {
+  const std::vector<recipe::Recipe>& recipes = cuisine.recipes();
+  const size_t num_blocks =
+      (recipes.size() + kRecipesPerBlock - 1) / kRecipesPerBlock;
+  std::vector<culinary::RunningStats> partials(num_blocks);
+  ForEachBlock(num_blocks, options, [&](size_t block) {
+    const size_t begin = block * kRecipesPerBlock;
+    const size_t end = std::min(recipes.size(), begin + kRecipesPerBlock);
+    culinary::RunningStats stats;
+    for (size_t i = begin; i < end; ++i) {
+      const recipe::Recipe& r = recipes[i];
+      if (!r.IsPairable()) continue;
+      stats.Add(RecipePairingScore(cache, r.ingredients));
+    }
+    partials[block] = stats;
+  });
   culinary::RunningStats stats;
-  for (const recipe::Recipe& r : cuisine.recipes()) {
-    if (!r.IsPairable()) continue;
-    stats.Add(RecipePairingScore(cache, r.ingredients));
-  }
+  for (const culinary::RunningStats& partial : partials) stats.Merge(partial);
   return stats;
 }
 
 double CuisineMeanPairing(const PairingCache& cache,
-                          const recipe::Cuisine& cuisine) {
-  return CuisinePairingStats(cache, cuisine).mean();
+                          const recipe::Cuisine& cuisine,
+                          const AnalysisOptions& options) {
+  return CuisinePairingStats(cache, cuisine, options).mean();
 }
 
 }  // namespace culinary::analysis

@@ -3,9 +3,12 @@
 
 #include <cstdint>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
+#include "analysis/options.h"
 #include "common/statistics.h"
+#include "flavor/bitset.h"
 #include "flavor/registry.h"
 #include "recipe/cuisine.h"
 
@@ -18,13 +21,20 @@ namespace culinary::analysis {
 /// synthetic recipes per model. The cache maps the cuisine's ingredient ids
 /// onto dense indices [0, n) and stores the strict upper triangle of the
 /// n×n shared-compound matrix, making each lookup O(1).
+///
+/// Construction is the bitset kernel's showcase: every profile is packed
+/// once into a `flavor::CompoundBitset` over the registry's molecule
+/// universe, and the triangle rows are filled with popcount intersections —
+/// in parallel across `options.num_threads` workers, since every entry is
+/// an independent pure function of two bitsets.
 class PairingCache {
  public:
   /// Builds the cache for `ingredients` (typically
   /// `cuisine.unique_ingredients()`), resolving profiles via `registry`.
   /// Ids unknown to the registry get empty profiles.
   PairingCache(const flavor::FlavorRegistry& registry,
-               const std::vector<flavor::IngredientId>& ingredients);
+               const std::vector<flavor::IngredientId>& ingredients,
+               const AnalysisOptions& options = {});
 
   /// Number of ingredients covered.
   size_t num_ingredients() const { return ids_.size(); }
@@ -35,39 +45,100 @@ class PairingCache {
   /// Ingredient id at dense index `i`.
   flavor::IngredientId IdAt(size_t i) const { return ids_[i]; }
 
+  /// Packed flavor profile of the ingredient at dense index `i` (empty for
+  /// ids unknown to the registry). The bitsets are retained so downstream
+  /// analyses can run further popcount queries without re-packing.
+  const flavor::CompoundBitset& BitsetAt(size_t i) const {
+    return bitsets_[i];
+  }
+
   /// |F_a ∩ F_b| by dense indices (a != b; symmetric).
-  uint32_t SharedByDense(size_t a, size_t b) const;
+  uint32_t SharedByDense(size_t a, size_t b) const {
+    if (a == b) return 0;
+    if (a > b) std::swap(a, b);
+    return tri_[TriIndex(a, b)];
+  }
 
   /// |F_a ∩ F_b| by ingredient id; 0 when either id is uncovered.
   uint32_t Shared(flavor::IngredientId a, flavor::IngredientId b) const;
 
+  /// Raw triangle offset of row `a`: for sorted dense indices a < b the
+  /// shared count lives at `triangle()[RowBase(a) + b]`. Exposed so the
+  /// recipe-scoring inner loop can hoist the row computation out of its
+  /// O(pairs) loop.
+  size_t RowBase(size_t a) const {
+    const size_t n = ids_.size();
+    return a * n - a * (a + 1) / 2 - a - 1;
+  }
+
+  /// Strict upper triangle of shared-compound counts, row-major. Stored as
+  /// uint16_t: recipe scoring is bound by random reads into these tables,
+  /// and halving them keeps a ~450-ingredient cuisine close to the fast
+  /// cache levels. Counts are bounded by the smaller profile size (tens of
+  /// molecules against a ~2,200-molecule universe); values above 65,535
+  /// would need a profile larger than any registry holds and are saturated
+  /// at construction.
+  const std::vector<uint16_t>& triangle() const { return tri_; }
+
+  /// Full symmetric n×n mirror of `triangle()` (zero diagonal), row-major.
+  /// Recipe scoring reads this instead of the triangle: unordered index
+  /// pairs address it directly, so the hot loop needs no sort, swap, or
+  /// branch per pair. Costs 2× the triangle's memory — still a few hundred
+  /// KB for real cuisines — in exchange for mispredict-free scoring.
+  const std::vector<uint16_t>& shared_matrix() const { return full_; }
+
  private:
-  size_t TriIndex(size_t a, size_t b) const;
+  size_t TriIndex(size_t a, size_t b) const {
+    // Requires a < b < n. Row-major strict upper triangle:
+    // offset(a) = a*n - a(a+1)/2, index = offset(a) + (b - a - 1).
+    return RowBase(a) + b;
+  }
 
   std::vector<flavor::IngredientId> ids_;
   std::unordered_map<flavor::IngredientId, int> dense_;
-  std::vector<uint32_t> tri_;  ///< strict upper triangle, row-major
+  std::vector<flavor::CompoundBitset> bitsets_;
+  std::vector<uint16_t> tri_;   ///< strict upper triangle, row-major
+  std::vector<uint16_t> full_;  ///< symmetric n×n mirror, zero diagonal
 };
 
 /// N_s(R) for a recipe given as dense indices into `cache`:
-///   N_s = 2 / (n (n-1)) * Σ_{i<j} |F_i ∩ F_j|.
-/// Returns 0 for recipes with fewer than two ingredients.
+///   N_s = 2 / (m (m-1)) * Σ_{i<j} |F_i ∩ F_j|
+/// where m is the number of *resolved* ingredients (dense id >= 0).
+/// Unresolved ingredients (-1 entries) are excluded from both the pair sum
+/// and the normalization, so recipes with unknown ingredients are scored
+/// over the ingredients that actually have profiles instead of being
+/// silently diluted. Returns 0 when fewer than two ingredients resolve.
 double RecipePairingScoreDense(const PairingCache& cache,
                                const std::vector<int>& dense_ids);
 
 /// N_s(R) for a recipe given as ingredient ids (ids not covered by the
-/// cache contribute empty profiles but still count towards n).
+/// cache are excluded from scoring and normalization, as above).
 double RecipePairingScore(const PairingCache& cache,
                           const std::vector<flavor::IngredientId>& ids);
 
+/// Hot-loop variant of `RecipePairingScoreDense` for trusted buffers:
+/// requires every entry to be a distinct, valid dense index of `cache`.
+/// Skips the resolve/dedup preprocessing entirely and scores straight off
+/// the symmetric shared matrix, so the inner loop carries no branches to
+/// mispredict. The null-model ensembles call this millions of times per
+/// sweep; sampler output satisfies the precondition by construction.
+/// Returns the same value `RecipePairingScoreDense` would.
+double RecipePairingScoreDistinct(const PairingCache& cache,
+                                  const int* dense_ids, size_t m);
+
 /// Distribution of N_s over the pairable recipes of `cuisine`; the mean is
-/// the paper's average flavor sharing N̄_s of the cuisine.
+/// the paper's average flavor sharing N̄_s of the cuisine. Recipes are
+/// scored in fixed-size blocks that run across `options.num_threads`
+/// workers and merge in block order, so the result does not depend on the
+/// thread count.
 culinary::RunningStats CuisinePairingStats(const PairingCache& cache,
-                                           const recipe::Cuisine& cuisine);
+                                           const recipe::Cuisine& cuisine,
+                                           const AnalysisOptions& options = {});
 
 /// Convenience: N̄_s of a cuisine.
 double CuisineMeanPairing(const PairingCache& cache,
-                          const recipe::Cuisine& cuisine);
+                          const recipe::Cuisine& cuisine,
+                          const AnalysisOptions& options = {});
 
 }  // namespace culinary::analysis
 

@@ -56,16 +56,19 @@ double CuisineSimilarityScore(const recipe::Cuisine& a,
 }
 
 std::vector<std::vector<double>> CuisineSimilarityMatrix(
-    const std::vector<recipe::Cuisine>& cuisines, CuisineSimilarity metric) {
+    const std::vector<recipe::Cuisine>& cuisines, CuisineSimilarity metric,
+    const AnalysisOptions& options) {
   const size_t n = cuisines.size();
   std::vector<std::vector<double>> matrix(n, std::vector<double>(n, 0.0));
-  for (size_t i = 0; i < n; ++i) {
+  // Row i fills its j >= i tail plus the mirrored column entries; distinct
+  // rows never write the same cell, so the sweep is race-free.
+  ForEachBlock(n, options, [&](size_t i) {
     for (size_t j = i; j < n; ++j) {
       double s = CuisineSimilarityScore(cuisines[i], cuisines[j], metric);
       matrix[i][j] = s;
       matrix[j][i] = s;
     }
-  }
+  });
   return matrix;
 }
 

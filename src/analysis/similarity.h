@@ -4,6 +4,7 @@
 #include <utility>
 #include <vector>
 
+#include "analysis/options.h"
 #include "common/result.h"
 #include "recipe/cuisine.h"
 
@@ -37,8 +38,12 @@ double CuisineSimilarityScore(const recipe::Cuisine& a,
                               CuisineSimilarity metric);
 
 /// Full symmetric similarity matrix (diagonal = 1 for non-empty cuisines).
+/// Rows are independent pure functions of the cuisine pair, so the upper
+/// triangle fans out across `options.num_threads` workers; the result is
+/// identical for any thread count.
 std::vector<std::vector<double>> CuisineSimilarityMatrix(
-    const std::vector<recipe::Cuisine>& cuisines, CuisineSimilarity metric);
+    const std::vector<recipe::Cuisine>& cuisines, CuisineSimilarity metric,
+    const AnalysisOptions& options = {});
 
 /// The `k` most similar cuisines to `cuisines[target]`, best first.
 /// InvalidArgument for an out-of-range target.

@@ -14,55 +14,22 @@ uint64_t SplitMix64(uint64_t& state) {
   return z ^ (z >> 31);
 }
 
-uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
-
 }  // namespace
+
+uint64_t DeriveStreamSeed(uint64_t seed, uint64_t stream) {
+  uint64_t state = seed ^ (stream * 0x9e3779b97f4a7c15ULL);
+  uint64_t mixed = SplitMix64(state);
+  return SplitMix64(state) ^ mixed;
+}
 
 Rng::Rng(uint64_t seed) {
   uint64_t sm = seed;
   for (auto& s : s_) s = SplitMix64(sm);
 }
 
-uint64_t Rng::NextUint64() {
-  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
-  const uint64_t t = s_[1] << 17;
-  s_[2] ^= s_[0];
-  s_[3] ^= s_[1];
-  s_[1] ^= s_[2];
-  s_[0] ^= s_[3];
-  s_[2] ^= t;
-  s_[3] = Rotl(s_[3], 45);
-  return result;
-}
-
-uint64_t Rng::NextBounded(uint64_t bound) {
-  if (bound == 0) return 0;
-  // Lemire's nearly-divisionless unbiased method.
-  uint64_t x = NextUint64();
-  __uint128_t m = static_cast<__uint128_t>(x) * bound;
-  uint64_t l = static_cast<uint64_t>(m);
-  if (l < bound) {
-    uint64_t threshold = (0 - bound) % bound;
-    while (l < threshold) {
-      x = NextUint64();
-      m = static_cast<__uint128_t>(x) * bound;
-      l = static_cast<uint64_t>(m);
-    }
-  }
-  return static_cast<uint64_t>(m >> 64);
-}
-
 int64_t Rng::NextInt(int64_t lo, int64_t hi) {
   uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
   return lo + static_cast<int64_t>(NextBounded(span));
-}
-
-double Rng::NextDouble() {
-  return static_cast<double>(NextUint64() >> 11) * 0x1.0p-53;
-}
-
-double Rng::NextDouble(double lo, double hi) {
-  return lo + (hi - lo) * NextDouble();
 }
 
 bool Rng::NextBernoulli(double p) {
@@ -114,7 +81,14 @@ int64_t Rng::NextPoisson(double lambda) {
 
 std::vector<size_t> Rng::SampleWithoutReplacement(size_t n, size_t k) {
   std::vector<size_t> out;
-  if (k == 0 || n == 0) return out;
+  SampleWithoutReplacement(n, k, out);
+  return out;
+}
+
+void Rng::SampleWithoutReplacement(size_t n, size_t k,
+                                   std::vector<size_t>& out) {
+  out.clear();
+  if (k == 0 || n == 0) return;
   if (k > n) k = n;
   out.reserve(k);
   // Floyd's algorithm: for j in [n-k, n), pick t in [0, j]; if taken, use j.
@@ -129,7 +103,6 @@ std::vector<size_t> Rng::SampleWithoutReplacement(size_t n, size_t k) {
     }
     out.push_back(taken ? j : t);
   }
-  return out;
 }
 
 Rng Rng::Fork() { return Rng(NextUint64()); }
@@ -169,12 +142,6 @@ AliasSampler::AliasSampler(const std::vector<double>& weights) {
   for (uint32_t s : small) prob_[s] = 1.0;
   for (uint32_t l : large) prob_[l] = 1.0;
   valid_ = true;
-}
-
-size_t AliasSampler::Sample(Rng& rng) const {
-  if (!valid_) return 0;
-  size_t i = static_cast<size_t>(rng.NextBounded(prob_.size()));
-  return rng.NextDouble() < prob_[i] ? i : alias_[i];
 }
 
 ZipfSampler::ZipfSampler(size_t n, double s, double q, uint64_t /*unused*/)

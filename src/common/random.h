@@ -14,26 +14,70 @@ namespace culinary {
 /// seed so that datasets, null models and benchmarks are reproducible
 /// run-to-run and platform-to-platform. The generator is cheap to copy;
 /// copies evolve independently.
+/// Derives the seed of an independent PRNG stream from a base seed and a
+/// stream index (two SplitMix64 finalization rounds over their golden-ratio
+/// combination). Parallel sweeps give task `i` the generator
+/// `Rng(DeriveStreamSeed(seed, i))`: the streams are decorrelated, and the
+/// mapping depends only on (seed, i) — never on thread count or execution
+/// order — which is what makes seeded parallel results bit-identical across
+/// `num_threads` settings.
+uint64_t DeriveStreamSeed(uint64_t seed, uint64_t stream);
+
+/// Rotate-left, the xoshiro mixing primitive.
+inline uint64_t Rotl64(uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
 class Rng {
  public:
   /// Creates a generator whose stream is fully determined by `seed`.
   explicit Rng(uint64_t seed);
 
-  /// Next raw 64 random bits.
-  uint64_t NextUint64();
+  /// Next raw 64 random bits. Inline: the null-model ensembles draw
+  /// hundreds of millions of variates, and an out-of-line call costs more
+  /// than the xoshiro step itself.
+  uint64_t NextUint64() {
+    const uint64_t result = Rotl64(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = Rotl64(s_[3], 45);
+    return result;
+  }
 
   /// Uniform integer in `[0, bound)`. `bound` must be positive. Uses
   /// Lemire's multiply-shift rejection method (unbiased).
-  uint64_t NextBounded(uint64_t bound);
+  uint64_t NextBounded(uint64_t bound) {
+    if (bound == 0) return 0;
+    uint64_t x = NextUint64();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    uint64_t l = static_cast<uint64_t>(m);
+    if (l < bound) {
+      uint64_t threshold = (0 - bound) % bound;
+      while (l < threshold) {
+        x = NextUint64();
+        m = static_cast<__uint128_t>(x) * bound;
+        l = static_cast<uint64_t>(m);
+      }
+    }
+    return static_cast<uint64_t>(m >> 64);
+  }
 
   /// Uniform integer in the closed range `[lo, hi]` (requires `lo <= hi`).
   int64_t NextInt(int64_t lo, int64_t hi);
 
   /// Uniform double in `[0, 1)` with 53 bits of precision.
-  double NextDouble();
+  double NextDouble() {
+    return static_cast<double>(NextUint64() >> 11) * 0x1.0p-53;
+  }
 
   /// Uniform double in `[lo, hi)`.
-  double NextDouble(double lo, double hi);
+  double NextDouble(double lo, double hi) {
+    return lo + (hi - lo) * NextDouble();
+  }
 
   /// True with probability `p` (clamped to [0, 1]).
   bool NextBernoulli(double p);
@@ -61,6 +105,12 @@ class Rng {
   /// Samples `k` distinct indices uniformly from `[0, n)` (k <= n) using
   /// Floyd's algorithm; order of the returned indices is unspecified.
   std::vector<size_t> SampleWithoutReplacement(size_t n, size_t k);
+
+  /// Allocation-free variant: appends the sample to `out` (which is cleared
+  /// first but keeps its capacity). Identical draw sequence to the
+  /// returning overload. Hot loops (the 100k-recipe null models) reuse one
+  /// buffer across calls.
+  void SampleWithoutReplacement(size_t n, size_t k, std::vector<size_t>& out);
 
   /// Forks a new independent generator from this one's stream. Useful for
   /// giving each region / model its own stream that does not depend on how
@@ -94,7 +144,13 @@ class AliasSampler {
   size_t size() const { return prob_.size(); }
 
   /// Draws one index in `[0, size())` distributed per the weights.
-  size_t Sample(Rng& rng) const;
+  /// Inline for the same reason as the Rng core: null-model sampling makes
+  /// ~10 alias draws per synthetic recipe.
+  size_t Sample(Rng& rng) const {
+    if (!valid_) return 0;
+    size_t i = static_cast<size_t>(rng.NextBounded(prob_.size()));
+    return rng.NextDouble() < prob_[i] ? i : alias_[i];
+  }
 
  private:
   std::vector<double> prob_;

@@ -42,15 +42,34 @@ void ThreadPool::WorkerLoop() {
   }
 }
 
+size_t ThreadPool::ParallelForChunks(size_t count, size_t num_threads) {
+  if (count == 0) return 0;
+  return std::min(count, 4 * std::max<size_t>(num_threads, 1));
+}
+
 void ThreadPool::ParallelFor(size_t count,
                              const std::function<void(size_t)>& body) {
   if (count == 0) return;
+  const size_t num_chunks = ParallelForChunks(count, num_threads());
+  const size_t chunk = (count + num_chunks - 1) / num_chunks;
   std::vector<std::future<void>> futures;
-  futures.reserve(count);
-  for (size_t i = 0; i < count; ++i) {
-    futures.push_back(Submit([&body, i]() { body(i); }));
+  futures.reserve(num_chunks);
+  for (size_t begin = 0; begin < count; begin += chunk) {
+    const size_t end = std::min(count, begin + chunk);
+    futures.push_back(Submit([&body, begin, end]() {
+      for (size_t i = begin; i < end; ++i) body(i);
+    }));
   }
-  for (auto& f : futures) f.wait();
+  // Drain every chunk before rethrowing so no task still references `body`.
+  std::exception_ptr first;
+  for (auto& f : futures) {
+    try {
+      f.get();
+    } catch (...) {
+      if (!first) first = std::current_exception();
+    }
+  }
+  if (first) std::rethrow_exception(first);
 }
 
 }  // namespace culinary

@@ -60,7 +60,19 @@ class ThreadPool {
 
   /// Runs `body(i)` for every i in [0, count) across the pool and blocks
   /// until all iterations finish.
+  ///
+  /// Iterations are grouped into at most `ParallelForChunks(count,
+  /// num_threads())` contiguous chunks — about 4 per worker — so the queue
+  /// holds a bounded number of tasks regardless of `count` while load still
+  /// balances when chunks run at different speeds. If any iteration throws,
+  /// the remaining iterations of that chunk are skipped, every other chunk
+  /// still runs to completion, and the first exception (in chunk submission
+  /// order) is rethrown to the caller.
   void ParallelFor(size_t count, const std::function<void(size_t)>& body);
+
+  /// Number of chunks `ParallelFor(count, ...)` submits on a pool of
+  /// `num_threads` workers: min(count, 4 * num_threads). Exposed for tests.
+  static size_t ParallelForChunks(size_t count, size_t num_threads);
 
  private:
   void WorkerLoop();

@@ -13,6 +13,7 @@
 #include "analysis/molecules.h"
 #include "analysis/ntuple.h"
 #include "analysis/null_models.h"
+#include "analysis/options.h"
 #include "analysis/pairing.h"
 #include "analysis/perturb.h"
 #include "analysis/report.h"
@@ -30,6 +31,7 @@
 #include "datagen/phrase_gen.h"
 #include "datagen/world.h"
 #include "evolution/copy_mutate.h"
+#include "flavor/bitset.h"
 #include "flavor/registry.h"
 #include "flavor/registry_io.h"
 #include "network/flavor_network.h"

@@ -1,0 +1,82 @@
+#include "flavor/bitset.h"
+
+#include <algorithm>
+
+namespace culinary::flavor {
+
+namespace {
+
+using bitset_internal::PopCount64;
+
+inline size_t WordsFor(size_t universe) { return (universe + 63) / 64; }
+
+}  // namespace
+
+CompoundBitset::CompoundBitset(size_t universe)
+    : words_(WordsFor(universe), 0), universe_(universe) {}
+
+CompoundBitset CompoundBitset::FromProfile(const FlavorProfile& profile,
+                                           size_t universe) {
+  const std::vector<MoleculeId>& ids = profile.ids();
+  if (!ids.empty() && ids.back() >= 0) {
+    universe = std::max(universe, static_cast<size_t>(ids.back()) + 1);
+  }
+  CompoundBitset out(universe);
+  for (MoleculeId id : ids) {
+    if (id < 0) continue;
+    out.words_[static_cast<size_t>(id) >> 6] |= uint64_t{1}
+                                                << (static_cast<size_t>(id) & 63);
+    ++out.count_;
+  }
+  return out;
+}
+
+bool CompoundBitset::Test(MoleculeId id) const {
+  if (id < 0 || static_cast<size_t>(id) >= words_.size() * 64) return false;
+  return (words_[static_cast<size_t>(id) >> 6] >>
+          (static_cast<size_t>(id) & 63)) &
+         1;
+}
+
+void CompoundBitset::Set(MoleculeId id) {
+  if (id < 0) return;
+  size_t bit = static_cast<size_t>(id);
+  if (bit >= universe_) universe_ = bit + 1;
+  if ((bit >> 6) >= words_.size()) words_.resize((bit >> 6) + 1, 0);
+  uint64_t mask = uint64_t{1} << (bit & 63);
+  if (!(words_[bit >> 6] & mask)) {
+    words_[bit >> 6] |= mask;
+    ++count_;
+  }
+}
+
+FlavorProfile CompoundBitset::ToProfile() const {
+  std::vector<MoleculeId> ids;
+  ids.reserve(count_);
+  for (size_t w = 0; w < words_.size(); ++w) {
+    uint64_t word = words_[w];
+    while (word != 0) {
+      uint64_t bit = word & (~word + 1);  // lowest set bit
+      ids.push_back(static_cast<MoleculeId>(w * 64 + PopCount64(bit - 1)));
+      word ^= bit;
+    }
+  }
+  return FlavorProfile(std::move(ids));
+}
+
+bool operator==(const CompoundBitset& a, const CompoundBitset& b) {
+  if (a.count_ != b.count_) return false;
+  size_t n = std::min(a.words_.size(), b.words_.size());
+  for (size_t i = 0; i < n; ++i) {
+    if (a.words_[i] != b.words_[i]) return false;
+  }
+  // The longer tail (if any) must be all zero; equal counts already
+  // guarantee that, but be defensive about direct word manipulation.
+  const auto& longer = a.words_.size() > n ? a.words_ : b.words_;
+  for (size_t i = n; i < longer.size(); ++i) {
+    if (longer[i] != 0) return false;
+  }
+  return true;
+}
+
+}  // namespace culinary::flavor

@@ -1,0 +1,123 @@
+#ifndef CULINARYLAB_FLAVOR_BITSET_H_
+#define CULINARYLAB_FLAVOR_BITSET_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include <algorithm>
+
+#include "flavor/profile.h"
+
+namespace culinary::flavor {
+
+namespace bitset_internal {
+
+/// Portable single-word popcount. On targets that guarantee the POPCNT
+/// instruction the builtin lowers to one instruction; elsewhere GCC would
+/// emit a libgcc call per word, so we fall back to the SWAR reduction
+/// (~12 ops, branch-free, auto-vectorizable).
+inline uint64_t PopCount64(uint64_t x) {
+#if defined(__POPCNT__)
+  return static_cast<uint64_t>(__builtin_popcountll(x));
+#else
+  x = x - ((x >> 1) & 0x5555555555555555ULL);
+  x = (x & 0x3333333333333333ULL) + ((x >> 2) & 0x3333333333333333ULL);
+  x = (x + (x >> 4)) & 0x0f0f0f0f0f0f0f0fULL;
+  return (x * 0x0101010101010101ULL) >> 56;
+#endif
+}
+
+}  // namespace bitset_internal
+
+/// A flavor profile packed as a fixed-universe bitset: bit `m` is set iff
+/// molecule `m` belongs to the profile.
+///
+/// `FlavorProfile` keeps the sorted-id representation that the registry and
+/// curation operations want; `CompoundBitset` is the hot-path twin. With the
+/// registry's molecule universe of ~2,200 compounds a profile packs into
+/// ~35 `uint64_t` words, so |A ∩ B| collapses from a branchy O(|A|+|B|)
+/// sorted merge into a branch-free word loop of AND + popcount that the
+/// compiler can keep entirely in vector registers. `PairingCache` converts
+/// every profile once and then builds its O(n²) shared-compound triangle on
+/// bitsets; the counts are exactly those of
+/// `FlavorProfile::SharedCompounds` (see the property test in
+/// tests/flavor/bitset_test.cc).
+class CompoundBitset {
+ public:
+  /// An empty set over an empty universe.
+  CompoundBitset() = default;
+
+  /// An empty set with capacity for molecule ids in [0, universe).
+  explicit CompoundBitset(size_t universe);
+
+  /// Packs `profile` into a bitset. The universe grows beyond `universe`
+  /// when the profile contains larger ids; negative ids are ignored.
+  static CompoundBitset FromProfile(const FlavorProfile& profile,
+                                    size_t universe);
+
+  /// Bit capacity (largest representable molecule id + 1, rounded up to a
+  /// whole word by the backing store).
+  size_t universe() const { return universe_; }
+
+  /// Number of molecules in the set (cached; O(1)).
+  size_t count() const { return count_; }
+  bool empty() const { return count_ == 0; }
+
+  /// True iff molecule `id` is in the set.
+  bool Test(MoleculeId id) const;
+
+  /// Inserts molecule `id`, growing the universe as needed; negative ids
+  /// are ignored.
+  void Set(MoleculeId id);
+
+  /// |this ∩ other| via word-wise AND + popcount. Defined inline: this is
+  /// the innermost call of the O(n²) triangle build, and an out-of-line
+  /// call would cost as much as the ~35-word loop itself.
+  size_t IntersectionCount(const CompoundBitset& other) const {
+    const size_t n = std::min(words_.size(), other.words_.size());
+    const uint64_t* a = words_.data();
+    const uint64_t* b = other.words_.data();
+    // Four independent accumulators so the word loop pipelines / vectorizes.
+    uint64_t c0 = 0, c1 = 0, c2 = 0, c3 = 0;
+    size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+      c0 += bitset_internal::PopCount64(a[i] & b[i]);
+      c1 += bitset_internal::PopCount64(a[i + 1] & b[i + 1]);
+      c2 += bitset_internal::PopCount64(a[i + 2] & b[i + 2]);
+      c3 += bitset_internal::PopCount64(a[i + 3] & b[i + 3]);
+    }
+    for (; i < n; ++i) c0 += bitset_internal::PopCount64(a[i] & b[i]);
+    return static_cast<size_t>(c0 + c1 + c2 + c3);
+  }
+
+  /// |this ∪ other| = |A| + |B| − |A ∩ B|.
+  size_t UnionCount(const CompoundBitset& other) const {
+    return count_ + other.count_ - IntersectionCount(other);
+  }
+
+  /// Jaccard similarity |A∩B| / |A∪B| (0 when both sets are empty).
+  double Jaccard(const CompoundBitset& other) const {
+    size_t inter = IntersectionCount(other);
+    size_t uni = count_ + other.count_ - inter;
+    if (uni == 0) return 0.0;
+    return static_cast<double>(inter) / static_cast<double>(uni);
+  }
+
+  /// Unpacks back to the sorted-id representation.
+  FlavorProfile ToProfile() const;
+
+  /// Backing words, least-significant molecule first.
+  const std::vector<uint64_t>& words() const { return words_; }
+
+  friend bool operator==(const CompoundBitset& a, const CompoundBitset& b);
+
+ private:
+  std::vector<uint64_t> words_;
+  size_t universe_ = 0;
+  size_t count_ = 0;
+};
+
+}  // namespace culinary::flavor
+
+#endif  // CULINARYLAB_FLAVOR_BITSET_H_

@@ -123,6 +123,21 @@ TEST_F(ContributionTest, TopContributorsFiltersBySign) {
   }
 }
 
+TEST_F(ContributionTest, AllContributionsIdenticalAcrossThreadCounts) {
+  Cuisine cuisine(Region::kItaly,
+                  {MakeRecipe({a_, b_, glue_}), MakeRecipe({glue_, solo_}),
+                   MakeRecipe({a_, b_}), MakeRecipe({a_, glue_}),
+                   MakeRecipe({b_, glue_, solo_})});
+  PairingCache cache(reg_, cuisine.unique_ingredients());
+  auto serial = AllContributions(cache, cuisine, {.num_threads = 1});
+  auto parallel = AllContributions(cache, cuisine, {.num_threads = 8});
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].id, parallel[i].id) << i;
+    EXPECT_EQ(serial[i].chi, parallel[i].chi) << i;
+  }
+}
+
 TEST_F(ContributionTest, EmptyCuisineYieldsNoContributions) {
   Cuisine cuisine(Region::kKorea, {});
   PairingCache cache(reg_, cuisine.unique_ingredients());

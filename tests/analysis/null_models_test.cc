@@ -178,6 +178,52 @@ TEST_F(NullModelsTest, CompareProducesConsistentZ) {
               1e-9);
 }
 
+TEST_F(NullModelsTest, ZScoresBitIdenticalAcrossThreadCounts) {
+  // The Fig-4 determinism contract: for a fixed seed, the sweep's outputs
+  // are bit-identical whether it runs serial or on any number of workers,
+  // because RNG streams and merge order are tied to fixed-size blocks, not
+  // threads. 9000 recipes span five 2048-recipe blocks.
+  for (NullModelKind kind :
+       {NullModelKind::kRandom, NullModelKind::kFrequency,
+        NullModelKind::kCategory, NullModelKind::kFrequencyCategory}) {
+    NullModelOptions options;
+    options.num_recipes = 9000;
+    options.seed = 0xF16'4;
+    std::vector<FoodPairingResult> results;
+    for (size_t threads : {size_t{1}, size_t{2}, size_t{8}}) {
+      options.exec.num_threads = threads;
+      auto r = CompareAgainstNullModel(*cache_, *cuisine_, reg_, kind, options);
+      ASSERT_TRUE(r.ok()) << NullModelKindToString(kind);
+      results.push_back(*r);
+    }
+    for (size_t i = 1; i < results.size(); ++i) {
+      EXPECT_EQ(results[0].null_mean, results[i].null_mean)
+          << NullModelKindToString(kind);
+      EXPECT_EQ(results[0].null_stddev, results[i].null_stddev)
+          << NullModelKindToString(kind);
+      EXPECT_EQ(results[0].null_count, results[i].null_count)
+          << NullModelKindToString(kind);
+      EXPECT_EQ(results[0].real_mean, results[i].real_mean)
+          << NullModelKindToString(kind);
+      EXPECT_EQ(results[0].z_score, results[i].z_score)
+          << NullModelKindToString(kind);
+    }
+  }
+}
+
+TEST_F(NullModelsTest, SampleRecipeIntoMatchesSampleRecipe) {
+  auto sampler =
+      NullModelSampler::Make(NullModelKind::kFrequency, *cuisine_, reg_);
+  ASSERT_TRUE(sampler.ok());
+  culinary::Rng rng_a(99), rng_b(99);
+  std::vector<int> reused;
+  for (int i = 0; i < 200; ++i) {
+    std::vector<int> fresh = sampler->SampleRecipe(rng_a);
+    sampler->SampleRecipeInto(rng_b, reused);
+    EXPECT_EQ(fresh, reused) << "draw " << i;
+  }
+}
+
 TEST_F(NullModelsTest, DeterministicAcrossRuns) {
   NullModelOptions options;
   options.num_recipes = 2000;

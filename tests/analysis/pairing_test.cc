@@ -84,11 +84,53 @@ TEST_F(PairingTest, RecipeScoreDegenerateCases) {
   EXPECT_EQ(RecipePairingScore(cache, {c_, d_}), 0.0);
 }
 
-TEST_F(PairingTest, DenseScoreSkipsUncoveredIds) {
+TEST_F(PairingTest, DenseScoreNormalizesByResolvedIngredients) {
   PairingCache cache(reg_, {a_, b_});
-  // Dense -1 entries contribute nothing but count toward n: with n=3 and
-  // only pair (a,b) valid → 2/(3*2)*2 = 2/3.
-  EXPECT_NEAR(RecipePairingScoreDense(cache, {0, 1, -1}), 2.0 / 3.0, 1e-12);
+  // Regression: unresolved (-1) entries used to count toward n, diluting
+  // the score to 2/(3*2)*2 = 2/3. They must be excluded from the pair sum
+  // AND the normalization: the two resolved ingredients score
+  // 2/(2*1)*2 = 2, exactly as if the unknown ingredient were absent.
+  EXPECT_DOUBLE_EQ(RecipePairingScoreDense(cache, {0, 1, -1}), 2.0);
+  EXPECT_DOUBLE_EQ(RecipePairingScoreDense(cache, {-1, 0, -1, 1, -1}),
+                   RecipePairingScoreDense(cache, {0, 1}));
+  // Fewer than two resolved ingredients → no pairs → 0.
+  EXPECT_DOUBLE_EQ(RecipePairingScoreDense(cache, {0, -1, -1}), 0.0);
+  // Id-level scoring applies the same rule to uncovered ingredient ids.
+  EXPECT_DOUBLE_EQ(RecipePairingScore(cache, {a_, b_, c_}), 2.0);
+}
+
+TEST_F(PairingTest, DenseScoreCollapsesDuplicates) {
+  PairingCache cache(reg_, {a_, b_});
+  // A recipe is an ingredient set: repeated ids neither score against
+  // themselves nor inflate the normalization.
+  EXPECT_DOUBLE_EQ(RecipePairingScoreDense(cache, {0, 0, 1}), 2.0);
+  EXPECT_DOUBLE_EQ(RecipePairingScoreDense(cache, {0, 0}), 0.0);
+}
+
+TEST_F(PairingTest, DistinctFastPathMatchesDenseScore) {
+  FlavorRegistry reg;
+  culinary::Rng rng(23);
+  std::vector<IngredientId> ids;
+  for (int i = 0; i < 30; ++i) {
+    std::vector<int32_t> mol;
+    for (int m = 0; m < 80; ++m) {
+      if (rng.NextBernoulli(0.2)) mol.push_back(m);
+    }
+    ids.push_back(reg.AddIngredient("ing" + std::to_string(i),
+                                    Category::kVegetable, FlavorProfile(mol))
+                      .value());
+  }
+  PairingCache cache(reg, ids);
+  for (int trial = 0; trial < 100; ++trial) {
+    size_t m = 2 + rng.NextBounded(12);
+    std::vector<size_t> picks;
+    rng.SampleWithoutReplacement(ids.size(), m, picks);
+    std::vector<int> dense(picks.begin(), picks.end());
+    double expected = RecipePairingScoreDense(cache, dense);
+    double fast =
+        RecipePairingScoreDistinct(cache, dense.data(), dense.size());
+    EXPECT_DOUBLE_EQ(fast, expected) << "trial " << trial;
+  }
 }
 
 TEST_F(PairingTest, CuisineStatsAverageOverPairableRecipes) {
@@ -132,6 +174,76 @@ TEST_F(PairingTest, CacheConsistentWithProfilesExhaustive) {
                 reg.SharedCompounds(ids[i], ids[j]));
     }
   }
+}
+
+TEST_F(PairingTest, ParallelCacheBuildMatchesSerial) {
+  FlavorRegistry reg;
+  culinary::Rng rng(11);
+  std::vector<IngredientId> ids;
+  for (int i = 0; i < 60; ++i) {
+    std::vector<int32_t> mol;
+    for (int m = 0; m < 300; ++m) {
+      if (rng.NextBernoulli(0.15)) mol.push_back(m);
+    }
+    ids.push_back(reg.AddIngredient("ing" + std::to_string(i),
+                                    Category::kVegetable, FlavorProfile(mol))
+                      .value());
+  }
+  AnalysisOptions serial{.num_threads = 1};
+  AnalysisOptions parallel{.num_threads = 8};
+  PairingCache cache1(reg, ids, serial);
+  PairingCache cache8(reg, ids, parallel);
+  ASSERT_EQ(cache1.triangle().size(), cache8.triangle().size());
+  EXPECT_EQ(cache1.triangle(), cache8.triangle());
+  EXPECT_EQ(cache1.shared_matrix(), cache8.shared_matrix());
+}
+
+TEST_F(PairingTest, SharedMatrixMirrorsTriangle) {
+  PairingCache cache(reg_, {a_, b_, c_});
+  const size_t n = cache.num_ingredients();
+  ASSERT_EQ(cache.shared_matrix().size(), n * n);
+  for (size_t a = 0; a < n; ++a) {
+    EXPECT_EQ(cache.shared_matrix()[a * n + a], 0u);
+    for (size_t b = 0; b < n; ++b) {
+      EXPECT_EQ(cache.shared_matrix()[a * n + b], cache.SharedByDense(a, b));
+      EXPECT_EQ(cache.shared_matrix()[a * n + b],
+                cache.shared_matrix()[b * n + a]);
+    }
+  }
+}
+
+TEST_F(PairingTest, CacheExposesProfileBitsets) {
+  PairingCache cache(reg_, {a_, b_, d_});
+  size_t ia = static_cast<size_t>(cache.DenseIndex(a_));
+  size_t ib = static_cast<size_t>(cache.DenseIndex(b_));
+  size_t id = static_cast<size_t>(cache.DenseIndex(d_));
+  EXPECT_EQ(cache.BitsetAt(ia).count(), 3u);
+  EXPECT_EQ(cache.BitsetAt(id).count(), 0u);
+  EXPECT_EQ(cache.BitsetAt(ia).IntersectionCount(cache.BitsetAt(ib)), 2u);
+}
+
+TEST_F(PairingTest, CuisineStatsBitIdenticalAcrossThreadCounts) {
+  // Large enough to span several 1024-recipe blocks.
+  culinary::Rng rng(7);
+  std::vector<Recipe> recipes;
+  for (int i = 0; i < 3000; ++i) {
+    std::vector<IngredientId> ids = {a_, b_};
+    if (rng.NextBernoulli(0.5)) ids.push_back(c_);
+    if (rng.NextBernoulli(0.3)) ids.push_back(d_);
+    recipes.push_back(MakeRecipe(std::move(ids)));
+  }
+  Cuisine cuisine(Region::kItaly, std::move(recipes));
+  PairingCache cache(reg_, cuisine.unique_ingredients());
+  culinary::RunningStats s1 =
+      CuisinePairingStats(cache, cuisine, {.num_threads = 1});
+  culinary::RunningStats s2 =
+      CuisinePairingStats(cache, cuisine, {.num_threads = 2});
+  culinary::RunningStats s8 =
+      CuisinePairingStats(cache, cuisine, {.num_threads = 8});
+  EXPECT_EQ(s1.count(), s8.count());
+  EXPECT_EQ(s1.mean(), s2.mean());
+  EXPECT_EQ(s1.mean(), s8.mean());
+  EXPECT_EQ(s1.stddev(), s8.stddev());
 }
 
 }  // namespace

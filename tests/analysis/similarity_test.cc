@@ -93,6 +93,29 @@ TEST(MatrixTest, SymmetricWithUnitDiagonal) {
   EXPECT_NEAR(matrix[0][1], 1.0 / 3.0, 1e-12);
 }
 
+TEST(MatrixTest, ParallelMatrixMatchesSerial) {
+  std::vector<Cuisine> cuisines;
+  for (int c = 0; c < 12; ++c) {
+    std::vector<std::vector<flavor::IngredientId>> recipes;
+    for (int r = 0; r < 5; ++r) {
+      recipes.push_back({c, c + r, 2 * c + r, 40 + r});
+    }
+    cuisines.push_back(MakeCuisine(static_cast<Region>(c), recipes));
+  }
+  for (CuisineSimilarity metric : {CuisineSimilarity::kIngredientJaccard,
+                                   CuisineSimilarity::kUsageCosine}) {
+    auto serial = CuisineSimilarityMatrix(cuisines, metric, {.num_threads = 1});
+    auto parallel =
+        CuisineSimilarityMatrix(cuisines, metric, {.num_threads = 8});
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (size_t i = 0; i < serial.size(); ++i) {
+      for (size_t j = 0; j < serial[i].size(); ++j) {
+        EXPECT_EQ(serial[i][j], parallel[i][j]) << i << "," << j;
+      }
+    }
+  }
+}
+
 TEST(NearestTest, OrdersBySimilarity) {
   std::vector<Cuisine> cuisines;
   cuisines.push_back(MakeCuisine(Region::kItaly, {{1, 2, 3}}));

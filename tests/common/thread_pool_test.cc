@@ -159,6 +159,62 @@ TEST(ThreadPoolShutdownTest, ThrowingTaskAfterShutdownStillPropagates) {
   EXPECT_THROW(future.get(), std::runtime_error);
 }
 
+TEST(ThreadPoolTest, ParallelForChunkCountIsBounded) {
+  // ~4 chunks per worker, never more chunks than iterations.
+  EXPECT_EQ(ThreadPool::ParallelForChunks(0, 4), 0u);
+  EXPECT_EQ(ThreadPool::ParallelForChunks(3, 4), 3u);
+  EXPECT_EQ(ThreadPool::ParallelForChunks(16, 4), 16u);
+  EXPECT_EQ(ThreadPool::ParallelForChunks(100000, 4), 16u);
+  EXPECT_EQ(ThreadPool::ParallelForChunks(100000, 1), 4u);
+  EXPECT_EQ(ThreadPool::ParallelForChunks(100000, 0), 4u);  // clamped pool
+}
+
+TEST(ThreadPoolTest, ParallelForRunsChunkedNotPerIndex) {
+  // With chunking, a large iteration space executes as few contiguous
+  // runs: count the number of times consecutive indices land on different
+  // tasks by tracking per-chunk first/last coverage.
+  ThreadPool pool(2);
+  constexpr size_t kCount = 10000;
+  std::vector<int> hits(kCount, 0);
+  std::atomic<size_t> task_switches{0};
+  thread_local size_t last_index = SIZE_MAX;
+  pool.ParallelFor(kCount, [&](size_t i) {
+    ++hits[i];
+    if (last_index == SIZE_MAX || i != last_index + 1) ++task_switches;
+    last_index = i;
+  });
+  for (size_t i = 0; i < kCount; ++i) ASSERT_EQ(hits[i], 1) << i;
+  // 2 workers → at most 8 chunks → at most 8 non-contiguous starts (one
+  // per chunk; workers process chunks back-to-back so a switch can only
+  // happen at a chunk boundary).
+  EXPECT_LE(task_switches.load(), 8u);
+}
+
+TEST(ThreadPoolTest, ParallelForPropagatesFirstException) {
+  ThreadPool pool(3);
+  std::atomic<int> executed{0};
+  try {
+    pool.ParallelFor(100, [&executed](size_t i) {
+      ++executed;
+      if (i == 37) throw std::runtime_error("iteration 37 failed");
+    });
+    FAIL() << "ParallelFor swallowed the task exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "iteration 37 failed");
+  }
+  // Other chunks are unaffected: everything except the failed chunk's tail
+  // still ran, so at least the other chunks' iterations executed.
+  EXPECT_GE(executed.load(), 100 - 100 / static_cast<int>(
+                                       ThreadPool::ParallelForChunks(100, 3)));
+}
+
+TEST(ThreadPoolTest, ParallelForMultipleExceptionsStillReturnsOne) {
+  ThreadPool pool(2);
+  EXPECT_THROW(
+      pool.ParallelFor(50, [](size_t) { throw std::logic_error("each"); }),
+      std::logic_error);
+}
+
 TEST(ThreadPoolTest, ParallelSumMatchesSerial) {
   ThreadPool pool(4);
   std::vector<int64_t> partial(64, 0);

@@ -1,0 +1,117 @@
+#include "flavor/bitset.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "flavor/profile.h"
+
+namespace culinary::flavor {
+namespace {
+
+TEST(CompoundBitsetTest, EmptyBitset) {
+  CompoundBitset empty;
+  EXPECT_EQ(empty.count(), 0u);
+  EXPECT_TRUE(empty.empty());
+  EXPECT_EQ(empty.IntersectionCount(empty), 0u);
+  EXPECT_EQ(empty.UnionCount(empty), 0u);
+  EXPECT_DOUBLE_EQ(empty.Jaccard(empty), 0.0);
+  EXPECT_FALSE(empty.Test(0));
+  EXPECT_FALSE(empty.Test(-1));
+}
+
+TEST(CompoundBitsetTest, FromProfileRoundTrips) {
+  FlavorProfile profile({5, 64, 63, 128, 1000, 5});  // dup collapses
+  CompoundBitset bits = CompoundBitset::FromProfile(profile, 2200);
+  EXPECT_EQ(bits.count(), 5u);
+  EXPECT_GE(bits.universe(), 2200u);
+  EXPECT_TRUE(bits.Test(5));
+  EXPECT_TRUE(bits.Test(63));
+  EXPECT_TRUE(bits.Test(64));
+  EXPECT_FALSE(bits.Test(6));
+  EXPECT_FALSE(bits.Test(2199));
+  EXPECT_EQ(bits.ToProfile(), profile);
+}
+
+TEST(CompoundBitsetTest, ProfileIdsBeyondUniverseGrowIt) {
+  FlavorProfile profile({10, 9999});
+  CompoundBitset bits = CompoundBitset::FromProfile(profile, 100);
+  EXPECT_GE(bits.universe(), 10000u);
+  EXPECT_TRUE(bits.Test(9999));
+  EXPECT_EQ(bits.ToProfile(), profile);
+}
+
+TEST(CompoundBitsetTest, SetGrowsAndDeduplicates) {
+  CompoundBitset bits(64);
+  bits.Set(3);
+  bits.Set(3);
+  bits.Set(-7);  // ignored
+  bits.Set(200);
+  EXPECT_EQ(bits.count(), 2u);
+  EXPECT_TRUE(bits.Test(3));
+  EXPECT_TRUE(bits.Test(200));
+  EXPECT_GE(bits.universe(), 201u);
+}
+
+TEST(CompoundBitsetTest, DisjointAndIdenticalSets) {
+  CompoundBitset a = CompoundBitset::FromProfile(FlavorProfile({0, 1, 2}), 256);
+  CompoundBitset b =
+      CompoundBitset::FromProfile(FlavorProfile({100, 200}), 256);
+  EXPECT_EQ(a.IntersectionCount(b), 0u);
+  EXPECT_EQ(a.UnionCount(b), 5u);
+  EXPECT_DOUBLE_EQ(a.Jaccard(b), 0.0);
+  EXPECT_EQ(a.IntersectionCount(a), 3u);
+  EXPECT_DOUBLE_EQ(a.Jaccard(a), 1.0);
+  EXPECT_EQ(a, a);
+  EXPECT_FALSE(a == b);
+}
+
+TEST(CompoundBitsetTest, MismatchedUniversesCompareOnOverlap) {
+  CompoundBitset small = CompoundBitset::FromProfile(FlavorProfile({1, 63}), 64);
+  CompoundBitset large =
+      CompoundBitset::FromProfile(FlavorProfile({1, 63, 500}), 512);
+  EXPECT_EQ(small.IntersectionCount(large), 2u);
+  EXPECT_EQ(large.IntersectionCount(small), 2u);
+  EXPECT_EQ(small.UnionCount(large), 3u);
+}
+
+/// The satellite property: on randomized profiles, the bitset kernel agrees
+/// exactly with the sorted-merge FlavorProfile implementation for
+/// intersection, union and Jaccard — including empty and disjoint pairs.
+TEST(CompoundBitsetTest, PropertyAgreesWithSortedMerge) {
+  culinary::Rng rng(0xB175E7);
+  constexpr size_t kUniverse = 2200;  // registry-scale molecule universe
+  for (int trial = 0; trial < 200; ++trial) {
+    // Mix densities and sizes; every ~10th profile is empty, and every
+    // ~10th pair is forced disjoint by splitting the universe.
+    bool force_disjoint = trial % 10 == 3;
+    std::vector<MoleculeId> xs, ys;
+    double px = rng.NextDouble(0.0, 0.08);
+    double py = rng.NextDouble(0.0, 0.08);
+    if (trial % 10 == 7) px = 0.0;  // empty profile edge case
+    for (size_t m = 0; m < kUniverse; ++m) {
+      bool x_allowed = !force_disjoint || m < kUniverse / 2;
+      if (x_allowed && rng.NextBernoulli(px)) {
+        xs.push_back(static_cast<MoleculeId>(m));
+      }
+      bool y_allowed = !force_disjoint || m >= kUniverse / 2;
+      if (y_allowed && rng.NextBernoulli(py)) {
+        ys.push_back(static_cast<MoleculeId>(m));
+      }
+    }
+    FlavorProfile px_prof(xs), py_prof(ys);
+    CompoundBitset bx = CompoundBitset::FromProfile(px_prof, kUniverse);
+    CompoundBitset by = CompoundBitset::FromProfile(py_prof, kUniverse);
+
+    EXPECT_EQ(bx.count(), px_prof.size());
+    EXPECT_EQ(bx.IntersectionCount(by), px_prof.SharedCompounds(py_prof))
+        << "trial " << trial;
+    EXPECT_EQ(bx.UnionCount(by), px_prof.Union(py_prof).size())
+        << "trial " << trial;
+    EXPECT_DOUBLE_EQ(bx.Jaccard(by), px_prof.Jaccard(py_prof))
+        << "trial " << trial;
+    EXPECT_EQ(bx.ToProfile(), px_prof) << "trial " << trial;
+  }
+}
+
+}  // namespace
+}  // namespace culinary::flavor

@@ -1,0 +1,449 @@
+// Benchmark report runner for the pairing fast path.
+//
+// Times the two hot kernels this PR optimised against faithful replicas of
+// the previous (seed) implementation, and writes a machine-readable JSON
+// report (BENCH_pairing.json) with ops/sec and speedup-vs-serial-baseline:
+//
+//   1. PairingCache construction — sorted-merge SharedCompounds per pair
+//      (the old serial build) vs the packed popcount bitset build.
+//   2. The Figure-4 per-region pipeline — cache build plus the four-model
+//      null sweep. The baseline replays the seed end to end: uint32 cache,
+//      single-stream RNG, a fresh heap-allocated sample per draw, skip-scan
+//      scoring, and one full real-mean sweep per model. The optimized path
+//      is the bitset cache plus CompareAgainstAllModels (block-parallel,
+//      allocation-free, real mean computed once).
+//
+// It also verifies the determinism contract: seeded Z-scores must be
+// bit-identical for num_threads ∈ {1, 2, 8}.
+//
+// Usage: bench_report [--small] [--threads=T] [--reps=R] [--null-recipes=N]
+//                     [--out=PATH] [--check=BASELINE.json]
+//
+// With --check, no report is written; instead the freshly measured bitset
+// kernel is compared against the committed baseline and the run fails
+// (exit 1) if the kernel regressed by more than 20%.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "analysis/null_models.h"
+#include "analysis/options.h"
+#include "analysis/pairing.h"
+#include "common/random.h"
+#include "common/statistics.h"
+#include "common/string_util.h"
+#include "datagen/world.h"
+#include "flavor/bitset.h"
+
+namespace {
+
+using culinary::analysis::AnalysisOptions;
+using culinary::analysis::FoodPairingResult;
+using culinary::analysis::NullModelKind;
+using culinary::analysis::NullModelOptions;
+using culinary::analysis::NullModelSampler;
+using culinary::analysis::PairingCache;
+
+struct Args {
+  bool small = false;
+  size_t threads = 8;
+  size_t reps = 3;
+  size_t null_recipes = 20000;
+  std::string out_path = "BENCH_pairing.json";
+  std::string check_path;  // non-empty → regression-check mode
+};
+
+Args ParseArgs(int argc, char** argv) {
+  Args args;
+  for (int i = 1; i < argc; ++i) {
+    std::string a = argv[i];
+    if (a == "--small") {
+      args.small = true;
+    } else if (culinary::StartsWith(a, "--threads=")) {
+      args.threads = std::strtoull(a.c_str() + strlen("--threads="), nullptr, 10);
+    } else if (culinary::StartsWith(a, "--reps=")) {
+      args.reps = std::strtoull(a.c_str() + strlen("--reps="), nullptr, 10);
+    } else if (culinary::StartsWith(a, "--null-recipes=")) {
+      args.null_recipes = std::strtoull(
+          a.c_str() + strlen("--null-recipes="), nullptr, 10);
+    } else if (culinary::StartsWith(a, "--out=")) {
+      args.out_path = a.substr(strlen("--out="));
+    } else if (culinary::StartsWith(a, "--check=")) {
+      args.check_path = a.substr(strlen("--check="));
+    }
+  }
+  args.reps = std::max<size_t>(args.reps, 1);
+  return args;
+}
+
+/// Best-of-reps wall time of `fn`, in milliseconds.
+template <typename Fn>
+double TimeMs(size_t reps, Fn&& fn) {
+  double best = 1e300;
+  for (size_t r = 0; r < reps; ++r) {
+    auto t0 = std::chrono::steady_clock::now();
+    fn();
+    auto t1 = std::chrono::steady_clock::now();
+    double ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+    best = std::min(best, ms);
+  }
+  return best;
+}
+
+// ---------------------------------------------------------------------------
+// Legacy replicas — the seed implementation, kept verbatim so the report's
+// "serial baseline" is the code this PR replaced, not a strawman.
+// ---------------------------------------------------------------------------
+
+/// Seed-layout pairing cache: hash-map dense index plus a uint32 strict
+/// upper triangle. Legacy scoring reads *this* cache, not the new one, so
+/// the baseline also pays the seed's memory footprint.
+struct LegacyCache {
+  std::unordered_map<culinary::flavor::IngredientId, int> dense;
+  std::vector<uint32_t> tri;
+  size_t n = 0;
+
+  size_t TriIndex(size_t a, size_t b) const {
+    return a * (n - 1) - a * (a + 1) / 2 + (b - 1);
+  }
+  uint32_t SharedByDense(size_t a, size_t b) const {
+    if (a == b) return 0;
+    if (a > b) std::swap(a, b);
+    return tri[TriIndex(a, b)];
+  }
+  int DenseIndex(culinary::flavor::IngredientId id) const {
+    auto it = dense.find(id);
+    return it == dense.end() ? -1 : it->second;
+  }
+};
+
+/// Old PairingCache build: one sorted-merge SharedCompounds per pair into a
+/// uint32 triangle.
+LegacyCache BuildLegacyCache(
+    const culinary::flavor::FlavorRegistry& registry,
+    const std::vector<culinary::flavor::IngredientId>& ids) {
+  static const culinary::flavor::FlavorProfile kEmpty;
+  LegacyCache cache;
+  cache.n = ids.size();
+  const size_t n = cache.n;
+  std::vector<const culinary::flavor::FlavorProfile*> profiles(n, &kEmpty);
+  for (size_t i = 0; i < n; ++i) {
+    cache.dense[ids[i]] = static_cast<int>(i);
+    const culinary::flavor::Ingredient* ing = registry.Find(ids[i]);
+    if (ing != nullptr) profiles[i] = &ing->profile;
+  }
+  cache.tri.assign(n < 2 ? 0 : n * (n - 1) / 2, 0);
+  size_t k = 0;
+  for (size_t a = 0; a + 1 < n; ++a) {
+    for (size_t b = a + 1; b < n; ++b) {
+      cache.tri[k++] =
+          static_cast<uint32_t>(profiles[a]->SharedCompounds(*profiles[b]));
+    }
+  }
+  return cache;
+}
+
+/// Old dense scoring: skip-scan over all slots, per-pair branch + swap +
+/// triangle index arithmetic via SharedByDense.
+double LegacyScoreDense(const LegacyCache& cache,
+                        const std::vector<int>& dense_ids) {
+  const size_t n = dense_ids.size();
+  if (n < 2) return 0.0;
+  uint64_t total = 0;
+  for (size_t i = 0; i + 1 < n; ++i) {
+    if (dense_ids[i] < 0) continue;
+    for (size_t j = i + 1; j < n; ++j) {
+      if (dense_ids[j] < 0) continue;
+      total += cache.SharedByDense(static_cast<size_t>(dense_ids[i]),
+                                   static_cast<size_t>(dense_ids[j]));
+    }
+  }
+  return 2.0 * static_cast<double>(total) /
+         (static_cast<double>(n) * static_cast<double>(n - 1));
+}
+
+/// Old id-level scoring: a fresh dense vector per recipe, resolved through
+/// the hash map, then skip-scan scored.
+double LegacyRecipePairingScore(
+    const LegacyCache& cache,
+    const std::vector<culinary::flavor::IngredientId>& ids) {
+  std::vector<int> dense;
+  dense.reserve(ids.size());
+  for (culinary::flavor::IngredientId id : ids) {
+    dense.push_back(cache.DenseIndex(id));
+  }
+  return LegacyScoreDense(cache, dense);
+}
+
+/// Old null-model comparison: one RNG stream, a fresh heap-allocated sample
+/// per draw, skip-scan scoring, and (as the seed code did) a serial
+/// real-mean sweep over the cuisine per model.
+double LegacyNullSweep(const LegacyCache& cache,
+                       const culinary::recipe::Cuisine& cuisine,
+                       const culinary::flavor::FlavorRegistry& registry,
+                       NullModelKind kind, size_t num_recipes, uint64_t seed) {
+  auto sampler = NullModelSampler::Make(kind, cuisine, registry);
+  if (!sampler.ok()) return 0.0;
+  culinary::Rng rng(seed ^ (static_cast<uint64_t>(kind) << 32) ^
+                    static_cast<uint64_t>(cuisine.region()));
+  culinary::RunningStats stats;
+  for (size_t i = 0; i < num_recipes; ++i) {
+    std::vector<int> dense = sampler->SampleRecipe(rng);
+    if (dense.size() < 2) continue;
+    stats.Add(LegacyScoreDense(cache, dense));
+  }
+  culinary::RunningStats real;
+  for (const culinary::recipe::Recipe& r : cuisine.recipes()) {
+    if (!r.IsPairable()) continue;
+    real.Add(LegacyRecipePairingScore(cache, r.ingredients));
+  }
+  return stats.mean() + real.mean();
+}
+
+constexpr NullModelKind kAllKinds[] = {
+    NullModelKind::kRandom, NullModelKind::kFrequency,
+    NullModelKind::kCategory, NullModelKind::kFrequencyCategory};
+
+/// Extracts the number following `"key":` in a JSON blob. Returns false if
+/// the key is missing. Good enough for the flat reports this tool writes.
+bool ExtractJsonNumber(const std::string& json, const std::string& key,
+                       double* out) {
+  std::string needle = "\"" + key + "\":";
+  size_t pos = json.find(needle);
+  if (pos == std::string::npos) return false;
+  *out = std::strtod(json.c_str() + pos + needle.size(), nullptr);
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace culinary;  // NOLINT(build/namespaces)
+  Args args = ParseArgs(argc, argv);
+
+  datagen::WorldSpec spec =
+      args.small ? datagen::WorldSpec::Small() : datagen::WorldSpec::Default();
+  std::fprintf(stderr, "[bench_report] generating world (%s)...\n",
+               args.small ? "small" : "default");
+  auto world_result = datagen::GenerateWorld(spec);
+  if (!world_result.ok()) {
+    std::fprintf(stderr, "world generation failed: %s\n",
+                 world_result.status().ToString().c_str());
+    return 1;
+  }
+  const datagen::SyntheticWorld& world = world_result.value();
+  const flavor::FlavorRegistry& registry = world.registry();
+  recipe::Cuisine cuisine =
+      world.db().CuisineFor(recipe::Region::kItaly);
+  const std::vector<flavor::IngredientId>& ids = cuisine.unique_ingredients();
+  const size_t n = ids.size();
+  const size_t num_pairs = n < 2 ? 0 : n * (n - 1) / 2;
+  AnalysisOptions exec{.num_threads = args.threads};
+
+  // --- 1. Bitset kernel vs sorted merge --------------------------------
+  std::fprintf(stderr, "[bench_report] kernel: %zu ingredients...\n", n);
+  std::vector<const flavor::FlavorProfile*> profiles;
+  std::vector<flavor::CompoundBitset> bitsets;
+  static const flavor::FlavorProfile kEmpty;
+  for (flavor::IngredientId id : ids) {
+    const flavor::Ingredient* ing = registry.Find(id);
+    profiles.push_back(ing != nullptr ? &ing->profile : &kEmpty);
+    bitsets.push_back(flavor::CompoundBitset::FromProfile(
+        *profiles.back(), registry.num_molecules()));
+  }
+  uint64_t sink = 0;
+  double merge_ms = TimeMs(args.reps, [&] {
+    for (size_t a = 0; a + 1 < n; ++a) {
+      for (size_t b = a + 1; b < n; ++b) {
+        sink += profiles[a]->SharedCompounds(*profiles[b]);
+      }
+    }
+  });
+  double bitset_ms = TimeMs(args.reps, [&] {
+    for (size_t a = 0; a + 1 < n; ++a) {
+      for (size_t b = a + 1; b < n; ++b) {
+        sink += bitsets[a].IntersectionCount(bitsets[b]);
+      }
+    }
+  });
+  double merge_ns = merge_ms * 1e6 / static_cast<double>(num_pairs);
+  double bitset_ns = bitset_ms * 1e6 / static_cast<double>(num_pairs);
+
+  // --- 2. PairingCache construction ------------------------------------
+  std::fprintf(stderr, "[bench_report] cache build...\n");
+  double legacy_build_ms = TimeMs(args.reps, [&] {
+    LegacyCache legacy = BuildLegacyCache(registry, ids);
+    sink += legacy.tri.empty() ? 0 : legacy.tri.back();
+  });
+  double new_build_ms = TimeMs(args.reps, [&] {
+    PairingCache cache(registry, ids, exec);
+    sink += cache.triangle().empty() ? 0 : cache.triangle().back();
+  });
+
+  // --- 3. Figure-4 per-region pipeline ---------------------------------
+  // Each side runs what experiment_fig4 runs per region: build the pairing
+  // cache, then compare the cuisine against all four null models.
+  std::fprintf(stderr,
+               "[bench_report] fig4 pipeline: %zu recipes x 4 models...\n",
+               args.null_recipes);
+  NullModelOptions null_options;
+  null_options.num_recipes = args.null_recipes;
+  null_options.exec = exec;
+  double acc = 0.0;
+  double legacy_sweep_ms = TimeMs(args.reps, [&] {
+    LegacyCache legacy = BuildLegacyCache(registry, ids);
+    for (NullModelKind kind : kAllKinds) {
+      acc += LegacyNullSweep(legacy, cuisine, registry, kind,
+                             args.null_recipes, null_options.seed);
+    }
+  });
+  double new_sweep_ms = TimeMs(args.reps, [&] {
+    PairingCache fresh(registry, ids, exec);
+    auto r =
+        analysis::CompareAgainstAllModels(fresh, cuisine, registry, null_options);
+    if (r.ok()) {
+      for (const FoodPairingResult& fr : *r) acc += fr.null_mean;
+    }
+  });
+  PairingCache cache(registry, ids, exec);
+
+  // --- 4. Determinism across thread counts -----------------------------
+  std::fprintf(stderr, "[bench_report] determinism check...\n");
+  bool bit_identical = true;
+  {
+    NullModelOptions det = null_options;
+    det.num_recipes = std::min<size_t>(args.null_recipes, 6144);
+    std::vector<FoodPairingResult> reference;
+    for (size_t threads : {size_t{1}, size_t{2}, size_t{8}}) {
+      det.exec.num_threads = threads;
+      auto r = analysis::CompareAgainstAllModels(cache, cuisine, registry, det);
+      if (!r.ok()) {
+        bit_identical = false;
+        break;
+      }
+      if (reference.empty()) {
+        reference = std::move(r).value();
+        continue;
+      }
+      for (size_t i = 0; i < reference.size(); ++i) {
+        const FoodPairingResult& a = reference[i];
+        const FoodPairingResult& b = (*r)[i];
+        if (a.z_score != b.z_score || a.null_mean != b.null_mean ||
+            a.null_stddev != b.null_stddev || a.null_count != b.null_count ||
+            a.real_mean != b.real_mean) {
+          bit_identical = false;
+        }
+      }
+    }
+  }
+
+  double build_speedup = new_build_ms > 0 ? legacy_build_ms / new_build_ms : 0;
+  double sweep_speedup = new_sweep_ms > 0 ? legacy_sweep_ms / new_sweep_ms : 0;
+  double kernel_speedup = bitset_ns > 0 ? merge_ns / bitset_ns : 0;
+  double total_samples = 4.0 * static_cast<double>(args.null_recipes);
+
+  std::ostringstream json;
+  json.setf(std::ios::fixed);
+  json.precision(3);
+  json << "{\n"
+       << "  \"tool\": \"bench_report\",\n"
+       << "  \"world\": \"" << (args.small ? "small" : "default") << "\",\n"
+       << "  \"threads\": " << args.threads << ",\n"
+       << "  \"hardware_concurrency\": "
+       << std::thread::hardware_concurrency() << ",\n"
+       << "  \"cuisine_ingredients\": " << n << ",\n"
+       << "  \"molecule_universe\": " << registry.num_molecules() << ",\n"
+       << "  \"bitset_kernel\": {\n"
+       << "    \"sorted_merge_ns_per_op\": " << merge_ns << ",\n"
+       << "    \"bitset_ns_per_op\": " << bitset_ns << ",\n"
+       << "    \"ops_per_sec\": " << (bitset_ns > 0 ? 1e9 / bitset_ns : 0)
+       << ",\n"
+       << "    \"speedup\": " << kernel_speedup << "\n"
+       << "  },\n"
+       << "  \"pairing_cache_build\": {\n"
+       << "    \"pairs\": " << num_pairs << ",\n"
+       << "    \"serial_baseline_ms\": " << legacy_build_ms << ",\n"
+       << "    \"optimized_ms\": " << new_build_ms << ",\n"
+       << "    \"pairs_per_sec\": "
+       << (new_build_ms > 0 ? static_cast<double>(num_pairs) * 1e3 / new_build_ms
+                            : 0)
+       << ",\n"
+       << "    \"speedup\": " << build_speedup << "\n"
+       << "  },\n"
+       << "  \"fig4_null_sweep\": {\n"
+       << "    \"null_recipes_per_model\": " << args.null_recipes << ",\n"
+       << "    \"models\": 4,\n"
+       << "    \"includes_cache_build\": true,\n"
+       << "    \"serial_baseline_ms\": " << legacy_sweep_ms << ",\n"
+       << "    \"optimized_ms\": " << new_sweep_ms << ",\n"
+       << "    \"samples_per_sec\": "
+       << (new_sweep_ms > 0 ? total_samples * 1e3 / new_sweep_ms : 0) << ",\n"
+       << "    \"speedup\": " << sweep_speedup << "\n"
+       << "  },\n"
+       << "  \"determinism\": {\n"
+       << "    \"thread_counts\": [1, 2, 8],\n"
+       << "    \"bit_identical\": " << (bit_identical ? "true" : "false")
+       << "\n"
+       << "  },\n"
+       << "  \"checksum\": " << static_cast<double>(sink % 1000000) + acc
+       << "\n"
+       << "}\n";
+
+  std::printf("%s", json.str().c_str());
+
+  if (!args.check_path.empty()) {
+    // Regression-check mode: fail if the bitset kernel is >20% slower than
+    // the committed baseline.
+    std::ifstream in(args.check_path);
+    if (!in) {
+      std::fprintf(stderr, "[bench_report] cannot read baseline %s\n",
+                   args.check_path.c_str());
+      return 1;
+    }
+    std::stringstream buf;
+    buf << in.rdbuf();
+    double baseline_ns = 0;
+    if (!ExtractJsonNumber(buf.str(), "bitset_ns_per_op", &baseline_ns) ||
+        baseline_ns <= 0) {
+      std::fprintf(stderr,
+                   "[bench_report] baseline lacks bitset_ns_per_op\n");
+      return 1;
+    }
+    if (bitset_ns > 1.2 * baseline_ns) {
+      std::fprintf(stderr,
+                   "[bench_report] FAIL: bitset kernel regressed: %.3f ns/op "
+                   "vs baseline %.3f ns/op (>20%% slower)\n",
+                   bitset_ns, baseline_ns);
+      return 1;
+    }
+    std::fprintf(stderr,
+                 "[bench_report] kernel OK: %.3f ns/op vs baseline %.3f "
+                 "ns/op\n",
+                 bitset_ns, baseline_ns);
+    return 0;
+  }
+
+  if (!bit_identical) {
+    std::fprintf(stderr,
+                 "[bench_report] FAIL: z-scores differ across thread counts\n");
+    return 1;
+  }
+
+  std::ofstream out(args.out_path);
+  if (!out) {
+    std::fprintf(stderr, "[bench_report] cannot write %s\n",
+                 args.out_path.c_str());
+    return 1;
+  }
+  out << json.str();
+  std::fprintf(stderr, "[bench_report] wrote %s\n", args.out_path.c_str());
+  return 0;
+}
