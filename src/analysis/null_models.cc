@@ -1,8 +1,10 @@
 #include "analysis/null_models.h"
 
 #include <algorithm>
+#include <string>
 
 #include "common/statistics.h"
+#include "obs/obs.h"
 
 namespace culinary::analysis {
 
@@ -214,13 +216,27 @@ culinary::Result<FoodPairingResult> CompareWithRealMean(
   }
   CULINARY_ASSIGN_OR_RETURN(NullModelSampler sampler,
                             NullModelSampler::Make(kind, cuisine, registry));
+#if !defined(CULINARYLAB_OBS_DISABLED)
+  // Span name carries the model kind; only built when recording.
+  std::string span_name;
+  if (obs::Enabled()) {
+    span_name = "null_model.sweep/" + std::string(NullModelKindToString(kind));
+  }
+  obs::TraceSpan ensemble_span(span_name.empty() ? "null_model.sweep"
+                                                 : span_name,
+                               "null_model");
+#endif
+  CULINARY_OBS_COUNT("null_model.ensembles", 1);
+  CULINARY_OBS_COUNT("null_model.samples_requested", options.num_recipes);
   const uint64_t base_seed = options.seed ^
                              (static_cast<uint64_t>(kind) << 32) ^
                              static_cast<uint64_t>(cuisine.region());
   const size_t num_blocks =
       (options.num_recipes + kNullRecipesPerBlock - 1) / kNullRecipesPerBlock;
   std::vector<culinary::RunningStats> partials(num_blocks);
-  ForEachBlock(num_blocks, options.exec, [&](size_t block) {
+  AnalysisOptions sweep_exec = options.exec;
+  sweep_exec.trace_label = "null_model.sweep";
+  ForEachBlock(num_blocks, sweep_exec, [&](size_t block) {
     culinary::Rng rng(culinary::DeriveStreamSeed(base_seed, block));
     const size_t begin = block * kNullRecipesPerBlock;
     const size_t end =
@@ -241,6 +257,8 @@ culinary::Result<FoodPairingResult> CompareWithRealMean(
   for (const culinary::RunningStats& partial : partials) {
     null_stats.Merge(partial);
   }
+  CULINARY_OBS_COUNT("null_model.samples_scored",
+                     static_cast<uint64_t>(null_stats.count()));
   if (null_stats.count() == 0) {
     return culinary::Status::FailedPrecondition(
         "null model produced no pairable recipes");

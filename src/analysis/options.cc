@@ -1,9 +1,12 @@
 #include "analysis/options.h"
 
 #include <algorithm>
+#include <chrono>
+#include <string>
 #include <thread>
 
 #include "common/thread_pool.h"
+#include "obs/obs.h"
 
 namespace culinary::analysis {
 
@@ -22,6 +25,40 @@ void ForEachBlock(size_t num_blocks, const AnalysisOptions& options,
   if (num_blocks == 0) return;
   const size_t threads =
       std::min(ResolveNumThreads(options.num_threads), num_blocks);
+#if !defined(CULINARYLAB_OBS_DISABLED)
+  if (obs::Enabled()) {
+    // Instrumented path: identical block boundaries and execution structure
+    // — the wrapper only stamps the clock around each block, it never
+    // reorders, splits or skips work, so results match the bare path
+    // bit-for-bit.
+    const char* label =
+        options.trace_label != nullptr ? options.trace_label : "analysis.sweep";
+    const std::string hist_name = std::string(label) + ".block_ms";
+    obs::HistogramMetric& block_hist =
+        obs::MetricsRegistry::Default().GetHistogram(hist_name);
+    obs::Counter& blocks_counter =
+        obs::MetricsRegistry::Default().GetCounter("analysis.blocks_executed");
+    obs::TraceSpan sweep_span(label, "analysis");
+    CULINARY_OBS_GAUGE_SET("analysis.sweep_threads",
+                           static_cast<double>(threads));
+    auto timed_body = [&](size_t block) {
+      const auto t0 = std::chrono::steady_clock::now();
+      body(block);
+      block_hist.ObserveUnchecked(
+          std::chrono::duration<double, std::milli>(
+              std::chrono::steady_clock::now() - t0)
+              .count());
+      blocks_counter.IncrementUnchecked(1);
+    };
+    if (threads <= 1) {
+      for (size_t b = 0; b < num_blocks; ++b) timed_body(b);
+      return;
+    }
+    ThreadPool pool(threads);
+    pool.ParallelFor(num_blocks, timed_body);
+    return;
+  }
+#endif
   if (threads <= 1) {
     for (size_t b = 0; b < num_blocks; ++b) body(b);
     return;

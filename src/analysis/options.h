@@ -22,6 +22,14 @@ struct AnalysisOptions {
   /// concurrency"; 1 degrades to the fully serial path (no pool is
   /// created).
   size_t num_threads = 0;
+
+  /// Name under which `ForEachBlock` reports this sweep to the
+  /// observability layer (trace span + per-block wall-time histogram
+  /// `<label>.block_ms`). Purely diagnostic: it never influences block
+  /// boundaries, RNG streams or scheduling, so the determinism contract
+  /// above is unaffected. Must point at storage outliving the sweep
+  /// (string literals in practice); nullptr uses "analysis.sweep".
+  const char* trace_label = nullptr;
 };
 
 /// Resolves the `num_threads` knob: 0 → `std::thread::hardware_concurrency`

@@ -1,6 +1,9 @@
 #include "analysis/pairing.h"
 
 #include <algorithm>
+#include <chrono>
+
+#include "obs/obs.h"
 
 namespace culinary::analysis {
 
@@ -91,22 +94,42 @@ PairingCache::PairingCache(const flavor::FlavorRegistry& registry,
   tri_.assign(n < 2 ? 0 : n * (n - 1) / 2, 0);
   full_.assign(n * n, 0);
   if (n < 2) return;
+  CULINARY_OBS_SPAN(build_span, "pairing.cache_build", "pairing");
+  const auto build_start = std::chrono::steady_clock::now();
+  AnalysisOptions build_options = options;
+  build_options.trace_label = "pairing.cache_build";
   // Each row of the triangle is an independent popcount sweep; rows write
   // disjoint triangle ranges, and each symmetric-matrix cell (x, y) is
   // written only by the block handling min(x, y), so the parallel build is
   // race-free and, being a pure function of the profiles, thread-count
   // invariant.
-  ForEachBlock(n - 1, options, [this, n](size_t a) {
+  ForEachBlock(n - 1, build_options, [this, n](size_t a) {
     const flavor::CompoundBitset& fa = bitsets_[a];
     uint16_t* row = tri_.data() + TriIndex(a, a + 1);
+    size_t saturated = 0;
     for (size_t b = a + 1; b < n; ++b) {
-      const uint16_t shared = static_cast<uint16_t>(
-          std::min<size_t>(fa.IntersectionCount(bitsets_[b]), UINT16_MAX));
+      // uint16 storage saturates instead of wrapping: a shared count above
+      // 65,535 (only reachable with synthetic wide profiles) clamps to
+      // UINT16_MAX rather than silently aliasing a small count.
+      const size_t exact = fa.IntersectionCount(bitsets_[b]);
+      const uint16_t shared =
+          static_cast<uint16_t>(std::min<size_t>(exact, UINT16_MAX));
+      saturated += exact > UINT16_MAX ? 1 : 0;
       row[b - a - 1] = shared;
       full_[a * n + b] = shared;
       full_[b * n + a] = shared;
     }
+    if (saturated != 0) {
+      CULINARY_OBS_COUNT("pairing.saturated_pairs", saturated);
+    }
   });
+  CULINARY_OBS_COUNT("pairing.cache_builds", 1);
+  CULINARY_OBS_COUNT("pairing.pairs_computed", n * (n - 1) / 2);
+  CULINARY_OBS_GAUGE_SET("pairing.cache_ingredients", static_cast<double>(n));
+  CULINARY_OBS_OBSERVE("pairing.cache_build_ms",
+                       (std::chrono::duration<double, std::milli>(
+                            std::chrono::steady_clock::now() - build_start)
+                            .count()));
 }
 
 int PairingCache::DenseIndex(flavor::IngredientId id) const {
@@ -172,7 +195,10 @@ culinary::RunningStats CuisinePairingStats(const PairingCache& cache,
   const size_t num_blocks =
       (recipes.size() + kRecipesPerBlock - 1) / kRecipesPerBlock;
   std::vector<culinary::RunningStats> partials(num_blocks);
-  ForEachBlock(num_blocks, options, [&](size_t block) {
+  AnalysisOptions sweep_options = options;
+  sweep_options.trace_label = "pairing.cuisine_stats";
+  CULINARY_OBS_COUNT("pairing.recipes_scored", recipes.size());
+  ForEachBlock(num_blocks, sweep_options, [&](size_t block) {
     const size_t begin = block * kRecipesPerBlock;
     const size_t end = std::min(recipes.size(), begin + kRecipesPerBlock);
     culinary::RunningStats stats;

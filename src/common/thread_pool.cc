@@ -1,8 +1,20 @@
 #include "common/thread_pool.h"
 
 #include <algorithm>
+#include <chrono>
+
+#include "obs/obs.h"
 
 namespace culinary {
+
+namespace {
+
+/// The pool whose WorkerLoop the calling thread is inside, if any. Lets
+/// ParallelFor detect re-entrant use and degrade to inline execution
+/// instead of deadlocking.
+thread_local const ThreadPool* tls_current_pool = nullptr;
+
+}  // namespace
 
 ThreadPool::ThreadPool(size_t num_threads) {
   num_threads = std::max<size_t>(num_threads, 1);
@@ -25,7 +37,10 @@ void ThreadPool::Shutdown() {
   }
 }
 
+bool ThreadPool::InWorkerThread() const { return tls_current_pool == this; }
+
 void ThreadPool::WorkerLoop() {
+  tls_current_pool = this;
   while (true) {
     std::function<void()> task;
     {
@@ -50,13 +65,30 @@ size_t ThreadPool::ParallelForChunks(size_t count, size_t num_threads) {
 void ThreadPool::ParallelFor(size_t count,
                              const std::function<void(size_t)>& body) {
   if (count == 0) return;
+  if (InWorkerThread()) {
+    // Nested use from our own worker: enqueueing would park this worker on
+    // futures that can only run behind it in the queue — with every worker
+    // doing so, nobody drains the queue. Run inline instead; exceptions
+    // propagate directly.
+    CULINARY_OBS_COUNT("threadpool.nested_parallel_for_inline", 1);
+    for (size_t i = 0; i < count; ++i) body(i);
+    return;
+  }
   const size_t num_chunks = ParallelForChunks(count, num_threads());
   const size_t chunk = (count + num_chunks - 1) / num_chunks;
   std::vector<std::future<void>> futures;
   futures.reserve(num_chunks);
+  const auto enqueue_time = std::chrono::steady_clock::now();
   for (size_t begin = 0; begin < count; begin += chunk) {
     const size_t end = std::min(count, begin + chunk);
-    futures.push_back(Submit([&body, begin, end]() {
+    futures.push_back(Submit([&body, begin, end, enqueue_time]() {
+      // Queue wait: how long the chunk sat behind other work before a
+      // worker picked it up — the sweep-level contention signal.
+      CULINARY_OBS_OBSERVE(
+          "threadpool.queue_wait_us",
+          (std::chrono::duration<double, std::micro>(
+               std::chrono::steady_clock::now() - enqueue_time)
+               .count()));
       for (size_t i = begin; i < end; ++i) body(i);
     }));
   }

@@ -68,7 +68,17 @@ class ThreadPool {
   /// the remaining iterations of that chunk are skipped, every other chunk
   /// still runs to completion, and the first exception (in chunk submission
   /// order) is rethrown to the caller.
+  ///
+  /// Re-entrant calls are safe: when invoked from one of this pool's own
+  /// workers (an instrumented sweep that itself parallelizes), the
+  /// iterations run inline on the calling worker instead of being enqueued
+  /// — queueing them behind the caller's own task and then blocking on
+  /// their futures would deadlock once every worker waits this way.
   void ParallelFor(size_t count, const std::function<void(size_t)>& body);
+
+  /// True when the calling thread is one of this pool's workers. Exposed so
+  /// higher layers can make the same inline-fallback decision.
+  bool InWorkerThread() const;
 
   /// Number of chunks `ParallelFor(count, ...)` submits on a pool of
   /// `num_threads` workers: min(count, 4 * num_threads). Exposed for tests.

@@ -35,6 +35,9 @@
 #include "flavor/registry.h"
 #include "flavor/registry_io.h"
 #include "network/flavor_network.h"
+#include "obs/metrics.h"
+#include "obs/obs.h"
+#include "obs/trace.h"
 #include "recipe/database.h"
 #include "recipe/parser.h"
 #include "text/edit_distance.h"

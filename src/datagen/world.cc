@@ -2,10 +2,12 @@
 
 #include "dataframe/csv.h"
 #include "dataframe/table.h"
+#include "obs/obs.h"
 
 namespace culinary::datagen {
 
 culinary::Result<SyntheticWorld> GenerateWorld(const WorldSpec& spec) {
+  CULINARY_OBS_SPAN(gen_span, "datagen.generate_world", "datagen");
   SyntheticWorld world;
   CULINARY_ASSIGN_OR_RETURN(world.universe, GenerateFlavorUniverse(spec));
   world.database =
@@ -19,6 +21,8 @@ culinary::Result<SyntheticWorld> GenerateWorld(const WorldSpec& spec) {
     CULINARY_ASSIGN_OR_RETURN(
         std::vector<recipe::Recipe> recipes,
         GenerateRegionRecipes(spec, region_spec, world.universe, region_rng));
+    CULINARY_OBS_COUNT("datagen.recipes_generated", recipes.size());
+    CULINARY_OBS_COUNT("datagen.regions_generated", 1);
     for (recipe::Recipe& r : recipes) {
       CULINARY_RETURN_IF_ERROR(
           world.database

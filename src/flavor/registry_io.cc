@@ -8,6 +8,7 @@
 #include "common/string_util.h"
 #include "dataframe/csv.h"
 #include "dataframe/table.h"
+#include "obs/obs.h"
 
 namespace culinary::flavor {
 
@@ -372,6 +373,7 @@ culinary::Result<FlavorRegistry> LoadRegistryCsv(const std::string& prefix) {
 
 culinary::Result<FlavorRegistry> LoadRegistryCsv(
     const std::string& prefix, const RegistryLoadOptions& options) {
+  CULINARY_OBS_SPAN(load_span, "ingest.load_registry", "ingest");
   LoadContext ctx;
   ctx.policy = options.error_policy;
   ctx.sink = options.error_sink;
@@ -437,6 +439,14 @@ culinary::Result<FlavorRegistry> LoadRegistryCsv(
     // space, so a quarantined row needs no placeholder of its own.
   }
 
+  CULINARY_OBS_COUNT("ingest.registry.records_read", file_stats.records_total);
+  CULINARY_OBS_COUNT("ingest.registry.records_quarantined",
+                     file_stats.records_quarantined +
+                         ctx.row_stats.records_quarantined);
+  CULINARY_OBS_COUNT("ingest.registry.molecules_loaded",
+                     ctx.registry.num_molecules());
+  CULINARY_OBS_COUNT("ingest.registry.ingredients_loaded",
+                     ctx.registry.LiveIngredients().size());
   if (options.stats != nullptr) {
     options.stats->records_total = file_stats.records_total;
     options.stats->records_quarantined =

@@ -1,0 +1,220 @@
+#ifndef CULINARYLAB_OBS_METRICS_H_
+#define CULINARYLAB_OBS_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace culinary::obs {
+
+/// Lock-cheap metrics for the hot paths (ingestion, pairing-cache builds,
+/// parallel sweeps, null-model ensembles).
+///
+/// Design constraints, in order:
+///
+///  1. **Must not perturb results.** Metrics only ever *record*; nothing in
+///     this module feeds back into control flow, RNG state or work
+///     partitioning, so the determinism contract of
+///     `analysis/options.h` (bit-identical results for any thread count,
+///     observability ON or OFF) holds by construction.
+///  2. **Near-zero cost when disabled.** Every mutation starts with one
+///     relaxed atomic load (`Enabled()`); the instrumentation macros in
+///     obs/obs.h additionally compile to `((void)0)` when the library is
+///     built with `CULINARYLAB_OBS=OFF`.
+///  3. **Lock-free on the write path.** Each metric is sharded: a thread
+///     mutates only its own cache-line-padded shard with relaxed atomics
+///     (threads are assigned shards round-robin on first touch). Shards are
+///     merged on `Snapshot()`, which is the only place that walks all of
+///     them. Relaxed ordering is sufficient — counters are monotonically
+///     merged totals, not synchronization edges.
+///
+/// Registration (`GetCounter` et al.) takes a mutex, but call sites cache
+/// the returned reference in a function-local static (see obs/obs.h), so
+/// the lock is paid once per call site, not per increment. Metric objects
+/// are never destroyed before process exit; references stay valid.
+
+/// Runtime master switch. Defaults to the `CULINARYLAB_OBS` environment
+/// variable ("1"/"on"/"true" enable) and is overridable via `SetEnabled`
+/// (the CLI flips it on when `--metrics-out=`/`--trace-out=` are given).
+namespace internal {
+extern std::atomic<int> g_enabled;  // -1 = uninitialized
+bool InitEnabledSlow();
+/// Shard slot of the calling thread (round-robin assigned on first use).
+size_t ShardIndex();
+}  // namespace internal
+
+inline bool Enabled() {
+  const int v = internal::g_enabled.load(std::memory_order_relaxed);
+  if (v >= 0) return v != 0;
+  return internal::InitEnabledSlow();
+}
+
+void SetEnabled(bool enabled);
+
+/// Number of per-metric shards. Threads beyond this share slots (atomics
+/// keep that correct; it only costs cache-line bounces).
+constexpr size_t kNumShards = 16;
+
+/// Monotone event count.
+class Counter {
+ public:
+  explicit Counter(std::string name) : name_(std::move(name)) {}
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  const std::string& name() const { return name_; }
+
+  /// Adds `delta` when observability is enabled.
+  void Increment(uint64_t delta = 1) {
+    if (Enabled()) IncrementUnchecked(delta);
+  }
+
+  /// Adds `delta` unconditionally (call sites that already checked
+  /// `Enabled()`, e.g. the macros in obs/obs.h).
+  void IncrementUnchecked(uint64_t delta = 1) {
+    shards_[internal::ShardIndex()].value.fetch_add(delta,
+                                                    std::memory_order_relaxed);
+  }
+
+  /// Merged total across shards.
+  uint64_t Value() const;
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<uint64_t> value{0};
+  };
+  std::string name_;
+  std::array<Shard, kNumShards> shards_;
+};
+
+/// Last-write-wins instantaneous value (thread counts, cache sizes).
+class Gauge {
+ public:
+  explicit Gauge(std::string name) : name_(std::move(name)) {}
+  Gauge(const Gauge&) = delete;
+  Gauge& operator=(const Gauge&) = delete;
+
+  const std::string& name() const { return name_; }
+
+  void Set(double value) {
+    if (Enabled()) value_.store(value, std::memory_order_relaxed);
+  }
+  double Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::string name_;
+  std::atomic<double> value_{0.0};
+};
+
+/// Distribution of positive samples over fixed log2-scale buckets.
+///
+/// Bucket 0 holds samples < 1 (including non-positive and NaN), bucket `k`
+/// (k in [1, 62]) holds samples in `[2^(k-1), 2^k)`, and bucket 63 is the
+/// overflow; a bucket's exported upper bound is `2^k` (`+inf` for 63). The
+/// mapping is a pure function of the sample (frexp), so bucket layout never
+/// depends on data order or thread count. Sum/min/max are kept exactly.
+class HistogramMetric {
+ public:
+  static constexpr size_t kNumBuckets = 64;
+
+  explicit HistogramMetric(std::string name) : name_(std::move(name)) {}
+  HistogramMetric(const HistogramMetric&) = delete;
+  HistogramMetric& operator=(const HistogramMetric&) = delete;
+
+  const std::string& name() const { return name_; }
+
+  /// Records one sample when observability is enabled.
+  void Observe(double value) {
+    if (Enabled()) ObserveUnchecked(value);
+  }
+  void ObserveUnchecked(double value);
+
+  /// Bucket index for `value` (exposed for tests).
+  static size_t BucketFor(double value);
+  /// Inclusive upper bound of bucket `k` (`+inf` for the overflow bucket).
+  static double BucketUpperBound(size_t k);
+
+  struct Snapshot {
+    uint64_t count = 0;
+    double sum = 0.0;
+    double min = 0.0;  ///< 0 when empty
+    double max = 0.0;  ///< 0 when empty
+    /// (upper bound, count) for every non-empty bucket, ascending.
+    std::vector<std::pair<double, uint64_t>> buckets;
+
+    double mean() const {
+      return count == 0 ? 0.0 : sum / static_cast<double>(count);
+    }
+  };
+
+  /// Merges all shards into one view.
+  Snapshot Snap() const;
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<uint64_t> count{0};
+    std::atomic<double> sum{0.0};
+    std::atomic<double> min{0.0};  ///< valid iff count > 0
+    std::atomic<double> max{0.0};  ///< valid iff count > 0
+    std::array<std::atomic<uint64_t>, kNumBuckets> buckets{};
+  };
+  std::string name_;
+  std::array<Shard, kNumShards> shards_;
+};
+
+/// Point-in-time view of every registered metric, names ascending (so JSON
+/// output is deterministic given the same set of events).
+struct MetricsSnapshot {
+  std::vector<std::pair<std::string, uint64_t>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+  std::vector<std::pair<std::string, HistogramMetric::Snapshot>> histograms;
+};
+
+/// Owner of all metrics. `Default()` is the process-wide registry the
+/// instrumentation macros use; tests may build private registries.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  ~MetricsRegistry();
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  static MetricsRegistry& Default();
+
+  /// Finds or creates a metric. References stay valid for the registry's
+  /// lifetime (metrics are heap-allocated and never erased).
+  Counter& GetCounter(std::string_view name);
+  Gauge& GetGauge(std::string_view name);
+  HistogramMetric& GetHistogram(std::string_view name);
+
+  /// Merged view of everything registered so far.
+  MetricsSnapshot Snapshot() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<Counter*> counters_;
+  std::vector<Gauge*> gauges_;
+  std::vector<HistogramMetric*> histograms_;
+};
+
+/// Renders a snapshot as a JSON object:
+/// `{"counters": {...}, "gauges": {...}, "histograms": {...}}`.
+std::string MetricsToJson(const MetricsSnapshot& snapshot);
+
+/// Snapshots `registry` and writes the JSON to `path`. Returns false and
+/// fills `*error` (when non-null) on IO failure. Plain bool instead of
+/// `culinary::Status`: obs sits below common in the layering so that
+/// common's ThreadPool can be instrumented.
+bool WriteMetricsJsonFile(const MetricsRegistry& registry,
+                          const std::string& path,
+                          std::string* error = nullptr);
+
+}  // namespace culinary::obs
+
+#endif  // CULINARYLAB_OBS_METRICS_H_

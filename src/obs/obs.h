@@ -1,0 +1,71 @@
+#ifndef CULINARYLAB_OBS_OBS_H_
+#define CULINARYLAB_OBS_OBS_H_
+
+/// Instrumentation entry points for hot paths.
+///
+/// Two gates, checked in order:
+///
+///  * compile-time: building with `-DCULINARYLAB_OBS=OFF` defines
+///    `CULINARYLAB_OBS_DISABLED`, and every macro below expands to
+///    `((void)0)` — instrumented code is byte-identical to uninstrumented;
+///  * runtime: with observability compiled in, each macro first tests
+///    `culinary::obs::Enabled()` (one relaxed atomic load) and does nothing
+///    when the switch is off.
+///
+/// Metric handles are cached in function-local statics, so the registry
+/// lookup (mutex + name scan) happens once per call site. `name` must
+/// therefore be a constant per call site, e.g. a string literal.
+///
+/// Recording never feeds back into computation: instrumenting a seeded
+/// sweep cannot change its output (see the determinism contract in
+/// analysis/options.h).
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+#if defined(CULINARYLAB_OBS_DISABLED)
+
+#define CULINARY_OBS_COUNT(name, delta) ((void)0)
+#define CULINARY_OBS_GAUGE_SET(name, value) ((void)0)
+#define CULINARY_OBS_OBSERVE(name, value) ((void)0)
+#define CULINARY_OBS_SPAN(var, name, category) ((void)0)
+
+#else
+
+/// Adds `delta` to counter `name`.
+#define CULINARY_OBS_COUNT(name, delta)                                  \
+  do {                                                                   \
+    if (::culinary::obs::Enabled()) {                                    \
+      static ::culinary::obs::Counter& culinary_obs_counter =            \
+          ::culinary::obs::MetricsRegistry::Default().GetCounter(name);  \
+      culinary_obs_counter.IncrementUnchecked(delta);                    \
+    }                                                                    \
+  } while (0)
+
+/// Sets gauge `name` to `value`.
+#define CULINARY_OBS_GAUGE_SET(name, value)                              \
+  do {                                                                   \
+    if (::culinary::obs::Enabled()) {                                    \
+      static ::culinary::obs::Gauge& culinary_obs_gauge =                \
+          ::culinary::obs::MetricsRegistry::Default().GetGauge(name);    \
+      culinary_obs_gauge.Set(value);                                     \
+    }                                                                    \
+  } while (0)
+
+/// Records `value` into histogram `name`.
+#define CULINARY_OBS_OBSERVE(name, value)                                 \
+  do {                                                                    \
+    if (::culinary::obs::Enabled()) {                                     \
+      static ::culinary::obs::HistogramMetric& culinary_obs_histogram =   \
+          ::culinary::obs::MetricsRegistry::Default().GetHistogram(name); \
+      culinary_obs_histogram.ObserveUnchecked(value);                     \
+    }                                                                     \
+  } while (0)
+
+/// Declares a scoped trace span named `var` in the enclosing scope.
+#define CULINARY_OBS_SPAN(var, name, category) \
+  ::culinary::obs::TraceSpan var((name), (category))
+
+#endif  // CULINARYLAB_OBS_DISABLED
+
+#endif  // CULINARYLAB_OBS_OBS_H_

@@ -1,0 +1,113 @@
+#ifndef CULINARYLAB_OBS_TRACE_H_
+#define CULINARYLAB_OBS_TRACE_H_
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/metrics.h"  // for Enabled()
+
+namespace culinary::obs {
+
+/// Scoped tracing for phase-level attribution (world generation, cache
+/// builds, null-model sweeps, per-sweep block groups).
+///
+/// `TraceSpan` is RAII over `std::chrono::steady_clock`: construction
+/// stamps the start, destruction records one complete event into the
+/// process-wide `TraceSink`. Spans follow the same rules as metrics: they
+/// never alter control flow or RNG state (determinism-safe), and when
+/// observability is disabled a span is two branch instructions — no clock
+/// read, no allocation, no lock.
+///
+/// The sink is a bounded ring: once `capacity` events have been recorded
+/// the oldest are overwritten and counted in `dropped()`. Recording takes a
+/// mutex — spans are phase/block granular (thousands per run, not
+/// millions), so contention is negligible next to the work they measure.
+
+/// One completed span. Timestamps are microseconds since the process trace
+/// epoch (the first use of the sink), from `steady_clock`.
+struct TraceEvent {
+  std::string name;      ///< e.g. "pairing.cache_build"
+  std::string category;  ///< coarse grouping, e.g. "analysis"
+  uint64_t start_us = 0;
+  uint64_t duration_us = 0;
+  uint32_t thread_id = 0;  ///< small dense id per OS thread
+};
+
+/// Bounded ring buffer of completed trace events.
+class TraceSink {
+ public:
+  static constexpr size_t kDefaultCapacity = 65536;
+
+  explicit TraceSink(size_t capacity = kDefaultCapacity);
+  TraceSink(const TraceSink&) = delete;
+  TraceSink& operator=(const TraceSink&) = delete;
+
+  /// The process-wide sink used by `TraceSpan`.
+  static TraceSink& Default();
+
+  /// Appends one event, overwriting the oldest when full.
+  void Record(TraceEvent event);
+
+  /// Events in recording order (oldest surviving first).
+  std::vector<TraceEvent> Snapshot() const;
+
+  size_t capacity() const { return capacity_; }
+  /// Events overwritten because the ring was full.
+  uint64_t dropped() const;
+
+  /// Drops all recorded events (tests).
+  void Clear();
+
+  /// Microseconds since the trace epoch, for manual event construction.
+  static uint64_t NowMicros();
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mutex_;
+  std::vector<TraceEvent> ring_;
+  size_t next_ = 0;        ///< ring slot the next event lands in
+  uint64_t recorded_ = 0;  ///< total events ever recorded
+};
+
+/// RAII span; records into `TraceSink::Default()` on destruction.
+/// Inactive (and free of clock reads) when observability is disabled at
+/// construction time.
+class TraceSpan {
+ public:
+  explicit TraceSpan(std::string_view name,
+                     std::string_view category = "app");
+  ~TraceSpan();
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  /// Ends the span early (idempotent).
+  void End();
+
+  /// Elapsed milliseconds so far (0 when inactive), for callers that also
+  /// feed a duration histogram.
+  double ElapsedMs() const;
+
+ private:
+  std::string name_;
+  std::string category_;
+  std::chrono::steady_clock::time_point start_{};
+  bool active_ = false;
+};
+
+/// Renders events in the chrome://tracing / Perfetto "trace event" JSON
+/// format: `{"traceEvents": [{"name": ..., "ph": "X", "ts": ..., ...}]}`.
+std::string TraceToChromeJson(const std::vector<TraceEvent>& events);
+
+/// Snapshots `sink` and writes chrome://tracing JSON to `path`. Returns
+/// false and fills `*error` (when non-null) on IO failure.
+bool WriteTraceJsonFile(const TraceSink& sink, const std::string& path,
+                        std::string* error = nullptr);
+
+}  // namespace culinary::obs
+
+#endif  // CULINARYLAB_OBS_TRACE_H_

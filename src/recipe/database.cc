@@ -6,6 +6,7 @@
 #include "common/string_util.h"
 #include "dataframe/csv.h"
 #include "dataframe/table.h"
+#include "obs/obs.h"
 
 namespace culinary::recipe {
 
@@ -42,6 +43,7 @@ culinary::Result<RecipeId> RecipeDatabase::AddRecipe(
   r.region = region;
   r.ingredients = std::move(ids);
   recipes_.push_back(std::move(r));
+  CULINARY_OBS_COUNT("ingest.recipes_added", 1);
   return recipes_.back().id;
 }
 
@@ -124,6 +126,7 @@ culinary::Result<RecipeDatabase> LoadCsvImpl(
   if (registry == nullptr) {
     return culinary::Status::InvalidArgument("registry must not be null");
   }
+  CULINARY_OBS_SPAN(ingest_span, "ingest.load_recipes", "ingest");
   IngestReport local;
   df::CsvReadOptions read_options;
   read_options.error_policy = csv_policy;
@@ -208,6 +211,16 @@ culinary::Result<RecipeDatabase> LoadCsvImpl(
     }
     ++local.rows_loaded;
   }
+  // Ingestion accounting mirrors IngestReport, so --metrics-out shows how
+  // much of a degraded corpus actually survived.
+  CULINARY_OBS_COUNT("ingest.csv.records_read", local.records.records_total);
+  CULINARY_OBS_COUNT("ingest.csv.records_quarantined",
+                     local.records.records_quarantined);
+  CULINARY_OBS_COUNT("ingest.recipes.rows_loaded", local.rows_loaded);
+  CULINARY_OBS_COUNT("ingest.recipes.rows_quarantined",
+                     local.rows_quarantined);
+  CULINARY_OBS_COUNT("ingest.recipes.ingredient_names_dropped",
+                     local.ingredient_names_dropped);
   if (report != nullptr) *report = local;
   return db;
 }

@@ -4,6 +4,8 @@
 #include <chrono>
 #include <thread>
 
+#include "obs/obs.h"
+
 namespace culinary::robustness {
 
 bool IsRetryable(const culinary::Status& status) {
@@ -26,6 +28,11 @@ double BackoffMs(const RetryPolicy& policy, int attempt, culinary::Rng& rng) {
 void SleepForMs(double ms) {
   if (ms <= 0.0) return;
   std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(ms));
+}
+
+void NoteRetry(double backoff_ms) {
+  CULINARY_OBS_COUNT("retry.attempts_retried", 1);
+  CULINARY_OBS_OBSERVE("retry.backoff_ms", backoff_ms);
 }
 
 }  // namespace internal

@@ -60,6 +60,9 @@ namespace internal {
 double BackoffMs(const RetryPolicy& policy, int attempt, culinary::Rng& rng);
 /// Sleeps the calling thread for `ms` milliseconds.
 void SleepForMs(double ms);
+/// Observability hook: records one retried attempt and its backoff. Out of
+/// line so this header stays independent of the obs layer.
+void NoteRetry(double backoff_ms);
 }  // namespace internal
 
 /// Runs `fn` (returning `Status`) under `policy`: retries retryable errors
@@ -79,6 +82,7 @@ culinary::Status RetryStatus(const RetryPolicy& policy, Fn&& fn,
     if (attempt == budget) break;
     double ms = internal::BackoffMs(policy, attempt, rng);
     if (stats != nullptr) stats->total_backoff_ms += ms;
+    internal::NoteRetry(ms);
     if (sleep) {
       sleep(ms);
     } else {
@@ -106,6 +110,7 @@ auto RetryResult(const RetryPolicy& policy, Fn&& fn,
       stats->total_backoff_ms += ms;
       stats->attempts = attempt;
     }
+    internal::NoteRetry(ms);
     if (sleep) {
       sleep(ms);
     } else {

@@ -65,6 +65,51 @@ TEST_F(PairingTest, CacheHandlesUnknownIds) {
   EXPECT_EQ(cache.Shared(a_, 999), 0u);
 }
 
+TEST_F(PairingTest, SharedCountSaturatesAtUint16Max) {
+  // Regression: the uint16 shared-compound matrix used to truncate counts
+  // above 65,535 (a 70,000-compound overlap aliased to 4,464). Real
+  // profiles top out around a few hundred compounds, but synthetic wide
+  // profiles must clamp to UINT16_MAX, not wrap.
+  constexpr int32_t kWide = 70000;  // > UINT16_MAX shared molecule ids
+  std::vector<int32_t> molecules(kWide);
+  for (int32_t m = 0; m < kWide; ++m) molecules[m] = m;
+  FlavorRegistry reg;
+  IngredientId wide1 =
+      reg.AddIngredient("wide1", Category::kVegetable, FlavorProfile(molecules))
+          .value();
+  IngredientId wide2 =
+      reg.AddIngredient("wide2", Category::kHerb, FlavorProfile(molecules))
+          .value();
+  // A narrow third ingredient keeps the narrow pairs exact alongside the
+  // saturated one.
+  IngredientId narrow =
+      reg.AddIngredient("narrow", Category::kSpice, FlavorProfile({0, 1, 2}))
+          .value();
+  PairingCache cache(reg, {wide1, wide2, narrow});
+  EXPECT_EQ(cache.Shared(wide1, wide2), 65535u);
+  EXPECT_EQ(cache.Shared(wide2, wide1), 65535u);
+  EXPECT_EQ(cache.Shared(wide1, narrow), 3u);
+  EXPECT_EQ(cache.Shared(wide2, narrow), 3u);
+}
+
+TEST_F(PairingTest, SaturatedPairStillScoresSymmetrically) {
+  constexpr int32_t kWide = 66000;
+  std::vector<int32_t> molecules(kWide);
+  for (int32_t m = 0; m < kWide; ++m) molecules[m] = m;
+  FlavorRegistry reg;
+  IngredientId w1 =
+      reg.AddIngredient("w1", Category::kVegetable, FlavorProfile(molecules))
+          .value();
+  IngredientId w2 =
+      reg.AddIngredient("w2", Category::kHerb, FlavorProfile(molecules))
+          .value();
+  PairingCache cache(reg, {w1, w2});
+  // Triangle and full matrix must agree on the clamped value.
+  EXPECT_EQ(cache.SharedByDense(0, 1), 65535u);
+  EXPECT_EQ(cache.SharedByDense(1, 0), 65535u);
+  EXPECT_DOUBLE_EQ(RecipePairingScore(cache, {w1, w2}), 65535.0);
+}
+
 TEST_F(PairingTest, RecipeScoreTwoIngredients) {
   // N_s = 2/(2*1) * |F_a ∩ F_b| = 2.
   PairingCache cache(reg_, {a_, b_, c_, d_});

@@ -66,6 +66,81 @@ TEST(RunningStatsTest, MergeWithEmpty) {
   EXPECT_EQ(empty.mean(), 2.0);
 }
 
+TEST(RunningStatsTest, MergeEmptyIntoEmpty) {
+  RunningStats a, b;
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 0);
+  EXPECT_EQ(a.mean(), 0.0);
+  EXPECT_EQ(a.variance(), 0.0);
+  EXPECT_EQ(a.stddev(), 0.0);
+}
+
+TEST(RunningStatsTest, MergeSingleSampleEachSide) {
+  RunningStats a, b;
+  a.Add(2.0);
+  b.Add(6.0);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 2);
+  EXPECT_DOUBLE_EQ(a.mean(), 4.0);
+  // Sample variance of {2, 6} is 8.
+  EXPECT_NEAR(a.variance(), 8.0, 1e-12);
+  EXPECT_EQ(a.min(), 2.0);
+  EXPECT_EQ(a.max(), 6.0);
+}
+
+TEST(RunningStatsTest, MergeSingleIntoMany) {
+  RunningStats many, one, all;
+  for (double x : {1.0, 2.0, 3.0, 4.0, 5.0}) {
+    many.Add(x);
+    all.Add(x);
+  }
+  one.Add(-7.0);
+  all.Add(-7.0);
+  many.Merge(one);
+  EXPECT_EQ(many.count(), all.count());
+  EXPECT_NEAR(many.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(many.variance(), all.variance(), 1e-12);
+  EXPECT_EQ(many.min(), -7.0);
+  EXPECT_EQ(many.max(), 5.0);
+}
+
+TEST(RunningStatsTest, MergeManyShardsMatchesSequential) {
+  // Mimics a parallel sweep: samples land in 16 per-block shards that are
+  // merged in block order. Count, moments and min/max must match one stats
+  // object fed sequentially — min/max in particular must survive shards
+  // whose local extrema are not the global ones.
+  constexpr size_t kShards = 16;
+  Rng rng(99);
+  RunningStats shards[kShards];
+  RunningStats sequential;
+  for (int i = 0; i < 4096; ++i) {
+    double x = rng.NextGaussian() * 10 - 2;
+    shards[static_cast<size_t>(i) % kShards].Add(x);
+    sequential.Add(x);
+  }
+  RunningStats merged;
+  for (const RunningStats& shard : shards) merged.Merge(shard);
+  EXPECT_EQ(merged.count(), sequential.count());
+  EXPECT_NEAR(merged.mean(), sequential.mean(), 1e-9);
+  EXPECT_NEAR(merged.variance(), sequential.variance(), 1e-9);
+  EXPECT_EQ(merged.min(), sequential.min());
+  EXPECT_EQ(merged.max(), sequential.max());
+}
+
+TEST(RunningStatsTest, MergePropagatesMinMaxFromEitherSide) {
+  RunningStats lo, hi;
+  for (double x : {-10.0, -5.0}) lo.Add(x);
+  for (double x : {5.0, 10.0}) hi.Add(x);
+  RunningStats a = lo;
+  a.Merge(hi);
+  EXPECT_EQ(a.min(), -10.0);
+  EXPECT_EQ(a.max(), 10.0);
+  RunningStats b = hi;
+  b.Merge(lo);
+  EXPECT_EQ(b.min(), -10.0);
+  EXPECT_EQ(b.max(), 10.0);
+}
+
 TEST(BatchStatsTest, EmptyInputs) {
   EXPECT_EQ(Mean({}), 0.0);
   EXPECT_EQ(Variance({}), 0.0);

@@ -215,6 +215,62 @@ TEST(ThreadPoolTest, ParallelForMultipleExceptionsStillReturnsOne) {
       std::logic_error);
 }
 
+TEST(ThreadPoolTest, NestedParallelForRunsInline) {
+  // ParallelFor from inside a pool worker must not enqueue chunks back into
+  // the same pool: with one worker that deadlocks (the worker blocks in the
+  // inner ParallelFor waiting for chunks only it could run). The nested call
+  // detects the re-entry and runs the whole range inline on the worker.
+  ThreadPool pool(1);
+  std::atomic<int> inner_hits{0};
+  std::thread::id worker_id;
+  std::atomic<bool> inner_on_worker{true};
+  pool.ParallelFor(1, [&](size_t) {
+    worker_id = std::this_thread::get_id();
+    pool.ParallelFor(64, [&](size_t) {
+      ++inner_hits;
+      if (std::this_thread::get_id() != worker_id) inner_on_worker = false;
+    });
+  });
+  EXPECT_EQ(inner_hits.load(), 64);
+  EXPECT_TRUE(inner_on_worker.load());
+}
+
+TEST(ThreadPoolTest, NestedParallelForAcrossPoolsStillParallel) {
+  // The inline fallback triggers only for the worker's *own* pool: a worker
+  // of pool A may fan out into pool B normally.
+  ThreadPool outer(1);
+  ThreadPool inner(2);
+  std::atomic<int> hits{0};
+  outer.ParallelFor(1, [&](size_t) {
+    inner.ParallelFor(100, [&](size_t) { ++hits; });
+  });
+  EXPECT_EQ(hits.load(), 100);
+}
+
+TEST(ThreadPoolTest, InWorkerThreadReflectsCallingContext) {
+  ThreadPool pool(2);
+  EXPECT_FALSE(pool.InWorkerThread());
+  auto future = pool.Submit([&pool]() { return pool.InWorkerThread(); });
+  EXPECT_TRUE(future.get());
+  // A different pool's worker is not this pool's worker.
+  ThreadPool other(1);
+  auto cross = other.Submit([&pool]() { return pool.InWorkerThread(); });
+  EXPECT_FALSE(cross.get());
+}
+
+TEST(ThreadPoolTest, NestedParallelForPropagatesException) {
+  ThreadPool pool(1);
+  EXPECT_THROW(pool.ParallelFor(1,
+                                [&](size_t) {
+                                  pool.ParallelFor(8, [](size_t i) {
+                                    if (i == 3) {
+                                      throw std::runtime_error("inner");
+                                    }
+                                  });
+                                }),
+               std::runtime_error);
+}
+
 TEST(ThreadPoolTest, ParallelSumMatchesSerial) {
   ThreadPool pool(4);
   std::vector<int64_t> partial(64, 0);

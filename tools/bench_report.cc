@@ -21,7 +21,10 @@
 //
 // With --check, no report is written; instead the freshly measured bitset
 // kernel is compared against the committed baseline and the run fails
-// (exit 1) if the kernel regressed by more than 20%.
+// (exit 1) if the kernel regressed by more than 20%. A baseline that cannot
+// be compared — unreadable, truncated, or recorded on different hardware or
+// world size — is reported as "no comparable baseline" and the check passes
+// (exit 0): only a real measured regression should fail CI.
 
 #include <algorithm>
 #include <chrono>
@@ -83,6 +86,21 @@ Args ParseArgs(int argc, char** argv) {
   args.reps = std::max<size_t>(args.reps, 1);
   return args;
 }
+
+/// Wall time since construction, for the per-phase breakdown (whole-phase
+/// cost including setup, as opposed to the best-of-reps kernel numbers).
+class PhaseTimer {
+ public:
+  PhaseTimer() : t0_(std::chrono::steady_clock::now()) {}
+  double ElapsedMs() const {
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - t0_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point t0_;
+};
 
 /// Best-of-reps wall time of `fn`, in milliseconds.
 template <typename Fn>
@@ -223,6 +241,76 @@ bool ExtractJsonNumber(const std::string& json, const std::string& key,
   return true;
 }
 
+/// Extracts the string following `"key":` (same caveats as above).
+bool ExtractJsonString(const std::string& json, const std::string& key,
+                       std::string* out) {
+  std::string needle = "\"" + key + "\": \"";
+  size_t pos = json.find(needle);
+  if (pos == std::string::npos) {
+    needle = "\"" + key + "\":\"";
+    pos = json.find(needle);
+    if (pos == std::string::npos) return false;
+  }
+  pos += needle.size();
+  size_t end = json.find('"', pos);
+  if (end == std::string::npos) return false;
+  *out = json.substr(pos, end - pos);
+  return true;
+}
+
+/// Compares the freshly measured kernel against a committed baseline.
+/// Returns 1 only for a real measured regression; an absent or
+/// incomparable baseline passes with a note so a fresh checkout (or a
+/// different machine) never fails CI on stale numbers.
+int CheckAgainstBaseline(const Args& args, bool small, double bitset_ns) {
+  auto no_baseline = [&](const char* why) {
+    std::fprintf(stderr,
+                 "[bench_report] no comparable baseline (%s: %s); skipping "
+                 "regression check\n",
+                 why, args.check_path.c_str());
+    return 0;
+  };
+  std::ifstream in(args.check_path);
+  if (!in) return no_baseline("cannot read");
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const std::string baseline = buf.str();
+  if (baseline.find('}') == std::string::npos) {
+    return no_baseline("truncated or empty");
+  }
+  double baseline_ns = 0;
+  if (!ExtractJsonNumber(baseline, "bitset_ns_per_op", &baseline_ns) ||
+      baseline_ns <= 0) {
+    return no_baseline("lacks bitset_ns_per_op");
+  }
+  // Numbers from a different machine or world size say nothing about this
+  // build; only compare like with like.
+  double baseline_hw = 0;
+  if (ExtractJsonNumber(baseline, "hardware_concurrency", &baseline_hw) &&
+      baseline_hw > 0 &&
+      static_cast<unsigned>(baseline_hw) !=
+          std::thread::hardware_concurrency()) {
+    return no_baseline("recorded on different hardware");
+  }
+  std::string baseline_world;
+  if (ExtractJsonString(baseline, "world", &baseline_world) &&
+      baseline_world != (small ? "small" : "default")) {
+    return no_baseline("recorded for a different world size");
+  }
+  if (bitset_ns > 1.2 * baseline_ns) {
+    std::fprintf(stderr,
+                 "[bench_report] FAIL: bitset kernel regressed: %.3f ns/op "
+                 "vs baseline %.3f ns/op (>20%% slower)\n",
+                 bitset_ns, baseline_ns);
+    return 1;
+  }
+  std::fprintf(stderr,
+               "[bench_report] kernel OK: %.3f ns/op vs baseline %.3f "
+               "ns/op\n",
+               bitset_ns, baseline_ns);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -233,12 +321,14 @@ int main(int argc, char** argv) {
       args.small ? datagen::WorldSpec::Small() : datagen::WorldSpec::Default();
   std::fprintf(stderr, "[bench_report] generating world (%s)...\n",
                args.small ? "small" : "default");
+  PhaseTimer world_timer;
   auto world_result = datagen::GenerateWorld(spec);
   if (!world_result.ok()) {
     std::fprintf(stderr, "world generation failed: %s\n",
                  world_result.status().ToString().c_str());
     return 1;
   }
+  const double world_generation_ms = world_timer.ElapsedMs();
   const datagen::SyntheticWorld& world = world_result.value();
   const flavor::FlavorRegistry& registry = world.registry();
   recipe::Cuisine cuisine =
@@ -250,6 +340,7 @@ int main(int argc, char** argv) {
 
   // --- 1. Bitset kernel vs sorted merge --------------------------------
   std::fprintf(stderr, "[bench_report] kernel: %zu ingredients...\n", n);
+  PhaseTimer kernel_timer;
   std::vector<const flavor::FlavorProfile*> profiles;
   std::vector<flavor::CompoundBitset> bitsets;
   static const flavor::FlavorProfile kEmpty;
@@ -276,9 +367,11 @@ int main(int argc, char** argv) {
   });
   double merge_ns = merge_ms * 1e6 / static_cast<double>(num_pairs);
   double bitset_ns = bitset_ms * 1e6 / static_cast<double>(num_pairs);
+  const double kernel_phase_ms = kernel_timer.ElapsedMs();
 
   // --- 2. PairingCache construction ------------------------------------
   std::fprintf(stderr, "[bench_report] cache build...\n");
+  PhaseTimer build_timer;
   double legacy_build_ms = TimeMs(args.reps, [&] {
     LegacyCache legacy = BuildLegacyCache(registry, ids);
     sink += legacy.tri.empty() ? 0 : legacy.tri.back();
@@ -287,6 +380,7 @@ int main(int argc, char** argv) {
     PairingCache cache(registry, ids, exec);
     sink += cache.triangle().empty() ? 0 : cache.triangle().back();
   });
+  const double build_phase_ms = build_timer.ElapsedMs();
 
   // --- 3. Figure-4 per-region pipeline ---------------------------------
   // Each side runs what experiment_fig4 runs per region: build the pairing
@@ -297,6 +391,7 @@ int main(int argc, char** argv) {
   NullModelOptions null_options;
   null_options.num_recipes = args.null_recipes;
   null_options.exec = exec;
+  PhaseTimer sweep_timer;
   double acc = 0.0;
   double legacy_sweep_ms = TimeMs(args.reps, [&] {
     LegacyCache legacy = BuildLegacyCache(registry, ids);
@@ -313,10 +408,12 @@ int main(int argc, char** argv) {
       for (const FoodPairingResult& fr : *r) acc += fr.null_mean;
     }
   });
+  const double sweep_phase_ms = sweep_timer.ElapsedMs();
   PairingCache cache(registry, ids, exec);
 
   // --- 4. Determinism across thread counts -----------------------------
   std::fprintf(stderr, "[bench_report] determinism check...\n");
+  PhaseTimer determinism_timer;
   bool bit_identical = true;
   {
     NullModelOptions det = null_options;
@@ -344,6 +441,8 @@ int main(int argc, char** argv) {
       }
     }
   }
+
+  const double determinism_check_ms = determinism_timer.ElapsedMs();
 
   double build_speedup = new_build_ms > 0 ? legacy_build_ms / new_build_ms : 0;
   double sweep_speedup = new_sweep_ms > 0 ? legacy_sweep_ms / new_sweep_ms : 0;
@@ -393,6 +492,15 @@ int main(int argc, char** argv) {
        << "    \"bit_identical\": " << (bit_identical ? "true" : "false")
        << "\n"
        << "  },\n"
+       // Whole-phase wall times (setup + all reps of both sides), so a slow
+       // run can be attributed to a phase before reaching for a profiler.
+       << "  \"phases\": {\n"
+       << "    \"world_generation_ms\": " << world_generation_ms << ",\n"
+       << "    \"kernel_ms\": " << kernel_phase_ms << ",\n"
+       << "    \"cache_build_ms\": " << build_phase_ms << ",\n"
+       << "    \"fig4_sweep_ms\": " << sweep_phase_ms << ",\n"
+       << "    \"determinism_check_ms\": " << determinism_check_ms << "\n"
+       << "  },\n"
        << "  \"checksum\": " << static_cast<double>(sink % 1000000) + acc
        << "\n"
        << "}\n";
@@ -400,35 +508,7 @@ int main(int argc, char** argv) {
   std::printf("%s", json.str().c_str());
 
   if (!args.check_path.empty()) {
-    // Regression-check mode: fail if the bitset kernel is >20% slower than
-    // the committed baseline.
-    std::ifstream in(args.check_path);
-    if (!in) {
-      std::fprintf(stderr, "[bench_report] cannot read baseline %s\n",
-                   args.check_path.c_str());
-      return 1;
-    }
-    std::stringstream buf;
-    buf << in.rdbuf();
-    double baseline_ns = 0;
-    if (!ExtractJsonNumber(buf.str(), "bitset_ns_per_op", &baseline_ns) ||
-        baseline_ns <= 0) {
-      std::fprintf(stderr,
-                   "[bench_report] baseline lacks bitset_ns_per_op\n");
-      return 1;
-    }
-    if (bitset_ns > 1.2 * baseline_ns) {
-      std::fprintf(stderr,
-                   "[bench_report] FAIL: bitset kernel regressed: %.3f ns/op "
-                   "vs baseline %.3f ns/op (>20%% slower)\n",
-                   bitset_ns, baseline_ns);
-      return 1;
-    }
-    std::fprintf(stderr,
-                 "[bench_report] kernel OK: %.3f ns/op vs baseline %.3f "
-                 "ns/op\n",
-                 bitset_ns, baseline_ns);
-    return 0;
+    return CheckAgainstBaseline(args, args.small, bitset_ns);
   }
 
   if (!bit_identical) {

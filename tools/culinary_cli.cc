@@ -19,6 +19,12 @@
 //                                           recipe CSV; names resolve
 //                                           against a saved registry
 //                                           (--registry) or the generated one
+//
+// Observability (any subcommand): --metrics-out=FILE dumps the metrics
+// registry as JSON after the command finishes; --trace-out=FILE dumps the
+// recorded spans in chrome://tracing format. Either flag switches the
+// observability layer on for the run; results are unchanged (the layer only
+// records, it never steers execution).
 
 #include <algorithm>
 #include <cstdio>
@@ -35,6 +41,8 @@
 #include "analysis/similarity.h"
 #include "datagen/world.h"
 #include "flavor/registry_io.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "recipe/database.h"
 #include "network/flavor_network.h"
 #include "recipe/parser.h"
@@ -63,6 +71,8 @@ struct GlobalArgs {
   std::string registry_prefix;
   size_t top = 10;
   size_t probes = 10;
+  std::string metrics_out;
+  std::string trace_out;
   std::vector<std::string> positional;
 };
 
@@ -94,6 +104,10 @@ GlobalArgs ParseArgs(int argc, char** argv, int first) {
     } else if (StartsWith(a, "--probes=")) {
       args.probes = static_cast<size_t>(
           std::strtoull(value("--probes=").c_str(), nullptr, 10));
+    } else if (StartsWith(a, "--metrics-out=")) {
+      args.metrics_out = value("--metrics-out=");
+    } else if (StartsWith(a, "--trace-out=")) {
+      args.trace_out = value("--trace-out=");
     } else {
       args.positional.push_back(a);
     }
@@ -395,18 +409,40 @@ void PrintUsage() {
       "usage: culinary <stats|export|pairing|partners|parse|classify|"
       "similar|authentic|analyze>"
       " [options]\n"
-      "global options: --small --seed=N --null-recipes=N\n");
+      "global options: --small --seed=N --null-recipes=N"
+      " --metrics-out=FILE --trace-out=FILE\n");
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  if (argc < 2) {
-    PrintUsage();
-    return 2;
+/// Writes the metrics / trace dumps requested on the command line. Failures
+/// here degrade the observability artifact, not the analysis, so they warn
+/// and turn the command's exit code into 1 only if it was otherwise clean.
+int WriteObservabilityOutputs(const GlobalArgs& args, int rc) {
+  if (!args.metrics_out.empty()) {
+    std::string error;
+    if (obs::WriteMetricsJsonFile(obs::MetricsRegistry::Default(),
+                                  args.metrics_out, &error)) {
+      std::fprintf(stderr, "metrics written to %s\n",
+                   args.metrics_out.c_str());
+    } else {
+      std::fprintf(stderr, "warning: metrics dump failed: %s\n",
+                   error.c_str());
+      if (rc == 0) rc = 1;
+    }
   }
-  std::string cmd = argv[1];
-  GlobalArgs args = ParseArgs(argc, argv, 2);
+  if (!args.trace_out.empty()) {
+    std::string error;
+    if (obs::WriteTraceJsonFile(obs::TraceSink::Default(), args.trace_out,
+                                &error)) {
+      std::fprintf(stderr, "trace written to %s\n", args.trace_out.c_str());
+    } else {
+      std::fprintf(stderr, "warning: trace dump failed: %s\n", error.c_str());
+      if (rc == 0) rc = 1;
+    }
+  }
+  return rc;
+}
+
+int RunCommand(const std::string& cmd, const GlobalArgs& args) {
   if (cmd == "stats") return CmdStats(args);
   if (cmd == "export") return CmdExport(args);
   if (cmd == "pairing") return CmdPairing(args);
@@ -418,4 +454,20 @@ int main(int argc, char** argv) {
   if (cmd == "analyze") return CmdAnalyze(args);
   PrintUsage();
   return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    PrintUsage();
+    return 2;
+  }
+  std::string cmd = argv[1];
+  GlobalArgs args = ParseArgs(argc, argv, 2);
+  if (!args.metrics_out.empty() || !args.trace_out.empty()) {
+    obs::SetEnabled(true);
+  }
+  int rc = RunCommand(cmd, args);
+  return WriteObservabilityOutputs(args, rc);
 }
