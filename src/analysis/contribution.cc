@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
 namespace culinary::analysis {
 
@@ -80,7 +81,8 @@ double IngredientChi(const PairingCache& cache, const recipe::Cuisine& cuisine,
 
 std::vector<IngredientContribution> AllContributions(
     const PairingCache& cache, const recipe::Cuisine& cuisine,
-    const AnalysisOptions& options) {
+    const AnalysisOptions& options, culinary::Status* sweep_status) {
+  if (sweep_status != nullptr) *sweep_status = culinary::Status::OK();
   std::vector<IngredientContribution> out;
   BaseScores base = ComputeBase(cache, cuisine);
   if (base.count == 0) return out;
@@ -91,11 +93,13 @@ std::vector<IngredientContribution> AllContributions(
   out.resize(ingredients.size());
   // One leave-one-out re-score per ingredient, written to its own slot:
   // embarrassingly parallel and order-independent.
-  ForEachBlock(ingredients.size(), options, [&](size_t i) {
+  culinary::Status status = ForEachBlock(ingredients.size(), options,
+                                         [&](size_t i) {
     flavor::IngredientId id = ingredients[i];
     double without = MeanWithoutGivenBase(cache, cuisine, base, id);
     out[i] = {id, 100.0 * (mean - without) / std::abs(mean)};
   });
+  if (sweep_status != nullptr) *sweep_status = std::move(status);
   std::sort(out.begin(), out.end(),
             [](const IngredientContribution& a, const IngredientContribution& b) {
               if (a.chi != b.chi) return a.chi > b.chi;
@@ -106,9 +110,10 @@ std::vector<IngredientContribution> AllContributions(
 
 std::vector<IngredientContribution> TopContributors(
     const PairingCache& cache, const recipe::Cuisine& cuisine, size_t k,
-    bool positive, const AnalysisOptions& options) {
+    bool positive, const AnalysisOptions& options,
+    culinary::Status* sweep_status) {
   std::vector<IngredientContribution> all =
-      AllContributions(cache, cuisine, options);
+      AllContributions(cache, cuisine, options, sweep_status);
   std::vector<IngredientContribution> out;
   if (positive) {
     for (size_t i = 0; i < all.size() && out.size() < k; ++i) {

@@ -37,16 +37,24 @@ double IngredientChi(const PairingCache& cache, const recipe::Cuisine& cuisine,
 /// ingredient's leave-one-out re-score is independent, so the sweep fans
 /// out across `options.num_threads` workers; per-ingredient results land in
 /// index-fixed slots, making the output identical for any thread count.
+///
+/// When `options.cancel` / `options.deadline` stops the sweep, the returned
+/// list is incomplete (skipped ingredients appear with χ = 0) and
+/// `*sweep_status` — when provided — carries `kCancelled` /
+/// `kDeadlineExceeded`; it is OK otherwise.
 std::vector<IngredientContribution> AllContributions(
     const PairingCache& cache, const recipe::Cuisine& cuisine,
-    const AnalysisOptions& options = {});
+    const AnalysisOptions& options = {},
+    culinary::Status* sweep_status = nullptr);
 
 /// Top `k` contributors. With `positive` true, the ingredients raising N̄_s
 /// the most (Fig 5(a): cuisines with uniform pairing); otherwise the ones
-/// lowering it the most (Fig 5(b): contrasting cuisines).
+/// lowering it the most (Fig 5(b): contrasting cuisines). Lifecycle stops
+/// surface through `sweep_status` exactly as in `AllContributions`.
 std::vector<IngredientContribution> TopContributors(
     const PairingCache& cache, const recipe::Cuisine& cuisine, size_t k,
-    bool positive, const AnalysisOptions& options = {});
+    bool positive, const AnalysisOptions& options = {},
+    culinary::Status* sweep_status = nullptr);
 
 }  // namespace culinary::analysis
 

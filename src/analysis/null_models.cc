@@ -1,10 +1,15 @@
 #include "analysis/null_models.h"
 
 #include <algorithm>
+#include <atomic>
+#include <mutex>
 #include <string>
+#include <utility>
 
 #include "common/statistics.h"
 #include "obs/obs.h"
+#include "robustness/checkpoint.h"
+#include "robustness/fault_injector.h"
 
 namespace culinary::analysis {
 
@@ -20,6 +25,20 @@ std::string_view NullModelKindToString(NullModelKind kind) {
       return "Frequency+Category";
   }
   return "Unknown";
+}
+
+std::string_view NullModelKindSlug(NullModelKind kind) {
+  switch (kind) {
+    case NullModelKind::kRandom:
+      return "random";
+    case NullModelKind::kFrequency:
+      return "frequency";
+    case NullModelKind::kCategory:
+      return "category";
+    case NullModelKind::kFrequencyCategory:
+      return "freqcat";
+  }
+  return "unknown";
 }
 
 culinary::Result<NullModelSampler> NullModelSampler::Make(
@@ -204,6 +223,75 @@ constexpr size_t kNullRecipesPerBlock = 2048;
 
 namespace {
 
+/// The signature pinning everything that determines a block's value: a run
+/// may only resume from a checkpoint written with the same seed, ensemble
+/// size, block granularity, model kind and region — otherwise the restored
+/// partials would be partials of a *different* ensemble. Chained through
+/// `DeriveStreamSeed` so every ingredient permutes the whole word.
+uint64_t EnsembleSignature(const NullModelOptions& options, NullModelKind kind,
+                           recipe::Region region) {
+  uint64_t sig =
+      culinary::DeriveStreamSeed(options.seed, 0x636b7074ULL);  // "ckpt"
+  sig = culinary::DeriveStreamSeed(sig, options.num_recipes);
+  sig = culinary::DeriveStreamSeed(sig, kNullRecipesPerBlock);
+  sig = culinary::DeriveStreamSeed(sig, static_cast<uint64_t>(kind));
+  sig = culinary::DeriveStreamSeed(sig, static_cast<uint64_t>(region));
+  return sig;
+}
+
+std::string CheckpointPath(const NullModelOptions& options,
+                           NullModelKind kind) {
+  return options.checkpoint_prefix + "." + std::string(NullModelKindSlug(kind)) +
+         ".ckpt";
+}
+
+/// Restores completed blocks from `path` into `partials` / `have`. Returns
+/// true when the existing file is valid for this run (the writer should
+/// append to it); false when there was no usable file (the writer should
+/// create a fresh one). Discard reasons and dropped-record counts are
+/// reported through `progress`.
+bool RestoreFromCheckpoint(const std::string& path, uint64_t signature,
+                           size_t num_blocks,
+                           std::vector<culinary::RunningStats>& partials,
+                           std::vector<char>& have,
+                           EnsembleProgress& progress) {
+  culinary::Result<robustness::CheckpointContents> loaded =
+      robustness::LoadBlockCheckpoint(path);
+  if (!loaded.ok()) {
+    if (loaded.status().code() != culinary::StatusCode::kNotFound) {
+      // Truncated header, corrupt file, injected read fault: degrade to a
+      // clean restart rather than failing the sweep, but say so.
+      progress.checkpoint_discarded = true;
+      progress.checkpoint_note =
+          "checkpoint discarded: " + loaded.status().message();
+    }
+    return false;
+  }
+  const robustness::CheckpointContents& contents = loaded.value();
+  if (contents.signature != signature ||
+      contents.num_blocks != static_cast<uint64_t>(num_blocks)) {
+    progress.checkpoint_discarded = true;
+    progress.checkpoint_note =
+        "checkpoint discarded: signature/shape mismatch (different seed, "
+        "ensemble size, or model)";
+    return false;
+  }
+  for (const robustness::CheckpointBlock& record : contents.blocks) {
+    const size_t block = static_cast<size_t>(record.block);
+    if (block >= num_blocks || have[block]) continue;
+    partials[block] = record.stats;
+    have[block] = 1;
+    ++progress.blocks_resumed;
+  }
+  if (contents.records_dropped > 0) {
+    progress.checkpoint_note =
+        "checkpoint tail dropped: " +
+        std::to_string(contents.records_dropped) +
+        " torn/corrupt record(s); those blocks will be recomputed";
+  }
+  return true;
+}
+
 /// Shared implementation: `real_mean` is the cuisine's N̄_s, computed once
 /// by the caller (the four-model comparison reuses one value rather than
 /// re-scoring every real recipe per model).
@@ -234,29 +322,127 @@ culinary::Result<FoodPairingResult> CompareWithRealMean(
   const size_t num_blocks =
       (options.num_recipes + kNullRecipesPerBlock - 1) / kNullRecipesPerBlock;
   std::vector<culinary::RunningStats> partials(num_blocks);
+  /// Per-block completion flags. Distinct slots, so concurrent block bodies
+  /// never touch the same byte.
+  std::vector<char> have(num_blocks, 0);
+
+  EnsembleProgress local_progress;
+  EnsembleProgress& progress =
+      options.progress != nullptr ? *options.progress : local_progress;
+  progress = EnsembleProgress{};
+  progress.blocks_total = num_blocks;
+
+  // ---- Checkpoint restore + writer setup -------------------------------
+  std::optional<robustness::BlockCheckpointWriter> writer;
+  if (!options.checkpoint_prefix.empty()) {
+    const std::string path = CheckpointPath(options, kind);
+    const uint64_t signature = EnsembleSignature(options, kind,
+                                                 cuisine.region());
+    bool append = false;
+    if (options.resume) {
+      append = RestoreFromCheckpoint(path, signature, num_blocks, partials,
+                                     have, progress);
+      if (progress.blocks_resumed > 0) {
+        CULINARY_OBS_COUNT("sweep.blocks_resumed", progress.blocks_resumed);
+      }
+    }
+    culinary::Result<robustness::BlockCheckpointWriter> opened =
+        append ? robustness::BlockCheckpointWriter::OpenForAppend(
+                     path, signature, num_blocks)
+               : robustness::BlockCheckpointWriter::Create(path, signature,
+                                                           num_blocks);
+    if (!opened.ok()) {
+      return opened.status().WithContext("opening ensemble checkpoint");
+    }
+    writer.emplace(std::move(opened).value());
+  }
+
+  // Blocks still to compute (all of them on a fresh run). Scheduling over
+  // this list instead of [0, num_blocks) is what makes resume cheap; each
+  // block's RNG stream is still derived from its *original* index, so the
+  // recomputed partials are bit-identical to a fresh run's.
+  std::vector<size_t> pending;
+  pending.reserve(num_blocks);
+  for (size_t block = 0; block < num_blocks; ++block) {
+    if (!have[block]) pending.push_back(block);
+  }
+
+  // First failure injected into a block (or raised appending its
+  // checkpoint record). Later blocks become cheap no-ops; completed blocks
+  // stay valid, which is exactly the crash the checkpoint protects.
+  std::atomic<bool> faulted{false};
+  std::mutex fault_mutex;
+  culinary::Status fault_status;
+  auto record_fault = [&](culinary::Status status) {
+    std::lock_guard<std::mutex> lock(fault_mutex);
+    if (fault_status.ok()) fault_status = std::move(status);
+    faulted.store(true, std::memory_order_release);
+  };
+
   AnalysisOptions sweep_exec = options.exec;
   sweep_exec.trace_label = "null_model.sweep";
-  ForEachBlock(num_blocks, sweep_exec, [&](size_t block) {
-    culinary::Rng rng(culinary::DeriveStreamSeed(base_seed, block));
-    const size_t begin = block * kNullRecipesPerBlock;
-    const size_t end =
-        std::min(options.num_recipes, begin + kNullRecipesPerBlock);
-    culinary::RunningStats stats;
-    std::vector<int> dense;
-    for (size_t i = begin; i < end; ++i) {
-      sampler.SampleRecipeInto(rng, dense);
-      if (dense.size() < 2) continue;
-      // Samplers emit distinct in-range dense indices by construction, so
-      // the ensemble can take the trusted in-place scoring path.
-      stats.Add(
-          RecipePairingScoreDistinct(cache, dense.data(), dense.size()));
-    }
-    partials[block] = stats;
-  });
+  culinary::Status sweep_status =
+      ForEachBlock(pending.size(), sweep_exec, [&](size_t i) {
+        if (faulted.load(std::memory_order_acquire)) return;
+        culinary::Status injected = robustness::FaultInjector::Global().Check(
+            robustness::kFaultAnalysisBlock);
+        if (!injected.ok()) {
+          record_fault(std::move(injected));
+          return;
+        }
+        const size_t block = pending[i];
+        culinary::Rng rng(culinary::DeriveStreamSeed(base_seed, block));
+        const size_t begin = block * kNullRecipesPerBlock;
+        const size_t end =
+            std::min(options.num_recipes, begin + kNullRecipesPerBlock);
+        culinary::RunningStats stats;
+        std::vector<int> dense;
+        for (size_t i2 = begin; i2 < end; ++i2) {
+          sampler.SampleRecipeInto(rng, dense);
+          if (dense.size() < 2) continue;
+          // Samplers emit distinct in-range dense indices by construction,
+          // so the ensemble can take the trusted in-place scoring path.
+          stats.Add(
+              RecipePairingScoreDistinct(cache, dense.data(), dense.size()));
+        }
+        if (writer.has_value()) {
+          culinary::Status appended = writer->AppendBlock(block, stats);
+          if (!appended.ok()) {
+            // The block computed fine but its record may not survive a
+            // crash; stop rather than silently lose durability.
+            record_fault(std::move(appended));
+            return;
+          }
+        }
+        partials[block] = stats;
+        have[block] = 1;
+      });
+
+  // ---- Partial-result accounting (well-defined even when stopped) ------
   culinary::RunningStats null_stats;
-  for (const culinary::RunningStats& partial : partials) {
-    null_stats.Merge(partial);
+  size_t completed = 0;
+  for (size_t block = 0; block < num_blocks; ++block) {
+    if (!have[block]) continue;
+    ++completed;
+    null_stats.Merge(partials[block]);
   }
+  progress.blocks_completed = completed;
+  progress.partial_stats = null_stats;
+
+  const std::string blocks_context = std::to_string(completed) + " of " +
+                                     std::to_string(num_blocks) +
+                                     " blocks completed";
+  {
+    std::lock_guard<std::mutex> lock(fault_mutex);
+    if (!fault_status.ok()) {
+      return fault_status.WithContext("ensemble aborted mid-sweep; " +
+                                      blocks_context);
+    }
+  }
+  if (!sweep_status.ok()) {
+    return sweep_status.WithContext("ensemble stopped; " + blocks_context);
+  }
+
   CULINARY_OBS_COUNT("null_model.samples_scored",
                      static_cast<uint64_t>(null_stats.count()));
   if (null_stats.count() == 0) {
@@ -291,15 +477,38 @@ culinary::Result<std::vector<FoodPairingResult>> CompareAgainstAllModels(
   // One real-mean sweep serves all four models; only the null ensembles
   // differ between them.
   const double real_mean = CuisineMeanPairing(cache, cuisine, options.exec);
+  // Each per-kind sweep resets its progress struct, so the four runs report
+  // into a local one and the caller's (if any) sees the aggregate: totals
+  // summed, notes concatenated — including the partially-run kind when a
+  // sweep stops early, so the caller can report how far the command got.
+  EnsembleProgress* caller_progress = options.progress;
+  EnsembleProgress aggregate;
+  NullModelOptions per_kind = options;
   std::vector<FoodPairingResult> results;
   for (NullModelKind kind :
        {NullModelKind::kRandom, NullModelKind::kFrequency,
         NullModelKind::kCategory, NullModelKind::kFrequencyCategory}) {
-    CULINARY_ASSIGN_OR_RETURN(
-        FoodPairingResult r,
-        CompareWithRealMean(cache, cuisine, registry, kind, options,
-                            real_mean));
-    results.push_back(r);
+    EnsembleProgress kind_progress;
+    per_kind.progress = caller_progress ? &kind_progress : nullptr;
+    auto r = CompareWithRealMean(cache, cuisine, registry, kind, per_kind,
+                                 real_mean);
+    if (caller_progress) {
+      aggregate.blocks_total += kind_progress.blocks_total;
+      aggregate.blocks_completed += kind_progress.blocks_completed;
+      aggregate.blocks_resumed += kind_progress.blocks_resumed;
+      aggregate.checkpoint_discarded |= kind_progress.checkpoint_discarded;
+      if (!kind_progress.checkpoint_note.empty()) {
+        if (!aggregate.checkpoint_note.empty()) {
+          aggregate.checkpoint_note += "; ";
+        }
+        aggregate.checkpoint_note += std::string(NullModelKindSlug(kind)) +
+                                     ": " + kind_progress.checkpoint_note;
+      }
+      aggregate.partial_stats = kind_progress.partial_stats;
+      *caller_progress = aggregate;
+    }
+    if (!r.ok()) return r.status();
+    results.push_back(*r);
   }
   return results;
 }

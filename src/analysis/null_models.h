@@ -35,6 +35,32 @@ enum class NullModelKind : int {
 /// Display name ("Random", "Frequency", "Category", "Frequency+Category").
 std::string_view NullModelKindToString(NullModelKind kind);
 
+/// Filesystem-safe slug ("random", "frequency", "category", "freqcat");
+/// names the per-model checkpoint file under a checkpoint prefix.
+std::string_view NullModelKindSlug(NullModelKind kind);
+
+/// Progress / partial-result report for one ensemble sweep, filled whether
+/// the sweep completes, is stopped, or faults. The well-defined partial
+/// result of an interrupted ensemble: every counted block ran to
+/// completion (a stop never tears a block), and `partial_stats` merges the
+/// completed blocks in block-index order.
+struct EnsembleProgress {
+  size_t blocks_total = 0;
+  /// Blocks whose partials exist, resumed ones included.
+  size_t blocks_completed = 0;
+  /// Blocks restored from the checkpoint instead of recomputed.
+  size_t blocks_resumed = 0;
+  /// True when a checkpoint was present but unusable (signature mismatch,
+  /// corrupt header) and the run restarted clean.
+  bool checkpoint_discarded = false;
+  /// Human-readable note about checkpoint anomalies (dropped records,
+  /// discard reason); empty when nothing noteworthy happened.
+  std::string checkpoint_note;
+  /// Null-score accumulator over the completed blocks, merged in block
+  /// order.
+  culinary::RunningStats partial_stats;
+};
+
 /// Options for null-model generation.
 ///
 /// The ensemble is partitioned into fixed-size blocks; block `b` draws from
@@ -49,8 +75,29 @@ struct NullModelOptions {
   size_t num_recipes = 100000;
   /// PRNG seed; fixed default for reproducible benches.
   uint64_t seed = 0xC0FFEE;
-  /// Execution knobs for the sweep (thread count; see AnalysisOptions).
+  /// Execution knobs for the sweep (thread count, cancellation, deadline;
+  /// see AnalysisOptions).
   AnalysisOptions exec;
+
+  /// When non-empty, completed blocks are appended to the crash-safe
+  /// checkpoint file `<checkpoint_prefix>.<kind slug>.ckpt` as the sweep
+  /// runs (one per model kind, so `CompareAgainstAllModels` never mixes
+  /// ensembles in one file).
+  std::string checkpoint_prefix;
+
+  /// With `checkpoint_prefix` set: restore completed blocks from an
+  /// existing checkpoint and recompute only the missing ones. Because each
+  /// block owns a SplitMix-derived RNG stream and partials round-trip the
+  /// file bit-exactly, a resumed ensemble is bit-identical to an
+  /// uninterrupted one at any thread count. A missing, mismatched
+  /// (different seed/size/model — detected via the signature) or corrupt
+  /// checkpoint degrades to a clean restart, reported via
+  /// `EnsembleProgress`.
+  bool resume = false;
+
+  /// Optional out-param: filled with the sweep's progress and partial
+  /// results whether it completes or stops early.
+  EnsembleProgress* progress = nullptr;
 };
 
 /// Draws randomized recipes from one null model of one cuisine.

@@ -4,6 +4,7 @@
 #include <chrono>
 #include <string>
 #include <thread>
+#include <utility>
 
 #include "common/thread_pool.h"
 #include "obs/obs.h"
@@ -20,11 +21,49 @@ size_t ResolveNumThreads(size_t num_threads) {
   return std::min(num_threads, hardware);
 }
 
-void ForEachBlock(size_t num_blocks, const AnalysisOptions& options,
-                  const std::function<void(size_t)>& body) {
-  if (num_blocks == 0) return;
+namespace {
+
+/// Counts a non-OK sweep verdict for the dashboards; the caller decides
+/// what to do with the status itself.
+void NoteSweepStopped(const culinary::Status& status) {
+  if (status.IsCancelled()) {
+    CULINARY_OBS_COUNT("sweep.cancelled", 1);
+  } else if (status.IsDeadlineExceeded()) {
+    CULINARY_OBS_COUNT("sweep.deadline_exceeded", 1);
+  }
+}
+
+/// Serial path shared by the bare and instrumented branches: checks the
+/// lifecycle knobs between blocks exactly as the pooled path does.
+culinary::Status RunBlocksInline(size_t num_blocks,
+                                 const AnalysisOptions& options,
+                                 const std::function<void(size_t)>& body) {
+  const bool stoppable = options.stoppable();
+  for (size_t b = 0; b < num_blocks; ++b) {
+    if (stoppable) {
+      culinary::Status stop = options.StopStatus();
+      if (!stop.ok()) return stop;
+    }
+    body(b);
+  }
+  return culinary::Status::OK();
+}
+
+}  // namespace
+
+culinary::Status ForEachBlock(size_t num_blocks,
+                              const AnalysisOptions& options,
+                              const std::function<void(size_t)>& body) {
+  if (num_blocks == 0) return culinary::Status::OK();
   const size_t threads =
       std::min(ResolveNumThreads(options.num_threads), num_blocks);
+  // Built once per sweep: null when the sweep carries no lifecycle knobs,
+  // so the common case pays nothing per block.
+  culinary::StopCheck stop_check;
+  if (options.stoppable()) {
+    stop_check = [&options]() { return options.StopStatus(); };
+  }
+  culinary::Status verdict;
 #if !defined(CULINARYLAB_OBS_DISABLED)
   if (obs::Enabled()) {
     // Instrumented path: identical block boundaries and execution structure
@@ -51,20 +90,23 @@ void ForEachBlock(size_t num_blocks, const AnalysisOptions& options,
       blocks_counter.IncrementUnchecked(1);
     };
     if (threads <= 1) {
-      for (size_t b = 0; b < num_blocks; ++b) timed_body(b);
-      return;
+      verdict = RunBlocksInline(num_blocks, options, timed_body);
+    } else {
+      ThreadPool pool(threads);
+      verdict = pool.ParallelFor(num_blocks, timed_body, stop_check);
     }
-    ThreadPool pool(threads);
-    pool.ParallelFor(num_blocks, timed_body);
-    return;
+    NoteSweepStopped(verdict);
+    return verdict;
   }
 #endif
   if (threads <= 1) {
-    for (size_t b = 0; b < num_blocks; ++b) body(b);
-    return;
+    verdict = RunBlocksInline(num_blocks, options, body);
+  } else {
+    ThreadPool pool(threads);
+    verdict = pool.ParallelFor(num_blocks, body, stop_check);
   }
-  ThreadPool pool(threads);
-  pool.ParallelFor(num_blocks, body);
+  NoteSweepStopped(verdict);
+  return verdict;
 }
 
 }  // namespace culinary::analysis

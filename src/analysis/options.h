@@ -4,6 +4,9 @@
 #include <cstddef>
 #include <functional>
 
+#include "common/cancellation.h"
+#include "common/status.h"
+
 namespace culinary::analysis {
 
 /// Execution knobs shared by every parallel analysis sweep (pairing-cache
@@ -17,6 +20,16 @@ namespace culinary::analysis {
 /// count — and by reducing per-block partials in block order on the calling
 /// thread. `num_threads` therefore only decides whether the blocks run on a
 /// pool or inline.
+///
+/// Lifecycle contract: `cancel` and `deadline` are checked cooperatively
+/// before every block, on the serial and pooled paths alike. A stop never
+/// tears a block — each block either runs to completion or never starts —
+/// so stop latency is bounded by one block's runtime, and the set of
+/// completed blocks is always well-defined (which is what makes
+/// checkpoint/resume of ensembles exact; see null_models.h). Like
+/// `trace_label`, neither knob ever influences block boundaries, RNG
+/// streams or scheduling, so a sweep that runs to completion is
+/// bit-identical with or without them.
 struct AnalysisOptions {
   /// Worker threads for analysis sweeps. 0 means "use hardware
   /// concurrency"; 1 degrades to the fully serial path (no pool is
@@ -30,6 +43,28 @@ struct AnalysisOptions {
   /// above is unaffected. Must point at storage outliving the sweep
   /// (string literals in practice); nullptr uses "analysis.sweep".
   const char* trace_label = nullptr;
+
+  /// Cooperative cancellation: when the connected `CancellationSource`
+  /// fires, the sweep stops scheduling blocks and `ForEachBlock` returns
+  /// `kCancelled`. The default token is null (never cancels, free to
+  /// check).
+  culinary::CancellationToken cancel{};
+
+  /// Wall-clock budget: once expired, the sweep stops scheduling blocks and
+  /// `ForEachBlock` returns `kDeadlineExceeded`. Default is infinite.
+  culinary::Deadline deadline{};
+
+  /// True when either lifecycle knob could ever stop a sweep — the gate for
+  /// paying the per-block stop check at all.
+  bool stoppable() const {
+    return cancel.cancellable() || deadline.has_deadline();
+  }
+
+  /// The cooperative stop verdict right now: OK, `kCancelled`, or
+  /// `kDeadlineExceeded` (cancellation wins when both hold).
+  culinary::Status StopStatus() const {
+    return culinary::CheckStop(cancel, deadline);
+  }
 };
 
 /// Resolves the `num_threads` knob: 0 → `std::thread::hardware_concurrency`
@@ -45,8 +80,14 @@ size_t ResolveNumThreads(size_t num_threads);
 /// block's effect independent of execution order (e.g. write to
 /// block-indexed slots) — that, plus an order-fixed reduction by the
 /// caller, is what keeps results thread-count invariant.
-void ForEachBlock(size_t num_blocks, const AnalysisOptions& options,
-                  const std::function<void(size_t)>& body);
+///
+/// Returns OK when every block ran. When `options.cancel` fires or
+/// `options.deadline` expires mid-sweep, blocks not yet started are
+/// skipped and the corresponding `kCancelled` / `kDeadlineExceeded` status
+/// is returned; blocks already running finish normally, so the caller's
+/// per-block outputs are each either complete or untouched.
+culinary::Status ForEachBlock(size_t num_blocks, const AnalysisOptions& options,
+                              const std::function<void(size_t)>& body);
 
 }  // namespace culinary::analysis
 

@@ -98,6 +98,11 @@ PairingCache::PairingCache(const flavor::FlavorRegistry& registry,
   const auto build_start = std::chrono::steady_clock::now();
   AnalysisOptions build_options = options;
   build_options.trace_label = "pairing.cache_build";
+  // A half-built cache is unusable, so the build is an atomic unit: strip
+  // the lifecycle knobs rather than honor a stop mid-construction. Callers
+  // stop *between* sweeps, and the build is cheap next to the ensembles.
+  build_options.cancel = {};
+  build_options.deadline = {};
   // Each row of the triangle is an independent popcount sweep; rows write
   // disjoint triangle ranges, and each symmetric-matrix cell (x, y) is
   // written only by the block handling min(x, y), so the parallel build is
@@ -197,6 +202,11 @@ culinary::RunningStats CuisinePairingStats(const PairingCache& cache,
   std::vector<culinary::RunningStats> partials(num_blocks);
   AnalysisOptions sweep_options = options;
   sweep_options.trace_label = "pairing.cuisine_stats";
+  // The real-recipe mean must never be computed from a subset — a partial
+  // mean would silently skew every z-score downstream — so this sweep is
+  // also an atomic unit; lifecycle stops apply between sweeps.
+  sweep_options.cancel = {};
+  sweep_options.deadline = {};
   CULINARY_OBS_COUNT("pairing.recipes_scored", recipes.size());
   ForEachBlock(num_blocks, sweep_options, [&](size_t block) {
     const size_t begin = block * kRecipesPerBlock;

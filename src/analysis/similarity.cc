@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
 namespace culinary::analysis {
 
@@ -57,18 +58,19 @@ double CuisineSimilarityScore(const recipe::Cuisine& a,
 
 std::vector<std::vector<double>> CuisineSimilarityMatrix(
     const std::vector<recipe::Cuisine>& cuisines, CuisineSimilarity metric,
-    const AnalysisOptions& options) {
+    const AnalysisOptions& options, culinary::Status* sweep_status) {
   const size_t n = cuisines.size();
   std::vector<std::vector<double>> matrix(n, std::vector<double>(n, 0.0));
   // Row i fills its j >= i tail plus the mirrored column entries; distinct
   // rows never write the same cell, so the sweep is race-free.
-  ForEachBlock(n, options, [&](size_t i) {
+  culinary::Status status = ForEachBlock(n, options, [&](size_t i) {
     for (size_t j = i; j < n; ++j) {
       double s = CuisineSimilarityScore(cuisines[i], cuisines[j], metric);
       matrix[i][j] = s;
       matrix[j][i] = s;
     }
   });
+  if (sweep_status != nullptr) *sweep_status = std::move(status);
   return matrix;
 }
 

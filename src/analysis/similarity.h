@@ -41,9 +41,16 @@ double CuisineSimilarityScore(const recipe::Cuisine& a,
 /// Rows are independent pure functions of the cuisine pair, so the upper
 /// triangle fans out across `options.num_threads` workers; the result is
 /// identical for any thread count.
+///
+/// When `options.cancel` / `options.deadline` stops the sweep, the matrix
+/// comes back partially filled (each row either complete or all-zero) and
+/// `*sweep_status` — when provided — carries `kCancelled` /
+/// `kDeadlineExceeded`; it is OK otherwise. Passing nullptr keeps the
+/// historical fire-and-forget signature.
 std::vector<std::vector<double>> CuisineSimilarityMatrix(
     const std::vector<recipe::Cuisine>& cuisines, CuisineSimilarity metric,
-    const AnalysisOptions& options = {});
+    const AnalysisOptions& options = {},
+    culinary::Status* sweep_status = nullptr);
 
 /// The `k` most similar cuisines to `cuisines[target]`, best first.
 /// InvalidArgument for an out-of-range target.

@@ -1,0 +1,38 @@
+#include "common/cancellation.h"
+
+#include <limits>
+
+namespace culinary {
+
+Deadline Deadline::After(double ms) {
+  Deadline d;
+  d.has_deadline_ = true;
+  d.at_ = std::chrono::steady_clock::now() +
+          std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+              std::chrono::duration<double, std::milli>(ms < 0.0 ? 0.0 : ms));
+  return d;
+}
+
+bool Deadline::expired() const {
+  return has_deadline_ && std::chrono::steady_clock::now() >= at_;
+}
+
+double Deadline::remaining_ms() const {
+  if (!has_deadline_) return std::numeric_limits<double>::infinity();
+  return std::chrono::duration<double, std::milli>(
+             at_ - std::chrono::steady_clock::now())
+      .count();
+}
+
+CancellationSource::CancellationSource()
+    : flag_(std::make_shared<std::atomic<bool>>(false)) {}
+
+Status CheckStop(const CancellationToken& cancel, const Deadline& deadline) {
+  if (cancel.cancelled()) return Status::Cancelled("operation cancelled");
+  if (deadline.expired()) {
+    return Status::DeadlineExceeded("deadline exceeded");
+  }
+  return Status::OK();
+}
+
+}  // namespace culinary

@@ -35,6 +35,18 @@ void RunningStats::Merge(const RunningStats& other) {
   count_ = n;
 }
 
+RunningStats RunningStats::FromMoments(int64_t count, double mean, double m2,
+                                       double min, double max) {
+  RunningStats s;
+  if (count <= 0) return s;
+  s.count_ = count;
+  s.mean_ = mean;
+  s.m2_ = m2;
+  s.min_ = min;
+  s.max_ = max;
+  return s;
+}
+
 double RunningStats::variance() const {
   if (count_ < 2) return 0.0;
   return m2_ / static_cast<double>(count_ - 1);

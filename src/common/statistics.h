@@ -21,6 +21,18 @@ class RunningStats {
   /// Merges another accumulator into this one (Chan's parallel update).
   void Merge(const RunningStats& other);
 
+  /// Reconstructs an accumulator from its raw moments, the exact inverse of
+  /// (`count()`, `mean()`, `m2()`, `min()`, `max()`). Checkpoint/resume
+  /// round-trips partial accumulators through this: restoring the very bits
+  /// that were saved makes a resumed merge bit-identical to an
+  /// uninterrupted one. A non-positive `count` yields an empty accumulator.
+  static RunningStats FromMoments(int64_t count, double mean, double m2,
+                                  double min, double max);
+
+  /// Sum of squared deviations from the mean (Welford's M2 term), the raw
+  /// state behind `variance()`. Exposed for exact serialization.
+  double m2() const { return count_ > 0 ? m2_ : 0.0; }
+
   /// Number of observations added.
   int64_t count() const { return count_; }
 

@@ -24,6 +24,8 @@ enum class StatusCode : int {
   kIOError = 7,
   kInternal = 8,
   kUnimplemented = 9,
+  kCancelled = 10,
+  kDeadlineExceeded = 11,
 };
 
 /// Returns a stable human-readable name for `code` (e.g. "NotFound").
@@ -81,6 +83,12 @@ class Status {
   static Status Unimplemented(std::string msg) {
     return Status(StatusCode::kUnimplemented, std::move(msg));
   }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
 
   /// True iff the status represents success.
   bool ok() const { return code_ == StatusCode::kOk; }
@@ -103,6 +111,10 @@ class Status {
   bool IsIOError() const { return code_ == StatusCode::kIOError; }
   bool IsInternal() const { return code_ == StatusCode::kInternal; }
   bool IsUnimplemented() const { return code_ == StatusCode::kUnimplemented; }
+  bool IsCancelled() const { return code_ == StatusCode::kCancelled; }
+  bool IsDeadlineExceeded() const {
+    return code_ == StatusCode::kDeadlineExceeded;
+  }
 
   /// Returns a copy whose message is prefixed with `prefix` (": "-joined),
   /// preserving the code. OK statuses pass through untouched. Ingestion

@@ -64,15 +64,42 @@ size_t ThreadPool::ParallelForChunks(size_t count, size_t num_threads) {
 
 void ThreadPool::ParallelFor(size_t count,
                              const std::function<void(size_t)>& body) {
-  if (count == 0) return;
+  ParallelFor(count, body, nullptr);
+}
+
+Status ThreadPool::ParallelFor(size_t count,
+                               const std::function<void(size_t)>& body,
+                               const StopCheck& stop_check) {
+  if (count == 0) return Status::OK();
+  // Shared stop state: the first non-OK stop status wins; `stopped` lets
+  // every other chunk bail with one relaxed load instead of re-running the
+  // (potentially clock-reading) check after the verdict is in.
+  std::atomic<bool> stopped{false};
+  std::mutex stop_mutex;
+  Status stop_status;
+  auto should_stop = [&]() -> bool {
+    if (!stop_check) return false;
+    if (stopped.load(std::memory_order_relaxed)) return true;
+    Status s = stop_check();
+    if (s.ok()) return false;
+    {
+      std::lock_guard<std::mutex> lock(stop_mutex);
+      if (stop_status.ok()) stop_status = std::move(s);
+    }
+    stopped.store(true, std::memory_order_relaxed);
+    return true;
+  };
   if (InWorkerThread()) {
     // Nested use from our own worker: enqueueing would park this worker on
     // futures that can only run behind it in the queue — with every worker
     // doing so, nobody drains the queue. Run inline instead; exceptions
     // propagate directly.
     CULINARY_OBS_COUNT("threadpool.nested_parallel_for_inline", 1);
-    for (size_t i = 0; i < count; ++i) body(i);
-    return;
+    for (size_t i = 0; i < count; ++i) {
+      if (should_stop()) break;
+      body(i);
+    }
+    return stop_status;
   }
   const size_t num_chunks = ParallelForChunks(count, num_threads());
   const size_t chunk = (count + num_chunks - 1) / num_chunks;
@@ -81,7 +108,8 @@ void ThreadPool::ParallelFor(size_t count,
   const auto enqueue_time = std::chrono::steady_clock::now();
   for (size_t begin = 0; begin < count; begin += chunk) {
     const size_t end = std::min(count, begin + chunk);
-    futures.push_back(Submit([&body, begin, end, enqueue_time]() {
+    futures.push_back(Submit([&body, &should_stop, begin, end,
+                              enqueue_time]() {
       // Queue wait: how long the chunk sat behind other work before a
       // worker picked it up — the sweep-level contention signal.
       CULINARY_OBS_OBSERVE(
@@ -89,7 +117,10 @@ void ThreadPool::ParallelFor(size_t count,
           (std::chrono::duration<double, std::micro>(
                std::chrono::steady_clock::now() - enqueue_time)
                .count()));
-      for (size_t i = begin; i < end; ++i) body(i);
+      for (size_t i = begin; i < end; ++i) {
+        if (should_stop()) return;
+        body(i);
+      }
     }));
   }
   // Drain every chunk before rethrowing so no task still references `body`.
@@ -102,6 +133,7 @@ void ThreadPool::ParallelFor(size_t count,
     }
   }
   if (first) std::rethrow_exception(first);
+  return stop_status;
 }
 
 }  // namespace culinary

@@ -10,7 +10,16 @@
 #include <thread>
 #include <vector>
 
+#include "common/status.h"
+
 namespace culinary {
+
+/// Cooperative stop predicate for `ThreadPool::ParallelFor`: called between
+/// iterations, it returns OK to continue or an error status (typically
+/// `kCancelled` / `kDeadlineExceeded`, see common/cancellation.h) to stop
+/// scheduling further iterations. Must be thread-safe and cheap — it runs
+/// once per iteration on every worker.
+using StopCheck = std::function<Status()>;
 
 /// A fixed-size worker pool for embarrassingly parallel analysis sweeps
 /// (per-region null models, per-ingredient contributions).
@@ -75,6 +84,16 @@ class ThreadPool {
   /// — queueing them behind the caller's own task and then blocking on
   /// their futures would deadlock once every worker waits this way.
   void ParallelFor(size_t count, const std::function<void(size_t)>& body);
+
+  /// Cooperative-stop variant: `stop_check` (when non-null) runs before
+  /// every iteration; the first non-OK status it returns stops every chunk
+  /// from starting further iterations, and that status is returned once all
+  /// in-flight iterations finish. Iterations therefore either run to
+  /// completion or never start — a stop never tears one — so stop latency
+  /// is bounded by the longest single iteration. Returns OK when all
+  /// `count` iterations ran.
+  Status ParallelFor(size_t count, const std::function<void(size_t)>& body,
+                     const StopCheck& stop_check);
 
   /// True when the calling thread is one of this pool's workers. Exposed so
   /// higher layers can make the same inline-fallback decision.

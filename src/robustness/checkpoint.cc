@@ -1,0 +1,257 @@
+#include "robustness/checkpoint.h"
+
+#include <cerrno>
+#include <cinttypes>
+#include <cstring>
+#include <string_view>
+#include <utility>
+
+#include "obs/obs.h"
+#include "robustness/fault_injector.h"
+
+namespace culinary::robustness {
+
+namespace {
+
+constexpr std::string_view kMagic = "culinary-ckpt";
+constexpr int kVersion = 1;
+
+uint64_t DoubleBits(double v) {
+  uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
+double BitsToDouble(uint64_t bits) {
+  double v = 0.0;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+/// Parses one lower-case hex field, advancing `*text` past it and one
+/// trailing space (if any). Returns false on anything but [0-9a-f]+.
+bool TakeHex(std::string_view* text, uint64_t* out) {
+  size_t i = 0;
+  uint64_t value = 0;
+  while (i < text->size()) {
+    char c = (*text)[i];
+    int digit;
+    if (c >= '0' && c <= '9') {
+      digit = c - '0';
+    } else if (c >= 'a' && c <= 'f') {
+      digit = c - 'a' + 10;
+    } else {
+      break;
+    }
+    if (i >= 16) return false;  // field wider than 64 bits
+    value = (value << 4) | static_cast<uint64_t>(digit);
+    ++i;
+  }
+  if (i == 0) return false;
+  text->remove_prefix(i);
+  if (!text->empty() && text->front() == ' ') text->remove_prefix(1);
+  *out = value;
+  return true;
+}
+
+std::string HexField(uint64_t v) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%" PRIx64, v);
+  return buf;
+}
+
+}  // namespace
+
+namespace internal {
+
+uint64_t CheckpointChecksum(std::string_view payload) {
+  uint64_t hash = 0xcbf29ce484222325ULL;  // FNV-1a offset basis
+  for (char c : payload) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 0x100000001b3ULL;  // FNV prime
+  }
+  return hash;
+}
+
+std::string CheckpointRecordPayload(uint64_t block,
+                                    const culinary::RunningStats& stats) {
+  std::string payload = "B ";
+  payload += HexField(block);
+  payload += ' ';
+  payload += HexField(static_cast<uint64_t>(stats.count()));
+  payload += ' ';
+  payload += HexField(DoubleBits(stats.mean()));
+  payload += ' ';
+  payload += HexField(DoubleBits(stats.m2()));
+  payload += ' ';
+  payload += HexField(DoubleBits(stats.min()));
+  payload += ' ';
+  payload += HexField(DoubleBits(stats.max()));
+  return payload;
+}
+
+}  // namespace internal
+
+culinary::Result<CheckpointContents> LoadBlockCheckpoint(
+    const std::string& path) {
+  CULINARY_OBS_SPAN(load_span, "checkpoint.load", "checkpoint");
+  CULINARY_RETURN_IF_ERROR(
+      FaultInjector::Global().Check(kFaultCheckpointRead));
+  FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) {
+    if (errno == ENOENT) {
+      return culinary::Status::NotFound("no checkpoint at " + path);
+    }
+    return culinary::Status::IOError("cannot open checkpoint " + path + ": " +
+                                     std::strerror(errno));
+  }
+  std::unique_ptr<FILE, int (*)(FILE*)> closer(file, &std::fclose);
+
+  // Read whole lines; records are short, so a fixed buffer is plenty and an
+  // over-long line simply fails its parse (treated as corruption).
+  char buf[512];
+  auto read_line = [&](std::string* line) -> bool {
+    if (std::fgets(buf, sizeof(buf), file) == nullptr) return false;
+    *line = buf;
+    while (!line->empty() &&
+           (line->back() == '\n' || line->back() == '\r')) {
+      line->pop_back();
+    }
+    return true;
+  };
+
+  CheckpointContents contents;
+  std::string line;
+  if (!read_line(&line)) {
+    return culinary::Status::ParseError("checkpoint " + path +
+                                        " is empty or unreadable");
+  }
+  {
+    std::string_view header = line;
+    uint64_t version = 0;
+    if (header.substr(0, kMagic.size()) != kMagic) {
+      return culinary::Status::ParseError("checkpoint " + path +
+                                          " has no recognizable header");
+    }
+    header.remove_prefix(kMagic.size());
+    if (!header.empty() && header.front() == ' ') header.remove_prefix(1);
+    if (!TakeHex(&header, &version) ||
+        version != static_cast<uint64_t>(kVersion) ||
+        !TakeHex(&header, &contents.signature) ||
+        !TakeHex(&header, &contents.num_blocks) || !header.empty()) {
+      return culinary::Status::ParseError("checkpoint " + path +
+                                          " header is corrupt");
+    }
+  }
+
+  // Records: keep every line that parses and verifies; stop at the first
+  // that does not (append-only file — nothing after a torn record can be
+  // trusted to be aligned) and count the remainder as dropped.
+  bool corrupt_tail = false;
+  while (read_line(&line)) {
+    if (corrupt_tail) {
+      ++contents.records_dropped;
+      continue;
+    }
+    std::string_view rest = line;
+    uint64_t block = 0, count = 0, mean = 0, m2 = 0, min = 0, max = 0,
+             crc = 0;
+    bool parsed = rest.substr(0, 2) == "B ";
+    if (parsed) rest.remove_prefix(2);
+    parsed = parsed && TakeHex(&rest, &block) && TakeHex(&rest, &count) &&
+             TakeHex(&rest, &mean) && TakeHex(&rest, &m2) &&
+             TakeHex(&rest, &min) && TakeHex(&rest, &max) &&
+             TakeHex(&rest, &crc) && rest.empty();
+    if (parsed) {
+      // The checksummed payload is everything before the final " <crc>".
+      const size_t last_space = line.find_last_of(' ');
+      std::string_view payload(line.data(), last_space);
+      parsed = internal::CheckpointChecksum(payload) == crc &&
+               block < contents.num_blocks;
+    }
+    if (!parsed) {
+      corrupt_tail = true;
+      ++contents.records_dropped;
+      continue;
+    }
+    CheckpointBlock record;
+    record.block = block;
+    record.stats = culinary::RunningStats::FromMoments(
+        static_cast<int64_t>(count), BitsToDouble(mean), BitsToDouble(m2),
+        BitsToDouble(min), BitsToDouble(max));
+    contents.blocks.push_back(std::move(record));
+  }
+  CULINARY_OBS_COUNT("checkpoint.blocks_loaded", contents.blocks.size());
+  if (contents.records_dropped > 0) {
+    CULINARY_OBS_COUNT("checkpoint.records_dropped",
+                       contents.records_dropped);
+  }
+  return contents;
+}
+
+BlockCheckpointWriter::BlockCheckpointWriter(std::string path, FILE* file)
+    : path_(std::move(path)),
+      file_(file),
+      mutex_(std::make_unique<std::mutex>()) {}
+
+culinary::Result<BlockCheckpointWriter> BlockCheckpointWriter::Create(
+    const std::string& path, uint64_t signature, uint64_t num_blocks) {
+  CULINARY_OBS_SPAN(create_span, "checkpoint.create", "checkpoint");
+  CULINARY_RETURN_IF_ERROR(
+      FaultInjector::Global().Check(kFaultCheckpointOpen));
+  FILE* file = std::fopen(path.c_str(), "wb");
+  if (file == nullptr) {
+    return culinary::Status::IOError("cannot create checkpoint " + path +
+                                     ": " + std::strerror(errno));
+  }
+  BlockCheckpointWriter writer(path, file);
+  std::string header(kMagic);
+  header += ' ';
+  header += HexField(static_cast<uint64_t>(kVersion));
+  header += ' ';
+  header += HexField(signature);
+  header += ' ';
+  header += HexField(num_blocks);
+  header += '\n';
+  if (std::fputs(header.c_str(), file) == EOF || std::fflush(file) != 0) {
+    return culinary::Status::IOError("cannot write checkpoint header to " +
+                                     path);
+  }
+  return writer;
+}
+
+culinary::Result<BlockCheckpointWriter> BlockCheckpointWriter::OpenForAppend(
+    const std::string& path, uint64_t /*signature*/,
+    uint64_t /*num_blocks*/) {
+  CULINARY_RETURN_IF_ERROR(
+      FaultInjector::Global().Check(kFaultCheckpointOpen));
+  FILE* file = std::fopen(path.c_str(), "ab");
+  if (file == nullptr) {
+    return culinary::Status::IOError("cannot reopen checkpoint " + path +
+                                     ": " + std::strerror(errno));
+  }
+  return BlockCheckpointWriter(path, file);
+}
+
+culinary::Status BlockCheckpointWriter::AppendBlock(
+    uint64_t block, const culinary::RunningStats& stats) {
+  CULINARY_RETURN_IF_ERROR(
+      FaultInjector::Global().Check(kFaultCheckpointAppend));
+  std::string payload = internal::CheckpointRecordPayload(block, stats);
+  std::string record = payload;
+  record += ' ';
+  record += HexField(internal::CheckpointChecksum(payload));
+  record += '\n';
+  std::lock_guard<std::mutex> lock(*mutex_);
+  if (std::fputs(record.c_str(), file_.get()) == EOF ||
+      std::fflush(file_.get()) != 0) {
+    return culinary::Status::IOError("cannot append block " +
+                                     std::to_string(block) +
+                                     " to checkpoint " + path_);
+  }
+  CULINARY_OBS_COUNT("checkpoint.blocks_appended", 1);
+  return culinary::Status::OK();
+}
+
+}  // namespace culinary::robustness

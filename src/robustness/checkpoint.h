@@ -1,0 +1,122 @@
+#ifndef CULINARYLAB_ROBUSTNESS_CHECKPOINT_H_
+#define CULINARYLAB_ROBUSTNESS_CHECKPOINT_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/statistics.h"
+#include "common/status.h"
+
+namespace culinary::robustness {
+
+/// Crash-safe, append-only checkpointing for block-structured sweeps.
+///
+/// A long sweep (the 100k-recipe null-model ensembles) is partitioned into
+/// fixed blocks, each reducing to one `RunningStats` partial. As blocks
+/// complete, their partials are appended — one checksummed text record per
+/// block, flushed immediately — to a checkpoint file. After a crash, a
+/// kill, or a deadline abort, a resumed run loads the file, keeps every
+/// intact record, and recomputes only the missing blocks.
+///
+/// Crash-safety model (the inverse of registry IO's write-temp-then-rename:
+/// that pattern makes a whole file atomic, this one makes each *record*
+/// atomic): the file is only ever appended to, every record carries an
+/// FNV-1a checksum of its payload, and the loader stops at the first record
+/// that fails to parse or verify. A record torn by a crash mid-append is
+/// therefore dropped — never half-applied — and everything before it is
+/// kept. Exact resume falls out of serializing doubles as raw IEEE-754 bit
+/// patterns: the restored partials are bit-identical to the saved ones.
+///
+/// File format (one record per line, all integers lower-case hex):
+///
+///   culinary-ckpt 1 <signature> <num_blocks>
+///   B <block> <count> <mean_bits> <m2_bits> <min_bits> <max_bits> <crc>
+///
+/// `signature` pins everything that determines a block's value (seed,
+/// ensemble size, block granularity, model, region); a resumed run whose
+/// signature differs must discard the file and restart clean.
+
+/// One restored block partial.
+struct CheckpointBlock {
+  uint64_t block = 0;
+  culinary::RunningStats stats;
+};
+
+/// Everything recovered from a checkpoint file.
+struct CheckpointContents {
+  uint64_t signature = 0;
+  uint64_t num_blocks = 0;
+  /// Intact records in file order. Duplicated block indices are possible
+  /// across crash/resume generations; records are bit-exact re-derivations
+  /// of the same value, so consumers may keep either.
+  std::vector<CheckpointBlock> blocks;
+  /// Records dropped because they were torn, corrupt, or out of range.
+  size_t records_dropped = 0;
+};
+
+/// Reads and verifies `path`. `kNotFound` when the file does not exist;
+/// `kParseError` when even the header is unusable (the caller should
+/// restart clean); OK — possibly with `records_dropped > 0` — otherwise.
+culinary::Result<CheckpointContents> LoadBlockCheckpoint(
+    const std::string& path);
+
+/// Appends verified block records to a checkpoint file. Thread-safe: block
+/// partials complete on pool workers concurrently, and each append is one
+/// locked write+flush.
+class BlockCheckpointWriter {
+ public:
+  /// Starts a fresh checkpoint at `path` (truncating any previous file) and
+  /// writes the header.
+  static culinary::Result<BlockCheckpointWriter> Create(
+      const std::string& path, uint64_t signature, uint64_t num_blocks);
+
+  /// Opens an existing checkpoint for appending. The caller is expected to
+  /// have validated the file via `LoadBlockCheckpoint` (matching signature
+  /// and block count) first.
+  static culinary::Result<BlockCheckpointWriter> OpenForAppend(
+      const std::string& path, uint64_t signature, uint64_t num_blocks);
+
+  BlockCheckpointWriter(BlockCheckpointWriter&&) noexcept = default;
+  BlockCheckpointWriter& operator=(BlockCheckpointWriter&&) noexcept = default;
+  BlockCheckpointWriter(const BlockCheckpointWriter&) = delete;
+  BlockCheckpointWriter& operator=(const BlockCheckpointWriter&) = delete;
+
+  /// Appends one completed block and flushes it to the OS, so the record
+  /// survives a process crash immediately after the call returns.
+  culinary::Status AppendBlock(uint64_t block,
+                               const culinary::RunningStats& stats);
+
+  const std::string& path() const { return path_; }
+
+ private:
+  BlockCheckpointWriter(std::string path, FILE* file);
+
+  struct FileCloser {
+    void operator()(FILE* f) const {
+      if (f != nullptr) std::fclose(f);
+    }
+  };
+
+  std::string path_;
+  std::unique_ptr<FILE, FileCloser> file_;
+  /// unique_ptr keeps the writer movable (Result<T> requires it).
+  std::unique_ptr<std::mutex> mutex_;
+};
+
+namespace internal {
+/// FNV-1a 64-bit over `payload`, the per-record checksum. Exposed so tests
+/// can forge records with valid / broken checksums.
+uint64_t CheckpointChecksum(std::string_view payload);
+/// Renders the payload part of a block record (everything before the crc).
+std::string CheckpointRecordPayload(uint64_t block,
+                                    const culinary::RunningStats& stats);
+}  // namespace internal
+
+}  // namespace culinary::robustness
+
+#endif  // CULINARYLAB_ROBUSTNESS_CHECKPOINT_H_

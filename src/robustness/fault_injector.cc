@@ -1,5 +1,7 @@
 #include "robustness/fault_injector.h"
 
+#include <chrono>
+#include <thread>
 #include <utility>
 
 namespace culinary::robustness {
@@ -25,6 +27,15 @@ FaultInjector::Plan FaultInjector::Plan::WithProbability(double p,
   plan.probability = p;
   plan.seed = seed;
   plan.code = code;
+  return plan;
+}
+
+FaultInjector::Plan FaultInjector::Plan::DelayMs(double ms) {
+  Plan plan;
+  plan.probability = 1.0;
+  plan.delay_ms = ms;
+  plan.code = StatusCode::kOk;
+  plan.message = "injected delay";
   return plan;
 }
 
@@ -59,28 +70,43 @@ culinary::Status FaultInjector::Check(std::string_view site) {
   if (!any_armed_.load(std::memory_order_acquire)) {
     return culinary::Status::OK();
   }
-  std::lock_guard<std::mutex> lock(mutex_);
-  auto it = sites_.find(site);
-  if (it == sites_.end()) return culinary::Status::OK();
-  ArmedSite& armed = it->second;
-  ++armed.calls;
-  const Plan& plan = armed.plan;
-  if (plan.max_failures >= 0 &&
-      armed.failures >= static_cast<size_t>(plan.max_failures)) {
-    return culinary::Status::OK();
+  double delay_ms = 0.0;
+  culinary::Status verdict;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = sites_.find(site);
+    if (it == sites_.end()) return culinary::Status::OK();
+    ArmedSite& armed = it->second;
+    ++armed.calls;
+    const Plan& plan = armed.plan;
+    if (plan.max_failures >= 0 &&
+        armed.failures >= static_cast<size_t>(plan.max_failures)) {
+      return culinary::Status::OK();
+    }
+    bool fire = false;
+    if (plan.fail_nth > 0 &&
+        armed.calls == static_cast<size_t>(plan.fail_nth)) {
+      fire = true;
+    }
+    if (!fire && plan.probability > 0.0 &&
+        armed.rng.NextBernoulli(plan.probability)) {
+      fire = true;
+    }
+    if (!fire) return culinary::Status::OK();
+    ++armed.failures;
+    delay_ms = plan.delay_ms;
+    if (plan.code != StatusCode::kOk) {
+      verdict = culinary::Status(
+          plan.code, plan.message + " (site: " + std::string(site) + ")");
+    }
   }
-  bool fire = false;
-  if (plan.fail_nth > 0 && armed.calls == static_cast<size_t>(plan.fail_nth)) {
-    fire = true;
+  // Latency injection happens after the lock is released: a hung site must
+  // not stall unrelated sites (or Arm/Disarm from the test harness).
+  if (delay_ms > 0.0) {
+    std::this_thread::sleep_for(
+        std::chrono::duration<double, std::milli>(delay_ms));
   }
-  if (!fire && plan.probability > 0.0 &&
-      armed.rng.NextBernoulli(plan.probability)) {
-    fire = true;
-  }
-  if (!fire) return culinary::Status::OK();
-  ++armed.failures;
-  return culinary::Status(plan.code,
-                          plan.message + " (site: " + std::string(site) + ")");
+  return verdict;
 }
 
 size_t FaultInjector::CallCount(std::string_view site) const {

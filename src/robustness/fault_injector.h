@@ -22,6 +22,13 @@ inline constexpr std::string_view kFaultCsvOpenWrite = "csv.open_write";
 inline constexpr std::string_view kFaultCsvWrite = "csv.write";
 inline constexpr std::string_view kFaultCsvRename = "csv.rename";
 inline constexpr std::string_view kFaultThreadPoolTask = "thread_pool.task";
+/// Checked at the top of every analysis-ensemble block (null models); arm a
+/// delay here to simulate a slow/hung sweep, or an error to kill it
+/// mid-ensemble and exercise checkpoint/resume.
+inline constexpr std::string_view kFaultAnalysisBlock = "analysis.block";
+inline constexpr std::string_view kFaultCheckpointOpen = "checkpoint.open";
+inline constexpr std::string_view kFaultCheckpointAppend = "checkpoint.append";
+inline constexpr std::string_view kFaultCheckpointRead = "checkpoint.read";
 
 /// A deterministic, seedable fault-injection registry.
 ///
@@ -46,10 +53,17 @@ class FaultInjector {
   ///   * `probability`: each call fails independently with probability p
   ///     (drawn from the plan's own deterministic stream).
   /// `max_failures` bounds total firings (-1 = unbounded).
+  ///
+  /// A firing first sleeps `delay_ms` (latency / hang injection — the sleep
+  /// happens outside the injector lock, so concurrent sites keep working),
+  /// then returns the plan's status. With `code == kOk` the firing is pure
+  /// latency: the call is delayed but succeeds, which is how a watchdog
+  /// test makes a sweep slow enough to cancel or deadline-kill mid-flight.
   struct Plan {
     int fail_nth = -1;
     double probability = 0.0;
     int max_failures = -1;
+    double delay_ms = 0.0;
     StatusCode code = StatusCode::kIOError;
     std::string message = "injected fault";
     uint64_t seed = 0x5eed5eedULL;
@@ -61,6 +75,9 @@ class FaultInjector {
     /// A plan that fails each call with probability `p` (stream `seed`).
     static Plan WithProbability(double p, uint64_t seed = 0x5eed5eedULL,
                                 StatusCode code = StatusCode::kIOError);
+    /// A plan that delays every call by `ms` milliseconds and then lets it
+    /// succeed (latency injection; a large `ms` simulates a hang).
+    static Plan DelayMs(double ms);
   };
 
   /// The process-wide injector used by library code.
@@ -83,7 +100,7 @@ class FaultInjector {
   /// Calls `Check(site)` seen since the site was armed (0 if not armed).
   size_t CallCount(std::string_view site) const;
 
-  /// Failures injected at `site` since it was armed.
+  /// Firings at `site` since it was armed (errors and pure delays alike).
   size_t FailureCount(std::string_view site) const;
 
  private:

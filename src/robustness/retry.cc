@@ -35,6 +35,15 @@ void NoteRetry(double backoff_ms) {
   CULINARY_OBS_OBSERVE("retry.backoff_ms", backoff_ms);
 }
 
+void NoteRetryBudgetExhausted() {
+  CULINARY_OBS_COUNT("retry.budget_exhausted", 1);
+}
+
+std::string RetryBudgetContext(int attempts) {
+  return "retry budget exhausted after " + std::to_string(attempts) +
+         " attempt(s)";
+}
+
 }  // namespace internal
 
 }  // namespace culinary::robustness

@@ -1,0 +1,334 @@
+// Interrupt/resume, cancellation and deadline behavior of the null-model
+// ensembles. The central property: a sweep killed partway (via an injected
+// fault at kFaultAnalysisBlock) and then resumed from its checkpoint must
+// produce bit-identical statistics to an uninterrupted run, at any thread
+// count.
+
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "analysis/null_models.h"
+#include "common/cancellation.h"
+#include "robustness/fault_injector.h"
+
+namespace culinary::analysis {
+namespace {
+
+using flavor::Category;
+using flavor::FlavorProfile;
+using flavor::FlavorRegistry;
+using flavor::IngredientId;
+using recipe::Cuisine;
+using recipe::Recipe;
+using recipe::Region;
+using robustness::FaultInjector;
+using robustness::ScopedFault;
+
+// 10240 recipes = 5 blocks of 2048: enough structure to interrupt at
+// interesting points, small enough to resample many times per test.
+constexpr size_t kEnsembleRecipes = 10240;
+constexpr size_t kExpectedBlocks = 5;
+
+class EnsembleResumeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    p1_ = reg_.AddIngredient("p1", Category::kVegetable,
+                             FlavorProfile({1, 2, 3, 4, 5}))
+              .value();
+    p2_ = reg_.AddIngredient("p2", Category::kVegetable,
+                             FlavorProfile({1, 2, 3, 4, 6}))
+              .value();
+    l1_ = reg_.AddIngredient("l1", Category::kMeat, FlavorProfile({10}))
+              .value();
+    l2_ = reg_.AddIngredient("l2", Category::kSpice, FlavorProfile({20}))
+              .value();
+    std::vector<Recipe> recipes;
+    for (int i = 0; i < 8; ++i) recipes.push_back(MakeRecipe({p1_, p2_}));
+    recipes.push_back(MakeRecipe({p1_, l1_, l2_}));
+    recipes.push_back(MakeRecipe({p2_, l1_}));
+    cuisine_ = std::make_unique<Cuisine>(Region::kItaly, std::move(recipes));
+    cache_ = std::make_unique<PairingCache>(reg_,
+                                            cuisine_->unique_ingredients());
+    prefix_ = ::testing::TempDir() + "/ensemble_" +
+              ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    std::remove(CheckpointFile().c_str());
+  }
+
+  void TearDown() override {
+    FaultInjector::Global().Reset();
+    std::remove(CheckpointFile().c_str());
+  }
+
+  Recipe MakeRecipe(std::vector<IngredientId> ids) {
+    Recipe r;
+    r.region = Region::kItaly;
+    r.ingredients = std::move(ids);
+    return r;
+  }
+
+  /// The file the library derives from the prefix for kRandom.
+  std::string CheckpointFile() const { return prefix_ + ".random.ckpt"; }
+
+  NullModelOptions BaseOptions(size_t threads) const {
+    NullModelOptions options;
+    options.num_recipes = kEnsembleRecipes;
+    options.seed = 0xF00D;
+    options.exec.num_threads = threads;
+    return options;
+  }
+
+  culinary::Result<FoodPairingResult> Run(const NullModelOptions& options) {
+    return CompareAgainstNullModel(*cache_, *cuisine_, reg_,
+                                   NullModelKind::kRandom, options);
+  }
+
+  /// The reference result: one uninterrupted, checkpoint-free serial run.
+  FoodPairingResult Reference() {
+    auto r = Run(BaseOptions(1));
+    EXPECT_TRUE(r.ok());
+    return r.value();
+  }
+
+  static void ExpectBitIdentical(const FoodPairingResult& a,
+                                 const FoodPairingResult& b) {
+    EXPECT_EQ(a.null_count, b.null_count);
+    EXPECT_EQ(a.null_mean, b.null_mean);
+    EXPECT_EQ(a.null_stddev, b.null_stddev);
+    EXPECT_EQ(a.real_mean, b.real_mean);
+    EXPECT_EQ(a.z_score, b.z_score);
+  }
+
+  FlavorRegistry reg_;
+  IngredientId p1_, p2_, l1_, l2_;
+  std::unique_ptr<Cuisine> cuisine_;
+  std::unique_ptr<PairingCache> cache_;
+  std::string prefix_;
+};
+
+TEST_F(EnsembleResumeTest, KindSlugs) {
+  EXPECT_EQ(NullModelKindSlug(NullModelKind::kRandom), "random");
+  EXPECT_EQ(NullModelKindSlug(NullModelKind::kFrequency), "frequency");
+  EXPECT_EQ(NullModelKindSlug(NullModelKind::kCategory), "category");
+  EXPECT_EQ(NullModelKindSlug(NullModelKind::kFrequencyCategory), "freqcat");
+}
+
+TEST_F(EnsembleResumeTest, CheckpointedRunMatchesPlainRun) {
+  FoodPairingResult reference = Reference();
+  NullModelOptions options = BaseOptions(2);
+  options.checkpoint_prefix = prefix_;
+  EnsembleProgress progress;
+  options.progress = &progress;
+  auto r = Run(options);
+  ASSERT_TRUE(r.ok());
+  ExpectBitIdentical(r.value(), reference);
+  EXPECT_EQ(progress.blocks_total, kExpectedBlocks);
+  EXPECT_EQ(progress.blocks_completed, kExpectedBlocks);
+  EXPECT_EQ(progress.blocks_resumed, 0u);
+}
+
+// The tentpole property test: abort partway at several block indices, then
+// resume, for 1, 2 and 8 threads — every combination must land on exactly
+// the reference bits.
+TEST_F(EnsembleResumeTest, InterruptThenResumeIsBitIdentical) {
+  FoodPairingResult reference = Reference();
+  for (size_t threads : {1u, 2u, 8u}) {
+    for (int abort_at : {1, 2, 4}) {
+      std::remove(CheckpointFile().c_str());
+      // --- interrupted run: the abort_at-th scheduled block dies ---------
+      {
+        ScopedFault fault(robustness::kFaultAnalysisBlock,
+                          FaultInjector::Plan::Nth(abort_at));
+        NullModelOptions options = BaseOptions(threads);
+        options.checkpoint_prefix = prefix_;
+        EnsembleProgress progress;
+        options.progress = &progress;
+        auto interrupted = Run(options);
+        ASSERT_FALSE(interrupted.ok())
+            << "threads=" << threads << " abort_at=" << abort_at;
+        EXPECT_EQ(interrupted.status().code(), culinary::StatusCode::kIOError);
+        // The partial result is well-defined: whatever completed merged in
+        // block order, and never more samples than blocks' worth.
+        EXPECT_LT(progress.blocks_completed, kExpectedBlocks);
+        EXPECT_LE(progress.partial_stats.count(),
+                  static_cast<int64_t>(progress.blocks_completed * 2048));
+      }
+      // --- resumed run: recomputes only the missing blocks ---------------
+      NullModelOptions options = BaseOptions(threads);
+      options.checkpoint_prefix = prefix_;
+      options.resume = true;
+      EnsembleProgress progress;
+      options.progress = &progress;
+      auto resumed = Run(options);
+      ASSERT_TRUE(resumed.ok())
+          << "threads=" << threads << " abort_at=" << abort_at << ": "
+          << resumed.status().ToString();
+      ExpectBitIdentical(resumed.value(), reference);
+      EXPECT_EQ(progress.blocks_completed, kExpectedBlocks);
+      EXPECT_FALSE(progress.checkpoint_discarded);
+    }
+  }
+}
+
+TEST_F(EnsembleResumeTest, FullCheckpointResumesEverythingAtAnyThreadCount) {
+  FoodPairingResult reference = Reference();
+  {
+    NullModelOptions options = BaseOptions(2);
+    options.checkpoint_prefix = prefix_;
+    ASSERT_TRUE(Run(options).ok());
+  }
+  // Resume at a different thread count: nothing left to compute, and the
+  // restored bits alone must reproduce the reference exactly.
+  NullModelOptions options = BaseOptions(8);
+  options.checkpoint_prefix = prefix_;
+  options.resume = true;
+  EnsembleProgress progress;
+  options.progress = &progress;
+  auto resumed = Run(options);
+  ASSERT_TRUE(resumed.ok());
+  ExpectBitIdentical(resumed.value(), reference);
+  EXPECT_EQ(progress.blocks_resumed, kExpectedBlocks);
+}
+
+TEST_F(EnsembleResumeTest, CorruptedCheckpointFallsBackToCleanRestart) {
+  FoodPairingResult reference = Reference();
+  {
+    std::ofstream out(CheckpointFile(), std::ios::trunc);
+    out << "total garbage, not even a header\n";
+  }
+  NullModelOptions options = BaseOptions(1);
+  options.checkpoint_prefix = prefix_;
+  options.resume = true;
+  EnsembleProgress progress;
+  options.progress = &progress;
+  auto r = Run(options);
+  ASSERT_TRUE(r.ok());
+  ExpectBitIdentical(r.value(), reference);
+  EXPECT_TRUE(progress.checkpoint_discarded);
+  EXPECT_FALSE(progress.checkpoint_note.empty());
+  EXPECT_EQ(progress.blocks_resumed, 0u);
+}
+
+TEST_F(EnsembleResumeTest, TruncatedCheckpointRecomputesTheTornTail) {
+  FoodPairingResult reference = Reference();
+  {
+    NullModelOptions options = BaseOptions(1);
+    options.checkpoint_prefix = prefix_;
+    ASSERT_TRUE(Run(options).ok());
+  }
+  // Chop the last record in half, as a crash mid-append would.
+  std::string content;
+  {
+    std::ifstream in(CheckpointFile());
+    std::stringstream ss;
+    ss << in.rdbuf();
+    content = ss.str();
+  }
+  ASSERT_GT(content.size(), 30u);
+  {
+    std::ofstream out(CheckpointFile(), std::ios::trunc);
+    out << content.substr(0, content.size() - 30);
+  }
+  NullModelOptions options = BaseOptions(1);
+  options.checkpoint_prefix = prefix_;
+  options.resume = true;
+  EnsembleProgress progress;
+  options.progress = &progress;
+  auto r = Run(options);
+  ASSERT_TRUE(r.ok());
+  ExpectBitIdentical(r.value(), reference);
+  EXPECT_FALSE(progress.checkpoint_discarded);
+  EXPECT_GT(progress.blocks_resumed, 0u);
+  EXPECT_LT(progress.blocks_resumed, kExpectedBlocks);
+  EXPECT_FALSE(progress.checkpoint_note.empty());
+}
+
+TEST_F(EnsembleResumeTest, SeedChangeDiscardsTheCheckpoint) {
+  {
+    NullModelOptions options = BaseOptions(1);
+    options.checkpoint_prefix = prefix_;
+    ASSERT_TRUE(Run(options).ok());
+  }
+  NullModelOptions options = BaseOptions(1);
+  options.seed = 0xBEEF;  // different ensemble: the old partials are wrong
+  options.checkpoint_prefix = prefix_;
+  options.resume = true;
+  EnsembleProgress progress;
+  options.progress = &progress;
+  auto r = Run(options);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(progress.checkpoint_discarded);
+  EXPECT_EQ(progress.blocks_resumed, 0u);
+}
+
+TEST_F(EnsembleResumeTest, PreCancelledSweepReturnsCancelled) {
+  culinary::CancellationSource source;
+  source.RequestCancel();
+  NullModelOptions options = BaseOptions(2);
+  options.exec.cancel = source.token();
+  EnsembleProgress progress;
+  options.progress = &progress;
+  auto r = Run(options);
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsCancelled());
+  EXPECT_EQ(progress.blocks_completed, 0u);
+}
+
+TEST_F(EnsembleResumeTest, ExpiredDeadlineReturnsDeadlineExceeded) {
+  NullModelOptions options = BaseOptions(2);
+  options.exec.deadline = culinary::Deadline::After(0.0);
+  EnsembleProgress progress;
+  options.progress = &progress;
+  auto r = Run(options);
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsDeadlineExceeded());
+  EXPECT_EQ(progress.blocks_completed, 0u);
+}
+
+TEST_F(EnsembleResumeTest, InjectedLatencyLetsTheDeadlineFireMidSweep) {
+  // Serial run, every block at least 20 ms: by the third stop check the
+  // 30 ms budget has passed, so the sweep must stop with at least one
+  // block completed and at least one skipped (5 blocks would need 100 ms).
+  ScopedFault fault(robustness::kFaultAnalysisBlock,
+                    FaultInjector::Plan::DelayMs(20.0));
+  NullModelOptions options = BaseOptions(1);
+  options.exec.deadline = culinary::Deadline::After(30.0);
+  EnsembleProgress progress;
+  options.progress = &progress;
+  auto r = Run(options);
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsDeadlineExceeded());
+  EXPECT_GE(progress.blocks_completed, 1u);
+  EXPECT_LT(progress.blocks_completed, kExpectedBlocks);
+}
+
+TEST_F(EnsembleResumeTest, DeadlineStopThenResumeCompletesBitIdentical) {
+  FoodPairingResult reference = Reference();
+  {
+    ScopedFault fault(robustness::kFaultAnalysisBlock,
+                      FaultInjector::Plan::DelayMs(20.0));
+    NullModelOptions options = BaseOptions(1);
+    options.exec.deadline = culinary::Deadline::After(30.0);
+    options.checkpoint_prefix = prefix_;
+    auto stopped = Run(options);
+    ASSERT_FALSE(stopped.ok());
+    EXPECT_TRUE(stopped.status().IsDeadlineExceeded());
+  }
+  NullModelOptions options = BaseOptions(4);
+  options.checkpoint_prefix = prefix_;
+  options.resume = true;
+  EnsembleProgress progress;
+  options.progress = &progress;
+  auto resumed = Run(options);
+  ASSERT_TRUE(resumed.ok());
+  ExpectBitIdentical(resumed.value(), reference);
+  EXPECT_GT(progress.blocks_resumed, 0u);
+}
+
+}  // namespace
+}  // namespace culinary::analysis

@@ -1,0 +1,229 @@
+#include "robustness/checkpoint.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "robustness/fault_injector.h"
+
+namespace culinary::robustness {
+namespace {
+
+class CheckpointTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = ::testing::TempDir() + "/ckpt_test_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name() +
+            ".ckpt";
+    std::remove(path_.c_str());
+  }
+  void TearDown() override {
+    FaultInjector::Global().Reset();
+    std::remove(path_.c_str());
+  }
+
+  std::string ReadFile() const {
+    std::ifstream in(path_);
+    std::stringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+  }
+
+  void WriteFile(const std::string& content) const {
+    std::ofstream out(path_, std::ios::trunc);
+    out << content;
+  }
+
+  /// A stats object with non-trivial moments (irrational-ish doubles, so a
+  /// lossy text round-trip would be caught).
+  static culinary::RunningStats SampleStats(uint64_t seed, int n) {
+    culinary::RunningStats stats;
+    culinary::Rng rng(seed);
+    for (int i = 0; i < n; ++i) stats.Add(rng.NextDouble(-3.0, 11.0));
+    return stats;
+  }
+
+  std::string path_;
+};
+
+TEST_F(CheckpointTest, MissingFileIsNotFound) {
+  auto loaded = LoadBlockCheckpoint(path_);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), culinary::StatusCode::kNotFound);
+}
+
+TEST_F(CheckpointTest, RoundTripIsBitExact) {
+  auto writer = BlockCheckpointWriter::Create(path_, 0xABCDEF, 4);
+  ASSERT_TRUE(writer.ok());
+  culinary::RunningStats a = SampleStats(1, 100);
+  culinary::RunningStats b = SampleStats(2, 7);
+  ASSERT_TRUE(writer->AppendBlock(0, a).ok());
+  ASSERT_TRUE(writer->AppendBlock(3, b).ok());
+
+  auto loaded = LoadBlockCheckpoint(path_);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->signature, 0xABCDEFu);
+  EXPECT_EQ(loaded->num_blocks, 4u);
+  EXPECT_EQ(loaded->records_dropped, 0u);
+  ASSERT_EQ(loaded->blocks.size(), 2u);
+  EXPECT_EQ(loaded->blocks[0].block, 0u);
+  EXPECT_EQ(loaded->blocks[1].block, 3u);
+  // Bit-exact: EXPECT_EQ on doubles, not near.
+  EXPECT_EQ(loaded->blocks[0].stats.count(), a.count());
+  EXPECT_EQ(loaded->blocks[0].stats.mean(), a.mean());
+  EXPECT_EQ(loaded->blocks[0].stats.m2(), a.m2());
+  EXPECT_EQ(loaded->blocks[0].stats.min(), a.min());
+  EXPECT_EQ(loaded->blocks[0].stats.max(), a.max());
+  EXPECT_EQ(loaded->blocks[1].stats.mean(), b.mean());
+  EXPECT_EQ(loaded->blocks[1].stats.stddev(), b.stddev());
+}
+
+TEST_F(CheckpointTest, EmptyStatsRoundTrip) {
+  auto writer = BlockCheckpointWriter::Create(path_, 1, 1);
+  ASSERT_TRUE(writer.ok());
+  ASSERT_TRUE(writer->AppendBlock(0, culinary::RunningStats()).ok());
+  auto loaded = LoadBlockCheckpoint(path_);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded->blocks.size(), 1u);
+  EXPECT_EQ(loaded->blocks[0].stats.count(), 0);
+}
+
+TEST_F(CheckpointTest, TornTailRecordIsDroppedNotFatal) {
+  auto writer = BlockCheckpointWriter::Create(path_, 7, 8);
+  ASSERT_TRUE(writer.ok());
+  ASSERT_TRUE(writer->AppendBlock(0, SampleStats(3, 10)).ok());
+  ASSERT_TRUE(writer->AppendBlock(1, SampleStats(4, 10)).ok());
+  // Simulate a crash mid-append: truncate the last record in half.
+  std::string content = ReadFile();
+  ASSERT_GT(content.size(), 30u);
+  WriteFile(content.substr(0, content.size() - 30));
+
+  auto loaded = LoadBlockCheckpoint(path_);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded->blocks.size(), 1u);
+  EXPECT_EQ(loaded->blocks[0].block, 0u);
+  EXPECT_EQ(loaded->records_dropped, 1u);
+}
+
+TEST_F(CheckpointTest, CorruptChecksumDropsTheRecordAndTail) {
+  auto writer = BlockCheckpointWriter::Create(path_, 7, 8);
+  ASSERT_TRUE(writer.ok());
+  ASSERT_TRUE(writer->AppendBlock(0, SampleStats(5, 10)).ok());
+  ASSERT_TRUE(writer->AppendBlock(1, SampleStats(6, 10)).ok());
+  ASSERT_TRUE(writer->AppendBlock(2, SampleStats(7, 10)).ok());
+  // Flip one payload character of the *middle* record; its checksum no
+  // longer verifies, and the loader must not trust anything after it.
+  std::string content = ReadFile();
+  size_t first_rec = content.find("\nB ");
+  size_t second_rec = content.find("\nB ", first_rec + 1);
+  ASSERT_NE(second_rec, std::string::npos);
+  content[second_rec + 3] = content[second_rec + 3] == '0' ? '1' : '0';
+  WriteFile(content);
+
+  auto loaded = LoadBlockCheckpoint(path_);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded->blocks.size(), 1u);
+  EXPECT_EQ(loaded->blocks[0].block, 0u);
+  EXPECT_EQ(loaded->records_dropped, 2u);
+}
+
+TEST_F(CheckpointTest, GarbageHeaderIsParseError) {
+  WriteFile("not a checkpoint at all\n");
+  auto loaded = LoadBlockCheckpoint(path_);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), culinary::StatusCode::kParseError);
+}
+
+TEST_F(CheckpointTest, EmptyFileIsParseError) {
+  WriteFile("");
+  auto loaded = LoadBlockCheckpoint(path_);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), culinary::StatusCode::kParseError);
+}
+
+TEST_F(CheckpointTest, OutOfRangeBlockIndexIsDropped) {
+  auto writer = BlockCheckpointWriter::Create(path_, 7, 2);
+  ASSERT_TRUE(writer.ok());
+  // A record for block 9 of a 2-block file (e.g. stale shell edits): its
+  // checksum verifies but the index is impossible.
+  ASSERT_TRUE(writer->AppendBlock(9, SampleStats(8, 10)).ok());
+  auto loaded = LoadBlockCheckpoint(path_);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_TRUE(loaded->blocks.empty());
+  EXPECT_EQ(loaded->records_dropped, 1u);
+}
+
+TEST_F(CheckpointTest, AppendAfterReopenKeepsEarlierRecords) {
+  {
+    auto writer = BlockCheckpointWriter::Create(path_, 42, 3);
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE(writer->AppendBlock(0, SampleStats(9, 10)).ok());
+  }
+  {
+    auto writer = BlockCheckpointWriter::OpenForAppend(path_, 42, 3);
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE(writer->AppendBlock(1, SampleStats(10, 10)).ok());
+  }
+  auto loaded = LoadBlockCheckpoint(path_);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded->blocks.size(), 2u);
+  EXPECT_EQ(loaded->blocks[0].block, 0u);
+  EXPECT_EQ(loaded->blocks[1].block, 1u);
+}
+
+TEST_F(CheckpointTest, CreateTruncatesPreviousFile) {
+  {
+    auto writer = BlockCheckpointWriter::Create(path_, 1, 3);
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE(writer->AppendBlock(0, SampleStats(11, 10)).ok());
+  }
+  {
+    auto writer = BlockCheckpointWriter::Create(path_, 2, 3);
+    ASSERT_TRUE(writer.ok());
+  }
+  auto loaded = LoadBlockCheckpoint(path_);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->signature, 2u);
+  EXPECT_TRUE(loaded->blocks.empty());
+}
+
+TEST_F(CheckpointTest, ChecksumDetectsSingleCharacterDamage) {
+  std::string payload =
+      internal::CheckpointRecordPayload(5, SampleStats(12, 20));
+  uint64_t crc = internal::CheckpointChecksum(payload);
+  std::string damaged = payload;
+  damaged[damaged.size() / 2] ^= 1;
+  EXPECT_NE(internal::CheckpointChecksum(damaged), crc);
+}
+
+TEST_F(CheckpointTest, InjectedOpenFaultSurfaces) {
+  ScopedFault fault(kFaultCheckpointOpen, FaultInjector::Plan::Always());
+  auto writer = BlockCheckpointWriter::Create(path_, 1, 1);
+  EXPECT_FALSE(writer.ok());
+  EXPECT_EQ(writer.status().code(), culinary::StatusCode::kIOError);
+}
+
+TEST_F(CheckpointTest, InjectedAppendFaultSurfaces) {
+  auto writer = BlockCheckpointWriter::Create(path_, 1, 1);
+  ASSERT_TRUE(writer.ok());
+  ScopedFault fault(kFaultCheckpointAppend, FaultInjector::Plan::Always());
+  EXPECT_FALSE(writer->AppendBlock(0, SampleStats(13, 5)).ok());
+}
+
+TEST_F(CheckpointTest, InjectedReadFaultSurfaces) {
+  {
+    auto writer = BlockCheckpointWriter::Create(path_, 1, 1);
+    ASSERT_TRUE(writer.ok());
+  }
+  ScopedFault fault(kFaultCheckpointRead, FaultInjector::Plan::Always());
+  auto loaded = LoadBlockCheckpoint(path_);
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), culinary::StatusCode::kIOError);
+}
+
+}  // namespace
+}  // namespace culinary::robustness

@@ -1,5 +1,6 @@
 #include "robustness/fault_injector.h"
 
+#include <chrono>
 #include <string>
 
 #include <gtest/gtest.h>
@@ -44,6 +45,45 @@ TEST_F(FaultInjectorTest, MaxFailuresBoundsAlwaysPlan) {
   EXPECT_FALSE(FaultInjector::Global().Check(kFaultCsvOpen).ok());
   EXPECT_TRUE(FaultInjector::Global().Check(kFaultCsvOpen).ok());
   EXPECT_EQ(FaultInjector::Global().FailureCount(kFaultCsvOpen), 2u);
+}
+
+TEST_F(FaultInjectorTest, DelayPlanSleepsThenSucceeds) {
+  ScopedFault fault(kFaultAnalysisBlock, FaultInjector::Plan::DelayMs(15.0));
+  auto start = std::chrono::steady_clock::now();
+  culinary::Status status = FaultInjector::Global().Check(kFaultAnalysisBlock);
+  double elapsed_ms = std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - start)
+                          .count();
+  EXPECT_TRUE(status.ok());  // pure latency: the call is delayed, not failed
+  EXPECT_GE(elapsed_ms, 14.0);
+  // Pure-latency firings still count as firings for the accounting.
+  EXPECT_EQ(FaultInjector::Global().FailureCount(kFaultAnalysisBlock), 1u);
+}
+
+TEST_F(FaultInjectorTest, DelayedErrorPlanSleepsAndFails) {
+  FaultInjector::Plan plan = FaultInjector::Plan::Always();
+  plan.delay_ms = 10.0;
+  ScopedFault fault(kFaultCsvRead, plan);
+  auto start = std::chrono::steady_clock::now();
+  culinary::Status status = FaultInjector::Global().Check(kFaultCsvRead);
+  double elapsed_ms = std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - start)
+                          .count();
+  EXPECT_EQ(status.code(), StatusCode::kIOError);
+  EXPECT_GE(elapsed_ms, 9.0);
+}
+
+TEST_F(FaultInjectorTest, DelayPlanDoesNotFireWhenDisarmed) {
+  {
+    ScopedFault fault(kFaultAnalysisBlock,
+                      FaultInjector::Plan::DelayMs(10.0));
+  }
+  auto start = std::chrono::steady_clock::now();
+  EXPECT_TRUE(FaultInjector::Global().Check(kFaultAnalysisBlock).ok());
+  double elapsed_ms = std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - start)
+                          .count();
+  EXPECT_LT(elapsed_ms, 5.0);
 }
 
 TEST_F(FaultInjectorTest, ProbabilityStreamIsDeterministic) {

@@ -132,6 +132,111 @@ TEST(RetryTest, RetryResultRecoversFromInjectedFault) {
   EXPECT_EQ(stats.attempts, 2);
 }
 
+TEST(RetryTest, TotalBudgetStopsBeforeSleepingPastIt) {
+  FakeSleeper sleeper;
+  RetryStats stats;
+  RetryPolicy policy;
+  policy.max_attempts = 10;
+  policy.base_backoff_ms = 10.0;
+  policy.max_backoff_ms = 10.0;
+  policy.jitter_fraction = 0.0;  // deterministic 10 ms per retry
+  policy.total_budget_ms = 25.0;  // room for two sleeps, not three
+  int calls = 0;
+  culinary::Status status = RetryStatus(
+      policy,
+      [&] {
+        ++calls;
+        return culinary::Status::IOError("always down");
+      },
+      &stats, sleeper.fn());
+  EXPECT_EQ(status.code(), StatusCode::kIOError);
+  EXPECT_EQ(calls, 3);  // initial try + the two affordable retries
+  EXPECT_EQ(sleeper.slept_ms.size(), 2u);
+  EXPECT_DOUBLE_EQ(stats.total_backoff_ms, 20.0);
+  // The last error carries the exhaustion context, so the caller can tell
+  // "gave up on time budget" from "gave up on attempts".
+  EXPECT_NE(status.ToString().find("retry budget exhausted"),
+            std::string::npos);
+}
+
+TEST(RetryTest, ZeroBudgetMeansNoSleepAtAll) {
+  FakeSleeper sleeper;
+  RetryPolicy policy = RetryPolicy::Default();
+  policy.total_budget_ms = 0.0;
+  int calls = 0;
+  culinary::Status status = RetryStatus(
+      policy,
+      [&] {
+        ++calls;
+        return culinary::Status::IOError("down");
+      },
+      nullptr, sleeper.fn());
+  EXPECT_EQ(status.code(), StatusCode::kIOError);
+  EXPECT_EQ(calls, 1);
+  EXPECT_TRUE(sleeper.slept_ms.empty());
+}
+
+TEST(RetryTest, ExpiredDeadlineStopsRetrying) {
+  FakeSleeper sleeper;
+  RetryPolicy policy = RetryPolicy::Default();
+  policy.deadline = culinary::Deadline::After(0.0);
+  int calls = 0;
+  culinary::Status status = RetryStatus(
+      policy,
+      [&] {
+        ++calls;
+        return culinary::Status::IOError("down");
+      },
+      nullptr, sleeper.fn());
+  EXPECT_EQ(status.code(), StatusCode::kIOError);
+  EXPECT_EQ(calls, 1);  // the attempt runs; the retry sleep is refused
+  EXPECT_TRUE(sleeper.slept_ms.empty());
+  EXPECT_NE(status.ToString().find("retry budget exhausted"),
+            std::string::npos);
+}
+
+TEST(RetryTest, RetryResultHonorsTotalBudget) {
+  FakeSleeper sleeper;
+  RetryStats stats;
+  RetryPolicy policy;
+  policy.max_attempts = 10;
+  policy.base_backoff_ms = 10.0;
+  policy.max_backoff_ms = 10.0;
+  policy.jitter_fraction = 0.0;
+  policy.total_budget_ms = 15.0;  // one affordable sleep
+  int calls = 0;
+  auto result = RetryResult(
+      policy,
+      [&]() -> culinary::Result<int> {
+        ++calls;
+        return culinary::Status::IOError("down");
+      },
+      &stats, sleeper.fn());
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(calls, 2);
+  EXPECT_EQ(sleeper.slept_ms.size(), 1u);
+  EXPECT_NE(result.status().ToString().find("retry budget exhausted"),
+            std::string::npos);
+}
+
+TEST(RetryTest, GenerousBudgetDoesNotInterfere) {
+  FakeSleeper sleeper;
+  RetryPolicy policy = RetryPolicy::Default();
+  policy.total_budget_ms = 1e9;
+  policy.deadline = culinary::Deadline::After(1e9);
+  int calls = 0;
+  culinary::Status status = RetryStatus(
+      policy,
+      [&] {
+        ++calls;
+        return calls < 3 ? culinary::Status::IOError("flaky")
+                         : culinary::Status::OK();
+      },
+      nullptr, sleeper.fn());
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(calls, 3);
+}
+
 TEST(RetryTest, RetryResultExhaustsAgainstPermanentFault) {
   ScopedFault fault(kFaultCsvRead, FaultInjector::Plan::Always());
   FakeSleeper sleeper;

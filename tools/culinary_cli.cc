@@ -25,6 +25,14 @@
 // recorded spans in chrome://tracing format. Either flag switches the
 // observability layer on for the run; results are unchanged (the layer only
 // records, it never steers execution).
+//
+// Lifecycle (pairing / analyze): --deadline-ms=N bounds the whole command's
+// analysis wall time — an ensemble that overruns stops at the next block
+// boundary and the command exits 3. --checkpoint=PREFIX persists completed
+// ensemble blocks to <PREFIX>.<region>.<model>.ckpt as they finish;
+// --resume restores them on the next run and recomputes only what's
+// missing, with bit-identical results. Unknown --flags are an error (exit
+// 2), so a typo'd --resume can no longer silently run from scratch.
 
 #include <algorithm>
 #include <cstdio>
@@ -37,6 +45,7 @@
 #include "analysis/null_models.h"
 #include "analysis/pairing.h"
 #include "analysis/report.h"
+#include "common/cancellation.h"
 #include "common/string_util.h"
 #include "analysis/similarity.h"
 #include "datagen/world.h"
@@ -73,7 +82,16 @@ struct GlobalArgs {
   size_t probes = 10;
   std::string metrics_out;
   std::string trace_out;
+  double deadline_ms = 0.0;  ///< 0 = no deadline
+  std::string checkpoint;
+  bool resume = false;
+  /// The command-wide deadline, started once at process start so every
+  /// sweep in the command shares one budget (resolved in main()).
+  culinary::Deadline deadline;
   std::vector<std::string> positional;
+  /// Arguments that looked like flags (`--...`) but matched nothing; any
+  /// entry here is a usage error (exit 2).
+  std::vector<std::string> unknown_flags;
 };
 
 GlobalArgs ParseArgs(int argc, char** argv, int first) {
@@ -108,6 +126,14 @@ GlobalArgs ParseArgs(int argc, char** argv, int first) {
       args.metrics_out = value("--metrics-out=");
     } else if (StartsWith(a, "--trace-out=")) {
       args.trace_out = value("--trace-out=");
+    } else if (StartsWith(a, "--deadline-ms=")) {
+      args.deadline_ms = std::strtod(value("--deadline-ms=").c_str(), nullptr);
+    } else if (StartsWith(a, "--checkpoint=")) {
+      args.checkpoint = value("--checkpoint=");
+    } else if (a == "--resume") {
+      args.resume = true;
+    } else if (StartsWith(a, "--")) {
+      args.unknown_flags.push_back(a);
     } else {
       args.positional.push_back(a);
     }
@@ -163,19 +189,68 @@ int CmdExport(const GlobalArgs& args) {
   return 0;
 }
 
+/// Builds the null-model options for one cuisine from the command line:
+/// shared deadline, plus a per-region checkpoint prefix (the library adds
+/// the per-model suffix) so one --checkpoint=PREFIX serves a whole
+/// multi-region run without collisions.
+analysis::NullModelOptions EnsembleOptions(const GlobalArgs& args,
+                                           const recipe::Cuisine& cuisine,
+                                           analysis::EnsembleProgress* progress) {
+  analysis::NullModelOptions options;
+  options.num_recipes = args.null_recipes;
+  options.exec.deadline = args.deadline;
+  options.progress = progress;
+  if (!args.checkpoint.empty()) {
+    options.checkpoint_prefix =
+        args.checkpoint + "." + std::string(recipe::RegionCode(cuisine.region()));
+    options.resume = args.resume;
+  }
+  return options;
+}
+
+/// Reports a stopped / failed ensemble, including how far it got (so the
+/// operator knows a --resume is worthwhile). Exit code 3 for lifecycle
+/// stops (deadline/cancel) — retryable with --resume — versus 1 for real
+/// analysis failures.
+int ReportEnsembleFailure(const culinary::Status& status,
+                          const analysis::EnsembleProgress& progress) {
+  std::fprintf(stderr, "analysis failed: %s\n", status.ToString().c_str());
+  if (progress.blocks_total > 0) {
+    std::fprintf(stderr, "  progress: %zu/%zu blocks completed (%zu resumed)\n",
+                 progress.blocks_completed, progress.blocks_total,
+                 progress.blocks_resumed);
+  }
+  if (!progress.checkpoint_note.empty()) {
+    std::fprintf(stderr, "  note: %s\n", progress.checkpoint_note.c_str());
+  }
+  return status.IsDeadlineExceeded() || status.IsCancelled() ? 3 : 1;
+}
+
+void ReportCheckpointUse(const GlobalArgs& args,
+                         const analysis::EnsembleProgress& progress) {
+  if (args.checkpoint.empty()) return;
+  if (!progress.checkpoint_note.empty()) {
+    std::fprintf(stderr, "note: %s\n", progress.checkpoint_note.c_str());
+  }
+  if (progress.blocks_resumed > 0) {
+    std::fprintf(stderr, "resumed %zu of %zu blocks from checkpoint\n",
+                 progress.blocks_resumed, progress.blocks_total);
+  }
+}
+
 int PairingReport(const datagen::SyntheticWorld& world,
-                  const recipe::Cuisine& cuisine, size_t null_recipes) {
+                  const recipe::Cuisine& cuisine, const GlobalArgs& args) {
   analysis::PairingCache cache(world.registry(),
                                cuisine.unique_ingredients());
-  analysis::NullModelOptions options;
-  options.num_recipes = null_recipes;
+  analysis::EnsembleProgress progress;
+  analysis::NullModelOptions options = EnsembleOptions(args, cuisine,
+                                                       &progress);
   auto results = analysis::CompareAgainstAllModels(cache, cuisine,
                                                    world.registry(), options);
   if (!results.ok()) {
-    std::fprintf(stderr, "analysis failed: %s\n",
-                 results.status().ToString().c_str());
-    return 1;
+    return ReportEnsembleFailure(results.status(), progress);
   }
+  ReportCheckpointUse(args, progress);
   std::printf("%-22s N_s(real)=%.3f\n",
               std::string(recipe::RegionName(cuisine.region())).c_str(),
               (*results)[0].real_mean);
@@ -195,13 +270,12 @@ int CmdPairing(const GlobalArgs& args) {
       std::fprintf(stderr, "unknown region '%s'\n", args.region.c_str());
       return 1;
     }
-    return PairingReport(world, world.db().CuisineFor(*region),
-                         args.null_recipes);
+    return PairingReport(world, world.db().CuisineFor(*region), args);
   }
   for (int i = 0; i < recipe::kNumRegions; ++i) {
     int rc = PairingReport(world,
                            world.db().CuisineFor(recipe::AllRegions()[i]),
-                           args.null_recipes);
+                           args);
     if (rc != 0) return rc;
   }
   return 0;
@@ -296,19 +370,19 @@ int AnalyzeAgainstRegistry(const GlobalArgs& args,
   }
   std::printf("loaded %zu recipes (%zu rows skipped) from %s\n",
               db->num_recipes(), skipped, args.recipes_file.c_str());
-  analysis::NullModelOptions options;
-  options.num_recipes = args.null_recipes;
   for (int i = 0; i < recipe::kNumRegions; ++i) {
     recipe::Cuisine cuisine = db->CuisineFor(recipe::AllRegions()[i]);
     if (cuisine.num_recipes() < 10) continue;  // too small to analyze
     analysis::PairingCache cache(registry, cuisine.unique_ingredients());
+    analysis::EnsembleProgress progress;
+    analysis::NullModelOptions options = EnsembleOptions(args, cuisine,
+                                                         &progress);
     auto results =
         analysis::CompareAgainstAllModels(cache, cuisine, registry, options);
     if (!results.ok()) {
-      std::fprintf(stderr, "analysis failed: %s\n",
-                   results.status().ToString().c_str());
-      return 1;
+      return ReportEnsembleFailure(results.status(), progress);
     }
+    ReportCheckpointUse(args, progress);
     std::printf("%-22s N_s(real)=%.3f\n",
                 std::string(recipe::RegionName(cuisine.region())).c_str(),
                 (*results)[0].real_mean);
@@ -410,7 +484,9 @@ void PrintUsage() {
       "similar|authentic|analyze>"
       " [options]\n"
       "global options: --small --seed=N --null-recipes=N"
-      " --metrics-out=FILE --trace-out=FILE\n");
+      " --metrics-out=FILE --trace-out=FILE\n"
+      "lifecycle (pairing/analyze): --deadline-ms=N --checkpoint=PREFIX"
+      " --resume\n");
 }
 
 /// Writes the metrics / trace dumps requested on the command line. Failures
@@ -465,6 +541,19 @@ int main(int argc, char** argv) {
   }
   std::string cmd = argv[1];
   GlobalArgs args = ParseArgs(argc, argv, 2);
+  if (!args.unknown_flags.empty()) {
+    for (const std::string& flag : args.unknown_flags) {
+      std::fprintf(stderr, "error: unknown flag '%s'\n", flag.c_str());
+    }
+    PrintUsage();
+    return 2;
+  }
+  // The deadline clock starts here, once: world generation, cache builds
+  // and all four ensembles share the one wall-clock budget the operator
+  // asked for, rather than each sweep restarting it.
+  if (args.deadline_ms > 0.0) {
+    args.deadline = culinary::Deadline::After(args.deadline_ms);
+  }
   if (!args.metrics_out.empty() || !args.trace_out.empty()) {
     obs::SetEnabled(true);
   }
