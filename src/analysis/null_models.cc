@@ -223,19 +223,56 @@ constexpr size_t kNullRecipesPerBlock = 2048;
 
 namespace {
 
+/// Content digest of the data the ensemble actually samples and scores:
+/// every recipe's ingredient-id list (the size distribution, usage
+/// frequencies and category slots all derive from it) and, for each
+/// ingredient the cuisine uses, its registry category and flavor-profile
+/// molecule ids (categories steer the category models; profiles determine
+/// every pairing score). A different synthetic-world seed, a different
+/// recipes file, or an edited registry all change this digest.
+uint64_t EnsembleInputsDigest(const recipe::Cuisine& cuisine,
+                              const flavor::FlavorRegistry& registry) {
+  uint64_t digest = culinary::DeriveStreamSeed(0x696e707574ULL,  // "input"
+                                               cuisine.num_recipes());
+  for (const recipe::Recipe& r : cuisine.recipes()) {
+    digest = culinary::DeriveStreamSeed(digest, r.ingredients.size());
+    for (flavor::IngredientId id : r.ingredients) {
+      digest = culinary::DeriveStreamSeed(digest, static_cast<uint64_t>(id));
+    }
+  }
+  for (flavor::IngredientId id : cuisine.unique_ingredients()) {
+    digest = culinary::DeriveStreamSeed(digest, static_cast<uint64_t>(id));
+    const flavor::Ingredient* ing = registry.Find(id);
+    if (ing == nullptr) continue;  // Make() rejects such cuisines anyway
+    digest = culinary::DeriveStreamSeed(digest,
+                                        static_cast<uint64_t>(ing->category));
+    digest = culinary::DeriveStreamSeed(digest, ing->profile.size());
+    for (flavor::MoleculeId mol : ing->profile.ids()) {
+      digest = culinary::DeriveStreamSeed(digest, static_cast<uint64_t>(mol));
+    }
+  }
+  return digest;
+}
+
 /// The signature pinning everything that determines a block's value: a run
 /// may only resume from a checkpoint written with the same seed, ensemble
-/// size, block granularity, model kind and region — otherwise the restored
-/// partials would be partials of a *different* ensemble. Chained through
-/// `DeriveStreamSeed` so every ingredient permutes the whole word.
+/// size, block granularity, model kind, region and — via
+/// `EnsembleInputsDigest` — the same cuisine and registry content;
+/// otherwise the restored partials would be partials of a *different*
+/// ensemble. Chained through `DeriveStreamSeed` so every ingredient
+/// permutes the whole word.
 uint64_t EnsembleSignature(const NullModelOptions& options, NullModelKind kind,
-                           recipe::Region region) {
+                           const recipe::Cuisine& cuisine,
+                           const flavor::FlavorRegistry& registry) {
   uint64_t sig =
       culinary::DeriveStreamSeed(options.seed, 0x636b7074ULL);  // "ckpt"
   sig = culinary::DeriveStreamSeed(sig, options.num_recipes);
   sig = culinary::DeriveStreamSeed(sig, kNullRecipesPerBlock);
   sig = culinary::DeriveStreamSeed(sig, static_cast<uint64_t>(kind));
-  sig = culinary::DeriveStreamSeed(sig, static_cast<uint64_t>(region));
+  sig = culinary::DeriveStreamSeed(sig,
+                                   static_cast<uint64_t>(cuisine.region()));
+  sig = culinary::DeriveStreamSeed(sig,
+                                   EnsembleInputsDigest(cuisine, registry));
   return sig;
 }
 
@@ -245,16 +282,26 @@ std::string CheckpointPath(const NullModelOptions& options,
          ".ckpt";
 }
 
-/// Restores completed blocks from `path` into `partials` / `have`. Returns
-/// true when the existing file is valid for this run (the writer should
-/// append to it); false when there was no usable file (the writer should
-/// create a fresh one). Discard reasons and dropped-record counts are
-/// reported through `progress`.
-bool RestoreFromCheckpoint(const std::string& path, uint64_t signature,
-                           size_t num_blocks,
-                           std::vector<culinary::RunningStats>& partials,
-                           std::vector<char>& have,
-                           EnsembleProgress& progress) {
+/// What the writer should do with the checkpoint file after a restore
+/// attempt.
+enum class RestoreOutcome {
+  /// Nothing restored (missing, corrupt, or mismatched file): start fresh.
+  kNoCheckpoint,
+  /// Every record intact; appending in place is safe.
+  kCleanAppend,
+  /// Records restored, but the file ends in a torn/corrupt tail. The file
+  /// must be rewritten from the restored records: appending after the torn
+  /// line would glue the first new record onto it, making that record and
+  /// everything after it unloadable on the *next* resume.
+  kRewrite,
+};
+
+/// Restores completed blocks from `path` into `partials` / `have`. Discard
+/// reasons and dropped-record counts are reported through `progress`.
+RestoreOutcome RestoreFromCheckpoint(
+    const std::string& path, uint64_t signature, size_t num_blocks,
+    std::vector<culinary::RunningStats>& partials, std::vector<char>& have,
+    EnsembleProgress& progress) {
   culinary::Result<robustness::CheckpointContents> loaded =
       robustness::LoadBlockCheckpoint(path);
   if (!loaded.ok()) {
@@ -265,7 +312,7 @@ bool RestoreFromCheckpoint(const std::string& path, uint64_t signature,
       progress.checkpoint_note =
           "checkpoint discarded: " + loaded.status().message();
     }
-    return false;
+    return RestoreOutcome::kNoCheckpoint;
   }
   const robustness::CheckpointContents& contents = loaded.value();
   if (contents.signature != signature ||
@@ -273,8 +320,8 @@ bool RestoreFromCheckpoint(const std::string& path, uint64_t signature,
     progress.checkpoint_discarded = true;
     progress.checkpoint_note =
         "checkpoint discarded: signature/shape mismatch (different seed, "
-        "ensemble size, or model)";
-    return false;
+        "ensemble size, model, or input data)";
+    return RestoreOutcome::kNoCheckpoint;
   }
   for (const robustness::CheckpointBlock& record : contents.blocks) {
     const size_t block = static_cast<size_t>(record.block);
@@ -288,8 +335,9 @@ bool RestoreFromCheckpoint(const std::string& path, uint64_t signature,
         "checkpoint tail dropped: " +
         std::to_string(contents.records_dropped) +
         " torn/corrupt record(s); those blocks will be recomputed";
+    return RestoreOutcome::kRewrite;
   }
-  return true;
+  return RestoreOutcome::kCleanAppend;
 }
 
 /// Shared implementation: `real_mean` is the cuisine's N̄_s, computed once
@@ -336,25 +384,37 @@ culinary::Result<FoodPairingResult> CompareWithRealMean(
   std::optional<robustness::BlockCheckpointWriter> writer;
   if (!options.checkpoint_prefix.empty()) {
     const std::string path = CheckpointPath(options, kind);
-    const uint64_t signature = EnsembleSignature(options, kind,
-                                                 cuisine.region());
-    bool append = false;
+    const uint64_t signature =
+        EnsembleSignature(options, kind, cuisine, registry);
+    RestoreOutcome restored = RestoreOutcome::kNoCheckpoint;
     if (options.resume) {
-      append = RestoreFromCheckpoint(path, signature, num_blocks, partials,
-                                     have, progress);
+      restored = RestoreFromCheckpoint(path, signature, num_blocks, partials,
+                                       have, progress);
       if (progress.blocks_resumed > 0) {
         CULINARY_OBS_COUNT("sweep.blocks_resumed", progress.blocks_resumed);
       }
     }
     culinary::Result<robustness::BlockCheckpointWriter> opened =
-        append ? robustness::BlockCheckpointWriter::OpenForAppend(
-                     path, signature, num_blocks)
-               : robustness::BlockCheckpointWriter::Create(path, signature,
-                                                           num_blocks);
+        restored == RestoreOutcome::kCleanAppend
+            ? robustness::BlockCheckpointWriter::OpenForAppend(path, signature,
+                                                               num_blocks)
+            : robustness::BlockCheckpointWriter::Create(path, signature,
+                                                        num_blocks);
     if (!opened.ok()) {
       return opened.status().WithContext("opening ensemble checkpoint");
     }
     writer.emplace(std::move(opened).value());
+    if (restored == RestoreOutcome::kRewrite) {
+      // Re-persist the restored blocks into the fresh file, so the blocks
+      // this run appends stay loadable on the next resume.
+      for (size_t block = 0; block < num_blocks; ++block) {
+        if (!have[block]) continue;
+        culinary::Status appended = writer->AppendBlock(block, partials[block]);
+        if (!appended.ok()) {
+          return appended.WithContext("rewriting restored checkpoint blocks");
+        }
+      }
+    }
   }
 
   // Blocks still to compute (all of them on a fresh run). Scheduling over
@@ -478,11 +538,17 @@ culinary::Result<std::vector<FoodPairingResult>> CompareAgainstAllModels(
   // differ between them.
   const double real_mean = CuisineMeanPairing(cache, cuisine, options.exec);
   // Each per-kind sweep resets its progress struct, so the four runs report
-  // into a local one and the caller's (if any) sees the aggregate: totals
-  // summed, notes concatenated — including the partially-run kind when a
-  // sweep stops early, so the caller can report how far the command got.
+  // into a local one and the caller's (if any) sees the aggregate:
+  // completed/resumed counts summed, notes concatenated — including the
+  // partially-run kind when a sweep stops early, so the caller can report
+  // how far the command got.
   EnsembleProgress* caller_progress = options.progress;
   EnsembleProgress aggregate;
+  // All four kinds share one block count, so the command-wide denominator
+  // is known up front and stays stable however early the loop stops.
+  aggregate.blocks_total =
+      4 * ((options.num_recipes + kNullRecipesPerBlock - 1) /
+           kNullRecipesPerBlock);
   NullModelOptions per_kind = options;
   std::vector<FoodPairingResult> results;
   for (NullModelKind kind :
@@ -493,7 +559,6 @@ culinary::Result<std::vector<FoodPairingResult>> CompareAgainstAllModels(
     auto r = CompareWithRealMean(cache, cuisine, registry, kind, per_kind,
                                  real_mean);
     if (caller_progress) {
-      aggregate.blocks_total += kind_progress.blocks_total;
       aggregate.blocks_completed += kind_progress.blocks_completed;
       aggregate.blocks_resumed += kind_progress.blocks_resumed;
       aggregate.checkpoint_discarded |= kind_progress.checkpoint_discarded;
@@ -504,6 +569,9 @@ culinary::Result<std::vector<FoodPairingResult>> CompareAgainstAllModels(
         aggregate.checkpoint_note += std::string(NullModelKindSlug(kind)) +
                                      ": " + kind_progress.checkpoint_note;
       }
+      // The most recent kind's accumulator, not a merge: the four kinds
+      // sample distinct null distributions, so merging their stats would
+      // describe no ensemble at all.
       aggregate.partial_stats = kind_progress.partial_stats;
       *caller_progress = aggregate;
     }

@@ -57,7 +57,10 @@ struct EnsembleProgress {
   /// discard reason); empty when nothing noteworthy happened.
   std::string checkpoint_note;
   /// Null-score accumulator over the completed blocks, merged in block
-  /// order.
+  /// order. For `CompareAgainstAllModels` this is the most recently run
+  /// kind's accumulator (the kinds sample distinct null distributions and
+  /// are never merged), while the block counters aggregate across all four
+  /// kinds with `blocks_total` fixed up front at 4x the per-kind count.
   culinary::RunningStats partial_stats;
 };
 
@@ -89,10 +92,14 @@ struct NullModelOptions {
   /// existing checkpoint and recompute only the missing ones. Because each
   /// block owns a SplitMix-derived RNG stream and partials round-trip the
   /// file bit-exactly, a resumed ensemble is bit-identical to an
-  /// uninterrupted one at any thread count. A missing, mismatched
-  /// (different seed/size/model — detected via the signature) or corrupt
-  /// checkpoint degrades to a clean restart, reported via
-  /// `EnsembleProgress`.
+  /// uninterrupted one at any thread count. A missing, mismatched or
+  /// corrupt checkpoint degrades to a clean restart, reported via
+  /// `EnsembleProgress`. Mismatch detection covers everything that
+  /// determines a block's value: the header signature pins seed, ensemble
+  /// size, block granularity, model kind, region, *and* a content digest
+  /// of the cuisine's recipes and the registry data they reference — so a
+  /// checkpoint from a different synthetic world, recipes file, or edited
+  /// registry is discarded rather than resumed.
   bool resume = false;
 
   /// Optional out-param: filled with the sweep's progress and partial

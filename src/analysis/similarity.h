@@ -42,11 +42,14 @@ double CuisineSimilarityScore(const recipe::Cuisine& a,
 /// triangle fans out across `options.num_threads` workers; the result is
 /// identical for any thread count.
 ///
-/// When `options.cancel` / `options.deadline` stops the sweep, the matrix
-/// comes back partially filled (each row either complete or all-zero) and
+/// When `options.cancel` / `options.deadline` stops the sweep,
 /// `*sweep_status` — when provided — carries `kCancelled` /
-/// `kDeadlineExceeded`; it is OK otherwise. Passing nullptr keeps the
-/// historical fire-and-forget signature.
+/// `kDeadlineExceeded` (it is OK otherwise) and the matrix comes back
+/// partially filled: a completed row is fully written, but because row i
+/// also mirrors its values into column i of the rows below it, a *skipped*
+/// row holds a mix of mirrored values and zeros. Callers must treat the
+/// whole matrix as unusable unless the sweep status is OK. Passing nullptr
+/// keeps the historical fire-and-forget signature.
 std::vector<std::vector<double>> CuisineSimilarityMatrix(
     const std::vector<recipe::Cuisine>& cuisines, CuisineSimilarity metric,
     const AnalysisOptions& options = {},

@@ -226,10 +226,24 @@ culinary::Result<BlockCheckpointWriter> BlockCheckpointWriter::OpenForAppend(
     uint64_t /*num_blocks*/) {
   CULINARY_RETURN_IF_ERROR(
       FaultInjector::Global().Check(kFaultCheckpointOpen));
-  FILE* file = std::fopen(path.c_str(), "ab");
+  // "a+" so the existing tail can be inspected; writes still always append.
+  FILE* file = std::fopen(path.c_str(), "a+b");
   if (file == nullptr) {
     return culinary::Status::IOError("cannot reopen checkpoint " + path +
                                      ": " + std::strerror(errno));
+  }
+  // A crash can leave an intact final record with no trailing newline (the
+  // '\n' is the last byte of each append). Terminate it, or the first
+  // record this writer appends would concatenate onto the old line and
+  // neither would load.
+  if (std::fseek(file, -1, SEEK_END) == 0) {
+    int last = std::fgetc(file);
+    if (last != '\n' && last != EOF &&
+        (std::fputc('\n', file) == EOF || std::fflush(file) != 0)) {
+      std::fclose(file);
+      return culinary::Status::IOError(
+          "cannot terminate checkpoint tail in " + path);
+    }
   }
   return BlockCheckpointWriter(path, file);
 }

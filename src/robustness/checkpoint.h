@@ -38,7 +38,8 @@ namespace culinary::robustness {
 ///   B <block> <count> <mean_bits> <m2_bits> <min_bits> <max_bits> <crc>
 ///
 /// `signature` pins everything that determines a block's value (seed,
-/// ensemble size, block granularity, model, region); a resumed run whose
+/// ensemble size, block granularity, model, region, and a content digest
+/// of the input data the blocks are computed from); a resumed run whose
 /// signature differs must discard the file and restart clean.
 
 /// One restored block partial.
@@ -77,7 +78,13 @@ class BlockCheckpointWriter {
 
   /// Opens an existing checkpoint for appending. The caller is expected to
   /// have validated the file via `LoadBlockCheckpoint` (matching signature
-  /// and block count) first.
+  /// and block count) first — and, when that load reported
+  /// `records_dropped > 0`, to rewrite a fresh file (`Create` plus
+  /// re-appending the restored records) instead of appending here:
+  /// anything appended after a torn tail is unloadable on the next resume.
+  /// As a last line of defense against an intact final record that lost
+  /// only its trailing newline, opening writes a '\n' terminator when the
+  /// file does not already end with one.
   static culinary::Result<BlockCheckpointWriter> OpenForAppend(
       const std::string& path, uint64_t signature, uint64_t num_blocks);
 

@@ -15,6 +15,7 @@
 
 #include "analysis/null_models.h"
 #include "common/cancellation.h"
+#include "robustness/checkpoint.h"
 #include "robustness/fault_injector.h"
 
 namespace culinary::analysis {
@@ -246,6 +247,131 @@ TEST_F(EnsembleResumeTest, TruncatedCheckpointRecomputesTheTornTail) {
   EXPECT_GT(progress.blocks_resumed, 0u);
   EXPECT_LT(progress.blocks_resumed, kExpectedBlocks);
   EXPECT_FALSE(progress.checkpoint_note.empty());
+  // The resumed run must leave a *clean* file behind — restored records
+  // rewritten, not appended after the torn tail — so every block is
+  // loadable by yet another resume.
+  auto reloaded = robustness::LoadBlockCheckpoint(CheckpointFile());
+  ASSERT_TRUE(reloaded.ok());
+  EXPECT_EQ(reloaded->records_dropped, 0u);
+  EXPECT_EQ(reloaded->blocks.size(), kExpectedBlocks);
+}
+
+// The durability chain the torn-tail rewrite exists for: tear the tail,
+// resume a run that itself dies partway (so it appends new blocks after
+// the restore), then resume again. The blocks appended by the middle run
+// must be recoverable — without the rewrite they sit after the torn line
+// and the final resume silently recomputes them.
+TEST_F(EnsembleResumeTest, BlocksAppendedAfterTornTailSurviveTheNextResume) {
+  FoodPairingResult reference = Reference();
+  {
+    NullModelOptions options = BaseOptions(1);
+    options.checkpoint_prefix = prefix_;
+    ASSERT_TRUE(Run(options).ok());
+  }
+  // Keep the header and two intact records, then a torn half of the third:
+  // blocks 0-1 restorable, blocks 2-4 pending.
+  std::string content;
+  {
+    std::ifstream in(CheckpointFile());
+    std::stringstream ss;
+    ss << in.rdbuf();
+    content = ss.str();
+  }
+  size_t pos = 0;
+  for (int newlines = 0; newlines < 3; ++newlines) {
+    size_t nl = content.find('\n', pos);
+    ASSERT_NE(nl, std::string::npos);
+    pos = nl + 1;
+  }
+  ASSERT_GT(content.size(), pos + 10);
+  {
+    std::ofstream out(CheckpointFile(), std::ios::trunc);
+    out << content.substr(0, pos + 10);  // torn third record, no newline
+  }
+  {
+    // Serial resume that computes exactly one new block (block 2, appended
+    // to the checkpoint) before the injected fault kills it.
+    ScopedFault fault(robustness::kFaultAnalysisBlock,
+                      FaultInjector::Plan::Nth(2));
+    NullModelOptions options = BaseOptions(1);
+    options.checkpoint_prefix = prefix_;
+    options.resume = true;
+    auto interrupted = Run(options);
+    ASSERT_FALSE(interrupted.ok());
+  }
+  NullModelOptions options = BaseOptions(1);
+  options.checkpoint_prefix = prefix_;
+  options.resume = true;
+  EnsembleProgress progress;
+  options.progress = &progress;
+  auto resumed = Run(options);
+  ASSERT_TRUE(resumed.ok());
+  ExpectBitIdentical(resumed.value(), reference);
+  // 2 restored originally + 1 appended by the interrupted resume = 3.
+  EXPECT_EQ(progress.blocks_resumed, 3u);
+  EXPECT_TRUE(progress.checkpoint_note.empty());
+}
+
+TEST_F(EnsembleResumeTest, CuisineContentChangeDiscardsTheCheckpoint) {
+  {
+    NullModelOptions options = BaseOptions(1);
+    options.checkpoint_prefix = prefix_;
+    ASSERT_TRUE(Run(options).ok());
+  }
+  // Same seed, same region, same ensemble size — but one extra recipe, as
+  // when the CLI's --seed / --small / --recipes-file changes the world the
+  // blocks are computed from. The input digest must invalidate the file.
+  std::vector<Recipe> recipes;
+  for (int i = 0; i < 8; ++i) recipes.push_back(MakeRecipe({p1_, p2_}));
+  recipes.push_back(MakeRecipe({p1_, l1_, l2_}));
+  recipes.push_back(MakeRecipe({p2_, l1_}));
+  recipes.push_back(MakeRecipe({p1_, p2_, l2_}));
+  Cuisine changed(Region::kItaly, std::move(recipes));
+  PairingCache cache(reg_, changed.unique_ingredients());
+  NullModelOptions options = BaseOptions(1);
+  options.checkpoint_prefix = prefix_;
+  options.resume = true;
+  EnsembleProgress progress;
+  options.progress = &progress;
+  auto r = CompareAgainstNullModel(cache, changed, reg_,
+                                   NullModelKind::kRandom, options);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(progress.checkpoint_discarded);
+  EXPECT_EQ(progress.blocks_resumed, 0u);
+}
+
+TEST_F(EnsembleResumeTest, RegistryContentChangeDiscardsTheCheckpoint) {
+  {
+    NullModelOptions options = BaseOptions(1);
+    options.checkpoint_prefix = prefix_;
+    ASSERT_TRUE(Run(options).ok());
+  }
+  // Same ingredient ids and cuisine, but p1's flavor profile differs — so
+  // every pairing score (and hence every block partial) would too.
+  FlavorRegistry changed;
+  ASSERT_TRUE(changed
+                  .AddIngredient("p1", Category::kVegetable,
+                                 FlavorProfile({1, 2, 3, 4, 5, 99}))
+                  .ok());
+  ASSERT_TRUE(changed
+                  .AddIngredient("p2", Category::kVegetable,
+                                 FlavorProfile({1, 2, 3, 4, 6}))
+                  .ok());
+  ASSERT_TRUE(
+      changed.AddIngredient("l1", Category::kMeat, FlavorProfile({10})).ok());
+  ASSERT_TRUE(
+      changed.AddIngredient("l2", Category::kSpice, FlavorProfile({20})).ok());
+  PairingCache cache(changed, cuisine_->unique_ingredients());
+  NullModelOptions options = BaseOptions(1);
+  options.checkpoint_prefix = prefix_;
+  options.resume = true;
+  EnsembleProgress progress;
+  options.progress = &progress;
+  auto r = CompareAgainstNullModel(cache, *cuisine_, changed,
+                                   NullModelKind::kRandom, options);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(progress.checkpoint_discarded);
+  EXPECT_EQ(progress.blocks_resumed, 0u);
 }
 
 TEST_F(EnsembleResumeTest, SeedChangeDiscardsTheCheckpoint) {

@@ -175,6 +175,30 @@ TEST_F(CheckpointTest, AppendAfterReopenKeepsEarlierRecords) {
   EXPECT_EQ(loaded->blocks[1].block, 1u);
 }
 
+TEST_F(CheckpointTest, AppendAfterMissingTrailingNewlineStartsAFreshLine) {
+  {
+    auto writer = BlockCheckpointWriter::Create(path_, 42, 3);
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE(writer->AppendBlock(0, SampleStats(14, 10)).ok());
+  }
+  // A crash can flush everything but the record's trailing '\n'. Reopening
+  // must terminate that line, not glue the next record onto it.
+  std::string content = ReadFile();
+  ASSERT_EQ(content.back(), '\n');
+  WriteFile(content.substr(0, content.size() - 1));
+  {
+    auto writer = BlockCheckpointWriter::OpenForAppend(path_, 42, 3);
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE(writer->AppendBlock(1, SampleStats(15, 10)).ok());
+  }
+  auto loaded = LoadBlockCheckpoint(path_);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->records_dropped, 0u);
+  ASSERT_EQ(loaded->blocks.size(), 2u);
+  EXPECT_EQ(loaded->blocks[0].block, 0u);
+  EXPECT_EQ(loaded->blocks[1].block, 1u);
+}
+
 TEST_F(CheckpointTest, CreateTruncatesPreviousFile) {
   {
     auto writer = BlockCheckpointWriter::Create(path_, 1, 3);

@@ -31,14 +31,18 @@
 // boundary and the command exits 3. --checkpoint=PREFIX persists completed
 // ensemble blocks to <PREFIX>.<region>.<model>.ckpt as they finish;
 // --resume restores them on the next run and recomputes only what's
-// missing, with bit-identical results. Unknown --flags are an error (exit
-// 2), so a typo'd --resume can no longer silently run from scratch.
+// missing, with bit-identical results. Unknown --flags and malformed
+// numeric flag values are errors (exit 2), so a typo'd --resume can no
+// longer silently run from scratch and --deadline-ms=abc can no longer
+// silently mean "no deadline".
 
 #include <algorithm>
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <type_traits>
 #include <vector>
 
 #include "analysis/fingerprint.h"
@@ -92,7 +96,36 @@ struct GlobalArgs {
   /// Arguments that looked like flags (`--...`) but matched nothing; any
   /// entry here is a usage error (exit 2).
   std::vector<std::string> unknown_flags;
+  /// Known flags whose value failed strict numeric parsing; a usage error
+  /// (exit 2) just like an unknown flag — a typo'd value must not silently
+  /// become 0 ("no deadline", "seed 0", ...).
+  std::vector<std::string> bad_values;
 };
+
+/// Strict decimal parse of a non-negative integer: the whole value must be
+/// consumed, no strtoull "0 on garbage" fallback.
+bool ParseUint64Value(const std::string& text, uint64_t* out) {
+  if (text.empty() || text[0] == '-') return false;
+  char* end = nullptr;
+  errno = 0;
+  uint64_t parsed = std::strtoull(text.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0' || errno == ERANGE) return false;
+  *out = parsed;
+  return true;
+}
+
+/// Strict parse of a non-negative double (rejects trailing garbage, NaN,
+/// negatives, and overflow).
+bool ParseNonNegativeDoubleValue(const std::string& text, double* out) {
+  if (text.empty()) return false;
+  char* end = nullptr;
+  errno = 0;
+  double parsed = std::strtod(text.c_str(), &end);
+  if (end == nullptr || *end != '\0' || errno == ERANGE) return false;
+  if (!(parsed >= 0.0)) return false;
+  *out = parsed;
+  return true;
+}
 
 GlobalArgs ParseArgs(int argc, char** argv, int first) {
   GlobalArgs args;
@@ -101,13 +134,20 @@ GlobalArgs ParseArgs(int argc, char** argv, int first) {
     auto value = [&](const char* prefix) {
       return a.substr(strlen(prefix));
     };
+    auto take_uint = [&](const char* prefix, auto* out) {
+      uint64_t parsed = 0;
+      if (ParseUint64Value(value(prefix), &parsed)) {
+        *out = static_cast<std::remove_pointer_t<decltype(out)>>(parsed);
+      } else {
+        args.bad_values.push_back(a);
+      }
+    };
     if (a == "--small") {
       args.small = true;
     } else if (StartsWith(a, "--seed=")) {
-      args.seed = std::strtoull(value("--seed=").c_str(), nullptr, 10);
+      take_uint("--seed=", &args.seed);
     } else if (StartsWith(a, "--null-recipes=")) {
-      args.null_recipes = static_cast<size_t>(
-          std::strtoull(value("--null-recipes=").c_str(), nullptr, 10));
+      take_uint("--null-recipes=", &args.null_recipes);
     } else if (StartsWith(a, "--region=")) {
       args.region = value("--region=");
     } else if (StartsWith(a, "--out=")) {
@@ -117,17 +157,18 @@ GlobalArgs ParseArgs(int argc, char** argv, int first) {
     } else if (StartsWith(a, "--registry=")) {
       args.registry_prefix = value("--registry=");
     } else if (StartsWith(a, "--top=")) {
-      args.top = static_cast<size_t>(
-          std::strtoull(value("--top=").c_str(), nullptr, 10));
+      take_uint("--top=", &args.top);
     } else if (StartsWith(a, "--probes=")) {
-      args.probes = static_cast<size_t>(
-          std::strtoull(value("--probes=").c_str(), nullptr, 10));
+      take_uint("--probes=", &args.probes);
     } else if (StartsWith(a, "--metrics-out=")) {
       args.metrics_out = value("--metrics-out=");
     } else if (StartsWith(a, "--trace-out=")) {
       args.trace_out = value("--trace-out=");
     } else if (StartsWith(a, "--deadline-ms=")) {
-      args.deadline_ms = std::strtod(value("--deadline-ms=").c_str(), nullptr);
+      if (!ParseNonNegativeDoubleValue(value("--deadline-ms="),
+                                       &args.deadline_ms)) {
+        args.bad_values.push_back(a);
+      }
     } else if (StartsWith(a, "--checkpoint=")) {
       args.checkpoint = value("--checkpoint=");
     } else if (a == "--resume") {
@@ -541,9 +582,12 @@ int main(int argc, char** argv) {
   }
   std::string cmd = argv[1];
   GlobalArgs args = ParseArgs(argc, argv, 2);
-  if (!args.unknown_flags.empty()) {
+  if (!args.unknown_flags.empty() || !args.bad_values.empty()) {
     for (const std::string& flag : args.unknown_flags) {
       std::fprintf(stderr, "error: unknown flag '%s'\n", flag.c_str());
+    }
+    for (const std::string& flag : args.bad_values) {
+      std::fprintf(stderr, "error: bad numeric value in '%s'\n", flag.c_str());
     }
     PrintUsage();
     return 2;
