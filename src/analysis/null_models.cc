@@ -394,27 +394,34 @@ culinary::Result<FoodPairingResult> CompareWithRealMean(
         CULINARY_OBS_COUNT("sweep.blocks_resumed", progress.blocks_resumed);
       }
     }
+    if (restored == RestoreOutcome::kRewrite) {
+      // Atomically publish the restored blocks as a fresh file, then append
+      // to it. The atomic publish (vs re-appending into a truncating
+      // `Create`) means a crash mid-rewrite keeps the previous checkpoint —
+      // with its torn tail, but every intact record — instead of losing the
+      // restored records altogether.
+      std::vector<robustness::CheckpointBlock> restored_blocks;
+      for (size_t block = 0; block < num_blocks; ++block) {
+        if (!have[block]) continue;
+        restored_blocks.push_back(
+            robustness::CheckpointBlock{block, partials[block]});
+      }
+      culinary::Status published = robustness::WriteCheckpointFile(
+          path, signature, num_blocks, restored_blocks);
+      if (!published.ok()) {
+        return published.WithContext("rewriting restored checkpoint blocks");
+      }
+    }
     culinary::Result<robustness::BlockCheckpointWriter> opened =
-        restored == RestoreOutcome::kCleanAppend
-            ? robustness::BlockCheckpointWriter::OpenForAppend(path, signature,
-                                                               num_blocks)
-            : robustness::BlockCheckpointWriter::Create(path, signature,
-                                                        num_blocks);
+        restored == RestoreOutcome::kNoCheckpoint
+            ? robustness::BlockCheckpointWriter::Create(path, signature,
+                                                        num_blocks)
+            : robustness::BlockCheckpointWriter::OpenForAppend(path, signature,
+                                                               num_blocks);
     if (!opened.ok()) {
       return opened.status().WithContext("opening ensemble checkpoint");
     }
     writer.emplace(std::move(opened).value());
-    if (restored == RestoreOutcome::kRewrite) {
-      // Re-persist the restored blocks into the fresh file, so the blocks
-      // this run appends stay loadable on the next resume.
-      for (size_t block = 0; block < num_blocks; ++block) {
-        if (!have[block]) continue;
-        culinary::Status appended = writer->AppendBlock(block, partials[block]);
-        if (!appended.ok()) {
-          return appended.WithContext("rewriting restored checkpoint blocks");
-        }
-      }
-    }
   }
 
   // Blocks still to compute (all of them on a fresh run). Scheduling over

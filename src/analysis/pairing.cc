@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstring>
 
 #include "obs/obs.h"
 
@@ -135,6 +136,54 @@ PairingCache::PairingCache(const flavor::FlavorRegistry& registry,
                        (std::chrono::duration<double, std::milli>(
                             std::chrono::steady_clock::now() - build_start)
                             .count()));
+}
+
+culinary::Result<PairingCache> PairingCache::FromPrecomputed(
+    const flavor::FlavorRegistry& registry,
+    std::vector<flavor::IngredientId> ingredients, const uint16_t* triangle,
+    size_t triangle_len) {
+  const size_t n = ingredients.size();
+  const size_t expected = n < 2 ? 0 : n * (n - 1) / 2;
+  if (triangle_len != expected) {
+    return culinary::Status::InvalidArgument(
+        "precomputed triangle has " + std::to_string(triangle_len) +
+        " entries; " + std::to_string(n) + " ingredients need " +
+        std::to_string(expected));
+  }
+  if (expected > 0 && triangle == nullptr) {
+    return culinary::Status::InvalidArgument(
+        "precomputed triangle is null for a non-empty cache");
+  }
+  PairingCache cache;
+  cache.ids_ = std::move(ingredients);
+  cache.dense_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    cache.dense_[cache.ids_[i]] = static_cast<int>(i);
+  }
+  static const flavor::FlavorProfile kEmpty;
+  cache.bitsets_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    const flavor::Ingredient* ing = registry.Find(cache.ids_[i]);
+    cache.bitsets_.push_back(flavor::CompoundBitset::FromProfile(
+        ing != nullptr ? ing->profile : kEmpty, registry.num_molecules()));
+  }
+  cache.tri_.resize(expected);
+  if (expected > 0) {
+    std::memcpy(cache.tri_.data(), triangle, expected * sizeof(uint16_t));
+  }
+  // Mirror the triangle into the full symmetric matrix — sequential stores,
+  // no popcounts.
+  cache.full_.assign(n * n, 0);
+  size_t k = 0;
+  for (size_t a = 0; a + 1 < n; ++a) {
+    for (size_t b = a + 1; b < n; ++b, ++k) {
+      const uint16_t shared = cache.tri_[k];
+      cache.full_[a * n + b] = shared;
+      cache.full_[b * n + a] = shared;
+    }
+  }
+  CULINARY_OBS_COUNT("pairing.cache_rehydrated", 1);
+  return cache;
 }
 
 int PairingCache::DenseIndex(flavor::IngredientId id) const {

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "analysis/options.h"
+#include "common/result.h"
 #include "common/statistics.h"
 #include "flavor/bitset.h"
 #include "flavor/registry.h"
@@ -35,6 +36,20 @@ class PairingCache {
   PairingCache(const flavor::FlavorRegistry& registry,
                const std::vector<flavor::IngredientId>& ingredients,
                const AnalysisOptions& options = {});
+
+  /// Rehydrates a cache from a previously computed strict upper triangle
+  /// (the snapshot load path): the triangle and its mirror are memcpy'd
+  /// rather than recomputed, and only the per-ingredient bitsets are
+  /// repacked from `registry` — O(n) packing instead of O(n²) popcounts.
+  /// `triangle_len` must equal n(n-1)/2 for n = `ingredients.size()`
+  /// (kInvalidArgument otherwise). The caller vouches that the triangle was
+  /// computed over the same ids/registry; a mismatch silently yields wrong
+  /// scores, which is why snapshot loads gate this behind checksums and the
+  /// world-inputs digest.
+  static culinary::Result<PairingCache> FromPrecomputed(
+      const flavor::FlavorRegistry& registry,
+      std::vector<flavor::IngredientId> ingredients, const uint16_t* triangle,
+      size_t triangle_len);
 
   /// Number of ingredients covered.
   size_t num_ingredients() const { return ids_.size(); }
@@ -88,6 +103,8 @@ class PairingCache {
   const std::vector<uint16_t>& shared_matrix() const { return full_; }
 
  private:
+  PairingCache() = default;
+
   size_t TriIndex(size_t a, size_t b) const {
     // Requires a < b < n. Row-major strict upper triangle:
     // offset(a) = a*n - a(a+1)/2, index = offset(a) + (b - a - 1).

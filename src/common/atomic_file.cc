@@ -1,0 +1,125 @@
+#include "common/atomic_file.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+namespace culinary {
+namespace {
+
+Status RunHook(const AtomicWriteOptions& options, std::string_view step) {
+  if (!options.fault_hook) return Status::OK();
+  return options.fault_hook(step);
+}
+
+std::string ErrnoMessage(const std::string& what, const std::string& path) {
+  return what + " " + path + ": " + std::strerror(errno);
+}
+
+std::string ParentDirectory(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+}  // namespace
+
+Status SyncDirectoryOf(const std::string& path) {
+  const std::string dir = ParentDirectory(path);
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) {
+    return Status::IOError(ErrnoMessage("cannot open directory", dir));
+  }
+  const int rc = ::fsync(fd);
+  const int saved_errno = errno;
+  ::close(fd);
+  if (rc != 0) {
+    errno = saved_errno;
+    return Status::IOError(ErrnoMessage("cannot fsync directory", dir));
+  }
+  return Status::OK();
+}
+
+Status WriteFileAtomic(const std::string& path, std::string_view contents,
+                       const AtomicWriteOptions& options) {
+  const std::string tmp_path = path + ".tmp";
+
+  Status step = RunHook(options, kAtomicStepOpen);
+  if (!step.ok()) return step;
+
+  int fd = ::open(tmp_path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return Status::IOError(ErrnoMessage("cannot open", tmp_path));
+  }
+  // Any failure from here on removes the temp file and leaves `path` alone.
+  const auto fail = [&](Status why) {
+    if (fd >= 0) ::close(fd);
+    ::unlink(tmp_path.c_str());
+    return why;
+  };
+
+  size_t written = 0;
+  while (written < contents.size()) {
+    const ssize_t n =
+        ::write(fd, contents.data() + written, contents.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return fail(Status::IOError(ErrnoMessage("cannot write", tmp_path)));
+    }
+    written += static_cast<size_t>(n);
+  }
+  step = RunHook(options, kAtomicStepWrite);
+  if (!step.ok()) return fail(step);
+
+  if (options.sync && ::fsync(fd) != 0) {
+    return fail(Status::IOError(ErrnoMessage("cannot fsync", tmp_path)));
+  }
+  if (::close(fd) != 0) {
+    fd = -1;
+    return fail(Status::IOError(ErrnoMessage("cannot close", tmp_path)));
+  }
+  fd = -1;
+
+  step = RunHook(options, kAtomicStepRename);
+  if (!step.ok()) return fail(step);
+
+  if (std::rename(tmp_path.c_str(), path.c_str()) != 0) {
+    return fail(Status::IOError(ErrnoMessage("cannot rename to", path)));
+  }
+  if (options.sync) {
+    // Without this, a crash after rename can roll the directory entry back to
+    // the old file even though the data blocks were fsync'd.
+    Status dir = SyncDirectoryOf(path);
+    if (!dir.ok()) return dir;
+  }
+  return Status::OK();
+}
+
+Result<std::string> ReadFileToString(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    if (errno == ENOENT) {
+      return Status::NotFound("no such file: " + path);
+    }
+    return Status::IOError(ErrnoMessage("cannot open", path));
+  }
+  std::string out;
+  char buf[1 << 16];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    out.append(buf, n);
+  }
+  const bool had_error = std::ferror(f) != 0;
+  std::fclose(f);
+  if (had_error) {
+    return Status::IOError("cannot read " + path);
+  }
+  return out;
+}
+
+}  // namespace culinary

@@ -1,0 +1,51 @@
+#ifndef CULINARYLAB_COMMON_ATOMIC_FILE_H_
+#define CULINARYLAB_COMMON_ATOMIC_FILE_H_
+
+#include <functional>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace culinary {
+
+/// Step names passed to `AtomicWriteOptions::fault_hook`, in the order they
+/// are reached. Callers that want fault injection bind their own FaultInjector
+/// sites to these steps; `common` itself stays free of a dependency on the
+/// robustness layer.
+inline constexpr std::string_view kAtomicStepOpen = "open";
+inline constexpr std::string_view kAtomicStepWrite = "write";
+inline constexpr std::string_view kAtomicStepRename = "rename";
+
+struct AtomicWriteOptions {
+  /// fsync the temp file before rename and the parent directory entry after.
+  /// Disable only in tests that measure the non-durable fast path.
+  bool sync = true;
+  /// Invoked at each step boundary; a non-OK return aborts the write at that
+  /// step (the temp file is removed) and is returned to the caller verbatim.
+  std::function<Status(std::string_view step)> fault_hook;
+};
+
+/// Durably replaces `path` with `contents`.
+///
+/// The write is crash-safe by construction: contents go to `path + ".tmp"`,
+/// the temp file is fsync'd, atomically renamed over `path`, and finally the
+/// parent directory entry is fsync'd so the rename itself survives a power
+/// cut. After a crash at any point, `path` holds either the old bytes or the
+/// new bytes in full — never a torn mix. On failure the temp file is removed
+/// and `path` is untouched.
+Status WriteFileAtomic(const std::string& path, std::string_view contents,
+                       const AtomicWriteOptions& options = {});
+
+/// fsyncs the directory containing `path` so a previously renamed-in entry is
+/// durable. Exposed for callers that manage their own rename.
+Status SyncDirectoryOf(const std::string& path);
+
+/// Reads the whole file at `path` into a string. Returns kNotFound when the
+/// file does not exist and kIOError for other failures.
+Result<std::string> ReadFileToString(const std::string& path);
+
+}  // namespace culinary
+
+#endif  // CULINARYLAB_COMMON_ATOMIC_FILE_H_

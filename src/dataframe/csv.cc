@@ -7,6 +7,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "common/atomic_file.h"
 #include "common/string_util.h"
 #include "robustness/fault_injector.h"
 
@@ -448,19 +449,30 @@ culinary::Status WriteCsvFile(const Table& table, const std::string& path,
   if (!options.atomic_write) {
     return WriteCsvFileDirect(table, path, options);
   }
-  // Crash-safe: write the temp file fully, then rename over the
-  // destination. A failure (or crash) before the rename leaves the
-  // previous `path` intact; the orphan temp file is the only residue.
-  const std::string tmp = path + ".tmp";
-  CULINARY_RETURN_IF_ERROR(WriteCsvFileDirect(table, tmp, options));
-  CULINARY_RETURN_IF_ERROR(FaultInjector::Global()
-                               .Check(robustness::kFaultCsvRename)
-                               .WithContext("renaming " + tmp));
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-    return culinary::Status::IOError("rename failed: " + tmp + " -> " + path +
-                                     " (" + std::strerror(errno) + ")");
-  }
-  return culinary::Status::OK();
+  // Crash-safe via the shared helper: temp + fsync + rename + directory
+  // fsync. The fault hook maps the helper's step boundaries onto the
+  // long-standing CSV injection sites so chaos schedules keep working.
+  culinary::AtomicWriteOptions atomic;
+  atomic.fault_hook =
+      [&path](std::string_view step) -> culinary::Status {
+    if (step == culinary::kAtomicStepOpen) {
+      return FaultInjector::Global()
+          .Check(robustness::kFaultCsvOpenWrite)
+          .WithContext("opening for write " + path);
+    }
+    if (step == culinary::kAtomicStepWrite) {
+      return FaultInjector::Global()
+          .Check(robustness::kFaultCsvWrite)
+          .WithContext("writing " + path);
+    }
+    if (step == culinary::kAtomicStepRename) {
+      return FaultInjector::Global()
+          .Check(robustness::kFaultCsvRename)
+          .WithContext("renaming " + path + ".tmp");
+    }
+    return culinary::Status::OK();
+  };
+  return WriteFileAtomic(path, WriteCsvString(table, options), atomic);
 }
 
 }  // namespace culinary::df

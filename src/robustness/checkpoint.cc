@@ -6,6 +6,7 @@
 #include <string_view>
 #include <utility>
 
+#include "common/atomic_file.h"
 #include "obs/obs.h"
 #include "robustness/fault_injector.h"
 
@@ -188,6 +189,50 @@ culinary::Result<CheckpointContents> LoadBlockCheckpoint(
                        contents.records_dropped);
   }
   return contents;
+}
+
+culinary::Status WriteCheckpointFile(
+    const std::string& path, uint64_t signature, uint64_t num_blocks,
+    const std::vector<CheckpointBlock>& blocks) {
+  CULINARY_OBS_SPAN(publish_span, "checkpoint.publish", "checkpoint");
+  std::string contents(kMagic);
+  contents += ' ';
+  contents += HexField(static_cast<uint64_t>(kVersion));
+  contents += ' ';
+  contents += HexField(signature);
+  contents += ' ';
+  contents += HexField(num_blocks);
+  contents += '\n';
+  for (const CheckpointBlock& block : blocks) {
+    std::string payload =
+        internal::CheckpointRecordPayload(block.block, block.stats);
+    contents += payload;
+    contents += ' ';
+    contents += HexField(internal::CheckpointChecksum(payload));
+    contents += '\n';
+  }
+  culinary::AtomicWriteOptions atomic;
+  atomic.fault_hook = [&path](std::string_view step) -> culinary::Status {
+    if (step == culinary::kAtomicStepOpen) {
+      return FaultInjector::Global()
+          .Check(kFaultCheckpointOpen)
+          .WithContext("publishing checkpoint " + path);
+    }
+    if (step == culinary::kAtomicStepWrite) {
+      return FaultInjector::Global()
+          .Check(kFaultCheckpointAppend)
+          .WithContext("staging checkpoint " + path);
+    }
+    if (step == culinary::kAtomicStepRename) {
+      return FaultInjector::Global()
+          .Check(kFaultCheckpointPublish)
+          .WithContext("renaming checkpoint " + path);
+    }
+    return culinary::Status::OK();
+  };
+  CULINARY_RETURN_IF_ERROR(WriteFileAtomic(path, contents, atomic));
+  CULINARY_OBS_COUNT("checkpoint.published", 1);
+  return culinary::Status::OK();
 }
 
 BlockCheckpointWriter::BlockCheckpointWriter(std::string path, FILE* file)

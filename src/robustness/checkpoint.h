@@ -115,6 +115,19 @@ class BlockCheckpointWriter {
   std::unique_ptr<std::mutex> mutex_;
 };
 
+/// Atomically publishes a complete checkpoint file: header plus one record
+/// per entry of `blocks`, written via the shared `WriteFileAtomic` helper
+/// (temp + fsync + rename + directory fsync). Unlike
+/// `BlockCheckpointWriter::Create` — which truncates `path` in place and so
+/// loses the previous generation if the process dies mid-rewrite — a crash
+/// anywhere inside this call leaves the previous file intact. Use it to
+/// rewrite a checkpoint whose tail was torn before reopening for append.
+/// Fault sites: `checkpoint.open`, `checkpoint.append` (bytes staged),
+/// `checkpoint.publish` (rename boundary).
+culinary::Status WriteCheckpointFile(const std::string& path,
+                                     uint64_t signature, uint64_t num_blocks,
+                                     const std::vector<CheckpointBlock>& blocks);
+
 namespace internal {
 /// FNV-1a 64-bit over `payload`, the per-record checksum. Exposed so tests
 /// can forge records with valid / broken checksums.

@@ -29,6 +29,12 @@ inline constexpr std::string_view kFaultAnalysisBlock = "analysis.block";
 inline constexpr std::string_view kFaultCheckpointOpen = "checkpoint.open";
 inline constexpr std::string_view kFaultCheckpointAppend = "checkpoint.append";
 inline constexpr std::string_view kFaultCheckpointRead = "checkpoint.read";
+inline constexpr std::string_view kFaultCheckpointPublish =
+    "checkpoint.publish";
+inline constexpr std::string_view kFaultSnapshotWrite = "snapshot.write";
+inline constexpr std::string_view kFaultSnapshotRename = "snapshot.rename";
+inline constexpr std::string_view kFaultSnapshotMmap = "snapshot.mmap";
+inline constexpr std::string_view kFaultSnapshotVerify = "snapshot.verify";
 
 /// A deterministic, seedable fault-injection registry.
 ///

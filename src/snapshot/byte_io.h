@@ -1,0 +1,117 @@
+#ifndef CULINARYLAB_SNAPSHOT_BYTE_IO_H_
+#define CULINARYLAB_SNAPSHOT_BYTE_IO_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+#include "snapshot/format.h"
+
+namespace culinary::snapshot::internal {
+
+/// Append-only native-endian serializer for section payloads. Fixed-width
+/// scalars via memcpy; strings and arrays are length-prefixed.
+class ByteWriter {
+ public:
+  void U8(uint8_t v) { buf_.push_back(static_cast<char>(v)); }
+  void U16(uint16_t v) { Raw(&v, sizeof(v)); }
+  void U32(uint32_t v) { Raw(&v, sizeof(v)); }
+  void U64(uint64_t v) { Raw(&v, sizeof(v)); }
+  void I32(int32_t v) { Raw(&v, sizeof(v)); }
+
+  /// u32 length + bytes.
+  void Str(std::string_view s) {
+    U32(static_cast<uint32_t>(s.size()));
+    buf_.append(s.data(), s.size());
+  }
+
+  void Raw(const void* data, size_t size) {
+    buf_.append(static_cast<const char*>(data), size);
+  }
+
+  /// Zero-pads to the next multiple of `kSectionAlignment`.
+  void AlignTo8() {
+    while (buf_.size() % kSectionAlignment != 0) buf_.push_back('\0');
+  }
+
+  size_t size() const { return buf_.size(); }
+  std::string Take() { return std::move(buf_); }
+
+ private:
+  std::string buf_;
+};
+
+/// Bounds-checked reader over a section payload. Every getter fails softly:
+/// once a read overruns, `ok()` turns false, subsequent reads return zeros,
+/// and the decoder maps the condition to a typed truncation error. Callers
+/// must still bound their loops via `FitsArray` before trusting a count
+/// field — a corrupt count that passes the checksum is implausible, but a
+/// fault-injected or hand-forged payload must not spin.
+class ByteReader {
+ public:
+  explicit ByteReader(std::string_view data) : data_(data) {}
+
+  uint8_t U8() { return TakeScalar<uint8_t>(); }
+  uint16_t U16() { return TakeScalar<uint16_t>(); }
+  uint32_t U32() { return TakeScalar<uint32_t>(); }
+  uint64_t U64() { return TakeScalar<uint64_t>(); }
+  int32_t I32() { return TakeScalar<int32_t>(); }
+
+  std::string_view Str() {
+    const uint32_t size = U32();
+    return Bytes(size);
+  }
+
+  /// Borrows `size` raw bytes (empty view + failure when exhausted).
+  std::string_view Bytes(size_t size) {
+    if (!ok_ || size > data_.size() - pos_) {
+      ok_ = false;
+      return {};
+    }
+    std::string_view out = data_.substr(pos_, size);
+    pos_ += size;
+    return out;
+  }
+
+  /// Skips to the next multiple of `kSectionAlignment` within the payload.
+  void AlignTo8() {
+    const size_t rem = pos_ % kSectionAlignment;
+    if (rem != 0) Bytes(kSectionAlignment - rem);
+  }
+
+  /// True iff `count` elements of at least `min_element_bytes` each could
+  /// still fit in the remaining bytes — the loop guard for count fields.
+  bool FitsArray(uint64_t count, size_t min_element_bytes) const {
+    if (!ok_) return false;
+    const uint64_t remaining = data_.size() - pos_;
+    return min_element_bytes == 0 ? count <= remaining
+                                  : count <= remaining / min_element_bytes;
+  }
+
+  size_t position() const { return pos_; }
+  size_t remaining() const { return ok_ ? data_.size() - pos_ : 0; }
+  bool ok() const { return ok_; }
+  bool AtEnd() const { return ok_ && pos_ == data_.size(); }
+
+ private:
+  template <typename T>
+  T TakeScalar() {
+    if (!ok_ || sizeof(T) > data_.size() - pos_) {
+      ok_ = false;
+      return T{};
+    }
+    T v;
+    std::memcpy(&v, data_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return v;
+  }
+
+  std::string_view data_;
+  size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+}  // namespace culinary::snapshot::internal
+
+#endif  // CULINARYLAB_SNAPSHOT_BYTE_IO_H_

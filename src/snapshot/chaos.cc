@@ -1,0 +1,134 @@
+#include "snapshot/chaos.h"
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/atomic_file.h"
+#include "common/random.h"
+#include "snapshot/format.h"
+
+namespace culinary::snapshot {
+
+namespace {
+
+struct ParsedEntry {
+  uint64_t offset = 0;
+  uint64_t size = 0;
+  size_t entry_offset = 0;  ///< byte offset of the table entry itself
+};
+
+uint32_t ReadU32(const std::string& bytes, size_t offset) {
+  uint32_t v;
+  std::memcpy(&v, bytes.data() + offset, sizeof(v));
+  return v;
+}
+
+uint64_t ReadU64(const std::string& bytes, size_t offset) {
+  uint64_t v;
+  std::memcpy(&v, bytes.data() + offset, sizeof(v));
+  return v;
+}
+
+void WriteU64(std::string& bytes, size_t offset, uint64_t v) {
+  std::memcpy(bytes.data() + offset, &v, sizeof(v));
+}
+
+/// Re-derives the header checksum after a surgical edit, so modes that test
+/// *section* verification don't trip the header check first.
+void RecomputeHeaderChecksum(std::string& bytes, size_t table_bytes) {
+  uint64_t checksum = Fnv64(bytes.data(), kHeaderChecksumOffset);
+  checksum = Fnv64Continue(checksum, bytes.data() + kSectionTableOffset,
+                           table_bytes);
+  WriteU64(bytes, kHeaderChecksumOffset, checksum);
+}
+
+}  // namespace
+
+culinary::Result<SnapshotCorruptionMode> ParseSnapshotCorruptionMode(
+    const std::string& name) {
+  if (name == "flip-magic") return SnapshotCorruptionMode::kFlipMagic;
+  if (name == "zero-section-checksum") {
+    return SnapshotCorruptionMode::kZeroSectionChecksum;
+  }
+  if (name == "truncate-mid-section") {
+    return SnapshotCorruptionMode::kTruncateMidSection;
+  }
+  if (name == "bitflip-payload") {
+    return SnapshotCorruptionMode::kBitFlipPayload;
+  }
+  if (name == "wrong-digest") return SnapshotCorruptionMode::kWrongDigest;
+  return culinary::Status::InvalidArgument("unknown snapshot corruption mode: " +
+                                           name);
+}
+
+culinary::Status CorruptSnapshotFile(const std::string& in_path,
+                                     const std::string& out_path,
+                                     SnapshotCorruptionMode mode,
+                                     uint64_t seed) {
+  CULINARY_ASSIGN_OR_RETURN(std::string bytes, ReadFileToString(in_path));
+  if (bytes.size() < kHeaderBytes ||
+      std::memcmp(bytes.data(), kSnapshotMagic.data(),
+                  kSnapshotMagic.size()) != 0) {
+    return culinary::Status::ParseError(in_path +
+                                        " is not a snapshot (bad magic)");
+  }
+  const uint32_t section_count = ReadU32(bytes, 16);
+  const size_t table_bytes =
+      static_cast<size_t>(section_count) * kSectionEntryBytes;
+  if (section_count == 0 ||
+      kSectionTableOffset + table_bytes > bytes.size()) {
+    return culinary::Status::ParseError(in_path +
+                                        " has no addressable sections");
+  }
+  std::vector<ParsedEntry> entries;
+  for (uint32_t s = 0; s < section_count; ++s) {
+    ParsedEntry e;
+    e.entry_offset = kSectionTableOffset + s * kSectionEntryBytes;
+    e.offset = ReadU64(bytes, e.entry_offset + 8);
+    e.size = ReadU64(bytes, e.entry_offset + 16);
+    if (e.offset > bytes.size() || e.size > bytes.size() - e.offset) {
+      return culinary::Status::ParseError(in_path +
+                                          " has out-of-bounds sections");
+    }
+    entries.push_back(e);
+  }
+  // Pick the seed-selected section among those with a non-empty payload.
+  std::vector<size_t> non_empty;
+  for (size_t s = 0; s < entries.size(); ++s) {
+    if (entries[s].size > 0) non_empty.push_back(s);
+  }
+  if (non_empty.empty()) {
+    return culinary::Status::ParseError(in_path +
+                                        " has only empty sections");
+  }
+  const ParsedEntry& target =
+      entries[non_empty[DeriveStreamSeed(seed, 0) % non_empty.size()]];
+
+  switch (mode) {
+    case SnapshotCorruptionMode::kFlipMagic:
+      bytes[0] = static_cast<char>(bytes[0] ^ 0x5a);
+      break;
+    case SnapshotCorruptionMode::kZeroSectionChecksum:
+      WriteU64(bytes, target.entry_offset + 24, 0);
+      RecomputeHeaderChecksum(bytes, table_bytes);
+      break;
+    case SnapshotCorruptionMode::kTruncateMidSection:
+      bytes.resize(target.offset + target.size / 2);
+      break;
+    case SnapshotCorruptionMode::kBitFlipPayload: {
+      const uint64_t bit =
+          DeriveStreamSeed(seed, 1) % (target.size * 8);
+      bytes[target.offset + bit / 8] =
+          static_cast<char>(bytes[target.offset + bit / 8] ^ (1u << (bit % 8)));
+      break;
+    }
+    case SnapshotCorruptionMode::kWrongDigest:
+      WriteU64(bytes, 24, ReadU64(bytes, 24) ^ 0xdecafbadDEADBEEFULL);
+      RecomputeHeaderChecksum(bytes, table_bytes);
+      break;
+  }
+  return WriteFileAtomic(out_path, bytes);
+}
+
+}  // namespace culinary::snapshot

@@ -1,0 +1,55 @@
+#ifndef CULINARYLAB_SNAPSHOT_CHAOS_H_
+#define CULINARYLAB_SNAPSHOT_CHAOS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace culinary::snapshot {
+
+/// Deterministic corruption of a binary snapshot file, one mode per call —
+/// the snapshot-aware counterpart of `robustness::CorruptCsvFile`. Each
+/// mode targets exactly one corruption class of the format's taxonomy (see
+/// format.h), so a soak run can walk every loader branch.
+enum class SnapshotCorruptionMode {
+  /// Overwrites the 8-byte magic: loader reports kParseError (bad magic).
+  kFlipMagic,
+  /// Zeroes one section's stored checksum *and recomputes the header
+  /// checksum*, so the header still verifies and the lazy per-section
+  /// verification is the branch that trips: kParseError on first access to
+  /// that section.
+  kZeroSectionChecksum,
+  /// Cuts the file mid-way through a section payload: kOutOfRange
+  /// (truncated) at open, the crash-mid-write shape rename normally makes
+  /// impossible.
+  kTruncateMidSection,
+  /// Flips one payload bit (position derived from `seed`): the header
+  /// verifies, the damaged section's checksum does not — kParseError on
+  /// access, counted in `snapshot.corrupt_section`.
+  kBitFlipPayload,
+  /// Rewrites the recorded world digest (header checksum fixed up): the
+  /// snapshot looks intact but stale — kFailedPrecondition when the loader
+  /// checks an expected digest.
+  kWrongDigest,
+};
+
+/// Parses a mode slug ("flip-magic", "zero-section-checksum",
+/// "truncate-mid-section", "bitflip-payload", "wrong-digest");
+/// kInvalidArgument otherwise.
+culinary::Result<SnapshotCorruptionMode> ParseSnapshotCorruptionMode(
+    const std::string& name);
+
+/// Reads the snapshot at `in_path`, applies `mode` (deterministically in
+/// (input bytes, seed)), and writes the damaged file to `out_path`.
+/// kParseError when the input is not a loadable-enough snapshot to target
+/// (it must at least have a valid header and one section).
+culinary::Status CorruptSnapshotFile(const std::string& in_path,
+                                     const std::string& out_path,
+                                     SnapshotCorruptionMode mode,
+                                     uint64_t seed = 1234);
+
+}  // namespace culinary::snapshot
+
+#endif  // CULINARYLAB_SNAPSHOT_CHAOS_H_

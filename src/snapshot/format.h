@@ -1,0 +1,97 @@
+#ifndef CULINARYLAB_SNAPSHOT_FORMAT_H_
+#define CULINARYLAB_SNAPSHOT_FORMAT_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace culinary::snapshot {
+
+/// On-disk layout of a world snapshot (all integers native-endian; the
+/// snapshot is a machine-local cache artifact, not an interchange format,
+/// and the endian tag turns a foreign-endian file into a typed error
+/// instead of garbage):
+///
+///   offset  0  char[8]  magic            "CULSNAP\n"
+///   offset  8  u32      endian_tag       0x01020304 as written
+///   offset 12  u32      version          kFormatVersion
+///   offset 16  u32      section_count
+///   offset 20  u32      reserved         0
+///   offset 24  u64      world_digest     digest of the inputs the world
+///                                        was built from (see snapshot.h)
+///   offset 32  u64      header_checksum  FNV-1a over bytes [0, 32) ++ the
+///                                        whole section table
+///   offset 40  section table: section_count entries of kSectionEntryBytes
+///              { u32 id; u32 reserved; u64 offset; u64 size; u64 checksum }
+///   then payloads, each starting at an 8-byte-aligned offset (zero padding
+///   between them; padding is covered by no checksum and carries no data).
+///
+/// Versioning rules: `version` bumps on any layout change — readers accept
+/// exactly their own version (kFailedPrecondition otherwise) and never
+/// attempt cross-version repair; adding a new section id is also a version
+/// bump, since readers treat unknown ids in the table as corruption.
+///
+/// Corruption → Status mapping (every class is typed, never a crash):
+///   bad magic / unparseable header . kParseError
+///   endian tag or version skew ..... kFailedPrecondition
+///   truncation (header, table, or
+///     section bounds past EOF) ..... kOutOfRange
+///   header/section checksum ........ kParseError
+///   world digest mismatch .......... kFailedPrecondition
+inline constexpr std::string_view kSnapshotMagic = "CULSNAP\n";
+inline constexpr uint32_t kEndianTag = 0x01020304u;
+inline constexpr uint32_t kFormatVersion = 1;
+inline constexpr size_t kHeaderBytes = 40;
+inline constexpr size_t kHeaderChecksumOffset = 32;
+inline constexpr size_t kSectionTableOffset = kHeaderBytes;
+inline constexpr size_t kSectionEntryBytes = 32;
+inline constexpr size_t kSectionAlignment = 8;
+
+/// Section identifiers. Values are stable on disk; additions bump
+/// `kFormatVersion`.
+enum class SectionId : uint32_t {
+  /// FlavorRegistry: molecules (names + descriptors) and every ingredient
+  /// slot in id order (tombstones included) with category, kind, synonyms,
+  /// profile and constituents.
+  kRegistry = 1,
+  /// RecipeDatabase: every recipe's name, region and ingredient id list.
+  kRecipes = 2,
+  /// The world PairingCache: dense ingredient ids plus the uint16 strict
+  /// upper triangle, stored 8-byte aligned for zero-copy reads. Optional —
+  /// a snapshot written without a cache simply omits it.
+  kPairing = 3,
+};
+
+/// Human-readable section name for diagnostics.
+constexpr std::string_view SectionName(SectionId id) {
+  switch (id) {
+    case SectionId::kRegistry:
+      return "registry";
+    case SectionId::kRecipes:
+      return "recipes";
+    case SectionId::kPairing:
+      return "pairing";
+  }
+  return "unknown";
+}
+
+/// FNV-1a 64-bit, the same checksum idiom the checkpoint records use.
+/// `Fnv64Continue` lets the header checksum chain over discontiguous spans.
+inline constexpr uint64_t kFnvOffsetBasis = 0xcbf29ce484222325ULL;
+inline constexpr uint64_t kFnvPrime = 0x100000001b3ULL;
+
+inline uint64_t Fnv64Continue(uint64_t hash, const void* data, size_t size) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < size; ++i) {
+    hash ^= bytes[i];
+    hash *= kFnvPrime;
+  }
+  return hash;
+}
+
+inline uint64_t Fnv64(const void* data, size_t size) {
+  return Fnv64Continue(kFnvOffsetBasis, data, size);
+}
+
+}  // namespace culinary::snapshot
+
+#endif  // CULINARYLAB_SNAPSHOT_FORMAT_H_

@@ -1,0 +1,215 @@
+#include <cstring>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/atomic_file.h"
+#include "common/random.h"
+#include "obs/obs.h"
+#include "robustness/fault_injector.h"
+#include "snapshot/byte_io.h"
+#include "snapshot/format.h"
+#include "snapshot/snapshot.h"
+
+namespace culinary::snapshot {
+
+namespace {
+
+using internal::ByteWriter;
+
+/// Serializes the registry: molecules first (ids are their indices), then
+/// every ingredient slot in id order — tombstones included, so restored ids
+/// are stable and recipes keep pointing at the right slots.
+culinary::Result<std::string> SerializeRegistry(
+    const flavor::FlavorRegistry& registry) {
+  ByteWriter w;
+  w.U64(registry.num_molecules());
+  for (size_t m = 0; m < registry.num_molecules(); ++m) {
+    CULINARY_ASSIGN_OR_RETURN(
+        flavor::Molecule molecule,
+        registry.GetMolecule(static_cast<flavor::MoleculeId>(m)));
+    w.Str(molecule.name);
+    w.U32(static_cast<uint32_t>(molecule.descriptors.size()));
+    for (const std::string& d : molecule.descriptors) w.Str(d);
+  }
+  w.U64(registry.num_ingredient_slots());
+  for (size_t i = 0; i < registry.num_ingredient_slots(); ++i) {
+    CULINARY_ASSIGN_OR_RETURN(
+        flavor::Ingredient ing,
+        registry.GetIngredient(static_cast<flavor::IngredientId>(i),
+                               /*include_removed=*/true));
+    w.Str(ing.name);
+    w.U8(static_cast<uint8_t>(ing.category));
+    w.U8(static_cast<uint8_t>(ing.kind));
+    w.U8(ing.removed ? 1 : 0);
+    w.U8(0);  // pad / reserved
+    w.U32(static_cast<uint32_t>(ing.synonyms.size()));
+    for (const std::string& s : ing.synonyms) w.Str(s);
+    w.U32(static_cast<uint32_t>(ing.profile.ids().size()));
+    for (flavor::MoleculeId id : ing.profile.ids()) w.I32(id);
+    w.U32(static_cast<uint32_t>(ing.constituents.size()));
+    for (flavor::IngredientId id : ing.constituents) w.I32(id);
+  }
+  return w.Take();
+}
+
+std::string SerializeRecipes(const recipe::RecipeDatabase& database) {
+  ByteWriter w;
+  w.U64(database.num_recipes());
+  for (const recipe::Recipe& r : database.recipes()) {
+    w.Str(r.name);
+    w.U8(static_cast<uint8_t>(r.region));
+    w.U32(static_cast<uint32_t>(r.ingredients.size()));
+    for (flavor::IngredientId id : r.ingredients) w.I32(id);
+  }
+  return w.Take();
+}
+
+std::string SerializePairing(const analysis::PairingCache& cache) {
+  ByteWriter w;
+  const size_t n = cache.num_ingredients();
+  w.U64(n);
+  for (size_t i = 0; i < n; ++i) w.I32(cache.IdAt(i));
+  // Align so the uint16 triangle starts 8-byte aligned within the payload;
+  // section payloads themselves start 8-byte aligned in the file, so the
+  // mmap'd triangle is directly addressable.
+  w.AlignTo8();
+  const std::vector<uint16_t>& tri = cache.triangle();
+  w.U64(tri.size());
+  w.Raw(tri.data(), tri.size() * sizeof(uint16_t));
+  return w.Take();
+}
+
+struct PendingSection {
+  SectionId id;
+  std::string payload;
+};
+
+std::string AssembleSnapshot(std::vector<PendingSection> sections,
+                             uint64_t world_digest) {
+  // Header + table first (with a checksum placeholder), payloads appended
+  // 8-byte aligned, then the real checksums patched in.
+  const size_t table_bytes = sections.size() * kSectionEntryBytes;
+  std::string file;
+  file.reserve(kHeaderBytes + table_bytes + 64);
+  file.append(kSnapshotMagic);
+  const auto append_u32 = [&file](uint32_t v) {
+    file.append(reinterpret_cast<const char*>(&v), sizeof(v));
+  };
+  const auto append_u64 = [&file](uint64_t v) {
+    file.append(reinterpret_cast<const char*>(&v), sizeof(v));
+  };
+  append_u32(kEndianTag);
+  append_u32(kFormatVersion);
+  append_u32(static_cast<uint32_t>(sections.size()));
+  append_u32(0);  // reserved
+  append_u64(world_digest);
+  append_u64(0);  // header_checksum placeholder
+
+  std::vector<size_t> entry_offsets;
+  size_t payload_offset = kHeaderBytes + table_bytes;
+  payload_offset += (kSectionAlignment - payload_offset % kSectionAlignment) %
+                    kSectionAlignment;
+  for (const PendingSection& section : sections) {
+    entry_offsets.push_back(file.size());
+    append_u32(static_cast<uint32_t>(section.id));
+    append_u32(0);  // reserved
+    append_u64(payload_offset);
+    append_u64(section.payload.size());
+    append_u64(Fnv64(section.payload.data(), section.payload.size()));
+    payload_offset += section.payload.size();
+    payload_offset +=
+        (kSectionAlignment - payload_offset % kSectionAlignment) %
+        kSectionAlignment;
+  }
+  for (const PendingSection& section : sections) {
+    while (file.size() % kSectionAlignment != 0) file.push_back('\0');
+    file.append(section.payload);
+  }
+  // Header checksum: bytes [0, 32) ++ the section table.
+  uint64_t checksum = Fnv64(file.data(), kHeaderChecksumOffset);
+  checksum = Fnv64Continue(checksum, file.data() + kSectionTableOffset,
+                           table_bytes);
+  std::memcpy(file.data() + kHeaderChecksumOffset, &checksum,
+              sizeof(checksum));
+  return file;
+}
+
+}  // namespace
+
+uint64_t DigestGeneratedWorld(uint64_t seed, bool small_world) {
+  // 'CULW' tag; any change to the generation pipeline that alters output
+  // for a fixed seed should bump the tag so stale snapshots refresh.
+  uint64_t digest = DeriveStreamSeed(0x43554c57ULL, seed);
+  return DeriveStreamSeed(digest, small_world ? 1 : 2);
+}
+
+culinary::Result<uint64_t> DigestFiles(
+    const std::vector<std::string>& paths) {
+  uint64_t digest = kFnvOffsetBasis;
+  for (const std::string& path : paths) {
+    CULINARY_ASSIGN_OR_RETURN(std::string contents, ReadFileToString(path));
+    const uint64_t file_hash = Fnv64(contents.data(), contents.size());
+    digest = DeriveStreamSeed(digest ^ file_hash, contents.size());
+  }
+  return digest;
+}
+
+uint64_t CombineDigests(uint64_t a, uint64_t b) {
+  return DeriveStreamSeed(a, b);
+}
+
+culinary::Status WriteWorldSnapshot(const flavor::FlavorRegistry& registry,
+                                    const recipe::RecipeDatabase& database,
+                                    const analysis::PairingCache* world_cache,
+                                    uint64_t world_digest,
+                                    const std::string& path,
+                                    const SnapshotWriteOptions& options) {
+  CULINARY_OBS_SPAN(write_span, "snapshot.write", "snapshot");
+  std::vector<PendingSection> sections;
+  CULINARY_ASSIGN_OR_RETURN(std::string registry_payload,
+                            SerializeRegistry(registry));
+  sections.push_back({SectionId::kRegistry, std::move(registry_payload)});
+  sections.push_back({SectionId::kRecipes, SerializeRecipes(database)});
+  if (world_cache != nullptr) {
+    sections.push_back({SectionId::kPairing, SerializePairing(*world_cache)});
+  }
+  const std::string file =
+      AssembleSnapshot(std::move(sections), world_digest);
+
+  culinary::AtomicWriteOptions atomic;
+  atomic.sync = options.sync;
+  atomic.fault_hook = [&path](std::string_view step) -> culinary::Status {
+    if (step == culinary::kAtomicStepWrite) {
+      return robustness::FaultInjector::Global()
+          .Check(robustness::kFaultSnapshotWrite)
+          .WithContext("writing snapshot " + path);
+    }
+    if (step == culinary::kAtomicStepRename) {
+      return robustness::FaultInjector::Global()
+          .Check(robustness::kFaultSnapshotRename)
+          .WithContext("publishing snapshot " + path);
+    }
+    return culinary::Status::OK();
+  };
+  CULINARY_RETURN_IF_ERROR(WriteFileAtomic(path, file, atomic));
+  CULINARY_OBS_COUNT("snapshot.write_ok", 1);
+  CULINARY_OBS_GAUGE_SET("snapshot.bytes", static_cast<int64_t>(file.size()));
+  return culinary::Status::OK();
+}
+
+culinary::Status WriteSnapshotForWorld(LoadedWorld& world,
+                                       uint64_t world_digest,
+                                       const std::string& path,
+                                       const SnapshotWriteOptions& options) {
+  if (!world.world_cache.has_value()) {
+    const recipe::Cuisine world_cuisine = world.db().WorldCuisine();
+    world.world_cache.emplace(world.registry(),
+                              world_cuisine.unique_ingredients());
+  }
+  return WriteWorldSnapshot(world.registry(), world.db(),
+                            &world.world_cache.value(), world_digest, path,
+                            options);
+}
+
+}  // namespace culinary::snapshot

@@ -1,0 +1,121 @@
+#include "common/atomic_file.h"
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace culinary {
+namespace {
+
+class AtomicFileTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = ::testing::TempDir() + "/atomic_file_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name() +
+            ".txt";
+    std::remove(path_.c_str());
+    std::remove((path_ + ".tmp").c_str());
+  }
+  void TearDown() override {
+    std::remove(path_.c_str());
+    std::remove((path_ + ".tmp").c_str());
+  }
+
+  bool Exists(const std::string& p) const {
+    std::ifstream in(p);
+    return static_cast<bool>(in);
+  }
+
+  std::string path_;
+};
+
+TEST_F(AtomicFileTest, WritesAndReadsBack) {
+  const std::string contents = std::string("line one\nline two\n\0bin", 22);
+  ASSERT_TRUE(WriteFileAtomic(path_, contents).ok());
+  auto read = ReadFileToString(path_);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(*read, contents);
+  EXPECT_FALSE(Exists(path_ + ".tmp"));
+}
+
+TEST_F(AtomicFileTest, OverwritesExistingFile) {
+  ASSERT_TRUE(WriteFileAtomic(path_, "old").ok());
+  ASSERT_TRUE(WriteFileAtomic(path_, "new and longer").ok());
+  auto read = ReadFileToString(path_);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(*read, "new and longer");
+}
+
+TEST_F(AtomicFileTest, EmptyContentsProduceEmptyFile) {
+  ASSERT_TRUE(WriteFileAtomic(path_, "").ok());
+  auto read = ReadFileToString(path_);
+  ASSERT_TRUE(read.ok());
+  EXPECT_TRUE(read->empty());
+}
+
+TEST_F(AtomicFileTest, ReadMissingFileIsNotFound) {
+  auto read = ReadFileToString(path_);
+  ASSERT_FALSE(read.ok());
+  EXPECT_EQ(read.status().code(), StatusCode::kNotFound);
+}
+
+// The crash-safety contract: a failure at any step leaves the destination
+// with its previous bytes (or still absent) and no temp litter. Each step
+// of the hook stands in for a crash at that boundary.
+TEST_F(AtomicFileTest, FailureAtEachStepLeavesOldContents) {
+  ASSERT_TRUE(WriteFileAtomic(path_, "previous generation").ok());
+  for (std::string_view step :
+       {kAtomicStepOpen, kAtomicStepWrite, kAtomicStepRename}) {
+    AtomicWriteOptions options;
+    options.fault_hook = [step](std::string_view s) {
+      return s == step ? Status::IOError("injected") : Status::OK();
+    };
+    Status status = WriteFileAtomic(path_, "torn new generation", options);
+    ASSERT_FALSE(status.ok()) << "step " << step;
+    EXPECT_EQ(status.code(), StatusCode::kIOError) << "step " << step;
+    auto read = ReadFileToString(path_);
+    ASSERT_TRUE(read.ok()) << "step " << step;
+    EXPECT_EQ(*read, "previous generation") << "step " << step;
+    EXPECT_FALSE(Exists(path_ + ".tmp")) << "step " << step;
+  }
+}
+
+TEST_F(AtomicFileTest, FailureBeforeFirstWriteLeavesNoFile) {
+  AtomicWriteOptions options;
+  options.fault_hook = [](std::string_view s) {
+    return s == kAtomicStepRename ? Status::IOError("injected") : Status::OK();
+  };
+  ASSERT_FALSE(WriteFileAtomic(path_, "never published", options).ok());
+  EXPECT_FALSE(Exists(path_));
+  EXPECT_FALSE(Exists(path_ + ".tmp"));
+}
+
+TEST_F(AtomicFileTest, HookStepsFireInOrder) {
+  std::vector<std::string> steps;
+  AtomicWriteOptions options;
+  options.fault_hook = [&steps](std::string_view s) {
+    steps.emplace_back(s);
+    return Status::OK();
+  };
+  ASSERT_TRUE(WriteFileAtomic(path_, "x", options).ok());
+  ASSERT_EQ(steps.size(), 3u);
+  EXPECT_EQ(steps[0], kAtomicStepOpen);
+  EXPECT_EQ(steps[1], kAtomicStepWrite);
+  EXPECT_EQ(steps[2], kAtomicStepRename);
+}
+
+TEST_F(AtomicFileTest, UnwritableDirectoryIsIOError) {
+  Status status = WriteFileAtomic("/nonexistent-dir/sub/file.txt", "x");
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kIOError);
+}
+
+TEST_F(AtomicFileTest, SyncDirectoryOfExistingPathIsOk) {
+  ASSERT_TRUE(WriteFileAtomic(path_, "x").ok());
+  EXPECT_TRUE(SyncDirectoryOf(path_).ok());
+}
+
+}  // namespace
+}  // namespace culinary

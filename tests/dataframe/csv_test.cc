@@ -390,11 +390,13 @@ TEST_F(AtomicWriteTest, CrashMidWriteLeavesOriginalIntact) {
     EXPECT_FALSE(WriteCsvFile(bigger, path_, options).ok());
   }
 
-  // Original content survives; the orphan temp file is the only residue.
+  // Original content survives and the aborted temp file is cleaned up —
+  // the shared atomic-write helper removes it on failure, leaving no
+  // residue at all.
   auto back = ReadCsvFile(path_);
   ASSERT_TRUE(back.ok());
   EXPECT_EQ(back->GetValue(0, 0), Value::Int(1));
-  EXPECT_TRUE(std::ifstream(path_ + ".tmp").good());
+  EXPECT_FALSE(std::ifstream(path_ + ".tmp").good());
 }
 
 TEST_F(AtomicWriteTest, RenameFailureLeavesOriginalIntact) {

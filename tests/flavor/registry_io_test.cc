@@ -239,12 +239,13 @@ TEST_F(RegistrySaveFaultTest, CrashMidWriteLeavesPreviousDumpLoadable) {
         << status.ToString();
   }
 
-  // The previous dump is untouched and still loads; the orphan temp file
-  // is the crash's only residue.
+  // The previous dump is untouched and still loads; the aborted temp
+  // file is removed by the shared atomic-write helper, so the crash
+  // leaves no residue.
   auto loaded = LoadRegistryCsv(prefix_);
   ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
   EXPECT_EQ(loaded->FindByName("clove"), kInvalidIngredient);
-  EXPECT_TRUE(
+  EXPECT_FALSE(
       std::ifstream(prefix_ + "_molecules.csv.tmp").good());
 }
 

@@ -4,6 +4,7 @@
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -247,6 +248,57 @@ TEST_F(CheckpointTest, InjectedReadFaultSurfaces) {
   auto loaded = LoadBlockCheckpoint(path_);
   EXPECT_FALSE(loaded.ok());
   EXPECT_EQ(loaded.status().code(), culinary::StatusCode::kIOError);
+}
+
+TEST_F(CheckpointTest, WriteCheckpointFileRoundTripsBitExact) {
+  std::vector<CheckpointBlock> blocks;
+  for (uint64_t b : {0ULL, 2ULL, 5ULL}) {
+    blocks.push_back({b, SampleStats(100 + b, 40)});
+  }
+  ASSERT_TRUE(WriteCheckpointFile(path_, 0xFEED, 8, blocks).ok());
+  auto loaded = LoadBlockCheckpoint(path_);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->signature, 0xFEEDu);
+  EXPECT_EQ(loaded->num_blocks, 8u);
+  EXPECT_EQ(loaded->records_dropped, 0u);
+  ASSERT_EQ(loaded->blocks.size(), blocks.size());
+  for (size_t i = 0; i < blocks.size(); ++i) {
+    EXPECT_EQ(loaded->blocks[i].block, blocks[i].block);
+    EXPECT_EQ(loaded->blocks[i].stats.count(), blocks[i].stats.count());
+    EXPECT_EQ(loaded->blocks[i].stats.mean(), blocks[i].stats.mean());
+    EXPECT_EQ(loaded->blocks[i].stats.stddev(), blocks[i].stats.stddev());
+  }
+}
+
+// Unlike Create (in-place truncate), a failed atomic publish must leave
+// the previous checkpoint generation loadable — this is what lets the
+// torn-tail rewrite path crash without losing completed blocks.
+TEST_F(CheckpointTest, FailedPublishKeepsPreviousCheckpoint) {
+  std::vector<CheckpointBlock> old_blocks = {{0, SampleStats(1, 10)}};
+  ASSERT_TRUE(WriteCheckpointFile(path_, 0xAAA, 4, old_blocks).ok());
+  const std::string before = ReadFile();
+
+  std::vector<CheckpointBlock> new_blocks = {{1, SampleStats(2, 10)},
+                                             {2, SampleStats(3, 10)}};
+  ScopedFault fault(kFaultCheckpointPublish, FaultInjector::Plan::Always());
+  EXPECT_FALSE(WriteCheckpointFile(path_, 0xBBB, 4, new_blocks).ok());
+  EXPECT_EQ(ReadFile(), before);
+  auto loaded = LoadBlockCheckpoint(path_);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->signature, 0xAAAu);
+}
+
+TEST_F(CheckpointTest, PublishedFileAcceptsAppends) {
+  std::vector<CheckpointBlock> blocks = {{0, SampleStats(4, 10)}};
+  ASSERT_TRUE(WriteCheckpointFile(path_, 0xC0DE, 4, blocks).ok());
+  auto writer = BlockCheckpointWriter::OpenForAppend(path_, 0xC0DE, 4);
+  ASSERT_TRUE(writer.ok()) << writer.status().ToString();
+  ASSERT_TRUE(writer->AppendBlock(3, SampleStats(5, 10)).ok());
+  auto loaded = LoadBlockCheckpoint(path_);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded->blocks.size(), 2u);
+  EXPECT_EQ(loaded->blocks[1].block, 3u);
+  EXPECT_EQ(loaded->records_dropped, 0u);
 }
 
 }  // namespace

@@ -1,0 +1,252 @@
+// The corruption matrix: every chaos mode, under every policy, must map to
+// a typed error — never a crash, never a partially applied world. Run under
+// the `sanitize` preset (ASan/UBSan) this is the proof that no corruption
+// class reaches undefined behaviour: decoders see adversarial bytes, not
+// just truncated ones.
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "analysis/options.h"
+#include "datagen/world.h"
+#include "obs/metrics.h"
+#include "robustness/error_sink.h"
+#include "snapshot/chaos.h"
+#include "snapshot/snapshot.h"
+
+namespace culinary::snapshot {
+namespace {
+
+using culinary::analysis::AnalysisOptions;
+using culinary::robustness::ErrorPolicy;
+
+constexpr uint64_t kWorldSeed = 7;
+
+struct ModeCase {
+  SnapshotCorruptionMode mode;
+  const char* slug;
+  StatusCode want_code;
+  /// The damage is inside a section payload, so the lazy per-section
+  /// verify (and its `snapshot.corrupt_section` counter) must fire.
+  bool hits_section_verify;
+};
+
+constexpr ModeCase kModes[] = {
+    {SnapshotCorruptionMode::kFlipMagic, "flip-magic", StatusCode::kParseError,
+     false},
+    {SnapshotCorruptionMode::kZeroSectionChecksum, "zero-section-checksum",
+     StatusCode::kParseError, true},
+    {SnapshotCorruptionMode::kTruncateMidSection, "truncate-mid-section",
+     StatusCode::kOutOfRange, false},
+    {SnapshotCorruptionMode::kBitFlipPayload, "bitflip-payload",
+     StatusCode::kParseError, true},
+    {SnapshotCorruptionMode::kWrongDigest, "wrong-digest",
+     StatusCode::kFailedPrecondition, false},
+};
+
+class SnapshotCorruptionTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    // Process-unique: ctest runs each discovered test as its own process,
+    // in parallel, and a shared name would let one process's teardown
+    // delete the snapshot another is corrupting.
+    good_path_ = new std::string(::testing::TempDir() +
+                                 "/snap_corruption_good_" +
+                                 std::to_string(::getpid()) + ".snap");
+    LoadedWorld world = BuildWorld();
+    digest_ = DigestGeneratedWorld(kWorldSeed, /*small_world=*/true);
+    ASSERT_TRUE(WriteSnapshotForWorld(world, digest_, *good_path_).ok());
+    reference_triangle_ =
+        new std::vector<uint16_t>(world.world_cache->triangle());
+  }
+  static void TearDownTestSuite() {
+    std::remove(good_path_->c_str());
+    delete good_path_;
+    delete reference_triangle_;
+    good_path_ = nullptr;
+    reference_triangle_ = nullptr;
+  }
+
+  void SetUp() override {
+    path_ = ::testing::TempDir() + "/snap_corruption_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name() +
+            ".snap";
+    Cleanup();
+  }
+  void TearDown() override { Cleanup(); }
+  void Cleanup() {
+    std::remove(path_.c_str());
+    std::remove((path_ + ".tmp").c_str());
+    std::remove((path_ + ".quarantined").c_str());
+  }
+
+  static LoadedWorld BuildWorld() {
+    datagen::WorldSpec spec = datagen::WorldSpec::Small();
+    spec.seed = kWorldSeed;
+    auto generated = datagen::GenerateWorld(spec);
+    EXPECT_TRUE(generated.ok()) << generated.status().ToString();
+    LoadedWorld world;
+    world.registry_ptr = std::move(generated->universe.registry);
+    world.database = std::move(generated->database);
+    recipe::Cuisine cuisine = world.db().WorldCuisine();
+    world.world_cache.emplace(world.registry(), cuisine.unique_ingredients(),
+                              AnalysisOptions{});
+    return world;
+  }
+
+  void Corrupt(SnapshotCorruptionMode mode, uint64_t seed) {
+    ASSERT_TRUE(CorruptSnapshotFile(*good_path_, path_, mode, seed).ok());
+  }
+
+  bool Exists(const std::string& p) const {
+    FILE* f = std::fopen(p.c_str(), "rb");
+    if (f == nullptr) return false;
+    std::fclose(f);
+    return true;
+  }
+
+  static uint64_t CounterValue(const char* name) {
+    return obs::MetricsRegistry::Default().GetCounter(name).Value();
+  }
+
+  std::string path_;
+  static std::string* good_path_;
+  static std::vector<uint16_t>* reference_triangle_;
+  static uint64_t digest_;
+};
+
+std::string* SnapshotCorruptionTest::good_path_ = nullptr;
+std::vector<uint16_t>* SnapshotCorruptionTest::reference_triangle_ = nullptr;
+uint64_t SnapshotCorruptionTest::digest_ = 0;
+
+// Direct loads: each corruption class yields its typed status. Several
+// chaos seeds per mode so the seed-selected target section varies and
+// every decoder sees damaged bytes eventually.
+TEST_F(SnapshotCorruptionTest, EveryModeYieldsItsTypedError) {
+  for (const ModeCase& c : kModes) {
+    for (uint64_t chaos_seed : {1234ULL, 7ULL, 99ULL}) {
+      SCOPED_TRACE(std::string(c.slug) + " seed " +
+                   std::to_string(chaos_seed));
+      Corrupt(c.mode, chaos_seed);
+      auto loaded = LoadWorldSnapshot(path_, {.expected_digest = digest_});
+      ASSERT_FALSE(loaded.ok()) << c.slug;
+      EXPECT_EQ(loaded.status().code(), c.want_code)
+          << loaded.status().ToString();
+      EXPECT_TRUE(IsCorruptionStatus(loaded.status()))
+          << loaded.status().ToString();
+    }
+  }
+}
+
+// kStrict fails fast: the typed error surfaces, the rebuild is never
+// consulted, and the damaged file stays in place for forensics.
+TEST_F(SnapshotCorruptionTest, StrictPolicyFailsFastWithoutRebuilding) {
+  for (const ModeCase& c : kModes) {
+    SCOPED_TRACE(c.slug);
+    Corrupt(c.mode, 1234);
+    size_t rebuilds = 0;
+    auto rebuild = [&]() -> Result<LoadedWorld> {
+      ++rebuilds;
+      return BuildWorld();
+    };
+    SnapshotFallbackReport report;
+    auto world = LoadWorldSnapshotOrRebuild(path_, digest_,
+                                            ErrorPolicy::kStrict, rebuild,
+                                            /*rewrite_snapshot=*/true, &report);
+    ASSERT_FALSE(world.ok()) << c.slug;
+    EXPECT_EQ(world.status().code(), c.want_code);
+    EXPECT_EQ(rebuilds, 0u);
+    EXPECT_FALSE(report.fell_back);
+    EXPECT_TRUE(Exists(path_));
+    EXPECT_FALSE(Exists(path_ + ".quarantined"));
+  }
+}
+
+// kBestEffort degrades: quarantine the damaged file, rebuild from source,
+// refresh the snapshot — and the rebuilt world is bit-identical to what the
+// intact snapshot would have produced. Counters record the degradation.
+TEST_F(SnapshotCorruptionTest, BestEffortFallsBackQuarantinesAndRefreshes) {
+  obs::SetEnabled(true);
+  for (const ModeCase& c : kModes) {
+    SCOPED_TRACE(c.slug);
+    Cleanup();
+    Corrupt(c.mode, 1234);
+    const uint64_t fallback_before = CounterValue("snapshot.fallback");
+    const uint64_t corrupt_before = CounterValue("snapshot.corrupt_section");
+    size_t rebuilds = 0;
+    auto rebuild = [&]() -> Result<LoadedWorld> {
+      ++rebuilds;
+      return BuildWorld();
+    };
+    SnapshotFallbackReport report;
+    auto world = LoadWorldSnapshotOrRebuild(path_, digest_,
+                                            ErrorPolicy::kBestEffort, rebuild,
+                                            /*rewrite_snapshot=*/true, &report);
+    ASSERT_TRUE(world.ok()) << world.status().ToString();
+    EXPECT_EQ(rebuilds, 1u);
+    EXPECT_TRUE(report.fell_back);
+    EXPECT_TRUE(report.rewrote);
+    EXPECT_FALSE(report.note.empty());
+    EXPECT_EQ(report.quarantine_path, path_ + ".quarantined");
+    EXPECT_TRUE(Exists(path_ + ".quarantined"));
+
+    // Degradation is invisible to analysis: the rebuilt triangle matches
+    // the one the intact snapshot carried.
+    ASSERT_TRUE(world->world_cache.has_value());
+    EXPECT_EQ(world->world_cache->triangle(), *reference_triangle_);
+
+    // The refreshed snapshot is immediately loadable again.
+    auto reloaded = LoadWorldSnapshot(path_, {.expected_digest = digest_});
+    ASSERT_TRUE(reloaded.ok()) << reloaded.status().ToString();
+    EXPECT_EQ(reloaded->world_cache->triangle(), *reference_triangle_);
+
+    EXPECT_EQ(CounterValue("snapshot.fallback"), fallback_before + 1);
+    if (c.hits_section_verify) {
+      EXPECT_GT(CounterValue("snapshot.corrupt_section"), corrupt_before)
+          << c.slug;
+    }
+  }
+  obs::SetEnabled(false);
+}
+
+// kSkipAndReport takes the same degradation path as kBestEffort.
+TEST_F(SnapshotCorruptionTest, SkipAndReportAlsoDegrades) {
+  Corrupt(SnapshotCorruptionMode::kBitFlipPayload, 1234);
+  size_t rebuilds = 0;
+  auto rebuild = [&]() -> Result<LoadedWorld> {
+    ++rebuilds;
+    return BuildWorld();
+  };
+  SnapshotFallbackReport report;
+  auto world = LoadWorldSnapshotOrRebuild(path_, digest_,
+                                          ErrorPolicy::kSkipAndReport, rebuild,
+                                          /*rewrite_snapshot=*/false, &report);
+  ASSERT_TRUE(world.ok());
+  EXPECT_EQ(rebuilds, 1u);
+  EXPECT_TRUE(report.fell_back);
+  EXPECT_FALSE(report.rewrote);
+  EXPECT_FALSE(Exists(path_)) << "quarantine moves the damaged file aside";
+}
+
+// A corrupt snapshot plus a failing rebuild must surface the rebuild error
+// (there is nothing left to degrade to), still leaving the quarantine.
+TEST_F(SnapshotCorruptionTest, FallbackPropagatesRebuildFailure) {
+  Corrupt(SnapshotCorruptionMode::kFlipMagic, 1234);
+  auto rebuild = []() -> Result<LoadedWorld> {
+    return Status::IOError("source CSVs unreadable");
+  };
+  auto world = LoadWorldSnapshotOrRebuild(
+      path_, digest_, ErrorPolicy::kBestEffort, rebuild, true, nullptr);
+  ASSERT_FALSE(world.ok());
+  EXPECT_EQ(world.status().code(), StatusCode::kIOError);
+  EXPECT_TRUE(Exists(path_ + ".quarantined"));
+}
+
+}  // namespace
+}  // namespace culinary::snapshot

@@ -17,7 +17,7 @@
 // bit-identical for num_threads ∈ {1, 2, 8}.
 //
 // Usage: bench_report [--small] [--threads=T] [--reps=R] [--null-recipes=N]
-//                     [--out=PATH] [--check=BASELINE.json]
+//                     [--out=PATH] [--check=BASELINE.json] [--ingest]
 //
 // With --check, no report is written; instead the freshly measured bitset
 // kernel is compared against the committed baseline and the run fails
@@ -25,6 +25,15 @@
 // be compared — unreadable, truncated, or recorded on different hardware or
 // world size — is reported as "no comparable baseline" and the check passes
 // (exit 0): only a real measured regression should fail CI.
+//
+// With --ingest, the tool instead measures the two ways the CLI can reach
+// its first statistic: a CSV cold start (parse registry + recipes, build
+// the world PairingCache) versus a binary snapshot load (mmap + verify +
+// rehydrate the precomputed triangle). It asserts the two paths produce a
+// bit-identical triangle and first statistic, and writes BENCH_ingest.json
+// (default) with both wall times and the speedup. --ingest --check=FILE
+// gates snapshot_to_first_stat_ms against the committed baseline with the
+// same 20% threshold and incomparable-baseline skip rules.
 
 #include <algorithm>
 #include <chrono>
@@ -32,6 +41,8 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <iomanip>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -45,6 +56,9 @@
 #include "common/string_util.h"
 #include "datagen/world.h"
 #include "flavor/bitset.h"
+#include "flavor/registry_io.h"
+#include "recipe/database.h"
+#include "snapshot/snapshot.h"
 
 namespace {
 
@@ -57,10 +71,11 @@ using culinary::analysis::PairingCache;
 
 struct Args {
   bool small = false;
+  bool ingest = false;  // measure CSV cold start vs snapshot load instead
   size_t threads = 8;
   size_t reps = 3;
   size_t null_recipes = 20000;
-  std::string out_path = "BENCH_pairing.json";
+  std::string out_path;  // defaulted per mode after parsing
   std::string check_path;  // non-empty → regression-check mode
 };
 
@@ -70,6 +85,8 @@ Args ParseArgs(int argc, char** argv) {
     std::string a = argv[i];
     if (a == "--small") {
       args.small = true;
+    } else if (a == "--ingest") {
+      args.ingest = true;
     } else if (culinary::StartsWith(a, "--threads=")) {
       args.threads = std::strtoull(a.c_str() + strlen("--threads="), nullptr, 10);
     } else if (culinary::StartsWith(a, "--reps=")) {
@@ -84,6 +101,9 @@ Args ParseArgs(int argc, char** argv) {
     }
   }
   args.reps = std::max<size_t>(args.reps, 1);
+  if (args.out_path.empty()) {
+    args.out_path = args.ingest ? "BENCH_ingest.json" : "BENCH_pairing.json";
+  }
   return args;
 }
 
@@ -311,11 +331,278 @@ int CheckAgainstBaseline(const Args& args, bool small, double bitset_ns) {
   return 0;
 }
 
+// ---------------------------------------------------------------------------
+// Ingest mode: CSV cold start vs snapshot load.
+// ---------------------------------------------------------------------------
+
+/// Ingest-mode twin of CheckAgainstBaseline: gates the time-to-first-stat
+/// of the snapshot path, with the same incomparable-baseline skip rules.
+int CheckIngestBaseline(const Args& args, bool small, double snapshot_ms) {
+  auto no_baseline = [&](const char* why) {
+    std::fprintf(stderr,
+                 "[bench_report] no comparable baseline (%s: %s); skipping "
+                 "regression check\n",
+                 why, args.check_path.c_str());
+    return 0;
+  };
+  std::ifstream in(args.check_path);
+  if (!in) return no_baseline("cannot read");
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const std::string baseline = buf.str();
+  if (baseline.find('}') == std::string::npos) {
+    return no_baseline("truncated or empty");
+  }
+  double baseline_ms = 0;
+  if (!ExtractJsonNumber(baseline, "snapshot_to_first_stat_ms", &baseline_ms) ||
+      baseline_ms <= 0) {
+    return no_baseline("lacks snapshot_to_first_stat_ms");
+  }
+  double baseline_hw = 0;
+  if (ExtractJsonNumber(baseline, "hardware_concurrency", &baseline_hw) &&
+      baseline_hw > 0 &&
+      static_cast<unsigned>(baseline_hw) !=
+          std::thread::hardware_concurrency()) {
+    return no_baseline("recorded on different hardware");
+  }
+  std::string baseline_world;
+  if (ExtractJsonString(baseline, "world", &baseline_world) &&
+      baseline_world != (small ? "small" : "default")) {
+    return no_baseline("recorded for a different world size");
+  }
+  if (snapshot_ms > 1.2 * baseline_ms) {
+    std::fprintf(stderr,
+                 "[bench_report] FAIL: snapshot load regressed: %.3f ms "
+                 "vs baseline %.3f ms (>20%% slower)\n",
+                 snapshot_ms, baseline_ms);
+    return 1;
+  }
+  std::fprintf(stderr,
+               "[bench_report] snapshot load OK: %.3f ms vs baseline %.3f "
+               "ms\n",
+               snapshot_ms, baseline_ms);
+  return 0;
+}
+
+/// Per-rep breakdown of one path to the first statistic.
+struct IngestRep {
+  double load_ms = 0;    // parse / mmap+decode into a LoadedWorld
+  double cache_ms = 0;   // PairingCache availability (0 when rehydrated)
+  double stat_ms = 0;    // CuisineMeanPairing over the world cuisine
+  double total_ms() const { return load_ms + cache_ms + stat_ms; }
+};
+
+int RunIngestBenchmark(const Args& args) {
+  using namespace culinary;  // NOLINT(build/namespaces)
+  namespace snap = culinary::snapshot;
+
+  datagen::WorldSpec spec =
+      args.small ? datagen::WorldSpec::Small() : datagen::WorldSpec::Default();
+  std::fprintf(stderr, "[bench_report] ingest: generating world (%s)...\n",
+               args.small ? "small" : "default");
+  auto world_result = datagen::GenerateWorld(spec);
+  if (!world_result.ok()) {
+    std::fprintf(stderr, "world generation failed: %s\n",
+                 world_result.status().ToString().c_str());
+    return 1;
+  }
+  const datagen::SyntheticWorld& world = world_result.value();
+
+  // Export the world to the CSV form a real deployment would cold-start
+  // from, then digest those bytes — the snapshot is pinned to them.
+  const std::string prefix = "bench_ingest_world";
+  const std::string recipes_path = prefix + "_recipes.csv";
+  const std::string snap_path = prefix + ".snap";
+  if (Status s = flavor::SaveRegistryCsv(world.registry(), prefix); !s.ok()) {
+    std::fprintf(stderr, "registry export failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  if (Status s = world.db().SaveCsv(recipes_path); !s.ok()) {
+    std::fprintf(stderr, "recipe export failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  auto digest = snap::DigestFiles(
+      {prefix + "_molecules.csv", prefix + "_entities.csv", recipes_path});
+  if (!digest.ok()) {
+    std::fprintf(stderr, "digest failed: %s\n",
+                 digest.status().ToString().c_str());
+    return 1;
+  }
+  AnalysisOptions exec{.num_threads = args.threads};
+
+  // --- CSV cold start: parse both registry files + recipes, build the
+  // world PairingCache from scratch, compute the first statistic.
+  std::fprintf(stderr, "[bench_report] ingest: CSV cold start x%zu...\n",
+               args.reps);
+  bool ok = true;
+  double csv_first_stat = 0;
+  snap::LoadedWorld csv_world;
+  IngestRep csv_best;
+  csv_best.load_ms = 1e300;
+  for (size_t r = 0; r < args.reps && ok; ++r) {
+    IngestRep rep;
+    auto t0 = std::chrono::steady_clock::now();
+    auto registry = flavor::LoadRegistryCsv(prefix);
+    if (!registry.ok()) {
+      std::fprintf(stderr, "CSV registry load failed: %s\n",
+                   registry.status().ToString().c_str());
+      ok = false;
+      break;
+    }
+    auto registry_ptr =
+        std::make_unique<flavor::FlavorRegistry>(std::move(registry).value());
+    auto db = recipe::RecipeDatabase::LoadCsv(recipes_path, registry_ptr.get());
+    if (!db.ok()) {
+      std::fprintf(stderr, "CSV recipe load failed: %s\n",
+                   db.status().ToString().c_str());
+      ok = false;
+      break;
+    }
+    snap::LoadedWorld w;
+    w.registry_ptr = std::move(registry_ptr);
+    w.database =
+        std::make_unique<recipe::RecipeDatabase>(std::move(db).value());
+    auto t1 = std::chrono::steady_clock::now();
+    recipe::Cuisine world_cuisine = w.db().WorldCuisine();
+    w.world_cache.emplace(w.registry(), world_cuisine.unique_ingredients(),
+                          exec);
+    auto t2 = std::chrono::steady_clock::now();
+    csv_first_stat =
+        analysis::CuisineMeanPairing(*w.world_cache, world_cuisine, exec);
+    auto t3 = std::chrono::steady_clock::now();
+    rep.load_ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+    rep.cache_ms = std::chrono::duration<double, std::milli>(t2 - t1).count();
+    rep.stat_ms = std::chrono::duration<double, std::milli>(t3 - t2).count();
+    if (rep.total_ms() < csv_best.total_ms()) csv_best = rep;
+    csv_world = std::move(w);
+  }
+  if (!ok) return 1;
+
+  // Publish the snapshot once from the CSV-loaded world, so both timed
+  // paths materialize exactly the same bytes.
+  if (Status s = snap::WriteSnapshotForWorld(csv_world, digest.value(),
+                                             snap_path);
+      !s.ok()) {
+    std::fprintf(stderr, "snapshot write failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  double snapshot_bytes = 0;
+  {
+    std::ifstream f(snap_path, std::ios::binary | std::ios::ate);
+    if (f) snapshot_bytes = static_cast<double>(f.tellg());
+  }
+
+  // --- Snapshot load: mmap + verify + decode, triangle rehydrated by
+  // memcpy instead of rebuilt, then the same first statistic.
+  std::fprintf(stderr, "[bench_report] ingest: snapshot load x%zu...\n",
+               args.reps);
+  double snap_first_stat = 0;
+  bool triangle_identical = false;
+  IngestRep snap_best;
+  snap_best.load_ms = 1e300;
+  for (size_t r = 0; r < args.reps && ok; ++r) {
+    IngestRep rep;
+    auto t0 = std::chrono::steady_clock::now();
+    auto loaded = snap::LoadWorldSnapshot(
+        snap_path, {.expected_digest = digest.value()});
+    if (!loaded.ok() || !loaded->world_cache.has_value()) {
+      std::fprintf(stderr, "snapshot load failed: %s\n",
+                   loaded.ok() ? "no pairing section"
+                               : loaded.status().ToString().c_str());
+      ok = false;
+      break;
+    }
+    auto t1 = std::chrono::steady_clock::now();
+    recipe::Cuisine world_cuisine = loaded->db().WorldCuisine();
+    snap_first_stat = analysis::CuisineMeanPairing(*loaded->world_cache,
+                                                   world_cuisine, exec);
+    auto t2 = std::chrono::steady_clock::now();
+    rep.load_ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+    rep.stat_ms = std::chrono::duration<double, std::milli>(t2 - t1).count();
+    if (rep.total_ms() < snap_best.total_ms()) snap_best = rep;
+    triangle_identical =
+        loaded->world_cache->triangle() == csv_world.world_cache->triangle();
+  }
+  if (!ok) return 1;
+
+  // Exact comparison on purpose: degradation to CSV must be invisible to
+  // analysis output, so the snapshot path has to be bit-identical, not
+  // merely close.
+  const bool bit_identical = triangle_identical &&
+                             csv_first_stat == snap_first_stat;
+  const double csv_ms = csv_best.total_ms();
+  const double snap_ms = snap_best.total_ms();
+  const double speedup = snap_ms > 0 ? csv_ms / snap_ms : 0;
+
+  std::ostringstream json;
+  json.setf(std::ios::fixed);
+  json.precision(3);
+  json << "{\n"
+       << "  \"tool\": \"bench_report\",\n"
+       << "  \"mode\": \"ingest\",\n"
+       << "  \"world\": \"" << (args.small ? "small" : "default") << "\",\n"
+       << "  \"threads\": " << args.threads << ",\n"
+       << "  \"hardware_concurrency\": "
+       << std::thread::hardware_concurrency() << ",\n"
+       << "  \"recipes\": " << csv_world.db().num_recipes() << ",\n"
+       << "  \"world_ingredients\": "
+       << csv_world.world_cache->num_ingredients() << ",\n"
+       << "  \"snapshot_bytes\": " << snapshot_bytes << ",\n"
+       << "  \"csv_cold_start\": {\n"
+       << "    \"parse_ms\": " << csv_best.load_ms << ",\n"
+       << "    \"cache_build_ms\": " << csv_best.cache_ms << ",\n"
+       << "    \"first_stat_ms\": " << csv_best.stat_ms << ",\n"
+       << "    \"csv_to_first_stat_ms\": " << csv_ms << "\n"
+       << "  },\n"
+       << "  \"snapshot_load\": {\n"
+       << "    \"load_ms\": " << snap_best.load_ms << ",\n"
+       << "    \"first_stat_ms\": " << snap_best.stat_ms << ",\n"
+       << "    \"snapshot_to_first_stat_ms\": " << snap_ms << "\n"
+       << "  },\n"
+       << "  \"snapshot_speedup\": " << speedup << ",\n"
+       << "  \"first_stat\": " << std::setprecision(9) << csv_first_stat
+       << std::setprecision(3) << ",\n"
+       << "  \"bit_identical\": " << (bit_identical ? "true" : "false") << "\n"
+       << "}\n";
+
+  std::printf("%s", json.str().c_str());
+
+  // The exported corpus and snapshot are scratch artifacts.
+  std::remove((prefix + "_molecules.csv").c_str());
+  std::remove((prefix + "_entities.csv").c_str());
+  std::remove(recipes_path.c_str());
+  std::remove(snap_path.c_str());
+
+  if (!bit_identical) {
+    std::fprintf(stderr,
+                 "[bench_report] FAIL: snapshot path diverged from CSV cold "
+                 "start (triangle %s, stat %.9f vs %.9f)\n",
+                 triangle_identical ? "identical" : "differs", csv_first_stat,
+                 snap_first_stat);
+    return 1;
+  }
+  if (!args.check_path.empty()) {
+    return CheckIngestBaseline(args, args.small, snap_ms);
+  }
+  std::ofstream out(args.out_path);
+  if (!out) {
+    std::fprintf(stderr, "[bench_report] cannot write %s\n",
+                 args.out_path.c_str());
+    return 1;
+  }
+  out << json.str();
+  std::fprintf(stderr,
+               "[bench_report] wrote %s (speedup %.2fx, snapshot %.0f KB)\n",
+               args.out_path.c_str(), speedup, snapshot_bytes / 1024.0);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace culinary;  // NOLINT(build/namespaces)
   Args args = ParseArgs(argc, argv);
+  if (args.ingest) return RunIngestBenchmark(args);
 
   datagen::WorldSpec spec =
       args.small ? datagen::WorldSpec::Small() : datagen::WorldSpec::Default();

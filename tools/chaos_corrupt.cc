@@ -1,16 +1,21 @@
-// chaos_corrupt: deterministically mangles a serialized corpus (CSV) with
-// the damage mix real scraped corpora exhibit — truncation, unterminated
-// quotes, bit flips, duplicated records, oversized fields, ragged rows.
-// The schedule is a pure function of (input bytes, --seed), so a failing
-// downstream run replays exactly.
+// chaos_corrupt: deterministically mangles a serialized corpus with the
+// damage mix real deployments exhibit. The schedule is a pure function of
+// (input bytes, --seed), so a failing downstream run replays exactly.
 //
-// Usage: chaos_corrupt <in.csv> <out.csv> [--rate=0.05] [--seed=N]
-//                      [--no-truncate] [--no-quote] [--no-bitflip]
-//                      [--no-dup] [--no-oversize] [--no-ragged]
-//                      [--corrupt-header]
+// CSV mode (default): truncation, unterminated quotes, bit flips,
+// duplicated records, oversized fields, ragged rows.
 //
-// Prints the applied mutation tally to stderr and exits nonzero on IO
-// failure.
+// Snapshot mode (--snapshot-mode=MODE): targets one corruption class of the
+// binary world-snapshot format per run, so every loader branch is
+// reachable from a soak script. Modes: flip-magic, zero-section-checksum,
+// truncate-mid-section, bitflip-payload, wrong-digest.
+//
+// Usage: chaos_corrupt <in> <out> [--seed=N]
+//          [--rate=0.05] [--no-truncate] [--no-quote] [--no-bitflip]
+//          [--no-dup] [--no-oversize] [--no-ragged] [--corrupt-header]
+//          [--snapshot-mode=MODE]
+//
+// Prints the applied mutation to stderr and exits nonzero on IO failure.
 
 #include <cstdio>
 #include <cstdlib>
@@ -19,16 +24,19 @@
 
 #include "common/string_util.h"
 #include "robustness/chaos.h"
+#include "snapshot/chaos.h"
 
 namespace {
 
 void PrintUsage() {
   std::fprintf(
       stderr,
-      "usage: chaos_corrupt <in.csv> <out.csv> [--rate=0.05] [--seed=N]\n"
+      "usage: chaos_corrupt <in> <out> [--rate=0.05] [--seed=N]\n"
       "                     [--no-truncate] [--no-quote] [--no-bitflip]\n"
       "                     [--no-dup] [--no-oversize] [--no-ragged]\n"
-      "                     [--corrupt-header]\n");
+      "                     [--corrupt-header]\n"
+      "                     [--snapshot-mode=flip-magic|zero-section-checksum|"
+      "truncate-mid-section|bitflip-payload|wrong-digest]\n");
 }
 
 }  // namespace
@@ -45,9 +53,12 @@ int main(int argc, char** argv) {
   const std::string in_path = argv[1];
   const std::string out_path = argv[2];
   ChaosOptions options;
+  std::string snapshot_mode;
   for (int i = 3; i < argc; ++i) {
     std::string a = argv[i];
-    if (StartsWith(a, "--rate=")) {
+    if (StartsWith(a, "--snapshot-mode=")) {
+      snapshot_mode = a.substr(strlen("--snapshot-mode="));
+    } else if (StartsWith(a, "--rate=")) {
       options.corruption_rate = std::strtod(a.c_str() + strlen("--rate="), nullptr);
     } else if (StartsWith(a, "--seed=")) {
       options.seed = std::strtoull(a.c_str() + strlen("--seed="), nullptr, 10);
@@ -70,6 +81,27 @@ int main(int argc, char** argv) {
       PrintUsage();
       return 2;
     }
+  }
+
+  if (!snapshot_mode.empty()) {
+    auto mode = culinary::snapshot::ParseSnapshotCorruptionMode(snapshot_mode);
+    if (!mode.ok()) {
+      std::fprintf(stderr, "chaos_corrupt: %s\n",
+                   mode.status().ToString().c_str());
+      PrintUsage();
+      return 2;
+    }
+    culinary::Status status = culinary::snapshot::CorruptSnapshotFile(
+        in_path, out_path, mode.value(), options.seed);
+    if (!status.ok()) {
+      std::fprintf(stderr, "chaos_corrupt: %s\n", status.ToString().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "chaos_corrupt: %s -> %s (seed %llu): snapshot %s\n",
+                 in_path.c_str(), out_path.c_str(),
+                 static_cast<unsigned long long>(options.seed),
+                 snapshot_mode.c_str());
+    return 0;
   }
 
   ChaosStats stats;

@@ -26,6 +26,14 @@
 // observability layer on for the run; results are unchanged (the layer only
 // records, it never steers execution).
 //
+// Snapshots (any world-consuming subcommand): --snapshot-out=FILE saves the
+// built world — registry, recipes, and the world pairing triangle — as a
+// crash-safe binary snapshot; --snapshot-in=FILE loads it instead of
+// regenerating/re-parsing (5x+ faster cold start). A snapshot whose
+// world-inputs digest no longer matches the requested inputs, or that is
+// corrupt, is quarantined and the world rebuilt from source, after which the
+// snapshot is automatically refreshed.
+//
 // Lifecycle (pairing / analyze): --deadline-ms=N bounds the whole command's
 // analysis wall time — an ensemble that overruns stops at the next block
 // boundary and the command exits 3. --checkpoint=PREFIX persists completed
@@ -59,6 +67,8 @@
 #include "recipe/database.h"
 #include "network/flavor_network.h"
 #include "recipe/parser.h"
+#include "robustness/error_sink.h"
+#include "snapshot/snapshot.h"
 
 /// Binds the value of a Result or prints the error and exits the command.
 #define CULINARY_ASSIGN_OR_RETURN_FOR_MAIN(var, expr)          \
@@ -86,6 +96,11 @@ struct GlobalArgs {
   size_t probes = 10;
   std::string metrics_out;
   std::string trace_out;
+  /// Load the world from this binary snapshot instead of rebuilding it;
+  /// corruption or a stale digest degrades to a rebuild + auto-refresh.
+  std::string snapshot_in;
+  /// Write the world as a binary snapshot after building it.
+  std::string snapshot_out;
   double deadline_ms = 0.0;  ///< 0 = no deadline
   std::string checkpoint;
   bool resume = false;
@@ -164,6 +179,10 @@ GlobalArgs ParseArgs(int argc, char** argv, int first) {
       args.metrics_out = value("--metrics-out=");
     } else if (StartsWith(a, "--trace-out=")) {
       args.trace_out = value("--trace-out=");
+    } else if (StartsWith(a, "--snapshot-in=")) {
+      args.snapshot_in = value("--snapshot-in=");
+    } else if (StartsWith(a, "--snapshot-out=")) {
+      args.snapshot_out = value("--snapshot-out=");
     } else if (StartsWith(a, "--deadline-ms=")) {
       if (!ParseNonNegativeDoubleValue(value("--deadline-ms="),
                                        &args.deadline_ms)) {
@@ -182,18 +201,87 @@ GlobalArgs ParseArgs(int argc, char** argv, int first) {
   return args;
 }
 
-Result<datagen::SyntheticWorld> BuildWorld(const GlobalArgs& args) {
+datagen::WorldSpec WorldSpecFor(const GlobalArgs& args) {
   datagen::WorldSpec spec =
       args.small ? datagen::WorldSpec::Small() : datagen::WorldSpec::Default();
   if (args.seed != 0) spec.seed = args.seed;
+  return spec;
+}
+
+Result<datagen::SyntheticWorld> BuildWorld(const GlobalArgs& args) {
+  datagen::WorldSpec spec = WorldSpecFor(args);
   std::fprintf(stderr, "generating %s world (seed %llu)...\n",
                args.small ? "small" : "default",
                static_cast<unsigned long long>(spec.seed));
   return datagen::GenerateWorld(spec);
 }
 
+/// Digest of the inputs the generated world is a pure function of.
+uint64_t GeneratedWorldDigest(const GlobalArgs& args) {
+  return snapshot::DigestGeneratedWorld(WorldSpecFor(args).seed, args.small);
+}
+
+/// Acquires a world for `digest`-pinned inputs: straight rebuild without
+/// `--snapshot-in`, otherwise snapshot load with kBestEffort degradation
+/// (quarantine + rebuild + auto-refresh) and a stderr account of what
+/// happened. `--snapshot-out` always publishes a fresh snapshot.
+Result<snapshot::LoadedWorld> AcquireWorldWith(
+    const GlobalArgs& args, uint64_t digest,
+    const snapshot::WorldRebuildFn& rebuild) {
+  Result<snapshot::LoadedWorld> world = Status::Internal("unset");
+  if (args.snapshot_in.empty()) {
+    world = rebuild();
+  } else {
+    snapshot::SnapshotFallbackReport report;
+    world = snapshot::LoadWorldSnapshotOrRebuild(
+        args.snapshot_in, digest, robustness::ErrorPolicy::kBestEffort,
+        rebuild, /*rewrite_snapshot=*/true, &report);
+    if (report.snapshot_used) {
+      std::fprintf(stderr, "world loaded from snapshot %s\n",
+                   args.snapshot_in.c_str());
+    } else if (report.fell_back) {
+      std::fprintf(stderr,
+                   "warning: snapshot %s unusable (%s); rebuilt from source%s\n",
+                   args.snapshot_in.c_str(), report.note.c_str(),
+                   report.rewrote ? " and refreshed the snapshot" : "");
+      if (!report.quarantine_path.empty()) {
+        std::fprintf(stderr, "warning: corrupt snapshot quarantined at %s\n",
+                     report.quarantine_path.c_str());
+      }
+    } else if (report.snapshot_missing) {
+      std::fprintf(stderr, "no snapshot at %s; built from source%s\n",
+                   args.snapshot_in.c_str(),
+                   report.rewrote ? " and wrote one" : "");
+    }
+  }
+  if (world.ok() && !args.snapshot_out.empty() &&
+      args.snapshot_out != args.snapshot_in) {
+    Status wrote = snapshot::WriteSnapshotForWorld(world.value(), digest,
+                                                   args.snapshot_out);
+    if (!wrote.ok()) {
+      return wrote.WithContext("writing snapshot " + args.snapshot_out);
+    }
+    std::fprintf(stderr, "snapshot written to %s\n", args.snapshot_out.c_str());
+  }
+  return world;
+}
+
+/// The standard path for subcommands over the generated world.
+Result<snapshot::LoadedWorld> AcquireWorld(const GlobalArgs& args) {
+  return AcquireWorldWith(
+      args, GeneratedWorldDigest(args),
+      [&args]() -> Result<snapshot::LoadedWorld> {
+        CULINARY_ASSIGN_OR_RETURN(datagen::SyntheticWorld generated,
+                                  BuildWorld(args));
+        snapshot::LoadedWorld world;
+        world.registry_ptr = std::move(generated.universe.registry);
+        world.database = std::move(generated.database);
+        return world;
+      });
+}
+
 int CmdStats(const GlobalArgs& args) {
-  CULINARY_ASSIGN_OR_RETURN_FOR_MAIN(world, BuildWorld(args));
+  CULINARY_ASSIGN_OR_RETURN_FOR_MAIN(world, AcquireWorld(args));
   analysis::TextTable table({"Region", "Code", "Recipes", "Ingredients",
                              "Mean size"});
   for (int i = 0; i < recipe::kNumRegions; ++i) {
@@ -227,6 +315,19 @@ int CmdExport(const GlobalArgs& args) {
   }
   std::printf("wrote %s_{recipes,ingredients,molecules,entities}.csv\n",
               args.out.c_str());
+  if (!args.snapshot_out.empty()) {
+    analysis::PairingCache cache(world.registry(),
+                                 world.db().WorldCuisine().unique_ingredients());
+    s = snapshot::WriteWorldSnapshot(world.registry(), world.db(), &cache,
+                                     GeneratedWorldDigest(args),
+                                     args.snapshot_out);
+    if (!s.ok()) {
+      std::fprintf(stderr, "snapshot export failed: %s\n",
+                   s.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote snapshot %s\n", args.snapshot_out.c_str());
+  }
   return 0;
 }
 
@@ -279,7 +380,7 @@ void ReportCheckpointUse(const GlobalArgs& args,
   }
 }
 
-int PairingReport(const datagen::SyntheticWorld& world,
+int PairingReport(const snapshot::LoadedWorld& world,
                   const recipe::Cuisine& cuisine, const GlobalArgs& args) {
   analysis::PairingCache cache(world.registry(),
                                cuisine.unique_ingredients());
@@ -304,7 +405,7 @@ int PairingReport(const datagen::SyntheticWorld& world,
 }
 
 int CmdPairing(const GlobalArgs& args) {
-  CULINARY_ASSIGN_OR_RETURN_FOR_MAIN(world, BuildWorld(args));
+  CULINARY_ASSIGN_OR_RETURN_FOR_MAIN(world, AcquireWorld(args));
   if (!args.region.empty()) {
     auto region = recipe::RegionFromCode(args.region);
     if (!region.has_value() || *region == recipe::Region::kWorld) {
@@ -327,7 +428,7 @@ int CmdPartners(const GlobalArgs& args) {
     std::fprintf(stderr, "usage: culinary partners NAME [--top=K]\n");
     return 2;
   }
-  CULINARY_ASSIGN_OR_RETURN_FOR_MAIN(world, BuildWorld(args));
+  CULINARY_ASSIGN_OR_RETURN_FOR_MAIN(world, AcquireWorld(args));
   const flavor::FlavorRegistry& reg = world.registry();
   flavor::IngredientId id = reg.FindByName(args.positional[0]);
   if (id == flavor::kInvalidIngredient) {
@@ -364,7 +465,7 @@ int CmdParse(const GlobalArgs& args) {
     std::fprintf(stderr, "usage: culinary parse PHRASE...\n");
     return 2;
   }
-  CULINARY_ASSIGN_OR_RETURN_FOR_MAIN(world, BuildWorld(args));
+  CULINARY_ASSIGN_OR_RETURN_FOR_MAIN(world, AcquireWorld(args));
   recipe::IngredientPhraseParser parser(&world.registry());
   for (const std::string& phrase : args.positional) {
     recipe::PhraseMatch m = parser.Parse(phrase);
@@ -386,7 +487,7 @@ int CmdParse(const GlobalArgs& args) {
 }
 
 int CmdClassify(const GlobalArgs& args) {
-  CULINARY_ASSIGN_OR_RETURN_FOR_MAIN(world, BuildWorld(args));
+  CULINARY_ASSIGN_OR_RETURN_FOR_MAIN(world, AcquireWorld(args));
   analysis::CuisineClassifier classifier(world.db().AllCuisines());
   auto eval = classifier.EvaluateLeaveOneOut(args.probes);
   analysis::TextTable table({"Region", "LOO accuracy"});
@@ -400,19 +501,11 @@ int CmdClassify(const GlobalArgs& args) {
   return 0;
 }
 
-int AnalyzeAgainstRegistry(const GlobalArgs& args,
-                           const flavor::FlavorRegistry& registry) {
-  size_t skipped = 0;
-  auto db =
-      recipe::RecipeDatabase::LoadCsv(args.recipes_file, &registry, &skipped);
-  if (!db.ok()) {
-    std::fprintf(stderr, "load failed: %s\n", db.status().ToString().c_str());
-    return 1;
-  }
-  std::printf("loaded %zu recipes (%zu rows skipped) from %s\n",
-              db->num_recipes(), skipped, args.recipes_file.c_str());
+int AnalyzeWithDatabase(const GlobalArgs& args,
+                        const flavor::FlavorRegistry& registry,
+                        const recipe::RecipeDatabase& db) {
   for (int i = 0; i < recipe::kNumRegions; ++i) {
-    recipe::Cuisine cuisine = db->CuisineFor(recipe::AllRegions()[i]);
+    recipe::Cuisine cuisine = db.CuisineFor(recipe::AllRegions()[i]);
     if (cuisine.num_recipes() < 10) continue;  // too small to analyze
     analysis::PairingCache cache(registry, cuisine.unique_ingredients());
     analysis::EnsembleProgress progress;
@@ -436,25 +529,60 @@ int AnalyzeAgainstRegistry(const GlobalArgs& args,
   return 0;
 }
 
+/// Digest of everything `analyze` consumes: the recipe CSV bytes plus
+/// either the saved registry CSVs or the generated-world inputs. Any byte
+/// change in any file makes dependent snapshots stale.
+Result<uint64_t> AnalyzeInputsDigest(const GlobalArgs& args) {
+  if (!args.registry_prefix.empty()) {
+    return snapshot::DigestFiles({args.registry_prefix + "_molecules.csv",
+                                  args.registry_prefix + "_entities.csv",
+                                  args.recipes_file});
+  }
+  CULINARY_ASSIGN_OR_RETURN(uint64_t recipes_digest,
+                            snapshot::DigestFiles({args.recipes_file}));
+  return snapshot::CombineDigests(GeneratedWorldDigest(args), recipes_digest);
+}
+
 int CmdAnalyze(const GlobalArgs& args) {
   if (args.recipes_file.empty()) {
     std::fprintf(stderr,
                  "usage: culinary analyze --recipes=FILE [--registry=PREFIX]\n");
     return 2;
   }
-  if (!args.registry_prefix.empty()) {
-    // Self-contained mode: resolve names against a saved registry instead
-    // of regenerating the synthetic world.
-    CULINARY_ASSIGN_OR_RETURN_FOR_MAIN(
-        registry, flavor::LoadRegistryCsv(args.registry_prefix));
-    return AnalyzeAgainstRegistry(args, registry);
-  }
-  CULINARY_ASSIGN_OR_RETURN_FOR_MAIN(world, BuildWorld(args));
-  return AnalyzeAgainstRegistry(args, world.registry());
+  auto rebuild = [&args]() -> Result<snapshot::LoadedWorld> {
+    snapshot::LoadedWorld world;
+    if (!args.registry_prefix.empty()) {
+      // Self-contained mode: resolve names against a saved registry instead
+      // of regenerating the synthetic world.
+      CULINARY_ASSIGN_OR_RETURN(flavor::FlavorRegistry registry,
+                                flavor::LoadRegistryCsv(args.registry_prefix));
+      world.registry_ptr =
+          std::make_unique<flavor::FlavorRegistry>(std::move(registry));
+    } else {
+      CULINARY_ASSIGN_OR_RETURN(datagen::SyntheticWorld generated,
+                                BuildWorld(args));
+      world.registry_ptr = std::move(generated.universe.registry);
+    }
+    size_t skipped = 0;
+    auto db = recipe::RecipeDatabase::LoadCsv(
+        args.recipes_file, world.registry_ptr.get(), &skipped);
+    if (!db.ok()) {
+      return db.status().WithContext("loading " + args.recipes_file);
+    }
+    std::fprintf(stderr, "loaded %zu recipes (%zu rows skipped) from %s\n",
+                 db->num_recipes(), skipped, args.recipes_file.c_str());
+    world.database =
+        std::make_unique<recipe::RecipeDatabase>(std::move(db).value());
+    return world;
+  };
+  CULINARY_ASSIGN_OR_RETURN_FOR_MAIN(digest, AnalyzeInputsDigest(args));
+  CULINARY_ASSIGN_OR_RETURN_FOR_MAIN(world,
+                                     AcquireWorldWith(args, digest, rebuild));
+  return AnalyzeWithDatabase(args, world.registry(), world.db());
 }
 
 int CmdSimilar(const GlobalArgs& args) {
-  CULINARY_ASSIGN_OR_RETURN_FOR_MAIN(world, BuildWorld(args));
+  CULINARY_ASSIGN_OR_RETURN_FOR_MAIN(world, AcquireWorld(args));
   std::vector<recipe::Cuisine> cuisines = world.db().AllCuisines();
   auto show = [&](size_t target) -> int {
     auto nearest = analysis::NearestCuisines(
@@ -499,7 +627,7 @@ int CmdAuthentic(const GlobalArgs& args) {
     std::fprintf(stderr, "unknown region '%s'\n", args.region.c_str());
     return 1;
   }
-  CULINARY_ASSIGN_OR_RETURN_FOR_MAIN(world, BuildWorld(args));
+  CULINARY_ASSIGN_OR_RETURN_FOR_MAIN(world, AcquireWorld(args));
   std::vector<recipe::Cuisine> cuisines = world.db().AllCuisines();
   size_t target = 0;
   for (size_t c = 0; c < cuisines.size(); ++c) {
@@ -526,6 +654,9 @@ void PrintUsage() {
       " [options]\n"
       "global options: --small --seed=N --null-recipes=N"
       " --metrics-out=FILE --trace-out=FILE\n"
+      "snapshots: --snapshot-out=FILE (save the world)"
+      " --snapshot-in=FILE (load it; corrupt/stale files degrade to a\n"
+      "  rebuild, are quarantined, and the snapshot is refreshed)\n"
       "lifecycle (pairing/analyze): --deadline-ms=N --checkpoint=PREFIX"
       " --resume\n");
 }
