@@ -26,6 +26,7 @@
 #include "common/string_util.h"
 #include "common/thread_pool.h"
 #include "dataframe/csv.h"
+#include "dataframe/expr.h"
 #include "dataframe/ops.h"
 #include "dataframe/table.h"
 #include "datagen/phrase_gen.h"

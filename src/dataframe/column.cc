@@ -22,6 +22,7 @@ culinary::Status Int64Column::AppendValue(const Value& value) {
 
 ColumnPtr Int64Column::Take(const std::vector<size_t>& indices) const {
   auto out = std::make_shared<Int64Column>();
+  out->Reserve(indices.size());
   for (size_t i : indices) {
     if (IsNull(i)) {
       out->AppendNull();
@@ -60,6 +61,7 @@ culinary::Status DoubleColumn::AppendValue(const Value& value) {
 
 ColumnPtr DoubleColumn::Take(const std::vector<size_t>& indices) const {
   auto out = std::make_shared<DoubleColumn>();
+  out->Reserve(indices.size());
   for (size_t i : indices) {
     if (IsNull(i)) {
       out->AppendNull();
@@ -93,8 +95,8 @@ culinary::Status StringColumn::AppendValue(const Value& value) {
 }
 
 void StringColumn::Append(std::string_view v) {
-  auto it = index_.find(std::string(v));
   int32_t code;
+  auto it = index_.find(v);  // heterogeneous: no temporary std::string
   if (it != index_.end()) {
     code = it->second;
   } else {
@@ -108,12 +110,26 @@ void StringColumn::Append(std::string_view v) {
 
 ColumnPtr StringColumn::Take(const std::vector<size_t>& indices) const {
   auto out = std::make_shared<StringColumn>();
+  out->Reserve(indices.size());
+  // Remap codes instead of re-hashing strings per row. The remap assigns
+  // dictionary slots in first-use order, which is exactly the dictionary an
+  // Append-per-row rebuild would produce — Take stays bit-identical to the
+  // eager path while skipping the hash probe on every gathered row.
+  std::vector<int32_t> remap(dict_.size(), -1);
   for (size_t i : indices) {
     if (IsNull(i)) {
       out->AppendNull();
-    } else {
-      out->Append(at(i));
+      continue;
     }
+    const int32_t code = codes_[i];
+    int32_t& mapped = remap[static_cast<size_t>(code)];
+    if (mapped < 0) {
+      mapped = static_cast<int32_t>(out->dict_.size());
+      out->dict_.emplace_back(dict_[static_cast<size_t>(code)]);
+      out->index_.emplace(out->dict_.back(), mapped);
+    }
+    out->codes_.push_back(mapped);
+    out->MarkValid();
   }
   return out;
 }

@@ -2,12 +2,14 @@
 #define CULINARYLAB_DATAFRAME_COLUMN_H_
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <string_view>
 #include <unordered_map>
 #include <vector>
 
+#include "common/bitmap.h"
 #include "common/status.h"
 #include "dataframe/types.h"
 
@@ -16,12 +18,14 @@ namespace culinary::df {
 class Column;
 using ColumnPtr = std::shared_ptr<Column>;
 
-/// Abstract typed column with a validity bitmap.
+/// Abstract typed column with a packed validity bitmap.
 ///
 /// Columns are append-only during construction and immutable once shared
 /// inside a `Table` (operations produce new columns). Null handling: every
 /// column tracks per-row validity; `GetValue` returns `Value::Null()` for
-/// invalid rows.
+/// invalid rows. Validity is stored one bit per row (`culinary::Bitmap`) so
+/// the expression kernels can AND whole uint64 words of it into selection
+/// bitmaps and popcount null-skips instead of branching per row.
 class Column {
  public:
   virtual ~Column() = default;
@@ -33,13 +37,17 @@ class Column {
   virtual DataType type() const = 0;
 
   /// Number of rows.
-  size_t size() const { return valid_.size(); }
+  size_t size() const { return valid_.num_bits(); }
 
   /// Number of null rows.
   size_t null_count() const { return null_count_; }
 
   /// True iff row `i` is null.
-  bool IsNull(size_t i) const { return valid_[i] == 0; }
+  bool IsNull(size_t i) const { return !valid_.Test(i); }
+
+  /// Packed validity: bit `i` set iff row `i` is non-null. Kernels borrow
+  /// `validity().words()` for word-at-a-time null skipping.
+  const culinary::Bitmap& validity() const { return valid_; }
 
   /// Dynamically typed accessor for row `i`.
   virtual Value GetValue(size_t i) const = 0;
@@ -51,9 +59,15 @@ class Column {
 
   /// Appends a null row.
   void AppendNull() {
-    valid_.push_back(0);
+    valid_.PushBack(false);
     ++null_count_;
     GrowStorage();
+  }
+
+  /// Pre-allocates capacity for `rows` total rows (validity + values).
+  void Reserve(size_t rows) {
+    valid_.Reserve(rows);
+    ReserveStorage(rows);
   }
 
   /// A new column with rows reordered / subset per `indices` (each index
@@ -66,13 +80,16 @@ class Column {
  protected:
   Column() = default;
 
-  void MarkValid() { valid_.push_back(1); }
+  void MarkValid() { valid_.PushBack(true); }
 
   /// Hook for derived classes to keep their value storage aligned with the
-  /// validity vector when a null is appended.
+  /// validity bitmap when a null is appended.
   virtual void GrowStorage() = 0;
 
-  std::vector<uint8_t> valid_;
+  /// Hook for derived classes to pre-allocate value storage.
+  virtual void ReserveStorage(size_t rows) = 0;
+
+  culinary::Bitmap valid_;
   size_t null_count_ = 0;
 };
 
@@ -96,8 +113,12 @@ class Int64Column final : public Column {
   /// Raw accessor; undefined for null rows.
   int64_t at(size_t i) const { return data_[i]; }
 
+  /// Contiguous value storage (null rows hold 0). For kernels.
+  const int64_t* data() const { return data_.data(); }
+
  private:
   void GrowStorage() override { data_.push_back(0); }
+  void ReserveStorage(size_t rows) override { data_.reserve(rows); }
 
   std::vector<int64_t> data_;
 };
@@ -120,8 +141,12 @@ class DoubleColumn final : public Column {
 
   double at(size_t i) const { return data_[i]; }
 
+  /// Contiguous value storage (null rows hold 0.0). For kernels.
+  const double* data() const { return data_.data(); }
+
  private:
   void GrowStorage() override { data_.push_back(0.0); }
+  void ReserveStorage(size_t rows) override { data_.reserve(rows); }
 
   std::vector<double> data_;
 };
@@ -154,12 +179,41 @@ class StringColumn final : public Column {
   /// Number of distinct strings seen.
   size_t dictionary_size() const { return dict_.size(); }
 
+  /// Contiguous per-row codes (null rows hold -1). For kernels: string
+  /// predicates resolve the literal to a code once via `FindCode` and then
+  /// compare int32s, never per-row strings.
+  const int32_t* codes() const { return codes_.data(); }
+
+  /// Dictionary string for `code` (must be < dictionary_size()).
+  std::string_view dict_at(int32_t code) const {
+    return dict_[static_cast<size_t>(code)];
+  }
+
+  /// Code of `v` in the dictionary, or -1 when absent. Allocation-free.
+  int32_t FindCode(std::string_view v) const {
+    auto it = index_.find(v);
+    return it == index_.end() ? -1 : it->second;
+  }
+
  private:
+  /// Transparent hash so `index_.find(string_view)` probes without
+  /// materializing a temporary std::string per lookup.
+  struct StringHash {
+    using is_transparent = void;
+    size_t operator()(std::string_view v) const {
+      return std::hash<std::string_view>{}(v);
+    }
+    size_t operator()(const std::string& s) const {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+
   void GrowStorage() override { codes_.push_back(-1); }
+  void ReserveStorage(size_t rows) override { codes_.reserve(rows); }
 
   std::vector<int32_t> codes_;
   std::vector<std::string> dict_;
-  std::unordered_map<std::string, int32_t> index_;
+  std::unordered_map<std::string, int32_t, StringHash, std::equal_to<>> index_;
 };
 
 /// Creates an empty column of the given type.

@@ -307,6 +307,7 @@ culinary::Result<Table> ReadCsvString(std::string_view text,
   std::vector<Field> fields;
   for (size_t c = 0; c < num_cols; ++c) fields.push_back({names[c], types[c]});
   CULINARY_ASSIGN_OR_RETURN(Table table, Table::Make(Schema(std::move(fields))));
+  table.Reserve(kept.size());
 
   for (size_t r : kept) {
     std::vector<Value> row;

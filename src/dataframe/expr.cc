@@ -1,0 +1,854 @@
+#include "dataframe/expr.h"
+
+#include <algorithm>
+#include <array>
+#include <cstring>
+#include <thread>
+
+#include "common/thread_pool.h"
+#include "obs/obs.h"
+
+namespace culinary::df {
+
+namespace {
+
+using kernels::CmpOp;
+using kernels::kRowsPerBlock;
+
+constexpr size_t kWordsPerBlock = kRowsPerBlock / 64;
+
+const char* CmpOpName(CmpOp op) {
+  switch (op) {
+    case CmpOp::kEq: return "==";
+    case CmpOp::kNe: return "!=";
+    case CmpOp::kLt: return "<";
+    case CmpOp::kLe: return "<=";
+    case CmpOp::kGt: return ">";
+    case CmpOp::kGe: return ">=";
+  }
+  return "?";
+}
+
+const char* ArithOpName(Expr::ArithOp op) {
+  switch (op) {
+    case Expr::ArithOp::kAdd: return "+";
+    case Expr::ArithOp::kSub: return "-";
+    case Expr::ArithOp::kMul: return "*";
+    case Expr::ArithOp::kDiv: return "/";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string Expr::ToString() const {
+  switch (kind_) {
+    case Kind::kColumn:
+      return column_;
+    case Kind::kLiteral:
+      return literal_.ToString();
+    case Kind::kCompare:
+      return "(" + lhs_->ToString() + " " + CmpOpName(cmp_) + " " +
+             rhs_->ToString() + ")";
+    case Kind::kAnd:
+      return "(" + lhs_->ToString() + " AND " + rhs_->ToString() + ")";
+    case Kind::kOr:
+      return "(" + lhs_->ToString() + " OR " + rhs_->ToString() + ")";
+    case Kind::kNot:
+      return "(NOT " + lhs_->ToString() + ")";
+    case Kind::kIsNull:
+      return "(" + lhs_->ToString() +
+             (negated_ ? " IS NOT NULL)" : " IS NULL)");
+    case Kind::kArith:
+      return "(" + lhs_->ToString() + " " + ArithOpName(arith_) + " " +
+             rhs_->ToString() + ")";
+  }
+  return "?";
+}
+
+ExprPtr Col(std::string name) {
+  auto e = std::shared_ptr<Expr>(new Expr());
+  e->kind_ = Expr::Kind::kColumn;
+  e->column_ = std::move(name);
+  return e;
+}
+
+ExprPtr Lit(Value value) {
+  auto e = std::shared_ptr<Expr>(new Expr());
+  e->kind_ = Expr::Kind::kLiteral;
+  e->literal_ = std::move(value);
+  return e;
+}
+
+ExprPtr MakeCompare(CmpOp op, ExprPtr l, ExprPtr r) {
+  auto e = std::shared_ptr<Expr>(new Expr());
+  e->kind_ = Expr::Kind::kCompare;
+  e->cmp_ = op;
+  e->lhs_ = std::move(l);
+  e->rhs_ = std::move(r);
+  return e;
+}
+
+ExprPtr MakeLogical(Expr::Kind kind, ExprPtr l, ExprPtr r) {
+  auto e = std::shared_ptr<Expr>(new Expr());
+  e->kind_ = kind;
+  e->lhs_ = std::move(l);
+  e->rhs_ = std::move(r);
+  return e;
+}
+
+ExprPtr MakeIsNull(ExprPtr child, bool negated) {
+  auto e = std::shared_ptr<Expr>(new Expr());
+  e->kind_ = Expr::Kind::kIsNull;
+  e->negated_ = negated;
+  e->lhs_ = std::move(child);
+  return e;
+}
+
+ExprPtr MakeArith(Expr::ArithOp op, ExprPtr l, ExprPtr r) {
+  auto e = std::shared_ptr<Expr>(new Expr());
+  e->kind_ = Expr::Kind::kArith;
+  e->arith_ = op;
+  e->lhs_ = std::move(l);
+  e->rhs_ = std::move(r);
+  return e;
+}
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Binding: resolve column names to raw array pointers and string literals to
+// dictionary codes once, and pick the kernel for every node, so block
+// evaluation does no name lookups, no hashing and no boxed Values.
+// ---------------------------------------------------------------------------
+
+enum class BKind {
+  kConstMask,       // constant predicate (const_value)
+  kCmpI64Lit,       // int64 column vs int64 literal, exact
+  kCmpF64Lit,       // double column vs double literal
+  kCmpI64AsF64Lit,  // int64 column widened vs double literal
+  kCmpCodeEq,       // string column code vs resolved literal code (negate=Ne)
+  kCmpGeneric,      // numeric-block lhs vs rhs
+  kAnd,
+  kOr,
+  kNot,
+  kIsNull,  // column validity (negate = IS NOT NULL)
+  kNumCol,
+  kNumLit,
+  kNumArith,
+};
+
+struct BoundNode {
+  BKind kind = BKind::kConstMask;
+  CmpOp cmp = CmpOp::kEq;
+  Expr::ArithOp arith = Expr::ArithOp::kAdd;
+  bool negate = false;
+  bool const_value = false;
+  // Column leaf (exactly one data pointer set, plus validity words):
+  const int64_t* i64 = nullptr;
+  const double* f64 = nullptr;
+  const int32_t* codes = nullptr;
+  const uint64_t* valid = nullptr;
+  // Literal payloads:
+  int64_t i64_lit = 0;
+  double f64_lit = 0.0;
+  int32_t code_lit = -1;
+  bool lit_is_null = false;
+  std::unique_ptr<BoundNode> lhs;
+  std::unique_ptr<BoundNode> rhs;
+};
+
+culinary::Status NotAPredicate(const Expr& e) {
+  return culinary::Status::InvalidArgument("expression '" + e.ToString() +
+                                           "' is not a predicate");
+}
+
+culinary::Result<const Column*> ResolveColumn(const Table& table,
+                                              const Expr& e, size_t* index) {
+  auto idx = table.schema().FieldIndex(e.column_name());
+  if (!idx.has_value()) {
+    return culinary::Status::NotFound("no column named '" + e.column_name() +
+                                      "'");
+  }
+  *index = *idx;
+  return table.column(*idx).get();
+}
+
+culinary::Result<std::unique_ptr<BoundNode>> BindNumeric(const Table& table,
+                                                         const Expr& e);
+
+culinary::Result<std::unique_ptr<BoundNode>> BindPredicate(const Table& table,
+                                                           const Expr& e);
+
+culinary::Result<std::unique_ptr<BoundNode>> BindNumeric(const Table& table,
+                                                         const Expr& e) {
+  auto node = std::make_unique<BoundNode>();
+  switch (e.kind()) {
+    case Expr::Kind::kColumn: {
+      size_t idx;
+      CULINARY_ASSIGN_OR_RETURN(const Column* col,
+                                ResolveColumn(table, e, &idx));
+      node->kind = BKind::kNumCol;
+      node->valid = col->validity().words();
+      if (col->type() == DataType::kInt64) {
+        node->i64 = static_cast<const Int64Column*>(col)->data();
+      } else if (col->type() == DataType::kDouble) {
+        node->f64 = static_cast<const DoubleColumn*>(col)->data();
+      } else {
+        return culinary::Status::InvalidArgument(
+            "string column '" + e.column_name() + "' in a numeric expression");
+      }
+      return node;
+    }
+    case Expr::Kind::kLiteral: {
+      const Value& v = e.literal();
+      node->kind = BKind::kNumLit;
+      if (v.is_null()) {
+        node->lit_is_null = true;
+      } else if (auto num = v.AsNumeric(); num.has_value()) {
+        node->f64_lit = *num;
+      } else {
+        return culinary::Status::InvalidArgument(
+            "string literal " + v.ToString() + " in a numeric expression");
+      }
+      return node;
+    }
+    case Expr::Kind::kArith: {
+      node->kind = BKind::kNumArith;
+      node->arith = e.arith_op();
+      CULINARY_ASSIGN_OR_RETURN(node->lhs, BindNumeric(table, *e.lhs()));
+      CULINARY_ASSIGN_OR_RETURN(node->rhs, BindNumeric(table, *e.rhs()));
+      return node;
+    }
+    default:
+      return culinary::Status::InvalidArgument(
+          "predicate '" + e.ToString() + "' used as a numeric value");
+  }
+}
+
+/// Binds a comparison where at least one side is string-typed: only
+/// `column Eq/Ne literal` is defined, and the literal resolves to a
+/// dictionary code here, once, never per row.
+culinary::Result<std::unique_ptr<BoundNode>> BindStringCompare(
+    const Table& table, const Expr& e, const Expr& col_side,
+    const Expr& lit_side) {
+  if (e.cmp_op() != CmpOp::kEq && e.cmp_op() != CmpOp::kNe) {
+    return culinary::Status::InvalidArgument(
+        "string comparison '" + e.ToString() + "' supports only == and !=");
+  }
+  if (col_side.kind() != Expr::Kind::kColumn ||
+      lit_side.kind() != Expr::Kind::kLiteral) {
+    return culinary::Status::InvalidArgument(
+        "string comparison '" + e.ToString() +
+        "' must compare a column against a literal");
+  }
+  size_t idx;
+  CULINARY_ASSIGN_OR_RETURN(const Column* col,
+                            ResolveColumn(table, col_side, &idx));
+  if (col->type() != DataType::kString) {
+    return culinary::Status::InvalidArgument(
+        "type mismatch in '" + e.ToString() + "'");
+  }
+  auto node = std::make_unique<BoundNode>();
+  const Value& lit = lit_side.literal();
+  if (lit.is_null()) {
+    node->kind = BKind::kConstMask;
+    node->const_value = false;  // comparing against null never selects
+    return node;
+  }
+  if (!lit.is_string()) {
+    return culinary::Status::InvalidArgument(
+        "type mismatch in '" + e.ToString() + "'");
+  }
+  const auto* scol = static_cast<const StringColumn*>(col);
+  const int32_t code = scol->FindCode(lit.as_string());
+  if (code < 0) {
+    // Literal absent from the dictionary: == is constant-false; != selects
+    // every non-null row, i.e. the validity bitmap itself.
+    if (e.cmp_op() == CmpOp::kEq) {
+      node->kind = BKind::kConstMask;
+      node->const_value = false;
+    } else {
+      node->kind = BKind::kIsNull;
+      node->negate = true;
+      node->valid = col->validity().words();
+    }
+    return node;
+  }
+  node->kind = BKind::kCmpCodeEq;
+  node->negate = e.cmp_op() == CmpOp::kNe;
+  node->codes = scol->codes();
+  node->code_lit = code;
+  node->valid = col->validity().words();
+  return node;
+}
+
+/// Mirrors ordered comparisons when the literal is on the left: `5 < col`
+/// is bound as `col > 5`.
+CmpOp FlipCmp(CmpOp op) {
+  switch (op) {
+    case CmpOp::kLt: return CmpOp::kGt;
+    case CmpOp::kLe: return CmpOp::kGe;
+    case CmpOp::kGt: return CmpOp::kLt;
+    case CmpOp::kGe: return CmpOp::kLe;
+    default: return op;
+  }
+}
+
+culinary::Result<std::unique_ptr<BoundNode>> BindColumnVsLiteral(
+    const Table& table, const Expr& col_side, const Expr& lit_side,
+    CmpOp op) {
+  size_t idx;
+  CULINARY_ASSIGN_OR_RETURN(const Column* col,
+                            ResolveColumn(table, col_side, &idx));
+  const Value& lit = lit_side.literal();
+  auto node = std::make_unique<BoundNode>();
+  if (lit.is_null()) {
+    node->kind = BKind::kConstMask;
+    node->const_value = false;
+    return node;
+  }
+  node->cmp = op;
+  node->valid = col->validity().words();
+  if (col->type() == DataType::kInt64) {
+    node->i64 = static_cast<const Int64Column*>(col)->data();
+    if (lit.is_int()) {
+      node->kind = BKind::kCmpI64Lit;
+      node->i64_lit = lit.as_int();
+    } else {
+      node->kind = BKind::kCmpI64AsF64Lit;
+      node->f64_lit = lit.as_double();
+    }
+  } else {
+    node->kind = BKind::kCmpF64Lit;
+    node->f64 = static_cast<const DoubleColumn*>(col)->data();
+    node->f64_lit = *lit.AsNumeric();
+  }
+  return node;
+}
+
+culinary::Result<std::unique_ptr<BoundNode>> BindCompare(const Table& table,
+                                                         const Expr& e) {
+  const Expr& l = *e.lhs();
+  const Expr& r = *e.rhs();
+  auto is_string_side = [&](const Expr& side) -> bool {
+    if (side.kind() == Expr::Kind::kLiteral) {
+      return side.literal().is_string();
+    }
+    if (side.kind() == Expr::Kind::kColumn) {
+      auto idx = table.schema().FieldIndex(side.column_name());
+      return idx.has_value() &&
+             table.schema().field(*idx).type == DataType::kString;
+    }
+    return false;
+  };
+  if (is_string_side(l) || is_string_side(r)) {
+    if (l.kind() == Expr::Kind::kColumn) return BindStringCompare(table, e, l, r);
+    return BindStringCompare(table, e, r, l);
+  }
+  // Typed fast path: numeric column vs numeric literal (either order).
+  const bool col_lit = l.kind() == Expr::Kind::kColumn &&
+                       r.kind() == Expr::Kind::kLiteral;
+  const bool lit_col = l.kind() == Expr::Kind::kLiteral &&
+                       r.kind() == Expr::Kind::kColumn;
+  if (col_lit) return BindColumnVsLiteral(table, l, r, e.cmp_op());
+  if (lit_col) return BindColumnVsLiteral(table, r, l, FlipCmp(e.cmp_op()));
+  // Generic path: evaluate both sides as numeric blocks and compare.
+  auto node = std::make_unique<BoundNode>();
+  node->kind = BKind::kCmpGeneric;
+  node->cmp = e.cmp_op();
+  CULINARY_ASSIGN_OR_RETURN(node->lhs, BindNumeric(table, l));
+  CULINARY_ASSIGN_OR_RETURN(node->rhs, BindNumeric(table, r));
+  return node;
+}
+
+culinary::Result<std::unique_ptr<BoundNode>> BindPredicate(const Table& table,
+                                                           const Expr& e) {
+  switch (e.kind()) {
+    case Expr::Kind::kCompare:
+      return BindCompare(table, e);
+    case Expr::Kind::kAnd:
+    case Expr::Kind::kOr: {
+      auto node = std::make_unique<BoundNode>();
+      node->kind = e.kind() == Expr::Kind::kAnd ? BKind::kAnd : BKind::kOr;
+      CULINARY_ASSIGN_OR_RETURN(node->lhs, BindPredicate(table, *e.lhs()));
+      CULINARY_ASSIGN_OR_RETURN(node->rhs, BindPredicate(table, *e.rhs()));
+      return node;
+    }
+    case Expr::Kind::kNot: {
+      auto node = std::make_unique<BoundNode>();
+      node->kind = BKind::kNot;
+      CULINARY_ASSIGN_OR_RETURN(node->lhs, BindPredicate(table, *e.lhs()));
+      return node;
+    }
+    case Expr::Kind::kIsNull: {
+      if (e.lhs()->kind() != Expr::Kind::kColumn) {
+        return culinary::Status::InvalidArgument(
+            "IS NULL applies to a column, got '" + e.lhs()->ToString() + "'");
+      }
+      size_t idx;
+      CULINARY_ASSIGN_OR_RETURN(const Column* col,
+                                ResolveColumn(table, *e.lhs(), &idx));
+      auto node = std::make_unique<BoundNode>();
+      node->kind = BKind::kIsNull;
+      node->negate = e.is_null_negated();
+      node->valid = col->validity().words();
+      return node;
+    }
+    default:
+      return NotAPredicate(e);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Block evaluation. One block is up to kRowsPerBlock rows starting at a
+// 4096-row boundary, so its mask occupies whole uint64 words and concurrent
+// blocks never touch the same word. All kernels here take block-relative
+// rows [0, len) and write `out[0 .. WordsFor(len))` with tail bits zero.
+// ---------------------------------------------------------------------------
+
+struct NumBlock {
+  std::array<double, kRowsPerBlock> vals;
+  std::array<uint64_t, kWordsPerBlock> valid;
+};
+
+/// Fills `out` with the numeric values and validity of rows
+/// [begin, begin + len) of the bound numeric node.
+void EvalNum(const BoundNode& n, size_t begin, size_t len, NumBlock* out) {
+  const size_t words = culinary::Bitmap::WordsFor(len);
+  switch (n.kind) {
+    case BKind::kNumCol: {
+      if (n.i64 != nullptr) {
+        const int64_t* data = n.i64 + begin;
+        for (size_t i = 0; i < len; ++i) {
+          out->vals[i] = static_cast<double>(data[i]);
+        }
+      } else {
+        std::memcpy(out->vals.data(), n.f64 + begin, len * sizeof(double));
+      }
+      std::memcpy(out->valid.data(), n.valid + (begin >> 6),
+                  words * sizeof(uint64_t));
+      return;
+    }
+    case BKind::kNumLit: {
+      std::fill(out->vals.begin(), out->vals.begin() + len, n.f64_lit);
+      std::fill(out->valid.begin(), out->valid.begin() + words,
+                n.lit_is_null ? uint64_t{0} : ~uint64_t{0});
+      return;
+    }
+    case BKind::kNumArith: {
+      NumBlock rhs;
+      EvalNum(*n.lhs, begin, len, out);
+      EvalNum(*n.rhs, begin, len, &rhs);
+      switch (n.arith) {
+        case Expr::ArithOp::kAdd:
+          for (size_t i = 0; i < len; ++i) out->vals[i] += rhs.vals[i];
+          break;
+        case Expr::ArithOp::kSub:
+          for (size_t i = 0; i < len; ++i) out->vals[i] -= rhs.vals[i];
+          break;
+        case Expr::ArithOp::kMul:
+          for (size_t i = 0; i < len; ++i) out->vals[i] *= rhs.vals[i];
+          break;
+        case Expr::ArithOp::kDiv:
+          for (size_t i = 0; i < len; ++i) out->vals[i] /= rhs.vals[i];
+          break;
+      }
+      for (size_t w = 0; w < words; ++w) out->valid[w] &= rhs.valid[w];
+      return;
+    }
+    default:
+      // Bind never produces predicate kinds in numeric position.
+      return;
+  }
+}
+
+/// Fills `out[0 .. WordsFor(len))` with the selection bits of rows
+/// [begin, begin + len) of the bound predicate.
+void EvalMask(const BoundNode& n, size_t begin, size_t len, uint64_t* out) {
+  const size_t words = culinary::Bitmap::WordsFor(len);
+  switch (n.kind) {
+    case BKind::kConstMask:
+      kernels::FillConstant(n.const_value, 0, len, out);
+      return;
+    case BKind::kCmpI64Lit:
+      kernels::CompareInt64Lit(n.i64 + begin, n.cmp, n.i64_lit, 0, len, out);
+      kernels::AndWords(n.valid + (begin >> 6), 0, len, out);
+      return;
+    case BKind::kCmpF64Lit:
+      kernels::CompareDoubleLit(n.f64 + begin, n.cmp, n.f64_lit, 0, len, out);
+      kernels::AndWords(n.valid + (begin >> 6), 0, len, out);
+      return;
+    case BKind::kCmpI64AsF64Lit:
+      kernels::CompareInt64AsDoubleLit(n.i64 + begin, n.cmp, n.f64_lit, 0,
+                                       len, out);
+      kernels::AndWords(n.valid + (begin >> 6), 0, len, out);
+      return;
+    case BKind::kCmpCodeEq:
+      kernels::CompareCodeEq(n.codes + begin, n.code_lit, n.negate, 0, len,
+                             out);
+      kernels::AndWords(n.valid + (begin >> 6), 0, len, out);
+      return;
+    case BKind::kCmpGeneric: {
+      NumBlock lhs, rhs;
+      EvalNum(*n.lhs, begin, len, &lhs);
+      EvalNum(*n.rhs, begin, len, &rhs);
+      kernels::CompareDoubleDouble(lhs.vals.data(), rhs.vals.data(), n.cmp, 0,
+                                   len, out);
+      for (size_t w = 0; w < words; ++w) {
+        out[w] &= lhs.valid[w] & rhs.valid[w];
+      }
+      return;
+    }
+    case BKind::kAnd:
+    case BKind::kOr: {
+      std::array<uint64_t, kWordsPerBlock> scratch;
+      EvalMask(*n.lhs, begin, len, out);
+      EvalMask(*n.rhs, begin, len, scratch.data());
+      if (n.kind == BKind::kAnd) {
+        kernels::AndWords(scratch.data(), 0, len, out);
+      } else {
+        kernels::OrWords(scratch.data(), 0, len, out);
+      }
+      return;
+    }
+    case BKind::kNot:
+      EvalMask(*n.lhs, begin, len, out);
+      kernels::NotWords(0, len, out);
+      return;
+    case BKind::kIsNull:
+      kernels::IsNullMask(n.valid + (begin >> 6), n.negate, 0, len, out);
+      return;
+    default:
+      // Bind never produces numeric kinds in predicate position.
+      kernels::FillConstant(false, 0, len, out);
+      return;
+  }
+}
+
+size_t ResolveThreads(size_t num_threads) {
+  if (num_threads != 0) return num_threads;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+/// Evaluates a bound predicate over all rows: block-parallel when asked,
+/// bit-identical either way (disjoint mask words per block).
+Selection EvaluateBound(const BoundNode& bound, size_t num_rows,
+                        const ExecOptions& options) {
+  Selection sel(num_rows, false);
+  uint64_t* words = sel.mutable_bits().mutable_words();
+  const size_t num_blocks = (num_rows + kRowsPerBlock - 1) / kRowsPerBlock;
+  auto eval_block = [&](size_t b) {
+    const size_t begin = b * kRowsPerBlock;
+    const size_t len = std::min(kRowsPerBlock, num_rows - begin);
+    EvalMask(bound, begin, len, words + (begin >> 6));
+    CULINARY_OBS_COUNT("df.expr.blocks", 1);
+  };
+  const size_t threads = ResolveThreads(options.num_threads);
+  if (threads <= 1 || num_blocks <= 1) {
+    for (size_t b = 0; b < num_blocks; ++b) eval_block(b);
+  } else {
+    culinary::ThreadPool pool(std::min(threads, num_blocks));
+    pool.ParallelFor(num_blocks, eval_block);
+  }
+  CULINARY_OBS_COUNT("df.expr.mask_evals", 1);
+  return sel;
+}
+
+/// All-rows selection for terminals called without a predicate.
+Selection AllRows(size_t num_rows) { return Selection(num_rows, true); }
+
+}  // namespace
+
+culinary::Result<Selection> EvaluateMask(const Table& table,
+                                         const ExprPtr& pred,
+                                         const ExecOptions& options) {
+  if (pred == nullptr) {
+    return culinary::Status::InvalidArgument("null expression");
+  }
+  CULINARY_ASSIGN_OR_RETURN(std::unique_ptr<BoundNode> bound,
+                            BindPredicate(table, *pred));
+  return EvaluateBound(*bound, table.num_rows(), options);
+}
+
+culinary::Result<size_t> CountWhere(const Table& table, const ExprPtr& pred,
+                                    const ExecOptions& options) {
+  CULINARY_ASSIGN_OR_RETURN(Selection sel,
+                            EvaluateMask(table, pred, options));
+  return sel.Count();
+}
+
+culinary::Result<Value> AggregateWhere(const Table& table, AggKind kind,
+                                       const std::string& column,
+                                       const ExprPtr& pred,
+                                       const ExecOptions& options) {
+  Selection sel;
+  if (pred != nullptr) {
+    CULINARY_ASSIGN_OR_RETURN(sel, EvaluateMask(table, pred, options));
+  } else {
+    sel = AllRows(table.num_rows());
+  }
+  if (kind == AggKind::kCount) {
+    return Value::Int(static_cast<int64_t>(sel.Count()));
+  }
+  if (kind == AggKind::kCountDistinct) {
+    return culinary::Status::InvalidArgument(
+        "AggregateWhere does not support CountDistinct");
+  }
+  auto idx = table.schema().FieldIndex(column);
+  if (!idx.has_value()) {
+    return culinary::Status::NotFound("no column named '" + column + "'");
+  }
+  const Column* col = table.column(*idx).get();
+  kernels::NumericAggState state;
+  const uint64_t* valid = col->validity().words();
+  if (col->type() == DataType::kInt64) {
+    kernels::AccumulateSelectedInt64(sel.bits().words(), valid,
+                                     static_cast<const Int64Column*>(col)->data(),
+                                     table.num_rows(), &state);
+  } else if (col->type() == DataType::kDouble) {
+    kernels::AccumulateSelectedDouble(
+        sel.bits().words(), valid,
+        static_cast<const DoubleColumn*>(col)->data(), table.num_rows(),
+        &state);
+  } else {
+    return culinary::Status::InvalidArgument("aggregation over string column '" +
+                                             column + "'");
+  }
+  if (state.n == 0) return Value::Null();
+  switch (kind) {
+    case AggKind::kSum:
+      return Value::Real(state.sum);
+    case AggKind::kMean:
+      return Value::Real(state.sum / static_cast<double>(state.n));
+    case AggKind::kMin:
+      return Value::Real(state.mn);
+    case AggKind::kMax:
+      return Value::Real(state.mx);
+    default:
+      return Value::Null();  // unreachable
+  }
+}
+
+culinary::Result<Table> FilterWhere(const Table& table, const ExprPtr& pred,
+                                    const ExecOptions& options) {
+  CULINARY_ASSIGN_OR_RETURN(Selection sel,
+                            EvaluateMask(table, pred, options));
+  return table.Take(sel.ToIndices());
+}
+
+namespace {
+
+/// Per-(group, aggregation) accumulators laid out group-major in one flat
+/// vector — no per-group allocation in the hot loop.
+struct GroupByState {
+  size_t num_aggs = 0;
+  std::vector<int64_t> group_rows;            // rows per group
+  std::vector<kernels::NumericAggState> agg;  // group-major, num_aggs each
+
+  size_t AddGroup() {
+    group_rows.push_back(0);
+    agg.resize(agg.size() + num_aggs);
+    return group_rows.size() - 1;
+  }
+};
+
+}  // namespace
+
+culinary::Result<Table> GroupByAggregateWhere(
+    const Table& table, const std::string& key,
+    const std::vector<Aggregation>& aggs, const ExprPtr& pred,
+    const ExecOptions& options) {
+  auto key_idx = table.schema().FieldIndex(key);
+  if (!key_idx.has_value()) {
+    return culinary::Status::NotFound("no column named '" + key + "'");
+  }
+  const Column* key_col = table.column(*key_idx).get();
+  if (key_col->type() == DataType::kDouble) {
+    return culinary::Status::InvalidArgument(
+        "GroupByAggregateWhere keys must be string or int64");
+  }
+
+  // Resolve aggregation sources. kCount ignores values (and may name no
+  // column); everything else needs a numeric source.
+  struct AggSource {
+    const int64_t* i64 = nullptr;
+    const double* f64 = nullptr;
+    const uint64_t* valid = nullptr;
+  };
+  std::vector<AggSource> sources(aggs.size());
+  for (size_t a = 0; a < aggs.size(); ++a) {
+    if (aggs[a].kind == AggKind::kCountDistinct) {
+      return culinary::Status::InvalidArgument(
+          "GroupByAggregateWhere does not support CountDistinct");
+    }
+    if (aggs[a].kind == AggKind::kCount && aggs[a].column.empty()) continue;
+    auto idx = table.schema().FieldIndex(aggs[a].column);
+    if (!idx.has_value()) {
+      return culinary::Status::NotFound("no column named '" + aggs[a].column +
+                                        "'");
+    }
+    if (aggs[a].kind == AggKind::kCount) continue;
+    const Column* col = table.column(*idx).get();
+    if (col->type() == DataType::kString) {
+      return culinary::Status::InvalidArgument(
+          "aggregation over string column '" + aggs[a].column + "'");
+    }
+    sources[a].valid = col->validity().words();
+    if (col->type() == DataType::kInt64) {
+      sources[a].i64 = static_cast<const Int64Column*>(col)->data();
+    } else {
+      sources[a].f64 = static_cast<const DoubleColumn*>(col)->data();
+    }
+  }
+
+  Selection sel;
+  if (pred != nullptr) {
+    CULINARY_ASSIGN_OR_RETURN(sel, EvaluateMask(table, pred, options));
+  } else {
+    sel = AllRows(table.num_rows());
+  }
+
+  GroupByState state;
+  state.num_aggs = aggs.size();
+  const uint64_t* key_valid = key_col->validity().words();
+  auto key_is_null = [&](size_t r) {
+    return ((key_valid[r >> 6] >> (r & 63)) & 1) == 0;
+  };
+
+  auto accumulate_row = [&](size_t gid, size_t r) {
+    ++state.group_rows[gid];
+    kernels::NumericAggState* accum = state.agg.data() + gid * state.num_aggs;
+    for (size_t a = 0; a < aggs.size(); ++a) {
+      const AggSource& src = sources[a];
+      if (src.valid == nullptr) continue;  // kCount: rows only
+      if (((src.valid[r >> 6] >> (r & 63)) & 1) == 0) continue;
+      accum[a].Accumulate(src.i64 != nullptr
+                              ? static_cast<double>(src.i64[r])
+                              : src.f64[r]);
+    }
+  };
+
+  // Key bookkeeping: group ids are assigned in first-seen (selected-row)
+  // order, which is exactly the order `GroupByAggregate` over the filtered
+  // table would produce. The null-key group is tracked separately.
+  int64_t null_gid = -1;
+  std::vector<int64_t> group_key_i64;     // int64 keys, by gid
+  std::vector<int32_t> group_key_code;    // string keys (dict codes), by gid
+  const bool string_key = key_col->type() == DataType::kString;
+
+  if (string_key) {
+    const auto* scol = static_cast<const StringColumn*>(key_col);
+    const int32_t* codes = scol->codes();
+    // Dictionary codes are dense, so the key "hash" is a flat array lookup.
+    std::vector<int64_t> gid_of_code(scol->dictionary_size(), -1);
+    sel.ForEachRow([&](size_t r) {
+      int64_t gid;
+      if (key_is_null(r)) {
+        if (null_gid < 0) {
+          null_gid = static_cast<int64_t>(state.AddGroup());
+          group_key_code.push_back(-1);
+          group_key_i64.push_back(0);
+        }
+        gid = null_gid;
+      } else {
+        int64_t& slot = gid_of_code[static_cast<size_t>(codes[r])];
+        if (slot < 0) {
+          slot = static_cast<int64_t>(state.AddGroup());
+          group_key_code.push_back(codes[r]);
+          group_key_i64.push_back(0);
+        }
+        gid = slot;
+      }
+      accumulate_row(static_cast<size_t>(gid), r);
+    });
+  } else {
+    const int64_t* data = static_cast<const Int64Column*>(key_col)->data();
+    kernels::FlatGroupIndex index;
+    // The flat index assigns dense ids in first-insertion order, but the
+    // null group must claim its slot in row order too, so group ids are
+    // remapped through `gid_of_hash`.
+    std::vector<int64_t> gid_of_hash;
+    sel.ForEachRow([&](size_t r) {
+      int64_t gid;
+      if (key_is_null(r)) {
+        if (null_gid < 0) {
+          null_gid = static_cast<int64_t>(state.AddGroup());
+          group_key_code.push_back(-1);
+          group_key_i64.push_back(0);
+        }
+        gid = null_gid;
+      } else {
+        const int32_t hid = index.GetOrAdd(data[r]);
+        if (static_cast<size_t>(hid) == gid_of_hash.size()) {
+          gid_of_hash.push_back(static_cast<int64_t>(state.AddGroup()));
+          group_key_code.push_back(0);
+          group_key_i64.push_back(data[r]);
+        }
+        gid = gid_of_hash[static_cast<size_t>(hid)];
+      }
+      accumulate_row(static_cast<size_t>(gid), r);
+    });
+  }
+
+  // Output schema mirrors GroupByAggregate: key field first, then one
+  // column per aggregation (counts are int64, numeric aggregates double).
+  std::vector<Field> fields;
+  fields.push_back(table.schema().field(*key_idx));
+  for (const Aggregation& agg : aggs) {
+    DataType t =
+        agg.kind == AggKind::kCount ? DataType::kInt64 : DataType::kDouble;
+    fields.push_back({agg.output_name, t});
+  }
+  CULINARY_ASSIGN_OR_RETURN(Table out, Table::Make(Schema(std::move(fields))));
+  const size_t num_groups = state.group_rows.size();
+  out.Reserve(num_groups);
+  const auto* scol =
+      string_key ? static_cast<const StringColumn*>(key_col) : nullptr;
+  std::vector<Value> row;
+  for (size_t g = 0; g < num_groups; ++g) {
+    row.clear();
+    if (static_cast<int64_t>(g) == null_gid) {
+      row.push_back(Value::Null());
+    } else if (string_key) {
+      row.push_back(Value::Str(std::string(scol->dict_at(group_key_code[g]))));
+    } else {
+      row.push_back(Value::Int(group_key_i64[g]));
+    }
+    const kernels::NumericAggState* accum =
+        state.agg.data() + g * state.num_aggs;
+    for (size_t a = 0; a < aggs.size(); ++a) {
+      switch (aggs[a].kind) {
+        case AggKind::kCount:
+          row.push_back(Value::Int(state.group_rows[g]));
+          break;
+        case AggKind::kSum:
+        case AggKind::kMean:
+        case AggKind::kMin:
+        case AggKind::kMax: {
+          const kernels::NumericAggState& s = accum[a];
+          if (s.n == 0) {
+            row.push_back(Value::Null());
+          } else if (aggs[a].kind == AggKind::kSum) {
+            row.push_back(Value::Real(s.sum));
+          } else if (aggs[a].kind == AggKind::kMean) {
+            row.push_back(Value::Real(s.sum / static_cast<double>(s.n)));
+          } else if (aggs[a].kind == AggKind::kMin) {
+            row.push_back(Value::Real(s.mn));
+          } else {
+            row.push_back(Value::Real(s.mx));
+          }
+          break;
+        }
+        case AggKind::kCountDistinct:
+          break;  // rejected above
+      }
+    }
+    CULINARY_RETURN_IF_ERROR(out.AppendRow(row));
+  }
+  CULINARY_OBS_COUNT("df.expr.fused_groupby", 1);
+  return out;
+}
+
+}  // namespace culinary::df

@@ -1,0 +1,208 @@
+#ifndef CULINARYLAB_DATAFRAME_EXPR_H_
+#define CULINARYLAB_DATAFRAME_EXPR_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "dataframe/kernels.h"
+#include "dataframe/ops.h"
+#include "dataframe/selection.h"
+#include "dataframe/table.h"
+
+namespace culinary::df {
+
+class Expr;
+/// Expressions are immutable and shared; build once, evaluate against any
+/// table whose schema binds.
+using ExprPtr = std::shared_ptr<const Expr>;
+
+/// One node of a lazy expression tree.
+///
+/// An expression describes a computation over table rows without running
+/// it. Terminals (`EvaluateMask`, `CountWhere`, `AggregateWhere`,
+/// `FilterWhere`, `GroupByAggregateWhere`) bind the tree to a concrete
+/// table — resolving column names to indices and string literals to
+/// dictionary codes once — and then evaluate it block-by-block with the
+/// typed kernels in kernels.h, fusing filter → project → aggregate into a
+/// single pass with no intermediate `Table`.
+///
+/// Node semantics (the engine's null contract):
+///  * Comparisons select a row only when every operand is non-null and the
+///    predicate holds. Numerics compare as double (matching
+///    `Value::AsNumeric`), except int64-column-vs-int-literal which
+///    compares exactly in int64. String columns support Eq/Ne against a
+///    string literal only — the literal resolves to a dictionary code once,
+///    and a literal absent from the dictionary short-circuits to
+///    constant-false (Eq) / all-non-null (Ne).
+///  * `And`/`Or` are bitwise over selection bitmaps; `Not` is a pure
+///    complement over the row range, so `Not(pred)` includes rows where
+///    `pred`'s operands were null.
+///  * `IsNull`/`IsNotNull` test a column's validity bit directly.
+///  * Arithmetic evaluates in double; a result is null when any operand is
+///    null. Division by zero follows IEEE (±inf / NaN, still non-null).
+class Expr {
+ public:
+  enum class Kind {
+    kColumn,   ///< reference to a named column
+    kLiteral,  ///< constant `Value`
+    kCompare,  ///< lhs <cmp> rhs → selection
+    kAnd,      ///< lhs AND rhs (selections)
+    kOr,       ///< lhs OR rhs (selections)
+    kNot,      ///< NOT lhs (selection complement)
+    kIsNull,   ///< column validity test (negated = IS NOT NULL)
+    kArith,    ///< lhs <op> rhs → numeric
+  };
+
+  enum class ArithOp { kAdd, kSub, kMul, kDiv };
+
+  Kind kind() const { return kind_; }
+  const std::string& column_name() const { return column_; }
+  const Value& literal() const { return literal_; }
+  kernels::CmpOp cmp_op() const { return cmp_; }
+  ArithOp arith_op() const { return arith_; }
+  bool is_null_negated() const { return negated_; }
+  const ExprPtr& lhs() const { return lhs_; }
+  const ExprPtr& rhs() const { return rhs_; }
+
+  /// Debug rendering, e.g. `(region == "Italian") AND (rating >= 4)`.
+  std::string ToString() const;
+
+ private:
+  Expr() = default;
+
+  friend ExprPtr Col(std::string name);
+  friend ExprPtr Lit(Value value);
+  friend ExprPtr MakeCompare(kernels::CmpOp op, ExprPtr l, ExprPtr r);
+  friend ExprPtr MakeLogical(Kind kind, ExprPtr l, ExprPtr r);
+  friend ExprPtr MakeIsNull(ExprPtr child, bool negated);
+  friend ExprPtr MakeArith(ArithOp op, ExprPtr l, ExprPtr r);
+
+  Kind kind_ = Kind::kLiteral;
+  kernels::CmpOp cmp_ = kernels::CmpOp::kEq;
+  ArithOp arith_ = ArithOp::kAdd;
+  bool negated_ = false;
+  std::string column_;
+  Value literal_ = Value::Null();
+  ExprPtr lhs_;
+  ExprPtr rhs_;
+};
+
+// --- Node factories ---------------------------------------------------------
+
+/// Reference to the column named `name`.
+ExprPtr Col(std::string name);
+
+/// Constant value.
+ExprPtr Lit(Value value);
+inline ExprPtr Lit(int64_t v) { return Lit(Value::Int(v)); }
+inline ExprPtr Lit(int v) { return Lit(Value::Int(v)); }
+inline ExprPtr Lit(double v) { return Lit(Value::Real(v)); }
+inline ExprPtr Lit(std::string v) { return Lit(Value::Str(std::move(v))); }
+inline ExprPtr Lit(const char* v) { return Lit(Value::Str(v)); }
+
+ExprPtr MakeCompare(kernels::CmpOp op, ExprPtr l, ExprPtr r);
+ExprPtr MakeLogical(Expr::Kind kind, ExprPtr l, ExprPtr r);
+ExprPtr MakeIsNull(ExprPtr child, bool negated);
+ExprPtr MakeArith(Expr::ArithOp op, ExprPtr l, ExprPtr r);
+
+inline ExprPtr Eq(ExprPtr l, ExprPtr r) {
+  return MakeCompare(kernels::CmpOp::kEq, std::move(l), std::move(r));
+}
+inline ExprPtr Ne(ExprPtr l, ExprPtr r) {
+  return MakeCompare(kernels::CmpOp::kNe, std::move(l), std::move(r));
+}
+inline ExprPtr Lt(ExprPtr l, ExprPtr r) {
+  return MakeCompare(kernels::CmpOp::kLt, std::move(l), std::move(r));
+}
+inline ExprPtr Le(ExprPtr l, ExprPtr r) {
+  return MakeCompare(kernels::CmpOp::kLe, std::move(l), std::move(r));
+}
+inline ExprPtr Gt(ExprPtr l, ExprPtr r) {
+  return MakeCompare(kernels::CmpOp::kGt, std::move(l), std::move(r));
+}
+inline ExprPtr Ge(ExprPtr l, ExprPtr r) {
+  return MakeCompare(kernels::CmpOp::kGe, std::move(l), std::move(r));
+}
+inline ExprPtr And(ExprPtr l, ExprPtr r) {
+  return MakeLogical(Expr::Kind::kAnd, std::move(l), std::move(r));
+}
+inline ExprPtr Or(ExprPtr l, ExprPtr r) {
+  return MakeLogical(Expr::Kind::kOr, std::move(l), std::move(r));
+}
+inline ExprPtr Not(ExprPtr child) {
+  return MakeLogical(Expr::Kind::kNot, std::move(child), nullptr);
+}
+inline ExprPtr IsNull(ExprPtr column) {
+  return MakeIsNull(std::move(column), false);
+}
+inline ExprPtr IsNotNull(ExprPtr column) {
+  return MakeIsNull(std::move(column), true);
+}
+inline ExprPtr Add(ExprPtr l, ExprPtr r) {
+  return MakeArith(Expr::ArithOp::kAdd, std::move(l), std::move(r));
+}
+inline ExprPtr Sub(ExprPtr l, ExprPtr r) {
+  return MakeArith(Expr::ArithOp::kSub, std::move(l), std::move(r));
+}
+inline ExprPtr Mul(ExprPtr l, ExprPtr r) {
+  return MakeArith(Expr::ArithOp::kMul, std::move(l), std::move(r));
+}
+inline ExprPtr Div(ExprPtr l, ExprPtr r) {
+  return MakeArith(Expr::ArithOp::kDiv, std::move(l), std::move(r));
+}
+
+// --- Execution --------------------------------------------------------------
+
+/// Evaluation knobs.
+///
+/// Determinism contract: results are bit-identical for every `num_threads`
+/// value. Mask evaluation is block-parallel over 4096-row blocks — each
+/// block writes disjoint mask words, so the finished bitmap is independent
+/// of scheduling — and every terminal consumes the mask in a single serial
+/// row-order pass, so floating-point accumulation order never varies.
+struct ExecOptions {
+  /// 0 = hardware concurrency, 1 = fully serial (no pool), n = n workers.
+  size_t num_threads = 1;
+};
+
+/// Evaluates a predicate expression to a selection over `table`'s rows.
+culinary::Result<Selection> EvaluateMask(const Table& table,
+                                         const ExprPtr& pred,
+                                         const ExecOptions& options = {});
+
+/// Number of rows matching `pred` (fused: no row materialization).
+culinary::Result<size_t> CountWhere(const Table& table, const ExprPtr& pred,
+                                    const ExecOptions& options = {});
+
+/// One aggregate over `column` restricted to rows matching `pred` (null
+/// `pred` = all rows). Matches `GroupByAggregate` semantics: numeric cells
+/// only, nulls skipped, `Value::Null()` when nothing aggregates, kCount
+/// counts selected rows. kCountDistinct is not supported here.
+culinary::Result<Value> AggregateWhere(const Table& table, AggKind kind,
+                                       const std::string& column,
+                                       const ExprPtr& pred,
+                                       const ExecOptions& options = {});
+
+/// Rows matching `pred`, as a table — the eager `Filter` endpoint of the
+/// engine, bit-identical to `Filter` with an equivalent row predicate.
+culinary::Result<Table> FilterWhere(const Table& table, const ExprPtr& pred,
+                                    const ExecOptions& options = {});
+
+/// Fused filter → group-by → aggregate: groups rows matching `pred` (null
+/// `pred` = all rows) by the single key column `key` and computes `aggs`
+/// per group, without materializing the filtered table. Output is
+/// bit-identical to `GroupByAggregate(FilterWhere(table, pred), {key},
+/// aggs)`: first-seen group order, null keys group together, numeric
+/// aggregates skip nulls. Keys must be string (dictionary-code path) or
+/// int64 (flat-hash path); aggregations must be kCount/kSum/kMean/kMin/kMax.
+culinary::Result<Table> GroupByAggregateWhere(
+    const Table& table, const std::string& key,
+    const std::vector<Aggregation>& aggs, const ExprPtr& pred,
+    const ExecOptions& options = {});
+
+}  // namespace culinary::df
+
+#endif  // CULINARYLAB_DATAFRAME_EXPR_H_

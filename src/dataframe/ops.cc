@@ -7,6 +7,8 @@
 #include <unordered_map>
 
 #include "common/statistics.h"
+#include "dataframe/expr.h"
+#include "dataframe/kernels.h"
 
 namespace culinary::df {
 
@@ -85,6 +87,8 @@ culinary::Result<Table> Select(const Table& table,
                             ResolveColumns(table, columns));
   std::vector<Field> fields;
   std::vector<ColumnPtr> cols;
+  fields.reserve(idx.size());
+  cols.reserve(idx.size());
   for (size_t i : idx) {
     fields.push_back(table.schema().field(i));
     cols.push_back(table.column(i));
@@ -94,6 +98,7 @@ culinary::Result<Table> Select(const Table& table,
 
 culinary::Result<Table> Filter(const Table& table, const RowPredicate& pred) {
   std::vector<size_t> keep;
+  keep.reserve(table.num_rows());
   for (size_t r = 0; r < table.num_rows(); ++r) {
     if (pred(table, r)) keep.push_back(r);
   }
@@ -129,6 +134,27 @@ culinary::Result<Table> GroupByAggregate(const Table& table,
   if (keys.empty()) {
     return culinary::Status::InvalidArgument("GroupBy requires key columns");
   }
+
+  // Fused fast path: a single string/int64 key with plain numeric
+  // aggregates runs on the expression engine's dictionary-code / flat-hash
+  // group-by, which is bit-identical to the row-at-a-time loop below (same
+  // first-seen group order, same accumulation order) without boxing a
+  // `Value` per cell or hashing an encoded string key per row.
+  {
+    bool fusable = keys.size() == 1;
+    if (fusable) {
+      auto idx = table.schema().FieldIndex(keys[0]);
+      fusable = !idx.has_value() ||
+                table.schema().field(*idx).type != DataType::kDouble;
+    }
+    for (const Aggregation& agg : aggs) {
+      if (agg.kind == AggKind::kCountDistinct) fusable = false;
+    }
+    if (fusable) {
+      return GroupByAggregateWhere(table, keys[0], aggs, nullptr);
+    }
+  }
+
   CULINARY_ASSIGN_OR_RETURN(std::vector<size_t> key_idx,
                             ResolveColumns(table, keys));
 
@@ -283,6 +309,9 @@ culinary::Result<Table> HashJoin(const Table& left, const Table& right,
     fields.push_back(f);
   }
   CULINARY_ASSIGN_OR_RETURN(Table out, Table::Make(Schema(std::move(fields))));
+  // Inner joins emit at most one row per match, left joins at least one per
+  // left row; the left row count is the best cheap lower bound for both.
+  out.Reserve(left.num_rows());
 
   // Build hash table on the right side. Null keys never participate.
   auto has_null_key = [](const Table& t, size_t r,
@@ -348,20 +377,56 @@ culinary::Result<Table> ValueCounts(const Table& table,
   if (!idx.has_value()) {
     return culinary::Status::NotFound("no column named '" + column + "'");
   }
-  std::unordered_map<std::string, size_t> group_of;
-  std::vector<size_t> representative;
+  const Column* col = table.column(*idx).get();
+
+  // Distinct values in first-seen order plus their counts. String columns
+  // count straight into a dense per-code array (dictionary codes are
+  // assigned in first-appearance order, so code order == first-seen order);
+  // int64 columns go through the flat open-addressing group index. Doubles
+  // keep the boxed-key path — they are not worth a typed kernel as a
+  // grouping key.
   std::vector<int64_t> counts;
-  for (size_t r = 0; r < table.num_rows(); ++r) {
-    Value v = table.GetValue(r, *idx);
-    if (v.is_null()) continue;
-    std::string key = EncodeRowKey(table, r, {*idx});
-    auto [it, inserted] = group_of.emplace(std::move(key), counts.size());
-    if (inserted) {
-      representative.push_back(r);
-      counts.push_back(0);
+  std::vector<Value> distinct;
+  if (col->type() == DataType::kString) {
+    const auto* scol = static_cast<const StringColumn*>(col);
+    const int32_t* codes = scol->codes();
+    std::vector<int64_t> per_code(scol->dictionary_size(), 0);
+    col->validity().ForEachSetBit(0, col->size(), [&](size_t r) {
+      ++per_code[static_cast<size_t>(codes[r])];
+    });
+    for (size_t c = 0; c < per_code.size(); ++c) {
+      if (per_code[c] == 0) continue;
+      distinct.push_back(Value::Str(std::string(scol->dict_at(
+          static_cast<int32_t>(c)))));
+      counts.push_back(per_code[c]);
     }
-    ++counts[it->second];
+  } else if (col->type() == DataType::kInt64) {
+    const int64_t* data = static_cast<const Int64Column*>(col)->data();
+    kernels::FlatGroupIndex index;
+    col->validity().ForEachSetBit(0, col->size(), [&](size_t r) {
+      const int32_t gid = index.GetOrAdd(data[r]);
+      if (static_cast<size_t>(gid) == counts.size()) counts.push_back(0);
+      ++counts[static_cast<size_t>(gid)];
+    });
+    distinct.reserve(counts.size());
+    for (size_t g = 0; g < counts.size(); ++g) {
+      distinct.push_back(Value::Int(index.key(static_cast<int32_t>(g))));
+    }
+  } else {
+    std::unordered_map<std::string, size_t> group_of;
+    for (size_t r = 0; r < table.num_rows(); ++r) {
+      Value v = table.GetValue(r, *idx);
+      if (v.is_null()) continue;
+      std::string key = EncodeRowKey(table, r, {*idx});
+      auto [it, inserted] = group_of.emplace(std::move(key), counts.size());
+      if (inserted) {
+        distinct.push_back(std::move(v));
+        counts.push_back(0);
+      }
+      ++counts[it->second];
+    }
   }
+
   std::vector<size_t> order(counts.size());
   for (size_t i = 0; i < order.size(); ++i) order[i] = i;
   std::stable_sort(order.begin(), order.end(),
@@ -370,9 +435,10 @@ culinary::Result<Table> ValueCounts(const Table& table,
   std::vector<Field> fields = {table.schema().field(*idx),
                                {"count", DataType::kInt64}};
   CULINARY_ASSIGN_OR_RETURN(Table out, Table::Make(Schema(std::move(fields))));
+  out.Reserve(order.size());
   for (size_t g : order) {
-    CULINARY_RETURN_IF_ERROR(out.AppendRow(
-        {table.GetValue(representative[g], *idx), Value::Int(counts[g])}));
+    CULINARY_RETURN_IF_ERROR(
+        out.AppendRow({distinct[g], Value::Int(counts[g])}));
   }
   return out;
 }
@@ -388,12 +454,17 @@ culinary::Result<std::vector<double>> ToDoubleVector(const Table& table,
                                              "' is not numeric");
   }
   std::vector<double> out;
-  out.reserve(table.num_rows());
-  const ColumnPtr& col = table.column(*idx);
-  for (size_t r = 0; r < col->size(); ++r) {
-    Value v = col->GetValue(r);
-    auto num = v.AsNumeric();
-    if (num.has_value()) out.push_back(*num);
+  const Column* col = table.column(*idx).get();
+  out.reserve(col->size() - col->null_count());
+  const uint64_t* valid = col->validity().words();
+  if (col->type() == DataType::kInt64) {
+    kernels::GatherNonNullAsDouble(
+        valid, static_cast<const Int64Column*>(col)->data(), col->size(),
+        &out);
+  } else {
+    kernels::GatherNonNullAsDouble(
+        valid, static_cast<const DoubleColumn*>(col)->data(), col->size(),
+        &out);
   }
   return out;
 }
@@ -408,6 +479,9 @@ culinary::Result<Table> Concat(const std::vector<Table>& tables) {
     }
   }
   CULINARY_ASSIGN_OR_RETURN(Table out, Table::Make(tables[0].schema()));
+  size_t total_rows = 0;
+  for (const Table& t : tables) total_rows += t.num_rows();
+  out.Reserve(total_rows);
   for (const Table& t : tables) {
     for (size_t r = 0; r < t.num_rows(); ++r) {
       std::vector<Value> row;

@@ -1,0 +1,13 @@
+#include "dataframe/selection.h"
+
+namespace culinary::df {
+
+std::vector<size_t> Selection::ToIndices() const {
+  std::vector<size_t> out;
+  out.reserve(Count());
+  bits_.ForEachSetBit(0, bits_.num_bits(),
+                      [&out](size_t row) { out.push_back(row); });
+  return out;
+}
+
+}  // namespace culinary::df

@@ -1,0 +1,78 @@
+#ifndef CULINARYLAB_DATAFRAME_SELECTION_H_
+#define CULINARYLAB_DATAFRAME_SELECTION_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/bitmap.h"
+
+namespace culinary::df {
+
+/// A set of selected rows over a table of `num_rows()` rows, packed one bit
+/// per row. This is the intermediate the expression engine materializes
+/// instead of a filtered `Table`: predicates combine selections with
+/// word-wise AND/OR/NOT, terminals popcount or iterate them, and only an
+/// explicit `ToIndices` + `Table::Take` produces rows.
+///
+/// Invariant (inherited from `culinary::Bitmap`): bits at positions >=
+/// `num_rows()` are zero, so whole-word popcounts and word-wise equality
+/// are exact.
+class Selection {
+ public:
+  Selection() = default;
+
+  /// `num_rows` rows, all selected (`value` = true) or none.
+  explicit Selection(size_t num_rows, bool value = false)
+      : bits_(num_rows, value) {}
+
+  /// Wraps an existing bitmap (bit i == row i selected).
+  static Selection FromBitmap(culinary::Bitmap bits) {
+    Selection s;
+    s.bits_ = std::move(bits);
+    return s;
+  }
+
+  size_t num_rows() const { return bits_.num_bits(); }
+  bool Test(size_t row) const { return bits_.Test(row); }
+
+  const culinary::Bitmap& bits() const { return bits_; }
+  culinary::Bitmap& mutable_bits() { return bits_; }
+
+  /// Number of selected rows (whole-selection popcount).
+  size_t Count() const { return bits_.CountSet(); }
+
+  /// Number of selected rows in [begin, end).
+  size_t CountRange(size_t begin, size_t end) const {
+    return bits_.CountSetRange(begin, end);
+  }
+
+  /// In-place set algebra with an equal-length selection.
+  void And(const Selection& other) { bits_.AndWith(other.bits_); }
+  void Or(const Selection& other) { bits_.OrWith(other.bits_); }
+  void Not() { bits_.FlipAll(); }
+
+  /// Selected row indices, ascending — the bridge to `Table::Take`.
+  std::vector<size_t> ToIndices() const;
+
+  /// Calls `fn(row)` for every selected row, ascending.
+  template <typename Fn>
+  void ForEachRow(Fn&& fn) const {
+    bits_.ForEachSetBit(0, bits_.num_bits(), std::forward<Fn>(fn));
+  }
+
+  friend bool operator==(const Selection& a, const Selection& b) {
+    return a.bits_ == b.bits_;
+  }
+  friend bool operator!=(const Selection& a, const Selection& b) {
+    return !(a == b);
+  }
+
+ private:
+  culinary::Bitmap bits_;
+};
+
+}  // namespace culinary::df
+
+#endif  // CULINARYLAB_DATAFRAME_SELECTION_H_

@@ -46,6 +46,11 @@ class Table {
   /// Appends one row given as dynamically typed values, one per field.
   culinary::Status AppendRow(const std::vector<Value>& values);
 
+  /// Pre-allocates every column for `rows` total rows.
+  void Reserve(size_t rows) {
+    for (const ColumnPtr& col : columns_) col->Reserve(rows);
+  }
+
   /// Cell accessor: `GetValue(row, col)`; bounds-checked variant returns
   /// OutOfRange / NotFound as appropriate.
   Value GetValue(size_t row, size_t col) const {

@@ -4,16 +4,7 @@
 
 namespace culinary::flavor {
 
-namespace {
-
-using bitset_internal::PopCount64;
-
-inline size_t WordsFor(size_t universe) { return (universe + 63) / 64; }
-
-}  // namespace
-
-CompoundBitset::CompoundBitset(size_t universe)
-    : words_(WordsFor(universe), 0), universe_(universe) {}
+CompoundBitset::CompoundBitset(size_t universe) : bits_(universe) {}
 
 CompoundBitset CompoundBitset::FromProfile(const FlavorProfile& profile,
                                            size_t universe) {
@@ -24,28 +15,23 @@ CompoundBitset CompoundBitset::FromProfile(const FlavorProfile& profile,
   CompoundBitset out(universe);
   for (MoleculeId id : ids) {
     if (id < 0) continue;
-    out.words_[static_cast<size_t>(id) >> 6] |= uint64_t{1}
-                                                << (static_cast<size_t>(id) & 63);
+    out.bits_.Set(static_cast<size_t>(id));
     ++out.count_;
   }
   return out;
 }
 
 bool CompoundBitset::Test(MoleculeId id) const {
-  if (id < 0 || static_cast<size_t>(id) >= words_.size() * 64) return false;
-  return (words_[static_cast<size_t>(id) >> 6] >>
-          (static_cast<size_t>(id) & 63)) &
-         1;
+  if (id < 0 || static_cast<size_t>(id) >= bits_.num_bits()) return false;
+  return bits_.Test(static_cast<size_t>(id));
 }
 
 void CompoundBitset::Set(MoleculeId id) {
   if (id < 0) return;
   size_t bit = static_cast<size_t>(id);
-  if (bit >= universe_) universe_ = bit + 1;
-  if ((bit >> 6) >= words_.size()) words_.resize((bit >> 6) + 1, 0);
-  uint64_t mask = uint64_t{1} << (bit & 63);
-  if (!(words_[bit >> 6] & mask)) {
-    words_[bit >> 6] |= mask;
+  if (bit >= bits_.num_bits()) bits_.Resize(bit + 1);
+  if (!bits_.Test(bit)) {
+    bits_.Set(bit);
     ++count_;
   }
 }
@@ -53,28 +39,24 @@ void CompoundBitset::Set(MoleculeId id) {
 FlavorProfile CompoundBitset::ToProfile() const {
   std::vector<MoleculeId> ids;
   ids.reserve(count_);
-  for (size_t w = 0; w < words_.size(); ++w) {
-    uint64_t word = words_[w];
-    while (word != 0) {
-      uint64_t bit = word & (~word + 1);  // lowest set bit
-      ids.push_back(static_cast<MoleculeId>(w * 64 + PopCount64(bit - 1)));
-      word ^= bit;
-    }
-  }
+  bits_.ForEachSetBit(0, bits_.num_bits(), [&ids](size_t bit) {
+    ids.push_back(static_cast<MoleculeId>(bit));
+  });
   return FlavorProfile(std::move(ids));
 }
 
 bool operator==(const CompoundBitset& a, const CompoundBitset& b) {
   if (a.count_ != b.count_) return false;
-  size_t n = std::min(a.words_.size(), b.words_.size());
+  const size_t n = std::min(a.bits_.num_words(), b.bits_.num_words());
   for (size_t i = 0; i < n; ++i) {
-    if (a.words_[i] != b.words_[i]) return false;
+    if (a.bits_.words()[i] != b.bits_.words()[i]) return false;
   }
   // The longer tail (if any) must be all zero; equal counts already
   // guarantee that, but be defensive about direct word manipulation.
-  const auto& longer = a.words_.size() > n ? a.words_ : b.words_;
-  for (size_t i = n; i < longer.size(); ++i) {
-    if (longer[i] != 0) return false;
+  const culinary::Bitmap& longer =
+      a.bits_.num_words() > n ? a.bits_ : b.bits_;
+  for (size_t i = n; i < longer.num_words(); ++i) {
+    if (longer.words()[i] != 0) return false;
   }
   return true;
 }

@@ -5,28 +5,16 @@
 #include <cstdint>
 #include <vector>
 
-#include <algorithm>
-
+#include "common/bitmap.h"
 #include "flavor/profile.h"
 
 namespace culinary::flavor {
 
 namespace bitset_internal {
 
-/// Portable single-word popcount. On targets that guarantee the POPCNT
-/// instruction the builtin lowers to one instruction; elsewhere GCC would
-/// emit a libgcc call per word, so we fall back to the SWAR reduction
-/// (~12 ops, branch-free, auto-vectorizable).
-inline uint64_t PopCount64(uint64_t x) {
-#if defined(__POPCNT__)
-  return static_cast<uint64_t>(__builtin_popcountll(x));
-#else
-  x = x - ((x >> 1) & 0x5555555555555555ULL);
-  x = (x & 0x3333333333333333ULL) + ((x >> 2) & 0x3333333333333333ULL);
-  x = (x + (x >> 4)) & 0x0f0f0f0f0f0f0f0fULL;
-  return (x * 0x0101010101010101ULL) >> 56;
-#endif
-}
+/// Kept as an alias of the shared helper: the packed-word substrate now
+/// lives in common/bitmap.h so the dataframe kernels share one definition.
+using culinary::PopCount64;
 
 }  // namespace bitset_internal
 
@@ -34,15 +22,15 @@ inline uint64_t PopCount64(uint64_t x) {
 /// molecule `m` belongs to the profile.
 ///
 /// `FlavorProfile` keeps the sorted-id representation that the registry and
-/// curation operations want; `CompoundBitset` is the hot-path twin. With the
-/// registry's molecule universe of ~2,200 compounds a profile packs into
-/// ~35 `uint64_t` words, so |A ∩ B| collapses from a branchy O(|A|+|B|)
-/// sorted merge into a branch-free word loop of AND + popcount that the
-/// compiler can keep entirely in vector registers. `PairingCache` converts
-/// every profile once and then builds its O(n²) shared-compound triangle on
-/// bitsets; the counts are exactly those of
-/// `FlavorProfile::SharedCompounds` (see the property test in
-/// tests/flavor/bitset_test.cc).
+/// curation operations want; `CompoundBitset` is the hot-path twin, rebased
+/// on the shared `culinary::Bitmap`. With the registry's molecule universe
+/// of ~2,200 compounds a profile packs into ~35 `uint64_t` words, so
+/// |A ∩ B| collapses from a branchy O(|A|+|B|) sorted merge into a
+/// branch-free word loop of AND + popcount that the compiler can keep
+/// entirely in vector registers. `PairingCache` converts every profile once
+/// and then builds its O(n²) shared-compound triangle on bitsets; the
+/// counts are exactly those of `FlavorProfile::SharedCompounds` (see the
+/// property test in tests/flavor/bitset_test.cc).
 class CompoundBitset {
  public:
   /// An empty set over an empty universe.
@@ -58,7 +46,7 @@ class CompoundBitset {
 
   /// Bit capacity (largest representable molecule id + 1, rounded up to a
   /// whole word by the backing store).
-  size_t universe() const { return universe_; }
+  size_t universe() const { return bits_.num_bits(); }
 
   /// Number of molecules in the set (cached; O(1)).
   size_t count() const { return count_; }
@@ -75,20 +63,9 @@ class CompoundBitset {
   /// the innermost call of the O(n²) triangle build, and an out-of-line
   /// call would cost as much as the ~35-word loop itself.
   size_t IntersectionCount(const CompoundBitset& other) const {
-    const size_t n = std::min(words_.size(), other.words_.size());
-    const uint64_t* a = words_.data();
-    const uint64_t* b = other.words_.data();
-    // Four independent accumulators so the word loop pipelines / vectorizes.
-    uint64_t c0 = 0, c1 = 0, c2 = 0, c3 = 0;
-    size_t i = 0;
-    for (; i + 4 <= n; i += 4) {
-      c0 += bitset_internal::PopCount64(a[i] & b[i]);
-      c1 += bitset_internal::PopCount64(a[i + 1] & b[i + 1]);
-      c2 += bitset_internal::PopCount64(a[i + 2] & b[i + 2]);
-      c3 += bitset_internal::PopCount64(a[i + 3] & b[i + 3]);
-    }
-    for (; i < n; ++i) c0 += bitset_internal::PopCount64(a[i] & b[i]);
-    return static_cast<size_t>(c0 + c1 + c2 + c3);
+    const size_t n = std::min(bits_.num_words(), other.bits_.num_words());
+    return culinary::IntersectionPopCount(bits_.words(), other.bits_.words(),
+                                          n);
   }
 
   /// |this ∪ other| = |A| + |B| − |A ∩ B|.
@@ -108,13 +85,13 @@ class CompoundBitset {
   FlavorProfile ToProfile() const;
 
   /// Backing words, least-significant molecule first.
-  const std::vector<uint64_t>& words() const { return words_; }
+  const uint64_t* words() const { return bits_.words(); }
+  size_t num_words() const { return bits_.num_words(); }
 
   friend bool operator==(const CompoundBitset& a, const CompoundBitset& b);
 
  private:
-  std::vector<uint64_t> words_;
-  size_t universe_ = 0;
+  culinary::Bitmap bits_;
   size_t count_ = 0;
 };
 

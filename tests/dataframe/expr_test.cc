@@ -1,0 +1,332 @@
+// Edge cases of the lazy expression engine: null handling, dictionary
+// literals, selections crossing uint64 word boundaries, empty selections,
+// and bit-identical agreement with the eager operators it fuses away.
+
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "dataframe/expr.h"
+#include "dataframe/ops.h"
+#include "dataframe/table.h"
+
+namespace culinary::df {
+namespace {
+
+Table MakeInt64Table(const std::vector<Value>& values) {
+  auto table = Table::Make(Schema({{"x", DataType::kInt64}}));
+  EXPECT_TRUE(table.ok());
+  for (const Value& v : values) EXPECT_TRUE(table->AppendRow({v}).ok());
+  return std::move(table).value();
+}
+
+/// (key:string, x:int64) rows; empty key string means a null key cell and
+/// x < 0 means a null x cell.
+Table MakeKeyedTable(const std::vector<std::pair<std::string, int64_t>>& rows) {
+  auto table = Table::Make(
+      Schema({{"key", DataType::kString}, {"x", DataType::kInt64}}));
+  EXPECT_TRUE(table.ok());
+  for (const auto& [key, x] : rows) {
+    EXPECT_TRUE(table
+                    ->AppendRow({key.empty() ? Value::Null() : Value::Str(key),
+                                 x < 0 ? Value::Null() : Value::Int(x)})
+                    .ok());
+  }
+  return std::move(table).value();
+}
+
+void ExpectTablesEqual(const Table& a, const Table& b, const char* what) {
+  ASSERT_EQ(a.schema(), b.schema()) << what;
+  ASSERT_EQ(a.num_rows(), b.num_rows()) << what;
+  for (size_t r = 0; r < a.num_rows(); ++r) {
+    for (size_t c = 0; c < a.num_columns(); ++c) {
+      EXPECT_EQ(a.GetValue(r, c), b.GetValue(r, c))
+          << what << " cell (" << r << "," << c << ")";
+    }
+  }
+}
+
+TEST(ExprTest, ToStringRendersTree) {
+  auto e = And(Eq(Col("region"), Lit("Italian")), Ge(Col("rating"), Lit(4)));
+  EXPECT_EQ(e->ToString(), "((region == Italian) AND (rating >= 4))");
+}
+
+TEST(ExprTest, Int64ComparisonSkipsNulls) {
+  Table t = MakeInt64Table({Value::Int(1), Value::Null(), Value::Int(3),
+                            Value::Int(2), Value::Null()});
+  auto sel = EvaluateMask(t, Ge(Col("x"), Lit(2)));
+  ASSERT_TRUE(sel.ok());
+  EXPECT_EQ(sel->Count(), 2u);
+  EXPECT_FALSE(sel->Test(0));
+  EXPECT_FALSE(sel->Test(1));  // null never selected by a comparison
+  EXPECT_TRUE(sel->Test(2));
+  EXPECT_TRUE(sel->Test(3));
+  EXPECT_FALSE(sel->Test(4));
+}
+
+TEST(ExprTest, NotIsAPureComplementIncludingNullRows) {
+  Table t = MakeInt64Table({Value::Int(1), Value::Null(), Value::Int(3)});
+  auto sel = EvaluateMask(t, Not(Ge(Col("x"), Lit(2))));
+  ASSERT_TRUE(sel.ok());
+  EXPECT_TRUE(sel->Test(0));
+  EXPECT_TRUE(sel->Test(1));  // null row: inner pred false, NOT selects it
+  EXPECT_FALSE(sel->Test(2));
+}
+
+TEST(ExprTest, LiteralOnTheLeftMirrorsTheComparison) {
+  Table t = MakeInt64Table({Value::Int(1), Value::Int(5), Value::Int(9)});
+  auto a = EvaluateMask(t, Lt(Lit(4), Col("x")));  // 4 < x  ⇔  x > 4
+  auto b = EvaluateMask(t, Gt(Col("x"), Lit(4)));
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a.value(), b.value());
+}
+
+TEST(ExprTest, NullLiteralComparisonSelectsNothing) {
+  Table t = MakeInt64Table({Value::Int(1), Value::Null(), Value::Int(3)});
+  for (const ExprPtr& pred :
+       {Eq(Col("x"), Lit(Value::Null())), Ne(Col("x"), Lit(Value::Null())),
+        Lt(Col("x"), Lit(Value::Null()))}) {
+    auto count = CountWhere(t, pred);
+    ASSERT_TRUE(count.ok());
+    EXPECT_EQ(count.value(), 0u) << pred->ToString();
+  }
+}
+
+TEST(ExprTest, AllNullColumn) {
+  Table t = MakeInt64Table({Value::Null(), Value::Null(), Value::Null()});
+  auto cmp = CountWhere(t, Eq(Col("x"), Lit(0)));
+  ASSERT_TRUE(cmp.ok());
+  EXPECT_EQ(cmp.value(), 0u);
+  auto nulls = CountWhere(t, IsNull(Col("x")));
+  ASSERT_TRUE(nulls.ok());
+  EXPECT_EQ(nulls.value(), 3u);
+  auto non_nulls = CountWhere(t, IsNotNull(Col("x")));
+  ASSERT_TRUE(non_nulls.ok());
+  EXPECT_EQ(non_nulls.value(), 0u);
+  // Numeric aggregates over an all-null column are Null, but kCount counts
+  // the selected rows regardless of cell validity.
+  auto sum = AggregateWhere(t, AggKind::kSum, "x", nullptr);
+  ASSERT_TRUE(sum.ok());
+  EXPECT_TRUE(sum.value().is_null());
+  auto count = AggregateWhere(t, AggKind::kCount, "x", nullptr);
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(count.value(), Value::Int(3));
+}
+
+TEST(ExprTest, EmptySelectionAndEmptyTable) {
+  Table t = MakeInt64Table({Value::Int(1), Value::Int(2)});
+  auto none = FilterWhere(t, Gt(Col("x"), Lit(100)));
+  ASSERT_TRUE(none.ok());
+  EXPECT_EQ(none->num_rows(), 0u);
+  EXPECT_EQ(none->schema(), t.schema());
+  auto agg = AggregateWhere(t, AggKind::kMean, "x", Gt(Col("x"), Lit(100)));
+  ASSERT_TRUE(agg.ok());
+  EXPECT_TRUE(agg.value().is_null());
+
+  Table empty = MakeInt64Table({});
+  auto sel = EvaluateMask(empty, Gt(Col("x"), Lit(0)));
+  ASSERT_TRUE(sel.ok());
+  EXPECT_EQ(sel->Count(), 0u);
+  auto grouped = GroupByAggregateWhere(empty, "x",
+                                       {{AggKind::kCount, "", "n"}}, nullptr);
+  ASSERT_TRUE(grouped.ok());
+  EXPECT_EQ(grouped->num_rows(), 0u);
+}
+
+TEST(ExprTest, SelectionsCrossWordBoundaries) {
+  // Sizes straddling the packed-uint64 boundaries: partial word, exactly one
+  // word, one word plus one bit, and the two-word edges.
+  for (size_t rows : {63u, 64u, 65u, 127u, 128u, 129u, 4096u, 4097u}) {
+    std::vector<Value> values;
+    for (size_t i = 0; i < rows; ++i) {
+      values.push_back(Value::Int(static_cast<int64_t>(i)));
+    }
+    Table t = MakeInt64Table(values);
+    // Selects precisely the back half, crossing every word boundary.
+    auto sel = EvaluateMask(t, Ge(Col("x"), Lit(static_cast<int64_t>(rows / 2))));
+    ASSERT_TRUE(sel.ok()) << rows;
+    EXPECT_EQ(sel->Count(), rows - rows / 2) << rows;
+    for (size_t i = 0; i < rows; ++i) {
+      EXPECT_EQ(sel->Test(i), i >= rows / 2) << rows << " row " << i;
+    }
+    // The complement must partition the rows exactly.
+    auto inv = CountWhere(t, Lt(Col("x"), Lit(static_cast<int64_t>(rows / 2))));
+    ASSERT_TRUE(inv.ok());
+    EXPECT_EQ(sel->Count() + inv.value(), rows) << rows;
+  }
+}
+
+TEST(ExprTest, AbsentDictionaryLiteralIsConstantFalse) {
+  Table t = MakeKeyedTable({{"a", 1}, {"", 2}, {"b", 3}, {"a", 4}});
+  auto eq = CountWhere(t, Eq(Col("key"), Lit("zebra")));
+  ASSERT_TRUE(eq.ok());
+  EXPECT_EQ(eq.value(), 0u);
+  // != an absent literal selects every non-null row (the validity bitmap).
+  auto ne = EvaluateMask(t, Ne(Col("key"), Lit("zebra")));
+  auto non_null = EvaluateMask(t, IsNotNull(Col("key")));
+  ASSERT_TRUE(ne.ok());
+  ASSERT_TRUE(non_null.ok());
+  EXPECT_EQ(ne.value(), non_null.value());
+  EXPECT_EQ(ne->Count(), 3u);
+}
+
+TEST(ExprTest, StringOrderedComparisonIsInvalid) {
+  Table t = MakeKeyedTable({{"a", 1}});
+  auto sel = EvaluateMask(t, Lt(Col("key"), Lit("b")));
+  ASSERT_FALSE(sel.ok());
+  EXPECT_TRUE(sel.status().IsInvalidArgument()) << sel.status().ToString();
+  // String vs non-string literal is a type mismatch, not a silent miss.
+  auto mismatch = EvaluateMask(t, Eq(Col("key"), Lit(3)));
+  ASSERT_FALSE(mismatch.ok());
+  EXPECT_TRUE(mismatch.status().IsInvalidArgument());
+}
+
+TEST(ExprTest, UnknownColumnIsNotFound) {
+  Table t = MakeInt64Table({Value::Int(1)});
+  auto sel = EvaluateMask(t, Eq(Col("nope"), Lit(1)));
+  ASSERT_FALSE(sel.ok());
+  EXPECT_TRUE(sel.status().IsNotFound());
+}
+
+TEST(ExprTest, ArithmeticNullPropagationAndDivByZero) {
+  auto table = Table::Make(
+      Schema({{"a", DataType::kDouble}, {"b", DataType::kDouble}}));
+  ASSERT_TRUE(table.ok());
+  ASSERT_TRUE(table->AppendRow({Value::Real(6.0), Value::Real(2.0)}).ok());
+  ASSERT_TRUE(table->AppendRow({Value::Real(6.0), Value::Null()}).ok());
+  ASSERT_TRUE(table->AppendRow({Value::Real(6.0), Value::Real(0.0)}).ok());
+  // a / b > 1: row 0 is 3.0 (selected), row 1 has a null operand (never
+  // selected), row 2 divides by zero → +inf (IEEE, still non-null, selected).
+  auto sel = EvaluateMask(*table, Gt(Div(Col("a"), Col("b")), Lit(1.0)));
+  ASSERT_TRUE(sel.ok());
+  EXPECT_TRUE(sel->Test(0));
+  EXPECT_FALSE(sel->Test(1));
+  EXPECT_TRUE(sel->Test(2));
+  auto sum = EvaluateMask(*table, Ge(Add(Col("a"), Col("b")), Lit(6.0)));
+  ASSERT_TRUE(sel.ok());
+  EXPECT_TRUE(sum->Test(0));
+  EXPECT_FALSE(sum->Test(1));
+  EXPECT_TRUE(sum->Test(2));
+}
+
+TEST(ExprTest, FilterWhereMatchesEagerFilter) {
+  Table t = MakeKeyedTable({{"a", 1}, {"b", 7}, {"", 3}, {"a", 9},
+                            {"c", -1}, {"b", 2}, {"a", -1}, {"c", 8}});
+  auto fused = FilterWhere(
+      t, And(Ne(Col("key"), Lit("b")), Gt(Col("x"), Lit(0))));
+  auto eager = Filter(t, [](const Table& tbl, size_t row) {
+    Value key = tbl.GetValue(row, 0);
+    Value x = tbl.GetValue(row, 1);
+    return !key.is_null() && key != Value::Str("b") && !x.is_null() &&
+           x.as_int() > 0;
+  });
+  ASSERT_TRUE(fused.ok());
+  ASSERT_TRUE(eager.ok());
+  ExpectTablesEqual(fused.value(), eager.value(), "FilterWhere vs Filter");
+}
+
+TEST(ExprTest, GroupByAggregateWhereMirrorsEagerSemantics) {
+  // Nulls in both the key and the aggregated column: null keys group
+  // together, kCount counts all group rows, numeric aggregates skip null
+  // cells, groups appear in first-seen selected-row order.
+  Table t = MakeKeyedTable({{"b", 4}, {"a", 1}, {"", 10}, {"a", -1},
+                            {"", -1}, {"b", 6}, {"a", 3}});
+  auto grouped = GroupByAggregateWhere(
+      t, "key",
+      {{AggKind::kCount, "", "n"}, {AggKind::kSum, "x", "sum"},
+       {AggKind::kMin, "x", "min"}},
+      nullptr);
+  ASSERT_TRUE(grouped.ok());
+  ASSERT_EQ(grouped->num_rows(), 3u);
+  // First-seen order: b, a, null.
+  EXPECT_EQ(grouped->GetValue(0, 0), Value::Str("b"));
+  EXPECT_EQ(grouped->GetValue(0, 1), Value::Int(2));
+  EXPECT_EQ(grouped->GetValue(0, 2), Value::Real(10.0));
+  EXPECT_EQ(grouped->GetValue(1, 0), Value::Str("a"));
+  EXPECT_EQ(grouped->GetValue(1, 1), Value::Int(3));  // includes null-x row
+  EXPECT_EQ(grouped->GetValue(1, 2), Value::Real(4.0));
+  EXPECT_EQ(grouped->GetValue(1, 3), Value::Real(1.0));
+  EXPECT_TRUE(grouped->GetValue(2, 0).is_null());
+  EXPECT_EQ(grouped->GetValue(2, 1), Value::Int(2));
+  EXPECT_EQ(grouped->GetValue(2, 2), Value::Real(10.0));
+  // And it must equal the unfused pipeline over a materialized filter.
+  auto pred = IsNotNull(Col("key"));
+  auto fused = GroupByAggregateWhere(
+      t, "key", {{AggKind::kCount, "", "n"}, {AggKind::kMean, "x", "m"}},
+      pred);
+  auto filtered = FilterWhere(t, pred);
+  ASSERT_TRUE(filtered.ok());
+  auto eager = GroupByAggregate(filtered.value(), {"key"},
+                                {{AggKind::kCount, "", "n"},
+                                 {AggKind::kMean, "x", "m"}});
+  ASSERT_TRUE(fused.ok());
+  ASSERT_TRUE(eager.ok());
+  ExpectTablesEqual(fused.value(), eager.value(),
+                    "GroupByAggregateWhere vs Filter+GroupByAggregate");
+}
+
+TEST(ExprTest, GroupByAggregateWhereInt64Keys) {
+  auto table = Table::Make(
+      Schema({{"k", DataType::kInt64}, {"v", DataType::kDouble}}));
+  ASSERT_TRUE(table.ok());
+  const int64_t keys[] = {7, -3, 7, 0, -3, 7};
+  const double vals[] = {1.0, 2.0, 3.0, 4.0, 5.0, 6.0};
+  for (size_t i = 0; i < 6; ++i) {
+    ASSERT_TRUE(
+        table->AppendRow({Value::Int(keys[i]), Value::Real(vals[i])}).ok());
+  }
+  ASSERT_TRUE(table->AppendRow({Value::Null(), Value::Real(9.0)}).ok());
+  auto grouped = GroupByAggregateWhere(
+      *table, "k", {{AggKind::kSum, "v", "sum"}}, nullptr);
+  ASSERT_TRUE(grouped.ok());
+  ASSERT_EQ(grouped->num_rows(), 4u);
+  EXPECT_EQ(grouped->GetValue(0, 0), Value::Int(7));
+  EXPECT_EQ(grouped->GetValue(0, 1), Value::Real(10.0));
+  EXPECT_EQ(grouped->GetValue(1, 0), Value::Int(-3));
+  EXPECT_EQ(grouped->GetValue(1, 1), Value::Real(7.0));
+  EXPECT_EQ(grouped->GetValue(2, 0), Value::Int(0));
+  EXPECT_TRUE(grouped->GetValue(3, 0).is_null());
+  EXPECT_EQ(grouped->GetValue(3, 1), Value::Real(9.0));
+}
+
+TEST(ExprTest, UnsupportedShapesAreRejected) {
+  Table t = MakeKeyedTable({{"a", 1}});
+  auto distinct = AggregateWhere(t, AggKind::kCountDistinct, "x", nullptr);
+  EXPECT_FALSE(distinct.ok());
+  auto gdistinct = GroupByAggregateWhere(
+      t, "key", {{AggKind::kCountDistinct, "x", "d"}}, nullptr);
+  EXPECT_FALSE(gdistinct.ok());
+  auto str_agg = AggregateWhere(t, AggKind::kSum, "key", nullptr);
+  EXPECT_FALSE(str_agg.ok());
+
+  auto dbl = Table::Make(Schema({{"d", DataType::kDouble}}));
+  ASSERT_TRUE(dbl.ok());
+  ASSERT_TRUE(dbl->AppendRow({Value::Real(1.5)}).ok());
+  auto dbl_key = GroupByAggregateWhere(*dbl, "d",
+                                       {{AggKind::kCount, "", "n"}}, nullptr);
+  EXPECT_FALSE(dbl_key.ok());
+}
+
+TEST(ExprTest, ThreadCountNeverChangesTheSelection) {
+  std::vector<Value> values;
+  for (size_t i = 0; i < 10000; ++i) {
+    values.push_back(i % 7 == 0 ? Value::Null()
+                                : Value::Int(static_cast<int64_t>(i % 97)));
+  }
+  Table t = MakeInt64Table(values);
+  auto pred = Or(Lt(Col("x"), Lit(13)), Ge(Col("x"), Lit(80)));
+  auto reference = EvaluateMask(t, pred, ExecOptions{1});
+  ASSERT_TRUE(reference.ok());
+  for (size_t threads : {size_t{0}, size_t{2}, size_t{8}}) {
+    auto sel = EvaluateMask(t, pred, ExecOptions{threads});
+    ASSERT_TRUE(sel.ok());
+    EXPECT_EQ(sel.value(), reference.value()) << "threads=" << threads;
+  }
+}
+
+}  // namespace
+}  // namespace culinary::df

@@ -1,0 +1,330 @@
+// Property tests for the lazy expression engine: on randomly generated
+// tables (all three column types, random nulls and dictionaries) and
+// randomly generated predicate trees, the fused engine must agree
+// bit-identically with a row-at-a-time oracle, with the eager operators it
+// replaces, and with itself across thread counts. Failures print the case
+// seed for replay.
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "dataframe/expr.h"
+#include "dataframe/ops.h"
+#include "dataframe/table.h"
+
+namespace culinary::df {
+namespace {
+
+constexpr const char* kDictWords[] = {"amaranth", "basil", "clove", "dill",
+                                      "endive", "fennel", "ginger"};
+constexpr size_t kNumWords = sizeof(kDictWords) / sizeof(kDictWords[0]);
+
+/// (s:string, i:int64, d:double) with ~20% nulls per column; row counts are
+/// drawn to straddle uint64 word and 4096-row block boundaries.
+Table RandomTable(Rng& rng) {
+  auto table = Table::Make(Schema({{"s", DataType::kString},
+                                   {"i", DataType::kInt64},
+                                   {"d", DataType::kDouble}}));
+  EXPECT_TRUE(table.ok());
+  static const size_t kSizes[] = {0, 1, 63, 64, 65, 127, 129, 500, 4095,
+                                  4097};
+  const size_t rows = kSizes[rng.NextBounded(sizeof(kSizes) / sizeof(size_t))] +
+                      rng.NextBounded(7);
+  for (size_t r = 0; r < rows; ++r) {
+    std::vector<Value> row;
+    row.push_back(rng.NextBounded(5) == 0
+                      ? Value::Null()
+                      : Value::Str(kDictWords[rng.NextBounded(kNumWords)]));
+    row.push_back(rng.NextBounded(5) == 0
+                      ? Value::Null()
+                      : Value::Int(static_cast<int64_t>(rng.NextBounded(41)) -
+                                   20));
+    row.push_back(rng.NextBounded(5) == 0
+                      ? Value::Null()
+                      : Value::Real(
+                            (static_cast<double>(rng.NextBounded(100)) - 50) /
+                            4.0));
+    EXPECT_TRUE(table->AppendRow(row).ok());
+  }
+  return std::move(table).value();
+}
+
+/// A predicate as both an expression tree and a row-at-a-time oracle
+/// implementing the engine's null contract independently.
+struct PredCase {
+  ExprPtr expr;
+  std::function<bool(const Table&, size_t)> oracle;
+};
+
+PredCase RandomPredicate(Rng& rng, int depth) {
+  if (depth > 0 && rng.NextBounded(2) == 0) {
+    switch (rng.NextBounded(3)) {
+      case 0: {
+        PredCase l = RandomPredicate(rng, depth - 1);
+        PredCase r = RandomPredicate(rng, depth - 1);
+        return {And(l.expr, r.expr),
+                [l, r](const Table& t, size_t row) {
+                  return l.oracle(t, row) && r.oracle(t, row);
+                }};
+      }
+      case 1: {
+        PredCase l = RandomPredicate(rng, depth - 1);
+        PredCase r = RandomPredicate(rng, depth - 1);
+        return {Or(l.expr, r.expr),
+                [l, r](const Table& t, size_t row) {
+                  return l.oracle(t, row) || r.oracle(t, row);
+                }};
+      }
+      default: {
+        PredCase c = RandomPredicate(rng, depth - 1);
+        return {Not(c.expr), [c](const Table& t, size_t row) {
+                  return !c.oracle(t, row);
+                }};
+      }
+    }
+  }
+  switch (rng.NextBounded(5)) {
+    case 0: {
+      // String equality, sometimes against a word absent from every table.
+      const bool absent = rng.NextBounded(4) == 0;
+      const std::string word =
+          absent ? "zzz-absent" : kDictWords[rng.NextBounded(kNumWords)];
+      const bool ne = rng.NextBounded(2) == 0;
+      ExprPtr e = ne ? Ne(Col("s"), Lit(word)) : Eq(Col("s"), Lit(word));
+      return {e, [word, ne](const Table& t, size_t row) {
+                Value v = t.GetValue(row, 0);
+                if (v.is_null()) return false;
+                return ne ? v.as_string() != word : v.as_string() == word;
+              }};
+    }
+    case 1: {
+      const int64_t lit = static_cast<int64_t>(rng.NextBounded(41)) - 20;
+      return {Ge(Col("i"), Lit(lit)), [lit](const Table& t, size_t row) {
+                Value v = t.GetValue(row, 1);
+                return !v.is_null() && v.as_int() >= lit;
+              }};
+    }
+    case 2: {
+      const double lit =
+          (static_cast<double>(rng.NextBounded(100)) - 50) / 4.0;
+      return {Lt(Col("d"), Lit(lit)), [lit](const Table& t, size_t row) {
+                Value v = t.GetValue(row, 2);
+                return !v.is_null() && v.as_double() < lit;
+              }};
+    }
+    case 3: {
+      const bool negated = rng.NextBounded(2) == 0;
+      const size_t col = rng.NextBounded(3);
+      const std::string name = col == 0 ? "s" : col == 1 ? "i" : "d";
+      ExprPtr e = negated ? IsNotNull(Col(name)) : IsNull(Col(name));
+      return {e, [col, negated](const Table& t, size_t row) {
+                return t.GetValue(row, col).is_null() != negated;
+              }};
+    }
+    default: {
+      // Arithmetic: i + d compared in double; null if either operand is.
+      const double lit = static_cast<double>(rng.NextBounded(20)) - 10;
+      return {Gt(Add(Col("i"), Col("d")), Lit(lit)),
+              [lit](const Table& t, size_t row) {
+                Value i = t.GetValue(row, 1);
+                Value d = t.GetValue(row, 2);
+                if (i.is_null() || d.is_null()) return false;
+                return static_cast<double>(i.as_int()) + d.as_double() > lit;
+              }};
+    }
+  }
+}
+
+void ExpectTablesIdentical(const Table& a, const Table& b, uint64_t seed,
+                           const char* what) {
+  ASSERT_EQ(a.schema(), b.schema()) << what << " seed " << seed;
+  ASSERT_EQ(a.num_rows(), b.num_rows()) << what << " seed " << seed;
+  for (size_t r = 0; r < a.num_rows(); ++r) {
+    for (size_t c = 0; c < a.num_columns(); ++c) {
+      ASSERT_EQ(a.GetValue(r, c), b.GetValue(r, c))
+          << what << " seed " << seed << " cell (" << r << "," << c << ")";
+    }
+  }
+}
+
+TEST(LazyEngineProperty, MaskMatchesOracleAndThreadCounts) {
+  for (uint64_t seed = 1; seed <= 40; ++seed) {
+    Rng rng(seed);
+    Table t = RandomTable(rng);
+    PredCase pred = RandomPredicate(rng, 2);
+    auto sel = EvaluateMask(t, pred.expr, ExecOptions{1});
+    ASSERT_TRUE(sel.ok()) << "seed " << seed << ": "
+                          << sel.status().ToString();
+    size_t expected_count = 0;
+    for (size_t r = 0; r < t.num_rows(); ++r) {
+      const bool want = pred.oracle(t, r);
+      expected_count += want ? 1 : 0;
+      ASSERT_EQ(sel->Test(r), want)
+          << "seed " << seed << " row " << r << " pred "
+          << pred.expr->ToString();
+    }
+    EXPECT_EQ(sel->Count(), expected_count) << "seed " << seed;
+    // Bit-identical across thread counts (0 = hardware concurrency).
+    for (size_t threads : {size_t{0}, size_t{2}, size_t{8}}) {
+      auto par = EvaluateMask(t, pred.expr, ExecOptions{threads});
+      ASSERT_TRUE(par.ok()) << "seed " << seed;
+      ASSERT_EQ(par.value(), sel.value())
+          << "seed " << seed << " threads " << threads;
+    }
+  }
+}
+
+TEST(LazyEngineProperty, FilterWhereIsBitIdenticalToEagerFilter) {
+  for (uint64_t seed = 1; seed <= 25; ++seed) {
+    Rng rng(seed * 977);
+    Table t = RandomTable(rng);
+    PredCase pred = RandomPredicate(rng, 2);
+    for (size_t threads : {size_t{1}, size_t{8}}) {
+      auto fused = FilterWhere(t, pred.expr, ExecOptions{threads});
+      auto eager = Filter(t, pred.oracle);
+      ASSERT_TRUE(fused.ok()) << "seed " << seed;
+      ASSERT_TRUE(eager.ok()) << "seed " << seed;
+      ExpectTablesIdentical(fused.value(), eager.value(), seed,
+                            "FilterWhere vs Filter");
+    }
+  }
+}
+
+TEST(LazyEngineProperty, AggregatesAreBitIdenticalToSerialRowOrder) {
+  for (uint64_t seed = 1; seed <= 25; ++seed) {
+    Rng rng(seed * 31337);
+    Table t = RandomTable(rng);
+    PredCase pred = RandomPredicate(rng, 2);
+    for (const char* col : {"i", "d"}) {
+      const size_t idx = *t.schema().FieldIndex(col);
+      // Reference: serial row-order accumulation, the order the engine
+      // guarantees regardless of num_threads.
+      double sum = 0.0, mn = 0.0, mx = 0.0;
+      size_t n = 0;
+      for (size_t r = 0; r < t.num_rows(); ++r) {
+        if (!pred.oracle(t, r)) continue;
+        auto v = t.GetValue(r, idx).AsNumeric();
+        if (!v.has_value()) continue;
+        sum += *v;
+        mn = n == 0 ? *v : std::min(mn, *v);
+        mx = n == 0 ? *v : std::max(mx, *v);
+        ++n;
+      }
+      for (size_t threads : {size_t{1}, size_t{2}, size_t{8}}) {
+        ExecOptions exec{threads};
+        auto got_sum = AggregateWhere(t, AggKind::kSum, col, pred.expr, exec);
+        auto got_mean = AggregateWhere(t, AggKind::kMean, col, pred.expr, exec);
+        auto got_min = AggregateWhere(t, AggKind::kMin, col, pred.expr, exec);
+        auto got_max = AggregateWhere(t, AggKind::kMax, col, pred.expr, exec);
+        ASSERT_TRUE(got_sum.ok() && got_mean.ok() && got_min.ok() &&
+                    got_max.ok())
+            << "seed " << seed;
+        if (n == 0) {
+          EXPECT_TRUE(got_sum.value().is_null()) << "seed " << seed;
+          EXPECT_TRUE(got_mean.value().is_null()) << "seed " << seed;
+          continue;
+        }
+        // Exact equality on purpose: same values accumulated in the same
+        // order must produce the same bits, at every thread count.
+        EXPECT_EQ(got_sum.value(), Value::Real(sum))
+            << "seed " << seed << " col " << col << " threads " << threads;
+        EXPECT_EQ(got_mean.value(),
+                  Value::Real(sum / static_cast<double>(n)))
+            << "seed " << seed << " col " << col << " threads " << threads;
+        EXPECT_EQ(got_min.value(), Value::Real(mn)) << "seed " << seed;
+        EXPECT_EQ(got_max.value(), Value::Real(mx)) << "seed " << seed;
+      }
+    }
+  }
+}
+
+TEST(LazyEngineProperty, FusedGroupByMatchesReferenceAndEagerPipeline) {
+  for (uint64_t seed = 1; seed <= 25; ++seed) {
+    Rng rng(seed * 7919);
+    Table t = RandomTable(rng);
+    PredCase pred = RandomPredicate(rng, 2);
+    const std::vector<Aggregation> aggs = {{AggKind::kCount, "", "n"},
+                                           {AggKind::kSum, "i", "sum_i"},
+                                           {AggKind::kMin, "d", "min_d"}};
+    auto fused = GroupByAggregateWhere(t, "s", aggs, pred.expr);
+    ASSERT_TRUE(fused.ok()) << "seed " << seed;
+    // Independent reference: first-seen group order over selected rows,
+    // null keys grouped together, serial row-order accumulation.
+    struct Group {
+      Value key;
+      int64_t n = 0;
+      double sum_i = 0;
+      size_t n_i = 0;
+      double min_d = 0;
+      size_t n_d = 0;
+    };
+    std::vector<Group> groups;
+    std::unordered_map<std::string, size_t> by_key;
+    ptrdiff_t null_group = -1;
+    for (size_t r = 0; r < t.num_rows(); ++r) {
+      if (!pred.oracle(t, r)) continue;
+      Value key = t.GetValue(r, 0);
+      size_t gid;
+      if (key.is_null()) {
+        if (null_group < 0) {
+          null_group = static_cast<ptrdiff_t>(groups.size());
+          groups.push_back({Value::Null()});
+        }
+        gid = static_cast<size_t>(null_group);
+      } else {
+        auto [it, inserted] = by_key.emplace(key.as_string(), groups.size());
+        if (inserted) groups.push_back({key});
+        gid = it->second;
+      }
+      Group& g = groups[gid];
+      ++g.n;
+      if (Value vi = t.GetValue(r, 1); !vi.is_null()) {
+        g.sum_i += static_cast<double>(vi.as_int());
+        ++g.n_i;
+      }
+      if (Value vd = t.GetValue(r, 2); !vd.is_null()) {
+        g.min_d = g.n_d == 0 ? vd.as_double() : std::min(g.min_d, vd.as_double());
+        ++g.n_d;
+      }
+    }
+    ASSERT_EQ(fused->num_rows(), groups.size()) << "seed " << seed;
+    for (size_t g = 0; g < groups.size(); ++g) {
+      ASSERT_EQ(fused->GetValue(g, 0), groups[g].key) << "seed " << seed;
+      ASSERT_EQ(fused->GetValue(g, 1), Value::Int(groups[g].n))
+          << "seed " << seed;
+      ASSERT_EQ(fused->GetValue(g, 2), groups[g].n_i == 0
+                                           ? Value::Null()
+                                           : Value::Real(groups[g].sum_i))
+          << "seed " << seed;
+      ASSERT_EQ(fused->GetValue(g, 3), groups[g].n_d == 0
+                                           ? Value::Null()
+                                           : Value::Real(groups[g].min_d))
+          << "seed " << seed;
+    }
+    // The fused pass must also equal the unfused eager pipeline, at every
+    // thread count.
+    auto filtered = Filter(t, pred.oracle);
+    ASSERT_TRUE(filtered.ok()) << "seed " << seed;
+    auto eager = GroupByAggregate(filtered.value(), {"s"}, aggs);
+    ASSERT_TRUE(eager.ok()) << "seed " << seed;
+    ExpectTablesIdentical(fused.value(), eager.value(), seed,
+                          "fused vs eager group-by");
+    for (size_t threads : {size_t{2}, size_t{8}}) {
+      auto par =
+          GroupByAggregateWhere(t, "s", aggs, pred.expr, ExecOptions{threads});
+      ASSERT_TRUE(par.ok()) << "seed " << seed;
+      ExpectTablesIdentical(par.value(), fused.value(), seed,
+                            "group-by across thread counts");
+    }
+  }
+}
+
+}  // namespace
+}  // namespace culinary::df

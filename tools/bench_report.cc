@@ -26,6 +26,20 @@
 // world size — is reported as "no comparable baseline" and the check passes
 // (exit 0): only a real measured regression should fail CI.
 //
+// With --dataframe, the tool instead benchmarks the lazy expression engine
+// against the eager dataframe path it fuses away. The workload is the
+// Figure-2/3 shape: one (region, category, size) row per recipe–ingredient
+// use, then for every region a filter→group-by→count and a filter→sum. The
+// eager baseline materializes the filtered table (`df::Filter` with a
+// row-at-a-time Value predicate, the seed's only filter) and aggregates it
+// row by row through `GetValue`; the fused path is
+// `GroupByAggregateWhere` / `AggregateWhere` with no intermediate table,
+// serial and with --threads workers. Results must be bit-identical between
+// eager, fused-serial, fused-parallel, and across num_threads ∈ {1, 2, 8},
+// or the run fails. Writes BENCH_dataframe.json (default);
+// --dataframe --check=FILE gates groupby_fused_serial_ms with the same 20%
+// threshold and incomparable-baseline skip rules.
+//
 // With --ingest, the tool instead measures the two ways the CLI can reach
 // its first statistic: a CSV cold start (parse registry + recipes, build
 // the world PairingCache) versus a binary snapshot load (mmap + verify +
@@ -46,6 +60,7 @@
 #include <sstream>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "analysis/null_models.h"
@@ -54,6 +69,8 @@
 #include "common/random.h"
 #include "common/statistics.h"
 #include "common/string_util.h"
+#include "dataframe/expr.h"
+#include "dataframe/ops.h"
 #include "datagen/world.h"
 #include "flavor/bitset.h"
 #include "flavor/registry_io.h"
@@ -72,6 +89,7 @@ using culinary::analysis::PairingCache;
 struct Args {
   bool small = false;
   bool ingest = false;  // measure CSV cold start vs snapshot load instead
+  bool dataframe = false;  // benchmark the lazy expression engine instead
   size_t threads = 8;
   size_t reps = 3;
   size_t null_recipes = 20000;
@@ -87,6 +105,8 @@ Args ParseArgs(int argc, char** argv) {
       args.small = true;
     } else if (a == "--ingest") {
       args.ingest = true;
+    } else if (a == "--dataframe") {
+      args.dataframe = true;
     } else if (culinary::StartsWith(a, "--threads=")) {
       args.threads = std::strtoull(a.c_str() + strlen("--threads="), nullptr, 10);
     } else if (culinary::StartsWith(a, "--reps=")) {
@@ -102,7 +122,9 @@ Args ParseArgs(int argc, char** argv) {
   }
   args.reps = std::max<size_t>(args.reps, 1);
   if (args.out_path.empty()) {
-    args.out_path = args.ingest ? "BENCH_ingest.json" : "BENCH_pairing.json";
+    args.out_path = args.ingest      ? "BENCH_ingest.json"
+                    : args.dataframe ? "BENCH_dataframe.json"
+                                     : "BENCH_pairing.json";
   }
   return args;
 }
@@ -597,12 +619,333 @@ int RunIngestBenchmark(const Args& args) {
   return 0;
 }
 
+// ---------------------------------------------------------------------------
+// Dataframe mode: lazy expression engine vs the eager path it fuses away.
+// ---------------------------------------------------------------------------
+
+/// One group-by result in first-seen key order, used both as the eager
+/// baseline's accumulator and as the comparison form for fused outputs.
+struct GroupCounts {
+  std::vector<std::string> keys;    // first-seen order
+  std::vector<int64_t> counts;
+
+  friend bool operator==(const GroupCounts& a, const GroupCounts& b) {
+    return a.keys == b.keys && a.counts == b.counts;
+  }
+};
+
+/// Seed-style group-by-count over an already-materialized table: one
+/// `GetValue` per row, hash-map keyed on the string cell.
+GroupCounts EagerGroupCount(const culinary::df::Table& table, size_t key_col) {
+  GroupCounts out;
+  std::unordered_map<std::string, size_t> gid;
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    culinary::df::Value v = table.GetValue(r, key_col);
+    auto [it, inserted] = gid.emplace(v.as_string(), out.keys.size());
+    if (inserted) {
+      out.keys.push_back(v.as_string());
+      out.counts.push_back(0);
+    }
+    ++out.counts[it->second];
+  }
+  return out;
+}
+
+/// Flattens a (key, count) table from the fused engine into GroupCounts.
+GroupCounts FusedGroupCount(const culinary::df::Table& table) {
+  GroupCounts out;
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    out.keys.push_back(table.GetValue(r, 0).as_string());
+    out.counts.push_back(table.GetValue(r, 1).as_int());
+  }
+  return out;
+}
+
+/// Dataframe-mode twin of CheckAgainstBaseline: gates the fused serial
+/// filter→group-by time, with the same incomparable-baseline skip rules.
+int CheckDataframeBaseline(const Args& args, bool small, double fused_ms) {
+  auto no_baseline = [&](const char* why) {
+    std::fprintf(stderr,
+                 "[bench_report] no comparable baseline (%s: %s); skipping "
+                 "regression check\n",
+                 why, args.check_path.c_str());
+    return 0;
+  };
+  std::ifstream in(args.check_path);
+  if (!in) return no_baseline("cannot read");
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const std::string baseline = buf.str();
+  if (baseline.find('}') == std::string::npos) {
+    return no_baseline("truncated or empty");
+  }
+  double baseline_ms = 0;
+  if (!ExtractJsonNumber(baseline, "groupby_fused_serial_ms", &baseline_ms) ||
+      baseline_ms <= 0) {
+    return no_baseline("lacks groupby_fused_serial_ms");
+  }
+  double baseline_hw = 0;
+  if (ExtractJsonNumber(baseline, "hardware_concurrency", &baseline_hw) &&
+      baseline_hw > 0 &&
+      static_cast<unsigned>(baseline_hw) !=
+          std::thread::hardware_concurrency()) {
+    return no_baseline("recorded on different hardware");
+  }
+  std::string baseline_world;
+  if (ExtractJsonString(baseline, "world", &baseline_world) &&
+      baseline_world != (small ? "small" : "default")) {
+    return no_baseline("recorded for a different world size");
+  }
+  if (fused_ms > 1.2 * baseline_ms) {
+    std::fprintf(stderr,
+                 "[bench_report] FAIL: fused filter+group-by regressed: "
+                 "%.3f ms vs baseline %.3f ms (>20%% slower)\n",
+                 fused_ms, baseline_ms);
+    return 1;
+  }
+  std::fprintf(stderr,
+               "[bench_report] fused filter+group-by OK: %.3f ms vs baseline "
+               "%.3f ms\n",
+               fused_ms, baseline_ms);
+  return 0;
+}
+
+int RunDataframeBenchmark(const Args& args) {
+  using namespace culinary;  // NOLINT(build/namespaces)
+
+  datagen::WorldSpec spec =
+      args.small ? datagen::WorldSpec::Small() : datagen::WorldSpec::Default();
+  std::fprintf(stderr, "[bench_report] dataframe: generating world (%s)...\n",
+               args.small ? "small" : "default");
+  auto world_result = datagen::GenerateWorld(spec);
+  if (!world_result.ok()) {
+    std::fprintf(stderr, "world generation failed: %s\n",
+                 world_result.status().ToString().c_str());
+    return 1;
+  }
+  const datagen::SyntheticWorld& world = world_result.value();
+
+  // One (region, category, size) row per recipe–ingredient use — the
+  // Figure-2/3 workload shape.
+  auto table_result = df::Table::Make(df::Schema(
+      {{"region", df::DataType::kString},
+       {"category", df::DataType::kString},
+       {"size", df::DataType::kInt64}}));
+  if (!table_result.ok()) return 1;
+  df::Table uses = std::move(table_result).value();
+  std::vector<std::string> codes;
+  for (int i = 0; i < recipe::kNumRegions; ++i) {
+    recipe::Region region = recipe::AllRegions()[i];
+    codes.emplace_back(recipe::RegionCode(region));
+    // CuisineFor returns by value; bind it so recipes() outlives the loop.
+    const recipe::Cuisine cuisine = world.db().CuisineFor(region);
+    for (const recipe::Recipe& r : cuisine.recipes()) {
+      for (flavor::IngredientId id : r.ingredients) {
+        const flavor::Ingredient* ing = world.registry().Find(id);
+        if (ing == nullptr) continue;
+        auto status = uses.AppendRow(
+            {df::Value::Str(codes.back()),
+             df::Value::Str(std::string(flavor::CategoryToString(ing->category))),
+             df::Value::Int(static_cast<int64_t>(r.size()))});
+        if (!status.ok()) {
+          std::fprintf(stderr, "building uses table failed: %s\n",
+                       status.ToString().c_str());
+          return 1;
+        }
+      }
+    }
+  }
+  std::fprintf(stderr, "[bench_report] dataframe: %zu rows x %zu queries...\n",
+               uses.num_rows(), codes.size());
+
+  const size_t size_col = *uses.schema().FieldIndex("size");
+  const size_t region_col = *uses.schema().FieldIndex("region");
+  const df::ExecOptions serial{/*num_threads=*/1};
+  const df::ExecOptions parallel{/*num_threads=*/args.threads};
+  auto region_pred = [](const std::string& code) {
+    return df::Eq(df::Col("region"), df::Lit(code));
+  };
+
+  // --- 1. filter → group-by → count, one query per region ---------------
+  std::vector<GroupCounts> eager_groups;
+  double groupby_eager_ms = TimeMs(args.reps, [&] {
+    eager_groups.clear();
+    for (const std::string& code : codes) {
+      df::Value want = df::Value::Str(code);
+      auto filtered = df::Filter(uses, [&](const df::Table& t, size_t row) {
+        return t.GetValue(row, region_col) == want;
+      });
+      if (!filtered.ok()) std::exit(1);
+      eager_groups.push_back(EagerGroupCount(filtered.value(), 1));
+    }
+  });
+  std::vector<GroupCounts> fused_groups;
+  auto fused_groupby_sweep = [&](const df::ExecOptions& exec) {
+    fused_groups.clear();
+    for (const std::string& code : codes) {
+      auto r = df::GroupByAggregateWhere(
+          uses, "category", {{df::AggKind::kCount, "", "uses"}},
+          region_pred(code), exec);
+      if (!r.ok()) std::exit(1);
+      fused_groups.push_back(FusedGroupCount(r.value()));
+    }
+  };
+  double groupby_fused_serial_ms =
+      TimeMs(args.reps, [&] { fused_groupby_sweep(serial); });
+  bool identical = eager_groups == fused_groups;
+  double groupby_fused_parallel_ms =
+      TimeMs(args.reps, [&] { fused_groupby_sweep(parallel); });
+  identical = identical && eager_groups == fused_groups;
+
+  // --- 2. filter → sum, one query per region ----------------------------
+  std::vector<double> eager_sums;
+  double sum_eager_ms = TimeMs(args.reps, [&] {
+    eager_sums.clear();
+    for (const std::string& code : codes) {
+      df::Value want = df::Value::Str(code);
+      auto filtered = df::Filter(uses, [&](const df::Table& t, size_t row) {
+        return t.GetValue(row, region_col) == want;
+      });
+      if (!filtered.ok()) std::exit(1);
+      double sum = 0.0;
+      for (size_t r = 0; r < filtered.value().num_rows(); ++r) {
+        auto v = filtered.value().GetValue(r, size_col).AsNumeric();
+        if (v.has_value()) sum += *v;
+      }
+      eager_sums.push_back(sum);
+    }
+  });
+  std::vector<double> fused_sums;
+  auto fused_sum_sweep = [&](const df::ExecOptions& exec) {
+    fused_sums.clear();
+    for (const std::string& code : codes) {
+      auto v = df::AggregateWhere(uses, df::AggKind::kSum, "size",
+                                  region_pred(code), exec);
+      if (!v.ok() || v.value().is_null()) std::exit(1);
+      fused_sums.push_back(v.value().as_double());
+    }
+  };
+  double sum_fused_serial_ms =
+      TimeMs(args.reps, [&] { fused_sum_sweep(serial); });
+  identical = identical && eager_sums == fused_sums;
+  double sum_fused_parallel_ms =
+      TimeMs(args.reps, [&] { fused_sum_sweep(parallel); });
+  identical = identical && eager_sums == fused_sums;
+
+  // --- 3. Determinism across thread counts ------------------------------
+  bool bit_identical = true;
+  {
+    std::vector<GroupCounts> reference;
+    std::vector<double> reference_sums;
+    for (size_t threads : {size_t{1}, size_t{2}, size_t{8}}) {
+      df::ExecOptions det{threads};
+      fused_groupby_sweep(det);
+      fused_sum_sweep(det);
+      if (reference.empty()) {
+        reference = fused_groups;
+        reference_sums = fused_sums;
+        continue;
+      }
+      bit_identical = bit_identical && reference == fused_groups &&
+                      reference_sums == fused_sums;
+    }
+  }
+
+  const double queries = static_cast<double>(codes.size());
+  auto speedup = [](double base, double opt) {
+    return opt > 0 ? base / opt : 0;
+  };
+
+  std::ostringstream json;
+  json.setf(std::ios::fixed);
+  json.precision(3);
+  json << "{\n"
+       << "  \"tool\": \"bench_report\",\n"
+       << "  \"mode\": \"dataframe\",\n"
+       << "  \"world\": \"" << (args.small ? "small" : "default") << "\",\n"
+       << "  \"threads\": " << args.threads << ",\n"
+       << "  \"hardware_concurrency\": "
+       << std::thread::hardware_concurrency() << ",\n"
+       << "  \"rows\": " << uses.num_rows() << ",\n"
+       << "  \"queries_per_sweep\": " << codes.size() << ",\n"
+       << "  \"filter_groupby_count\": {\n"
+       << "    \"eager_ms\": " << groupby_eager_ms << ",\n"
+       << "    \"groupby_fused_serial_ms\": " << groupby_fused_serial_ms
+       << ",\n"
+       << "    \"groupby_fused_parallel_ms\": " << groupby_fused_parallel_ms
+       << ",\n"
+       << "    \"queries_per_sec\": "
+       << (groupby_fused_serial_ms > 0
+               ? queries * 1e3 / groupby_fused_serial_ms
+               : 0)
+       << ",\n"
+       << "    \"speedup_serial\": "
+       << speedup(groupby_eager_ms, groupby_fused_serial_ms) << ",\n"
+       << "    \"speedup_parallel\": "
+       << speedup(groupby_eager_ms, groupby_fused_parallel_ms) << "\n"
+       << "  },\n"
+       << "  \"filter_sum\": {\n"
+       << "    \"eager_ms\": " << sum_eager_ms << ",\n"
+       << "    \"sum_fused_serial_ms\": " << sum_fused_serial_ms << ",\n"
+       << "    \"sum_fused_parallel_ms\": " << sum_fused_parallel_ms << ",\n"
+       << "    \"queries_per_sec\": "
+       << (sum_fused_serial_ms > 0 ? queries * 1e3 / sum_fused_serial_ms : 0)
+       << ",\n"
+       << "    \"speedup_serial\": "
+       << speedup(sum_eager_ms, sum_fused_serial_ms) << ",\n"
+       << "    \"speedup_parallel\": "
+       << speedup(sum_eager_ms, sum_fused_parallel_ms) << "\n"
+       << "  },\n"
+       << "  \"results_identical\": " << (identical ? "true" : "false")
+       << ",\n"
+       << "  \"determinism\": {\n"
+       << "    \"thread_counts\": [1, 2, 8],\n"
+       << "    \"bit_identical\": " << (bit_identical ? "true" : "false")
+       << "\n"
+       << "  }\n"
+       << "}\n";
+
+  std::printf("%s", json.str().c_str());
+
+  if (!identical) {
+    std::fprintf(stderr,
+                 "[bench_report] FAIL: fused results diverged from the eager "
+                 "baseline\n");
+    return 1;
+  }
+  if (!bit_identical) {
+    std::fprintf(stderr,
+                 "[bench_report] FAIL: fused results differ across thread "
+                 "counts\n");
+    return 1;
+  }
+  if (!args.check_path.empty()) {
+    return CheckDataframeBaseline(args, args.small, groupby_fused_serial_ms);
+  }
+  std::ofstream out(args.out_path);
+  if (!out) {
+    std::fprintf(stderr, "[bench_report] cannot write %s\n",
+                 args.out_path.c_str());
+    return 1;
+  }
+  out << json.str();
+  std::fprintf(stderr,
+               "[bench_report] wrote %s (fused filter+group-by %.2fx vs "
+               "eager, %.2fx with %zu threads)\n",
+               args.out_path.c_str(),
+               speedup(groupby_eager_ms, groupby_fused_serial_ms),
+               speedup(groupby_eager_ms, groupby_fused_parallel_ms),
+               args.threads);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace culinary;  // NOLINT(build/namespaces)
   Args args = ParseArgs(argc, argv);
   if (args.ingest) return RunIngestBenchmark(args);
+  if (args.dataframe) return RunDataframeBenchmark(args);
 
   datagen::WorldSpec spec =
       args.small ? datagen::WorldSpec::Small() : datagen::WorldSpec::Default();
