@@ -144,15 +144,35 @@ culinary::Result<PairingCache> PairingCache::FromPrecomputed(
     size_t triangle_len) {
   const size_t n = ingredients.size();
   const size_t expected = n < 2 ? 0 : n * (n - 1) / 2;
+  // kFailedPrecondition, not kInvalidArgument: a mismatched triangle means
+  // the precomputed data does not belong to these ingredients (a truncated
+  // or stale snapshot section), which the snapshot degradation policy must
+  // classify as corruption (quarantine + rebuild) rather than a programming
+  // error. Validated before the memcpy below — a short buffer must never be
+  // read past its end.
   if (triangle_len != expected) {
-    return culinary::Status::InvalidArgument(
+    return culinary::Status::FailedPrecondition(
         "precomputed triangle has " + std::to_string(triangle_len) +
         " entries; " + std::to_string(n) + " ingredients need " +
         std::to_string(expected));
   }
   if (expected > 0 && triangle == nullptr) {
-    return culinary::Status::InvalidArgument(
+    return culinary::Status::FailedPrecondition(
         "precomputed triangle is null for a non-empty cache");
+  }
+  // The triangle was computed over these ids against this registry; an id
+  // outside the registry's slot range proves the pair never matched (e.g. a
+  // pairing section spliced onto a smaller registry) and would silently
+  // score everything against an empty profile.
+  const auto slots = static_cast<flavor::IngredientId>(
+      registry.num_ingredient_slots());
+  for (size_t i = 0; i < n; ++i) {
+    const flavor::IngredientId id = ingredients[i];
+    if (id < 0 || id >= slots) {
+      return culinary::Status::FailedPrecondition(
+          "precomputed triangle covers ingredient id " + std::to_string(id) +
+          " outside the registry's " + std::to_string(slots) + " slots");
+    }
   }
   PairingCache cache;
   cache.ids_ = std::move(ingredients);

@@ -41,10 +41,12 @@ class PairingCache {
   /// (the snapshot load path): the triangle and its mirror are memcpy'd
   /// rather than recomputed, and only the per-ingredient bitsets are
   /// repacked from `registry` — O(n) packing instead of O(n²) popcounts.
-  /// `triangle_len` must equal n(n-1)/2 for n = `ingredients.size()`
-  /// (kInvalidArgument otherwise). The caller vouches that the triangle was
-  /// computed over the same ids/registry; a mismatch silently yields wrong
-  /// scores, which is why snapshot loads gate this behind checksums and the
+  /// `triangle_len` must equal n(n-1)/2 for n = `ingredients.size()`, and
+  /// every id must fall inside the registry's slot range; either mismatch is
+  /// kFailedPrecondition (validated *before* any copy, and classified as
+  /// snapshot corruption by the degradation policy). The caller still
+  /// vouches that the triangle's *values* were computed over the same
+  /// ids/registry — that part is gated by snapshot checksums and the
   /// world-inputs digest.
   static culinary::Result<PairingCache> FromPrecomputed(
       const flavor::FlavorRegistry& registry,

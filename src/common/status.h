@@ -26,6 +26,9 @@ enum class StatusCode : int {
   kUnimplemented = 9,
   kCancelled = 10,
   kDeadlineExceeded = 11,
+  /// The service is temporarily unable to take the work (admission queue
+  /// full, engine draining). Retryable by design, unlike kFailedPrecondition.
+  kUnavailable = 12,
 };
 
 /// Returns a stable human-readable name for `code` (e.g. "NotFound").
@@ -89,6 +92,9 @@ class Status {
   static Status DeadlineExceeded(std::string msg) {
     return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
 
   /// True iff the status represents success.
   bool ok() const { return code_ == StatusCode::kOk; }
@@ -115,6 +121,7 @@ class Status {
   bool IsDeadlineExceeded() const {
     return code_ == StatusCode::kDeadlineExceeded;
   }
+  bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
 
   /// Returns a copy whose message is prefixed with `prefix` (": "-joined),
   /// preserving the code. OK statuses pass through untouched. Ingestion

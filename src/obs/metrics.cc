@@ -1,6 +1,7 @@
 #include "obs/metrics.h"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -83,6 +84,17 @@ size_t HistogramMetric::BucketFor(double value) {
   return std::min<size_t>(static_cast<size_t>(exp), kNumBuckets - 1);
 }
 
+size_t HistogramMetric::BucketForU64(uint64_t value) {
+  // 0 must land in bucket 0 ("samples < 1"), and it must never reach the
+  // leading-zero count: clz(0) is undefined for the builtins and
+  // countl_zero(0) == 64 would compute bucket "64 - 64 + ..." wrongly.
+  if (value == 0) return 0;
+  // value in [2^(k-1), 2^k) → bucket k, matching the frexp path:
+  // floor(log2(value)) = 63 - countl_zero(value), bucket = floor(log2)+1.
+  const size_t bucket = 64 - static_cast<size_t>(std::countl_zero(value));
+  return std::min(bucket, kNumBuckets - 1);
+}
+
 double HistogramMetric::BucketUpperBound(size_t k) {
   if (k >= kNumBuckets - 1) return std::numeric_limits<double>::infinity();
   return std::ldexp(1.0, static_cast<int>(k));
@@ -102,6 +114,20 @@ void HistogramMetric::ObserveUnchecked(double value) {
   internal::AtomicMin(shard.min, value);
   internal::AtomicMax(shard.max, value);
   shard.buckets[BucketFor(value)].fetch_add(1, std::memory_order_relaxed);
+}
+
+void HistogramMetric::ObserveU64Unchecked(uint64_t value) {
+  Shard& shard = shards_[internal::ShardIndex()];
+  const double as_double = static_cast<double>(value);
+  const uint64_t prior = shard.count.fetch_add(1, std::memory_order_relaxed);
+  internal::AtomicAdd(shard.sum, as_double);
+  if (prior == 0) {
+    shard.min.store(as_double, std::memory_order_relaxed);
+    shard.max.store(as_double, std::memory_order_relaxed);
+  }
+  internal::AtomicMin(shard.min, as_double);
+  internal::AtomicMax(shard.max, as_double);
+  shard.buckets[BucketForU64(value)].fetch_add(1, std::memory_order_relaxed);
 }
 
 HistogramMetric::Snapshot HistogramMetric::Snap() const {

@@ -135,8 +135,21 @@ class HistogramMetric {
   }
   void ObserveUnchecked(double value);
 
+  /// Integer fast path for latency-style samples (the serving engine records
+  /// microsecond latencies as uint64): bucketing via a leading-zero count
+  /// instead of frexp. Lands in exactly the bucket `Observe(double(value))`
+  /// would — including the 0 edge case (a sub-microsecond query), which goes
+  /// to bucket 0 rather than through the undefined `clz(0)`.
+  void ObserveU64(uint64_t value) {
+    if (Enabled()) ObserveU64Unchecked(value);
+  }
+  void ObserveU64Unchecked(uint64_t value);
+
   /// Bucket index for `value` (exposed for tests).
   static size_t BucketFor(double value);
+  /// Integer twin of `BucketFor`: agrees with `BucketFor(double(value))` for
+  /// every uint64 (0 → bucket 0, never an undefined leading-zero count).
+  static size_t BucketForU64(uint64_t value);
   /// Inclusive upper bound of bucket `k` (`+inf` for the overflow bucket).
   static double BucketUpperBound(size_t k);
 

@@ -28,6 +28,7 @@
 #define CULINARY_OBS_COUNT(name, delta) ((void)0)
 #define CULINARY_OBS_GAUGE_SET(name, value) ((void)0)
 #define CULINARY_OBS_OBSERVE(name, value) ((void)0)
+#define CULINARY_OBS_OBSERVE_U64(name, value) ((void)0)
 #define CULINARY_OBS_SPAN(var, name, category) ((void)0)
 
 #else
@@ -60,6 +61,17 @@
           ::culinary::obs::MetricsRegistry::Default().GetHistogram(name); \
       culinary_obs_histogram.ObserveUnchecked(value);                     \
     }                                                                     \
+  } while (0)
+
+/// Records integer `value` into histogram `name` via the uint64 fast path
+/// (leading-zero-count bucketing; 0 is well-defined and lands in bucket 0).
+#define CULINARY_OBS_OBSERVE_U64(name, value)                              \
+  do {                                                                     \
+    if (::culinary::obs::Enabled()) {                                      \
+      static ::culinary::obs::HistogramMetric& culinary_obs_histogram =    \
+          ::culinary::obs::MetricsRegistry::Default().GetHistogram(name);  \
+      culinary_obs_histogram.ObserveU64Unchecked(value);                   \
+    }                                                                      \
   } while (0)
 
 /// Declares a scoped trace span named `var` in the enclosing scope.

@@ -1,0 +1,256 @@
+#include "serving/engine.h"
+
+#include <chrono>
+#include <utility>
+
+#include "obs/obs.h"
+
+namespace culinary::serving {
+
+namespace {
+
+/// Per-endpoint latency histograms. The obs macros cache their metric
+/// handle in a function-local static keyed by call site, so each endpoint
+/// needs its own literal-name call site.
+void RecordLatencyUs(Endpoint endpoint, uint64_t us) {
+  switch (endpoint) {
+    case Endpoint::kPing:
+      CULINARY_OBS_OBSERVE_U64("serving.ping_latency_us", us);
+      break;
+    case Endpoint::kScore:
+      CULINARY_OBS_OBSERVE_U64("serving.score_latency_us", us);
+      break;
+    case Endpoint::kSuggest:
+      CULINARY_OBS_OBSERVE_U64("serving.suggest_latency_us", us);
+      break;
+    case Endpoint::kFingerprint:
+      CULINARY_OBS_OBSERVE_U64("serving.fingerprint_latency_us", us);
+      break;
+    case Endpoint::kSimilar:
+      CULINARY_OBS_OBSERVE_U64("serving.similar_latency_us", us);
+      break;
+  }
+}
+
+}  // namespace
+
+const char* EndpointName(Endpoint endpoint) {
+  switch (endpoint) {
+    case Endpoint::kPing:
+      return "ping";
+    case Endpoint::kScore:
+      return "score";
+    case Endpoint::kSuggest:
+      return "suggest";
+    case Endpoint::kFingerprint:
+      return "fingerprint";
+    case Endpoint::kSimilar:
+      return "similar";
+  }
+  return "unknown";
+}
+
+QueryEngine::QueryEngine(std::shared_ptr<const ServingSnapshot> snapshot,
+                         const QueryEngineOptions& options)
+    : published_(std::make_shared<const PublishedWorld>(
+          PublishedWorld{std::move(snapshot), 1})),
+      queue_capacity_(options.queue_capacity) {
+  const size_t threads = options.num_threads == 0 ? 1 : options.num_threads;
+  workers_.reserve(threads);
+  for (size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+QueryEngine::~QueryEngine() { Stop(); }
+
+culinary::Status QueryEngine::Reload(
+    std::shared_ptr<const ServingSnapshot> snapshot) {
+  if (snapshot == nullptr) {
+    return culinary::Status::InvalidArgument("cannot publish a null snapshot");
+  }
+  // The lifecycle mutex is what makes Reload-vs-Stop safe: Stop holds it
+  // for the whole shutdown (including worker joins), so by the time a
+  // destructor can run, no Reload can be between the stopped_ check and the
+  // publish below.
+  std::lock_guard<std::mutex> lock(lifecycle_mu_);
+  if (stopped_.load(std::memory_order_acquire)) {
+    return culinary::Status::FailedPrecondition(
+        "engine stopped; reload rejected");
+  }
+  const auto current = published_.load(std::memory_order_acquire);
+  const uint64_t next_generation =
+      (current == nullptr ? 0 : current->generation) + 1;
+  published_.store(std::make_shared<const PublishedWorld>(
+                       PublishedWorld{std::move(snapshot), next_generation}),
+                   std::memory_order_release);
+  reloads_.fetch_add(1, std::memory_order_relaxed);
+  CULINARY_OBS_COUNT("serving.reloads", 1);
+  return culinary::Status::OK();
+}
+
+std::shared_ptr<const ServingSnapshot> QueryEngine::snapshot() const {
+  const auto world = published_.load(std::memory_order_acquire);
+  return world == nullptr ? nullptr : world->snapshot;
+}
+
+uint64_t QueryEngine::generation() const {
+  const auto world = published_.load(std::memory_order_acquire);
+  return world == nullptr ? 0 : world->generation;
+}
+
+Response QueryEngine::Execute(const Request& request) const {
+  const auto start = std::chrono::steady_clock::now();
+  Response response;
+  response.endpoint = request.endpoint;
+
+  // Pin one published world for the whole evaluation: a concurrent Reload
+  // swaps the atomic underneath us, but this shared_ptr keeps our snapshot
+  // alive and every read below consistent.
+  const std::shared_ptr<const PublishedWorld> world =
+      published_.load(std::memory_order_acquire);
+  if (world == nullptr || world->snapshot == nullptr) {
+    response.status =
+        culinary::Status::FailedPrecondition("no snapshot published");
+    return response;
+  }
+  response.generation = world->generation;
+  const ServingSnapshot& snap = *world->snapshot;
+
+  QueryContext context;
+  context.cancel = request.cancel;
+  if (request.deadline_ms >= 0) {
+    context.deadline = culinary::Deadline::After(request.deadline_ms);
+  }
+  const bool by_name = !request.ingredient_names.empty();
+
+  switch (request.endpoint) {
+    case Endpoint::kPing:
+      response.status = culinary::Status::OK();
+      break;
+    case Endpoint::kScore: {
+      auto result =
+          by_name ? ScoreRecipe(snap, request.ingredient_names, context)
+                  : ScoreRecipeIds(snap, request.ingredient_ids, context);
+      if (result.ok()) {
+        response.payload = std::move(result).value();
+      } else {
+        response.status = result.status();
+      }
+      break;
+    }
+    case Endpoint::kSuggest: {
+      auto result =
+          by_name
+              ? SuggestPairings(snap, request.ingredient_names, request.k,
+                                context)
+              : SuggestPairingsIds(snap, request.ingredient_ids, request.k,
+                                   context);
+      if (result.ok()) {
+        response.payload = std::move(result).value();
+      } else {
+        response.status = result.status();
+      }
+      break;
+    }
+    case Endpoint::kFingerprint: {
+      auto result = Fingerprint(snap, request.region, request.k, context);
+      if (result.ok()) {
+        response.payload = std::move(result).value();
+      } else {
+        response.status = result.status();
+      }
+      break;
+    }
+    case Endpoint::kSimilar: {
+      auto result = SimilarCuisines(snap, request.region, request.k, context);
+      if (result.ok()) {
+        response.payload = std::move(result).value();
+      } else {
+        response.status = result.status();
+      }
+      break;
+    }
+  }
+
+  executed_.fetch_add(1, std::memory_order_relaxed);
+  const uint64_t us = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count());
+  RecordLatencyUs(request.endpoint, us);
+  CULINARY_OBS_COUNT("serving.requests", 1);
+  if (!response.status.ok()) CULINARY_OBS_COUNT("serving.errors", 1);
+  return response;
+}
+
+std::future<Response> QueryEngine::Submit(Request request) {
+  PendingRequest item;
+  item.request = std::move(request);
+  std::future<Response> future = item.promise.get_future();
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    if (!stopped_.load(std::memory_order_acquire) &&
+        queue_.size() < queue_capacity_) {
+      queue_.push_back(std::move(item));
+      accepted_.fetch_add(1, std::memory_order_relaxed);
+      queue_cv_.notify_one();
+      return future;
+    }
+  }
+  // Explicit shed: the caller gets a ready kUnavailable future instead of
+  // unbounded queueing. Retryable by design.
+  shed_.fetch_add(1, std::memory_order_relaxed);
+  CULINARY_OBS_COUNT("serving.shed", 1);
+  Response response;
+  response.endpoint = item.request.endpoint;
+  response.generation = generation();
+  response.status = culinary::Status::Unavailable(
+      stopped() ? "engine stopped" : "admission queue full");
+  item.promise.set_value(std::move(response));
+  return future;
+}
+
+void QueryEngine::WorkerLoop() {
+  for (;;) {
+    PendingRequest item;
+    {
+      std::unique_lock<std::mutex> lock(queue_mu_);
+      queue_cv_.wait(lock, [this] {
+        return stopped_.load(std::memory_order_acquire) || !queue_.empty();
+      });
+      if (queue_.empty()) return;  // stopped and fully drained
+      item = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    item.promise.set_value(Execute(item.request));
+  }
+}
+
+void QueryEngine::Stop() {
+  // Held across the joins so a concurrent Stop (or ~QueryEngine) blocks
+  // until shutdown completes, and a concurrent Reload is rejected rather
+  // than publishing into a dying engine.
+  std::lock_guard<std::mutex> lifecycle(lifecycle_mu_);
+  if (stopped_.load(std::memory_order_acquire)) return;
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    stopped_.store(true, std::memory_order_release);
+    queue_cv_.notify_all();
+  }
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  workers_.clear();
+}
+
+QueryEngine::Stats QueryEngine::stats() const {
+  Stats stats;
+  stats.accepted = accepted_.load(std::memory_order_relaxed);
+  stats.shed = shed_.load(std::memory_order_relaxed);
+  stats.executed = executed_.load(std::memory_order_relaxed);
+  stats.reloads = reloads_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+}  // namespace culinary::serving

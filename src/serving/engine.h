@@ -1,0 +1,170 @@
+#ifndef CULINARYLAB_SERVING_ENGINE_H_
+#define CULINARYLAB_SERVING_ENGINE_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <variant>
+#include <vector>
+
+#include "common/cancellation.h"
+#include "common/status.h"
+#include "serving/queries.h"
+#include "serving/snapshot.h"
+
+namespace culinary::serving {
+
+/// The five point-query endpoints the engine serves.
+enum class Endpoint {
+  kPing = 0,     ///< liveness + current snapshot generation
+  kScore,        ///< N_s + classification of an ingredient set
+  kSuggest,      ///< top-K pairing partners for an ingredient set
+  kFingerprint,  ///< one cuisine's culinary fingerprint
+  kSimilar,      ///< nearest cuisines to one region
+};
+
+/// Stable lower-case wire/metric name of an endpoint ("score", ...).
+const char* EndpointName(Endpoint endpoint);
+
+/// One point query. `ingredient_names` wins when non-empty; otherwise
+/// `ingredient_ids` is used (score/suggest only). `k` is the result budget
+/// for suggest/similar and the top-ingredient count for fingerprint.
+struct Request {
+  Endpoint endpoint = Endpoint::kPing;
+  std::vector<std::string> ingredient_names;
+  std::vector<flavor::IngredientId> ingredient_ids;
+  recipe::Region region = recipe::Region::kWorld;
+  size_t k = 10;
+  /// Per-request latency budget in milliseconds; negative = unbounded.
+  double deadline_ms = -1.0;
+  /// Optional caller-side cancellation; a default token never cancels.
+  culinary::CancellationToken cancel;
+};
+
+using Payload = std::variant<std::monostate, ScoreResult,
+                             std::vector<Suggestion>, FingerprintResult,
+                             SimilarResult>;
+
+struct Response {
+  culinary::Status status;
+  Endpoint endpoint = Endpoint::kPing;
+  /// Generation of the snapshot that answered (1 = the snapshot the engine
+  /// started with; bumped by every successful `Reload`).
+  uint64_t generation = 0;
+  Payload payload;
+};
+
+struct QueryEngineOptions {
+  /// Worker threads draining the admission queue (clamped to >= 1).
+  size_t num_threads = 4;
+  /// Admission-queue bound: a `Submit` beyond this many waiting requests is
+  /// shed with `kUnavailable` instead of queueing without limit.
+  size_t queue_capacity = 256;
+};
+
+/// Resident query engine: answers concurrent point queries against an
+/// immutable `ServingSnapshot`, swapped RCU-style on reload.
+///
+/// Publication is one `std::atomic<std::shared_ptr<const PublishedWorld>>`
+/// swap, where `PublishedWorld` pairs the snapshot with its generation so a
+/// query observes a consistent (snapshot, generation) or the previous one —
+/// never a half-published state. A query pins the shared_ptr for its whole
+/// evaluation; a concurrent `Reload` retires the old world only when the
+/// last in-flight query drops its pin. No query ever blocks on — or
+/// observes — a partially ingested world: `ServingSnapshot::Build` runs
+/// entirely before `Reload` is called.
+///
+/// `Stop` and `Reload` are serialized by a lifecycle mutex: a reload racing
+/// shutdown either publishes before the engine stops or is rejected with
+/// `kFailedPrecondition` — it can never publish into a stopped (or
+/// destructing) engine. `Stop` is idempotent and drains queued requests
+/// (their futures complete with real answers) before joining the workers.
+class QueryEngine {
+ public:
+  /// Starts `options.num_threads` workers serving `snapshot` (non-null) as
+  /// generation 1.
+  explicit QueryEngine(std::shared_ptr<const ServingSnapshot> snapshot,
+                       const QueryEngineOptions& options = {});
+  ~QueryEngine();
+
+  QueryEngine(const QueryEngine&) = delete;
+  QueryEngine& operator=(const QueryEngine&) = delete;
+
+  /// Atomically publishes `snapshot` (non-null) as the next generation.
+  /// In-flight queries keep answering from the generation they pinned.
+  /// Returns kFailedPrecondition once the engine has stopped, and
+  /// kInvalidArgument for a null snapshot (nothing is published either
+  /// way).
+  culinary::Status Reload(std::shared_ptr<const ServingSnapshot> snapshot);
+
+  /// The currently published snapshot / generation. Any thread, any time.
+  std::shared_ptr<const ServingSnapshot> snapshot() const;
+  uint64_t generation() const;
+
+  /// Evaluates `request` synchronously on the calling thread against the
+  /// currently published snapshot, honoring the request's deadline and
+  /// cancellation token inside the evaluation. Always records per-endpoint
+  /// latency + request counters. Thread-safe; usable alongside `Submit`.
+  Response Execute(const Request& request) const;
+
+  /// Queued submission through the bounded admission queue. When the queue
+  /// is full — or the engine has stopped — the returned future is
+  /// immediately ready with `kUnavailable` (explicit shed; retryable).
+  std::future<Response> Submit(Request request);
+
+  /// Stops admission, drains queued requests, joins workers. Idempotent;
+  /// concurrent calls serialize and all return after shutdown completes.
+  void Stop();
+
+  bool stopped() const { return stopped_.load(std::memory_order_acquire); }
+
+  struct Stats {
+    uint64_t accepted = 0;  ///< requests admitted to the queue
+    uint64_t shed = 0;      ///< requests refused with kUnavailable
+    uint64_t executed = 0;  ///< requests evaluated (queued + direct)
+    uint64_t reloads = 0;   ///< successful snapshot swaps
+  };
+  Stats stats() const;
+
+ private:
+  /// Snapshot + generation, published as one unit so they can never be
+  /// observed out of step.
+  struct PublishedWorld {
+    std::shared_ptr<const ServingSnapshot> snapshot;
+    uint64_t generation = 0;
+  };
+
+  struct PendingRequest {
+    Request request;
+    std::promise<Response> promise;
+  };
+
+  void WorkerLoop();
+
+  std::atomic<std::shared_ptr<const PublishedWorld>> published_;
+
+  /// Serializes Reload against Stop (satellite: a reload racing shutdown
+  /// must not publish into a destroyed engine).
+  std::mutex lifecycle_mu_;
+  std::atomic<bool> stopped_{false};
+
+  std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::deque<PendingRequest> queue_;
+  std::vector<std::thread> workers_;
+  size_t queue_capacity_ = 0;
+
+  mutable std::atomic<uint64_t> accepted_{0};
+  mutable std::atomic<uint64_t> shed_{0};
+  mutable std::atomic<uint64_t> executed_{0};
+  mutable std::atomic<uint64_t> reloads_{0};
+};
+
+}  // namespace culinary::serving
+
+#endif  // CULINARYLAB_SERVING_ENGINE_H_

@@ -1,0 +1,472 @@
+#include "serving/protocol.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <iomanip>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+#include "analysis/null_models.h"
+#include "recipe/region.h"
+
+namespace culinary::serving {
+
+namespace {
+
+// --- minimal flat-JSON reader -----------------------------------------------
+
+/// One parsed value. Arrays are homogeneous scalar arrays; anything nested
+/// is rejected by the parser.
+struct JsonValue {
+  enum class Kind { kString, kNumber, kBool, kNull, kStrings, kNumbers };
+  Kind kind = Kind::kNull;
+  std::string str;
+  double num = 0.0;
+  bool boolean = false;
+  std::vector<std::string> strings;
+  std::vector<double> numbers;
+};
+
+struct JsonField {
+  std::string key;
+  JsonValue value;
+};
+
+/// Hand-rolled scanner for exactly the flat request shape: one object of
+/// string keys mapping to scalars or scalar arrays. Small enough to audit,
+/// and strict — unknown syntax fails parse instead of guessing.
+class FlatJsonReader {
+ public:
+  explicit FlatJsonReader(std::string_view text) : text_(text) {}
+
+  culinary::Result<std::vector<JsonField>> Parse() {
+    std::vector<JsonField> fields;
+    SkipWs();
+    if (!Consume('{')) return Fail("expected '{'");
+    SkipWs();
+    if (Consume('}')) return Finish(std::move(fields));
+    for (;;) {
+      JsonField field;
+      CULINARY_RETURN_IF_ERROR(ParseString(&field.key));
+      SkipWs();
+      if (!Consume(':')) return Fail("expected ':'");
+      CULINARY_RETURN_IF_ERROR(ParseValue(&field.value));
+      fields.push_back(std::move(field));
+      SkipWs();
+      if (Consume(',')) {
+        SkipWs();
+        continue;
+      }
+      if (Consume('}')) return Finish(std::move(fields));
+      return Fail("expected ',' or '}'");
+    }
+  }
+
+ private:
+  culinary::Result<std::vector<JsonField>> Finish(
+      std::vector<JsonField> fields) {
+    SkipWs();
+    if (pos_ != text_.size()) return Fail("trailing characters after object");
+    return fields;
+  }
+
+  culinary::Status Fail(const std::string& what) {
+    return culinary::Status::ParseError("request line: " + what +
+                                        " at offset " + std::to_string(pos_));
+  }
+
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeWord(std::string_view word) {
+    if (text_.substr(pos_, word.size()) == word) {
+      pos_ += word.size();
+      return true;
+    }
+    return false;
+  }
+
+  culinary::Status ParseString(std::string* out) {
+    SkipWs();
+    if (!Consume('"')) return Fail("expected '\"'");
+    out->clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return culinary::Status::OK();
+      if (c != '\\') {
+        out->push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) break;
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"':
+        case '\\':
+        case '/':
+          out->push_back(esc);
+          break;
+        case 'n':
+          out->push_back('\n');
+          break;
+        case 't':
+          out->push_back('\t');
+          break;
+        case 'r':
+          out->push_back('\r');
+          break;
+        case 'b':
+          out->push_back('\b');
+          break;
+        case 'f':
+          out->push_back('\f');
+          break;
+        case 'u': {
+          // Only ASCII \u00XX escapes; ingredient names are ASCII slugs.
+          if (pos_ + 4 > text_.size()) return Fail("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              return Fail("bad \\u escape");
+            }
+          }
+          if (code > 0x7F) return Fail("non-ASCII \\u escape unsupported");
+          out->push_back(static_cast<char>(code));
+          break;
+        }
+        default:
+          return Fail("unknown escape");
+      }
+    }
+    return Fail("unterminated string");
+  }
+
+  culinary::Status ParseNumber(double* out) {
+    const size_t start = pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) {
+      ++pos_;
+    }
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            ((text_[pos_] == '-' || text_[pos_] == '+') &&
+             (text_[pos_ - 1] == 'e' || text_[pos_ - 1] == 'E')))) {
+      ++pos_;
+    }
+    if (pos_ == start) return Fail("expected number");
+    const std::string token(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    *out = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size()) return Fail("malformed number");
+    return culinary::Status::OK();
+  }
+
+  culinary::Status ParseValue(JsonValue* out) {
+    SkipWs();
+    if (pos_ >= text_.size()) return Fail("expected value");
+    const char c = text_[pos_];
+    if (c == '"') {
+      out->kind = JsonValue::Kind::kString;
+      return ParseString(&out->str);
+    }
+    if (c == '[') return ParseArray(out);
+    if (c == '{') return Fail("nested objects unsupported");
+    if (ConsumeWord("true")) {
+      out->kind = JsonValue::Kind::kBool;
+      out->boolean = true;
+      return culinary::Status::OK();
+    }
+    if (ConsumeWord("false")) {
+      out->kind = JsonValue::Kind::kBool;
+      out->boolean = false;
+      return culinary::Status::OK();
+    }
+    if (ConsumeWord("null")) {
+      out->kind = JsonValue::Kind::kNull;
+      return culinary::Status::OK();
+    }
+    out->kind = JsonValue::Kind::kNumber;
+    return ParseNumber(&out->num);
+  }
+
+  culinary::Status ParseArray(JsonValue* out) {
+    Consume('[');
+    SkipWs();
+    if (Consume(']')) {
+      out->kind = JsonValue::Kind::kStrings;  // empty: either kind works
+      return culinary::Status::OK();
+    }
+    const bool strings = text_[pos_] == '"';
+    out->kind =
+        strings ? JsonValue::Kind::kStrings : JsonValue::Kind::kNumbers;
+    for (;;) {
+      if (strings) {
+        std::string element;
+        CULINARY_RETURN_IF_ERROR(ParseString(&element));
+        out->strings.push_back(std::move(element));
+      } else {
+        double element = 0.0;
+        SkipWs();
+        if (pos_ < text_.size() && (text_[pos_] == '[' || text_[pos_] == '{'))
+          return Fail("nested arrays unsupported");
+        CULINARY_RETURN_IF_ERROR(ParseNumber(&element));
+        out->numbers.push_back(element);
+      }
+      SkipWs();
+      if (Consume(',')) {
+        SkipWs();
+        continue;
+      }
+      if (Consume(']')) return culinary::Status::OK();
+      return Fail("expected ',' or ']'");
+    }
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+// --- serialization helpers --------------------------------------------------
+
+void AppendDouble(std::ostringstream& os, double value) {
+  // max_digits10 keeps serialization a pure function of the double: two
+  // runs producing bit-identical values print bit-identical lines, which is
+  // what the cross-thread-count identity checks diff.
+  os << std::setprecision(17) << value;
+}
+
+void AppendScore(std::ostringstream& os, const ScoreResult& score) {
+  os << ",\"score\":";
+  AppendDouble(os, score.score);
+  os << ",\"classified\":\"" << recipe::RegionCode(score.classified) << "\"";
+  os << ",\"resolved\":[";
+  for (size_t i = 0; i < score.resolved.size(); ++i) {
+    if (i > 0) os << ',';
+    os << score.resolved[i];
+  }
+  os << "],\"unresolved\":[";
+  for (size_t i = 0; i < score.unresolved.size(); ++i) {
+    if (i > 0) os << ',';
+    os << '"' << EscapeJson(score.unresolved[i]) << '"';
+  }
+  os << ']';
+}
+
+void AppendSuggestions(std::ostringstream& os,
+                       const std::vector<Suggestion>& suggestions) {
+  os << ",\"suggestions\":[";
+  for (size_t i = 0; i < suggestions.size(); ++i) {
+    if (i > 0) os << ',';
+    os << "{\"id\":" << suggestions[i].id << ",\"name\":\""
+       << EscapeJson(suggestions[i].name) << "\",\"gain\":";
+    AppendDouble(os, suggestions[i].gain);
+    os << '}';
+  }
+  os << ']';
+}
+
+void AppendFingerprint(std::ostringstream& os,
+                       const FingerprintResult& fingerprint) {
+  os << ",\"region\":\"" << recipe::RegionCode(fingerprint.region) << "\"";
+  os << ",\"num_recipes\":" << fingerprint.num_recipes;
+  os << ",\"num_unique_ingredients\":" << fingerprint.num_unique_ingredients;
+  os << ",\"mean_recipe_size\":";
+  AppendDouble(os, fingerprint.mean_recipe_size);
+  os << ",\"mean_pairing\":";
+  AppendDouble(os, fingerprint.mean_pairing);
+  os << ",\"top_ingredients\":[";
+  for (size_t i = 0; i < fingerprint.top_ingredients.size(); ++i) {
+    if (i > 0) os << ',';
+    os << "{\"name\":\"" << EscapeJson(fingerprint.top_ingredients[i].first)
+       << "\",\"count\":" << fingerprint.top_ingredients[i].second << '}';
+  }
+  os << "],\"baselines\":[";
+  for (size_t i = 0; i < fingerprint.baselines.size(); ++i) {
+    const analysis::FoodPairingResult& baseline = fingerprint.baselines[i];
+    if (i > 0) os << ',';
+    os << "{\"model\":\"" << analysis::NullModelKindSlug(baseline.kind)
+       << "\",\"real_mean\":";
+    AppendDouble(os, baseline.real_mean);
+    os << ",\"null_mean\":";
+    AppendDouble(os, baseline.null_mean);
+    os << ",\"z_score\":";
+    AppendDouble(os, baseline.z_score);
+    os << '}';
+  }
+  os << ']';
+}
+
+void AppendSimilar(std::ostringstream& os, const SimilarResult& similar) {
+  os << ",\"region\":\"" << recipe::RegionCode(similar.region) << "\"";
+  os << ",\"neighbors\":[";
+  for (size_t i = 0; i < similar.neighbors.size(); ++i) {
+    if (i > 0) os << ',';
+    os << "{\"region\":\"" << recipe::RegionCode(similar.neighbors[i].first)
+       << "\",\"similarity\":";
+    AppendDouble(os, similar.neighbors[i].second);
+    os << '}';
+  }
+  os << ']';
+}
+
+}  // namespace
+
+std::string EscapeJson(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+culinary::Result<WireRequest> ParseRequestLine(std::string_view line) {
+  FlatJsonReader reader(line);
+  auto parsed = reader.Parse();
+  if (!parsed.ok()) return parsed.status();
+
+  WireRequest wire;
+  bool saw_op = false;
+  for (const JsonField& field : parsed.value()) {
+    const JsonValue& value = field.value;
+    if (field.key == "id" && value.kind == JsonValue::Kind::kString) {
+      wire.id = value.str;
+    } else if (field.key == "op" && value.kind == JsonValue::Kind::kString) {
+      wire.op = value.str;
+      saw_op = true;
+    } else if (field.key == "ingredients" &&
+               value.kind == JsonValue::Kind::kStrings) {
+      wire.request.ingredient_names = value.strings;
+    } else if (field.key == "ids" &&
+               (value.kind == JsonValue::Kind::kNumbers ||
+                value.kind == JsonValue::Kind::kStrings)) {
+      for (const double d : value.numbers) {
+        wire.request.ingredient_ids.push_back(
+            static_cast<flavor::IngredientId>(d));
+      }
+    } else if (field.key == "region" &&
+               value.kind == JsonValue::Kind::kString) {
+      const std::optional<recipe::Region> region =
+          recipe::RegionFromCode(value.str);
+      if (!region.has_value()) {
+        return culinary::Status::InvalidArgument("unknown region code \"" +
+                                                 value.str + "\"");
+      }
+      wire.request.region = *region;
+    } else if (field.key == "k" && value.kind == JsonValue::Kind::kNumber) {
+      if (value.num < 0) {
+        return culinary::Status::InvalidArgument("k must be >= 0");
+      }
+      wire.request.k = static_cast<size_t>(value.num);
+    } else if (field.key == "deadline_ms" &&
+               value.kind == JsonValue::Kind::kNumber) {
+      wire.request.deadline_ms = value.num;
+    }
+    // Unknown keys are ignored: the server stays forward-compatible with
+    // newer clients.
+  }
+  if (!saw_op) {
+    return culinary::Status::InvalidArgument("request has no \"op\"");
+  }
+
+  if (wire.op == "ping") {
+    wire.request.endpoint = Endpoint::kPing;
+  } else if (wire.op == "score") {
+    wire.request.endpoint = Endpoint::kScore;
+  } else if (wire.op == "suggest") {
+    wire.request.endpoint = Endpoint::kSuggest;
+  } else if (wire.op == "fingerprint") {
+    wire.request.endpoint = Endpoint::kFingerprint;
+  } else if (wire.op == "similar") {
+    wire.request.endpoint = Endpoint::kSimilar;
+  } else if (wire.op == "reload" || wire.op == "shutdown") {
+    wire.is_admin = true;
+  } else {
+    return culinary::Status::InvalidArgument("unknown op \"" + wire.op +
+                                             "\"");
+  }
+  return wire;
+}
+
+std::string SerializeResponse(const std::string& id,
+                              const Response& response) {
+  std::ostringstream os;
+  os << "{\"id\":\"" << EscapeJson(id) << "\",\"op\":\""
+     << EndpointName(response.endpoint) << "\",\"ok\":"
+     << (response.status.ok() ? "true" : "false")
+     << ",\"generation\":" << response.generation;
+  if (!response.status.ok()) {
+    os << ",\"code\":\"" << StatusCodeToString(response.status.code())
+       << "\",\"error\":\"" << EscapeJson(response.status.message()) << "\"";
+  } else if (const auto* score = std::get_if<ScoreResult>(&response.payload)) {
+    AppendScore(os, *score);
+  } else if (const auto* suggestions =
+                 std::get_if<std::vector<Suggestion>>(&response.payload)) {
+    AppendSuggestions(os, *suggestions);
+  } else if (const auto* fingerprint =
+                 std::get_if<FingerprintResult>(&response.payload)) {
+    AppendFingerprint(os, *fingerprint);
+  } else if (const auto* similar =
+                 std::get_if<SimilarResult>(&response.payload)) {
+    AppendSimilar(os, *similar);
+  }
+  os << '}';
+  return os.str();
+}
+
+std::string SerializeError(const std::string& id,
+                           const culinary::Status& status) {
+  std::ostringstream os;
+  os << "{\"id\":\"" << EscapeJson(id) << "\",\"ok\":false,\"code\":\""
+     << StatusCodeToString(status.code()) << "\",\"error\":\""
+     << EscapeJson(status.message()) << "\"}";
+  return os.str();
+}
+
+}  // namespace culinary::serving

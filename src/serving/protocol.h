@@ -1,0 +1,61 @@
+#ifndef CULINARYLAB_SERVING_PROTOCOL_H_
+#define CULINARYLAB_SERVING_PROTOCOL_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "serving/engine.h"
+
+namespace culinary::serving {
+
+/// Line-delimited JSON wire format for `tools/culinary_serve`.
+///
+/// One request per line, one response line per request, e.g.:
+///
+///   {"id":"r1","op":"score","ingredients":["beef","onion","garlic"]}
+///   {"id":"r2","op":"suggest","ids":[3,17],"k":5,"deadline_ms":50}
+///   {"id":"r3","op":"fingerprint","region":"FRA","k":10}
+///   {"id":"r4","op":"similar","region":"CHN","k":3}
+///   {"id":"r5","op":"ping"}
+///   {"id":"r6","op":"reload"}      <- admin: rebuild + swap the snapshot
+///   {"id":"r7","op":"shutdown"}    <- admin: drain and exit
+///
+/// The transport is deliberately thin: the parser accepts exactly flat
+/// objects of scalars and scalar arrays (no nesting), and everything else
+/// is kParseError — corrupt traffic is rejected at the edge, never handed
+/// to the engine.
+
+/// A parsed request line: the engine-facing `Request` plus wire envelope.
+struct WireRequest {
+  /// Echoed back verbatim in the response (empty when absent).
+  std::string id;
+  /// The raw op string ("score", "reload", ...).
+  std::string op;
+  /// Populated for query ops (ping/score/suggest/fingerprint/similar).
+  Request request;
+  /// True for transport-level ops (reload / shutdown) the server handles
+  /// itself; `request` is meaningless for these.
+  bool is_admin = false;
+};
+
+/// Parses one LDJSON request line. kParseError for malformed JSON or a
+/// nested value; kInvalidArgument for an unknown op or region code.
+culinary::Result<WireRequest> ParseRequestLine(std::string_view line);
+
+/// Serializes an engine response to one JSON line (no trailing newline).
+/// Successful payloads carry their endpoint fields; failures carry
+/// `"ok":false` plus the status code and message.
+std::string SerializeResponse(const std::string& id, const Response& response);
+
+/// Serializes a transport-level failure (e.g. a parse error) for `id`.
+std::string SerializeError(const std::string& id,
+                           const culinary::Status& status);
+
+/// JSON string escaping for the serializers (quotes, backslashes, control
+/// characters). Exposed for tests and the load generator.
+std::string EscapeJson(std::string_view text);
+
+}  // namespace culinary::serving
+
+#endif  // CULINARYLAB_SERVING_PROTOCOL_H_

@@ -1,0 +1,260 @@
+#include "serving/queries.h"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+
+#include "analysis/pairing.h"
+#include "analysis/similarity.h"
+#include "common/status.h"
+#include "recipe/recipe.h"
+
+namespace culinary::serving {
+
+namespace {
+
+/// Candidate-scan loops re-check the request lifecycle every this many
+/// candidates, bounding stop latency without paying a clock read per row.
+constexpr size_t kStopCheckStride = 1024;
+
+/// Canonical display name for an id ("#<id>" for ids the registry cannot
+/// name — tombstones surfaced through an old cache).
+std::string NameFor(const flavor::FlavorRegistry& registry,
+                    flavor::IngredientId id) {
+  const flavor::Ingredient* ing = registry.Find(id);
+  return ing != nullptr ? ing->name : "#" + std::to_string(id);
+}
+
+/// Index of `region` within `snapshot.cuisines()`; nullopt for kWorld or a
+/// region the snapshot does not carry.
+std::optional<size_t> CuisineIndexFor(const ServingSnapshot& snapshot,
+                                      recipe::Region region) {
+  const std::vector<recipe::Cuisine>& cuisines = snapshot.cuisines();
+  for (size_t i = 0; i < cuisines.size(); ++i) {
+    if (cuisines[i].region() == region) return i;
+  }
+  return std::nullopt;
+}
+
+culinary::Result<ScoreResult> ScoreResolved(
+    const ServingSnapshot& snapshot, std::vector<flavor::IngredientId> ids,
+    std::vector<std::string> unresolved, const QueryContext& context) {
+  CULINARY_RETURN_IF_ERROR(CheckStop(context.cancel, context.deadline));
+  if (ids.empty()) {
+    return culinary::Status::InvalidArgument(
+        "no request ingredient resolved against the registry");
+  }
+  recipe::CanonicalizeIngredients(ids);  // sorted unique, like a Recipe
+  ScoreResult result;
+  result.score = analysis::RecipePairingScore(snapshot.world_cache(), ids);
+  result.classified = snapshot.classifier().Classify(ids);
+  result.resolved = std::move(ids);
+  result.unresolved = std::move(unresolved);
+  return result;
+}
+
+culinary::Result<std::vector<Suggestion>> SuggestResolved(
+    const ServingSnapshot& snapshot, std::vector<flavor::IngredientId> ids,
+    size_t k, const QueryContext& context) {
+  CULINARY_RETURN_IF_ERROR(CheckStop(context.cancel, context.deadline));
+  if (ids.empty()) {
+    return culinary::Status::InvalidArgument(
+        "no request ingredient resolved against the registry");
+  }
+  recipe::CanonicalizeIngredients(ids);
+  const analysis::PairingCache& cache = snapshot.world_cache();
+  const size_t n = cache.num_ingredients();
+
+  // Members of the request set that the world cache covers; ingredients the
+  // corpus never used contribute no pairing information, mirroring how
+  // scoring excludes them from the normalization.
+  std::vector<int> set_dense;
+  std::vector<char> in_set(n, 0);
+  set_dense.reserve(ids.size());
+  for (flavor::IngredientId id : ids) {
+    const int d = cache.DenseIndex(id);
+    if (d >= 0) {
+      set_dense.push_back(d);
+      in_set[static_cast<size_t>(d)] = 1;
+    }
+  }
+  if (set_dense.empty()) {
+    return culinary::Status::InvalidArgument(
+        "no request ingredient appears in the serving corpus");
+  }
+
+  const std::vector<uint16_t>& full = cache.shared_matrix();
+  const double m = static_cast<double>(set_dense.size());
+  std::vector<std::pair<double, flavor::IngredientId>> scored;
+  scored.reserve(n);
+  const bool stoppable =
+      context.cancel.cancellable() || context.deadline.has_deadline();
+  for (size_t c = 0; c < n; ++c) {
+    if (stoppable && c % kStopCheckStride == 0) {
+      CULINARY_RETURN_IF_ERROR(CheckStop(context.cancel, context.deadline));
+    }
+    if (in_set[c]) continue;
+    const uint16_t* row = full.data() + c * n;
+    uint64_t total = 0;
+    for (int s : set_dense) total += row[s];
+    scored.emplace_back(static_cast<double>(total) / m, cache.IdAt(c));
+  }
+
+  // Deterministic under ties: descending gain, then ascending ingredient
+  // id. The comparator is a strict weak ordering over unique ids, so the
+  // top-K is a pure function of the snapshot — bit-identical across any
+  // number of serving threads.
+  auto better = [](const std::pair<double, flavor::IngredientId>& a,
+                   const std::pair<double, flavor::IngredientId>& b) {
+    if (a.first != b.first) return a.first > b.first;
+    return a.second < b.second;
+  };
+  if (scored.size() > k) {
+    std::nth_element(scored.begin(), scored.begin() + static_cast<long>(k),
+                     scored.end(), better);
+    scored.resize(k);
+  }
+  std::sort(scored.begin(), scored.end(), better);
+
+  std::vector<Suggestion> suggestions;
+  suggestions.reserve(scored.size());
+  for (const auto& [gain, id] : scored) {
+    Suggestion s;
+    s.id = id;
+    s.name = NameFor(snapshot.registry(), id);
+    s.gain = gain;
+    suggestions.push_back(std::move(s));
+  }
+  return suggestions;
+}
+
+/// Splits names into (resolved ids, unresolved names).
+void ResolveNames(const flavor::FlavorRegistry& registry,
+                  const std::vector<std::string>& names,
+                  std::vector<flavor::IngredientId>* ids,
+                  std::vector<std::string>* unresolved) {
+  for (const std::string& name : names) {
+    const flavor::IngredientId id = registry.FindByName(name);
+    if (id == flavor::kInvalidIngredient) {
+      unresolved->push_back(name);
+    } else {
+      ids->push_back(id);
+    }
+  }
+}
+
+/// Splits raw ids into (known ids, unresolved stringified ids).
+void ResolveIds(const flavor::FlavorRegistry& registry,
+                const std::vector<flavor::IngredientId>& raw,
+                std::vector<flavor::IngredientId>* ids,
+                std::vector<std::string>* unresolved) {
+  for (flavor::IngredientId id : raw) {
+    if (registry.Find(id) == nullptr) {
+      unresolved->push_back("#" + std::to_string(id));
+    } else {
+      ids->push_back(id);
+    }
+  }
+}
+
+}  // namespace
+
+culinary::Result<ScoreResult> ScoreRecipe(
+    const ServingSnapshot& snapshot,
+    const std::vector<std::string>& ingredient_names,
+    const QueryContext& context) {
+  std::vector<flavor::IngredientId> ids;
+  std::vector<std::string> unresolved;
+  ResolveNames(snapshot.registry(), ingredient_names, &ids, &unresolved);
+  return ScoreResolved(snapshot, std::move(ids), std::move(unresolved),
+                       context);
+}
+
+culinary::Result<ScoreResult> ScoreRecipeIds(
+    const ServingSnapshot& snapshot,
+    const std::vector<flavor::IngredientId>& ids,
+    const QueryContext& context) {
+  std::vector<flavor::IngredientId> known;
+  std::vector<std::string> unresolved;
+  ResolveIds(snapshot.registry(), ids, &known, &unresolved);
+  return ScoreResolved(snapshot, std::move(known), std::move(unresolved),
+                       context);
+}
+
+culinary::Result<std::vector<Suggestion>> SuggestPairings(
+    const ServingSnapshot& snapshot,
+    const std::vector<std::string>& ingredient_names, size_t k,
+    const QueryContext& context) {
+  std::vector<flavor::IngredientId> ids;
+  std::vector<std::string> unresolved;
+  ResolveNames(snapshot.registry(), ingredient_names, &ids, &unresolved);
+  return SuggestResolved(snapshot, std::move(ids), k, context);
+}
+
+culinary::Result<std::vector<Suggestion>> SuggestPairingsIds(
+    const ServingSnapshot& snapshot,
+    const std::vector<flavor::IngredientId>& ids, size_t k,
+    const QueryContext& context) {
+  std::vector<flavor::IngredientId> known;
+  std::vector<std::string> unresolved;
+  ResolveIds(snapshot.registry(), ids, &known, &unresolved);
+  return SuggestResolved(snapshot, std::move(known), k, context);
+}
+
+culinary::Result<FingerprintResult> Fingerprint(const ServingSnapshot& snapshot,
+                                                recipe::Region region,
+                                                size_t top,
+                                                const QueryContext& context) {
+  CULINARY_RETURN_IF_ERROR(CheckStop(context.cancel, context.deadline));
+  const std::optional<size_t> index = CuisineIndexFor(snapshot, region);
+  if (!index.has_value()) {
+    return culinary::Status::NotFound(
+        "no cuisine for region " + std::string(recipe::RegionCode(region)));
+  }
+  const recipe::Cuisine& cuisine = snapshot.cuisines()[*index];
+  FingerprintResult result;
+  result.region = region;
+  result.num_recipes = cuisine.num_recipes();
+  result.num_unique_ingredients = cuisine.unique_ingredients().size();
+  result.mean_recipe_size = cuisine.MeanRecipeSize();
+  result.mean_pairing = snapshot.PairingStatsAt(*index).mean();
+  auto by_popularity = cuisine.ByPopularity();
+  if (by_popularity.size() > top) by_popularity.resize(top);
+  result.top_ingredients.reserve(by_popularity.size());
+  for (const auto& [id, frequency] : by_popularity) {
+    result.top_ingredients.emplace_back(NameFor(snapshot.registry(), id),
+                                        frequency);
+  }
+  result.baselines = snapshot.BaselinesAt(*index);
+  return result;
+}
+
+culinary::Result<SimilarResult> SimilarCuisines(const ServingSnapshot& snapshot,
+                                                recipe::Region region, size_t k,
+                                                const QueryContext& context) {
+  CULINARY_RETURN_IF_ERROR(CheckStop(context.cancel, context.deadline));
+  const std::optional<size_t> index = CuisineIndexFor(snapshot, region);
+  if (!index.has_value()) {
+    return culinary::Status::NotFound(
+        "no cuisine for region " + std::string(recipe::RegionCode(region)));
+  }
+  // Read the precomputed matrix row instead of recomputing the 21 pairwise
+  // similarities, replicating `analysis::NearestCuisines` exactly: same
+  // candidate order, same comparator, same truncation — the matrix entries
+  // themselves come from the same pure metric, so the answer is
+  // bit-identical to the batch call.
+  const std::vector<std::vector<double>>& matrix = snapshot.similarity();
+  const std::vector<recipe::Cuisine>& cuisines = snapshot.cuisines();
+  SimilarResult result;
+  result.region = region;
+  for (size_t c = 0; c < cuisines.size(); ++c) {
+    if (c == *index) continue;
+    result.neighbors.emplace_back(cuisines[c].region(), matrix[*index][c]);
+  }
+  std::sort(result.neighbors.begin(), result.neighbors.end(),
+            [](const auto& a, const auto& b) { return a.second > b.second; });
+  if (result.neighbors.size() > k) result.neighbors.resize(k);
+  return result;
+}
+
+}  // namespace culinary::serving

@@ -1,0 +1,129 @@
+#ifndef CULINARYLAB_SERVING_QUERIES_H_
+#define CULINARYLAB_SERVING_QUERIES_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "analysis/null_models.h"
+#include "common/cancellation.h"
+#include "common/result.h"
+#include "flavor/ingredient.h"
+#include "recipe/region.h"
+#include "serving/snapshot.h"
+
+namespace culinary::serving {
+
+/// The point-query endpoints, as pure functions of one immutable
+/// `ServingSnapshot`. The engine wraps these with admission control and
+/// metrics; tests call them directly to pin the batch-path equivalence
+/// (every answer must be bit-identical to calling `analysis::*` on the same
+/// world).
+///
+/// All endpoints take the per-request lifecycle pair: `cancel` / `deadline`
+/// are checked at entry and, for the candidate scans, cooperatively inside
+/// the loop, so one slow query cannot overstay a request budget.
+
+/// Per-request lifecycle + paging context.
+struct QueryContext {
+  culinary::CancellationToken cancel{};
+  culinary::Deadline deadline{};
+};
+
+// --- score ------------------------------------------------------------------
+
+struct ScoreResult {
+  /// N_s of the resolved ingredient set over the world pairing cache —
+  /// exactly `analysis::RecipePairingScore(world_cache, ids)`.
+  double score = 0.0;
+  /// Ingredient ids that resolved, ascending (deduplicated).
+  std::vector<flavor::IngredientId> resolved;
+  /// Request names that did not resolve against the registry.
+  std::vector<std::string> unresolved;
+  /// Most plausible source cuisine of the set (kWorld when the classifier
+  /// is empty) — exactly `classifier().Classify(resolved)`.
+  recipe::Region classified = recipe::Region::kWorld;
+};
+
+/// Scores an ingredient set given by name. At least one name must resolve
+/// (kInvalidArgument otherwise).
+culinary::Result<ScoreResult> ScoreRecipe(
+    const ServingSnapshot& snapshot,
+    const std::vector<std::string>& ingredient_names,
+    const QueryContext& context = {});
+
+/// Id-level variant (ids unknown to the registry are reported unresolved by
+/// stringified id).
+culinary::Result<ScoreResult> ScoreRecipeIds(
+    const ServingSnapshot& snapshot,
+    const std::vector<flavor::IngredientId>& ids,
+    const QueryContext& context = {});
+
+// --- suggest ----------------------------------------------------------------
+
+struct Suggestion {
+  flavor::IngredientId id = flavor::kInvalidIngredient;
+  std::string name;
+  /// Mean shared-compound count between the candidate and the request set:
+  /// (Σ_{i ∈ set} |F_c ∩ F_i|) / |set| — the marginal flavor-sharing the
+  /// candidate would add, in the paper's N_s units.
+  double gain = 0.0;
+};
+
+/// Top-`k` pairing partners for an ingredient set: every world-cache
+/// ingredient not already in the set, ranked by descending `gain`.
+/// Deterministic under score ties — equal gains order by ascending
+/// ingredient id — so the top-K list is bit-identical no matter how many
+/// serving threads race over it (the same contract the sweeps guarantee).
+culinary::Result<std::vector<Suggestion>> SuggestPairings(
+    const ServingSnapshot& snapshot,
+    const std::vector<std::string>& ingredient_names, size_t k,
+    const QueryContext& context = {});
+
+/// Id-level variant of `SuggestPairings`.
+culinary::Result<std::vector<Suggestion>> SuggestPairingsIds(
+    const ServingSnapshot& snapshot,
+    const std::vector<flavor::IngredientId>& ids, size_t k,
+    const QueryContext& context = {});
+
+// --- fingerprint ------------------------------------------------------------
+
+struct FingerprintResult {
+  recipe::Region region = recipe::Region::kWorld;
+  size_t num_recipes = 0;
+  size_t num_unique_ingredients = 0;
+  double mean_recipe_size = 0.0;
+  /// Mean N_s over the cuisine's pairable recipes — bit-identical to
+  /// `analysis::CuisinePairingStats(world_cache, cuisine).mean()`.
+  double mean_pairing = 0.0;
+  /// (canonical name, frequency) of the cuisine's most-used ingredients,
+  /// in `Cuisine::ByPopularity` order.
+  std::vector<std::pair<std::string, int64_t>> top_ingredients;
+  /// Null-model comparison, when the snapshot precomputed baselines.
+  std::vector<analysis::FoodPairingResult> baselines;
+};
+
+/// The culinary fingerprint of one region (`top` popular ingredients).
+/// kNotFound for a region code the snapshot does not serve.
+culinary::Result<FingerprintResult> Fingerprint(
+    const ServingSnapshot& snapshot, recipe::Region region, size_t top,
+    const QueryContext& context = {});
+
+// --- similar ----------------------------------------------------------------
+
+struct SimilarResult {
+  recipe::Region region = recipe::Region::kWorld;
+  /// The k most similar cuisines, best first — bit-identical to
+  /// `analysis::NearestCuisines` over the same cuisines and metric.
+  std::vector<std::pair<recipe::Region, double>> neighbors;
+};
+
+/// Nearest cuisines to `region` under the snapshot's similarity metric.
+culinary::Result<SimilarResult> SimilarCuisines(
+    const ServingSnapshot& snapshot, recipe::Region region, size_t k,
+    const QueryContext& context = {});
+
+}  // namespace culinary::serving
+
+#endif  // CULINARYLAB_SERVING_QUERIES_H_

@@ -291,5 +291,59 @@ TEST_F(PairingTest, CuisineStatsBitIdenticalAcrossThreadCounts) {
   EXPECT_EQ(s1.stddev(), s8.stddev());
 }
 
+TEST_F(PairingTest, FromPrecomputedRoundTripsFreshTriangle) {
+  PairingCache fresh(reg_, {a_, b_, c_, d_});
+  auto rebuilt = PairingCache::FromPrecomputed(
+      reg_, {a_, b_, c_, d_}, fresh.triangle().data(), fresh.triangle().size());
+  ASSERT_TRUE(rebuilt.ok()) << rebuilt.status().ToString();
+  const PairingCache& cache = rebuilt.value();
+  EXPECT_EQ(cache.num_ingredients(), 4u);
+  EXPECT_EQ(cache.Shared(a_, b_), 2u);
+  EXPECT_EQ(cache.Shared(a_, c_), 0u);
+  EXPECT_EQ(cache.triangle(), fresh.triangle());
+  EXPECT_EQ(cache.shared_matrix(), fresh.shared_matrix());
+}
+
+TEST_F(PairingTest, FromPrecomputedRejectsTruncatedTriangle) {
+  // Regression: a truncated snapshot pairing section used to be memcpy'd
+  // before any length check, reading past the end of the buffer. The length
+  // mismatch must be classified as corruption (FailedPrecondition), not a
+  // programming error.
+  PairingCache fresh(reg_, {a_, b_, c_, d_});
+  ASSERT_EQ(fresh.triangle().size(), 6u);  // 4*3/2
+  auto truncated = PairingCache::FromPrecomputed(
+      reg_, {a_, b_, c_, d_}, fresh.triangle().data(),
+      fresh.triangle().size() - 1);
+  ASSERT_FALSE(truncated.ok());
+  EXPECT_TRUE(truncated.status().IsFailedPrecondition())
+      << truncated.status().ToString();
+
+  auto null_triangle =
+      PairingCache::FromPrecomputed(reg_, {a_, b_, c_, d_}, nullptr, 6);
+  ASSERT_FALSE(null_triangle.ok());
+  EXPECT_TRUE(null_triangle.status().IsFailedPrecondition());
+}
+
+TEST_F(PairingTest, FromPrecomputedRejectsIdsOutsideRegistry) {
+  // A pairing section spliced onto a smaller registry: the ids prove the
+  // triangle was computed against a different ingredient universe.
+  PairingCache fresh(reg_, {a_, b_});
+  const auto stray = static_cast<IngredientId>(reg_.num_ingredient_slots() + 7);
+  auto spliced = PairingCache::FromPrecomputed(
+      reg_, {a_, stray}, fresh.triangle().data(), fresh.triangle().size());
+  ASSERT_FALSE(spliced.ok());
+  EXPECT_TRUE(spliced.status().IsFailedPrecondition())
+      << spliced.status().ToString();
+}
+
+TEST_F(PairingTest, FromPrecomputedAcceptsEmptyAndSingleton) {
+  auto empty = PairingCache::FromPrecomputed(reg_, {}, nullptr, 0);
+  ASSERT_TRUE(empty.ok()) << empty.status().ToString();
+  EXPECT_EQ(empty.value().num_ingredients(), 0u);
+  auto single = PairingCache::FromPrecomputed(reg_, {a_}, nullptr, 0);
+  ASSERT_TRUE(single.ok()) << single.status().ToString();
+  EXPECT_EQ(single.value().num_ingredients(), 1u);
+}
+
 }  // namespace
 }  // namespace culinary::analysis

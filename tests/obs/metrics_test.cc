@@ -244,5 +244,59 @@ TEST(JsonFileTest, WritesAndReportsErrors) {
   EXPECT_FALSE(error.empty());
 }
 
+TEST(HistogramTest, BucketForU64HandlesEdgeValues) {
+  // Regression: BucketForU64(0) used to feed 0 into the leading-zero count,
+  // which is UB for builtin clz. Zero must land in bucket 0 like the double
+  // path, not in an arbitrary bucket.
+  EXPECT_EQ(HistogramMetric::BucketForU64(0), 0u);
+  EXPECT_EQ(HistogramMetric::BucketForU64(1), 1u);
+  EXPECT_EQ(HistogramMetric::BucketForU64(1), HistogramMetric::BucketFor(1.0));
+  EXPECT_EQ(HistogramMetric::BucketForU64(UINT64_MAX),
+            HistogramMetric::kNumBuckets - 1);
+}
+
+TEST(HistogramTest, BucketForU64AgreesWithDoublePath) {
+  // Powers of two, their neighbors, and a spread of odd values: the integer
+  // twin must agree with BucketFor(double) wherever the double is exact.
+  for (int shift = 0; shift < 53; ++shift) {
+    const uint64_t p = uint64_t{1} << shift;
+    EXPECT_EQ(HistogramMetric::BucketForU64(p),
+              HistogramMetric::BucketFor(static_cast<double>(p)))
+        << "2^" << shift;
+    if (p > 1) {
+      EXPECT_EQ(HistogramMetric::BucketForU64(p - 1),
+                HistogramMetric::BucketFor(static_cast<double>(p - 1)))
+          << "2^" << shift << " - 1";
+      EXPECT_EQ(HistogramMetric::BucketForU64(p + 1),
+                HistogramMetric::BucketFor(static_cast<double>(p + 1)))
+          << "2^" << shift << " + 1";
+    }
+  }
+  for (uint64_t v : {3ull, 7ull, 100ull, 999ull, 123456789ull}) {
+    EXPECT_EQ(HistogramMetric::BucketForU64(v),
+              HistogramMetric::BucketFor(static_cast<double>(v)))
+        << v;
+  }
+}
+
+TEST(HistogramTest, ObserveU64RecordsLikeObserve) {
+  ScopedEnabled on(true);
+  HistogramMetric h("test.u64");
+  h.ObserveU64(0);
+  h.ObserveU64(1);
+  h.ObserveU64(UINT64_MAX);
+  HistogramMetric::Snapshot snap = h.Snap();
+  EXPECT_EQ(snap.count, 3u);
+  EXPECT_EQ(snap.min, 0.0);
+  EXPECT_EQ(snap.max, static_cast<double>(UINT64_MAX));
+  // 0 → bucket 0 (le 1), 1 → bucket 1 (le 2), UINT64_MAX → top bucket.
+  ASSERT_EQ(snap.buckets.size(), 3u);
+  EXPECT_EQ(snap.buckets[0].first, 1.0);
+  EXPECT_EQ(snap.buckets[0].second, 1u);
+  EXPECT_EQ(snap.buckets[1].first, 2.0);
+  EXPECT_EQ(snap.buckets[1].second, 1u);
+  EXPECT_EQ(snap.buckets[2].second, 1u);
+}
+
 }  // namespace
 }  // namespace culinary::obs

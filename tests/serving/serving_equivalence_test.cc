@@ -1,0 +1,195 @@
+// Serving/batch equivalence property: every serving endpoint must be
+// bit-identical to running the analysis layer directly on the same world
+// (across ≥3 datagen seeds), and the suggest top-K must be deterministic
+// under score ties and across 1/4/16 serving threads.
+
+#include <future>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "analysis/fingerprint.h"
+#include "analysis/pairing.h"
+#include "analysis/similarity.h"
+#include "datagen/world.h"
+#include "flavor/registry.h"
+#include "recipe/database.h"
+#include "serving/engine.h"
+#include "serving/protocol.h"
+#include "serving/queries.h"
+#include "serving/snapshot.h"
+
+namespace culinary::serving {
+namespace {
+
+using flavor::Category;
+using flavor::FlavorProfile;
+using flavor::FlavorRegistry;
+using flavor::IngredientId;
+using recipe::RecipeDatabase;
+using recipe::Region;
+
+/// One arbitrary seed, a different arbitrary seed, and the calibrated
+/// default-world vintage (the repo's ≥3-seed property-test convention).
+constexpr uint64_t kSeeds[] = {1, 7, 20180416};
+
+datagen::SyntheticWorld GenerateSmall(uint64_t seed) {
+  datagen::WorldSpec spec = datagen::WorldSpec::Small();
+  spec.seed = seed;
+  auto world = datagen::GenerateWorld(spec);
+  EXPECT_TRUE(world.ok()) << world.status().ToString();
+  return std::move(world).value();
+}
+
+TEST(ServingEquivalenceTest, EndpointsMatchBatchPathAcrossSeeds) {
+  for (uint64_t seed : kSeeds) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    // GenerateWorld is a pure function of its spec, so generating twice
+    // yields the same world: one copy feeds the serving snapshot, the
+    // other is analyzed directly through the batch entry points.
+    auto built = ServingSnapshot::FromSyntheticWorld(GenerateSmall(seed), {});
+    ASSERT_TRUE(built.ok()) << built.status().ToString();
+    const ServingSnapshot& snapshot = **built;
+
+    datagen::SyntheticWorld batch = GenerateSmall(seed);
+    const FlavorRegistry& registry = batch.registry();
+    const recipe::Cuisine world_cuisine = batch.db().WorldCuisine();
+    const analysis::PairingCache cache(registry,
+                                       world_cuisine.unique_ingredients());
+    const std::vector<recipe::Cuisine> cuisines = batch.db().AllCuisines();
+    const analysis::CuisineClassifier classifier(cuisines);
+
+    // --- score: N_s and classification over real recipes ------------------
+    const std::vector<recipe::Recipe>& recipes = batch.db().recipes();
+    ASSERT_FALSE(recipes.empty());
+    for (size_t i = 0; i < recipes.size(); i += recipes.size() / 25 + 1) {
+      const recipe::Recipe& recipe = recipes[i];
+      auto served = ScoreRecipeIds(snapshot, recipe.ingredients);
+      ASSERT_TRUE(served.ok()) << served.status().ToString();
+      EXPECT_EQ(served->score,
+                analysis::RecipePairingScore(cache, recipe.ingredients));
+      EXPECT_EQ(served->classified, classifier.Classify(served->resolved));
+      EXPECT_TRUE(served->unresolved.empty());
+    }
+
+    // --- fingerprint: per-cuisine statistics -------------------------------
+    for (size_t i = 0; i < cuisines.size(); i += 5) {
+      const recipe::Cuisine& cuisine = cuisines[i];
+      auto served = Fingerprint(snapshot, cuisine.region(), 10);
+      ASSERT_TRUE(served.ok()) << served.status().ToString();
+      EXPECT_EQ(served->num_recipes, cuisine.num_recipes());
+      EXPECT_EQ(served->num_unique_ingredients,
+                cuisine.unique_ingredients().size());
+      EXPECT_EQ(served->mean_recipe_size, cuisine.MeanRecipeSize());
+      EXPECT_EQ(served->mean_pairing,
+                analysis::CuisinePairingStats(cache, cuisine).mean());
+      auto by_popularity = cuisine.ByPopularity();
+      if (by_popularity.size() > 10) by_popularity.resize(10);
+      ASSERT_EQ(served->top_ingredients.size(), by_popularity.size());
+      for (size_t j = 0; j < by_popularity.size(); ++j) {
+        const flavor::Ingredient* ing =
+            registry.Find(by_popularity[j].first);
+        ASSERT_NE(ing, nullptr);
+        EXPECT_EQ(served->top_ingredients[j].first, ing->name);
+        EXPECT_EQ(served->top_ingredients[j].second, by_popularity[j].second);
+      }
+    }
+
+    // --- similar: nearest cuisines off the precomputed matrix -------------
+    for (size_t i = 0; i < cuisines.size(); i += 7) {
+      auto served = SimilarCuisines(snapshot, cuisines[i].region(), 4);
+      ASSERT_TRUE(served.ok()) << served.status().ToString();
+      auto batch_neighbors = analysis::NearestCuisines(
+          cuisines, i, 4, snapshot.similarity_metric());
+      ASSERT_TRUE(batch_neighbors.ok()) << batch_neighbors.status().ToString();
+      ASSERT_EQ(served->neighbors.size(), batch_neighbors->size());
+      for (size_t j = 0; j < batch_neighbors->size(); ++j) {
+        EXPECT_EQ(served->neighbors[j].first, (*batch_neighbors)[j].first);
+        EXPECT_EQ(served->neighbors[j].second, (*batch_neighbors)[j].second);
+      }
+    }
+  }
+}
+
+TEST(ServingEquivalenceTest, SuggestBreaksTiesByAscendingId) {
+  // A hand-built world where every candidate ties: base {1,2,3} and five
+  // candidates with the identical profile {1,2} all share exactly two
+  // compounds with the base ingredient, so the ranking must fall back to
+  // ascending ingredient id — never to map order or thread interleaving.
+  auto registry = std::make_unique<FlavorRegistry>();
+  const IngredientId base =
+      registry->AddIngredient("base", Category::kVegetable,
+                              FlavorProfile({1, 2, 3}))
+          .value();
+  std::vector<IngredientId> candidates;
+  for (int i = 0; i < 5; ++i) {
+    candidates.push_back(
+        registry
+            ->AddIngredient("cand" + std::to_string(i), Category::kHerb,
+                            FlavorProfile({1, 2}))
+            .value());
+  }
+  auto database = std::make_unique<RecipeDatabase>(registry.get());
+  std::vector<IngredientId> everything = {base};
+  everything.insert(everything.end(), candidates.begin(), candidates.end());
+  ASSERT_TRUE(
+      database->AddRecipe("all", Region::kItaly, everything).ok());
+
+  auto built = ServingSnapshot::Build(std::move(registry), std::move(database),
+                                      std::nullopt, {});
+  ASSERT_TRUE(built.ok()) << built.status().ToString();
+  auto suggestions = SuggestPairingsIds(**built, {base}, 5);
+  ASSERT_TRUE(suggestions.ok()) << suggestions.status().ToString();
+  ASSERT_EQ(suggestions->size(), 5u);
+  for (size_t i = 0; i < suggestions->size(); ++i) {
+    EXPECT_EQ((*suggestions)[i].id, candidates[i]);  // ascending id order
+    EXPECT_EQ((*suggestions)[i].gain, 2.0);          // all tied
+  }
+}
+
+TEST(ServingEquivalenceTest, SuggestTopKIdenticalAcrossThreadCounts) {
+  // The satellite determinism contract: the serialized top-K answer is
+  // byte-identical whether the engine runs 1, 4, or 16 worker threads, and
+  // whether requests arrive serially or as a concurrent storm.
+  auto snapshot_result =
+      ServingSnapshot::FromSyntheticWorld(GenerateSmall(7), {});
+  ASSERT_TRUE(snapshot_result.ok()) << snapshot_result.status().ToString();
+  auto snapshot = std::move(snapshot_result).value();
+
+  std::vector<Request> requests;
+  const std::vector<recipe::Recipe>& recipes = snapshot->db().recipes();
+  for (size_t i = 0; i < 24 && i < recipes.size(); ++i) {
+    Request request;
+    request.endpoint = Endpoint::kSuggest;
+    request.ingredient_ids = recipes[i].ingredients;
+    request.k = 8;
+    requests.push_back(std::move(request));
+  }
+
+  std::vector<std::vector<std::string>> transcripts;
+  for (size_t threads : {1u, 4u, 16u}) {
+    QueryEngine engine(snapshot, {.num_threads = threads});
+    std::vector<std::future<Response>> futures;
+    futures.reserve(requests.size());
+    for (const Request& request : requests) {
+      futures.push_back(engine.Submit(request));
+    }
+    std::vector<std::string> transcript;
+    transcript.reserve(futures.size());
+    for (size_t i = 0; i < futures.size(); ++i) {
+      transcript.push_back(
+          SerializeResponse("r" + std::to_string(i), futures[i].get()));
+    }
+    engine.Stop();
+    transcripts.push_back(std::move(transcript));
+  }
+  ASSERT_EQ(transcripts.size(), 3u);
+  EXPECT_EQ(transcripts[0], transcripts[1]);
+  EXPECT_EQ(transcripts[0], transcripts[2]);
+}
+
+}  // namespace
+}  // namespace culinary::serving

@@ -48,6 +48,16 @@
 // (default) with both wall times and the speedup. --ingest --check=FILE
 // gates snapshot_to_first_stat_ms against the committed baseline with the
 // same 20% threshold and incomparable-baseline skip rules.
+//
+// With --serving, the tool measures the resident query engine
+// (src/serving): it builds one immutable serving snapshot, replays a fixed
+// deterministic request mix (score / suggest / fingerprint / similar /
+// ping) under 1, 4 and 16 client threads, and writes BENCH_serving.json
+// with throughput plus exact client-side p50/p99 latencies per thread
+// count. Every serialized response must be bit-identical across the three
+// sweeps (the serving determinism contract) or the run fails.
+// --serving --check=FILE gates qps_t16 — throughput, so the 20% rule
+// inverts: the run fails when QPS drops below baseline/1.2.
 
 #include <algorithm>
 #include <chrono>
@@ -75,6 +85,9 @@
 #include "flavor/bitset.h"
 #include "flavor/registry_io.h"
 #include "recipe/database.h"
+#include "serving/engine.h"
+#include "serving/protocol.h"
+#include "serving/snapshot.h"
 #include "snapshot/snapshot.h"
 
 namespace {
@@ -90,9 +103,11 @@ struct Args {
   bool small = false;
   bool ingest = false;  // measure CSV cold start vs snapshot load instead
   bool dataframe = false;  // benchmark the lazy expression engine instead
+  bool serving = false;  // benchmark the resident query engine instead
   size_t threads = 8;
   size_t reps = 3;
   size_t null_recipes = 20000;
+  size_t requests = 0;  // serving mode: request count (0 = per-world default)
   std::string out_path;  // defaulted per mode after parsing
   std::string check_path;  // non-empty → regression-check mode
 };
@@ -107,6 +122,11 @@ Args ParseArgs(int argc, char** argv) {
       args.ingest = true;
     } else if (a == "--dataframe") {
       args.dataframe = true;
+    } else if (a == "--serving") {
+      args.serving = true;
+    } else if (culinary::StartsWith(a, "--requests=")) {
+      args.requests =
+          std::strtoull(a.c_str() + strlen("--requests="), nullptr, 10);
     } else if (culinary::StartsWith(a, "--threads=")) {
       args.threads = std::strtoull(a.c_str() + strlen("--threads="), nullptr, 10);
     } else if (culinary::StartsWith(a, "--reps=")) {
@@ -124,6 +144,7 @@ Args ParseArgs(int argc, char** argv) {
   if (args.out_path.empty()) {
     args.out_path = args.ingest      ? "BENCH_ingest.json"
                     : args.dataframe ? "BENCH_dataframe.json"
+                    : args.serving   ? "BENCH_serving.json"
                                      : "BENCH_pairing.json";
   }
   return args;
@@ -939,6 +960,246 @@ int RunDataframeBenchmark(const Args& args) {
   return 0;
 }
 
+// ---------------------------------------------------------------------------
+// Serving mode: the resident query engine under concurrent point queries.
+// ---------------------------------------------------------------------------
+
+/// Serving-mode twin of CheckAgainstBaseline. Gates sustained throughput at
+/// 16 client threads — lower is worse here, so the 20% rule inverts: fail
+/// when measured QPS drops below baseline/1.2. Same incomparable-baseline
+/// skip rules as the other modes.
+int CheckServingBaseline(const Args& args, bool small, double qps_t16) {
+  auto no_baseline = [&](const char* why) {
+    std::fprintf(stderr,
+                 "[bench_report] no comparable baseline (%s: %s); skipping "
+                 "regression check\n",
+                 why, args.check_path.c_str());
+    return 0;
+  };
+  std::ifstream in(args.check_path);
+  if (!in) return no_baseline("cannot read");
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const std::string baseline = buf.str();
+  if (baseline.find('}') == std::string::npos) {
+    return no_baseline("truncated or empty");
+  }
+  double baseline_qps = 0;
+  if (!ExtractJsonNumber(baseline, "qps_t16", &baseline_qps) ||
+      baseline_qps <= 0) {
+    return no_baseline("lacks qps_t16");
+  }
+  double baseline_hw = 0;
+  if (ExtractJsonNumber(baseline, "hardware_concurrency", &baseline_hw) &&
+      baseline_hw > 0 &&
+      static_cast<unsigned>(baseline_hw) !=
+          std::thread::hardware_concurrency()) {
+    return no_baseline("recorded on different hardware");
+  }
+  std::string baseline_world;
+  if (ExtractJsonString(baseline, "world", &baseline_world) &&
+      baseline_world != (small ? "small" : "default")) {
+    return no_baseline("recorded for a different world size");
+  }
+  if (qps_t16 < baseline_qps / 1.2) {
+    std::fprintf(stderr,
+                 "[bench_report] FAIL: serving throughput regressed: "
+                 "%.0f qps vs baseline %.0f qps (>20%% slower)\n",
+                 qps_t16, baseline_qps);
+    return 1;
+  }
+  std::fprintf(stderr,
+               "[bench_report] serving throughput OK: %.0f qps vs baseline "
+               "%.0f qps\n",
+               qps_t16, baseline_qps);
+  return 0;
+}
+
+/// One measured client-thread sweep: wall time, exact percentiles, and the
+/// full serialized response transcript for the cross-thread-count diff.
+struct ServingSweep {
+  double wall_ms = 0.0;
+  double qps = 0.0;
+  uint64_t p50_us = 0;
+  uint64_t p99_us = 0;
+  std::vector<std::string> transcript;  // response line per request index
+};
+
+int RunServingBenchmark(const Args& args) {
+  using namespace culinary;  // NOLINT(build/namespaces)
+
+  datagen::WorldSpec spec =
+      args.small ? datagen::WorldSpec::Small() : datagen::WorldSpec::Default();
+  std::fprintf(stderr, "[bench_report] serving: generating world (%s)...\n",
+               args.small ? "small" : "default");
+  auto world_result = datagen::GenerateWorld(spec);
+  if (!world_result.ok()) {
+    std::fprintf(stderr, "world generation failed: %s\n",
+                 world_result.status().ToString().c_str());
+    return 1;
+  }
+  PhaseTimer snapshot_timer;
+  auto snapshot_result = serving::ServingSnapshot::FromSyntheticWorld(
+      std::move(world_result).value(), {});
+  if (!snapshot_result.ok()) {
+    std::fprintf(stderr, "serving snapshot build failed: %s\n",
+                 snapshot_result.status().ToString().c_str());
+    return 1;
+  }
+  const double snapshot_build_ms = snapshot_timer.ElapsedMs();
+  std::shared_ptr<const serving::ServingSnapshot> snapshot =
+      std::move(snapshot_result).value();
+
+  // A deterministic request mix drawn from real recipes (same shape as
+  // tools/loadgen: 40% score, 30% suggest, 15% fingerprint, 10% similar,
+  // 5% ping), fixed before any measurement so every thread-count sweep
+  // answers the identical workload.
+  const size_t total_requests =
+      args.requests > 0 ? args.requests : (args.small ? 6000 : 2000);
+  const std::vector<recipe::Recipe>& recipes = snapshot->db().recipes();
+  if (recipes.empty()) {
+    std::fprintf(stderr, "generated world has no recipes\n");
+    return 1;
+  }
+  Rng rng(1);
+  std::vector<serving::Request> requests;
+  requests.reserve(total_requests);
+  for (size_t i = 0; i < total_requests; ++i) {
+    serving::Request request;
+    const uint64_t dice = rng.NextBounded(100);
+    if (dice < 70) {
+      request.endpoint =
+          dice < 40 ? serving::Endpoint::kScore : serving::Endpoint::kSuggest;
+      request.ingredient_ids =
+          recipes[rng.NextBounded(recipes.size())].ingredients;
+      request.k = 5;
+    } else if (dice < 85) {
+      request.endpoint = serving::Endpoint::kFingerprint;
+      request.region = recipe::AllRegions()[rng.NextBounded(recipe::kNumRegions)];
+      request.k = 10;
+    } else if (dice < 95) {
+      request.endpoint = serving::Endpoint::kSimilar;
+      request.region = recipe::AllRegions()[rng.NextBounded(recipe::kNumRegions)];
+      request.k = 5;
+    } else {
+      request.endpoint = serving::Endpoint::kPing;
+    }
+    requests.push_back(std::move(request));
+  }
+
+  serving::QueryEngineOptions engine_options;
+  engine_options.num_threads = 1;  // clients call Execute directly
+  serving::QueryEngine engine(snapshot, engine_options);
+
+  // T client threads split the fixed request vector round-robin, each
+  // recording per-request latency client-side. Slots are preallocated and
+  // indexed by request id, so threads never contend on the result arrays.
+  auto run_sweep = [&](size_t client_threads) {
+    ServingSweep sweep;
+    sweep.transcript.assign(requests.size(), {});
+    std::vector<uint64_t> latency_us(requests.size(), 0);
+    auto worker = [&](size_t t) {
+      for (size_t i = t; i < requests.size(); i += client_threads) {
+        const auto t0 = std::chrono::steady_clock::now();
+        serving::Response response = engine.Execute(requests[i]);
+        latency_us[i] = static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                std::chrono::steady_clock::now() - t0)
+                .count());
+        sweep.transcript[i] =
+            serving::SerializeResponse(std::to_string(i), response);
+      }
+    };
+    const auto wall0 = std::chrono::steady_clock::now();
+    std::vector<std::thread> clients;
+    clients.reserve(client_threads);
+    for (size_t t = 0; t < client_threads; ++t) clients.emplace_back(worker, t);
+    for (std::thread& c : clients) c.join();
+    sweep.wall_ms = std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - wall0)
+                        .count();
+    sweep.qps = sweep.wall_ms > 0
+                    ? static_cast<double>(requests.size()) * 1e3 / sweep.wall_ms
+                    : 0;
+    // Exact percentiles — the sample set is small enough to sort outright,
+    // so no histogram approximation error enters the committed numbers.
+    std::sort(latency_us.begin(), latency_us.end());
+    sweep.p50_us = latency_us[latency_us.size() / 2];
+    sweep.p99_us = latency_us[(latency_us.size() * 99) / 100 >=
+                                      latency_us.size()
+                                  ? latency_us.size() - 1
+                                  : (latency_us.size() * 99) / 100];
+    return sweep;
+  };
+
+  const size_t kClientCounts[] = {1, 4, 16};
+  std::vector<ServingSweep> sweeps;
+  for (const size_t clients : kClientCounts) {
+    std::fprintf(stderr, "[bench_report] serving: %zu client threads...\n",
+                 clients);
+    sweeps.push_back(run_sweep(clients));
+  }
+
+  // Every response — scores, top-K orderings, fingerprints — must be
+  // bit-identical no matter how many client threads raced over the engine.
+  bool bit_identical = true;
+  for (size_t s = 1; s < sweeps.size(); ++s) {
+    bit_identical =
+        bit_identical && sweeps[s].transcript == sweeps[0].transcript;
+  }
+
+  std::ostringstream json;
+  json.setf(std::ios::fixed);
+  json.precision(3);
+  json << "{\n"
+       << "  \"tool\": \"bench_report\",\n"
+       << "  \"mode\": \"serving\",\n"
+       << "  \"world\": \"" << (args.small ? "small" : "default") << "\",\n"
+       << "  \"hardware_concurrency\": "
+       << std::thread::hardware_concurrency() << ",\n"
+       << "  \"recipes\": " << snapshot->db().num_recipes() << ",\n"
+       << "  \"requests\": " << requests.size() << ",\n"
+       << "  \"snapshot_build_ms\": " << snapshot_build_ms << ",\n";
+  for (size_t s = 0; s < sweeps.size(); ++s) {
+    const ServingSweep& sweep = sweeps[s];
+    const size_t clients = kClientCounts[s];
+    json << "  \"clients_t" << clients << "\": {\n"
+         << "    \"threads\": " << clients << ",\n"
+         << "    \"wall_ms\": " << sweep.wall_ms << ",\n"
+         << "    \"qps_t" << clients << "\": " << sweep.qps << ",\n"
+         << "    \"p50_us\": " << sweep.p50_us << ",\n"
+         << "    \"p99_us\": " << sweep.p99_us << "\n"
+         << "  },\n";
+  }
+  json << "  \"bit_identical\": " << (bit_identical ? "true" : "false")
+       << "\n"
+       << "}\n";
+
+  std::printf("%s", json.str().c_str());
+
+  if (!bit_identical) {
+    std::fprintf(stderr,
+                 "[bench_report] FAIL: serving responses differ across client "
+                 "thread counts\n");
+    return 1;
+  }
+  if (!args.check_path.empty()) {
+    return CheckServingBaseline(args, args.small, sweeps.back().qps);
+  }
+  std::ofstream out(args.out_path);
+  if (!out) {
+    std::fprintf(stderr, "[bench_report] cannot write %s\n",
+                 args.out_path.c_str());
+    return 1;
+  }
+  out << json.str();
+  std::fprintf(stderr,
+               "[bench_report] wrote %s (%.0f qps at 16 clients, p99 %llu us)\n",
+               args.out_path.c_str(), sweeps.back().qps,
+               static_cast<unsigned long long>(sweeps.back().p99_us));
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -946,6 +1207,7 @@ int main(int argc, char** argv) {
   Args args = ParseArgs(argc, argv);
   if (args.ingest) return RunIngestBenchmark(args);
   if (args.dataframe) return RunDataframeBenchmark(args);
+  if (args.serving) return RunServingBenchmark(args);
 
   datagen::WorldSpec spec =
       args.small ? datagen::WorldSpec::Small() : datagen::WorldSpec::Default();

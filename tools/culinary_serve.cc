@@ -1,0 +1,230 @@
+// culinary_serve — resident pairing-query server over line-delimited JSON.
+//
+// Loads the world ONCE into an immutable serving snapshot, then answers
+// point queries from stdin (or --requests=FILE), one JSON object per line,
+// one response line per request (see src/serving/protocol.h for the wire
+// format):
+//
+//   culinary_serve --small
+//   culinary_serve --snapshot-in=world.snap --threads=8
+//   loadgen --small --count=1000 | culinary_serve --small
+//
+// World source (exactly one):
+//   --small            miniature synthetic world (default)
+//   --paper            calibrated paper-scale world (45k recipes)
+//   --snapshot-in=FILE rehydrate from a binary world snapshot; a triangle
+//                      that does not match the registry is rejected with
+//                      FailedPrecondition, never read out of bounds
+//
+// Engine:
+//   --seed=N           reseed the synthetic world (0 = spec default)
+//   --threads=N        worker threads draining the admission queue (4)
+//   --queue-cap=N      admission-queue bound; overflow is shed with
+//                      Unavailable rather than queued without limit (256)
+//   --null-recipes=N   precompute per-cuisine null-model baselines with N
+//                      randomized recipes each (0 = skip; fast startup)
+//
+// Transport:
+//   --requests=FILE    read request lines from FILE instead of stdin
+//   --metrics-out=FILE dump the metrics registry as JSON on exit (switches
+//                      observability on for the run)
+//
+// Admin ops on the wire: {"op":"reload"} rebuilds the world from the same
+// source and RCU-swaps it in — in-flight queries keep answering from the
+// snapshot they pinned; {"op":"shutdown"} drains and exits 0.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "common/cancellation.h"
+#include "datagen/world.h"
+#include "obs/metrics.h"
+#include "serving/engine.h"
+#include "serving/protocol.h"
+#include "serving/snapshot.h"
+#include "snapshot/snapshot.h"
+
+namespace {
+
+using namespace culinary;  // NOLINT(build/namespaces)
+
+struct ServeArgs {
+  bool small = true;
+  uint64_t seed = 0;
+  std::string snapshot_in;
+  size_t threads = 4;
+  size_t queue_cap = 256;
+  size_t null_recipes = 0;
+  std::string requests_file;
+  std::string metrics_out;
+  bool usage_error = false;
+};
+
+bool ParseUint64Value(const std::string& text, uint64_t* out) {
+  if (text.empty() || text[0] == '-') return false;
+  char* end = nullptr;
+  errno = 0;
+  const uint64_t parsed = std::strtoull(text.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0' || errno == ERANGE) return false;
+  *out = parsed;
+  return true;
+}
+
+ServeArgs ParseArgs(int argc, char** argv) {
+  ServeArgs args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto eq = arg.find('=');
+    const std::string key = eq == std::string::npos ? arg : arg.substr(0, eq);
+    const std::string value =
+        eq == std::string::npos ? "" : arg.substr(eq + 1);
+    uint64_t number = 0;
+    if (key == "--small") {
+      args.small = true;
+    } else if (key == "--paper") {
+      args.small = false;
+    } else if (key == "--snapshot-in") {
+      args.snapshot_in = value;
+    } else if (key == "--requests") {
+      args.requests_file = value;
+    } else if (key == "--metrics-out") {
+      args.metrics_out = value;
+    } else if (key == "--seed") {
+      if (!ParseUint64Value(value, &args.seed)) args.usage_error = true;
+    } else if (key == "--threads") {
+      if (!ParseUint64Value(value, &number)) args.usage_error = true;
+      args.threads = static_cast<size_t>(number);
+    } else if (key == "--queue-cap") {
+      if (!ParseUint64Value(value, &number)) args.usage_error = true;
+      args.queue_cap = static_cast<size_t>(number);
+    } else if (key == "--null-recipes") {
+      if (!ParseUint64Value(value, &number)) args.usage_error = true;
+      args.null_recipes = static_cast<size_t>(number);
+    } else {
+      std::fprintf(stderr, "culinary_serve: unknown flag %s\n", arg.c_str());
+      args.usage_error = true;
+    }
+  }
+  return args;
+}
+
+/// Builds (or rebuilds, for reload) the serving snapshot from the world
+/// source the flags selected. A reload runs this whole function again and
+/// only then swaps — queries never observe a partially ingested world.
+Result<std::shared_ptr<const serving::ServingSnapshot>> BuildSnapshot(
+    const ServeArgs& args) {
+  serving::ServingSnapshotOptions options;
+  options.null_recipes = args.null_recipes;
+  if (!args.snapshot_in.empty()) {
+    auto loaded = snapshot::LoadWorldSnapshot(args.snapshot_in);
+    if (!loaded.ok()) return loaded.status();
+    return serving::ServingSnapshot::FromLoadedWorld(
+        std::move(loaded).value(), options);
+  }
+  datagen::WorldSpec spec =
+      args.small ? datagen::WorldSpec::Small() : datagen::WorldSpec::Default();
+  if (args.seed != 0) spec.seed = args.seed;
+  auto world = datagen::GenerateWorld(spec);
+  if (!world.ok()) return world.status();
+  return serving::ServingSnapshot::FromSyntheticWorld(std::move(world).value(),
+                                                      options);
+}
+
+int Serve(const ServeArgs& args, std::istream& in) {
+  auto built = BuildSnapshot(args);
+  if (!built.ok()) {
+    std::fprintf(stderr, "culinary_serve: %s\n",
+                 built.status().ToString().c_str());
+    return 1;
+  }
+  serving::QueryEngineOptions engine_options;
+  engine_options.num_threads = args.threads;
+  engine_options.queue_capacity = args.queue_cap;
+  serving::QueryEngine engine(std::move(built).value(), engine_options);
+  std::fprintf(stderr, "culinary_serve: ready (%zu recipes, generation %llu)\n",
+               engine.snapshot()->db().num_recipes(),
+               static_cast<unsigned long long>(engine.generation()));
+
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    auto parsed = serving::ParseRequestLine(line);
+    if (!parsed.ok()) {
+      std::cout << serving::SerializeError("", parsed.status()) << '\n'
+                << std::flush;
+      continue;
+    }
+    const serving::WireRequest& wire = parsed.value();
+    if (wire.is_admin && wire.op == "shutdown") {
+      std::cout << "{\"id\":\"" << serving::EscapeJson(wire.id)
+                << "\",\"op\":\"shutdown\",\"ok\":true}\n"
+                << std::flush;
+      break;
+    }
+    if (wire.is_admin && wire.op == "reload") {
+      auto next = BuildSnapshot(args);
+      const Status status =
+          next.ok() ? engine.Reload(std::move(next).value()) : next.status();
+      if (status.ok()) {
+        std::cout << "{\"id\":\"" << serving::EscapeJson(wire.id)
+                  << "\",\"op\":\"reload\",\"ok\":true,\"generation\":"
+                  << engine.generation() << "}\n"
+                  << std::flush;
+      } else {
+        std::cout << serving::SerializeError(wire.id, status) << '\n'
+                  << std::flush;
+      }
+      continue;
+    }
+    std::future<serving::Response> future = engine.Submit(wire.request);
+    std::cout << serving::SerializeResponse(wire.id, future.get()) << '\n'
+              << std::flush;
+  }
+  engine.Stop();
+  const serving::QueryEngine::Stats stats = engine.stats();
+  std::fprintf(stderr,
+               "culinary_serve: done (accepted=%llu shed=%llu executed=%llu "
+               "reloads=%llu)\n",
+               static_cast<unsigned long long>(stats.accepted),
+               static_cast<unsigned long long>(stats.shed),
+               static_cast<unsigned long long>(stats.executed),
+               static_cast<unsigned long long>(stats.reloads));
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const ServeArgs args = ParseArgs(argc, argv);
+  if (args.usage_error) return 2;
+  if (!args.metrics_out.empty()) obs::SetEnabled(true);
+
+  int rc = 0;
+  if (!args.requests_file.empty()) {
+    std::ifstream file(args.requests_file);
+    if (!file) {
+      std::fprintf(stderr, "culinary_serve: cannot open %s\n",
+                   args.requests_file.c_str());
+      return 1;
+    }
+    rc = Serve(args, file);
+  } else {
+    rc = Serve(args, std::cin);
+  }
+
+  if (!args.metrics_out.empty()) {
+    std::string error;
+    if (!obs::WriteMetricsJsonFile(obs::MetricsRegistry::Default(),
+                                   args.metrics_out, &error)) {
+      std::fprintf(stderr, "culinary_serve: metrics dump failed: %s\n",
+                   error.c_str());
+      return 1;
+    }
+  }
+  return rc;
+}

@@ -1,0 +1,179 @@
+// loadgen — deterministic request-stream synthesizer for culinary_serve.
+//
+// Rebuilds the same synthetic world the server loads (same datagen spec,
+// same seed) and samples realistic traffic from it: ingredient sets drawn
+// from actual recipes, region codes from the world's cuisines. The stream
+// is a pure function of (--seed, --traffic-seed, --count, mix), so a bench
+// run is reproducible line for line:
+//
+//   loadgen --small --count=1000 > requests.jsonl
+//   loadgen --small --count=1000 --shutdown | culinary_serve --small
+//
+// Flags:
+//   --small / --paper   world the requests are drawn from (default small;
+//                       must match the server's world for names to resolve)
+//   --seed=N            world seed override (0 = spec default)
+//   --traffic-seed=N    seed of the request stream itself (default 1)
+//   --count=N           number of request lines (default 100)
+//   --k=N               suggestion / neighbor budget (default 5)
+//   --out=FILE          write to FILE instead of stdout
+//   --shutdown          append a {"op":"shutdown"} line so a piped server
+//                       exits when the stream ends
+//
+// Mix: 40% score, 30% suggest, 15% fingerprint, 10% similar, 5% ping.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "datagen/world.h"
+#include "recipe/region.h"
+#include "serving/protocol.h"
+
+namespace {
+
+using namespace culinary;  // NOLINT(build/namespaces)
+
+struct LoadgenArgs {
+  bool small = true;
+  uint64_t seed = 0;
+  uint64_t traffic_seed = 1;
+  size_t count = 100;
+  size_t k = 5;
+  std::string out;
+  bool shutdown = false;
+  bool usage_error = false;
+};
+
+bool ParseUint64Value(const std::string& text, uint64_t* out) {
+  if (text.empty() || text[0] == '-') return false;
+  char* end = nullptr;
+  errno = 0;
+  const uint64_t parsed = std::strtoull(text.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0' || errno == ERANGE) return false;
+  *out = parsed;
+  return true;
+}
+
+LoadgenArgs ParseArgs(int argc, char** argv) {
+  LoadgenArgs args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto eq = arg.find('=');
+    const std::string key = eq == std::string::npos ? arg : arg.substr(0, eq);
+    const std::string value =
+        eq == std::string::npos ? "" : arg.substr(eq + 1);
+    uint64_t number = 0;
+    if (key == "--small") {
+      args.small = true;
+    } else if (key == "--paper") {
+      args.small = false;
+    } else if (key == "--shutdown") {
+      args.shutdown = true;
+    } else if (key == "--out") {
+      args.out = value;
+    } else if (key == "--seed") {
+      if (!ParseUint64Value(value, &args.seed)) args.usage_error = true;
+    } else if (key == "--traffic-seed") {
+      if (!ParseUint64Value(value, &args.traffic_seed))
+        args.usage_error = true;
+    } else if (key == "--count") {
+      if (!ParseUint64Value(value, &number)) args.usage_error = true;
+      args.count = static_cast<size_t>(number);
+    } else if (key == "--k") {
+      if (!ParseUint64Value(value, &number)) args.usage_error = true;
+      args.k = static_cast<size_t>(number);
+    } else {
+      std::fprintf(stderr, "loadgen: unknown flag %s\n", arg.c_str());
+      args.usage_error = true;
+    }
+  }
+  return args;
+}
+
+/// One deterministic request line for index `i`.
+std::string MakeRequest(const datagen::SyntheticWorld& world, Rng& rng,
+                        size_t i, size_t k) {
+  const std::vector<recipe::Recipe>& recipes = world.db().recipes();
+  const uint64_t dice = rng.NextBounded(100);
+  std::string line = "{\"id\":\"r" + std::to_string(i) + "\",\"op\":\"";
+  if (dice < 40 || dice < 70) {
+    // score (40) and suggest (30) share the ingredient-set sampling: take a
+    // real recipe's ingredients by canonical name.
+    const recipe::Recipe& recipe =
+        recipes[rng.NextBounded(recipes.size())];
+    line += dice < 40 ? "score" : "suggest";
+    line += "\",\"ingredients\":[";
+    for (size_t j = 0; j < recipe.ingredients.size(); ++j) {
+      if (j > 0) line += ',';
+      const flavor::Ingredient* ing =
+          world.registry().Find(recipe.ingredients[j]);
+      line += '"';
+      line += serving::EscapeJson(ing != nullptr ? ing->name : "unknown");
+      line += '"';
+    }
+    line += "]";
+    if (dice >= 40) line += ",\"k\":" + std::to_string(k);
+  } else if (dice < 85) {
+    const recipe::Region region =
+        recipe::AllRegions()[rng.NextBounded(recipe::kNumRegions)];
+    line += "fingerprint\",\"region\":\"";
+    line += recipe::RegionCode(region);
+    line += "\",\"k\":" + std::to_string(k);
+  } else if (dice < 95) {
+    const recipe::Region region =
+        recipe::AllRegions()[rng.NextBounded(recipe::kNumRegions)];
+    line += "similar\",\"region\":\"";
+    line += recipe::RegionCode(region);
+    line += "\",\"k\":" + std::to_string(k);
+  } else {
+    line += "ping\"";
+  }
+  line += '}';
+  return line;
+}
+
+int Run(const LoadgenArgs& args, std::ostream& out) {
+  datagen::WorldSpec spec =
+      args.small ? datagen::WorldSpec::Small() : datagen::WorldSpec::Default();
+  if (args.seed != 0) spec.seed = args.seed;
+  auto world = datagen::GenerateWorld(spec);
+  if (!world.ok()) {
+    std::fprintf(stderr, "loadgen: %s\n",
+                 world.status().ToString().c_str());
+    return 1;
+  }
+  if (world.value().db().recipes().empty()) {
+    std::fprintf(stderr, "loadgen: generated world has no recipes\n");
+    return 1;
+  }
+  Rng rng(args.traffic_seed);
+  for (size_t i = 0; i < args.count; ++i) {
+    out << MakeRequest(world.value(), rng, i, args.k) << '\n';
+  }
+  if (args.shutdown) {
+    out << "{\"id\":\"last\",\"op\":\"shutdown\"}\n";
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const LoadgenArgs args = ParseArgs(argc, argv);
+  if (args.usage_error) return 2;
+  if (!args.out.empty()) {
+    std::ofstream file(args.out);
+    if (!file) {
+      std::fprintf(stderr, "loadgen: cannot open %s\n", args.out.c_str());
+      return 1;
+    }
+    return Run(args, file);
+  }
+  return Run(args, std::cout);
+}
