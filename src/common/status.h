@@ -123,6 +123,16 @@ class Status {
   }
   bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
 
+  /// True for error classes that describe a *moment*, not the request: the
+  /// same call may well succeed if repeated (IO flake, shed admission).
+  /// This is the contract the retry layer keys off — parse errors and
+  /// argument errors are deterministic and must never be retried, while
+  /// transient errors are fair game for backoff-and-retry loops and for
+  /// client-side resubmission against a degraded service.
+  bool IsTransient() const {
+    return code_ == StatusCode::kIOError || code_ == StatusCode::kUnavailable;
+  }
+
   /// Returns a copy whose message is prefixed with `prefix` (": "-joined),
   /// preserving the code. OK statuses pass through untouched. Ingestion
   /// call sites use this so a deep CSV error still names the file/stage:

@@ -1,0 +1,203 @@
+#include "obs/slo.h"
+
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <sstream>
+#include <utility>
+
+namespace culinary::obs {
+
+namespace {
+
+void AppendJsonString(std::ostringstream& os, const std::string& s) {
+  os << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        os << "\\\"";
+        break;
+      case '\\':
+        os << "\\\\";
+        break;
+      case '\n':
+        os << "\\n";
+        break;
+      case '\t':
+        os << "\\t";
+        break;
+      default:
+        os << c;
+    }
+  }
+  os << '"';
+}
+
+void AppendJsonDouble(std::ostringstream& os, double v) {
+  if (std::isinf(v)) {
+    os << (v > 0 ? "\"inf\"" : "\"-inf\"");
+    return;
+  }
+  if (std::isnan(v)) {
+    os << "\"nan\"";
+    return;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  os << buf;
+}
+
+double BurnRate(uint64_t bad, uint64_t total, double availability_target) {
+  if (total == 0) return 0.0;
+  const double budget = 1.0 - availability_target;
+  if (budget <= 0.0) {
+    // A 100% target has no budget; any badness is an infinite burn.
+    return bad == 0 ? 0.0 : std::numeric_limits<double>::infinity();
+  }
+  const double bad_fraction =
+      static_cast<double>(bad) / static_cast<double>(total);
+  return bad_fraction / budget;
+}
+
+}  // namespace
+
+SloMonitor::SloMonitor(SloWindowConfig config) : config_(config) {}
+
+void SloMonitor::SetObjective(SloObjective objective) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Endpoint& ep = GetOrCreate(objective.name);
+  ep.objective = std::move(objective);
+}
+
+SloMonitor::Endpoint& SloMonitor::GetOrCreate(std::string_view name) {
+  auto it = endpoints_.find(name);
+  if (it == endpoints_.end()) {
+    Endpoint ep;
+    ep.objective.name = std::string(name);
+    it = endpoints_.emplace(std::string(name), std::move(ep)).first;
+  }
+  return it->second;
+}
+
+void SloMonitor::Record(std::string_view name, double latency_us, bool ok,
+                        int64_t t_s) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Endpoint& ep = GetOrCreate(name);
+  const bool bad = !ok || (ep.objective.latency_threshold_us > 0.0 &&
+                           latency_us > ep.objective.latency_threshold_us);
+  if (!ep.buckets.empty() && ep.buckets.back().second == t_s) {
+    ++ep.buckets.back().total;
+    if (bad) ++ep.buckets.back().bad;
+  } else {
+    Bucket b;
+    b.second = t_s;
+    b.total = 1;
+    b.bad = bad ? 1 : 0;
+    ep.buckets.push_back(b);
+  }
+  Prune(ep, t_s);
+}
+
+void SloMonitor::Prune(Endpoint& ep, int64_t now_s) {
+  const int64_t horizon = now_s - config_.slow_window_s;
+  while (!ep.buckets.empty() && ep.buckets.front().second <= horizon) {
+    ep.buckets.pop_front();
+  }
+}
+
+SloEndpointStatus SloMonitor::EvaluateLocked(const std::string& name,
+                                             Endpoint& ep, int64_t now_s) {
+  SloEndpointStatus status;
+  status.name = name;
+  const int64_t fast_horizon = now_s - config_.fast_window_s;
+  const int64_t slow_horizon = now_s - config_.slow_window_s;
+  for (const Bucket& b : ep.buckets) {
+    if (b.second <= slow_horizon || b.second > now_s) continue;
+    status.slow_total += b.total;
+    status.slow_bad += b.bad;
+    if (b.second > fast_horizon) {
+      status.fast_total += b.total;
+      status.fast_bad += b.bad;
+    }
+  }
+  const double target = ep.objective.availability_target;
+  status.fast_burn = BurnRate(status.fast_bad, status.fast_total, target);
+  status.slow_burn = BurnRate(status.slow_bad, status.slow_total, target);
+  status.fast_alert = status.fast_burn >= config_.fast_burn_threshold;
+  status.slow_alert = status.slow_burn >= config_.slow_burn_threshold;
+  status.alert = status.fast_alert && status.slow_alert;
+  if (status.alert && !ep.alert_active) ++alerts_fired_;
+  ep.alert_active = status.alert;
+  return status;
+}
+
+std::vector<SloEndpointStatus> SloMonitor::Evaluate(int64_t now_s) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<SloEndpointStatus> out;
+  out.reserve(endpoints_.size());
+  for (auto& [name, ep] : endpoints_) {
+    out.push_back(EvaluateLocked(name, ep, now_s));
+  }
+  return out;
+}
+
+void SloMonitor::ExportGauges(MetricsRegistry& registry, int64_t now_s) {
+  for (const SloEndpointStatus& s : Evaluate(now_s)) {
+    registry.GetGauge("slo." + s.name + ".fast_burn").Set(s.fast_burn);
+    registry.GetGauge("slo." + s.name + ".slow_burn").Set(s.slow_burn);
+    registry.GetGauge("slo." + s.name + ".alert").Set(s.alert ? 1.0 : 0.0);
+  }
+}
+
+std::string SloMonitor::ToJson(int64_t now_s) {
+  std::vector<SloEndpointStatus> statuses = Evaluate(now_s);
+  // Objectives and the alert counter are read after Evaluate under a fresh
+  // lock; both only grow/latch, so the JSON stays self-consistent.
+  std::ostringstream os;
+  os << "{\n  \"config\": {\"fast_window_s\": " << config_.fast_window_s
+     << ", \"slow_window_s\": " << config_.slow_window_s
+     << ", \"fast_burn_threshold\": ";
+  AppendJsonDouble(os, config_.fast_burn_threshold);
+  os << ", \"slow_burn_threshold\": ";
+  AppendJsonDouble(os, config_.slow_burn_threshold);
+  os << "},\n  \"endpoints\": {";
+  for (size_t i = 0; i < statuses.size(); ++i) {
+    const SloEndpointStatus& s = statuses[i];
+    double latency_threshold_us = 0.0;
+    double availability_target = 0.999;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      auto it = endpoints_.find(s.name);
+      if (it != endpoints_.end()) {
+        latency_threshold_us = it->second.objective.latency_threshold_us;
+        availability_target = it->second.objective.availability_target;
+      }
+    }
+    os << (i == 0 ? "\n    " : ",\n    ");
+    AppendJsonString(os, s.name);
+    os << ": {\"latency_threshold_us\": ";
+    AppendJsonDouble(os, latency_threshold_us);
+    os << ", \"availability_target\": ";
+    AppendJsonDouble(os, availability_target);
+    os << ", \"fast_total\": " << s.fast_total
+       << ", \"fast_bad\": " << s.fast_bad
+       << ", \"slow_total\": " << s.slow_total
+       << ", \"slow_bad\": " << s.slow_bad << ", \"fast_burn\": ";
+    AppendJsonDouble(os, s.fast_burn);
+    os << ", \"slow_burn\": ";
+    AppendJsonDouble(os, s.slow_burn);
+    os << ", \"fast_alert\": " << (s.fast_alert ? "true" : "false")
+       << ", \"slow_alert\": " << (s.slow_alert ? "true" : "false")
+       << ", \"alert\": " << (s.alert ? "true" : "false") << "}";
+  }
+  os << (statuses.empty() ? "" : "\n  ") << "},\n  \"alerts_fired\": "
+     << alerts_fired() << "\n}";
+  return os.str();
+}
+
+uint64_t SloMonitor::alerts_fired() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return alerts_fired_;
+}
+
+}  // namespace culinary::obs

@@ -1,0 +1,78 @@
+#include "robustness/circuit_breaker.h"
+
+#include "obs/obs.h"
+
+namespace culinary::robustness {
+
+CircuitBreaker::CircuitBreaker(Options options) : options_(options) {}
+
+bool CircuitBreaker::AllowRequest(int64_t now_ms) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  switch (state_) {
+    case State::kClosed:
+      return true;
+    case State::kOpen:
+      if (now_ms - opened_at_ms_ >=
+          static_cast<int64_t>(options_.open_cooldown_ms)) {
+        state_ = State::kHalfOpen;
+        return true;
+      }
+      return false;
+    case State::kHalfOpen:
+      // One probe is already in flight; hold the line until it reports.
+      return false;
+  }
+  return false;
+}
+
+void CircuitBreaker::RecordSuccess() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  state_ = State::kClosed;
+  consecutive_failures_ = 0;
+}
+
+void CircuitBreaker::RecordFailure(int64_t now_ms) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++consecutive_failures_;
+  if (state_ == State::kHalfOpen ||
+      (state_ == State::kClosed &&
+       consecutive_failures_ >= options_.failure_threshold)) {
+    state_ = State::kOpen;
+    opened_at_ms_ = now_ms;
+    ++trips_;
+    CULINARY_OBS_COUNT("breaker.trips", 1);
+  } else if (state_ == State::kOpen) {
+    // A failure reported while open (e.g. a racing attempt admitted before
+    // the trip) restarts the cooldown so the probe waits out a full window.
+    opened_at_ms_ = now_ms;
+  }
+}
+
+CircuitBreaker::State CircuitBreaker::state() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return state_;
+}
+
+int CircuitBreaker::consecutive_failures() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return consecutive_failures_;
+}
+
+uint64_t CircuitBreaker::trips() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return trips_;
+}
+
+std::string_view CircuitBreakerStateName(CircuitBreaker::State state) {
+  switch (state) {
+    case CircuitBreaker::State::kClosed:
+      return "closed";
+    case CircuitBreaker::State::kOpen:
+      return "open";
+    case CircuitBreaker::State::kHalfOpen:
+      return "half_open";
+  }
+  return "unknown";
+}
+
+}  // namespace culinary::robustness

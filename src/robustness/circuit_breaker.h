@@ -1,0 +1,79 @@
+#ifndef CULINARYLAB_ROBUSTNESS_CIRCUIT_BREAKER_H_
+#define CULINARYLAB_ROBUSTNESS_CIRCUIT_BREAKER_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string_view>
+
+namespace culinary::robustness {
+
+/// A consecutive-failure circuit breaker with a timed half-open probe.
+///
+/// Guards an operation that can fail repeatedly for the same underlying
+/// reason (a reload against a corrupt snapshot source): after
+/// `failure_threshold` consecutive failures the breaker *opens* and
+/// `AllowRequest` rejects immediately — the caller stops hammering a source
+/// that is known-bad and keeps serving whatever it already has. Once
+/// `open_cooldown_ms` has elapsed the breaker moves to *half-open* and lets
+/// exactly one probe through: if the probe succeeds the breaker closes and
+/// the failure count resets; if it fails the breaker re-opens for another
+/// full cooldown.
+///
+/// Time is passed in by the caller (`now_ms`, any monotonic millisecond
+/// clock) rather than read internally, so tests drive the open → half-open
+/// transition deterministically with an injected clock. Thread-safe; all
+/// transitions happen under one mutex.
+class CircuitBreaker {
+ public:
+  enum class State {
+    kClosed = 0,    // normal operation, requests pass
+    kOpen = 1,      // tripped: requests rejected until the cooldown elapses
+    kHalfOpen = 2,  // cooldown elapsed: one probe in flight
+  };
+
+  struct Options {
+    /// Consecutive failures that trip the breaker open.
+    int failure_threshold = 3;
+    /// How long the breaker stays open before admitting a half-open probe.
+    double open_cooldown_ms = 1000.0;
+  };
+
+  CircuitBreaker() : CircuitBreaker(Options{}) {}
+  explicit CircuitBreaker(Options options);
+
+  /// True if the caller may attempt the guarded operation now. While open,
+  /// returns false until `now_ms` is at least cooldown past the trip time;
+  /// the first allowed call after the cooldown transitions to half-open
+  /// (subsequent calls are rejected until that probe reports back via
+  /// `RecordSuccess`/`RecordFailure`).
+  bool AllowRequest(int64_t now_ms);
+
+  /// Reports a successful attempt: closes the breaker (from any state) and
+  /// zeroes the consecutive-failure count.
+  void RecordSuccess();
+
+  /// Reports a failed attempt at `now_ms`. In half-open, re-opens
+  /// immediately; in closed, opens once the consecutive count reaches the
+  /// threshold.
+  void RecordFailure(int64_t now_ms);
+
+  State state() const;
+  int consecutive_failures() const;
+  /// Total times the breaker has tripped open (for stats/metrics).
+  uint64_t trips() const;
+
+ private:
+  const Options options_;
+  mutable std::mutex mutex_;
+  State state_ = State::kClosed;
+  int consecutive_failures_ = 0;
+  uint64_t trips_ = 0;
+  int64_t opened_at_ms_ = 0;
+};
+
+/// Stable lowercase name for `state` ("closed" / "open" / "half_open").
+std::string_view CircuitBreakerStateName(CircuitBreaker::State state);
+
+}  // namespace culinary::robustness
+
+#endif  // CULINARYLAB_ROBUSTNESS_CIRCUIT_BREAKER_H_

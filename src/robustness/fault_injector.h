@@ -35,6 +35,18 @@ inline constexpr std::string_view kFaultSnapshotWrite = "snapshot.write";
 inline constexpr std::string_view kFaultSnapshotRename = "snapshot.rename";
 inline constexpr std::string_view kFaultSnapshotMmap = "snapshot.mmap";
 inline constexpr std::string_view kFaultSnapshotVerify = "snapshot.verify";
+/// Checked at the top of `ReloadManager::Reload`, before the breaker and the
+/// retry loop — an error here simulates a reload whose world source is
+/// unreachable (as opposed to `snapshot.*` faults, which fail the load
+/// itself mid-flight).
+inline constexpr std::string_view kFaultServingReload = "serving.reload";
+/// Checked inside `QueryEngine::Submit` before any admission decision; arm a
+/// delay to slow the admission path or an error to bounce requests at the
+/// door regardless of queue state.
+inline constexpr std::string_view kFaultServingAdmit = "serving.admit";
+/// Checked at the top of `QueryEngine::Execute`; a `DelayMs` plan here makes
+/// workers look stalled to the watchdog without touching query code.
+inline constexpr std::string_view kFaultServingExecute = "serving.execute";
 
 /// A deterministic, seedable fault-injection registry.
 ///

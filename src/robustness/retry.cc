@@ -9,7 +9,7 @@
 namespace culinary::robustness {
 
 bool IsRetryable(const culinary::Status& status) {
-  return status.code() == culinary::StatusCode::kIOError;
+  return status.IsTransient();
 }
 
 namespace internal {
@@ -23,6 +23,23 @@ double BackoffMs(const RetryPolicy& policy, int attempt, culinary::Rng& rng) {
   double jitter = std::clamp(policy.jitter_fraction, 0.0, 1.0);
   double factor = rng.NextDouble(1.0 - jitter, 1.0 + jitter);
   return std::max(0.0, base * factor);
+}
+
+double DecorrelatedBackoffMs(const RetryPolicy& policy, double prev_ms,
+                             culinary::Rng& rng) {
+  double lo = std::max(0.0, policy.base_backoff_ms);
+  double hi = std::max(lo, prev_ms * 3.0);
+  double drawn = rng.NextDouble(lo, hi);
+  return std::min(drawn, policy.max_backoff_ms);
+}
+
+double NextBackoffMs(const RetryPolicy& policy, int attempt, culinary::Rng& rng,
+                     double& prev_ms) {
+  if (policy.jitter_mode == JitterMode::kDecorrelated) {
+    prev_ms = DecorrelatedBackoffMs(policy, prev_ms, rng);
+    return prev_ms;
+  }
+  return BackoffMs(policy, attempt, rng);
 }
 
 void SleepForMs(double ms) {

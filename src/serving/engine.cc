@@ -1,9 +1,12 @@
 #include "serving/engine.h"
 
 #include <chrono>
+#include <string>
 #include <utility>
 
 #include "obs/obs.h"
+#include "obs/slo.h"
+#include "robustness/fault_injector.h"
 
 namespace culinary::serving {
 
@@ -32,6 +35,17 @@ void RecordLatencyUs(Endpoint endpoint, uint64_t us) {
   }
 }
 
+int64_t SteadyNowMs() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Smoothing factor for the service-time EWMA: heavy enough that a few
+/// slow requests move the estimate, light enough that one outlier does not
+/// swing admission.
+constexpr double kServiceEwmaAlpha = 0.2;
+
 }  // namespace
 
 const char* EndpointName(Endpoint endpoint) {
@@ -54,12 +68,22 @@ QueryEngine::QueryEngine(std::shared_ptr<const ServingSnapshot> snapshot,
                          const QueryEngineOptions& options)
     : published_(std::make_shared<const PublishedWorld>(
           PublishedWorld{std::move(snapshot), 1})),
-      queue_capacity_(options.queue_capacity) {
-  const size_t threads = options.num_threads == 0 ? 1 : options.num_threads;
-  workers_.reserve(threads);
-  for (size_t i = 0; i < threads; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(); });
+      options_(options),
+      queue_capacity_(options.queue_capacity),
+      ewma_service_us_(options.initial_service_estimate_us) {
+  num_workers_ = options.num_threads == 0 ? 1 : options.num_threads;
+  beats_.reserve(num_workers_);
+  for (size_t i = 0; i < num_workers_; ++i) {
+    beats_.push_back(std::make_unique<WorkerBeat>());
   }
+  workers_.reserve(num_workers_);
+  for (size_t i = 0; i < num_workers_; ++i) {
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+  if (options_.enable_watchdog) {
+    watchdog_ = std::thread([this] { WatchdogLoop(); });
+  }
+  health_.store(HealthState::kServing, std::memory_order_release);
 }
 
 QueryEngine::~QueryEngine() { Stop(); }
@@ -78,15 +102,45 @@ culinary::Status QueryEngine::Reload(
     return culinary::Status::FailedPrecondition(
         "engine stopped; reload rejected");
   }
+  if (health_.load(std::memory_order_acquire) == HealthState::kDraining) {
+    return culinary::Status::FailedPrecondition(
+        "engine draining; reload rejected");
+  }
   const auto current = published_.load(std::memory_order_acquire);
   const uint64_t next_generation =
       (current == nullptr ? 0 : current->generation) + 1;
   published_.store(std::make_shared<const PublishedWorld>(
                        PublishedWorld{std::move(snapshot), next_generation}),
                    std::memory_order_release);
+  // A clean publish is the recovery edge of the health machine: degraded
+  // (or still-starting) engines return to serving. Draining/stopped were
+  // rejected above, so this store cannot resurrect a shutdown.
+  health_.store(HealthState::kServing, std::memory_order_release);
   reloads_.fetch_add(1, std::memory_order_relaxed);
   CULINARY_OBS_COUNT("serving.reloads", 1);
   return culinary::Status::OK();
+}
+
+void QueryEngine::MarkDegraded() {
+  std::lock_guard<std::mutex> lock(lifecycle_mu_);
+  HealthState h = health_.load(std::memory_order_acquire);
+  if (h == HealthState::kStarting || h == HealthState::kServing) {
+    health_.store(HealthState::kDegraded, std::memory_order_release);
+    CULINARY_OBS_COUNT("serving.degraded", 1);
+  }
+}
+
+void QueryEngine::BeginDrain() {
+  std::lock_guard<std::mutex> lock(lifecycle_mu_);
+  const HealthState h = health_.load(std::memory_order_acquire);
+  if (h == HealthState::kStopped || h == HealthState::kDraining) return;
+  {
+    // Under queue_mu_ so a Submit holding the lock either admitted before
+    // the drain or observes it; nothing slips in "between" states.
+    std::lock_guard<std::mutex> qlock(queue_mu_);
+    health_.store(HealthState::kDraining, std::memory_order_release);
+  }
+  CULINARY_OBS_COUNT("serving.drains", 1);
 }
 
 std::shared_ptr<const ServingSnapshot> QueryEngine::snapshot() const {
@@ -103,6 +157,12 @@ Response QueryEngine::Execute(const Request& request) const {
   const auto start = std::chrono::steady_clock::now();
   Response response;
   response.endpoint = request.endpoint;
+
+  // Chaos hook: a DelayMs plan here makes this worker look stalled to the
+  // watchdog; an error plan fails the request after the pin below would
+  // have succeeded.
+  culinary::Status injected =
+      robustness::FaultInjector::Global().Check(robustness::kFaultServingExecute);
 
   // Pin one published world for the whole evaluation: a concurrent Reload
   // swaps the atomic underneath us, but this shared_ptr keeps our snapshot
@@ -124,63 +184,84 @@ Response QueryEngine::Execute(const Request& request) const {
   }
   const bool by_name = !request.ingredient_names.empty();
 
-  switch (request.endpoint) {
-    case Endpoint::kPing:
-      response.status = culinary::Status::OK();
-      break;
-    case Endpoint::kScore: {
-      auto result =
-          by_name ? ScoreRecipe(snap, request.ingredient_names, context)
-                  : ScoreRecipeIds(snap, request.ingredient_ids, context);
-      if (result.ok()) {
-        response.payload = std::move(result).value();
-      } else {
-        response.status = result.status();
+  if (!injected.ok()) {
+    response.status = injected;
+  } else {
+    switch (request.endpoint) {
+      case Endpoint::kPing:
+        response.status = culinary::Status::OK();
+        break;
+      case Endpoint::kScore: {
+        auto result =
+            by_name ? ScoreRecipe(snap, request.ingredient_names, context)
+                    : ScoreRecipeIds(snap, request.ingredient_ids, context);
+        if (result.ok()) {
+          response.payload = std::move(result).value();
+        } else {
+          response.status = result.status();
+        }
+        break;
       }
-      break;
-    }
-    case Endpoint::kSuggest: {
-      auto result =
-          by_name
-              ? SuggestPairings(snap, request.ingredient_names, request.k,
-                                context)
-              : SuggestPairingsIds(snap, request.ingredient_ids, request.k,
-                                   context);
-      if (result.ok()) {
-        response.payload = std::move(result).value();
-      } else {
-        response.status = result.status();
+      case Endpoint::kSuggest: {
+        auto result =
+            by_name
+                ? SuggestPairings(snap, request.ingredient_names, request.k,
+                                  context)
+                : SuggestPairingsIds(snap, request.ingredient_ids, request.k,
+                                     context);
+        if (result.ok()) {
+          response.payload = std::move(result).value();
+        } else {
+          response.status = result.status();
+        }
+        break;
       }
-      break;
-    }
-    case Endpoint::kFingerprint: {
-      auto result = Fingerprint(snap, request.region, request.k, context);
-      if (result.ok()) {
-        response.payload = std::move(result).value();
-      } else {
-        response.status = result.status();
+      case Endpoint::kFingerprint: {
+        auto result = Fingerprint(snap, request.region, request.k, context);
+        if (result.ok()) {
+          response.payload = std::move(result).value();
+        } else {
+          response.status = result.status();
+        }
+        break;
       }
-      break;
-    }
-    case Endpoint::kSimilar: {
-      auto result = SimilarCuisines(snap, request.region, request.k, context);
-      if (result.ok()) {
-        response.payload = std::move(result).value();
-      } else {
-        response.status = result.status();
+      case Endpoint::kSimilar: {
+        auto result = SimilarCuisines(snap, request.region, request.k, context);
+        if (result.ok()) {
+          response.payload = std::move(result).value();
+        } else {
+          response.status = result.status();
+        }
+        break;
       }
-      break;
     }
   }
 
-  executed_.fetch_add(1, std::memory_order_relaxed);
   const uint64_t us = static_cast<uint64_t>(
       std::chrono::duration_cast<std::chrono::microseconds>(
           std::chrono::steady_clock::now() - start)
           .count());
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    ++executed_;
+    // Feed the admission estimator. One mutex hop per request is in the
+    // noise next to query evaluation, and it keeps stats()/the estimate
+    // consistent without an atomics dance.
+    if (ewma_service_us_ <= 0.0) {
+      ewma_service_us_ = static_cast<double>(us);
+    } else {
+      ewma_service_us_ += kServiceEwmaAlpha *
+                          (static_cast<double>(us) - ewma_service_us_);
+    }
+  }
   RecordLatencyUs(request.endpoint, us);
   CULINARY_OBS_COUNT("serving.requests", 1);
   if (!response.status.ok()) CULINARY_OBS_COUNT("serving.errors", 1);
+  if (options_.slo != nullptr) {
+    const int64_t t_s = SteadyNowMs() / 1000;
+    options_.slo->Record(EndpointName(request.endpoint),
+                         static_cast<double>(us), response.status.ok(), t_s);
+  }
   return response;
 }
 
@@ -188,30 +269,67 @@ std::future<Response> QueryEngine::Submit(Request request) {
   PendingRequest item;
   item.request = std::move(request);
   std::future<Response> future = item.promise.get_future();
+
+  // Chaos hook for the admission path itself (delay or refuse at the door).
+  culinary::Status admit =
+      robustness::FaultInjector::Global().Check(robustness::kFaultServingAdmit);
+
+  culinary::Status shed_status;
   {
     std::lock_guard<std::mutex> lock(queue_mu_);
-    if (!stopped_.load(std::memory_order_acquire) &&
-        queue_.size() < queue_capacity_) {
-      queue_.push_back(std::move(item));
-      accepted_.fetch_add(1, std::memory_order_relaxed);
-      queue_cv_.notify_one();
-      return future;
+    if (!admit.ok()) {
+      shed_status = admit.IsTransient()
+                        ? admit
+                        : culinary::Status::Unavailable(admit.message());
+    } else if (stopped_.load(std::memory_order_acquire)) {
+      shed_status = culinary::Status::Unavailable("engine stopped");
+    } else if (health_.load(std::memory_order_acquire) ==
+               HealthState::kDraining) {
+      shed_status = culinary::Status::Unavailable("draining; admission closed");
+    } else if (queue_.size() >= queue_capacity_) {
+      shed_status = culinary::Status::Unavailable("admission queue full");
+    } else {
+      // Deadline-aware shed: estimate how long this request would wait
+      // behind the queue plus the requests already on workers. If it cannot
+      // start (and finish) inside its own deadline, refusing now is strictly
+      // better than admitting it to time out inside evaluation.
+      const double deadline_ms = item.request.deadline_ms;
+      if (options_.deadline_aware_admission && deadline_ms >= 0.0 &&
+          ewma_service_us_ > 0.0) {
+        const double est_wait_us =
+            static_cast<double>(queue_.size() + busy_workers_ + 1) *
+            ewma_service_us_ / static_cast<double>(num_workers_);
+        if (est_wait_us > deadline_ms * 1000.0) {
+          shed_status = culinary::Status::Unavailable(
+              "deadline-aware shed: estimated wait " +
+              std::to_string(static_cast<int64_t>(est_wait_us)) +
+              "us exceeds deadline " +
+              std::to_string(static_cast<int64_t>(deadline_ms)) + "ms");
+          ++deadline_shed_;
+        }
+      }
+      if (shed_status.ok()) {
+        queue_.push_back(std::move(item));
+        ++accepted_;
+        queue_cv_.notify_one();
+        return future;
+      }
     }
+    // Every refusal path lands here with queue_mu_ still held, so the shed
+    // counter moves in the same critical section the decision was made in.
+    ++shed_;
   }
-  // Explicit shed: the caller gets a ready kUnavailable future instead of
-  // unbounded queueing. Retryable by design.
-  shed_.fetch_add(1, std::memory_order_relaxed);
   CULINARY_OBS_COUNT("serving.shed", 1);
   Response response;
   response.endpoint = item.request.endpoint;
   response.generation = generation();
-  response.status = culinary::Status::Unavailable(
-      stopped() ? "engine stopped" : "admission queue full");
+  response.status = std::move(shed_status);
   item.promise.set_value(std::move(response));
   return future;
 }
 
-void QueryEngine::WorkerLoop() {
+void QueryEngine::WorkerLoop(size_t worker_index) {
+  WorkerBeat& beat = *beats_[worker_index];
   for (;;) {
     PendingRequest item;
     {
@@ -222,8 +340,45 @@ void QueryEngine::WorkerLoop() {
       if (queue_.empty()) return;  // stopped and fully drained
       item = std::move(queue_.front());
       queue_.pop_front();
+      ++busy_workers_;
     }
+    beat.busy_since_ms.store(SteadyNowMs(), std::memory_order_release);
     item.promise.set_value(Execute(item.request));
+    beat.busy_since_ms.store(-1, std::memory_order_release);
+    {
+      std::lock_guard<std::mutex> lock(queue_mu_);
+      --busy_workers_;
+    }
+  }
+}
+
+void QueryEngine::WatchdogLoop() {
+  std::unique_lock<std::mutex> lock(watchdog_mu_);
+  const auto interval = std::chrono::duration<double, std::milli>(
+      options_.watchdog_interval_ms);
+  for (;;) {
+    watchdog_cv_.wait_for(lock, interval, [this] { return watchdog_stop_; });
+    if (watchdog_stop_) return;
+    const int64_t now_ms = SteadyNowMs();
+    size_t stalled = 0;
+    for (const auto& beat : beats_) {
+      const int64_t since = beat->busy_since_ms.load(std::memory_order_acquire);
+      if (since >= 0 &&
+          static_cast<double>(now_ms - since) >= options_.stall_threshold_ms) {
+        ++stalled;
+        if (!beat->flagged) {
+          // Count each stall once per request: the flag clears when the
+          // worker's heartbeat goes idle or a new request starts on time.
+          beat->flagged = true;
+          worker_stalls_.fetch_add(1, std::memory_order_relaxed);
+          CULINARY_OBS_COUNT("serving.worker_stalled", 1);
+        }
+      } else {
+        beat->flagged = false;
+      }
+    }
+    CULINARY_OBS_GAUGE_SET("serving.stalled_workers",
+                           static_cast<double>(stalled));
   }
 }
 
@@ -242,14 +397,26 @@ void QueryEngine::Stop() {
     if (worker.joinable()) worker.join();
   }
   workers_.clear();
+  {
+    std::lock_guard<std::mutex> wlock(watchdog_mu_);
+    watchdog_stop_ = true;
+    watchdog_cv_.notify_all();
+  }
+  if (watchdog_.joinable()) watchdog_.join();
+  health_.store(HealthState::kStopped, std::memory_order_release);
 }
 
 QueryEngine::Stats QueryEngine::stats() const {
   Stats stats;
-  stats.accepted = accepted_.load(std::memory_order_relaxed);
-  stats.shed = shed_.load(std::memory_order_relaxed);
-  stats.executed = executed_.load(std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    stats.accepted = accepted_;
+    stats.shed = shed_;
+    stats.deadline_shed = deadline_shed_;
+    stats.executed = executed_;
+  }
   stats.reloads = reloads_.load(std::memory_order_relaxed);
+  stats.worker_stalls = worker_stalls_.load(std::memory_order_relaxed);
   return stats;
 }
 

@@ -14,8 +14,13 @@
 
 #include "common/cancellation.h"
 #include "common/status.h"
+#include "serving/health.h"
 #include "serving/queries.h"
 #include "serving/snapshot.h"
+
+namespace culinary::obs {
+class SloMonitor;
+}  // namespace culinary::obs
 
 namespace culinary::serving {
 
@@ -65,6 +70,28 @@ struct QueryEngineOptions {
   /// Admission-queue bound: a `Submit` beyond this many waiting requests is
   /// shed with `kUnavailable` instead of queueing without limit.
   size_t queue_capacity = 256;
+
+  /// Deadline-aware admission: a deadlined request whose estimated queue
+  /// wait (from an EWMA of observed service times) already exceeds its
+  /// deadline is shed at the door with `kUnavailable` instead of occupying a
+  /// queue slot only to time out inside evaluation. Requests without a
+  /// deadline are never shed by the estimate.
+  bool deadline_aware_admission = true;
+  /// Seed for the service-time EWMA in microseconds; 0 = learn from the
+  /// first observed request (no estimate-based shedding until then).
+  double initial_service_estimate_us = 0.0;
+
+  /// Watchdog thread: flags a worker as stalled when one request has kept
+  /// it busy beyond `stall_threshold_ms` (counter `serving.worker_stalled`,
+  /// gauge `serving.stalled_workers`, `Stats::worker_stalls`).
+  bool enable_watchdog = true;
+  double stall_threshold_ms = 1000.0;
+  double watchdog_interval_ms = 100.0;
+
+  /// Optional SLO monitor: every `Execute` records (endpoint, latency,
+  /// ok) into it, timestamped on a steady clock. Not owned; must outlive
+  /// the engine.
+  obs::SloMonitor* slo = nullptr;
 };
 
 /// Resident query engine: answers concurrent point queries against an
@@ -95,12 +122,30 @@ class QueryEngine {
   QueryEngine(const QueryEngine&) = delete;
   QueryEngine& operator=(const QueryEngine&) = delete;
 
-  /// Atomically publishes `snapshot` (non-null) as the next generation.
-  /// In-flight queries keep answering from the generation they pinned.
-  /// Returns kFailedPrecondition once the engine has stopped, and
-  /// kInvalidArgument for a null snapshot (nothing is published either
-  /// way).
+  /// Atomically publishes `snapshot` (non-null) as the next generation and
+  /// returns health to `kServing` (also from `kDegraded` — a clean reload is
+  /// the recovery path). In-flight queries keep answering from the
+  /// generation they pinned. Returns kFailedPrecondition once the engine
+  /// has stopped or is draining, and kInvalidArgument for a null snapshot
+  /// (nothing is published either way).
   culinary::Status Reload(std::shared_ptr<const ServingSnapshot> snapshot);
+
+  /// Current lifecycle health. Any thread, any time.
+  HealthState health() const {
+    return health_.load(std::memory_order_acquire);
+  }
+
+  /// Records that the engine is serving stale data (a reload failed): moves
+  /// `kStarting`/`kServing` to `kDegraded`. No-op while draining/stopped —
+  /// shutdown outranks degradation. Called by the reload manager; queries
+  /// keep being answered from the last good snapshot either way.
+  void MarkDegraded();
+
+  /// Enters `kDraining`: admission closes (`Submit` sheds with
+  /// `kUnavailable`), queued and in-flight requests still complete, and
+  /// direct `Execute` keeps working so the drain can be observed. Reloads
+  /// are rejected from here on. Idempotent; no-op once stopped.
+  void BeginDrain();
 
   /// The currently published snapshot / generation. Any thread, any time.
   std::shared_ptr<const ServingSnapshot> snapshot() const;
@@ -113,8 +158,10 @@ class QueryEngine {
   Response Execute(const Request& request) const;
 
   /// Queued submission through the bounded admission queue. When the queue
-  /// is full — or the engine has stopped — the returned future is
-  /// immediately ready with `kUnavailable` (explicit shed; retryable).
+  /// is full, the engine is draining or stopped, or a deadlined request's
+  /// estimated wait already exceeds its deadline (see
+  /// `deadline_aware_admission`), the returned future is immediately ready
+  /// with `kUnavailable` (explicit shed; retryable).
   std::future<Response> Submit(Request request);
 
   /// Stops admission, drains queued requests, joins workers. Idempotent;
@@ -124,11 +171,17 @@ class QueryEngine {
   bool stopped() const { return stopped_.load(std::memory_order_acquire); }
 
   struct Stats {
-    uint64_t accepted = 0;  ///< requests admitted to the queue
-    uint64_t shed = 0;      ///< requests refused with kUnavailable
-    uint64_t executed = 0;  ///< requests evaluated (queued + direct)
-    uint64_t reloads = 0;   ///< successful snapshot swaps
+    uint64_t accepted = 0;       ///< requests admitted to the queue
+    uint64_t shed = 0;           ///< requests refused with kUnavailable
+    uint64_t deadline_shed = 0;  ///< subset of `shed`: deadline-aware rejects
+    uint64_t executed = 0;       ///< requests evaluated (queued + direct)
+    uint64_t reloads = 0;        ///< successful snapshot swaps
+    uint64_t worker_stalls = 0;  ///< watchdog stall detections
   };
+  /// A consistent point-in-time snapshot: `accepted`, `shed`,
+  /// `deadline_shed` and `executed` are read together under the queue mutex
+  /// so the triple can never be observed mid-update (e.g. `executed` >
+  /// `accepted` + direct calls).
   Stats stats() const;
 
  private:
@@ -144,25 +197,54 @@ class QueryEngine {
     std::promise<Response> promise;
   };
 
-  void WorkerLoop();
+  /// Per-worker heartbeat, read by the watchdog. Heap-allocated (one cache
+  /// line each) so worker stores never false-share.
+  struct alignas(64) WorkerBeat {
+    /// Steady-clock ms when the current request started; -1 = idle.
+    std::atomic<int64_t> busy_since_ms{-1};
+    /// Watchdog-private: already counted as stalled for this request.
+    bool flagged = false;
+  };
+
+  void WorkerLoop(size_t worker_index);
+  void WatchdogLoop();
 
   std::atomic<std::shared_ptr<const PublishedWorld>> published_;
 
-  /// Serializes Reload against Stop (satellite: a reload racing shutdown
-  /// must not publish into a destroyed engine).
+  /// Serializes Reload against Stop/BeginDrain (satellite: a reload racing
+  /// shutdown must not publish into a destroyed engine).
   std::mutex lifecycle_mu_;
   std::atomic<bool> stopped_{false};
+  std::atomic<HealthState> health_{HealthState::kStarting};
 
-  std::mutex queue_mu_;
+  QueryEngineOptions options_;
+  size_t num_workers_ = 1;
+
+  /// Guards the queue, the busy-worker count, the service-time EWMA and the
+  /// admission counters; `Execute` is const yet updates the EWMA and
+  /// `executed_`, hence mutable.
+  mutable std::mutex queue_mu_;
   std::condition_variable queue_cv_;
   std::deque<PendingRequest> queue_;
   std::vector<std::thread> workers_;
+  std::vector<std::unique_ptr<WorkerBeat>> beats_;
   size_t queue_capacity_ = 0;
 
-  mutable std::atomic<uint64_t> accepted_{0};
-  mutable std::atomic<uint64_t> shed_{0};
-  mutable std::atomic<uint64_t> executed_{0};
-  mutable std::atomic<uint64_t> reloads_{0};
+  // All guarded by queue_mu_ so `stats()` returns a consistent snapshot.
+  mutable uint64_t accepted_ = 0;
+  mutable uint64_t shed_ = 0;
+  mutable uint64_t deadline_shed_ = 0;
+  mutable uint64_t executed_ = 0;
+  mutable size_t busy_workers_ = 0;
+  mutable double ewma_service_us_ = 0.0;
+
+  std::atomic<uint64_t> reloads_{0};
+  std::atomic<uint64_t> worker_stalls_{0};
+
+  std::thread watchdog_;
+  std::mutex watchdog_mu_;
+  std::condition_variable watchdog_cv_;
+  bool watchdog_stop_ = false;  // guarded by watchdog_mu_
 };
 
 }  // namespace culinary::serving

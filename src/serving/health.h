@@ -1,0 +1,49 @@
+#ifndef CULINARYLAB_SERVING_HEALTH_H_
+#define CULINARYLAB_SERVING_HEALTH_H_
+
+namespace culinary::serving {
+
+/// Lifecycle health of a `QueryEngine`, reported by the `health` protocol op
+/// and consulted by admission.
+///
+///     kStarting ──► kServing ◄──► kDegraded
+///                      │              │
+///                      ▼              ▼
+///                  kDraining ──► kStopped
+///
+/// * `kStarting` — constructed, workers spawning; queries already answer.
+/// * `kServing`  — steady state: the published snapshot is current.
+/// * `kDegraded` — a reload failed; the engine keeps answering from the last
+///   good snapshot until a clean reload returns it to `kServing`.
+/// * `kDraining` — shutdown requested: admission is closed (`Submit` sheds
+///   with `kUnavailable`), in-flight and queued requests still complete.
+/// * `kStopped`  — workers joined; terminal.
+enum class HealthState {
+  kStarting = 0,
+  kServing = 1,
+  kDegraded = 2,
+  kDraining = 3,
+  kStopped = 4,
+};
+
+/// Stable lowercase wire name ("starting", "serving", "degraded",
+/// "draining", "stopped").
+inline const char* HealthStateName(HealthState state) {
+  switch (state) {
+    case HealthState::kStarting:
+      return "starting";
+    case HealthState::kServing:
+      return "serving";
+    case HealthState::kDegraded:
+      return "degraded";
+    case HealthState::kDraining:
+      return "draining";
+    case HealthState::kStopped:
+      return "stopped";
+  }
+  return "unknown";
+}
+
+}  // namespace culinary::serving
+
+#endif  // CULINARYLAB_SERVING_HEALTH_H_

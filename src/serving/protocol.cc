@@ -425,7 +425,8 @@ culinary::Result<WireRequest> ParseRequestLine(std::string_view line) {
     wire.request.endpoint = Endpoint::kFingerprint;
   } else if (wire.op == "similar") {
     wire.request.endpoint = Endpoint::kSimilar;
-  } else if (wire.op == "reload" || wire.op == "shutdown") {
+  } else if (wire.op == "reload" || wire.op == "shutdown" ||
+             wire.op == "health") {
     wire.is_admin = true;
   } else {
     return culinary::Status::InvalidArgument("unknown op \"" + wire.op +

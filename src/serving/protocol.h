@@ -20,6 +20,7 @@ namespace culinary::serving {
 ///   {"id":"r5","op":"ping"}
 ///   {"id":"r6","op":"reload"}      <- admin: rebuild + swap the snapshot
 ///   {"id":"r7","op":"shutdown"}    <- admin: drain and exit
+///   {"id":"r8","op":"health"}      <- admin: health state + stats
 ///
 /// The transport is deliberately thin: the parser accepts exactly flat
 /// objects of scalars and scalar arrays (no nesting), and everything else
@@ -34,8 +35,8 @@ struct WireRequest {
   std::string op;
   /// Populated for query ops (ping/score/suggest/fingerprint/similar).
   Request request;
-  /// True for transport-level ops (reload / shutdown) the server handles
-  /// itself; `request` is meaningless for these.
+  /// True for transport-level ops (reload / shutdown / health) the server
+  /// handles itself; `request` is meaningless for these.
   bool is_admin = false;
 };
 

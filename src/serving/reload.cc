@@ -1,0 +1,92 @@
+#include "serving/reload.h"
+
+#include <chrono>
+#include <utility>
+
+#include "obs/obs.h"
+#include "robustness/fault_injector.h"
+
+namespace culinary::serving {
+
+culinary::Result<std::shared_ptr<const ServingSnapshot>> BuildServingSnapshot(
+    const SnapshotSource& source) {
+  if (source.snapshot_path.empty()) {
+    if (!source.rebuild) {
+      return culinary::Status::InvalidArgument(
+          "snapshot source has neither a path nor a rebuild function");
+    }
+    auto world = source.rebuild();
+    if (!world.ok()) {
+      return world.status().WithContext("rebuilding world for serving");
+    }
+    return ServingSnapshot::FromLoadedWorld(std::move(world).value(),
+                                            source.snapshot_options);
+  }
+  auto world = snapshot::LoadWorldSnapshotOrRebuild(
+      source.snapshot_path, source.expected_digest, source.policy,
+      source.rebuild, source.rewrite_snapshot);
+  if (!world.ok()) {
+    return world.status().WithContext("loading world snapshot " +
+                                      source.snapshot_path);
+  }
+  return ServingSnapshot::FromLoadedWorld(std::move(world).value(),
+                                          source.snapshot_options);
+}
+
+ReloadManager::ReloadManager(QueryEngine* engine, Options options)
+    : engine_(engine),
+      options_(std::move(options)),
+      breaker_(options_.breaker) {}
+
+int64_t ReloadManager::NowMs() const {
+  if (options_.clock_ms) return options_.clock_ms();
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+culinary::Status ReloadManager::Reload(const SnapshotSource& source) {
+  // Chaos gate before anything else: "the reload source is unreachable",
+  // as opposed to snapshot.* faults which fail the load machinery itself.
+  culinary::Status gate =
+      robustness::FaultInjector::Global().Check(robustness::kFaultServingReload);
+
+  culinary::Status result;
+  if (!breaker_.AllowRequest(NowMs())) {
+    // Refused attempts don't touch the breaker: the cooldown keeps running
+    // and the engine's health is whatever the last real attempt left it.
+    CULINARY_OBS_COUNT("serving.reload_refused", 1);
+    return culinary::Status::Unavailable(
+        "reload circuit open; serving last good snapshot");
+  }
+
+  if (!gate.ok()) {
+    result = gate;
+  } else {
+    auto snapshot = robustness::RetryResult(
+        options_.retry, [&] { return BuildServingSnapshot(source); });
+    if (snapshot.ok()) {
+      result = engine_->Reload(std::move(snapshot).value());
+    } else {
+      result = snapshot.status();
+    }
+  }
+
+  if (result.ok()) {
+    breaker_.RecordSuccess();
+    CULINARY_OBS_COUNT("serving.reload_ok", 1);
+    return result;
+  }
+  // A reload the engine itself rejected (stopped/draining —
+  // kFailedPrecondition) is a lifecycle verdict, not a source failure:
+  // don't burn the breaker or degrade a shutting-down engine for it.
+  if (!result.IsFailedPrecondition()) {
+    failed_.fetch_add(1, std::memory_order_relaxed);
+    CULINARY_OBS_COUNT("serving.reload_failed", 1);
+    breaker_.RecordFailure(NowMs());
+    engine_->MarkDegraded();
+  }
+  return result;
+}
+
+}  // namespace culinary::serving

@@ -1,0 +1,106 @@
+#ifndef CULINARYLAB_SERVING_RELOAD_H_
+#define CULINARYLAB_SERVING_RELOAD_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "robustness/circuit_breaker.h"
+#include "robustness/error_sink.h"
+#include "robustness/retry.h"
+#include "serving/engine.h"
+#include "serving/snapshot.h"
+#include "snapshot/snapshot.h"
+
+namespace culinary::serving {
+
+/// Where a (re)load gets its world from. With a `snapshot_path`, the load
+/// goes through `LoadWorldSnapshotOrRebuild` under `policy` (quarantine +
+/// `rebuild` on corruption, per the snapshot degradation contract); without
+/// one, `rebuild` is called directly.
+struct SnapshotSource {
+  /// Binary world snapshot to load; empty = rebuild-only source.
+  std::string snapshot_path;
+  /// Digest the snapshot must carry (stale otherwise). Ignored when
+  /// `snapshot_path` is empty.
+  uint64_t expected_digest = 0;
+  robustness::ErrorPolicy policy = robustness::ErrorPolicy::kBestEffort;
+  /// Rewrite a fresh snapshot at `snapshot_path` after a rebuild.
+  bool rewrite_snapshot = false;
+  /// Rebuilds the world from source data (required: corruption fallback
+  /// with a path, the whole load without one).
+  snapshot::WorldRebuildFn rebuild;
+  /// Build-time knobs for the resulting `ServingSnapshot`.
+  ServingSnapshotOptions snapshot_options;
+};
+
+/// Loads a `ServingSnapshot` from `source` (used for the initial load; the
+/// same function body serves every retry attempt of `ReloadManager`).
+culinary::Result<std::shared_ptr<const ServingSnapshot>> BuildServingSnapshot(
+    const SnapshotSource& source);
+
+/// Hardened hot-reload around `QueryEngine::Reload`: retries transient
+/// failures, trips a circuit breaker on consecutive failures, and on any
+/// failure leaves the engine serving its last good snapshot in `kDegraded`.
+///
+/// Flow of one `Reload(source)`:
+///
+///   1. fault gate `serving.reload` (chaos hook for "source unreachable");
+///   2. circuit breaker: while open, the attempt is refused immediately
+///      with `kUnavailable` — a source that has failed N times in a row is
+///      not hammered again until the cooldown admits a half-open probe;
+///   3. load via `BuildServingSnapshot` under `options.retry` (transient
+///      statuses back off and retry; corrupt-snapshot handling happens
+///      *inside* the load per `source.policy`);
+///   4. publish via `QueryEngine::Reload`.
+///
+/// Success records into the breaker and returns the engine to `kServing`
+/// (via `Reload`). Failure counts `serving.reload_failed`, records a
+/// breaker failure, marks the engine `kDegraded` (`serving.degraded`
+/// counter) — and the engine keeps answering from the previous snapshot;
+/// nothing is ever published partially.
+///
+/// Thread-compatible: callers serialize reloads (the serve loop is the only
+/// reloader in practice); the engine handles queries concurrently.
+class ReloadManager {
+ public:
+  struct Options {
+    robustness::RetryPolicy retry = robustness::RetryPolicy::Default();
+    robustness::CircuitBreaker::Options breaker;
+    /// Millisecond clock for the breaker cooldown; null = steady clock.
+    /// Tests inject a fake clock to drive open → half-open
+    /// deterministically.
+    std::function<int64_t()> clock_ms;
+  };
+
+  /// `engine` must outlive the manager.
+  explicit ReloadManager(QueryEngine* engine)
+      : ReloadManager(engine, Options{}) {}
+  ReloadManager(QueryEngine* engine, Options options);
+
+  /// Runs one hardened reload. Returns OK on publish; otherwise the load
+  /// error (engine left degraded on its last good snapshot) or
+  /// `kUnavailable` when the breaker refused the attempt.
+  culinary::Status Reload(const SnapshotSource& source);
+
+  const robustness::CircuitBreaker& breaker() const { return breaker_; }
+  uint64_t failed_reloads() const {
+    return failed_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  int64_t NowMs() const;
+
+  QueryEngine* engine_;
+  Options options_;
+  robustness::CircuitBreaker breaker_;
+  std::atomic<uint64_t> failed_{0};
+};
+
+}  // namespace culinary::serving
+
+#endif  // CULINARYLAB_SERVING_RELOAD_H_

@@ -107,5 +107,22 @@ TEST(StatusTest, WithContextChains) {
   EXPECT_TRUE(s.IsNotFound());
 }
 
+TEST(StatusTest, IsTransientCoversEnvironmentalCodesOnly) {
+  // Transient = worth retrying: IO flakes and shed/unavailable admissions.
+  EXPECT_TRUE(Status::IOError("disk hiccup").IsTransient());
+  EXPECT_TRUE(Status::Unavailable("queue full").IsTransient());
+  // Deterministic failures must never be classified transient — a retry
+  // loop would spin on them to no effect.
+  EXPECT_FALSE(Status::OK().IsTransient());
+  EXPECT_FALSE(Status::ParseError("bad row").IsTransient());
+  EXPECT_FALSE(Status::InvalidArgument("k = 0").IsTransient());
+  EXPECT_FALSE(Status::NotFound("no such region").IsTransient());
+  EXPECT_FALSE(Status::FailedPrecondition("stopped").IsTransient());
+  EXPECT_FALSE(Status::DeadlineExceeded("too slow").IsTransient());
+  EXPECT_FALSE(Status::Cancelled("user abort").IsTransient());
+  // Context does not change transience.
+  EXPECT_TRUE(Status::IOError("flake").WithContext("loading").IsTransient());
+}
+
 }  // namespace
 }  // namespace culinary

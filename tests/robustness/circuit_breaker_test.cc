@@ -1,0 +1,90 @@
+// Circuit breaker state machine, driven by an explicit millisecond clock so
+// every transition (closed → open → half-open → closed / re-open) replays
+// deterministically.
+
+#include <gtest/gtest.h>
+
+#include "robustness/circuit_breaker.h"
+
+namespace culinary::robustness {
+namespace {
+
+CircuitBreaker::Options SmallOptions() {
+  CircuitBreaker::Options options;
+  options.failure_threshold = 3;
+  options.open_cooldown_ms = 100.0;
+  return options;
+}
+
+TEST(CircuitBreakerTest, StartsClosedAndAllowsRequests) {
+  CircuitBreaker breaker;
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+  EXPECT_TRUE(breaker.AllowRequest(0));
+  EXPECT_EQ(breaker.consecutive_failures(), 0);
+  EXPECT_EQ(breaker.trips(), 0u);
+}
+
+TEST(CircuitBreakerTest, OpensAtConsecutiveFailureThreshold) {
+  CircuitBreaker breaker(SmallOptions());
+  breaker.RecordFailure(0);
+  breaker.RecordFailure(1);
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+  EXPECT_TRUE(breaker.AllowRequest(1));
+  breaker.RecordFailure(2);
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+  EXPECT_FALSE(breaker.AllowRequest(2));
+  EXPECT_EQ(breaker.trips(), 1u);
+}
+
+TEST(CircuitBreakerTest, SuccessResetsConsecutiveCount) {
+  CircuitBreaker breaker(SmallOptions());
+  breaker.RecordFailure(0);
+  breaker.RecordFailure(1);
+  breaker.RecordSuccess();
+  EXPECT_EQ(breaker.consecutive_failures(), 0);
+  // Two more failures are below the threshold again.
+  breaker.RecordFailure(2);
+  breaker.RecordFailure(3);
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+}
+
+TEST(CircuitBreakerTest, HalfOpenProbeAfterCooldownThenCloseOnSuccess) {
+  CircuitBreaker breaker(SmallOptions());
+  for (int i = 0; i < 3; ++i) breaker.RecordFailure(10);
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+  // Before the cooldown elapses every request is rejected.
+  EXPECT_FALSE(breaker.AllowRequest(10 + 99));
+  // At the cooldown boundary exactly one probe passes...
+  EXPECT_TRUE(breaker.AllowRequest(10 + 100));
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kHalfOpen);
+  // ...and concurrent callers are held until the probe reports back.
+  EXPECT_FALSE(breaker.AllowRequest(10 + 101));
+  breaker.RecordSuccess();
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+  EXPECT_TRUE(breaker.AllowRequest(10 + 102));
+  EXPECT_EQ(breaker.consecutive_failures(), 0);
+}
+
+TEST(CircuitBreakerTest, FailedProbeReopensForAnotherFullCooldown) {
+  CircuitBreaker breaker(SmallOptions());
+  for (int i = 0; i < 3; ++i) breaker.RecordFailure(0);
+  ASSERT_TRUE(breaker.AllowRequest(100));  // half-open probe
+  breaker.RecordFailure(150);
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+  EXPECT_EQ(breaker.trips(), 2u);
+  // The new cooldown restarts at the probe-failure time, not the original
+  // trip time.
+  EXPECT_FALSE(breaker.AllowRequest(249));
+  EXPECT_TRUE(breaker.AllowRequest(250));
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kHalfOpen);
+}
+
+TEST(CircuitBreakerTest, StateNames) {
+  EXPECT_EQ(CircuitBreakerStateName(CircuitBreaker::State::kClosed), "closed");
+  EXPECT_EQ(CircuitBreakerStateName(CircuitBreaker::State::kOpen), "open");
+  EXPECT_EQ(CircuitBreakerStateName(CircuitBreaker::State::kHalfOpen),
+            "half_open");
+}
+
+}  // namespace
+}  // namespace culinary::robustness

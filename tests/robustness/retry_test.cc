@@ -1,5 +1,6 @@
 #include "robustness/retry.h"
 
+#include <algorithm>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -79,8 +80,11 @@ TEST(RetryTest, NonRetryableErrorReturnsImmediately) {
   EXPECT_TRUE(sleeper.slept_ms.empty());
 }
 
-TEST(RetryTest, IsRetryableOnlyForIOError) {
+TEST(RetryTest, IsRetryableOnlyForTransientCodes) {
   EXPECT_TRUE(IsRetryable(culinary::Status::IOError("x")));
+  // Shed/unavailable is an explicit "try again later" — retryable since the
+  // serving layer started shedding admissions with it.
+  EXPECT_TRUE(IsRetryable(culinary::Status::Unavailable("x")));
   EXPECT_FALSE(IsRetryable(culinary::Status::OK()));
   EXPECT_FALSE(IsRetryable(culinary::Status::ParseError("x")));
   EXPECT_FALSE(IsRetryable(culinary::Status::InvalidArgument("x")));
@@ -235,6 +239,99 @@ TEST(RetryTest, GenerousBudgetDoesNotInterfere) {
       nullptr, sleeper.fn());
   EXPECT_TRUE(status.ok());
   EXPECT_EQ(calls, 3);
+}
+
+TEST(RetryTest, DecorrelatedBackoffIsBoundedAndSeedDeterministic) {
+  RetryPolicy policy;
+  policy.jitter_mode = JitterMode::kDecorrelated;
+  policy.base_backoff_ms = 10.0;
+  policy.max_backoff_ms = 400.0;
+  culinary::Rng rng_a(policy.seed);
+  culinary::Rng rng_b(policy.seed);
+  culinary::Rng rng_other(policy.seed + 1);
+  double prev_a = policy.base_backoff_ms;
+  double prev_b = policy.base_backoff_ms;
+  double prev_other = policy.base_backoff_ms;
+  bool any_difference = false;
+  for (int i = 0; i < 32; ++i) {
+    prev_a = internal::DecorrelatedBackoffMs(policy, prev_a, rng_a);
+    prev_b = internal::DecorrelatedBackoffMs(policy, prev_b, rng_b);
+    prev_other = internal::DecorrelatedBackoffMs(policy, prev_other, rng_other);
+    // Same seed: bitwise-identical sequence. Different seed: decorrelated.
+    EXPECT_DOUBLE_EQ(prev_a, prev_b);
+    any_difference = any_difference || prev_a != prev_other;
+    EXPECT_GE(prev_a, policy.base_backoff_ms);
+    EXPECT_LE(prev_a, policy.max_backoff_ms);
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(RetryTest, DecorrelatedSequencePinnedToTheFormula) {
+  // The drawn sequence must be exactly uniform(base, 3*prev) clamped to
+  // max, replayed here against an independent RNG with the same seed.
+  RetryPolicy policy;
+  policy.jitter_mode = JitterMode::kDecorrelated;
+  policy.base_backoff_ms = 5.0;
+  policy.max_backoff_ms = 90.0;
+  policy.seed = 1234;
+  culinary::Rng rng(policy.seed);
+  culinary::Rng replay(policy.seed);
+  double prev = policy.base_backoff_ms;
+  double expected_prev = policy.base_backoff_ms;
+  for (int i = 0; i < 16; ++i) {
+    prev = internal::DecorrelatedBackoffMs(policy, prev, rng);
+    const double expected =
+        std::min(policy.max_backoff_ms,
+                 replay.NextDouble(policy.base_backoff_ms,
+                                   std::max(policy.base_backoff_ms,
+                                            3.0 * expected_prev)));
+    EXPECT_DOUBLE_EQ(prev, expected);
+    expected_prev = expected;
+  }
+}
+
+TEST(RetryTest, RetryStatusSleepsTheDecorrelatedSequence) {
+  FakeSleeper sleeper;
+  RetryPolicy policy;
+  policy.max_attempts = 5;
+  policy.jitter_mode = JitterMode::kDecorrelated;
+  policy.base_backoff_ms = 10.0;
+  policy.max_backoff_ms = 1000.0;
+  int calls = 0;
+  culinary::Status status = RetryStatus(
+      policy,
+      [&] {
+        ++calls;
+        return culinary::Status::IOError("always down");
+      },
+      nullptr, sleeper.fn());
+  EXPECT_EQ(status.code(), StatusCode::kIOError);
+  EXPECT_EQ(calls, 5);
+  ASSERT_EQ(sleeper.slept_ms.size(), 4u);
+  // The recorded sleeps are exactly the decorrelated walk for this seed —
+  // each drawn from [base, 3*previous] — replayed with a fresh RNG.
+  culinary::Rng replay(policy.seed);
+  double prev = policy.base_backoff_ms;
+  for (const double slept : sleeper.slept_ms) {
+    const double expected =
+        internal::DecorrelatedBackoffMs(policy, prev, replay);
+    EXPECT_DOUBLE_EQ(slept, expected);
+    EXPECT_GE(slept, policy.base_backoff_ms);
+    EXPECT_LE(slept, 3.0 * prev + 1e-9);
+    prev = expected;
+  }
+}
+
+TEST(RetryTest, UniformModeIsUnchangedByTheJitterModeKnob) {
+  // Adding the mode enum must not shift the historical uniform schedule.
+  FakeSleeper uniform_default;
+  FakeSleeper uniform_explicit;
+  RetryPolicy policy = RetryPolicy::Default();
+  auto always_down = [] { return culinary::Status::IOError("down"); };
+  RetryStatus(policy, always_down, nullptr, uniform_default.fn());
+  policy.jitter_mode = JitterMode::kUniform;
+  RetryStatus(policy, always_down, nullptr, uniform_explicit.fn());
+  EXPECT_EQ(uniform_default.slept_ms, uniform_explicit.slept_ms);
 }
 
 TEST(RetryTest, RetryResultExhaustsAgainstPermanentFault) {

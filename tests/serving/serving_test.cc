@@ -103,6 +103,11 @@ TEST(ProtocolTest, ParsesAdminOps) {
   ASSERT_TRUE(shutdown.ok());
   EXPECT_TRUE(shutdown->is_admin);
   EXPECT_TRUE(shutdown->id.empty());
+  auto health = ParseRequestLine(R"({"id":"h1","op":"health"})");
+  ASSERT_TRUE(health.ok()) << health.status().ToString();
+  EXPECT_TRUE(health->is_admin);
+  EXPECT_EQ(health->op, "health");
+  EXPECT_EQ(health->id, "h1");
 }
 
 TEST(ProtocolTest, RejectsMalformedLines) {

@@ -55,9 +55,16 @@
 // ping) under 1, 4 and 16 client threads, and writes BENCH_serving.json
 // with throughput plus exact client-side p50/p99 latencies per thread
 // count. Every serialized response must be bit-identical across the three
-// sweeps (the serving determinism contract) or the run fails.
+// sweeps (the serving determinism contract) or the run fails. Two
+// robustness sections follow the healthy sweeps: a degraded-mode sweep
+// (reload failed via injected fault → engine kDegraded on its last good
+// snapshot → 4-client sweep whose transcript must still be bit-identical →
+// clean reload recovers kServing) reported as "qps_degraded", and an
+// overload burst through a tiny admission queue reported as "shed_rate".
 // --serving --check=FILE gates qps_t16 — throughput, so the 20% rule
-// inverts: the run fails when QPS drops below baseline/1.2.
+// inverts: the run fails when QPS drops below baseline/1.2. qps_degraded
+// is gated the same way, but only when the baseline already carries it
+// (older baselines stay comparable).
 
 #include <algorithm>
 #include <chrono>
@@ -85,8 +92,10 @@
 #include "flavor/bitset.h"
 #include "flavor/registry_io.h"
 #include "recipe/database.h"
+#include "robustness/fault_injector.h"
 #include "serving/engine.h"
 #include "serving/protocol.h"
+#include "serving/reload.h"
 #include "serving/snapshot.h"
 #include "snapshot/snapshot.h"
 
@@ -968,7 +977,8 @@ int RunDataframeBenchmark(const Args& args) {
 /// 16 client threads — lower is worse here, so the 20% rule inverts: fail
 /// when measured QPS drops below baseline/1.2. Same incomparable-baseline
 /// skip rules as the other modes.
-int CheckServingBaseline(const Args& args, bool small, double qps_t16) {
+int CheckServingBaseline(const Args& args, bool small, double qps_t16,
+                         double qps_degraded) {
   auto no_baseline = [&](const char* why) {
     std::fprintf(stderr,
                  "[bench_report] no comparable baseline (%s: %s); skipping "
@@ -1012,6 +1022,25 @@ int CheckServingBaseline(const Args& args, bool small, double qps_t16) {
                "[bench_report] serving throughput OK: %.0f qps vs baseline "
                "%.0f qps\n",
                qps_t16, baseline_qps);
+  // Degraded-mode throughput is gated only when the baseline already has it:
+  // baselines committed before the field existed stay comparable (the new
+  // emitter writes it, the old check never sees it).
+  double baseline_degraded = 0;
+  if (qps_degraded > 0 &&
+      ExtractJsonNumber(baseline, "qps_degraded", &baseline_degraded) &&
+      baseline_degraded > 0) {
+    if (qps_degraded < baseline_degraded / 1.2) {
+      std::fprintf(stderr,
+                   "[bench_report] FAIL: degraded-mode throughput regressed: "
+                   "%.0f qps vs baseline %.0f qps (>20%% slower)\n",
+                   qps_degraded, baseline_degraded);
+      return 1;
+    }
+    std::fprintf(stderr,
+                 "[bench_report] degraded-mode throughput OK: %.0f qps vs "
+                 "baseline %.0f qps\n",
+                 qps_degraded, baseline_degraded);
+  }
   return 0;
 }
 
@@ -1148,6 +1177,81 @@ int RunServingBenchmark(const Args& args) {
         bit_identical && sweeps[s].transcript == sweeps[0].transcript;
   }
 
+  // Degraded-mode sweep: fail a hot reload through the hardened path (fault
+  // site serving.reload), leaving the engine kDegraded on its last good
+  // snapshot, and measure throughput there — the number the SLO story cares
+  // about is how fast the engine answers *while broken*. The transcript must
+  // stay bit-identical to the healthy sweeps (same snapshot, same answers);
+  // afterwards a clean reload must recover to kServing with the generation
+  // bumped.
+  std::fprintf(stderr, "[bench_report] serving: degraded-mode sweep...\n");
+  serving::SnapshotSource source;
+  source.rebuild = [spec]() -> culinary::Result<snapshot::LoadedWorld> {
+    auto generated = datagen::GenerateWorld(spec);
+    if (!generated.ok()) return generated.status();
+    snapshot::LoadedWorld world;
+    world.registry_ptr = std::move(generated.value().universe.registry);
+    world.database = std::move(generated.value().database);
+    return world;
+  };
+  serving::ReloadManager::Options reload_options;
+  reload_options.retry.max_attempts = 1;  // fail fast; retries measured elsewhere
+  serving::ReloadManager reloads(&engine, reload_options);
+  const uint64_t healthy_generation = engine.generation();
+  bool degraded_entered = false;
+  {
+    robustness::ScopedFault fault(
+        robustness::kFaultServingReload,
+        robustness::FaultInjector::Plan::Always(
+            culinary::StatusCode::kIOError));
+    degraded_entered = !reloads.Reload(source).ok() &&
+                       engine.health() == serving::HealthState::kDegraded;
+  }
+  const ServingSweep degraded_sweep = run_sweep(4);
+  const bool degraded_identical =
+      degraded_sweep.transcript == sweeps[0].transcript;
+  const bool recovered = reloads.Reload(source).ok() &&
+                         engine.health() == serving::HealthState::kServing &&
+                         engine.generation() == healthy_generation + 1;
+
+  // Overload sweep: burst-submit the whole request vector through the
+  // bounded admission queue of a second, single-worker engine. Most of the
+  // burst is shed at the door; the shed rate (plus the deadline-aware
+  // subset) characterizes how the engine behaves past saturation.
+  std::fprintf(stderr, "[bench_report] serving: overload burst...\n");
+  serving::QueryEngineOptions overload_options;
+  overload_options.num_threads = 1;
+  overload_options.queue_capacity = 64;
+  overload_options.initial_service_estimate_us =
+      static_cast<double>(sweeps[0].p50_us);
+  double shed_rate = 0.0;
+  uint64_t overload_shed = 0;
+  uint64_t overload_deadline_shed = 0;
+  uint64_t overload_accepted = 0;
+  {
+    serving::QueryEngine overload_engine(snapshot, overload_options);
+    std::vector<std::future<serving::Response>> futures;
+    futures.reserve(requests.size());
+    for (size_t i = 0; i < requests.size(); ++i) {
+      serving::Request request = requests[i];
+      // Every other request carries a deadline shorter than the full-queue
+      // wait estimate, so both shed paths (queue-full and deadline-aware)
+      // are exercised by the same burst.
+      if (i % 2 == 1) request.deadline_ms = 0.05;
+      futures.push_back(overload_engine.Submit(std::move(request)));
+    }
+    for (auto& f : futures) f.get();
+    const serving::QueryEngine::Stats stats = overload_engine.stats();
+    overload_accepted = stats.accepted;
+    overload_shed = stats.shed;
+    overload_deadline_shed = stats.deadline_shed;
+    shed_rate = requests.empty()
+                    ? 0.0
+                    : static_cast<double>(stats.shed) /
+                          static_cast<double>(requests.size());
+    overload_engine.Stop();
+  }
+
   std::ostringstream json;
   json.setf(std::ios::fixed);
   json.precision(3);
@@ -1171,7 +1275,26 @@ int RunServingBenchmark(const Args& args) {
          << "    \"p99_us\": " << sweep.p99_us << "\n"
          << "  },\n";
   }
-  json << "  \"bit_identical\": " << (bit_identical ? "true" : "false")
+  json << "  \"degraded\": {\n"
+       << "    \"entered\": " << (degraded_entered ? "true" : "false") << ",\n"
+       << "    \"wall_ms\": " << degraded_sweep.wall_ms << ",\n"
+       << "    \"qps_degraded\": " << degraded_sweep.qps << ",\n"
+       << "    \"p50_us\": " << degraded_sweep.p50_us << ",\n"
+       << "    \"p99_us\": " << degraded_sweep.p99_us << ",\n"
+       << "    \"bit_identical_to_healthy\": "
+       << (degraded_identical ? "true" : "false") << ",\n"
+       << "    \"recovered\": " << (recovered ? "true" : "false") << "\n"
+       << "  },\n"
+       << "  \"overload\": {\n"
+       << "    \"queue_capacity\": " << overload_options.queue_capacity
+       << ",\n"
+       << "    \"submitted\": " << requests.size() << ",\n"
+       << "    \"accepted\": " << overload_accepted << ",\n"
+       << "    \"shed\": " << overload_shed << ",\n"
+       << "    \"deadline_shed\": " << overload_deadline_shed << ",\n"
+       << "    \"shed_rate\": " << shed_rate << "\n"
+       << "  },\n"
+       << "  \"bit_identical\": " << (bit_identical ? "true" : "false")
        << "\n"
        << "}\n";
 
@@ -1183,8 +1306,17 @@ int RunServingBenchmark(const Args& args) {
                  "thread counts\n");
     return 1;
   }
+  if (!degraded_entered || !degraded_identical || !recovered) {
+    std::fprintf(stderr,
+                 "[bench_report] FAIL: degraded-mode contract violated "
+                 "(entered=%d identical=%d recovered=%d)\n",
+                 degraded_entered ? 1 : 0, degraded_identical ? 1 : 0,
+                 recovered ? 1 : 0);
+    return 1;
+  }
   if (!args.check_path.empty()) {
-    return CheckServingBaseline(args, args.small, sweeps.back().qps);
+    return CheckServingBaseline(args, args.small, sweeps.back().qps,
+                                degraded_sweep.qps);
   }
   std::ofstream out(args.out_path);
   if (!out) {

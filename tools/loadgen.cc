@@ -20,6 +20,18 @@
 //   --shutdown          append a {"op":"shutdown"} line so a piped server
 //                       exits when the stream ends
 //
+// Chaos / overload traffic modes (all deterministic; 0 = off):
+//   --deadline-ms=N     attach "deadline_ms":N to every query so the
+//                       server's deadline-aware admission has something to
+//                       shed against
+//   --reload-every=N    interleave an admin {"op":"reload"} every N
+//                       queries — combined with injected snapshot faults
+//                       this hammers the degraded-reload path under load
+//   --health-every=N    interleave an admin {"op":"health"} every N queries
+//   --garbage-every=N   interleave a malformed (non-JSON) line every N
+//                       queries; the server must reject it at the parser
+//                       and keep serving
+//
 // Mix: 40% score, 30% suggest, 15% fingerprint, 10% similar, 5% ping.
 
 #include <cstdio>
@@ -45,6 +57,10 @@ struct LoadgenArgs {
   uint64_t traffic_seed = 1;
   size_t count = 100;
   size_t k = 5;
+  uint64_t deadline_ms = 0;
+  size_t reload_every = 0;
+  size_t health_every = 0;
+  size_t garbage_every = 0;
   std::string out;
   bool shutdown = false;
   bool usage_error = false;
@@ -88,6 +104,17 @@ LoadgenArgs ParseArgs(int argc, char** argv) {
     } else if (key == "--k") {
       if (!ParseUint64Value(value, &number)) args.usage_error = true;
       args.k = static_cast<size_t>(number);
+    } else if (key == "--deadline-ms") {
+      if (!ParseUint64Value(value, &args.deadline_ms)) args.usage_error = true;
+    } else if (key == "--reload-every") {
+      if (!ParseUint64Value(value, &number)) args.usage_error = true;
+      args.reload_every = static_cast<size_t>(number);
+    } else if (key == "--health-every") {
+      if (!ParseUint64Value(value, &number)) args.usage_error = true;
+      args.health_every = static_cast<size_t>(number);
+    } else if (key == "--garbage-every") {
+      if (!ParseUint64Value(value, &number)) args.usage_error = true;
+      args.garbage_every = static_cast<size_t>(number);
     } else {
       std::fprintf(stderr, "loadgen: unknown flag %s\n", arg.c_str());
       args.usage_error = true;
@@ -98,7 +125,7 @@ LoadgenArgs ParseArgs(int argc, char** argv) {
 
 /// One deterministic request line for index `i`.
 std::string MakeRequest(const datagen::SyntheticWorld& world, Rng& rng,
-                        size_t i, size_t k) {
+                        size_t i, size_t k, uint64_t deadline_ms) {
   const std::vector<recipe::Recipe>& recipes = world.db().recipes();
   const uint64_t dice = rng.NextBounded(100);
   std::string line = "{\"id\":\"r" + std::to_string(i) + "\",\"op\":\"";
@@ -134,6 +161,9 @@ std::string MakeRequest(const datagen::SyntheticWorld& world, Rng& rng,
   } else {
     line += "ping\"";
   }
+  if (deadline_ms > 0) {
+    line += ",\"deadline_ms\":" + std::to_string(deadline_ms);
+  }
   line += '}';
   return line;
 }
@@ -154,7 +184,19 @@ int Run(const LoadgenArgs& args, std::ostream& out) {
   }
   Rng rng(args.traffic_seed);
   for (size_t i = 0; i < args.count; ++i) {
-    out << MakeRequest(world.value(), rng, i, args.k) << '\n';
+    // Interleaved admin/garbage lines ride on the query index, not the RNG,
+    // so turning a mode on or off never shifts the sampled query stream.
+    if (args.reload_every > 0 && i > 0 && i % args.reload_every == 0) {
+      out << "{\"id\":\"reload" << i << "\",\"op\":\"reload\"}\n";
+    }
+    if (args.health_every > 0 && i > 0 && i % args.health_every == 0) {
+      out << "{\"id\":\"health" << i << "\",\"op\":\"health\"}\n";
+    }
+    if (args.garbage_every > 0 && i > 0 && i % args.garbage_every == 0) {
+      out << "this is not json #" << i << "\n";
+    }
+    out << MakeRequest(world.value(), rng, i, args.k, args.deadline_ms)
+        << '\n';
   }
   if (args.shutdown) {
     out << "{\"id\":\"last\",\"op\":\"shutdown\"}\n";
