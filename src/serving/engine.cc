@@ -41,28 +41,12 @@ int64_t SteadyNowMs() {
       .count();
 }
 
-/// Smoothing factor for the service-time EWMA: heavy enough that a few
-/// slow requests move the estimate, light enough that one outlier does not
-/// swing admission.
+/// Smoothing factor for the service-time and batch-size EWMAs: heavy enough
+/// that a few slow requests move the estimate, light enough that one outlier
+/// does not swing admission.
 constexpr double kServiceEwmaAlpha = 0.2;
 
 }  // namespace
-
-const char* EndpointName(Endpoint endpoint) {
-  switch (endpoint) {
-    case Endpoint::kPing:
-      return "ping";
-    case Endpoint::kScore:
-      return "score";
-    case Endpoint::kSuggest:
-      return "suggest";
-    case Endpoint::kFingerprint:
-      return "fingerprint";
-    case Endpoint::kSimilar:
-      return "similar";
-  }
-  return "unknown";
-}
 
 QueryEngine::QueryEngine(std::shared_ptr<const ServingSnapshot> snapshot,
                          const QueryEngineOptions& options)
@@ -70,7 +54,10 @@ QueryEngine::QueryEngine(std::shared_ptr<const ServingSnapshot> snapshot,
           PublishedWorld{std::move(snapshot), 1})),
       options_(options),
       queue_capacity_(options.queue_capacity),
-      ewma_service_us_(options.initial_service_estimate_us) {
+      ewma_service_us_(options.initial_service_estimate_us),
+      ewma_batch_size_(options.initial_batch_size_estimate < 1.0
+                           ? 1.0
+                           : options.initial_batch_size_estimate) {
   num_workers_ = options.num_threads == 0 ? 1 : options.num_threads;
   beats_.reserve(num_workers_);
   for (size_t i = 0; i < num_workers_; ++i) {
@@ -175,66 +162,13 @@ Response QueryEngine::Execute(const Request& request) const {
     return response;
   }
   response.generation = world->generation;
-  const ServingSnapshot& snap = *world->snapshot;
-
-  QueryContext context;
-  context.cancel = request.cancel;
-  if (request.deadline_ms >= 0) {
-    context.deadline = culinary::Deadline::After(request.deadline_ms);
-  }
-  const bool by_name = !request.ingredient_names.empty();
 
   if (!injected.ok()) {
     response.status = injected;
   } else {
-    switch (request.endpoint) {
-      case Endpoint::kPing:
-        response.status = culinary::Status::OK();
-        break;
-      case Endpoint::kScore: {
-        auto result =
-            by_name ? ScoreRecipe(snap, request.ingredient_names, context)
-                    : ScoreRecipeIds(snap, request.ingredient_ids, context);
-        if (result.ok()) {
-          response.payload = std::move(result).value();
-        } else {
-          response.status = result.status();
-        }
-        break;
-      }
-      case Endpoint::kSuggest: {
-        auto result =
-            by_name
-                ? SuggestPairings(snap, request.ingredient_names, request.k,
-                                  context)
-                : SuggestPairingsIds(snap, request.ingredient_ids, request.k,
-                                     context);
-        if (result.ok()) {
-          response.payload = std::move(result).value();
-        } else {
-          response.status = result.status();
-        }
-        break;
-      }
-      case Endpoint::kFingerprint: {
-        auto result = Fingerprint(snap, request.region, request.k, context);
-        if (result.ok()) {
-          response.payload = std::move(result).value();
-        } else {
-          response.status = result.status();
-        }
-        break;
-      }
-      case Endpoint::kSimilar: {
-        auto result = SimilarCuisines(snap, request.region, request.k, context);
-        if (result.ok()) {
-          response.payload = std::move(result).value();
-        } else {
-          response.status = result.status();
-        }
-        break;
-      }
-    }
+    const uint64_t generation = response.generation;
+    response = EvaluateQuery(*world->snapshot, request, MakeContext(request));
+    response.generation = generation;
   }
 
   const uint64_t us = static_cast<uint64_t>(
@@ -244,6 +178,7 @@ Response QueryEngine::Execute(const Request& request) const {
   {
     std::lock_guard<std::mutex> lock(queue_mu_);
     ++executed_;
+    ++batches_;
     // Feed the admission estimator. One mutex hop per request is in the
     // noise next to query evaluation, and it keeps stats()/the estimate
     // consistent without an atomics dance.
@@ -253,8 +188,13 @@ Response QueryEngine::Execute(const Request& request) const {
       ewma_service_us_ += kServiceEwmaAlpha *
                           (static_cast<double>(us) - ewma_service_us_);
     }
+    // A direct call is a unit of work of size 1; pull the batch estimate
+    // back toward it so the admission divisor tracks what workers actually
+    // retire per unit, not a historical best case.
+    ewma_batch_size_ += kServiceEwmaAlpha * (1.0 - ewma_batch_size_);
   }
   RecordLatencyUs(request.endpoint, us);
+  CULINARY_OBS_OBSERVE_U64("serving.batch_size", 1);
   CULINARY_OBS_COUNT("serving.requests", 1);
   if (!response.status.ok()) CULINARY_OBS_COUNT("serving.errors", 1);
   if (options_.slo != nullptr) {
@@ -265,9 +205,89 @@ Response QueryEngine::Execute(const Request& request) const {
   return response;
 }
 
+std::vector<Response> QueryEngine::ExecuteBatch(
+    const std::vector<Request>& requests) const {
+  std::vector<Response> responses;
+  if (requests.empty()) return responses;
+  const auto start = std::chrono::steady_clock::now();
+
+  // One chaos check and one RCU pin for the whole batch — the amortization
+  // this path exists for. Every response reports the same generation.
+  culinary::Status injected =
+      robustness::FaultInjector::Global().Check(robustness::kFaultServingExecute);
+  const std::shared_ptr<const PublishedWorld> world =
+      published_.load(std::memory_order_acquire);
+  if (world == nullptr || world->snapshot == nullptr) {
+    responses.resize(requests.size());
+    for (size_t i = 0; i < requests.size(); ++i) {
+      responses[i].endpoint = requests[i].endpoint;
+      responses[i].status =
+          culinary::Status::FailedPrecondition("no snapshot published");
+    }
+    return responses;
+  }
+  if (!injected.ok()) {
+    responses.resize(requests.size());
+    for (size_t i = 0; i < requests.size(); ++i) {
+      responses[i].endpoint = requests[i].endpoint;
+      responses[i].generation = world->generation;
+      responses[i].status = injected;
+    }
+  } else {
+    responses = EvaluateBatch(*world->snapshot, requests);
+    for (Response& response : responses) {
+      response.generation = world->generation;
+    }
+  }
+
+  const uint64_t us = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count());
+  const double batch = static_cast<double>(requests.size());
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    executed_ += requests.size();
+    ++batches_;
+    if (requests.size() > 1) coalesced_ += requests.size() - 1;
+    if (ewma_service_us_ <= 0.0) {
+      ewma_service_us_ = static_cast<double>(us);
+    } else {
+      ewma_service_us_ += kServiceEwmaAlpha *
+                          (static_cast<double>(us) - ewma_service_us_);
+    }
+    ewma_batch_size_ += kServiceEwmaAlpha * (batch - ewma_batch_size_);
+  }
+  // Per-request latency is the batch wall time: that is what each coalesced
+  // caller waited for its answer.
+  size_t errors = 0;
+  const int64_t t_s = SteadyNowMs() / 1000;
+  for (size_t i = 0; i < requests.size(); ++i) {
+    RecordLatencyUs(requests[i].endpoint, us);
+    if (!responses[i].status.ok()) ++errors;
+    if (options_.slo != nullptr) {
+      options_.slo->Record(EndpointName(requests[i].endpoint),
+                           static_cast<double>(us),
+                           responses[i].status.ok(), t_s);
+    }
+  }
+  CULINARY_OBS_OBSERVE_U64("serving.batch_size",
+                           static_cast<uint64_t>(requests.size()));
+  CULINARY_OBS_COUNT("serving.requests", static_cast<int64_t>(requests.size()));
+  if (requests.size() > 1) {
+    CULINARY_OBS_COUNT("serving.coalesced",
+                       static_cast<int64_t>(requests.size() - 1));
+  }
+  if (errors > 0) {
+    CULINARY_OBS_COUNT("serving.errors", static_cast<int64_t>(errors));
+  }
+  return responses;
+}
+
 std::future<Response> QueryEngine::Submit(Request request) {
   PendingRequest item;
   item.request = std::move(request);
+  item.admitted_ms = SteadyNowMs();
   std::future<Response> future = item.promise.get_future();
 
   // Chaos hook for the admission path itself (delay or refuse at the door).
@@ -292,13 +312,20 @@ std::future<Response> QueryEngine::Submit(Request request) {
       // Deadline-aware shed: estimate how long this request would wait
       // behind the queue plus the requests already on workers. If it cannot
       // start (and finish) inside its own deadline, refusing now is strictly
-      // better than admitting it to time out inside evaluation.
+      // better than admitting it to time out inside evaluation. The EWMA
+      // measures one *unit of work*, and a coalescing worker retires
+      // ~ewma_batch_size_ queue slots per unit, so the per-slot wait divides
+      // by the observed mean batch size — without it, shedding over-fires
+      // the moment coalescing kicks in.
       const double deadline_ms = item.request.deadline_ms;
       if (options_.deadline_aware_admission && deadline_ms >= 0.0 &&
           ewma_service_us_ > 0.0) {
+        const double batch_divisor =
+            ewma_batch_size_ < 1.0 ? 1.0 : ewma_batch_size_;
         const double est_wait_us =
             static_cast<double>(queue_.size() + busy_workers_ + 1) *
-            ewma_service_us_ / static_cast<double>(num_workers_);
+            ewma_service_us_ /
+            (static_cast<double>(num_workers_) * batch_divisor);
         if (est_wait_us > deadline_ms * 1000.0) {
           shed_status = culinary::Status::Unavailable(
               "deadline-aware shed: estimated wait " +
@@ -330,20 +357,55 @@ std::future<Response> QueryEngine::Submit(Request request) {
 
 void QueryEngine::WorkerLoop(size_t worker_index) {
   WorkerBeat& beat = *beats_[worker_index];
+  const size_t batch_max = options_.batch_max == 0 ? 1 : options_.batch_max;
+  std::vector<PendingRequest> unit;
   for (;;) {
-    PendingRequest item;
+    unit.clear();
     {
       std::unique_lock<std::mutex> lock(queue_mu_);
       queue_cv_.wait(lock, [this] {
         return stopped_.load(std::memory_order_acquire) || !queue_.empty();
       });
       if (queue_.empty()) return;  // stopped and fully drained
-      item = std::move(queue_.front());
+      unit.push_back(std::move(queue_.front()));
       queue_.pop_front();
+      // Opportunistic coalescing: drain consecutive compatible requests —
+      // same endpoint, deadline not already burned by queue wait — into one
+      // unit of work. Draining stops at the first incompatible head (never
+      // skips past it), so completion order stays FIFO per endpoint and an
+      // expired-deadline request still gets its own evaluation, where it
+      // times out with the usual kDeadlineExceeded.
+      if (batch_max > 1) {
+        const Endpoint endpoint = unit.front().request.endpoint;
+        const int64_t now_ms = SteadyNowMs();
+        while (unit.size() < batch_max && !queue_.empty()) {
+          const PendingRequest& next = queue_.front();
+          if (next.request.endpoint != endpoint) break;
+          if (next.request.deadline_ms >= 0.0 &&
+              static_cast<double>(now_ms - next.admitted_ms) >
+                  next.request.deadline_ms) {
+            break;
+          }
+          unit.push_back(std::move(queue_.front()));
+          queue_.pop_front();
+        }
+      }
       ++busy_workers_;
     }
     beat.busy_since_ms.store(SteadyNowMs(), std::memory_order_release);
-    item.promise.set_value(Execute(item.request));
+    if (unit.size() == 1) {
+      unit.front().promise.set_value(Execute(unit.front().request));
+    } else {
+      std::vector<Request> requests;
+      requests.reserve(unit.size());
+      for (PendingRequest& pending : unit) {
+        requests.push_back(std::move(pending.request));
+      }
+      std::vector<Response> responses = ExecuteBatch(requests);
+      for (size_t i = 0; i < unit.size(); ++i) {
+        unit[i].promise.set_value(std::move(responses[i]));
+      }
+    }
     beat.busy_since_ms.store(-1, std::memory_order_release);
     {
       std::lock_guard<std::mutex> lock(queue_mu_);
@@ -414,6 +476,8 @@ QueryEngine::Stats QueryEngine::stats() const {
     stats.shed = shed_;
     stats.deadline_shed = deadline_shed_;
     stats.executed = executed_;
+    stats.batches = batches_;
+    stats.coalesced = coalesced_;
   }
   stats.reloads = reloads_.load(std::memory_order_relaxed);
   stats.worker_stalls = worker_stalls_.load(std::memory_order_relaxed);

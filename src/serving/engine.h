@@ -24,45 +24,8 @@ class SloMonitor;
 
 namespace culinary::serving {
 
-/// The five point-query endpoints the engine serves.
-enum class Endpoint {
-  kPing = 0,     ///< liveness + current snapshot generation
-  kScore,        ///< N_s + classification of an ingredient set
-  kSuggest,      ///< top-K pairing partners for an ingredient set
-  kFingerprint,  ///< one cuisine's culinary fingerprint
-  kSimilar,      ///< nearest cuisines to one region
-};
-
-/// Stable lower-case wire/metric name of an endpoint ("score", ...).
-const char* EndpointName(Endpoint endpoint);
-
-/// One point query. `ingredient_names` wins when non-empty; otherwise
-/// `ingredient_ids` is used (score/suggest only). `k` is the result budget
-/// for suggest/similar and the top-ingredient count for fingerprint.
-struct Request {
-  Endpoint endpoint = Endpoint::kPing;
-  std::vector<std::string> ingredient_names;
-  std::vector<flavor::IngredientId> ingredient_ids;
-  recipe::Region region = recipe::Region::kWorld;
-  size_t k = 10;
-  /// Per-request latency budget in milliseconds; negative = unbounded.
-  double deadline_ms = -1.0;
-  /// Optional caller-side cancellation; a default token never cancels.
-  culinary::CancellationToken cancel;
-};
-
-using Payload = std::variant<std::monostate, ScoreResult,
-                             std::vector<Suggestion>, FingerprintResult,
-                             SimilarResult>;
-
-struct Response {
-  culinary::Status status;
-  Endpoint endpoint = Endpoint::kPing;
-  /// Generation of the snapshot that answered (1 = the snapshot the engine
-  /// started with; bumped by every successful `Reload`).
-  uint64_t generation = 0;
-  Payload payload;
-};
+// Endpoint / Request / Payload / Response live in serving/queries.h (shared
+// with the pure batch evaluator); this header re-exports them.
 
 struct QueryEngineOptions {
   /// Worker threads draining the admission queue (clamped to >= 1).
@@ -71,11 +34,24 @@ struct QueryEngineOptions {
   /// shed with `kUnavailable` instead of queueing without limit.
   size_t queue_capacity = 256;
 
+  /// Opportunistic coalescing: a worker that dequeues a request also drains
+  /// up to this many compatible waiting requests (same endpoint, deadline
+  /// not already exhausted by queue wait) into one unit of work, pinning the
+  /// snapshot once and evaluating them through the batched kernel. 0 or 1
+  /// disables coalescing.
+  size_t batch_max = 16;
+  /// Seed for the batch-size EWMA that scales the admission wait estimate
+  /// (see `Submit`); clamped to >= 1. Leave at 1 to start pessimistic and
+  /// learn the real coalescing factor from observed batches.
+  double initial_batch_size_estimate = 1.0;
+
   /// Deadline-aware admission: a deadlined request whose estimated queue
-  /// wait (from an EWMA of observed service times) already exceeds its
-  /// deadline is shed at the door with `kUnavailable` instead of occupying a
-  /// queue slot only to time out inside evaluation. Requests without a
-  /// deadline are never shed by the estimate.
+  /// wait (from an EWMA of observed per-unit service times, divided by the
+  /// observed mean batch size — a coalescing worker retires several queue
+  /// slots per unit of work) already exceeds its deadline is shed at the
+  /// door with `kUnavailable` instead of occupying a queue slot only to time
+  /// out inside evaluation. Requests without a deadline are never shed by
+  /// the estimate.
   bool deadline_aware_admission = true;
   /// Seed for the service-time EWMA in microseconds; 0 = learn from the
   /// first observed request (no estimate-based shedding until then).
@@ -157,6 +133,15 @@ class QueryEngine {
   /// latency + request counters. Thread-safe; usable alongside `Submit`.
   Response Execute(const Request& request) const;
 
+  /// Evaluates a whole batch against ONE pinned snapshot: the RCU pointer is
+  /// loaded once, every response carries the same generation, and suggest
+  /// requests go through the structure-of-arrays sweep in
+  /// `EvaluateBatch` (bit-identical to per-request `Execute` calls, see
+  /// queries.h). Used by coalescing workers and callable directly for bulk
+  /// scoring. Per-request latency is recorded as the batch wall time — the
+  /// latency a coalesced caller actually observed.
+  std::vector<Response> ExecuteBatch(const std::vector<Request>& requests) const;
+
   /// Queued submission through the bounded admission queue. When the queue
   /// is full, the engine is draining or stopped, or a deadlined request's
   /// estimated wait already exceeds its deadline (see
@@ -175,6 +160,10 @@ class QueryEngine {
     uint64_t shed = 0;           ///< requests refused with kUnavailable
     uint64_t deadline_shed = 0;  ///< subset of `shed`: deadline-aware rejects
     uint64_t executed = 0;       ///< requests evaluated (queued + direct)
+    uint64_t batches = 0;        ///< units of work evaluated (1 per Execute
+                                 ///< or ExecuteBatch call)
+    uint64_t coalesced = 0;      ///< requests that rode along in a batch of
+                                 ///< >= 2 (batch size minus one, summed)
     uint64_t reloads = 0;        ///< successful snapshot swaps
     uint64_t worker_stalls = 0;  ///< watchdog stall detections
   };
@@ -183,6 +172,13 @@ class QueryEngine {
   /// so the triple can never be observed mid-update (e.g. `executed` >
   /// `accepted` + direct calls).
   Stats stats() const;
+
+  /// Test hook: the batch-size EWMA currently dividing the admission wait
+  /// estimate (1.0 until a batch of >= 2 has been observed).
+  double admission_batch_estimate() const {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    return ewma_batch_size_;
+  }
 
  private:
   /// Snapshot + generation, published as one unit so they can never be
@@ -195,6 +191,9 @@ class QueryEngine {
   struct PendingRequest {
     Request request;
     std::promise<Response> promise;
+    /// Steady-clock ms at admission; lets a coalescing worker skip requests
+    /// whose deadline the queue wait has already burned.
+    int64_t admitted_ms = 0;
   };
 
   /// Per-worker heartbeat, read by the watchdog. Heap-allocated (one cache
@@ -235,8 +234,15 @@ class QueryEngine {
   mutable uint64_t shed_ = 0;
   mutable uint64_t deadline_shed_ = 0;
   mutable uint64_t executed_ = 0;
+  mutable uint64_t batches_ = 0;
+  mutable uint64_t coalesced_ = 0;
   mutable size_t busy_workers_ = 0;
+  /// Service time per *unit of work* (one Execute or one whole batch).
   mutable double ewma_service_us_ = 0.0;
+  /// Observed mean batch size; the admission estimate divides by it so a
+  /// coalescing engine does not over-shed (each unit retires ~this many
+  /// queue slots).
+  mutable double ewma_batch_size_ = 1.0;
 
   std::atomic<uint64_t> reloads_{0};
   std::atomic<uint64_t> worker_stalls_{0};

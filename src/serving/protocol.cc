@@ -17,16 +17,29 @@ namespace {
 
 // --- minimal flat-JSON reader -----------------------------------------------
 
-/// One parsed value. Arrays are homogeneous scalar arrays; anything nested
-/// is rejected by the parser.
+struct JsonField;
+
+/// One parsed value. Arrays are homogeneous scalar arrays — except for the
+/// one nesting level the batch envelope needs: an array of flat objects
+/// (`kObjects`), whose elements may not nest further. Anything deeper is
+/// rejected by the parser.
 struct JsonValue {
-  enum class Kind { kString, kNumber, kBool, kNull, kStrings, kNumbers };
+  enum class Kind {
+    kString,
+    kNumber,
+    kBool,
+    kNull,
+    kStrings,
+    kNumbers,
+    kObjects
+  };
   Kind kind = Kind::kNull;
   std::string str;
   double num = 0.0;
   bool boolean = false;
   std::vector<std::string> strings;
   std::vector<double> numbers;
+  std::vector<std::vector<JsonField>> objects;
 };
 
 struct JsonField {
@@ -35,8 +48,9 @@ struct JsonField {
 };
 
 /// Hand-rolled scanner for exactly the flat request shape: one object of
-/// string keys mapping to scalars or scalar arrays. Small enough to audit,
-/// and strict — unknown syntax fails parse instead of guessing.
+/// string keys mapping to scalars, scalar arrays, or (top level only) one
+/// array of flat objects. Small enough to audit, and strict — unknown
+/// syntax fails parse instead of guessing.
 class FlatJsonReader {
  public:
   explicit FlatJsonReader(std::string_view text) : text_(text) {}
@@ -44,27 +58,33 @@ class FlatJsonReader {
   culinary::Result<std::vector<JsonField>> Parse() {
     std::vector<JsonField> fields;
     SkipWs();
+    CULINARY_RETURN_IF_ERROR(
+        ParseObjectFields(&fields, /*allow_object_arrays=*/true));
+    return Finish(std::move(fields));
+  }
+
+ private:
+  culinary::Status ParseObjectFields(std::vector<JsonField>* fields,
+                                     bool allow_object_arrays) {
     if (!Consume('{')) return Fail("expected '{'");
     SkipWs();
-    if (Consume('}')) return Finish(std::move(fields));
+    if (Consume('}')) return culinary::Status::OK();
     for (;;) {
       JsonField field;
       CULINARY_RETURN_IF_ERROR(ParseString(&field.key));
       SkipWs();
       if (!Consume(':')) return Fail("expected ':'");
-      CULINARY_RETURN_IF_ERROR(ParseValue(&field.value));
-      fields.push_back(std::move(field));
+      CULINARY_RETURN_IF_ERROR(ParseValue(&field.value, allow_object_arrays));
+      fields->push_back(std::move(field));
       SkipWs();
       if (Consume(',')) {
         SkipWs();
         continue;
       }
-      if (Consume('}')) return Finish(std::move(fields));
+      if (Consume('}')) return culinary::Status::OK();
       return Fail("expected ',' or '}'");
     }
   }
-
- private:
   culinary::Result<std::vector<JsonField>> Finish(
       std::vector<JsonField> fields) {
     SkipWs();
@@ -182,7 +202,7 @@ class FlatJsonReader {
     return culinary::Status::OK();
   }
 
-  culinary::Status ParseValue(JsonValue* out) {
+  culinary::Status ParseValue(JsonValue* out, bool allow_object_arrays) {
     SkipWs();
     if (pos_ >= text_.size()) return Fail("expected value");
     const char c = text_[pos_];
@@ -190,7 +210,7 @@ class FlatJsonReader {
       out->kind = JsonValue::Kind::kString;
       return ParseString(&out->str);
     }
-    if (c == '[') return ParseArray(out);
+    if (c == '[') return ParseArray(out, allow_object_arrays);
     if (c == '{') return Fail("nested objects unsupported");
     if (ConsumeWord("true")) {
       out->kind = JsonValue::Kind::kBool;
@@ -210,14 +230,31 @@ class FlatJsonReader {
     return ParseNumber(&out->num);
   }
 
-  culinary::Status ParseArray(JsonValue* out) {
+  culinary::Status ParseArray(JsonValue* out, bool allow_object_arrays) {
     Consume('[');
     SkipWs();
     if (Consume(']')) {
       out->kind = JsonValue::Kind::kStrings;  // empty: either kind works
       return culinary::Status::OK();
     }
-    const bool strings = text_[pos_] == '"';
+    if (pos_ < text_.size() && text_[pos_] == '{') {
+      // The batch envelope's one nesting level: an array of flat objects,
+      // whose own values may not nest further.
+      if (!allow_object_arrays) return Fail("nested objects unsupported");
+      out->kind = JsonValue::Kind::kObjects;
+      for (;;) {
+        std::vector<JsonField> element;
+        SkipWs();
+        CULINARY_RETURN_IF_ERROR(
+            ParseObjectFields(&element, /*allow_object_arrays=*/false));
+        out->objects.push_back(std::move(element));
+        SkipWs();
+        if (Consume(',')) continue;
+        if (Consume(']')) return culinary::Status::OK();
+        return Fail("expected ',' or ']'");
+      }
+    }
+    const bool strings = pos_ < text_.size() && text_[pos_] == '"';
     out->kind =
         strings ? JsonValue::Kind::kStrings : JsonValue::Kind::kNumbers;
     for (;;) {
@@ -366,28 +403,32 @@ std::string EscapeJson(std::string_view text) {
   return out;
 }
 
-culinary::Result<WireRequest> ParseRequestLine(std::string_view line) {
-  FlatJsonReader reader(line);
-  auto parsed = reader.Parse();
-  if (!parsed.ok()) return parsed.status();
+namespace {
 
-  WireRequest wire;
+/// Applies the parsed fields of one (sub-)request object onto `wire`.
+/// `requests_out` receives the raw "requests" object array when non-null
+/// (top level); sub-requests pass null, so an unexpected object array there
+/// was already rejected by the parser. Unknown keys are ignored: the server
+/// stays forward-compatible with newer clients.
+culinary::Status ApplyRequestFields(
+    const std::vector<JsonField>& fields, WireRequest* wire,
+    const std::vector<std::vector<JsonField>>** requests_out) {
   bool saw_op = false;
-  for (const JsonField& field : parsed.value()) {
+  for (const JsonField& field : fields) {
     const JsonValue& value = field.value;
     if (field.key == "id" && value.kind == JsonValue::Kind::kString) {
-      wire.id = value.str;
+      wire->id = value.str;
     } else if (field.key == "op" && value.kind == JsonValue::Kind::kString) {
-      wire.op = value.str;
+      wire->op = value.str;
       saw_op = true;
     } else if (field.key == "ingredients" &&
                value.kind == JsonValue::Kind::kStrings) {
-      wire.request.ingredient_names = value.strings;
+      wire->request.ingredient_names = value.strings;
     } else if (field.key == "ids" &&
                (value.kind == JsonValue::Kind::kNumbers ||
                 value.kind == JsonValue::Kind::kStrings)) {
       for (const double d : value.numbers) {
-        wire.request.ingredient_ids.push_back(
+        wire->request.ingredient_ids.push_back(
             static_cast<flavor::IngredientId>(d));
       }
     } else if (field.key == "region" &&
@@ -398,39 +439,91 @@ culinary::Result<WireRequest> ParseRequestLine(std::string_view line) {
         return culinary::Status::InvalidArgument("unknown region code \"" +
                                                  value.str + "\"");
       }
-      wire.request.region = *region;
+      wire->request.region = *region;
     } else if (field.key == "k" && value.kind == JsonValue::Kind::kNumber) {
       if (value.num < 0) {
         return culinary::Status::InvalidArgument("k must be >= 0");
       }
-      wire.request.k = static_cast<size_t>(value.num);
+      wire->request.k = static_cast<size_t>(value.num);
     } else if (field.key == "deadline_ms" &&
                value.kind == JsonValue::Kind::kNumber) {
-      wire.request.deadline_ms = value.num;
+      wire->request.deadline_ms = value.num;
+    } else if (field.key == "requests" &&
+               value.kind == JsonValue::Kind::kObjects &&
+               requests_out != nullptr) {
+      *requests_out = &value.objects;
     }
-    // Unknown keys are ignored: the server stays forward-compatible with
-    // newer clients.
   }
   if (!saw_op) {
     return culinary::Status::InvalidArgument("request has no \"op\"");
   }
+  return culinary::Status::OK();
+}
 
-  if (wire.op == "ping") {
-    wire.request.endpoint = Endpoint::kPing;
-  } else if (wire.op == "score") {
-    wire.request.endpoint = Endpoint::kScore;
-  } else if (wire.op == "suggest") {
-    wire.request.endpoint = Endpoint::kSuggest;
-  } else if (wire.op == "fingerprint") {
-    wire.request.endpoint = Endpoint::kFingerprint;
-  } else if (wire.op == "similar") {
-    wire.request.endpoint = Endpoint::kSimilar;
-  } else if (wire.op == "reload" || wire.op == "shutdown" ||
-             wire.op == "health") {
-    wire.is_admin = true;
+/// Maps `wire->op` onto an endpoint / admin / batch classification.
+culinary::Status ResolveOp(WireRequest* wire) {
+  if (wire->op == "ping") {
+    wire->request.endpoint = Endpoint::kPing;
+  } else if (wire->op == "score") {
+    wire->request.endpoint = Endpoint::kScore;
+  } else if (wire->op == "suggest") {
+    wire->request.endpoint = Endpoint::kSuggest;
+  } else if (wire->op == "fingerprint") {
+    wire->request.endpoint = Endpoint::kFingerprint;
+  } else if (wire->op == "similar") {
+    wire->request.endpoint = Endpoint::kSimilar;
+  } else if (wire->op == "reload" || wire->op == "shutdown" ||
+             wire->op == "health") {
+    wire->is_admin = true;
+  } else if (wire->op == "batch") {
+    wire->is_batch = true;
   } else {
-    return culinary::Status::InvalidArgument("unknown op \"" + wire.op +
+    return culinary::Status::InvalidArgument("unknown op \"" + wire->op +
                                              "\"");
+  }
+  return culinary::Status::OK();
+}
+
+}  // namespace
+
+culinary::Result<WireRequest> ParseRequestLine(std::string_view line) {
+  FlatJsonReader reader(line);
+  auto parsed = reader.Parse();
+  if (!parsed.ok()) return parsed.status();
+
+  WireRequest wire;
+  const std::vector<std::vector<JsonField>>* sub_objects = nullptr;
+  CULINARY_RETURN_IF_ERROR(
+      ApplyRequestFields(parsed.value(), &wire, &sub_objects));
+  CULINARY_RETURN_IF_ERROR(ResolveOp(&wire));
+  if (!wire.is_batch) return wire;
+
+  // Assemble the batch envelope: every sub-object must resolve to a query
+  // op — admin inside a batch would let one queued line flip server state,
+  // and a nested batch has no parse (the reader rejects deeper nesting).
+  if (sub_objects == nullptr || sub_objects->empty()) {
+    return culinary::Status::InvalidArgument(
+        "batch needs a non-empty \"requests\" array");
+  }
+  if (sub_objects->size() > kMaxWireBatch) {
+    return culinary::Status::InvalidArgument(
+        "batch of " + std::to_string(sub_objects->size()) +
+        " exceeds the limit of " + std::to_string(kMaxWireBatch));
+  }
+  wire.batch.reserve(sub_objects->size());
+  for (const std::vector<JsonField>& fields : *sub_objects) {
+    WireRequest sub;
+    CULINARY_RETURN_IF_ERROR(ApplyRequestFields(fields, &sub, nullptr));
+    if (sub.op == "batch") {
+      return culinary::Status::InvalidArgument(
+          "nested batch inside a batch is unsupported");
+    }
+    CULINARY_RETURN_IF_ERROR(ResolveOp(&sub));
+    if (sub.is_admin) {
+      return culinary::Status::InvalidArgument(
+          "admin op \"" + sub.op + "\" is not allowed inside a batch");
+    }
+    wire.batch.push_back(std::move(sub));
   }
   return wire;
 }
@@ -458,6 +551,24 @@ std::string SerializeResponse(const std::string& id,
     AppendSimilar(os, *similar);
   }
   os << '}';
+  return os.str();
+}
+
+std::string SerializeBatchResponse(const std::string& id,
+                                   const std::vector<std::string>& sub_ids,
+                                   const std::vector<Response>& responses) {
+  std::ostringstream os;
+  os << "{\"id\":\"" << EscapeJson(id)
+     << "\",\"op\":\"batch\",\"ok\":true,\"count\":" << responses.size()
+     << ",\"responses\":[";
+  for (size_t i = 0; i < responses.size(); ++i) {
+    if (i > 0) os << ',';
+    // Each element is exactly the line a single call would have produced —
+    // what the batch-vs-sequential identity checks diff.
+    os << SerializeResponse(i < sub_ids.size() ? sub_ids[i] : std::string(),
+                            responses[i]);
+  }
+  os << "]}";
   return os.str();
 }
 

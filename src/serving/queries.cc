@@ -7,6 +7,7 @@
 #include "analysis/pairing.h"
 #include "analysis/similarity.h"
 #include "common/status.h"
+#include "flavor/bitset.h"
 #include "recipe/recipe.h"
 
 namespace culinary::serving {
@@ -53,35 +54,70 @@ culinary::Result<ScoreResult> ScoreResolved(
   return result;
 }
 
-culinary::Result<std::vector<Suggestion>> SuggestResolved(
-    const ServingSnapshot& snapshot, std::vector<flavor::IngredientId> ids,
-    size_t k, const QueryContext& context) {
+/// Resolved, canonicalized request set mapped into the cache's dense index
+/// space — the shared preamble of the single and batched suggest paths, so
+/// both reject the same inputs with the same statuses. Ingredients the
+/// corpus never used contribute no pairing information, mirroring how
+/// scoring excludes them from the normalization.
+culinary::Result<std::vector<int>> SuggestSetFor(
+    const analysis::PairingCache& cache, std::vector<flavor::IngredientId> ids,
+    const QueryContext& context) {
   CULINARY_RETURN_IF_ERROR(CheckStop(context.cancel, context.deadline));
   if (ids.empty()) {
     return culinary::Status::InvalidArgument(
         "no request ingredient resolved against the registry");
   }
   recipe::CanonicalizeIngredients(ids);
-  const analysis::PairingCache& cache = snapshot.world_cache();
-  const size_t n = cache.num_ingredients();
-
-  // Members of the request set that the world cache covers; ingredients the
-  // corpus never used contribute no pairing information, mirroring how
-  // scoring excludes them from the normalization.
   std::vector<int> set_dense;
-  std::vector<char> in_set(n, 0);
   set_dense.reserve(ids.size());
   for (flavor::IngredientId id : ids) {
     const int d = cache.DenseIndex(id);
-    if (d >= 0) {
-      set_dense.push_back(d);
-      in_set[static_cast<size_t>(d)] = 1;
-    }
+    if (d >= 0) set_dense.push_back(d);
   }
   if (set_dense.empty()) {
     return culinary::Status::InvalidArgument(
         "no request ingredient appears in the serving corpus");
   }
+  return set_dense;
+}
+
+/// Deterministic ranking under ties: descending gain, then ascending
+/// ingredient id. A strict total order over unique ids, so the top-K is a
+/// pure function of the snapshot — bit-identical across any number of
+/// serving threads, and identical whether selected by nth_element (single
+/// path) or a bounded heap (batched path).
+bool BetterSuggestion(const std::pair<double, flavor::IngredientId>& a,
+                      const std::pair<double, flavor::IngredientId>& b) {
+  if (a.first != b.first) return a.first > b.first;
+  return a.second < b.second;
+}
+
+/// Final (gain, id) → Suggestion materialization, shared by both paths.
+std::vector<Suggestion> MakeSuggestions(
+    const flavor::FlavorRegistry& registry,
+    const std::vector<std::pair<double, flavor::IngredientId>>& scored) {
+  std::vector<Suggestion> suggestions;
+  suggestions.reserve(scored.size());
+  for (const auto& [gain, id] : scored) {
+    Suggestion s;
+    s.id = id;
+    s.name = NameFor(registry, id);
+    s.gain = gain;
+    suggestions.push_back(std::move(s));
+  }
+  return suggestions;
+}
+
+culinary::Result<std::vector<Suggestion>> SuggestResolved(
+    const ServingSnapshot& snapshot, std::vector<flavor::IngredientId> ids,
+    size_t k, const QueryContext& context) {
+  const analysis::PairingCache& cache = snapshot.world_cache();
+  auto set = SuggestSetFor(cache, std::move(ids), context);
+  if (!set.ok()) return set.status();
+  const std::vector<int>& set_dense = set.value();
+  const size_t n = cache.num_ingredients();
+  std::vector<char> in_set(n, 0);
+  for (int d : set_dense) in_set[static_cast<size_t>(d)] = 1;
 
   const std::vector<uint16_t>& full = cache.shared_matrix();
   const double m = static_cast<double>(set_dense.size());
@@ -100,32 +136,13 @@ culinary::Result<std::vector<Suggestion>> SuggestResolved(
     scored.emplace_back(static_cast<double>(total) / m, cache.IdAt(c));
   }
 
-  // Deterministic under ties: descending gain, then ascending ingredient
-  // id. The comparator is a strict weak ordering over unique ids, so the
-  // top-K is a pure function of the snapshot — bit-identical across any
-  // number of serving threads.
-  auto better = [](const std::pair<double, flavor::IngredientId>& a,
-                   const std::pair<double, flavor::IngredientId>& b) {
-    if (a.first != b.first) return a.first > b.first;
-    return a.second < b.second;
-  };
   if (scored.size() > k) {
     std::nth_element(scored.begin(), scored.begin() + static_cast<long>(k),
-                     scored.end(), better);
+                     scored.end(), BetterSuggestion);
     scored.resize(k);
   }
-  std::sort(scored.begin(), scored.end(), better);
-
-  std::vector<Suggestion> suggestions;
-  suggestions.reserve(scored.size());
-  for (const auto& [gain, id] : scored) {
-    Suggestion s;
-    s.id = id;
-    s.name = NameFor(snapshot.registry(), id);
-    s.gain = gain;
-    suggestions.push_back(std::move(s));
-  }
-  return suggestions;
+  std::sort(scored.begin(), scored.end(), BetterSuggestion);
+  return MakeSuggestions(snapshot.registry(), scored);
 }
 
 /// Splits names into (resolved ids, unresolved names).
@@ -255,6 +272,249 @@ culinary::Result<SimilarResult> SimilarCuisines(const ServingSnapshot& snapshot,
             [](const auto& a, const auto& b) { return a.second > b.second; });
   if (result.neighbors.size() > k) result.neighbors.resize(k);
   return result;
+}
+
+// --- dispatch: single and batched -------------------------------------------
+
+const char* EndpointName(Endpoint endpoint) {
+  switch (endpoint) {
+    case Endpoint::kPing:
+      return "ping";
+    case Endpoint::kScore:
+      return "score";
+    case Endpoint::kSuggest:
+      return "suggest";
+    case Endpoint::kFingerprint:
+      return "fingerprint";
+    case Endpoint::kSimilar:
+      return "similar";
+  }
+  return "unknown";
+}
+
+QueryContext MakeContext(const Request& request) {
+  QueryContext context;
+  context.cancel = request.cancel;
+  if (request.deadline_ms >= 0) {
+    context.deadline = culinary::Deadline::After(request.deadline_ms);
+  }
+  return context;
+}
+
+Response EvaluateQuery(const ServingSnapshot& snapshot, const Request& request,
+                       const QueryContext& context) {
+  Response response;
+  response.endpoint = request.endpoint;
+  const bool by_name = !request.ingredient_names.empty();
+  switch (request.endpoint) {
+    case Endpoint::kPing:
+      response.status = culinary::Status::OK();
+      break;
+    case Endpoint::kScore: {
+      auto result =
+          by_name ? ScoreRecipe(snapshot, request.ingredient_names, context)
+                  : ScoreRecipeIds(snapshot, request.ingredient_ids, context);
+      if (result.ok()) {
+        response.payload = std::move(result).value();
+      } else {
+        response.status = result.status();
+      }
+      break;
+    }
+    case Endpoint::kSuggest: {
+      auto result =
+          by_name
+              ? SuggestPairings(snapshot, request.ingredient_names, request.k,
+                                context)
+              : SuggestPairingsIds(snapshot, request.ingredient_ids, request.k,
+                                   context);
+      if (result.ok()) {
+        response.payload = std::move(result).value();
+      } else {
+        response.status = result.status();
+      }
+      break;
+    }
+    case Endpoint::kFingerprint: {
+      auto result = Fingerprint(snapshot, request.region, request.k, context);
+      if (result.ok()) {
+        response.payload = std::move(result).value();
+      } else {
+        response.status = result.status();
+      }
+      break;
+    }
+    case Endpoint::kSimilar: {
+      auto result = SimilarCuisines(snapshot, request.region, request.k,
+                                    context);
+      if (result.ok()) {
+        response.payload = std::move(result).value();
+      } else {
+        response.status = result.status();
+      }
+      break;
+    }
+  }
+  return response;
+}
+
+namespace {
+
+/// Batch accumulators are uint32 and matrix entries uint16, so a request
+/// set of up to 2^15 members provably cannot overflow (2^15 · (2^16−1) <
+/// 2^31). A larger set — only reachable through pathological wire input —
+/// falls back to the single-request sweep, which accumulates in uint64.
+constexpr size_t kMaxSoaSetSize = size_t{1} << 15;
+
+/// One suggest request gathered for the SoA sweep.
+struct SuggestJob {
+  size_t index = 0;          ///< position in the batch (responses slot)
+  std::vector<int> set;      ///< dense request-set indices
+  flavor::CompoundBitset members;  ///< membership mask over dense space
+  size_t k = 0;
+  QueryContext context;
+  bool stoppable = false;
+  bool failed = false;
+  std::vector<uint32_t> acc;  ///< per-candidate gain numerator
+};
+
+/// The structure-of-arrays suggest kernel: one pass over the PairingCache
+/// for every gathered job.
+///
+/// Phase 1 exploits symmetry of the shared-compound matrix — the gain
+/// numerator of candidate c for set S is Σ_{s∈S} M[c][s] = Σ_{s∈S} M[s][c] —
+/// to turn the single path's strided column gathers into sequential row
+/// streams: each *distinct* set-member row across the whole batch is walked
+/// once (jobs sorted per row, so a row shared by several requests stays
+/// cache-hot), added into each requesting job's accumulator. Integer
+/// addition is order-insensitive, so the numerators match the single path
+/// exactly. Phase 2 ranks candidates per job through a bounded top-K heap
+/// under the same comparator the single path sorts with.
+void SuggestSweep(const ServingSnapshot& snapshot,
+                  std::vector<SuggestJob>& jobs,
+                  std::vector<Response>& responses) {
+  const analysis::PairingCache& cache = snapshot.world_cache();
+  const size_t n = cache.num_ingredients();
+  const std::vector<uint16_t>& full = cache.shared_matrix();
+
+  // Phase 1: accumulate, grouped by matrix row.
+  std::vector<std::pair<int, size_t>> row_users;  // (dense row, job index)
+  for (size_t j = 0; j < jobs.size(); ++j) {
+    for (int s : jobs[j].set) row_users.emplace_back(s, j);
+  }
+  std::sort(row_users.begin(), row_users.end());
+  for (const auto& [s, j] : row_users) {
+    SuggestJob& job = jobs[j];
+    if (job.failed) continue;
+    if (job.stoppable) {
+      const culinary::Status stop =
+          CheckStop(job.context.cancel, job.context.deadline);
+      if (!stop.ok()) {
+        responses[job.index].status = stop;
+        job.failed = true;
+        continue;
+      }
+    }
+    const uint16_t* row = full.data() + static_cast<size_t>(s) * n;
+    uint32_t* acc = job.acc.data();
+    for (size_t c = 0; c < n; ++c) acc[c] += row[c];
+  }
+
+  // Phase 2: bounded top-K selection per job.
+  std::vector<std::pair<double, flavor::IngredientId>> kept;
+  for (SuggestJob& job : jobs) {
+    if (job.failed) continue;
+    const double m = static_cast<double>(job.set.size());
+    const size_t k = job.k;
+    kept.clear();
+    // k is wire-controlled; the heap can never hold more than the n
+    // candidates, so clamp before reserving or an absurd k would throw
+    // length_error in the worker thread.
+    kept.reserve(std::min(k, n) + 1);
+    bool stopped = false;
+    for (size_t c = 0; c < n; ++c) {
+      if (job.stoppable && c % kStopCheckStride == 0) {
+        const culinary::Status stop =
+            CheckStop(job.context.cancel, job.context.deadline);
+        if (!stop.ok()) {
+          responses[job.index].status = stop;
+          stopped = true;
+          break;
+        }
+      }
+      if (job.members.Test(static_cast<flavor::MoleculeId>(c))) continue;
+      const std::pair<double, flavor::IngredientId> candidate(
+          static_cast<double>(job.acc[c]) / m, cache.IdAt(c));
+      // The heap is ordered by BetterSuggestion, so its front is the worst
+      // element kept; a candidate beating it displaces it. Over a strict
+      // total order this keeps exactly the k best — the same k elements
+      // nth_element selects in the single path.
+      if (kept.size() < k) {
+        kept.push_back(candidate);
+        std::push_heap(kept.begin(), kept.end(), BetterSuggestion);
+      } else if (k > 0 && BetterSuggestion(candidate, kept.front())) {
+        std::pop_heap(kept.begin(), kept.end(), BetterSuggestion);
+        kept.back() = candidate;
+        std::push_heap(kept.begin(), kept.end(), BetterSuggestion);
+      }
+    }
+    if (stopped) continue;
+    std::sort(kept.begin(), kept.end(), BetterSuggestion);
+    responses[job.index].payload = MakeSuggestions(snapshot.registry(), kept);
+  }
+}
+
+}  // namespace
+
+std::vector<Response> EvaluateBatch(const ServingSnapshot& snapshot,
+                                    const std::vector<Request>& requests) {
+  std::vector<Response> responses(requests.size());
+  const analysis::PairingCache& cache = snapshot.world_cache();
+  const size_t n = cache.num_ingredients();
+
+  // Gather suggest requests into SoA jobs; everything else is a cheap point
+  // read dispatched per element.
+  std::vector<SuggestJob> jobs;
+  for (size_t i = 0; i < requests.size(); ++i) {
+    const Request& request = requests[i];
+    const QueryContext context = MakeContext(request);
+    if (request.endpoint != Endpoint::kSuggest) {
+      responses[i] = EvaluateQuery(snapshot, request, context);
+      continue;
+    }
+    responses[i].endpoint = Endpoint::kSuggest;
+    std::vector<flavor::IngredientId> ids;
+    std::vector<std::string> unresolved;
+    if (!request.ingredient_names.empty()) {
+      ResolveNames(snapshot.registry(), request.ingredient_names, &ids,
+                   &unresolved);
+    } else {
+      ResolveIds(snapshot.registry(), request.ingredient_ids, &ids,
+                 &unresolved);
+    }
+    auto set = SuggestSetFor(cache, std::move(ids), context);
+    if (!set.ok()) {
+      responses[i].status = set.status();
+      continue;
+    }
+    if (set.value().size() > kMaxSoaSetSize) {
+      responses[i] = EvaluateQuery(snapshot, request, context);
+      continue;
+    }
+    SuggestJob job;
+    job.index = i;
+    job.set = std::move(set).value();
+    job.members = flavor::CompoundBitset(n);
+    for (int d : job.set) job.members.Set(static_cast<flavor::MoleculeId>(d));
+    job.k = request.k;
+    job.context = context;
+    job.stoppable =
+        context.cancel.cancellable() || context.deadline.has_deadline();
+    job.acc.assign(n, 0);
+    jobs.push_back(std::move(job));
+  }
+  if (!jobs.empty()) SuggestSweep(snapshot, jobs, responses);
+  return responses;
 }
 
 }  // namespace culinary::serving

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <string>
 #include <utility>
+#include <variant>
 #include <vector>
 
 #include "analysis/null_models.h"
@@ -29,6 +30,40 @@ namespace culinary::serving {
 struct QueryContext {
   culinary::CancellationToken cancel{};
   culinary::Deadline deadline{};
+};
+
+// --- request / response types -----------------------------------------------
+// (These live here rather than in engine.h so the batch evaluator below can
+// speak the same vocabulary without a circular include; the engine re-exports
+// them by including this header.)
+
+/// The five point-query endpoints the engine serves.
+enum class Endpoint {
+  kPing = 0,     ///< liveness + current snapshot generation
+  kScore,        ///< N_s + classification of an ingredient set
+  kSuggest,      ///< top-K pairing partners for an ingredient set
+  kFingerprint,  ///< one cuisine's culinary fingerprint
+  kSimilar,      ///< nearest cuisines to one region
+};
+
+/// Stable lower-case wire/metric name of an endpoint ("score", ...).
+const char* EndpointName(Endpoint endpoint);
+
+/// One point query. `ingredient_names` wins when non-empty; otherwise
+/// `ingredient_ids` is used (score/suggest only). `k` is the result budget
+/// for suggest/similar and the top-ingredient count for fingerprint.
+struct Request {
+  Endpoint endpoint = Endpoint::kPing;
+  std::vector<std::string> ingredient_names;
+  std::vector<flavor::IngredientId> ingredient_ids;
+  recipe::Region region = recipe::Region::kWorld;
+  size_t k = 10;
+  /// Per-request latency budget in milliseconds; negative = unbounded. The
+  /// budget is evaluation-relative: the clock starts when evaluation starts
+  /// (single or batched), not at submission.
+  double deadline_ms = -1.0;
+  /// Optional caller-side cancellation; a default token never cancels.
+  culinary::CancellationToken cancel;
 };
 
 // --- score ------------------------------------------------------------------
@@ -123,6 +158,51 @@ struct SimilarResult {
 culinary::Result<SimilarResult> SimilarCuisines(
     const ServingSnapshot& snapshot, recipe::Region region, size_t k,
     const QueryContext& context = {});
+
+// --- dispatch: single and batched -------------------------------------------
+
+using Payload = std::variant<std::monostate, ScoreResult,
+                             std::vector<Suggestion>, FingerprintResult,
+                             SimilarResult>;
+
+struct Response {
+  culinary::Status status;
+  Endpoint endpoint = Endpoint::kPing;
+  /// Generation of the snapshot that answered (1 = the snapshot the engine
+  /// started with; bumped by every successful `Reload`). Filled by the
+  /// engine; the pure evaluators below leave it 0.
+  uint64_t generation = 0;
+  Payload payload;
+};
+
+/// The lifecycle context for one request: the deadline clock starts now —
+/// evaluation start — not at submission (queue wait is governed by the
+/// deadline-aware admission estimate instead).
+QueryContext MakeContext(const Request& request);
+
+/// Evaluates one request against `snapshot`: the endpoint dispatch shared by
+/// `QueryEngine::Execute` and the batch path. Pure; `generation` is left 0.
+Response EvaluateQuery(const ServingSnapshot& snapshot, const Request& request,
+                       const QueryContext& context);
+
+/// Batched evaluation: answers every request against the one `snapshot`,
+/// in request order.
+///
+/// Non-suggest endpoints dispatch through `EvaluateQuery` per element (they
+/// are cheap point reads). Suggest requests — the candidate sweeps — are
+/// instead gathered into a structure-of-arrays kernel that walks the
+/// PairingCache triangle once for the whole batch: per-request ingredient
+/// sets are resolved up front (dense indices + a `flavor::CompoundBitset`
+/// membership mask each), the distinct set-member rows of the shared-compound
+/// matrix are streamed sequentially into per-request gain accumulators
+/// (deduplicated across requests, so a row shared by B requests is read from
+/// memory once), and a final pass per request pushes candidates into a
+/// bounded top-K heap under the same (gain desc, id asc) comparator the
+/// single-request path sorts with. Gains are integer sums divided by the
+/// same set size, and the comparator is a strict total order over unique
+/// ids, so every response is bit-identical to its `EvaluateQuery` answer.
+std::vector<Response> EvaluateBatch(const ServingSnapshot& snapshot,
+                                    const std::vector<Request>& requests);
 
 }  // namespace culinary::serving
 

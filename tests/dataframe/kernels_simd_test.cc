@@ -1,0 +1,122 @@
+// Equality property tests for the AVX2 dictionary-code mask kernel.
+//
+// The contract under test: CompareCodeEqAvx2 (when the build carries it and
+// the CPU supports it) produces mask words identical to the scalar
+// reference, including the sub-word tail (bits past `end` zeroed) and the
+// Ne flip — and the public CompareCodeEq dispatcher always matches scalar
+// no matter which path it picked. On machines without AVX2 the AVX2 entry
+// must decline (return false) and leave the output untouched, so the same
+// binary stays correct everywhere.
+
+#include "dataframe/kernels.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+
+namespace culinary::df::kernels {
+namespace {
+
+constexpr uint64_t kGarbage = 0xDEADBEEFDEADBEEFull;
+
+std::vector<uint64_t> GarbageMask(size_t rows) {
+  return std::vector<uint64_t>((rows + 63) / 64, kGarbage);
+}
+
+/// Random codes in [-1, kCardinality): -1 is the null sentinel the
+/// dictionary column stores for null rows, so it is a first-class input.
+std::vector<int32_t> RandomCodes(size_t rows, uint64_t seed) {
+  constexpr uint64_t kCardinality = 5;
+  culinary::Rng rng(seed);
+  std::vector<int32_t> codes(rows);
+  for (size_t i = 0; i < rows; ++i) {
+    codes[i] = static_cast<int32_t>(rng.NextBounded(kCardinality + 1)) - 1;
+  }
+  return codes;
+}
+
+/// The property: for every (size, code, negate), the dispatcher and — when
+/// the CPU has it — the AVX2 kernel agree with scalar word for word.
+void CheckAllPathsAgree(const std::vector<int32_t>& codes, int32_t code,
+                        bool negate) {
+  const size_t rows = codes.size();
+  std::vector<uint64_t> scalar = GarbageMask(rows);
+  CompareCodeEqScalar(codes.data(), code, negate, 0, rows, scalar.data());
+
+  std::vector<uint64_t> dispatched = GarbageMask(rows);
+  CompareCodeEq(codes.data(), code, negate, 0, rows, dispatched.data());
+  EXPECT_EQ(dispatched, scalar) << "dispatch diverged at rows=" << rows
+                                << " code=" << code << " negate=" << negate;
+
+  std::vector<uint64_t> avx = GarbageMask(rows);
+  if (CompareCodeEqAvx2(codes.data(), code, negate, 0, rows, avx.data())) {
+    EXPECT_EQ(avx, scalar) << "avx2 diverged at rows=" << rows
+                           << " code=" << code << " negate=" << negate;
+  } else {
+    // Declined: every word must still hold its garbage (no partial write).
+    for (uint64_t w : avx) EXPECT_EQ(w, kGarbage);
+  }
+
+  // Tail hygiene: bits at positions >= rows in the last word must be zero,
+  // even for Ne (whose full-word flip would set them if unmasked).
+  if ((rows & 63) != 0 && !scalar.empty()) {
+    const uint64_t past_end = scalar.back() >> (rows & 63);
+    EXPECT_EQ(past_end, 0u) << "rows=" << rows << " negate=" << negate;
+  }
+}
+
+TEST(CompareCodeEqSimdTest, WordBoundarySizes) {
+  // 63/64/65 straddle the one-word boundary where the AVX2 full-word loop
+  // hands over to the scalar tail; the larger sizes cross block multiples.
+  for (const size_t rows : {size_t{1}, size_t{7}, size_t{63}, size_t{64},
+                            size_t{65}, size_t{128}, size_t{1000},
+                            size_t{4096}, size_t{4161}}) {
+    const std::vector<int32_t> codes = RandomCodes(rows, /*seed=*/rows + 1);
+    for (const int32_t code : {-1, 0, 2, 99}) {
+      CheckAllPathsAgree(codes, code, /*negate=*/false);
+      CheckAllPathsAgree(codes, code, /*negate=*/true);
+    }
+  }
+}
+
+TEST(CompareCodeEqSimdTest, AllNullBlocks) {
+  // A fully-null run (every code -1): Eq against -1 selects everything,
+  // Eq against a real code selects nothing, and Ne inverts both exactly.
+  for (const size_t rows : {size_t{63}, size_t{64}, size_t{65}, size_t{640}}) {
+    const std::vector<int32_t> codes(rows, -1);
+    for (const int32_t code : {-1, 0, 3}) {
+      CheckAllPathsAgree(codes, code, /*negate=*/false);
+      CheckAllPathsAgree(codes, code, /*negate=*/true);
+    }
+    // Spot-check the absolute values, not just scalar agreement.
+    std::vector<uint64_t> mask = GarbageMask(rows);
+    CompareCodeEq(codes.data(), -1, /*negate=*/false, 0, rows, mask.data());
+    size_t set_bits = 0;
+    for (uint64_t w : mask) set_bits += static_cast<size_t>(__builtin_popcountll(w));
+    EXPECT_EQ(set_bits, rows);
+    CompareCodeEq(codes.data(), 7, /*negate=*/false, 0, rows, mask.data());
+    for (uint64_t w : mask) EXPECT_EQ(w, 0u);
+  }
+}
+
+TEST(CompareCodeEqSimdTest, NonZeroBeginBlock) {
+  // Kernels are handed block-aligned sub-ranges by the parallel evaluator;
+  // begin=64 must index rows (and mask words) from the same origin.
+  const size_t rows = 200;
+  const std::vector<int32_t> codes = RandomCodes(rows, /*seed=*/42);
+  std::vector<uint64_t> scalar = GarbageMask(rows);
+  std::vector<uint64_t> dispatched = GarbageMask(rows);
+  CompareCodeEqScalar(codes.data(), 1, /*negate=*/true, 64, rows,
+                      scalar.data());
+  CompareCodeEq(codes.data(), 1, /*negate=*/true, 64, rows,
+                dispatched.data());
+  // Word 0 covers rows [0, 64) — outside the range, so both leave garbage.
+  EXPECT_EQ(dispatched[0], kGarbage);
+  EXPECT_EQ(dispatched, scalar);
+}
+
+}  // namespace
+}  // namespace culinary::df::kernels

@@ -209,6 +209,70 @@ TEST(OverloadTest, QueueFullShedRacingStopResolvesEveryFuture) {
   }
 }
 
+// Tentpole satellite: the admission estimate divides by the observed batch
+// size. Two engines with the same 100 ms per-unit service estimate and the
+// same 50 ms deadline — the one primed with a batch-size estimate of 10
+// expects ~10 ms of queue wait per request and admits, the batch-naive one
+// expects 100 ms and sheds at the door. Same math as
+// DeadlineAwareShedWhenEstimatedWaitExceedsDeadline, third factor pinned.
+TEST(OverloadTest, BatchEstimateScalesAdmissionWaitEstimate) {
+  QueryEngineOptions options;
+  options.num_threads = 1;
+  options.initial_service_estimate_us = 100000.0;
+  options.initial_batch_size_estimate = 10.0;
+  QueryEngine batch_aware(BuildSmall(), options);
+  // The seed is pinned verbatim until a real unit of work is observed.
+  EXPECT_DOUBLE_EQ(batch_aware.admission_batch_estimate(), 10.0);
+  Response admitted = batch_aware.Submit(Ping(/*deadline_ms=*/50.0)).get();
+  EXPECT_TRUE(admitted.status.ok()) << admitted.status.ToString();
+  EXPECT_EQ(batch_aware.stats().deadline_shed, 0u);
+  batch_aware.Stop();
+
+  options.initial_batch_size_estimate = 1.0;
+  QueryEngine batch_naive(BuildSmall(), options);
+  Response shed = batch_naive.Submit(Ping(/*deadline_ms=*/50.0)).get();
+  EXPECT_TRUE(shed.status.IsUnavailable()) << shed.status.ToString();
+  EXPECT_EQ(batch_naive.stats().deadline_shed, 1u);
+  batch_naive.Stop();
+}
+
+// Tentpole: a worker that finds a same-endpoint run waiting coalesces it
+// into one unit of work, and the batch-size EWMA learns the coalescing
+// factor from what actually happened. One worker is pinned inside a slow
+// first request; seven pings pile up behind it and must retire as (at most
+// two) coalesced batches, moving `coalesced` by at least 6 and pulling the
+// admission batch estimate above its pessimistic seed of 1.
+TEST(OverloadTest, WorkersCoalesceQueuedRunsAndLearnBatchSize) {
+  QueryEngineOptions options;
+  options.num_threads = 1;
+  options.batch_max = 8;
+  QueryEngine engine(BuildSmall(), options);
+
+  std::vector<std::future<Response>> futures;
+  {
+    ScopedFault fault(robustness::kFaultServingExecute,
+                      FaultInjector::Plan::DelayMs(200.0));
+    futures.push_back(engine.Submit(Ping()));
+    // Give the worker time to pick the first request up alone, so the rest
+    // genuinely queue behind a busy worker instead of racing admission.
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    for (int i = 0; i < 7; ++i) futures.push_back(engine.Submit(Ping()));
+  }
+  for (auto& f : futures) {
+    EXPECT_TRUE(f.get().status.ok());
+  }
+
+  const QueryEngine::Stats stats = engine.stats();
+  EXPECT_EQ(stats.executed, 8u);
+  // However the pickup raced, 8 same-endpoint requests through a briefly
+  // blocked single worker retire in at most 3 units given batch_max=8 —
+  // at least 6 of them rode along coalesced.
+  EXPECT_GE(stats.coalesced, 6u);
+  EXPECT_LE(stats.batches, 3u);
+  EXPECT_GT(engine.admission_batch_estimate(), 1.0);
+  engine.Stop();
+}
+
 TEST(OverloadTest, DrainClosesAdmissionButDirectExecutionContinues) {
   QueryEngine engine(BuildSmall(), QueryEngineOptions{.num_threads = 1});
   EXPECT_EQ(engine.health(), HealthState::kServing);

@@ -124,6 +124,14 @@ TEST(ProtocolTest, RejectsMalformedLines) {
   EXPECT_TRUE(ParseRequestLine(R"({"op":"score","matrix":[[1]]})")
                   .status()
                   .IsParseError());
+  // Lines truncated right after '[' must fail cleanly, not read past the
+  // buffer probing for the array's element kind.
+  EXPECT_TRUE(ParseRequestLine(R"({"id":"b","op":"batch","requests":[)")
+                  .status()
+                  .IsParseError());
+  EXPECT_TRUE(ParseRequestLine(R"({"op":"score","ids":[)")
+                  .status()
+                  .IsParseError());
 }
 
 TEST(ProtocolTest, RejectsUnknownOpAndRegion) {

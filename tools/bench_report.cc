@@ -63,8 +63,21 @@
 // overload burst through a tiny admission queue reported as "shed_rate".
 // --serving --check=FILE gates qps_t16 — throughput, so the 20% rule
 // inverts: the run fails when QPS drops below baseline/1.2. qps_degraded
-// is gated the same way, but only when the baseline already carries it
-// (older baselines stay comparable).
+// and qps_suggest_batched are gated the same way, but only when the
+// baseline already carries them (older baselines stay comparable).
+//
+// The serving report also carries a "batched" section: a suggest-only
+// workload replayed twice by 16 client threads over identical contiguous
+// chunks — once as per-request Execute calls, once as one ExecuteBatch
+// call per chunk (the shared-snapshot SoA sweep). Both transcripts must be
+// byte-identical; the section records both throughputs and the speedup.
+//
+// --strict-baseline hardens --check for CI smoke use: a baseline that is
+// unreadable, truncated, or missing an expected key fails the run (exit 1)
+// instead of skipping, so schema drift in the committed BENCH file is
+// caught by a cheap tier-1 run. Environment mismatches (different
+// hardware or world size) still skip the numeric gates — only the shape
+// of the baseline is enforced, never numbers measured elsewhere.
 
 #include <algorithm>
 #include <chrono>
@@ -119,6 +132,7 @@ struct Args {
   size_t requests = 0;  // serving mode: request count (0 = per-world default)
   std::string out_path;  // defaulted per mode after parsing
   std::string check_path;  // non-empty → regression-check mode
+  bool strict_baseline = false;  // --check: schema problems fail instead of skip
 };
 
 Args ParseArgs(int argc, char** argv) {
@@ -147,6 +161,8 @@ Args ParseArgs(int argc, char** argv) {
       args.out_path = a.substr(strlen("--out="));
     } else if (culinary::StartsWith(a, "--check=")) {
       args.check_path = a.substr(strlen("--check="));
+    } else if (a == "--strict-baseline") {
+      args.strict_baseline = true;
     }
   }
   args.reps = std::max<size_t>(args.reps, 1);
@@ -976,9 +992,12 @@ int RunDataframeBenchmark(const Args& args) {
 /// Serving-mode twin of CheckAgainstBaseline. Gates sustained throughput at
 /// 16 client threads — lower is worse here, so the 20% rule inverts: fail
 /// when measured QPS drops below baseline/1.2. Same incomparable-baseline
-/// skip rules as the other modes.
+/// skip rules as the other modes, except under --strict-baseline, where a
+/// malformed baseline (unreadable / truncated / missing an expected key)
+/// fails the run: the tier-1 smoke leans on that to catch schema drift in
+/// the committed BENCH file without comparing numbers across machines.
 int CheckServingBaseline(const Args& args, bool small, double qps_t16,
-                         double qps_degraded) {
+                         double qps_degraded, double qps_suggest_batched) {
   auto no_baseline = [&](const char* why) {
     std::fprintf(stderr,
                  "[bench_report] no comparable baseline (%s: %s); skipping "
@@ -986,18 +1005,41 @@ int CheckServingBaseline(const Args& args, bool small, double qps_t16,
                  why, args.check_path.c_str());
     return 0;
   };
+  // Schema problems: skippable normally, fatal under --strict-baseline.
+  auto bad_baseline = [&](const char* why) {
+    if (!args.strict_baseline) return no_baseline(why);
+    std::fprintf(stderr,
+                 "[bench_report] FAIL: baseline %s: %s (--strict-baseline)\n",
+                 why, args.check_path.c_str());
+    return 1;
+  };
   std::ifstream in(args.check_path);
-  if (!in) return no_baseline("cannot read");
+  if (!in) return bad_baseline("cannot read");
   std::stringstream buf;
   buf << in.rdbuf();
   const std::string baseline = buf.str();
   if (baseline.find('}') == std::string::npos) {
-    return no_baseline("truncated or empty");
+    return bad_baseline("truncated or empty");
   }
   double baseline_qps = 0;
   if (!ExtractJsonNumber(baseline, "qps_t16", &baseline_qps) ||
       baseline_qps <= 0) {
-    return no_baseline("lacks qps_t16");
+    return bad_baseline("lacks qps_t16");
+  }
+  if (args.strict_baseline) {
+    // The full schema the current emitter writes; an older or hand-edited
+    // baseline missing these must be regenerated, not silently skipped.
+    double probe = 0;
+    for (const char* key : {"qps_degraded", "qps_suggest_batched",
+                            "shed_rate", "snapshot_build_ms"}) {
+      if (!ExtractJsonNumber(baseline, key, &probe)) {
+        std::fprintf(stderr,
+                     "[bench_report] FAIL: baseline lacks \"%s\": %s "
+                     "(--strict-baseline)\n",
+                     key, args.check_path.c_str());
+        return 1;
+      }
+    }
   }
   double baseline_hw = 0;
   if (ExtractJsonNumber(baseline, "hardware_concurrency", &baseline_hw) &&
@@ -1040,6 +1082,25 @@ int CheckServingBaseline(const Args& args, bool small, double qps_t16,
                  "[bench_report] degraded-mode throughput OK: %.0f qps vs "
                  "baseline %.0f qps\n",
                  qps_degraded, baseline_degraded);
+  }
+  // Batched-suggest throughput: gated like qps_degraded — only when the
+  // baseline already records it, so pre-batching baselines stay comparable.
+  double baseline_batched = 0;
+  if (qps_suggest_batched > 0 &&
+      ExtractJsonNumber(baseline, "qps_suggest_batched", &baseline_batched) &&
+      baseline_batched > 0) {
+    if (qps_suggest_batched < baseline_batched / 1.2) {
+      std::fprintf(stderr,
+                   "[bench_report] FAIL: batched-suggest throughput "
+                   "regressed: %.0f qps vs baseline %.0f qps (>20%% "
+                   "slower)\n",
+                   qps_suggest_batched, baseline_batched);
+      return 1;
+    }
+    std::fprintf(stderr,
+                 "[bench_report] batched-suggest throughput OK: %.0f qps vs "
+                 "baseline %.0f qps\n",
+                 qps_suggest_batched, baseline_batched);
   }
   return 0;
 }
@@ -1252,6 +1313,76 @@ int RunServingBenchmark(const Args& args) {
     overload_engine.Stop();
   }
 
+  // Batched-suggest sweep: the same suggest-only workload replayed twice by
+  // 16 client threads over identical contiguous chunks — once as per-request
+  // Execute calls (one snapshot pin and one triangle sweep per request),
+  // once as one ExecuteBatch call per chunk (one pin per chunk, one SoA
+  // sweep whose sorted row streams stay cache-hot across the chunk's
+  // requests). Work assignment, ordering, and thread structure are
+  // identical, so the only variable is the batching itself; the transcripts
+  // must be byte-identical (the ExecuteBatch determinism contract).
+  std::fprintf(stderr, "[bench_report] serving: batched-suggest sweep...\n");
+  std::vector<serving::Request> suggests;
+  suggests.reserve(requests.size());
+  Rng suggest_rng(7);
+  for (size_t i = 0; i < requests.size(); ++i) {
+    serving::Request request;
+    request.endpoint = serving::Endpoint::kSuggest;
+    request.ingredient_ids =
+        recipes[suggest_rng.NextBounded(recipes.size())].ingredients;
+    request.k = 5;
+    suggests.push_back(std::move(request));
+  }
+  constexpr size_t kBatchClients = 16;
+  constexpr size_t kBatchChunk = 16;
+  auto run_suggest_sweep = [&](bool batched) {
+    ServingSweep sweep;
+    sweep.transcript.assign(suggests.size(), {});
+    const size_t num_chunks =
+        (suggests.size() + kBatchChunk - 1) / kBatchChunk;
+    auto worker = [&](size_t t) {
+      for (size_t chunk = t; chunk < num_chunks; chunk += kBatchClients) {
+        const size_t begin = chunk * kBatchChunk;
+        const size_t end = std::min(begin + kBatchChunk, suggests.size());
+        if (batched) {
+          const std::vector<serving::Request> unit(
+              suggests.begin() + static_cast<ptrdiff_t>(begin),
+              suggests.begin() + static_cast<ptrdiff_t>(end));
+          const std::vector<serving::Response> responses =
+              engine.ExecuteBatch(unit);
+          for (size_t i = begin; i < end; ++i) {
+            sweep.transcript[i] = serving::SerializeResponse(
+                std::to_string(i), responses[i - begin]);
+          }
+        } else {
+          for (size_t i = begin; i < end; ++i) {
+            sweep.transcript[i] = serving::SerializeResponse(
+                std::to_string(i), engine.Execute(suggests[i]));
+          }
+        }
+      }
+    };
+    const auto wall0 = std::chrono::steady_clock::now();
+    std::vector<std::thread> clients;
+    clients.reserve(kBatchClients);
+    for (size_t t = 0; t < kBatchClients; ++t) clients.emplace_back(worker, t);
+    for (std::thread& c : clients) c.join();
+    sweep.wall_ms = std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - wall0)
+                        .count();
+    sweep.qps = sweep.wall_ms > 0
+                    ? static_cast<double>(suggests.size()) * 1e3 / sweep.wall_ms
+                    : 0;
+    return sweep;
+  };
+  const ServingSweep suggest_unbatched = run_suggest_sweep(/*batched=*/false);
+  const ServingSweep suggest_batched = run_suggest_sweep(/*batched=*/true);
+  const bool batched_identical =
+      suggest_batched.transcript == suggest_unbatched.transcript;
+  const double batched_speedup =
+      suggest_unbatched.qps > 0 ? suggest_batched.qps / suggest_unbatched.qps
+                                : 0.0;
+
   std::ostringstream json;
   json.setf(std::ios::fixed);
   json.precision(3);
@@ -1294,6 +1425,18 @@ int RunServingBenchmark(const Args& args) {
        << "    \"deadline_shed\": " << overload_deadline_shed << ",\n"
        << "    \"shed_rate\": " << shed_rate << "\n"
        << "  },\n"
+       << "  \"batched\": {\n"
+       << "    \"clients\": " << kBatchClients << ",\n"
+       << "    \"batch_size\": " << kBatchChunk << ",\n"
+       << "    \"requests\": " << suggests.size() << ",\n"
+       << "    \"unbatched_wall_ms\": " << suggest_unbatched.wall_ms << ",\n"
+       << "    \"qps_suggest_unbatched\": " << suggest_unbatched.qps << ",\n"
+       << "    \"batched_wall_ms\": " << suggest_batched.wall_ms << ",\n"
+       << "    \"qps_suggest_batched\": " << suggest_batched.qps << ",\n"
+       << "    \"batched_speedup\": " << batched_speedup << ",\n"
+       << "    \"bit_identical_to_unbatched\": "
+       << (batched_identical ? "true" : "false") << "\n"
+       << "  },\n"
        << "  \"bit_identical\": " << (bit_identical ? "true" : "false")
        << "\n"
        << "}\n";
@@ -1314,9 +1457,15 @@ int RunServingBenchmark(const Args& args) {
                  recovered ? 1 : 0);
     return 1;
   }
+  if (!batched_identical) {
+    std::fprintf(stderr,
+                 "[bench_report] FAIL: batched suggest responses differ from "
+                 "per-request execution\n");
+    return 1;
+  }
   if (!args.check_path.empty()) {
     return CheckServingBaseline(args, args.small, sweeps.back().qps,
-                                degraded_sweep.qps);
+                                degraded_sweep.qps, suggest_batched.qps);
   }
   std::ofstream out(args.out_path);
   if (!out) {

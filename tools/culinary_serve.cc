@@ -22,6 +22,9 @@
 //   --threads=N        worker threads draining the admission queue (4)
 //   --queue-cap=N      admission-queue bound; overflow is shed with
 //                      Unavailable rather than queued without limit (256)
+//   --batch-max=N      opportunistic coalescing bound: a worker drains up
+//                      to N same-endpoint waiting requests into one
+//                      shared-snapshot sweep (16; 1 disables)
 //   --null-recipes=N   precompute per-cuisine null-model baselines with N
 //                      randomized recipes each (0 = skip; fast startup)
 //
@@ -105,6 +108,7 @@ struct ServeArgs {
   std::string snapshot_in;
   size_t threads = 4;
   size_t queue_cap = 256;
+  size_t batch_max = 16;
   size_t null_recipes = 0;
   int reload_retries = 3;
   int breaker_threshold = 3;
@@ -156,6 +160,9 @@ ServeArgs ParseArgs(int argc, char** argv) {
     } else if (key == "--queue-cap") {
       if (!ParseUint64Value(value, &number)) args.usage_error = true;
       args.queue_cap = static_cast<size_t>(number);
+    } else if (key == "--batch-max") {
+      if (!ParseUint64Value(value, &number)) args.usage_error = true;
+      args.batch_max = static_cast<size_t>(number);
     } else if (key == "--null-recipes") {
       if (!ParseUint64Value(value, &number)) args.usage_error = true;
       args.null_recipes = static_cast<size_t>(number);
@@ -230,6 +237,8 @@ std::string HealthJson(const std::string& id,
   out += ",\"shed\":" + std::to_string(stats.shed);
   out += ",\"deadline_shed\":" + std::to_string(stats.deadline_shed);
   out += ",\"executed\":" + std::to_string(stats.executed);
+  out += ",\"batches\":" + std::to_string(stats.batches);
+  out += ",\"coalesced\":" + std::to_string(stats.coalesced);
   out += ",\"reloads\":" + std::to_string(stats.reloads);
   out += ",\"worker_stalls\":" + std::to_string(stats.worker_stalls);
   out += ",\"failed_reloads\":" + std::to_string(reloads.failed_reloads());
@@ -252,6 +261,7 @@ int Serve(const ServeArgs& args, std::istream& in) {
   serving::QueryEngineOptions engine_options;
   engine_options.num_threads = args.threads;
   engine_options.queue_capacity = args.queue_cap;
+  engine_options.batch_max = args.batch_max;
   if (args.slo) {
     for (const char* name :
          {"ping", "score", "suggest", "fingerprint", "similar"}) {
@@ -333,6 +343,29 @@ int Serve(const ServeArgs& args, std::istream& in) {
       }
       continue;
     }
+    if (wire.is_batch) {
+      // Submit every sub-request before collecting any answer: they land on
+      // the admission queue back-to-back, so a coalescing worker sweeps
+      // them against one pinned snapshot. Responses come back in wire
+      // order regardless of evaluation order.
+      std::vector<std::future<serving::Response>> futures;
+      std::vector<std::string> sub_ids;
+      futures.reserve(wire.batch.size());
+      sub_ids.reserve(wire.batch.size());
+      for (const serving::WireRequest& sub : wire.batch) {
+        futures.push_back(engine.Submit(sub.request));
+        sub_ids.push_back(sub.id);
+      }
+      std::vector<serving::Response> responses;
+      responses.reserve(futures.size());
+      for (std::future<serving::Response>& future : futures) {
+        responses.push_back(future.get());
+      }
+      std::cout << serving::SerializeBatchResponse(wire.id, sub_ids, responses)
+                << '\n'
+                << std::flush;
+      continue;
+    }
     std::future<serving::Response> future = engine.Submit(wire.request);
     std::cout << serving::SerializeResponse(wire.id, future.get()) << '\n'
               << std::flush;
@@ -358,12 +391,15 @@ int Serve(const ServeArgs& args, std::istream& in) {
   const serving::QueryEngine::Stats stats = engine.stats();
   std::fprintf(stderr,
                "culinary_serve: done (state=%s accepted=%llu shed=%llu "
-               "deadline_shed=%llu executed=%llu reloads=%llu stalls=%llu)\n",
+               "deadline_shed=%llu executed=%llu batches=%llu coalesced=%llu "
+               "reloads=%llu stalls=%llu)\n",
                serving::HealthStateName(engine.health()),
                static_cast<unsigned long long>(stats.accepted),
                static_cast<unsigned long long>(stats.shed),
                static_cast<unsigned long long>(stats.deadline_shed),
                static_cast<unsigned long long>(stats.executed),
+               static_cast<unsigned long long>(stats.batches),
+               static_cast<unsigned long long>(stats.coalesced),
                static_cast<unsigned long long>(stats.reloads),
                static_cast<unsigned long long>(stats.worker_stalls));
   return 0;

@@ -16,6 +16,14 @@
 //   --traffic-seed=N    seed of the request stream itself (default 1)
 //   --count=N           number of request lines (default 100)
 //   --k=N               suggestion / neighbor budget (default 5)
+//   --batch=N           wrap every N consecutive queries into one
+//                       {"op":"batch","requests":[...]} envelope (0/1 =
+//                       off). Sub-requests keep their r<i> ids and the
+//                       sampled stream is unchanged — only the framing
+//                       moves, so a batched run answers the same queries
+//                       as an unbatched one. A trailing partial batch is
+//                       flushed; interleaved admin/garbage lines stay
+//                       unbatched (admin is rejected inside a batch)
 //   --out=FILE          write to FILE instead of stdout
 //   --shutdown          append a {"op":"shutdown"} line so a piped server
 //                       exits when the stream ends
@@ -57,6 +65,7 @@ struct LoadgenArgs {
   uint64_t traffic_seed = 1;
   size_t count = 100;
   size_t k = 5;
+  size_t batch = 0;
   uint64_t deadline_ms = 0;
   size_t reload_every = 0;
   size_t health_every = 0;
@@ -104,6 +113,15 @@ LoadgenArgs ParseArgs(int argc, char** argv) {
     } else if (key == "--k") {
       if (!ParseUint64Value(value, &number)) args.usage_error = true;
       args.k = static_cast<size_t>(number);
+    } else if (key == "--batch") {
+      if (!ParseUint64Value(value, &number)) args.usage_error = true;
+      if (number > serving::kMaxWireBatch) {
+        std::fprintf(stderr, "loadgen: --batch=%llu exceeds the wire limit %zu\n",
+                     static_cast<unsigned long long>(number),
+                     serving::kMaxWireBatch);
+        args.usage_error = true;
+      }
+      args.batch = static_cast<size_t>(number);
     } else if (key == "--deadline-ms") {
       if (!ParseUint64Value(value, &args.deadline_ms)) args.usage_error = true;
     } else if (key == "--reload-every") {
@@ -183,21 +201,48 @@ int Run(const LoadgenArgs& args, std::ostream& out) {
     return 1;
   }
   Rng rng(args.traffic_seed);
+  // --batch buffering: queries accumulate here and flush as one
+  // {"op":"batch"} envelope every `args.batch` queries (and at stream end).
+  std::vector<std::string> pending;
+  size_t batch_index = 0;
+  const auto flush_pending = [&] {
+    if (pending.empty()) return;
+    out << "{\"id\":\"b" << batch_index++ << "\",\"op\":\"batch\",\"requests\":[";
+    for (size_t j = 0; j < pending.size(); ++j) {
+      if (j > 0) out << ',';
+      out << pending[j];
+    }
+    out << "]}\n";
+    pending.clear();
+  };
   for (size_t i = 0; i < args.count; ++i) {
     // Interleaved admin/garbage lines ride on the query index, not the RNG,
     // so turning a mode on or off never shifts the sampled query stream.
+    // Under --batch, buffered queries flush first so every query still
+    // precedes the same admin line it preceded in the unbatched stream —
+    // a reload answers queries from the same snapshot generation either way.
     if (args.reload_every > 0 && i > 0 && i % args.reload_every == 0) {
+      flush_pending();
       out << "{\"id\":\"reload" << i << "\",\"op\":\"reload\"}\n";
     }
     if (args.health_every > 0 && i > 0 && i % args.health_every == 0) {
+      flush_pending();
       out << "{\"id\":\"health" << i << "\",\"op\":\"health\"}\n";
     }
     if (args.garbage_every > 0 && i > 0 && i % args.garbage_every == 0) {
+      flush_pending();
       out << "this is not json #" << i << "\n";
     }
-    out << MakeRequest(world.value(), rng, i, args.k, args.deadline_ms)
-        << '\n';
+    const std::string request =
+        MakeRequest(world.value(), rng, i, args.k, args.deadline_ms);
+    if (args.batch > 1) {
+      pending.push_back(request);
+      if (pending.size() >= args.batch) flush_pending();
+    } else {
+      out << request << '\n';
+    }
   }
+  flush_pending();
   if (args.shutdown) {
     out << "{\"id\":\"last\",\"op\":\"shutdown\"}\n";
   }
